@@ -1,0 +1,180 @@
+package entangle
+
+// Benchmarks regenerating the paper's evaluation (Section 5.3): one
+// benchmark per figure series plus the design-choice ablations called out
+// in DESIGN.md. Sizes here are scaled for iteration speed; run
+// cmd/d3cbench for the paper-scale sweep (5 … 100,000 queries over an
+// 82,168-user social graph).
+//
+//	go test -bench=. -benchmem
+//	go run ./cmd/d3cbench                  # full paper-scale figures
+//	go run ./cmd/d3cbench -scale 0.01     # quick pass
+
+import (
+	"sync"
+	"testing"
+
+	"entangle/internal/bench"
+)
+
+// benchUsers is the social-graph size for testing.B runs; the paper's full
+// 82,168-user graph is exercised by cmd/d3cbench.
+const benchUsers = 10000
+
+var (
+	envOnce sync.Once
+	envVal  *bench.Env
+	envErr  error
+)
+
+func benchEnv(b *testing.B) *bench.Env {
+	envOnce.Do(func() {
+		envVal, envErr = bench.NewEnv(benchUsers, 42)
+	})
+	if envErr != nil {
+		b.Fatal(envErr)
+	}
+	return envVal
+}
+
+// BenchmarkFig6TwoWayRandom — Figure 6, "random workload": friend pairs
+// with variable partner designation; incremental evaluation.
+func BenchmarkFig6TwoWayRandom(b *testing.B) {
+	env := benchEnv(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.Fig6TwoWayRandom([]int{1000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6TwoWayBest — Figure 6, "best case": fully specified partner
+// constants, no grounding join.
+func BenchmarkFig6TwoWayBest(b *testing.B) {
+	env := benchEnv(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.Fig6TwoWayBest([]int{1000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6ThreeWay — Figure 6, three-way coordination over triangles.
+func BenchmarkFig6ThreeWay(b *testing.B) {
+	env := benchEnv(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.Fig6ThreeWay([]int{999}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7Postconditions — Figure 7: matching and DB time as
+// postconditions per query grow 1..5.
+func BenchmarkFig7Postconditions(b *testing.B) {
+	env := benchEnv(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.Fig7Postconditions(600, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8NoUnify — Figure 8: arrivals that never unify; pure
+// index-lookup overhead.
+func BenchmarkFig8NoUnify(b *testing.B) {
+	env := benchEnv(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.Fig8NoUnify([]int{2000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8Chains — Figure 8 "usual partitions": bounded unification
+// chains that never match.
+func BenchmarkFig8Chains(b *testing.B) {
+	env := benchEnv(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.Fig8Chains([]int{2000}, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8BigClusterSetAtATime — Figure 8 stress test: one massive
+// partition, incremental vs set-at-a-time.
+func BenchmarkFig8BigClusterSetAtATime(b *testing.B) {
+	env := benchEnv(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.Fig8BigCluster([]int{500}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9SafetyCheck — Figure 9: admission safety check against a
+// resident set of non-coordinating queries.
+func BenchmarkFig9SafetyCheck(b *testing.B) {
+	env := benchEnv(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.Fig9SafetyCheck(2000, []int{1000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationAtomIndex — A1: graph construction with the atom index
+// vs linear scans.
+func BenchmarkAblationAtomIndex(b *testing.B) {
+	env := benchEnv(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.AblationAtomIndex([]int{1000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationModes — A2: incremental vs set-at-a-time on matched
+// pairs.
+func BenchmarkAblationModes(b *testing.B) {
+	env := benchEnv(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.AblationModes([]int{1000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationMGU — A3: union-find MGU vs the naive quadratic merge.
+func BenchmarkAblationMGU(b *testing.B) {
+	env := benchEnv(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.AblationMGU(600, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationCSPBaseline — A4: the safe-fragment matcher vs general
+// CSP backtracking on identical workloads (Theorem 2.1 made concrete).
+func BenchmarkAblationCSPBaseline(b *testing.B) {
+	env := benchEnv(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.AblationCSPBaseline([]int{2, 4, 6}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Command d3cbench regenerates the figures of the paper's evaluation
+// (Section 5.3) and the design-choice ablations, printing one series per
+// figure in the same shape the paper reports.
+//
+// Usage:
+//
+//	d3cbench [-experiment all|fig6|fig7|fig8|fig9|ablations]
+//	         [-users 82168] [-scale 1.0] [-seed 42]
+//
+// -users sets the social-graph size (default: the paper's 82,168).
+// -scale multiplies the workload sizes; 1.0 reproduces the paper's range
+// (5 … 100,000 queries), smaller values give quick runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"entangle/internal/bench"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "which experiment: all, fig6, fig7, fig8, fig9, ablations")
+		users      = flag.Int("users", 82168, "social graph size (paper: 82168)")
+		scale      = flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper sizes up to 100k queries)")
+		seed       = flag.Int64("seed", 42, "deterministic seed")
+	)
+	flag.Parse()
+
+	sizes := scaled([]int{5, 100, 1000, 10000, 100000}, *scale)
+	fig7Queries := int(10000 * *scale)
+	if fig7Queries < 60 {
+		fig7Queries = 60
+	}
+	resident := int(20000 * *scale)
+	if resident < 100 {
+		resident = 100
+	}
+
+	start := time.Now()
+	log.Printf("d3cbench: building social substrate (%d users)…", *users)
+	env, err := bench.NewEnv(*users, *seed)
+	if err != nil {
+		log.Fatalf("d3cbench: %v", err)
+	}
+	log.Printf("d3cbench: substrate ready in %v (clustering ≈ %.3f)",
+		time.Since(start).Round(time.Millisecond), env.G.ClusteringCoefficient(500, *seed))
+
+	run := func(name string, f func() error) {
+		if *experiment != "all" && *experiment != name {
+			return
+		}
+		if err := f(); err != nil {
+			log.Fatalf("d3cbench: %s: %v", name, err)
+		}
+	}
+
+	run("fig6", func() error {
+		rows, err := env.Fig6TwoWayRandom(sizes)
+		if err != nil {
+			return err
+		}
+		bench.PrintSeries(os.Stdout, "Figure 6 — two-way coordination, random workload", rows)
+		rows, err = env.Fig6TwoWayBest(sizes)
+		if err != nil {
+			return err
+		}
+		bench.PrintSeries(os.Stdout, "Figure 6 — two-way coordination, best case (fully specified)", rows)
+		rows, err = env.Fig6ThreeWay(sizes)
+		if err != nil {
+			return err
+		}
+		bench.PrintSeries(os.Stdout, "Figure 6 — three-way coordination (triangles)", rows)
+		return nil
+	})
+
+	run("fig7", func() error {
+		rows, err := env.Fig7Postconditions(fig7Queries, 5)
+		if err != nil {
+			return err
+		}
+		bench.PrintSeries(os.Stdout,
+			fmt.Sprintf("Figure 7 — scalability in the number of postconditions (%d queries)", fig7Queries), rows)
+		return nil
+	})
+
+	run("fig8", func() error {
+		rows, err := env.Fig8NoUnify(sizes)
+		if err != nil {
+			return err
+		}
+		bench.PrintSeries(os.Stdout, "Figure 8 — no coordination, no unification", rows)
+		rows, err = env.Fig8Chains(sizes, 16)
+		if err != nil {
+			return err
+		}
+		bench.PrintSeries(os.Stdout, "Figure 8 — usual partitions (bounded chains)", rows)
+		big := scaled([]int{100, 1000, 5000}, *scale)
+		rows, err = env.Fig8BigCluster(big)
+		if err != nil {
+			return err
+		}
+		bench.PrintSeries(os.Stdout, "Figure 8 — massive single cluster: incremental vs set-at-a-time", rows)
+		return nil
+	})
+
+	run("fig9", func() error {
+		rows, err := env.Fig9SafetyCheck(resident, sizes)
+		if err != nil {
+			return err
+		}
+		bench.PrintSeries(os.Stdout,
+			fmt.Sprintf("Figure 9 — safety check with %d resident queries", resident), rows)
+		return nil
+	})
+
+	run("ablations", func() error {
+		rows, err := env.AblationAtomIndex(scaled([]int{1000, 10000}, *scale))
+		if err != nil {
+			return err
+		}
+		bench.PrintSeries(os.Stdout, "Ablation A1 — atom index vs linear scan (graph construction)", rows)
+		rows, err = env.AblationModes(scaled([]int{1000, 10000}, *scale))
+		if err != nil {
+			return err
+		}
+		bench.PrintSeries(os.Stdout, "Ablation A2 — incremental vs set-at-a-time on matched pairs", rows)
+		rows, err = env.AblationMGU(int(3000**scale)+60, 3)
+		if err != nil {
+			return err
+		}
+		bench.PrintSeries(os.Stdout, "Ablation A3 — union-find MGU vs naive quadratic merge", rows)
+		rows, err = env.AblationCSPBaseline([]int{4, 8, 16, 24, 32})
+		if err != nil {
+			return err
+		}
+		bench.PrintSeries(os.Stdout, "Ablation A4 — safe-fragment matcher vs CSP backtracking (Theorem 2.1)", rows)
+		return nil
+	})
+
+	log.Printf("d3cbench: done in %v", time.Since(start).Round(time.Millisecond))
+}
+
+// scaled multiplies sizes by the scale factor, keeping a sane minimum.
+func scaled(sizes []int, scale float64) []int {
+	out := make([]int, 0, len(sizes))
+	for _, s := range sizes {
+		v := int(float64(s) * scale)
+		if v < 5 {
+			v = 5
+		}
+		out = append(out, v)
+	}
+	return out
+}

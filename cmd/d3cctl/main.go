@@ -1,0 +1,122 @@
+// Command d3cctl is an interactive client for a d3cd server. It reads
+// entangled queries from stdin — either entangled SQL (lines starting with
+// SELECT, terminated by a blank line or CHOOSE clause) or the IR text
+// syntax ({C} H :- B, one per line) — submits them, and prints results as
+// they arrive.
+//
+// Commands:
+//
+//	.flush     force a set-at-a-time round
+//	.stats     print engine counters
+//	.quit      exit
+//
+// Usage: d3cctl [-addr localhost:7070]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"entangle/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:7070", "d3cd server address")
+	flag.Parse()
+
+	c, err := server.Dial(*addr)
+	if err != nil {
+		log.Fatalf("d3cctl: %v", err)
+	}
+	defer c.Close()
+	fmt.Printf("connected to %s — enter IR queries ({C} H :- B) or SQL (SELECT …; multiline until CHOOSE), .help for commands\n", *addr)
+
+	results := make(chan server.Response, 64)
+	sc := bufio.NewScanner(os.Stdin)
+	var sqlBuf []string
+
+	submitSQL := func(text string) {
+		qid, ch, err := c.SubmitSQL(text)
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			return
+		}
+		fmt.Printf("submitted q%d\n", qid)
+		go func() { results <- <-ch }()
+	}
+	submitIR := func(text string) {
+		qid, ch, err := c.SubmitIR(text)
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			return
+		}
+		fmt.Printf("submitted q%d\n", qid)
+		go func() { results <- <-ch }()
+	}
+
+	// Printer goroutine: results arrive asynchronously.
+	go func() {
+		for r := range results {
+			if r.Status == "answered" {
+				fmt.Printf("q%d answered: %s\n", r.ID, strings.Join(r.Tuples, ", "))
+			} else {
+				fmt.Printf("q%d %s: %s\n", r.ID, r.Status, r.Detail)
+			}
+		}
+	}()
+
+	prompt := func() { fmt.Print("> ") }
+	prompt()
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			if len(sqlBuf) > 0 {
+				submitSQL(strings.Join(sqlBuf, "\n"))
+				sqlBuf = nil
+			}
+		case line == ".quit":
+			return
+		case line == ".help":
+			fmt.Println("IR query:  {R(Jerry, x)} R(Kramer, x) :- Flights(x, Paris)")
+			fmt.Println("SQL query: SELECT 'Kramer', fno INTO ANSWER R WHERE … CHOOSE 1 (multiline; ends at CHOOSE or blank line)")
+			fmt.Println("commands:  .load <ddl/dml statements;…>  .flush  .stats  .quit")
+		case strings.HasPrefix(line, ".load "):
+			if err := c.Load(strings.TrimPrefix(line, ".load ")); err != nil {
+				fmt.Printf("error: %v\n", err)
+			} else {
+				fmt.Println("loaded")
+			}
+		case line == ".flush":
+			if err := c.Flush(); err != nil {
+				fmt.Printf("error: %v\n", err)
+			} else {
+				fmt.Println("flushed")
+			}
+		case line == ".stats":
+			st, err := c.Stats()
+			if err != nil {
+				fmt.Printf("error: %v\n", err)
+			} else if st.Stats != nil {
+				s := st.Stats
+				fmt.Printf("submitted=%d answered=%d rejected=%d unsafe=%d stale=%d pending=%d flushes=%d\n",
+					s.Submitted, s.Answered, s.Rejected, s.RejectedUnsafe, s.ExpiredStale, s.Pending, s.Flushes)
+			}
+		case len(sqlBuf) > 0 || strings.HasPrefix(strings.ToUpper(line), "SELECT"):
+			sqlBuf = append(sqlBuf, line)
+			if strings.Contains(strings.ToUpper(line), "CHOOSE") {
+				submitSQL(strings.Join(sqlBuf, "\n"))
+				sqlBuf = nil
+			}
+		case strings.HasPrefix(line, "{"):
+			submitIR(line)
+		default:
+			fmt.Println("unrecognised input; .help for syntax")
+		}
+		prompt()
+	}
+}

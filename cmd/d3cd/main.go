@@ -1,0 +1,111 @@
+// Command d3cd runs the D3C coordination server: an entangled-query engine
+// over an in-memory database, exposed via the JSON line protocol of
+// internal/server.
+//
+// Usage:
+//
+//	d3cd [-addr :7070] [-mode incremental|setatatime] [-stale 30s]
+//	     [-flush-every 0] [-flush-interval 100ms] [-social N]
+//
+// With -social N the server preloads the flight-booking social substrate
+// (Friends/User tables over an N-user synthetic social graph) so clients
+// can immediately run the paper's workloads. Without it the database starts
+// empty and clients are expected to load their own schema via a sidecar.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"entangle/internal/engine"
+	"entangle/internal/memdb"
+	"entangle/internal/server"
+	"entangle/internal/workload"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":7070", "listen address")
+		mode          = flag.String("mode", "incremental", "evaluation mode: incremental or setatatime")
+		stale         = flag.Duration("stale", 30*time.Second, "staleness bound for pending queries (0 = never)")
+		flushEvery    = flag.Int("flush-every", 0, "set-at-a-time: flush after this many submissions (0 = timer only)")
+		flushInterval = flag.Duration("flush-interval", 100*time.Millisecond, "background flush/staleness tick")
+		social        = flag.Int("social", 0, "preload a synthetic social graph with this many users (0 = empty database)")
+		seed          = flag.Int64("seed", 42, "seed for the social graph and CHOOSE 1 randomness")
+		dbFile        = flag.String("db", "", "database snapshot file: loaded on start if present, saved on shutdown")
+	)
+	flag.Parse()
+
+	var m engine.Mode
+	switch strings.ToLower(*mode) {
+	case "incremental":
+		m = engine.Incremental
+	case "setatatime", "set-at-a-time":
+		m = engine.SetAtATime
+	default:
+		log.Fatalf("d3cd: unknown mode %q", *mode)
+	}
+
+	db := memdb.New()
+	if *dbFile != "" {
+		if _, err := os.Stat(*dbFile); err == nil {
+			if err := db.LoadFile(*dbFile); err != nil {
+				log.Fatalf("d3cd: load %s: %v", *dbFile, err)
+			}
+			log.Printf("d3cd: loaded snapshot %s:\n%s", *dbFile, strings.TrimSpace(db.String()))
+		}
+	}
+	if *social > 0 && len(db.TableNames()) == 0 {
+		log.Printf("d3cd: generating social substrate with %d users…", *social)
+		g := workload.NewGraph(workload.Config{N: *social, Seed: *seed})
+		if err := workload.PopulateDB(db, g); err != nil {
+			log.Fatalf("d3cd: %v", err)
+		}
+		log.Printf("d3cd: loaded %s", strings.TrimSpace(db.String()))
+	}
+
+	eng := engine.New(db, engine.Config{
+		Mode:       m,
+		StaleAfter: *stale,
+		FlushEvery: *flushEvery,
+		Seed:       *seed,
+	})
+	stop := make(chan struct{})
+	go eng.Run(stop, *flushInterval)
+
+	srv := server.New(eng)
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("d3cd: %v", err)
+	}
+	log.Printf("d3cd: serving %s mode on %s", m, l.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "d3cd: shutting down")
+		close(stop)
+		srv.Shutdown()
+		l.Close()
+		eng.Close()
+		if *dbFile != "" {
+			if err := db.SaveFile(*dbFile); err != nil {
+				log.Printf("d3cd: save %s: %v", *dbFile, err)
+			} else {
+				log.Printf("d3cd: snapshot saved to %s", *dbFile)
+			}
+		}
+	}()
+
+	if err := srv.Serve(l); err != nil {
+		log.Fatalf("d3cd: %v", err)
+	}
+}

@@ -1,0 +1,29 @@
+// Package entangle is a from-scratch Go implementation of entangled
+// queries — the declarative data-driven coordination (D3C) language and
+// evaluation system of "Entangled Queries: Enabling Declarative Data-Driven
+// Coordination" (Gupta, Kot, Roy, Bender, Gehrke, Koch; SIGMOD 2011).
+//
+// Entangled queries extend SQL with constraints over virtual ANSWER
+// relations so that queries from different users are answered jointly with
+// a coordinated choice of tuples ("Kramer flies to Paris on the same flight
+// as Jerry"). The library provides:
+//
+//   - internal/core — the high-level System façade (start here);
+//   - internal/eqsql — the entangled-SQL parser and translator;
+//   - internal/ir — the {C} H :- B intermediate representation;
+//   - internal/match — safety, UCS, unifier propagation (Algorithm 1) and
+//     combined-query construction;
+//   - internal/engine — the asynchronous coordination engine (incremental
+//     and set-at-a-time modes, staleness);
+//   - internal/server — a TCP/JSON front end for many concurrent clients;
+//   - internal/memdb — the in-memory conjunctive-query database substrate;
+//   - internal/workload, internal/bench — the paper's experimental
+//     workloads and the harness regenerating every evaluation figure;
+//   - internal/csp — the general NP-complete baseline (Theorem 2.1);
+//   - internal/ext — the Section 6 extensions (CHOOSE k, aggregation
+//     postconditions, soft preferences).
+//
+// The root package contains no code of its own; see the benchmarks in
+// bench_test.go (one per paper figure) and the runnable programs under
+// examples/ and cmd/.
+package entangle

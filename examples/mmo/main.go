@@ -1,0 +1,84 @@
+// MMO: coordination with unknown partners — the paper's massively
+// multiplayer scenario where "coordination partners may be unknown and
+// their identities irrelevant" (Section 1.1).
+//
+// Players queue for raids. A tank, a healer, and two damage dealers must
+// commit to the same raid instance, but none of them knows who the others
+// are: their postconditions designate partners purely by role, via the
+// shared ANSWER relation Raid(role, slot, instance).
+//
+// Run: go run ./examples/mmo
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"entangle/internal/core"
+	"entangle/internal/engine"
+	"entangle/internal/ir"
+)
+
+func main() {
+	sys := core.NewSystem(core.Options{Seed: time.Now().UnixNano(), StaleAfter: time.Second})
+	defer sys.Close()
+
+	// Raid instances currently open: Instances(iid, boss, minLevel).
+	sys.MustCreateTable("Instances", "iid", "boss", "minlevel")
+	for _, r := range [][]string{
+		{"I1", "Ragnaros", "60"},
+		{"I2", "Onyxia", "60"},
+		{"I3", "Hogger", "10"},
+	} {
+		sys.MustInsert("Instances", r[0], r[1], r[2])
+	}
+
+	// Each role's query: "I take my slot in some instance, provided the
+	// other three slots are filled in the same instance." Nobody names a
+	// player — only roles. The party composition is Tank, Healer, DPS1,
+	// DPS2; the cyclic postcondition chain Tank→Healer→DPS1→DPS2→Tank
+	// keeps the set safe (each postcondition has exactly one partner head).
+	submit := func(role, needs string) *engine.Handle {
+		q := ir.MustParse(0, fmt.Sprintf(
+			"{Raid(%s, i)} Raid(%s, i) :- Instances(i, b, l)", needs, role))
+		q.Owner = role
+		h, err := sys.Submit(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s queued (waiting for a party)…\n", role)
+		return h
+	}
+
+	handles := map[string]*engine.Handle{
+		"Tank":   submit("Tank", "Healer"),
+		"Healer": submit("Healer", "DPS1"),
+		"DPS1":   submit("DPS1", "DPS2"),
+	}
+	// Until the fourth role arrives, nothing can be answered.
+	if st := sys.Stats(); st.Answered != 0 || st.Pending != 3 {
+		log.Fatalf("premature coordination: %+v", st)
+	}
+	fmt.Println("three of four slots queued; party still forming…")
+	handles["DPS2"] = submit("DPS2", "Tank")
+
+	var instance string
+	for role, h := range handles {
+		r, err := h.Wait(2 * time.Second)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if r.Status != engine.StatusAnswered {
+			log.Fatalf("%s: %v (%s)", role, r.Status, r.Detail)
+		}
+		got := r.Answer.Tuples[0].Args[1].Value
+		if instance == "" {
+			instance = got
+		} else if got != instance {
+			log.Fatalf("party split across instances: %s vs %s", got, instance)
+		}
+	}
+	fmt.Printf("\nparty formed! all four players committed to instance %s — no out-of-band\n", instance)
+	fmt.Println("communication, no player identities: coordination purely through desired shared outcomes.")
+}

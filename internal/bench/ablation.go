@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"entangle/internal/csp"
+	"entangle/internal/graph"
+	"entangle/internal/ir"
+	"entangle/internal/match"
+	"entangle/internal/workload"
+)
+
+// AblationAtomIndex (A1) measures unifiability-graph construction with and
+// without the (Relation, Parameter, Value) atom index of Section 4.1.4.
+func (e *Env) AblationAtomIndex(sizes []int) ([]Row, error) {
+	var rows []Row
+	for _, n := range sizes {
+		gen := workload.NewGen(e.G, int64(n)+41)
+		qs := gen.PermuteGroups(gen.TwoWayBest(e.G.FriendPairs(n/2, int64(n)+41)), 2)
+		renamed := make([]*ir.Query, len(qs))
+		for i, q := range qs {
+			renamed[i] = q.RenameApart()
+		}
+		for _, useIndex := range []bool{true, false} {
+			label := "graph build with index"
+			if !useIndex {
+				label = "graph build linear scan"
+			}
+			start := time.Now()
+			g := graph.NewWithOptions(useIndex)
+			for _, q := range renamed {
+				if err := g.AddQuery(q); err != nil {
+					return nil, err
+				}
+			}
+			rows = append(rows, Row{Label: label, N: n, Elapsed: time.Since(start)})
+		}
+	}
+	return rows, nil
+}
+
+// AblationModes (A2) compares incremental and set-at-a-time evaluation on
+// the matched-pair workload where both succeed.
+func (e *Env) AblationModes(sizes []int) ([]Row, error) {
+	var rows []Row
+	for _, n := range sizes {
+		gen := workload.NewGen(e.G, int64(n)+43)
+		qs := gen.PermuteGroups(gen.TwoWayBest(e.G.FriendPairs(n/2, int64(n)+43)), 2)
+		inc, err := e.runIncremental("pairs incremental", qs)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, inc)
+		gen2 := workload.NewGen(e.G, int64(n)+43)
+		qs2 := gen2.PermuteGroups(gen2.TwoWayBest(e.G.FriendPairs(n/2, int64(n)+43)), 2)
+		saat, err := e.runSetAtATime("pairs set-at-a-time", qs2)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, saat)
+	}
+	return rows, nil
+}
+
+// AblationMGU (A3) compares the union-find most-general-unifier
+// implementation against the quadratic NaiveMerge baseline on clique
+// workloads, where unifier propagation dominates.
+func (e *Env) AblationMGU(nQueries, cliqueSize int) ([]Row, error) {
+	gen := workload.NewGen(e.G, 47)
+	cliques := e.G.Cliques(nQueries/cliqueSize, cliqueSize, 47)
+	if len(cliques) == 0 {
+		return nil, fmt.Errorf("bench: no %d-cliques available", cliqueSize)
+	}
+	qs := gen.Clique(cliques)
+	renamed := make([]*ir.Query, len(qs))
+	for i, q := range qs {
+		renamed[i] = q.RenameApart()
+	}
+	g, err := graph.Build(renamed)
+	if err != nil {
+		return nil, err
+	}
+	comps := g.ConnectedComponents()
+	var rows []Row
+	for _, naive := range []bool{false, true} {
+		label := "MGU union-find"
+		if naive {
+			label = "MGU naive quadratic"
+		}
+		start := time.Now()
+		for _, comp := range comps {
+			match.MatchComponent(g, comp, match.Options{NaiveMGU: naive})
+		}
+		rows = append(rows, Row{Label: label, N: len(qs), Elapsed: time.Since(start)})
+	}
+	return rows, nil
+}
+
+// AblationCSPBaseline (A4) quantifies what the safety condition buys:
+// the safe-fragment matcher versus general backtracking (Theorem 2.1) on
+// identical safe workloads of growing size.
+func (e *Env) AblationCSPBaseline(pairCounts []int) ([]Row, error) {
+	var rows []Row
+	for _, pairs := range pairCounts {
+		gen := workload.NewGen(e.G, int64(pairs)+53)
+		qs := gen.TwoWayBest(e.G.FriendPairs(pairs, int64(pairs)+53))
+
+		start := time.Now()
+		if _, err := match.Coordinate(e.DB, qs, match.CoordinateOptions{EnforceSafety: true}); err != nil {
+			return nil, err
+		}
+		rows = append(rows, Row{Label: "matcher (safe fragment)", N: len(qs), Elapsed: time.Since(start)})
+
+		start = time.Now()
+		if _, err := csp.Solve(e.DB, qs, csp.Options{MaxGroundings: 4}); err != nil {
+			return nil, err
+		}
+		rows = append(rows, Row{Label: "CSP backtracking", N: len(qs), Elapsed: time.Since(start)})
+	}
+	return rows, nil
+}

@@ -1,0 +1,342 @@
+// Package bench is the experiment harness that regenerates every figure of
+// the paper's evaluation (Section 5.3). Each experiment builds its workload
+// from the social substrate, drives the engine or the matching pipeline the
+// same way the paper describes, and reports a series of (size, time) rows
+// that can be compared with the corresponding figure.
+//
+// The harness is used both by the cmd/d3cbench executable (paper-style
+// output tables) and by the root-level testing.B benchmarks.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"entangle/internal/engine"
+	"entangle/internal/graph"
+	"entangle/internal/ir"
+	"entangle/internal/match"
+	"entangle/internal/memdb"
+	"entangle/internal/workload"
+)
+
+// Env is a reusable experimental environment: the social graph and the
+// populated database (building the full 82k-user substrate takes a few
+// seconds, so callers share one Env across experiments).
+type Env struct {
+	G  *workload.Graph
+	DB *memdb.DB
+}
+
+// NewEnv builds the environment. users 0 selects the paper's full scale
+// (82,168 users, 102 airports).
+func NewEnv(users int, seed int64) (*Env, error) {
+	g := workload.NewGraph(workload.Config{N: users, Seed: seed})
+	db := memdb.New()
+	if err := workload.PopulateDB(db, g); err != nil {
+		return nil, err
+	}
+	// Warm the lazy per-column hash indexes so the first measured run does
+	// not pay the one-off build cost.
+	warm := []ir.Atom{
+		ir.NewAtom(workload.FriendsRel, ir.Const(workload.UserName(0)), ir.Var("x")),
+		ir.NewAtom(workload.UserRel, ir.Var("x"), ir.Var("c")),
+		ir.NewAtom(workload.UserRel, ir.Const(workload.UserName(0)), ir.Var("c")),
+	}
+	if _, err := db.EvalConjunctive(warm, nil, memdb.EvalOptions{Limit: 1}); err != nil {
+		return nil, err
+	}
+	return &Env{G: g, DB: db}, nil
+}
+
+// Row is one measurement of an experiment series.
+type Row struct {
+	Label    string        // series name, e.g. "two-way random"
+	N        int           // workload size (number of queries)
+	Elapsed  time.Duration // total wall time for the run
+	MatchDur time.Duration // time in query matching (when measured separately)
+	DBDur    time.Duration // time in database evaluation (when measured separately)
+	Answered int
+	Rejected int
+	Pending  int
+}
+
+// String renders the row in the harness's output format.
+func (r Row) String() string {
+	s := fmt.Sprintf("%-28s n=%-8d total=%-12v", r.Label, r.N, r.Elapsed.Round(time.Microsecond))
+	if r.MatchDur > 0 || r.DBDur > 0 {
+		s += fmt.Sprintf(" match=%-12v db=%-12v", r.MatchDur.Round(time.Microsecond), r.DBDur.Round(time.Microsecond))
+	}
+	return s + fmt.Sprintf(" answered=%d rejected=%d pending=%d", r.Answered, r.Rejected, r.Pending)
+}
+
+// PrintSeries writes rows to w with a heading.
+func PrintSeries(w io.Writer, heading string, rows []Row) {
+	fmt.Fprintf(w, "== %s ==\n", heading)
+	for _, r := range rows {
+		fmt.Fprintln(w, r)
+	}
+	fmt.Fprintln(w)
+}
+
+// runIncremental submits queries one at a time to a fresh incremental
+// engine over the env's database and returns the measurement.
+func (e *Env) runIncremental(label string, qs []*ir.Query) (Row, error) {
+	eng := engine.New(e.DB, engine.Config{Mode: engine.Incremental, Seed: 1})
+	start := time.Now()
+	for _, q := range qs {
+		if _, err := eng.Submit(q); err != nil {
+			return Row{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	st := eng.Stats()
+	eng.Close()
+	return Row{
+		Label: label, N: len(qs), Elapsed: elapsed,
+		Answered: st.Answered, Rejected: st.Rejected + st.RejectedUnsafe, Pending: st.Pending,
+	}, nil
+}
+
+// runSetAtATime submits all queries then flushes once.
+func (e *Env) runSetAtATime(label string, qs []*ir.Query) (Row, error) {
+	eng := engine.New(e.DB, engine.Config{Mode: engine.SetAtATime, Seed: 1})
+	start := time.Now()
+	for _, q := range qs {
+		if _, err := eng.Submit(q); err != nil {
+			return Row{}, err
+		}
+	}
+	eng.Flush()
+	elapsed := time.Since(start)
+	st := eng.Stats()
+	eng.Close()
+	return Row{
+		Label: label, N: len(qs), Elapsed: elapsed,
+		Answered: st.Answered, Rejected: st.Rejected + st.RejectedUnsafe, Pending: st.Pending,
+	}, nil
+}
+
+// Fig6TwoWayRandom measures two-way coordination on the random workload
+// (Section 5.3.1, Figure 6): pairs of friends coordinating via a
+// variable-partner query that requires an F ⋈ U join to ground.
+func (e *Env) Fig6TwoWayRandom(sizes []int) ([]Row, error) {
+	var rows []Row
+	for _, n := range sizes {
+		gen := workload.NewGen(e.G, int64(n))
+		qs := gen.PermuteGroups(gen.TwoWayRandom(e.G.FriendPairs(n/2, int64(n))), 2)
+		r, err := e.runIncremental("two-way random", qs)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// Fig6TwoWayBest measures the fully specified ("best-case") two-way
+// workload where the partner is a constant and the grounding join is
+// eliminated (Section 5.3.1's second query form).
+func (e *Env) Fig6TwoWayBest(sizes []int) ([]Row, error) {
+	var rows []Row
+	for _, n := range sizes {
+		gen := workload.NewGen(e.G, int64(n)+7)
+		qs := gen.PermuteGroups(gen.TwoWayBest(e.G.FriendPairs(n/2, int64(n)+7)), 2)
+		r, err := e.runIncremental("two-way best-case", qs)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// Fig6ThreeWay measures three-way cycles over social-graph triangles
+// (Section 5.3.2).
+func (e *Env) Fig6ThreeWay(sizes []int) ([]Row, error) {
+	var rows []Row
+	for _, n := range sizes {
+		gen := workload.NewGen(e.G, int64(n)+13)
+		qs := gen.PermuteGroups(gen.ThreeWay(e.G.Triangles(n/3, int64(n)+13)), 3)
+		r, err := e.runIncremental("three-way cycles", qs)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// Fig7Postconditions measures matching time and database-evaluation time
+// separately as the number of postconditions per query grows from 1 to
+// maxPosts (Section 5.3.3, Figure 7). total queries ≈ nQueries for each k.
+func (e *Env) Fig7Postconditions(nQueries, maxPosts int) ([]Row, error) {
+	var rows []Row
+	for k := 1; k <= maxPosts; k++ {
+		cliqueSize := k + 1
+		nCliques := nQueries / cliqueSize
+		gen := workload.NewGen(e.G, int64(k)*31)
+		cliques := e.G.Cliques(nCliques, cliqueSize, int64(k)*31)
+		if len(cliques) == 0 {
+			return nil, fmt.Errorf("bench: no %d-cliques in the social graph", cliqueSize)
+		}
+		qs := gen.Clique(cliques)
+
+		// Set-at-a-time pipeline with phases timed separately.
+		renamed := make([]*ir.Query, len(qs))
+		byID := make(map[ir.QueryID]*ir.Query, len(qs))
+		for i, q := range qs {
+			renamed[i] = q.RenameApart()
+			byID[renamed[i].ID] = renamed[i]
+		}
+
+		matchStart := time.Now()
+		g, err := graph.Build(renamed)
+		if err != nil {
+			return nil, err
+		}
+		comps := g.ConnectedComponents()
+		type matched struct {
+			res *match.MatchResult
+		}
+		var results []matched
+		for _, comp := range comps {
+			results = append(results, matched{res: match.MatchComponent(g, comp, match.Options{})})
+		}
+		matchDur := time.Since(matchStart)
+
+		dbStart := time.Now()
+		answered, rejected := 0, 0
+		for _, m := range results {
+			if len(m.res.Survivors) == 0 {
+				rejected += len(m.res.Removed)
+				continue
+			}
+			cq, global, err := match.BuildCombined(byID, m.res)
+			if err != nil {
+				rejected += len(m.res.Survivors)
+				continue
+			}
+			simplified := match.Simplify(cq, global)
+			vals, err := e.DB.EvalConjunctive(simplified.Body, nil, memdb.EvalOptions{Limit: 1})
+			if err != nil {
+				return nil, err
+			}
+			if len(vals) == 0 {
+				rejected += len(m.res.Survivors)
+				continue
+			}
+			answered += len(cq.Members)
+		}
+		dbDur := time.Since(dbStart)
+
+		rows = append(rows, Row{
+			Label: fmt.Sprintf("postconditions k=%d", k), N: len(qs),
+			Elapsed: matchDur + dbDur, MatchDur: matchDur, DBDur: dbDur,
+			Answered: answered, Rejected: rejected,
+		})
+	}
+	return rows, nil
+}
+
+// Fig8NoUnify measures the "no coordination, no unification" workload:
+// index lookups happen on every arrival but no edges are ever created
+// (Section 5.3.4).
+func (e *Env) Fig8NoUnify(sizes []int) ([]Row, error) {
+	var rows []Row
+	for _, n := range sizes {
+		gen := workload.NewGen(e.G, int64(n)+17)
+		qs := gen.NoMatch(n)
+		r, err := e.runIncremental("no coordination, no unification", qs)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// Fig8Chains measures the "usual partitions" workload: queries unify into
+// bounded chains (as social clustering bounds partitions in the paper) but
+// never complete a match, so pending queries accumulate.
+func (e *Env) Fig8Chains(sizes []int, chainLen int) ([]Row, error) {
+	var rows []Row
+	for _, n := range sizes {
+		gen := workload.NewGen(e.G, int64(n)+19)
+		qs := gen.Chains(n, chainLen)
+		r, err := e.runIncremental(fmt.Sprintf("chains(len=%d)", chainLen), qs)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// Fig8BigCluster compares incremental and set-at-a-time evaluation on one
+// massively unifying partition (Section 5.3.4's conclusion: set-at-a-time
+// is the better approach for extremely large coordinating groups).
+func (e *Env) Fig8BigCluster(sizes []int) ([]Row, error) {
+	var rows []Row
+	for _, n := range sizes {
+		gen := workload.NewGen(e.G, int64(n)+23)
+		qs := gen.BigCluster(n)
+		inc, err := e.runIncremental("big cluster incremental", qs)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, inc)
+
+		gen2 := workload.NewGen(e.G, int64(n)+23)
+		qs2 := gen2.BigCluster(n)
+		saat, err := e.runSetAtATime("big cluster set-at-a-time", qs2)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, saat)
+	}
+	return rows, nil
+}
+
+// Fig9SafetyCheck loads resident non-coordinating queries and then times
+// admission of unsafe batches of growing size (Section 5.3.5, Figure 9).
+func (e *Env) Fig9SafetyCheck(resident int, batchSizes []int) ([]Row, error) {
+	var rows []Row
+	groups := resident / 20
+	if groups < 1 {
+		groups = 1
+	} else if groups > 1000 {
+		groups = 1000
+	}
+	for _, n := range batchSizes {
+		gen := workload.NewGen(e.G, int64(n)+29)
+		checker := match.NewSafetyChecker()
+		for _, q := range gen.ResidentNoCoordination(resident, groups) {
+			if err := checker.Admit(q.RenameApart()); err != nil {
+				return nil, fmt.Errorf("bench: resident query rejected: %w", err)
+			}
+		}
+		batch := gen.UnsafeBatch(n, groups)
+		renamed := make([]*ir.Query, len(batch))
+		for i, q := range batch {
+			renamed[i] = q.RenameApart()
+		}
+		start := time.Now()
+		rejected := 0
+		for _, q := range renamed {
+			if err := checker.Check(q); err != nil {
+				rejected++
+			}
+		}
+		elapsed := time.Since(start)
+		rows = append(rows, Row{
+			Label: fmt.Sprintf("safety check (resident=%d)", resident),
+			N:     n, Elapsed: elapsed, Rejected: rejected,
+		})
+		if rejected != n {
+			return nil, fmt.Errorf("bench: only %d/%d unsafe queries rejected", rejected, n)
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,127 @@
+// Package core is the top-level façade of the entangled-queries library: a
+// single entry point wiring together the database substrate (memdb), the
+// entangled-SQL front end (eqsql), the matching algorithm (match), the
+// extensions (ext) and the asynchronous coordination engine (engine).
+//
+// A System owns a database and an engine. Applications load data, then
+// either submit queries asynchronously (the engine's middleware contract of
+// Section 5.1) or coordinate a batch synchronously (the set-at-a-time
+// pipeline of Section 4).
+//
+//	sys := core.NewSystem(core.Options{})
+//	sys.MustCreateTable("Flights", "fno", "dest")
+//	sys.MustInsert("Flights", "122", "Paris")
+//	h1, _ := sys.SubmitSQL(`SELECT 'Kramer', fno INTO ANSWER R WHERE … CHOOSE 1`)
+//	h2, _ := sys.SubmitSQL(`SELECT 'Jerry',  fno INTO ANSWER R WHERE … CHOOSE 1`)
+//	r1, _ := h1.Wait(time.Second)
+package core
+
+import (
+	"time"
+
+	"entangle/internal/engine"
+	"entangle/internal/eqsql"
+	"entangle/internal/ext"
+	"entangle/internal/ir"
+	"entangle/internal/match"
+	"entangle/internal/memdb"
+)
+
+// Options configures a System.
+type Options struct {
+	// Mode selects incremental (default) or set-at-a-time evaluation.
+	Mode engine.Mode
+	// StaleAfter bounds how long queries wait for partners (0 = forever).
+	StaleAfter time.Duration
+	// FlushEvery auto-flushes after N submissions in set-at-a-time mode.
+	FlushEvery int
+	// Seed drives CHOOSE 1 randomness (0 = deterministic first choice).
+	Seed int64
+	// AnswerSchemas declares ANSWER relation columns for SQL aggregation
+	// subqueries (Section 6 extension).
+	AnswerSchemas map[string][]string
+}
+
+// System bundles a database and a coordination engine.
+type System struct {
+	db  *memdb.DB
+	eng *engine.Engine
+	opt Options
+}
+
+// NewSystem creates an empty system.
+func NewSystem(opt Options) *System {
+	db := memdb.New()
+	eng := engine.New(db, engine.Config{
+		Mode:          opt.Mode,
+		StaleAfter:    opt.StaleAfter,
+		FlushEvery:    opt.FlushEvery,
+		Seed:          opt.Seed,
+		AnswerSchemas: opt.AnswerSchemas,
+	})
+	return &System{db: db, eng: eng, opt: opt}
+}
+
+// DB exposes the underlying database for data loading and inspection.
+func (s *System) DB() *memdb.DB { return s.db }
+
+// Engine exposes the coordination engine for advanced control (Run,
+// ExpireStale, Stats).
+func (s *System) Engine() *engine.Engine { return s.eng }
+
+// MustCreateTable creates a database table, panicking on error (setup code).
+func (s *System) MustCreateTable(name string, cols ...string) {
+	s.db.MustCreateTable(name, cols...)
+}
+
+// MustInsert inserts a row, panicking on error (setup code).
+func (s *System) MustInsert(table string, values ...string) {
+	s.db.MustInsert(table, values...)
+}
+
+// Submit enqueues an IR query for asynchronous coordinated answering.
+func (s *System) Submit(q *ir.Query) (*engine.Handle, error) { return s.eng.Submit(q) }
+
+// SubmitSQL parses entangled SQL and enqueues it.
+func (s *System) SubmitSQL(sql string) (*engine.Handle, error) { return s.eng.SubmitSQL(sql) }
+
+// SubmitIR parses a query in the intermediate-representation text syntax
+// ({C} H :- B) and enqueues it.
+func (s *System) SubmitIR(irText string) (*engine.Handle, error) {
+	q, err := ir.Parse(0, irText)
+	if err != nil {
+		return nil, err
+	}
+	return s.eng.Submit(q)
+}
+
+// Flush forces a set-at-a-time evaluation round.
+func (s *System) Flush() { s.eng.Flush() }
+
+// Stats returns engine counters.
+func (s *System) Stats() engine.Stats { return s.eng.Stats() }
+
+// Close shuts the engine down, failing pending queries.
+func (s *System) Close() { s.eng.Close() }
+
+// Coordinate answers a batch of IR queries synchronously (set-at-a-time,
+// bypassing the engine's pending set). Convenience wrapper over
+// match.Coordinate.
+func (s *System) Coordinate(queries []*ir.Query) (*match.Outcome, error) {
+	return match.Coordinate(s.db, queries, match.CoordinateOptions{EnforceSafety: true})
+}
+
+// CoordinateExtended answers a batch with the Section 6 extensions enabled
+// (CHOOSE k, aggregation constraints, soft preferences).
+func (s *System) CoordinateExtended(queries []*ir.Query, aggs map[ir.QueryID][]eqsql.AggConstraint, opt ext.Options) (*ext.Outcome, error) {
+	return ext.Coordinate(s.db, queries, aggs, opt)
+}
+
+// ParseSQL translates entangled SQL against the system's schema without
+// submitting it; useful for inspecting the intermediate representation.
+func (s *System) ParseSQL(sql string) (*eqsql.Translated, error) {
+	return eqsql.Parse(0, sql, eqsql.DBSchema{DB: s.db}, eqsql.Options{
+		AllowExtensions: true,
+		AnswerSchemas:   s.opt.AnswerSchemas,
+	})
+}

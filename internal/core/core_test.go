@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"entangle/internal/engine"
+	"entangle/internal/ext"
+	"entangle/internal/ir"
+)
+
+func flightsSystem(t testing.TB, opt Options) *System {
+	t.Helper()
+	sys := NewSystem(opt)
+	sys.MustCreateTable("Flights", "fno", "dest")
+	sys.MustCreateTable("F", "fno", "dest")
+	for _, r := range [][]string{{"122", "Paris"}, {"123", "Paris"}, {"136", "Rome"}} {
+		sys.MustInsert("Flights", r...)
+		sys.MustInsert("F", r...)
+	}
+	return sys
+}
+
+func TestSystemQuickstartFlow(t *testing.T) {
+	sys := flightsSystem(t, Options{})
+	h1, err := sys.SubmitSQL(`SELECT 'Kramer', fno INTO ANSWER R
+WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris')
+AND ('Jerry', fno) IN ANSWER R CHOOSE 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := sys.SubmitIR("{R(Kramer, y)} R(Jerry, y) :- Flights(y, Paris)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := h1.Wait(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := h2.Wait(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Status != engine.StatusAnswered || r2.Status != engine.StatusAnswered {
+		t.Fatalf("statuses %v/%v", r1.Status, r2.Status)
+	}
+	if r1.Answer.Tuples[0].Args[1].Value != r2.Answer.Tuples[0].Args[1].Value {
+		t.Fatal("not coordinated")
+	}
+	if sys.Stats().Answered != 2 {
+		t.Fatalf("stats = %+v", sys.Stats())
+	}
+	sys.Close()
+	if _, err := sys.SubmitIR("{} R(A, x) :- F(x, Paris)"); err == nil {
+		t.Fatal("submit after close must fail")
+	}
+}
+
+func TestSystemBatchCoordinate(t *testing.T) {
+	sys := flightsSystem(t, Options{})
+	out, err := sys.Coordinate([]*ir.Query{
+		ir.MustParse(1, "{R(Jerry, x)} R(Kramer, x) :- F(x, Paris)"),
+		ir.MustParse(2, "{R(Kramer, y)} R(Jerry, y) :- F(y, Paris)"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Answers) != 2 {
+		t.Fatalf("answers = %v", out.Answers)
+	}
+}
+
+func TestSystemParseSQL(t *testing.T) {
+	sys := flightsSystem(t, Options{})
+	tr, err := sys.ParseSQL(`SELECT 'K', fno INTO ANSWER R
+WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris') CHOOSE 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Query.Body) != 1 || tr.Query.Body[0].Rel != "Flights" {
+		t.Fatalf("query = %s", tr.Query)
+	}
+}
+
+func TestSystemSetAtATime(t *testing.T) {
+	sys := flightsSystem(t, Options{Mode: engine.SetAtATime})
+	h1, _ := sys.SubmitIR("{R(B, x)} R(A, x) :- F(x, Rome)")
+	h2, _ := sys.SubmitIR("{R(A, y)} R(B, y) :- F(y, Rome)")
+	sys.Flush()
+	r1, err := h1.Wait(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := h2.Wait(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Status != engine.StatusAnswered || r2.Status != engine.StatusAnswered {
+		t.Fatalf("statuses %v/%v (%s/%s)", r1.Status, r2.Status, r1.Detail, r2.Detail)
+	}
+	if r1.Answer.Tuples[0].Args[1].Value != "136" {
+		t.Fatalf("flight = %v", r1.Answer.Tuples[0])
+	}
+}
+
+func TestSystemExtended(t *testing.T) {
+	sys := flightsSystem(t, Options{})
+	q1 := ir.MustParse(1, "{R(Jerry, x)} R(Kramer, x) :- F(x, Paris)")
+	q2 := ir.MustParse(2, "{R(Kramer, y)} R(Jerry, y) :- F(y, Paris)")
+	q1.Choose, q2.Choose = 2, 2
+	out, err := sys.CoordinateExtended([]*ir.Query{q1, q2}, nil, ext.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Answers[1]) != 2 {
+		t.Fatalf("answers = %v", out.Answers)
+	}
+}

@@ -1,0 +1,71 @@
+package core_test
+
+import (
+	"fmt"
+	"time"
+
+	"entangle/internal/core"
+	"entangle/internal/ir"
+)
+
+// Example reproduces the paper's introduction: Kramer and Jerry coordinate
+// on a United flight to Paris through entangled SQL.
+func Example() {
+	sys := core.NewSystem(core.Options{})
+	defer sys.Close()
+	sys.MustCreateTable("Flights", "fno", "dest")
+	sys.MustCreateTable("Airlines", "fno", "airline")
+	sys.MustInsert("Flights", "122", "Paris")
+	sys.MustInsert("Airlines", "122", "United")
+
+	kramer, _ := sys.SubmitSQL(`SELECT 'Kramer', fno INTO ANSWER Reservation
+WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris')
+AND ('Jerry', fno) IN ANSWER Reservation CHOOSE 1`)
+	jerry, _ := sys.SubmitSQL(`SELECT 'Jerry', fno INTO ANSWER Reservation
+WHERE fno IN (SELECT fno FROM Flights F, Airlines A
+              WHERE F.dest='Paris' AND F.fno = A.fno AND A.airline='United')
+AND ('Kramer', fno) IN ANSWER Reservation CHOOSE 1`)
+
+	rk, _ := kramer.Wait(time.Second)
+	rj, _ := jerry.Wait(time.Second)
+	fmt.Println(rk.Answer.Tuples[0])
+	fmt.Println(rj.Answer.Tuples[0])
+	// Output:
+	// Reservation(Kramer, 122)
+	// Reservation(Jerry, 122)
+}
+
+// ExampleSystem_SubmitIR shows the Datalog-like intermediate representation
+// as a submission syntax: {postconditions} heads :- body.
+func ExampleSystem_SubmitIR() {
+	sys := core.NewSystem(core.Options{})
+	defer sys.Close()
+	sys.MustCreateTable("Courses", "cid", "slot")
+	sys.MustInsert("Courses", "CS4320", "morning")
+
+	ann, _ := sys.SubmitIR("{Enroll(Bob, c)} Enroll(Ann, c) :- Courses(c, s)")
+	bob, _ := sys.SubmitIR("{Enroll(Ann, c)} Enroll(Bob, c) :- Courses(c, s)")
+	ra, _ := ann.Wait(time.Second)
+	rb, _ := bob.Wait(time.Second)
+	fmt.Println(ra.Answer.Tuples[0], "/", rb.Answer.Tuples[0])
+	// Output: Enroll(Ann, CS4320) / Enroll(Bob, CS4320)
+}
+
+// ExampleSystem_Coordinate shows synchronous batch coordination
+// (set-at-a-time) and inspection of the outcome.
+func ExampleSystem_Coordinate() {
+	sys := core.NewSystem(core.Options{})
+	defer sys.Close()
+	sys.MustCreateTable("F", "fno", "dest")
+	sys.MustInsert("F", "136", "Rome")
+
+	out, _ := sys.Coordinate([]*ir.Query{
+		ir.MustParse(1, "{R(B, x)} R(A, x) :- F(x, Rome)"),
+		ir.MustParse(2, "{R(A, y)} R(B, y) :- F(y, Rome)"),
+	})
+	fmt.Println(out.Answers[1].Tuples[0])
+	fmt.Println(out.Answers[2].Tuples[0])
+	// Output:
+	// R(A, 136)
+	// R(B, 136)
+}

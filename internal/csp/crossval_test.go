@@ -1,0 +1,187 @@
+package csp
+
+// Cross-validation of the safe-fragment matcher against the general solver
+// on richer randomly generated structures: k-cycles, k-cliques of
+// postconditions, broken structures, and mixtures. On safe + UCS workloads
+// the matcher must answer exactly the queries the oracle's maximal solution
+// answers (Theorem 3.1's tractability claim with correctness).
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"entangle/internal/ir"
+	"entangle/internal/match"
+	"entangle/internal/memdb"
+)
+
+// structuredWorkload builds a random mixture of coordination structures,
+// each over its own ANSWER relation (keeping the set safe and UCS):
+//   - cycles of length 2..4 (each member requires the next);
+//   - cliques of size 2..3 (each member requires all others);
+//   - broken cycles (one member's postcondition names a missing user);
+//   - singletons with no postconditions (always answerable).
+//
+// Returns the queries and, for each group, whether the group is
+// structurally answerable (all members present) — data permitting.
+type group struct {
+	ids        []ir.QueryID
+	structural bool // false when the group is intentionally broken
+	dest       string
+}
+
+func structuredWorkload(rng *rand.Rand, nGroups int, dests []string) ([]*ir.Query, []group) {
+	var qs []*ir.Query
+	var groups []group
+	next := ir.QueryID(1)
+	mk := func(rel, me, partner, dest string) *ir.Query {
+		q := ir.MustParse(next, fmt.Sprintf("{%s(%s, p)} %s(%s, p) :- F(p, %s)", rel, partner, rel, me, dest))
+		next++
+		return q
+	}
+	for gi := 0; gi < nGroups; gi++ {
+		rel := fmt.Sprintf("G%d", gi)
+		dest := dests[rng.Intn(len(dests))]
+		kind := rng.Intn(4)
+		var g group
+		g.dest = dest
+		switch kind {
+		case 0: // cycle of length 2..4
+			k := 2 + rng.Intn(3)
+			for i := 0; i < k; i++ {
+				me := fmt.Sprintf("U%dM%d", gi, i)
+				partner := fmt.Sprintf("U%dM%d", gi, (i+1)%k)
+				q := mk(rel, me, partner, dest)
+				g.ids = append(g.ids, q.ID)
+				qs = append(qs, q)
+			}
+			g.structural = true
+		case 1: // clique of size 2..3: every member requires all others
+			k := 2 + rng.Intn(2)
+			for i := 0; i < k; i++ {
+				me := fmt.Sprintf("U%dM%d", gi, i)
+				var posts, body []ir.Atom
+				for j := 0; j < k; j++ {
+					if i == j {
+						continue
+					}
+					posts = append(posts, ir.NewAtom(rel, ir.Const(fmt.Sprintf("U%dM%d", gi, j)), ir.Var("p")))
+				}
+				body = append(body, ir.NewAtom("F", ir.Var("p"), ir.Const(dest)))
+				q := &ir.Query{
+					ID:     next,
+					Choose: 1,
+					Heads:  []ir.Atom{ir.NewAtom(rel, ir.Const(me), ir.Var("p"))},
+					Posts:  posts,
+					Body:   body,
+				}
+				next++
+				g.ids = append(g.ids, q.ID)
+				qs = append(qs, q)
+			}
+			g.structural = true
+		case 2: // broken cycle: last member requires a user who never queries
+			k := 2 + rng.Intn(2)
+			for i := 0; i < k; i++ {
+				me := fmt.Sprintf("U%dM%d", gi, i)
+				partner := fmt.Sprintf("U%dM%d", gi, i+1) // member k never exists
+				q := mk(rel, me, partner, dest)
+				g.ids = append(g.ids, q.ID)
+				qs = append(qs, q)
+			}
+			g.structural = false
+		default: // singleton, no postconditions
+			q := ir.MustParse(next, fmt.Sprintf("{} %s(Solo%d, p) :- F(p, %s)", rel, gi, dest))
+			next++
+			g.ids = append(g.ids, q.ID)
+			qs = append(qs, q)
+			g.structural = true
+		}
+		groups = append(groups, g)
+	}
+	return qs, groups
+}
+
+func TestMatcherAgreesWithOracleOnStructuredWorkloads(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	dests := []string{"Paris", "Rome", "Oslo"}
+	for trial := 0; trial < 40; trial++ {
+		db := memdb.New()
+		db.MustCreateTable("F", "fno", "dest")
+		// Random subset of destinations actually have flights.
+		withFlights := map[string]bool{}
+		for _, d := range dests {
+			if rng.Intn(3) > 0 {
+				db.MustInsert("F", fmt.Sprintf("9%d", rng.Intn(10)), d)
+				withFlights[d] = true
+			}
+		}
+		qs, groups := structuredWorkload(rng, 1+rng.Intn(4), dests)
+
+		if viol := match.CheckSafety(qs); len(viol) != 0 {
+			t.Fatalf("trial %d: generated workload unsafe: %v", trial, viol)
+		}
+		oracle, err := Solve(db, qs, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := match.Coordinate(db, qs, match.CoordinateOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out.Answers) != oracle.Size() {
+			t.Fatalf("trial %d: matcher answered %d, oracle %d\nworkload:\n%v\nmatcher: %v\noracle: %v",
+				trial, len(out.Answers), oracle.Size(), qs, out.Answers, oracle.Chosen)
+		}
+		for id := range out.Answers {
+			if _, ok := oracle.Chosen[id]; !ok {
+				t.Fatalf("trial %d: matcher answered q%d, oracle did not", trial, id)
+			}
+		}
+		// Structural expectations: a structurally sound group with flights
+		// at its destination is fully answered; broken groups never are.
+		for gi, g := range groups {
+			answered := 0
+			for _, id := range g.ids {
+				if _, ok := out.Answers[id]; ok {
+					answered++
+				}
+			}
+			switch {
+			case !g.structural && answered != 0:
+				t.Fatalf("trial %d group %d: broken group partially answered (%d)", trial, gi, answered)
+			case g.structural && withFlights[g.dest] && answered != len(g.ids):
+				t.Fatalf("trial %d group %d: expected full answer, got %d/%d", trial, gi, answered, len(g.ids))
+			case g.structural && !withFlights[g.dest] && answered != 0:
+				t.Fatalf("trial %d group %d: no flights at %s but answered %d", trial, gi, g.dest, answered)
+			}
+		}
+	}
+}
+
+// TestGroupAllOrNothing asserts the per-valuation atomicity of
+// coordination: a group is answered completely or not at all, matcher and
+// oracle alike.
+func TestGroupAllOrNothing(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	db := memdb.New()
+	db.MustCreateTable("F", "fno", "dest")
+	db.MustInsert("F", "1", "Paris")
+	qs, groups := structuredWorkload(rng, 6, []string{"Paris"})
+	out, err := match.Coordinate(db, qs, match.CoordinateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for gi, g := range groups {
+		n := 0
+		for _, id := range g.ids {
+			if _, ok := out.Answers[id]; ok {
+				n++
+			}
+		}
+		if n != 0 && n != len(g.ids) {
+			t.Fatalf("group %d partially answered: %d/%d", gi, n, len(g.ids))
+		}
+	}
+}

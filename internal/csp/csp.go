@@ -1,0 +1,163 @@
+// Package csp implements the general coordinated-query-answering problem by
+// backtracking search over groundings, exactly following the semantics of
+// Section 2.3 of the paper: find a subset G' of the groundings G containing
+// at most one grounding per query such that the groundings in G' mutually
+// satisfy each other's postconditions.
+//
+// Theorem 2.1 shows this problem is NP-complete in general; this solver is
+// exponential in the number of queries and serves two purposes:
+//
+//  1. a correctness oracle for the safe-fragment matcher (internal/match) —
+//     on safe+UCS workloads both must agree; and
+//  2. the A4 ablation baseline quantifying what the safety condition buys.
+package csp
+
+import (
+	"fmt"
+	"sort"
+
+	"entangle/internal/ir"
+	"entangle/internal/memdb"
+)
+
+// Options tunes the solver.
+type Options struct {
+	// MaxGroundings caps the number of groundings materialised per query;
+	// 0 means unlimited. The cap exists because grounding alone can explode
+	// on large databases (the "second source of complexity" the paper
+	// accepts as inherent to declarative queries).
+	MaxGroundings int
+	// MaxQueries rejects inputs with more queries than this bound (0 =
+	// unlimited). Backtracking is exponential in the number of queries;
+	// the bound makes accidental misuse loud instead of slow.
+	MaxQueries int
+}
+
+// Solution is a coordinating set: at most one grounding per query, mutually
+// satisfying. Answers lists the per-query answers it induces.
+type Solution struct {
+	Chosen  map[ir.QueryID]*ir.Grounding
+	Answers []ir.Answer
+}
+
+// Size returns the number of queries answered by the solution.
+func (s *Solution) Size() int { return len(s.Chosen) }
+
+// Solve enumerates the groundings of every query on db and searches for a
+// coordinating set of maximum size. It returns a solution with Size 0 if no
+// non-empty coordinating set exists. Queries need not be safe or UCS — this
+// is the general problem.
+func Solve(db *memdb.DB, queries []*ir.Query, opt Options) (*Solution, error) {
+	if opt.MaxQueries > 0 && len(queries) > opt.MaxQueries {
+		return nil, fmt.Errorf("csp: %d queries exceeds solver bound %d", len(queries), opt.MaxQueries)
+	}
+	for _, q := range queries {
+		if err := q.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	// Materialise G, the set of groundings, per query (Section 2.3 —
+	// unlike the matcher, the general solver does materialise G).
+	all := make([][]*ir.Grounding, len(queries))
+	for i, q := range queries {
+		vals, err := db.EvalConjunctive(q.Body, nil, memdb.EvalOptions{Limit: opt.MaxGroundings})
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range vals {
+			g, err := q.Ground(v)
+			if err != nil {
+				return nil, err
+			}
+			all[i] = append(all[i], g)
+		}
+	}
+	s := &searcher{queries: queries, groundings: all}
+	s.search(0, nil)
+
+	sol := &Solution{Chosen: make(map[ir.QueryID]*ir.Grounding)}
+	for i, g := range s.best {
+		if g == nil {
+			continue
+		}
+		sol.Chosen[queries[i].ID] = g
+		sol.Answers = append(sol.Answers, ir.Answer{QueryID: queries[i].ID, Tuples: g.Heads})
+	}
+	sort.Slice(sol.Answers, func(i, j int) bool { return sol.Answers[i].QueryID < sol.Answers[j].QueryID })
+	return sol, nil
+}
+
+// searcher carries the branch-and-bound state. choice[i] is the grounding
+// chosen for queries[i], or nil for "not answered".
+type searcher struct {
+	queries    []*ir.Query
+	groundings [][]*ir.Grounding
+	best       []*ir.Grounding
+	bestSize   int
+}
+
+func (s *searcher) search(i int, choice []*ir.Grounding) {
+	if i == len(s.queries) {
+		size := 0
+		for _, g := range choice {
+			if g != nil {
+				size++
+			}
+		}
+		if size > s.bestSize && coordinates(choice) {
+			s.bestSize = size
+			s.best = append([]*ir.Grounding(nil), choice...)
+		}
+		return
+	}
+	// Bound: even answering every remaining query cannot beat best.
+	answered := 0
+	for _, g := range choice {
+		if g != nil {
+			answered++
+		}
+	}
+	if answered+(len(s.queries)-i) <= s.bestSize {
+		return
+	}
+	// Try each grounding, then the "skip" branch.
+	for _, g := range s.groundings[i] {
+		s.search(i+1, append(choice, g))
+	}
+	s.search(i+1, append(choice, nil))
+}
+
+// coordinates checks the defining property of a coordinating set: the union
+// of all chosen head atoms contains every chosen grounding's postconditions.
+func coordinates(choice []*ir.Grounding) bool {
+	heads := make(map[string]bool)
+	for _, g := range choice {
+		if g == nil {
+			continue
+		}
+		for _, h := range g.Heads {
+			heads[h.String()] = true
+		}
+	}
+	for _, g := range choice {
+		if g == nil {
+			continue
+		}
+		for _, p := range g.Posts {
+			if !heads[p.String()] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Exists reports whether any non-empty coordinating set exists — the
+// NP-complete decision problem of Theorem 2.1.
+func Exists(db *memdb.DB, queries []*ir.Query, opt Options) (bool, error) {
+	sol, err := Solve(db, queries, opt)
+	if err != nil {
+		return false, err
+	}
+	return sol.Size() > 0, nil
+}

@@ -1,0 +1,253 @@
+package csp
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"entangle/internal/ir"
+	"entangle/internal/match"
+	"entangle/internal/memdb"
+)
+
+func flightsDB(t testing.TB) *memdb.DB {
+	t.Helper()
+	db := memdb.New()
+	db.MustCreateTable("F", "fno", "dest")
+	db.MustCreateTable("A", "fno", "airline")
+	for _, r := range [][]string{{"122", "Paris"}, {"123", "Paris"}, {"134", "Paris"}, {"136", "Rome"}} {
+		db.MustInsert("F", r...)
+	}
+	for _, r := range [][]string{{"122", "United"}, {"123", "United"}, {"134", "Lufthansa"}, {"136", "Alitalia"}} {
+		db.MustInsert("A", r...)
+	}
+	return db
+}
+
+func TestSolveRunningExample(t *testing.T) {
+	// Figure 2 (b): groundings 1+4 or 2+5 are the coordinating sets.
+	db := flightsDB(t)
+	qs := []*ir.Query{
+		ir.MustParse(1, "{R(Jerry, x)} R(Kramer, x) :- F(x, Paris)"),
+		ir.MustParse(2, "{R(Kramer, y)} R(Jerry, y) :- F(y, Paris) ∧ A(y, United)"),
+	}
+	sol, err := Solve(db, qs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Size() != 2 {
+		t.Fatalf("solution size = %d", sol.Size())
+	}
+	fk := sol.Chosen[1].Heads[0].Args[1].Value
+	fj := sol.Chosen[2].Heads[0].Args[1].Value
+	if fk != fj {
+		t.Fatalf("flights differ: %s vs %s", fk, fj)
+	}
+	if fk != "122" && fk != "123" {
+		t.Fatalf("must be a United flight: %s", fk)
+	}
+}
+
+func TestSolveNoCoordination(t *testing.T) {
+	db := flightsDB(t)
+	qs := []*ir.Query{
+		ir.MustParse(1, "{R(Jerry, x)} R(Kramer, x) :- F(x, Paris)"),
+	}
+	sol, err := Solve(db, qs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Size() != 0 {
+		t.Fatalf("lone Kramer must not be answerable, got %v", sol.Chosen)
+	}
+	ok, err := Exists(db, qs, Options{})
+	if err != nil || ok {
+		t.Fatalf("Exists = %v, %v", ok, err)
+	}
+}
+
+func TestSolveMaximality(t *testing.T) {
+	// Figure 3 (b): all three can fly United; the maximal solution answers
+	// all three, not just the Jerry–Kramer pair.
+	db := flightsDB(t)
+	qs := []*ir.Query{
+		ir.MustParse(1, "{R(Jerry, x)} R(Kramer, x) :- F(x, Paris)"),
+		ir.MustParse(2, "{R(Kramer, y)} R(Jerry, y) :- F(y, Paris)"),
+		ir.MustParse(3, "{R(Jerry, z)} R(Frank, z) :- F(z, Paris) ∧ A(z, United)"),
+	}
+	sol, err := Solve(db, qs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Size() != 3 {
+		t.Fatalf("maximal solution should answer 3, got %d", sol.Size())
+	}
+	f := sol.Chosen[1].Heads[0].Args[1].Value
+	if f != "122" && f != "123" {
+		t.Fatalf("all-three solution requires United, got %s", f)
+	}
+}
+
+func TestSolveLocalCoordinationWhenNoGlobal(t *testing.T) {
+	// Same queries but strip United flights: Frank cannot be satisfied, so
+	// the maximal coordinating set is the Jerry–Kramer pair on any Paris
+	// flight — the "coordinate locally" case of Section 3.1.2.
+	db := memdb.New()
+	db.MustCreateTable("F", "fno", "dest")
+	db.MustCreateTable("A", "fno", "airline")
+	db.MustInsert("F", "134", "Paris")
+	db.MustInsert("A", "134", "Lufthansa")
+	qs := []*ir.Query{
+		ir.MustParse(1, "{R(Jerry, x)} R(Kramer, x) :- F(x, Paris)"),
+		ir.MustParse(2, "{R(Kramer, y)} R(Jerry, y) :- F(y, Paris)"),
+		ir.MustParse(3, "{R(Jerry, z)} R(Frank, z) :- F(z, Paris) ∧ A(z, United)"),
+	}
+	sol, err := Solve(db, qs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Size() != 2 {
+		t.Fatalf("expected local pair coordination, got %v", sol.Chosen)
+	}
+	if _, frank := sol.Chosen[3]; frank {
+		t.Fatal("Frank must not be in the solution")
+	}
+}
+
+func TestSolveUnsafeSetStillSolvable(t *testing.T) {
+	// Figure 3 (a): unsafe for the matcher, but the general solver handles
+	// it — Jerry coordinates with exactly one of Kramer or Elaine.
+	db := memdb.New()
+	db.MustCreateTable("F", "fno", "dest")
+	db.MustCreateTable("Friend", "a", "b")
+	db.MustInsert("F", "122", "Paris")
+	db.MustInsert("F", "555", "Athens")
+	db.MustInsert("Friend", "Jerry", "Kramer")
+	db.MustInsert("Friend", "Jerry", "Elaine")
+	qs := []*ir.Query{
+		ir.MustParse(1, "{R(Jerry, x)} R(Kramer, x) :- F(x, Paris)"),
+		ir.MustParse(2, "{R(Jerry, y)} R(Elaine, y) :- F(y, Athens)"),
+		ir.MustParse(3, "{R(f, z)} R(Jerry, z) :- F(z, w) ∧ Friend(Jerry, f)"),
+	}
+	sol, err := Solve(db, qs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Jerry + one partner = 2; there is no outcome satisfying all three.
+	if sol.Size() != 2 {
+		t.Fatalf("size = %d, want 2 (%v)", sol.Size(), sol.Chosen)
+	}
+	if _, ok := sol.Chosen[3]; !ok {
+		t.Fatal("Jerry's query must be part of any maximal solution")
+	}
+}
+
+func TestMaxQueriesBound(t *testing.T) {
+	db := flightsDB(t)
+	var qs []*ir.Query
+	for i := 0; i < 5; i++ {
+		qs = append(qs, ir.MustParse(ir.QueryID(i+1), "{} R(A, x) :- F(x, Paris)"))
+	}
+	if _, err := Solve(db, qs, Options{MaxQueries: 3}); err == nil {
+		t.Fatal("MaxQueries bound must reject oversized inputs")
+	}
+}
+
+func TestSolveAgainstMatcherOnSafeWorkloads(t *testing.T) {
+	// Cross-validation property: on random safe+UCS pair workloads, the
+	// matcher answers a query iff the CSP oracle's maximal solution does,
+	// and both assign partners the same shared constant per pair.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		db := memdb.New()
+		db.MustCreateTable("F", "fno", "dest")
+		nf := 1 + rng.Intn(4)
+		for i := 0; i < nf; i++ {
+			db.MustInsert("F", fmt.Sprint(100+i), "Paris")
+		}
+		var qs []*ir.Query
+		npairs := 1 + rng.Intn(3)
+		for p := 0; p < npairs; p++ {
+			// Each pair uses its own ANSWER relation R<p> and sometimes a
+			// destination with no flights (unanswerable pair).
+			rel := fmt.Sprintf("R%d", p)
+			dest := "Paris"
+			if rng.Intn(3) == 0 {
+				dest = "Nowhere"
+			}
+			a := ir.MustParse(ir.QueryID(2*p+1),
+				fmt.Sprintf("{%s(B%d, x)} %s(A%d, x) :- F(x, %s)", rel, p, rel, p, dest))
+			b := ir.MustParse(ir.QueryID(2*p+2),
+				fmt.Sprintf("{%s(A%d, y)} %s(B%d, y) :- F(y, %s)", rel, p, rel, p, dest))
+			qs = append(qs, a, b)
+		}
+		oracle, err := Solve(db, qs, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := match.Coordinate(db, qs, match.CoordinateOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out.Answers) != oracle.Size() {
+			t.Fatalf("trial %d: matcher answered %d, oracle %d (oracle %v, matcher %v)",
+				trial, len(out.Answers), oracle.Size(), oracle.Chosen, out.Answers)
+		}
+		for id, ans := range out.Answers {
+			if _, ok := oracle.Chosen[id]; !ok {
+				t.Fatalf("trial %d: matcher answered q%d which oracle left out", trial, id)
+			}
+			_ = ans
+		}
+	}
+}
+
+func TestPartitionIndependenceProperty(t *testing.T) {
+	// Section 4.1.2's claim: a coordinating set spanning two components
+	// splits into per-component coordinating sets. Verify via the oracle:
+	// solving two independent pairs together equals solving them apart.
+	db := flightsDB(t)
+	pair1 := []*ir.Query{
+		ir.MustParse(1, "{R1(B, x)} R1(A, x) :- F(x, Paris)"),
+		ir.MustParse(2, "{R1(A, y)} R1(B, y) :- F(y, Paris)"),
+	}
+	pair2 := []*ir.Query{
+		ir.MustParse(3, "{R2(D, z)} R2(C, z) :- F(z, Rome)"),
+		ir.MustParse(4, "{R2(C, w)} R2(D, w) :- F(w, Rome)"),
+	}
+	joint, err := Solve(db, append(append([]*ir.Query{}, pair1...), pair2...), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := Solve(db, pair1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Solve(db, pair2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joint.Size() != s1.Size()+s2.Size() {
+		t.Fatalf("joint %d != %d + %d", joint.Size(), s1.Size(), s2.Size())
+	}
+}
+
+func TestSolveChooseBetweenGroundings(t *testing.T) {
+	// Two queries that must agree on one of several flights; the solver
+	// must pick matching groundings even though mismatched ones exist.
+	db := flightsDB(t)
+	qs := []*ir.Query{
+		ir.MustParse(1, "{R(Jerry, x)} R(Kramer, x) :- F(x, Paris)"),
+		ir.MustParse(2, "{R(Kramer, y)} R(Jerry, y) :- F(y, Paris) ∧ A(y, Lufthansa)"),
+	}
+	sol, err := Solve(db, qs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Size() != 2 {
+		t.Fatalf("size = %d", sol.Size())
+	}
+	if got := sol.Chosen[1].Heads[0].Args[1].Value; got != "134" {
+		t.Fatalf("only flight 134 is Lufthansa to Paris, got %s", got)
+	}
+}

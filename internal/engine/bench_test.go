@@ -1,0 +1,55 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"entangle/internal/ir"
+	"entangle/internal/memdb"
+)
+
+// BenchmarkSubmitCoordinatePair measures the engine's steady-state
+// incremental path: a pair arrives, coordinates, and retires.
+func BenchmarkSubmitCoordinatePair(b *testing.B) {
+	db := memdb.New()
+	db.MustCreateTable("F", "fno", "dest")
+	db.MustInsert("F", "122", "Paris")
+	e := New(db, Config{Mode: Incremental})
+	defer e.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rel := fmt.Sprintf("R%d", i)
+		h1, err := e.Submit(ir.MustParse(0, fmt.Sprintf("{%s(B, x)} %s(A, x) :- F(x, Paris)", rel, rel)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		h2, err := e.Submit(ir.MustParse(0, fmt.Sprintf("{%s(A, y)} %s(B, y) :- F(y, Paris)", rel, rel)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r := <-h1.Done(); r.Status != StatusAnswered {
+			b.Fatalf("r1 = %v", r.Status)
+		}
+		if r := <-h2.Done(); r.Status != StatusAnswered {
+			b.Fatalf("r2 = %v", r.Status)
+		}
+	}
+}
+
+// BenchmarkSubmitPendingNoMatch measures arrival cost when nothing unifies
+// and the pending set keeps growing (the Figure 8 "no unification" path).
+func BenchmarkSubmitPendingNoMatch(b *testing.B) {
+	db := memdb.New()
+	db.MustCreateTable("F", "fno", "dest")
+	e := New(db, Config{Mode: Incremental})
+	defer e.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := ir.MustParse(0, fmt.Sprintf("{R(x, P%d)} R(U%d, H%d) :- F(U%d, x)", i, i, i, i))
+		if _, err := e.Submit(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,504 @@
+// Package engine implements the D3C coordination engine of Section 5.1:
+// the layer that accepts entangled queries from applications, maintains the
+// pending-query set and its unifiability graph, runs the matching algorithm
+// either incrementally (on every arrival) or set-at-a-time (in batches),
+// evaluates combined queries against the database, and delivers answers
+// asynchronously.
+//
+// The middleware contract mirrors the paper: query answering is
+// asynchronous (a query may wait for partners), every query eventually
+// resolves to exactly one Result (answered, rejected, unsafe, or stale),
+// and staleness bounds how long a query may wait for coordination partners.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"entangle/internal/eqsql"
+	"entangle/internal/graph"
+	"entangle/internal/ir"
+	"entangle/internal/match"
+	"entangle/internal/memdb"
+)
+
+// Mode selects when the matching algorithm runs (Section 5.1: "a parameter
+// in our implementation allows us to switch between the two").
+type Mode int
+
+const (
+	// Incremental runs matching on the affected partition upon every query
+	// arrival.
+	Incremental Mode = iota
+	// SetAtATime buffers queries and evaluates the whole pending set on
+	// Flush (or every FlushEvery submissions).
+	SetAtATime
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Incremental:
+		return "incremental"
+	case SetAtATime:
+		return "set-at-a-time"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Status is the terminal state of a submitted query.
+type Status int
+
+const (
+	// StatusAnswered — coordination succeeded; the Result carries tuples.
+	StatusAnswered Status = iota
+	// StatusUnsafe — the admission safety check rejected the query.
+	StatusUnsafe
+	// StatusRejected — matching or evaluation determined the query is
+	// permanently unanswerable (unifier clash, no global unifier, or the
+	// combined query returned no rows).
+	StatusRejected
+	// StatusStale — the query waited longer than the staleness bound
+	// without acquiring all coordination partners (Section 5.1).
+	StatusStale
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusAnswered:
+		return "answered"
+	case StatusUnsafe:
+		return "unsafe"
+	case StatusRejected:
+		return "rejected"
+	case StatusStale:
+		return "stale"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Result is the single terminal outcome of a submitted query.
+type Result struct {
+	QueryID ir.QueryID
+	Status  Status
+	Answer  *ir.Answer // non-nil iff Status == StatusAnswered
+	Detail  string     // human-readable cause for non-answered statuses
+}
+
+// Handle tracks an in-flight query. Exactly one Result is delivered.
+type Handle struct {
+	ID ir.QueryID
+	ch chan Result
+}
+
+// Done returns a channel that receives the query's single Result.
+func (h *Handle) Done() <-chan Result { return h.ch }
+
+// Wait blocks until the result arrives or the timeout elapses (0 = forever).
+func (h *Handle) Wait(timeout time.Duration) (Result, error) {
+	if timeout <= 0 {
+		return <-h.ch, nil
+	}
+	select {
+	case r := <-h.ch:
+		return r, nil
+	case <-time.After(timeout):
+		return Result{}, fmt.Errorf("engine: query %d: no result within %v", h.ID, timeout)
+	}
+}
+
+// Config tunes the engine.
+type Config struct {
+	Mode Mode
+	// StaleAfter bounds how long a query may stay pending; 0 disables
+	// staleness. Expiry happens on ExpireStale calls (or Run's ticker).
+	StaleAfter time.Duration
+	// FlushEvery triggers an automatic Flush after this many submissions
+	// in SetAtATime mode; 0 means flush only on explicit Flush calls.
+	FlushEvery int
+	// Parallelism bounds concurrent component evaluation during Flush;
+	// 0 means GOMAXPROCS.
+	Parallelism int
+	// Seed drives the CHOOSE 1 random choice; 0 picks deterministically.
+	Seed int64
+	// Match carries ablation switches through to the matcher.
+	Match match.Options
+	// AnswerSchemas forwards declared ANSWER relation layouts to SubmitSQL.
+	AnswerSchemas map[string][]string
+	// HistorySize retains the last N lifecycle events (submissions,
+	// answers, rejections, staleness, flushes) for debugging; 0 disables
+	// the audit trail.
+	HistorySize int
+}
+
+// Stats are cumulative engine counters.
+type Stats struct {
+	Submitted      int
+	Answered       int
+	RejectedUnsafe int
+	Rejected       int
+	ExpiredStale   int
+	Pending        int
+	Flushes        int
+	Evaluations    int // combined queries sent to the database
+}
+
+// ErrClosed is returned by operations on a closed engine.
+var ErrClosed = errors.New("engine: closed")
+
+type pendingQuery struct {
+	orig      *ir.Query // as submitted (caller's variable names)
+	renamed   *ir.Query // renamed apart; lives in the graph
+	handle    *Handle
+	submitted time.Time
+}
+
+// Engine is the D3C coordination module. Safe for concurrent use.
+type Engine struct {
+	db  *memdb.DB
+	cfg Config
+
+	mu      sync.Mutex
+	g       *graph.Graph
+	checker *match.SafetyChecker
+	pending map[ir.QueryID]*pendingQuery
+	nextID  ir.QueryID
+	rnd     *rand.Rand
+	stats   Stats
+	hist    *history
+	closed  bool
+	sinceFl int // submissions since last flush (SetAtATime)
+	now     func() time.Time
+}
+
+// New creates an engine over the given database.
+func New(db *memdb.DB, cfg Config) *Engine {
+	var rnd *rand.Rand
+	if cfg.Seed != 0 {
+		rnd = rand.New(rand.NewSource(cfg.Seed))
+	}
+	return &Engine{
+		db:      db,
+		cfg:     cfg,
+		g:       graph.New(),
+		checker: match.NewSafetyChecker(),
+		pending: make(map[ir.QueryID]*pendingQuery),
+		nextID:  1,
+		rnd:     rnd,
+		hist:    newHistory(cfg.HistorySize),
+		now:     time.Now,
+	}
+}
+
+// DB returns the engine's database (for loading data and for SubmitSQL
+// schema resolution).
+func (e *Engine) DB() *memdb.DB { return e.db }
+
+// Stats returns a snapshot of the counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := e.stats
+	s.Pending = len(e.pending)
+	return s
+}
+
+// Submit enqueues an entangled query for coordinated answering and returns
+// a handle that will receive exactly one Result. The query's ID is assigned
+// by the engine; the input's ID field is ignored.
+func (e *Engine) Submit(q *ir.Query) (*Handle, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	cp := q.Clone()
+	cp.ID = e.nextID
+	e.nextID++
+	h := &Handle{ID: cp.ID, ch: make(chan Result, 1)}
+	e.stats.Submitted++
+	e.recordLocked(EventSubmitted, cp.ID, cp.Owner)
+
+	renamed := cp.RenameApart()
+
+	// Admission safety check (Sections 3.1.1, 5.3.5): reject arrivals that
+	// would make the pending workload unsafe.
+	if err := e.checker.Check(renamed); err != nil {
+		e.stats.RejectedUnsafe++
+		e.recordLocked(EventUnsafe, cp.ID, err.Error())
+		h.ch <- Result{QueryID: cp.ID, Status: StatusUnsafe, Detail: err.Error()}
+		return h, nil
+	}
+	if err := e.checker.Admit(renamed); err != nil {
+		return nil, err // unreachable: Check passed above
+	}
+	if err := e.g.AddQuery(renamed); err != nil {
+		e.checker.Remove(renamed.ID)
+		return nil, err
+	}
+	e.pending[cp.ID] = &pendingQuery{orig: cp, renamed: renamed, handle: h, submitted: e.now()}
+
+	switch e.cfg.Mode {
+	case Incremental:
+		e.evaluateComponentLocked(e.g.ComponentOf(cp.ID))
+	case SetAtATime:
+		e.sinceFl++
+		if e.cfg.FlushEvery > 0 && e.sinceFl >= e.cfg.FlushEvery {
+			e.flushLocked()
+		}
+	}
+	return h, nil
+}
+
+// SubmitSQL parses an entangled-SQL statement against the engine's database
+// schema and submits it. Extension constructs require cfg.AnswerSchemas for
+// aggregation column resolution and are rejected here (use internal/ext).
+func (e *Engine) SubmitSQL(src string) (*Handle, error) {
+	tr, err := eqsql.Parse(0, src, eqsql.DBSchema{DB: e.db}, eqsql.Options{
+		AnswerSchemas: e.cfg.AnswerSchemas,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return e.Submit(tr.Query)
+}
+
+// Flush runs a set-at-a-time evaluation round over the whole pending set.
+// It is a no-op in Incremental mode (arrivals are already evaluated).
+func (e *Engine) Flush() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	e.flushLocked()
+}
+
+func (e *Engine) flushLocked() {
+	e.stats.Flushes++
+	e.sinceFl = 0
+	e.recordLocked(EventFlush, 0, fmt.Sprintf("%d pending", len(e.pending)))
+	comps := e.g.ConnectedComponents()
+
+	// Filter to closed components first; they are independent, so evaluate
+	// them in parallel (Section 4.1.2's partitioning benefit). Graph
+	// mutation happens afterwards, under the lock we already hold.
+	var closed [][]ir.QueryID
+	for _, comp := range comps {
+		if e.componentClosedLocked(comp) {
+			closed = append(closed, comp)
+		}
+	}
+	if len(closed) == 0 {
+		return
+	}
+	type evalOut struct {
+		answers  []ir.Answer
+		rejected []match.Removal
+	}
+	results := make([]evalOut, len(closed))
+	par := e.cfg.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > len(closed) {
+		par = len(closed)
+	}
+	byID := make(map[ir.QueryID]*ir.Query, len(e.pending))
+	for id, p := range e.pending {
+		byID[id] = p.renamed
+	}
+	var seed int64
+	if e.rnd != nil {
+		seed = e.rnd.Int63()
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ci := range work {
+				var rnd *rand.Rand
+				if seed != 0 {
+					rnd = rand.New(rand.NewSource(seed + int64(ci)))
+				}
+				ans, rej, _, err := match.EvaluateComponent(e.db, e.g, closed[ci], byID, rnd, e.cfg.Match)
+				if err != nil {
+					// Treat evaluation errors as rejections of the whole
+					// component; surface the error text.
+					for _, id := range closed[ci] {
+						rej = append(rej, match.Removal{Query: id, Cause: match.CauseNoData})
+					}
+					ans = nil
+				}
+				results[ci] = evalOut{answers: ans, rejected: rej}
+			}
+		}()
+	}
+	for ci := range closed {
+		work <- ci
+	}
+	close(work)
+	wg.Wait()
+
+	for _, r := range results {
+		e.stats.Evaluations++
+		e.deliverLocked(r.answers, r.rejected)
+	}
+}
+
+// evaluateComponentLocked handles one incremental arrival: if the affected
+// component is closed (every pending member has all postconditions fed), it
+// is matched and evaluated; otherwise the queries keep waiting.
+func (e *Engine) evaluateComponentLocked(comp []ir.QueryID) {
+	if len(comp) == 0 || !e.componentClosedLocked(comp) {
+		return
+	}
+	byID := make(map[ir.QueryID]*ir.Query, len(comp))
+	for _, id := range comp {
+		p, ok := e.pending[id]
+		if !ok {
+			return
+		}
+		byID[id] = p.renamed
+	}
+	var rnd *rand.Rand
+	if e.rnd != nil {
+		rnd = rand.New(rand.NewSource(e.rnd.Int63()))
+	}
+	e.stats.Evaluations++
+	ans, rej, _, err := match.EvaluateComponent(e.db, e.g, comp, byID, rnd, e.cfg.Match)
+	if err != nil {
+		for _, id := range comp {
+			rej = append(rej, match.Removal{Query: id, Cause: match.CauseNoData})
+		}
+		ans = nil
+	}
+	e.deliverLocked(ans, rej)
+}
+
+// componentClosedLocked reports whether every member's live indegree equals
+// its postcondition count — i.e. all coordination partners have arrived and
+// the component can be matched conclusively.
+func (e *Engine) componentClosedLocked(comp []ir.QueryID) bool {
+	for _, id := range comp {
+		n := e.g.Node(id)
+		if n == nil {
+			return false
+		}
+		if n.InDegree() < n.Query.PostCount() {
+			return false
+		}
+	}
+	return true
+}
+
+// deliverLocked retires answered and rejected queries, sending results.
+func (e *Engine) deliverLocked(answers []ir.Answer, rejected []match.Removal) {
+	for _, a := range answers {
+		p, ok := e.pending[a.QueryID]
+		if !ok {
+			continue
+		}
+		e.stats.Answered++
+		ans := a
+		e.recordLocked(EventAnswered, a.QueryID, ir.FormatAtoms(a.Tuples))
+		p.handle.ch <- Result{QueryID: a.QueryID, Status: StatusAnswered, Answer: &ans}
+		e.retireLocked(a.QueryID)
+	}
+	for _, r := range rejected {
+		p, ok := e.pending[r.Query]
+		if !ok {
+			continue
+		}
+		e.stats.Rejected++
+		e.recordLocked(EventRejected, r.Query, r.Cause.String())
+		p.handle.ch <- Result{QueryID: r.Query, Status: StatusRejected, Detail: r.Cause.String()}
+		e.retireLocked(r.Query)
+	}
+}
+
+func (e *Engine) retireLocked(id ir.QueryID) {
+	delete(e.pending, id)
+	e.g.RemoveQuery(id)
+	e.checker.Remove(id)
+}
+
+// ExpireStale fails every pending query older than the staleness bound and
+// returns how many were expired. No-op when StaleAfter is 0.
+func (e *Engine) ExpireStale() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.cfg.StaleAfter <= 0 || e.closed {
+		return 0
+	}
+	cutoff := e.now().Add(-e.cfg.StaleAfter)
+	var stale []ir.QueryID
+	for id, p := range e.pending {
+		if p.submitted.Before(cutoff) {
+			stale = append(stale, id)
+		}
+	}
+	for _, id := range stale {
+		p := e.pending[id]
+		e.stats.ExpiredStale++
+		e.recordLocked(EventStale, id, "staleness bound exceeded")
+		p.handle.ch <- Result{QueryID: id, Status: StatusStale, Detail: "no coordination partners arrived within the staleness bound"}
+		e.retireLocked(id)
+	}
+	// Expiry can close previously blocked components: a stale query whose
+	// unmatched postcondition was the only obstacle is gone now.
+	if len(stale) > 0 && e.cfg.Mode == Incremental {
+		for _, comp := range e.g.ConnectedComponents() {
+			e.evaluateComponentLocked(comp)
+		}
+	}
+	return len(stale)
+}
+
+// Run services the engine in the background until stop is closed: it
+// flushes every flushInterval (SetAtATime) and expires stale queries every
+// staleness bound. Intended to be started as a goroutine.
+func (e *Engine) Run(stop <-chan struct{}, flushInterval time.Duration) {
+	if flushInterval <= 0 {
+		flushInterval = 100 * time.Millisecond
+	}
+	t := time.NewTicker(flushInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			if e.cfg.Mode == SetAtATime {
+				e.Flush()
+			}
+			e.ExpireStale()
+		}
+	}
+}
+
+// Close fails all pending queries as stale and rejects future submissions.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	for id, p := range e.pending {
+		p.handle.ch <- Result{QueryID: id, Status: StatusStale, Detail: "engine closed"}
+	}
+	e.pending = make(map[ir.QueryID]*pendingQuery)
+	e.closed = true
+}

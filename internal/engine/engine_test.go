@@ -1,0 +1,399 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"entangle/internal/ir"
+	"entangle/internal/memdb"
+	"entangle/internal/workload"
+)
+
+func flightsDB(t testing.TB) *memdb.DB {
+	t.Helper()
+	db := memdb.New()
+	db.MustCreateTable("F", "fno", "dest")
+	db.MustCreateTable("A", "fno", "airline")
+	for _, r := range [][]string{{"122", "Paris"}, {"123", "Paris"}, {"134", "Paris"}, {"136", "Rome"}} {
+		db.MustInsert("F", r...)
+	}
+	for _, r := range [][]string{{"122", "United"}, {"123", "United"}, {"134", "Lufthansa"}, {"136", "Alitalia"}} {
+		db.MustInsert("A", r...)
+	}
+	return db
+}
+
+func mustResult(t *testing.T, h *Handle) Result {
+	t.Helper()
+	r, err := h.Wait(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestIncrementalPairCoordination(t *testing.T) {
+	e := New(flightsDB(t), Config{Mode: Incremental})
+	h1, err := e.Submit(ir.MustParse(0, "{R(Jerry, x)} R(Kramer, x) :- F(x, Paris)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kramer alone: no result yet.
+	select {
+	case r := <-h1.Done():
+		t.Fatalf("premature result %v", r)
+	case <-time.After(20 * time.Millisecond):
+	}
+	h2, err := e.Submit(ir.MustParse(0, "{R(Kramer, y)} R(Jerry, y) :- F(y, Paris) ∧ A(y, United)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, r2 := mustResult(t, h1), mustResult(t, h2)
+	if r1.Status != StatusAnswered || r2.Status != StatusAnswered {
+		t.Fatalf("statuses: %v %v (%s / %s)", r1.Status, r2.Status, r1.Detail, r2.Detail)
+	}
+	f1 := r1.Answer.Tuples[0].Args[1].Value
+	f2 := r2.Answer.Tuples[0].Args[1].Value
+	if f1 != f2 || (f1 != "122" && f1 != "123") {
+		t.Fatalf("flights %s / %s", f1, f2)
+	}
+	st := e.Stats()
+	if st.Answered != 2 || st.Pending != 0 || st.Submitted != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestIncrementalNoDataRejection(t *testing.T) {
+	db := memdb.New()
+	db.MustCreateTable("F", "fno", "dest")
+	e := New(db, Config{Mode: Incremental})
+	h1, _ := e.Submit(ir.MustParse(0, "{R(B, x)} R(A, x) :- F(x, Paris)"))
+	h2, _ := e.Submit(ir.MustParse(0, "{R(A, y)} R(B, y) :- F(y, Paris)"))
+	if r := mustResult(t, h1); r.Status != StatusRejected {
+		t.Fatalf("r1 = %v", r)
+	}
+	if r := mustResult(t, h2); r.Status != StatusRejected {
+		t.Fatalf("r2 = %v", r)
+	}
+}
+
+func TestUnsafeAdmissionRejected(t *testing.T) {
+	e := New(flightsDB(t), Config{Mode: Incremental})
+	// Two resident heads that a wildcard postcondition would both match.
+	if _, err := e.Submit(ir.MustParse(0, "{R(Nobody1, n)} R(A, x) :- F(x, Paris) ∧ F(n, Rome)")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Submit(ir.MustParse(0, "{R(Nobody2, m)} R(B, y) :- F(y, Paris) ∧ F(m, Rome)")); err != nil {
+		t.Fatal(err)
+	}
+	h, err := e.Submit(ir.MustParse(0, "{R(p, z)} R(C, z) :- F(z, Paris) ∧ F(p, Rome)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := mustResult(t, h)
+	if r.Status != StatusUnsafe {
+		t.Fatalf("status = %v (%s)", r.Status, r.Detail)
+	}
+	if e.Stats().RejectedUnsafe != 1 {
+		t.Fatalf("stats = %+v", e.Stats())
+	}
+}
+
+func TestSetAtATimeFlush(t *testing.T) {
+	e := New(flightsDB(t), Config{Mode: SetAtATime})
+	h1, _ := e.Submit(ir.MustParse(0, "{R(Jerry, x)} R(Kramer, x) :- F(x, Paris)"))
+	h2, _ := e.Submit(ir.MustParse(0, "{R(Kramer, y)} R(Jerry, y) :- F(y, Paris)"))
+	// Nothing happens until Flush.
+	select {
+	case r := <-h1.Done():
+		t.Fatalf("premature result %v", r)
+	case <-time.After(20 * time.Millisecond):
+	}
+	e.Flush()
+	if r := mustResult(t, h1); r.Status != StatusAnswered {
+		t.Fatalf("r1 = %v (%s)", r.Status, r.Detail)
+	}
+	if r := mustResult(t, h2); r.Status != StatusAnswered {
+		t.Fatalf("r2 = %v (%s)", r.Status, r.Detail)
+	}
+	if e.Stats().Flushes != 1 {
+		t.Fatalf("stats = %+v", e.Stats())
+	}
+}
+
+func TestSetAtATimeAutoFlush(t *testing.T) {
+	e := New(flightsDB(t), Config{Mode: SetAtATime, FlushEvery: 2})
+	h1, _ := e.Submit(ir.MustParse(0, "{R(Jerry, x)} R(Kramer, x) :- F(x, Paris)"))
+	h2, _ := e.Submit(ir.MustParse(0, "{R(Kramer, y)} R(Jerry, y) :- F(y, Paris)"))
+	if r := mustResult(t, h1); r.Status != StatusAnswered {
+		t.Fatalf("r1 = %v", r)
+	}
+	if r := mustResult(t, h2); r.Status != StatusAnswered {
+		t.Fatalf("r2 = %v", r)
+	}
+}
+
+func TestFlushLeavesOpenComponentsPending(t *testing.T) {
+	e := New(flightsDB(t), Config{Mode: SetAtATime})
+	h, _ := e.Submit(ir.MustParse(0, "{R(Jerry, x)} R(Kramer, x) :- F(x, Paris)"))
+	e.Flush()
+	select {
+	case r := <-h.Done():
+		t.Fatalf("lone query should stay pending, got %v", r)
+	case <-time.After(20 * time.Millisecond):
+	}
+	if e.Stats().Pending != 1 {
+		t.Fatalf("stats = %+v", e.Stats())
+	}
+}
+
+func TestStaleness(t *testing.T) {
+	e := New(flightsDB(t), Config{Mode: Incremental, StaleAfter: time.Millisecond})
+	h, _ := e.Submit(ir.MustParse(0, "{R(Jerry, x)} R(Kramer, x) :- F(x, Paris)"))
+	time.Sleep(5 * time.Millisecond)
+	if n := e.ExpireStale(); n != 1 {
+		t.Fatalf("expired = %d", n)
+	}
+	r := mustResult(t, h)
+	if r.Status != StatusStale {
+		t.Fatalf("status = %v", r.Status)
+	}
+	if e.Stats().ExpiredStale != 1 {
+		t.Fatalf("stats = %+v", e.Stats())
+	}
+}
+
+func TestStalenessUnblocksComponent(t *testing.T) {
+	// A three-query component where one member's postcondition is
+	// unmatched keeps the whole component open; when that member goes
+	// stale, the remaining pair must be evaluated.
+	e := New(flightsDB(t), Config{Mode: Incremental, StaleAfter: 50 * time.Millisecond})
+	// Blocker: wants a partner that never arrives, and its head feeds
+	// Kramer's second postcondition... keep it simple: blocker's head
+	// unifies with nothing; blocker's post targets Kramer's head, keeping
+	// the component open via the in-edge? An in-edge does not block.
+	// Blocking shape: Kramer needs BOTH Jerry and Elaine; Elaine never
+	// comes. When Kramer goes stale, Jerry alone still lacks his partner,
+	// so he goes stale too — verify both resolve.
+	h1, _ := e.Submit(ir.MustParse(0, "{R(Jerry, x) ∧ R(Elaine, x)} R(Kramer, x) :- F(x, Paris)"))
+	h2, _ := e.Submit(ir.MustParse(0, "{R(Kramer, y)} R(Jerry, y) :- F(y, Paris)"))
+	time.Sleep(60 * time.Millisecond)
+	e.ExpireStale()
+	r1 := mustResult(t, h1)
+	r2 := mustResult(t, h2)
+	if r1.Status != StatusStale || r2.Status != StatusStale {
+		t.Fatalf("statuses %v / %v", r1.Status, r2.Status)
+	}
+}
+
+func TestRunBackgroundLoop(t *testing.T) {
+	e := New(flightsDB(t), Config{Mode: SetAtATime, StaleAfter: 30 * time.Millisecond})
+	stop := make(chan struct{})
+	go e.Run(stop, 10*time.Millisecond)
+	defer close(stop)
+	h1, _ := e.Submit(ir.MustParse(0, "{R(Jerry, x)} R(Kramer, x) :- F(x, Paris)"))
+	h2, _ := e.Submit(ir.MustParse(0, "{R(Kramer, y)} R(Jerry, y) :- F(y, Paris)"))
+	if r := mustResult(t, h1); r.Status != StatusAnswered {
+		t.Fatalf("r1 = %v", r)
+	}
+	if r := mustResult(t, h2); r.Status != StatusAnswered {
+		t.Fatalf("r2 = %v", r)
+	}
+	// A loner must eventually go stale via the background loop.
+	h3, _ := e.Submit(ir.MustParse(0, "{R(Q, z)} R(P, z) :- F(z, Paris)"))
+	if r := mustResult(t, h3); r.Status != StatusStale {
+		t.Fatalf("r3 = %v", r)
+	}
+}
+
+func TestSubmitSQL(t *testing.T) {
+	db := memdb.New()
+	db.MustCreateTable("Flights", "fno", "dest")
+	db.MustInsert("Flights", "122", "Paris")
+	e := New(db, Config{Mode: Incremental})
+	h1, err := e.SubmitSQL(`SELECT 'Kramer', fno INTO ANSWER R
+WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris')
+AND ('Jerry', fno) IN ANSWER R CHOOSE 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := e.SubmitSQL(`SELECT 'Jerry', fno INTO ANSWER R
+WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris')
+AND ('Kramer', fno) IN ANSWER R CHOOSE 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := mustResult(t, h1); r.Status != StatusAnswered {
+		t.Fatalf("r1 = %v (%s)", r.Status, r.Detail)
+	}
+	if r := mustResult(t, h2); r.Status != StatusAnswered {
+		t.Fatalf("r2 = %v", r.Status)
+	}
+	if _, err := e.SubmitSQL("SELECT nonsense"); err == nil {
+		t.Fatal("bad SQL must error")
+	}
+}
+
+func TestClose(t *testing.T) {
+	e := New(flightsDB(t), Config{Mode: Incremental})
+	h, _ := e.Submit(ir.MustParse(0, "{R(Jerry, x)} R(Kramer, x) :- F(x, Paris)"))
+	e.Close()
+	if r := mustResult(t, h); r.Status != StatusStale {
+		t.Fatalf("r = %v", r)
+	}
+	if _, err := e.Submit(ir.MustParse(0, "{} R(A, x) :- F(x, Paris)")); err != ErrClosed {
+		t.Fatalf("err = %v", err)
+	}
+	e.Close() // idempotent
+}
+
+func TestConcurrentSubmissions(t *testing.T) {
+	// Many goroutines submitting coordinating pairs concurrently; every
+	// handle must resolve and each pair must agree.
+	g := workload.NewGraph(workload.Config{N: 300, AvgDeg: 8, Seed: 5, Airports: 50})
+	db := memdb.New()
+	if err := workload.PopulateDB(db, g); err != nil {
+		t.Fatal(err)
+	}
+	e := New(db, Config{Mode: Incremental, Seed: 99})
+	pairs := g.FriendPairs(60, 5)
+	gen := workload.NewGen(g, 5)
+	qs := gen.TwoWayBest(pairs)
+
+	handles := make([]*Handle, len(qs))
+	var wg sync.WaitGroup
+	for i := range qs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h, err := e.Submit(qs[i])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			handles[i] = h
+		}(i)
+	}
+	wg.Wait()
+	// Expire whatever could not coordinate (unsafe collisions, different
+	// cities) so that every handle resolves.
+	e.cfg.StaleAfter = time.Nanosecond
+	time.Sleep(2 * time.Millisecond)
+	e.ExpireStale()
+	answered := 0
+	for i, h := range handles {
+		if h == nil {
+			t.Fatalf("handle %d missing", i)
+		}
+		r := mustResult(t, h)
+		if r.Status == StatusAnswered {
+			answered++
+		}
+	}
+	if answered == 0 {
+		t.Fatal("no pair coordinated")
+	}
+	if answered%2 != 0 {
+		t.Fatalf("odd number of answered queries: %d", answered)
+	}
+}
+
+func TestIncrementalChainStaysPending(t *testing.T) {
+	// Chains unify but never match (Figure 8): pending must grow.
+	g := workload.NewGraph(workload.Config{N: 100, AvgDeg: 6, Seed: 3, Airports: 10})
+	db := memdb.New()
+	if err := workload.PopulateDB(db, g); err != nil {
+		t.Fatal(err)
+	}
+	e := New(db, Config{Mode: Incremental})
+	gen := workload.NewGen(g, 3)
+	for _, q := range gen.Chains(30, 10) {
+		if _, err := e.Submit(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := e.Stats(); st.Pending != 30 || st.Answered != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestModeAndStatusStrings(t *testing.T) {
+	if Incremental.String() != "incremental" || SetAtATime.String() != "set-at-a-time" {
+		t.Fatal("mode strings wrong")
+	}
+	if Mode(9).String() == "" {
+		t.Fatal("unknown mode should still print")
+	}
+	for s, want := range map[Status]string{
+		StatusAnswered: "answered", StatusUnsafe: "unsafe",
+		StatusRejected: "rejected", StatusStale: "stale",
+	} {
+		if s.String() != want {
+			t.Fatalf("status %d = %q", int(s), s.String())
+		}
+	}
+}
+
+func TestWaitTimeout(t *testing.T) {
+	e := New(flightsDB(t), Config{Mode: Incremental})
+	h, _ := e.Submit(ir.MustParse(0, "{R(Jerry, x)} R(Kramer, x) :- F(x, Paris)"))
+	if _, err := h.Wait(10 * time.Millisecond); err == nil {
+		t.Fatal("Wait should time out for a pending query")
+	}
+}
+
+func TestManyPairsSetAtATime(t *testing.T) {
+	// A bigger batch through the set-at-a-time path with parallel
+	// component evaluation.
+	g := workload.NewGraph(workload.Config{N: 1000, AvgDeg: 10, Seed: 8, Airports: 80})
+	db := memdb.New()
+	if err := workload.PopulateDB(db, g); err != nil {
+		t.Fatal(err)
+	}
+	e := New(db, Config{Mode: SetAtATime, Parallelism: 4})
+	gen := workload.NewGen(g, 8)
+	qs := gen.Interleave(gen.TwoWayBest(g.FriendPairs(100, 8)))
+	var handles []*Handle
+	for _, q := range qs {
+		h, err := e.Submit(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	e.Flush()
+	st := e.Stats()
+	if st.Answered == 0 {
+		t.Fatalf("no coordination: %+v", st)
+	}
+	if st.Answered%2 != 0 {
+		t.Fatalf("odd answered count: %+v", st)
+	}
+	resolved := 0
+	for _, h := range handles {
+		select {
+		case <-h.Done():
+			resolved++
+		default:
+		}
+	}
+	if resolved != st.Answered+st.Rejected+st.RejectedUnsafe {
+		t.Fatalf("resolved %d != answered %d + rejected %d + unsafe %d",
+			resolved, st.Answered, st.Rejected, st.RejectedUnsafe)
+	}
+}
+
+func TestSubmittedIDsAreSequential(t *testing.T) {
+	e := New(flightsDB(t), Config{Mode: SetAtATime})
+	for i := 1; i <= 3; i++ {
+		h, err := e.Submit(ir.MustParse(0, fmt.Sprintf("{} R(U%d, x) :- F(x, Paris)", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.ID != ir.QueryID(i) {
+			t.Fatalf("handle id = %d, want %d", h.ID, i)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"entangle/internal/ir"
+)
+
+// EventKind labels an entry in the engine's event history.
+type EventKind string
+
+// Event kinds recorded by the engine.
+const (
+	EventSubmitted EventKind = "submitted"
+	EventAnswered  EventKind = "answered"
+	EventRejected  EventKind = "rejected"
+	EventUnsafe    EventKind = "unsafe"
+	EventStale     EventKind = "stale"
+	EventFlush     EventKind = "flush"
+)
+
+// Event is one entry of the engine's audit trail. The history answers the
+// operational question the asynchronous middleware otherwise obscures:
+// "what happened to my query, and when?"
+type Event struct {
+	Time    time.Time
+	Kind    EventKind
+	QueryID ir.QueryID // zero for engine-level events such as flushes
+	Detail  string
+}
+
+// String renders the event for logs.
+func (e Event) String() string {
+	if e.QueryID == 0 {
+		return fmt.Sprintf("%s %s %s", e.Time.Format(time.RFC3339Nano), e.Kind, e.Detail)
+	}
+	return fmt.Sprintf("%s %s q%d %s", e.Time.Format(time.RFC3339Nano), e.Kind, e.QueryID, e.Detail)
+}
+
+// history is a fixed-capacity ring buffer of events.
+type history struct {
+	buf   []Event
+	next  int
+	total int
+}
+
+func newHistory(capacity int) *history {
+	if capacity <= 0 {
+		return nil
+	}
+	return &history{buf: make([]Event, 0, capacity)}
+}
+
+func (h *history) record(e Event) {
+	if h == nil {
+		return
+	}
+	if len(h.buf) < cap(h.buf) {
+		h.buf = append(h.buf, e)
+	} else {
+		h.buf[h.next] = e
+	}
+	h.next = (h.next + 1) % cap(h.buf)
+	h.total++
+}
+
+// snapshot returns the retained events oldest-first.
+func (h *history) snapshot() []Event {
+	if h == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(h.buf))
+	if len(h.buf) < cap(h.buf) {
+		return append(out, h.buf...)
+	}
+	out = append(out, h.buf[h.next:]...)
+	return append(out, h.buf[:h.next]...)
+}
+
+// History returns the retained audit events, oldest first, and the total
+// number of events ever recorded (which exceeds the slice length once the
+// ring has wrapped). Returns nil when Config.HistorySize is 0.
+func (e *Engine) History() ([]Event, int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.hist == nil {
+		return nil, 0
+	}
+	return e.hist.snapshot(), e.hist.total
+}
+
+// recordLocked appends to the audit trail; caller holds e.mu.
+func (e *Engine) recordLocked(kind EventKind, id ir.QueryID, detail string) {
+	if e.hist == nil {
+		return
+	}
+	e.hist.record(Event{Time: e.now(), Kind: kind, QueryID: id, Detail: detail})
+}

@@ -1,0 +1,99 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"entangle/internal/ir"
+)
+
+func TestHistoryRecordsLifecycle(t *testing.T) {
+	e := New(flightsDB(t), Config{Mode: Incremental, HistorySize: 64})
+	h1, _ := e.Submit(ir.MustParse(0, "{R(Jerry, x)} R(Kramer, x) :- F(x, Paris)"))
+	h2, _ := e.Submit(ir.MustParse(0, "{R(Kramer, y)} R(Jerry, y) :- F(y, Paris)"))
+	if _, err := h1.Wait(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h2.Wait(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	events, total := e.History()
+	if total != 4 { // 2 submitted + 2 answered
+		t.Fatalf("total events = %d: %v", total, events)
+	}
+	kinds := map[EventKind]int{}
+	for _, ev := range events {
+		kinds[ev.Kind]++
+	}
+	if kinds[EventSubmitted] != 2 || kinds[EventAnswered] != 2 {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	// Answered events carry the tuple.
+	found := false
+	for _, ev := range events {
+		if ev.Kind == EventAnswered && strings.Contains(ev.Detail, "R(Kramer,") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("answered event missing tuple detail: %v", events)
+	}
+}
+
+func TestHistoryRingWraps(t *testing.T) {
+	e := New(flightsDB(t), Config{Mode: SetAtATime, HistorySize: 4})
+	for i := 0; i < 6; i++ {
+		if _, err := e.Submit(ir.MustParse(0, "{R(Nobody, x)} R(A, x) :- F(x, Paris)")); err != nil {
+			// Later identical submissions are unsafe against the pending
+			// first one; both outcomes still record events.
+			t.Fatal(err)
+		}
+	}
+	events, total := e.History()
+	if total < 6 {
+		t.Fatalf("total = %d", total)
+	}
+	if len(events) != 4 {
+		t.Fatalf("retained = %d, want ring capacity 4", len(events))
+	}
+	// Oldest-first ordering.
+	for i := 1; i < len(events); i++ {
+		if events[i].Time.Before(events[i-1].Time) {
+			t.Fatal("events out of order")
+		}
+	}
+}
+
+func TestHistoryDisabled(t *testing.T) {
+	e := New(flightsDB(t), Config{Mode: Incremental})
+	if _, err := e.Submit(ir.MustParse(0, "{} R(A, x) :- F(x, Paris)")); err != nil {
+		t.Fatal(err)
+	}
+	events, total := e.History()
+	if events != nil || total != 0 {
+		t.Fatalf("history should be disabled: %v, %d", events, total)
+	}
+}
+
+func TestHistoryRecordsStaleAndFlush(t *testing.T) {
+	e := New(flightsDB(t), Config{Mode: SetAtATime, StaleAfter: time.Nanosecond, HistorySize: 16})
+	if _, err := e.Submit(ir.MustParse(0, "{R(Ghost, x)} R(A, x) :- F(x, Paris)")); err != nil {
+		t.Fatal(err)
+	}
+	e.Flush()
+	time.Sleep(time.Millisecond)
+	e.ExpireStale()
+	events, _ := e.History()
+	kinds := map[EventKind]bool{}
+	for _, ev := range events {
+		kinds[ev.Kind] = true
+	}
+	if !kinds[EventFlush] || !kinds[EventStale] {
+		t.Fatalf("missing flush/stale events: %v", events)
+	}
+	// Event string form includes the kind.
+	if !strings.Contains(events[0].String(), string(events[0].Kind)) {
+		t.Fatalf("event string = %q", events[0].String())
+	}
+}

@@ -1,0 +1,101 @@
+package eqsql
+
+import "strings"
+
+// Expr is a scalar expression in a SELECT list, tuple, or comparison:
+// either a literal constant or a (possibly qualified) identifier reference.
+type Expr struct {
+	// Lit holds the literal text when IsLit is true.
+	IsLit bool
+	Lit   string
+	// Qualifier and Name form a column/variable reference otherwise:
+	// `fno` has empty Qualifier, `F.fno` has Qualifier "F".
+	Qualifier string
+	Name      string
+}
+
+// String renders the expression in SQL syntax.
+func (e Expr) String() string {
+	if e.IsLit {
+		return "'" + strings.ReplaceAll(e.Lit, "'", "''") + "'"
+	}
+	if e.Qualifier != "" {
+		return e.Qualifier + "." + e.Name
+	}
+	return e.Name
+}
+
+// Condition is one conjunct of a WHERE clause.
+type Condition interface{ isCondition() }
+
+// InSubquery is `expr IN (SELECT col FROM … WHERE …)` over database
+// relations; it binds the left expression through the subquery.
+type InSubquery struct {
+	Left Expr
+	Sub  *Subquery
+}
+
+// InAnswer is `(expr, …) IN ANSWER tbl` — a coordination postcondition.
+type InAnswer struct {
+	Tuple []Expr
+	Table string
+}
+
+// Compare is a plain comparison between two scalar expressions. The core
+// language supports "=" only; the parser accepts ">" and "<" so that the
+// error can name the offending operator.
+type Compare struct {
+	Left  Expr
+	Op    string
+	Right Expr
+}
+
+// AggCompare is the Section 6 aggregation extension:
+// `(SELECT COUNT(*) FROM ANSWER A [, tbl …] WHERE …) > n`.
+type AggCompare struct {
+	Sub   *AggSubquery
+	Op    string // ">", "<" or "="
+	Bound string // numeric literal
+}
+
+func (*InSubquery) isCondition() {}
+func (*InAnswer) isCondition()   {}
+func (*Compare) isCondition()    {}
+func (*AggCompare) isCondition() {}
+
+// FromItem is one table in a FROM list, optionally aliased, optionally an
+// ANSWER relation (aggregation subqueries may mix both).
+type FromItem struct {
+	Table    string
+	Alias    string
+	IsAnswer bool
+}
+
+// ref returns the name by which columns of this item are qualified.
+func (f FromItem) ref() string {
+	if f.Alias != "" {
+		return f.Alias
+	}
+	return f.Table
+}
+
+// Subquery is `SELECT col FROM … WHERE …` used inside IN.
+type Subquery struct {
+	Col   Expr // the single selected column
+	From  []FromItem
+	Where []Condition // Compare conditions only (joins and selections)
+}
+
+// AggSubquery is `SELECT COUNT(*) FROM … WHERE …`.
+type AggSubquery struct {
+	From  []FromItem
+	Where []Condition
+}
+
+// SelectStmt is a parsed entangled query.
+type SelectStmt struct {
+	Items  []Expr   // SELECT list
+	Into   []string // ANSWER table names
+	Where  []Condition
+	Choose int // CHOOSE k; the core language fixes k = 1
+}

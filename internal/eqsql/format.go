@@ -1,0 +1,104 @@
+package eqsql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a parsed statement back to entangled SQL. The output
+// re-parses to an equivalent statement, so applications can build
+// statements programmatically (or rewrite parsed ones) and ship them to a
+// d3cd server as text.
+func Format(stmt *SelectStmt) string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	for i, e := range stmt.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(e.String())
+	}
+	b.WriteString("\nINTO ")
+	for i, tbl := range stmt.Into {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString("ANSWER ")
+		b.WriteString(tbl)
+	}
+	if len(stmt.Where) > 0 {
+		b.WriteString("\nWHERE ")
+		for i, c := range stmt.Where {
+			if i > 0 {
+				b.WriteString("\nAND ")
+			}
+			b.WriteString(formatCondition(c))
+		}
+	}
+	fmt.Fprintf(&b, "\nCHOOSE %d", stmt.Choose)
+	return b.String()
+}
+
+func formatCondition(c Condition) string {
+	switch c := c.(type) {
+	case *InAnswer:
+		parts := make([]string, len(c.Tuple))
+		for i, e := range c.Tuple {
+			parts[i] = e.String()
+		}
+		if len(parts) == 1 {
+			return fmt.Sprintf("%s IN ANSWER %s", parts[0], c.Table)
+		}
+		return fmt.Sprintf("(%s) IN ANSWER %s", strings.Join(parts, ", "), c.Table)
+	case *InSubquery:
+		return fmt.Sprintf("%s IN (%s)", c.Left, formatSubquery(c.Sub))
+	case *Compare:
+		return fmt.Sprintf("%s %s %s", c.Left, c.Op, c.Right)
+	case *AggCompare:
+		return fmt.Sprintf("(%s) %s %s", formatAggSubquery(c.Sub), c.Op, c.Bound)
+	default:
+		return fmt.Sprintf("/* unsupported condition %T */", c)
+	}
+}
+
+func formatSubquery(s *Subquery) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SELECT %s FROM %s", s.Col, formatFrom(s.From))
+	writeWhere(&b, s.Where)
+	return b.String()
+}
+
+func formatAggSubquery(s *AggSubquery) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SELECT COUNT(*) FROM %s", formatFrom(s.From))
+	writeWhere(&b, s.Where)
+	return b.String()
+}
+
+func formatFrom(items []FromItem) string {
+	parts := make([]string, len(items))
+	for i, f := range items {
+		s := f.Table
+		if f.IsAnswer {
+			s = "ANSWER " + s
+		}
+		if f.Alias != "" {
+			s += " " + f.Alias
+		}
+		parts[i] = s
+	}
+	return strings.Join(parts, ", ")
+}
+
+func writeWhere(b *strings.Builder, conds []Condition) {
+	if len(conds) == 0 {
+		return
+	}
+	b.WriteString(" WHERE ")
+	for i, c := range conds {
+		if i > 0 {
+			b.WriteString(" AND ")
+		}
+		b.WriteString(formatCondition(c))
+	}
+}

@@ -1,0 +1,76 @@
+package eqsql
+
+import (
+	"strings"
+	"testing"
+
+	"entangle/internal/unify"
+)
+
+func TestFormatRoundTrip(t *testing.T) {
+	sources := []string{
+		kramerSQL,
+		jerrySQL,
+		`SELECT fno INTO ANSWER R
+WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris')
+AND fno IN ANSWER S CHOOSE 1`,
+		`SELECT 'K', fno INTO ANSWER R, ANSWER S
+WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris') AND fno = '122' CHOOSE 2`,
+		`SELECT party_id, 'Jerry' INTO ANSWER Attendance
+WHERE party_id IN (SELECT pid FROM Parties WHERE pdate='Friday')
+AND (SELECT COUNT(*) FROM ANSWER Attendance A, Friend F
+     WHERE party_id = A.pid AND A.name = F.name2 AND F.name1 = 'Jerry') > 5
+CHOOSE 1`,
+	}
+	opt := Options{
+		AllowExtensions: true,
+		AnswerSchemas:   map[string][]string{"Attendance": {"pid", "name"}, "R": {"a", "b"}, "S": {"a"}},
+	}
+	for _, src := range sources {
+		stmt, err := ParseStatement(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		text := Format(stmt)
+		stmt2, err := ParseStatement(text)
+		if err != nil {
+			t.Fatalf("re-parse of formatted %q failed: %v", text, err)
+		}
+		// Semantic equivalence: both translate to the same IR (up to the
+		// unifier's canonical variable choice) and same extension payload.
+		tr1, err := Translate(1, stmt, testSchema(), opt)
+		if err != nil {
+			t.Fatalf("%q: translate original: %v", src, err)
+		}
+		tr2, err := Translate(1, stmt2, testSchema(), opt)
+		if err != nil {
+			t.Fatalf("%q: translate formatted: %v", text, err)
+		}
+		if tr1.Query.String() != tr2.Query.String() {
+			t.Fatalf("round trip changed IR:\noriginal:  %s\nformatted: %s\nsql:\n%s", tr1.Query, tr2.Query, text)
+		}
+		if len(tr1.Aggregates) != len(tr2.Aggregates) {
+			t.Fatalf("round trip changed aggregates: %d vs %d", len(tr1.Aggregates), len(tr2.Aggregates))
+		}
+		if tr1.Query.Choose != tr2.Query.Choose {
+			t.Fatalf("round trip changed CHOOSE: %d vs %d", tr1.Query.Choose, tr2.Query.Choose)
+		}
+	}
+	// Keep the unify import honest: the canonical-variable claim above is
+	// what unify.Resolve guarantees.
+	_ = unify.New()
+}
+
+func TestFormatShapes(t *testing.T) {
+	stmt, err := ParseStatement(jerrySQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(stmt)
+	for _, want := range []string{"SELECT 'Jerry', fno", "INTO ANSWER Reservation",
+		"Flights F, Airlines A", "('Kramer', fno) IN ANSWER Reservation", "CHOOSE 1"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("formatted SQL missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package eqsql
+
+// Robustness: the parser and translator must never panic, whatever bytes
+// they are fed — they return errors. Exercised with mutations of valid
+// statements and raw random input.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestParserNeverPanics(t *testing.T) {
+	seeds := []string{
+		kramerSQL,
+		jerrySQL,
+		`SELECT a INTO ANSWER R WHERE (a, b) IN ANSWER S CHOOSE 1`,
+		`SELECT 'x' INTO ANSWER R WHERE (SELECT COUNT(*) FROM ANSWER R) > 3`,
+	}
+	rng := rand.New(rand.NewSource(2024))
+	mutate := func(s string) string {
+		b := []byte(s)
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			if len(b) == 0 {
+				break
+			}
+			switch rng.Intn(3) {
+			case 0: // flip a byte
+				b[rng.Intn(len(b))] = byte(rng.Intn(256))
+			case 1: // delete a span
+				i := rng.Intn(len(b))
+				j := i + rng.Intn(len(b)-i)
+				b = append(b[:i], b[j:]...)
+			default: // duplicate a span
+				i := rng.Intn(len(b))
+				j := i + rng.Intn(len(b)-i)
+				b = append(b[:j], append([]byte(string(b[i:j])), b[j:]...)...)
+			}
+		}
+		return string(b)
+	}
+	schema := testSchema()
+	for trial := 0; trial < 3000; trial++ {
+		var input string
+		if trial%3 == 0 {
+			raw := make([]byte, rng.Intn(80))
+			rng.Read(raw)
+			input = string(raw)
+		} else {
+			input = mutate(seeds[rng.Intn(len(seeds))])
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on input %q: %v", input, r)
+				}
+			}()
+			// Errors are fine; panics are not.
+			_, _ = Parse(1, input, schema, Options{AllowExtensions: true,
+				AnswerSchemas: map[string][]string{"R": {"a", "b"}, "Reservation": {"u", "f"}}})
+		}()
+	}
+}

@@ -1,0 +1,327 @@
+// Package ext implements the Section 6 language extensions of the paper:
+//
+//   - CHOOSE k / multi-answer semantics: a query may request up to k
+//     coordinated answer tuples instead of exactly one;
+//   - aggregation postconditions: constraints like "more than five of my
+//     friends attend the same party", expressed as COUNT subqueries over
+//     ANSWER relations (parsed by internal/eqsql into AggConstraints);
+//   - soft preferences: a ranking function over candidate coordinated
+//     valuations, so the system favours preferred groundings when several
+//     coordinating sets exist.
+//
+// These features extend the core evaluation pipeline after matching: the
+// matcher still discovers the coordination structure (safety and UCS are
+// unchanged); the extensions change which and how many valuations of the
+// combined query are selected and returned.
+package ext
+
+import (
+	"fmt"
+	"sort"
+
+	"entangle/internal/eqsql"
+	"entangle/internal/graph"
+	"entangle/internal/ir"
+	"entangle/internal/match"
+	"entangle/internal/memdb"
+	"entangle/internal/unify"
+)
+
+// Preference ranks a candidate valuation of a combined query; higher is
+// better. Valuations are presented post-simplification, mapping combined-
+// query variables to constants.
+type Preference func(val ir.Substitution) float64
+
+// Options tunes extended evaluation.
+type Options struct {
+	// MaxCandidates bounds how many combined-query valuations are
+	// materialised before ranking and CHOOSE-k selection (0 = 1024).
+	// Ranking requires materialisation, unlike the core LIMIT 1 path.
+	MaxCandidates int
+	// Preference, when non-nil, sorts candidates best-first before
+	// selection ("soft preferences … the evaluation algorithm should favor
+	// coordinating sets that satisfy the users' preferences").
+	Preference Preference
+	// Match forwards the core matcher options.
+	Match match.Options
+}
+
+// Outcome is the result of extended coordination: per-query answer lists
+// (up to each query's CHOOSE k) plus the rejection set.
+type Outcome struct {
+	// Answers maps each answered query to its coordinated tuples: one
+	// Answer per chosen valuation, all mutually coordinated per valuation.
+	Answers map[ir.QueryID][]ir.Answer
+	// Rejected lists unanswerable queries with causes.
+	Rejected []match.Removal
+}
+
+// Coordinate runs extended coordinated answering over a batch: the core
+// matching pipeline discovers components, then candidate valuations of each
+// combined query are filtered by aggregation constraints, ranked by the
+// preference function, and the top min(k) valuations are returned (CHOOSE k
+// uses the component's minimum k, since every member must receive the same
+// number of mutually coordinated tuples).
+func Coordinate(db *memdb.DB, queries []*ir.Query, aggs map[ir.QueryID][]eqsql.AggConstraint, opt Options) (*Outcome, error) {
+	for _, q := range queries {
+		if err := q.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	out := &Outcome{Answers: make(map[ir.QueryID][]ir.Answer)}
+	max := opt.MaxCandidates
+	if max <= 0 {
+		max = 1024
+	}
+
+	renamed := make([]*ir.Query, len(queries))
+	byID := make(map[ir.QueryID]*ir.Query, len(queries))
+	renamedAggs := make(map[ir.QueryID][]eqsql.AggConstraint, len(aggs))
+	for i, q := range queries {
+		r := q.RenameApart()
+		renamed[i] = r
+		if _, dup := byID[r.ID]; dup {
+			return nil, fmt.Errorf("ext: duplicate query id %d", r.ID)
+		}
+		byID[r.ID] = r
+		// Aggregation constraints share the original variable names; apply
+		// the same renaming so correlation still works.
+		if acs, ok := aggs[q.ID]; ok {
+			rename := func(v string) string { return fmt.Sprintf("q%d·%s", q.ID, v) }
+			var ras []eqsql.AggConstraint
+			for _, ac := range acs {
+				rac := eqsql.AggConstraint{Op: ac.Op, Bound: ac.Bound}
+				for _, a := range ac.AnswerAtoms {
+					rac.AnswerAtoms = append(rac.AnswerAtoms, a.Rename(rename))
+				}
+				for _, a := range ac.BodyAtoms {
+					rac.BodyAtoms = append(rac.BodyAtoms, a.Rename(rename))
+				}
+				ras = append(ras, rac)
+			}
+			renamedAggs[r.ID] = ras
+		}
+	}
+
+	if viol := match.CheckSafety(renamed); len(viol) > 0 {
+		return nil, fmt.Errorf("ext: unsafe workload: %s", viol[0])
+	}
+	g, err := graph.Build(renamed)
+	if err != nil {
+		return nil, err
+	}
+	for _, comp := range g.ConnectedComponents() {
+		res := match.MatchComponent(g, comp, opt.Match)
+		out.Rejected = append(out.Rejected, res.Removed...)
+		if len(res.Survivors) == 0 {
+			continue
+		}
+		cq, global, err := match.BuildCombined(byID, res)
+		if err != nil {
+			for _, id := range res.Survivors {
+				out.Rejected = append(out.Rejected, match.Removal{Query: id, Cause: match.CauseGlobalMGU})
+			}
+			continue
+		}
+		simplified := match.Simplify(cq, global)
+		vals, err := db.EvalConjunctive(simplified.Body, nil, memdb.EvalOptions{Limit: max})
+		if err != nil {
+			return nil, err
+		}
+		// Filter candidates by every member's aggregation constraints.
+		var valid []ir.Substitution
+		for _, val := range vals {
+			ok := true
+			for _, id := range cq.Members {
+				for _, ac := range renamedAggs[id] {
+					sat, err := aggregateHolds(db, byID, cq.Members, global, val, ac)
+					if err != nil {
+						return nil, err
+					}
+					if !sat {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					break
+				}
+			}
+			if ok {
+				valid = append(valid, val)
+			}
+		}
+		if len(valid) == 0 {
+			for _, id := range res.Survivors {
+				out.Rejected = append(out.Rejected, match.Removal{Query: id, Cause: match.CauseNoData})
+			}
+			continue
+		}
+		if opt.Preference != nil {
+			sort.SliceStable(valid, func(i, j int) bool {
+				return opt.Preference(valid[i]) > opt.Preference(valid[j])
+			})
+		}
+		// CHOOSE k: the component returns min over members of k valuations.
+		k := 0
+		for _, id := range cq.Members {
+			qk := byID[id].Choose
+			if qk < 1 {
+				qk = 1
+			}
+			if k == 0 || qk < k {
+				k = qk
+			}
+		}
+		// Emit the top k candidates, skipping valuations that induce answer
+		// tuples already emitted (different join witnesses can ground the
+		// heads identically).
+		seen := make(map[string]bool)
+		emitted := 0
+		for _, val := range valid {
+			if emitted >= k {
+				break
+			}
+			answers, err := match.SplitAnswers(byID, cq.Members, global, val)
+			if err != nil {
+				return nil, err
+			}
+			sig := answerSignature(answers)
+			if seen[sig] {
+				continue
+			}
+			seen[sig] = true
+			emitted++
+			for _, a := range answers {
+				out.Answers[a.QueryID] = append(out.Answers[a.QueryID], a)
+			}
+		}
+	}
+	return out, nil
+}
+
+// answerSignature canonically serialises a coordinated answer set.
+func answerSignature(answers []ir.Answer) string {
+	parts := make([]string, 0, len(answers))
+	for _, a := range answers {
+		parts = append(parts, fmt.Sprintf("%d:%s", a.QueryID, ir.FormatAtoms(a.Tuples)))
+	}
+	sort.Strings(parts)
+	return fmt.Sprint(parts)
+}
+
+// aggregateHolds evaluates one aggregation constraint against a candidate
+// valuation: the coordinated answer relation induced by the valuation is
+// materialised, the constraint's answer atoms are matched against it joined
+// with the database atoms, and the count is compared with the bound.
+func aggregateHolds(db *memdb.DB, byID map[ir.QueryID]*ir.Query, members []ir.QueryID, global *unify.Unifier, val ir.Substitution, ac eqsql.AggConstraint) (bool, error) {
+	answers, err := match.SplitAnswers(byID, members, global, val)
+	if err != nil {
+		return false, err
+	}
+	rel := match.AnswerRelation(answers)
+	s := global.Substitution()
+	count, err := countMatches(db, rel, ac, s, val)
+	if err != nil {
+		return false, err
+	}
+	switch ac.Op {
+	case ">":
+		return count > ac.Bound, nil
+	case "<":
+		return count < ac.Bound, nil
+	case "=":
+		return count == ac.Bound, nil
+	default:
+		return false, fmt.Errorf("ext: unknown aggregation operator %q", ac.Op)
+	}
+}
+
+// countMatches counts assignments of the constraint's variables such that
+// every answer atom matches a tuple of the materialised answer relation and
+// every body atom matches a database row.
+func countMatches(db *memdb.DB, answerRel map[string][]ir.Atom, ac eqsql.AggConstraint, s, val ir.Substitution) (int, error) {
+	// Ground the constraint atoms as far as the global substitution and
+	// candidate valuation allow.
+	groundAtoms := func(atoms []ir.Atom) []ir.Atom {
+		out := make([]ir.Atom, len(atoms))
+		for i, a := range atoms {
+			out[i] = a.Apply(s).Apply(val)
+		}
+		return out
+	}
+	ansAtoms := groundAtoms(ac.AnswerAtoms)
+	bodyAtoms := groundAtoms(ac.BodyAtoms)
+
+	// Backtrack over the answer-atom matches (answer relations are tiny —
+	// one tuple per member query), then check body atoms via the database.
+	var count int
+	var rec func(i int, binding ir.Substitution) error
+	rec = func(i int, binding ir.Substitution) error {
+		if i == len(ansAtoms) {
+			// Bind body atoms and count database matches; each distinct
+			// database valuation counts once.
+			bound := make([]ir.Atom, len(bodyAtoms))
+			for j, a := range bodyAtoms {
+				bound[j] = a.Apply(binding)
+			}
+			n, err := db.Count(bound, nil)
+			if err != nil {
+				return err
+			}
+			if len(bodyAtoms) == 0 {
+				n = 1
+			}
+			count += n
+			return nil
+		}
+		a := ansAtoms[i].Apply(binding)
+		for _, tuple := range answerRel[a.Rel] {
+			ext, ok := matchTuple(a, tuple)
+			if !ok {
+				continue
+			}
+			merged := make(ir.Substitution, len(binding)+len(ext))
+			for k, v := range binding {
+				merged[k] = v
+			}
+			for k, v := range ext {
+				merged[k] = v
+			}
+			if err := rec(i+1, merged); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0, ir.Substitution{}); err != nil {
+		return 0, err
+	}
+	return count, nil
+}
+
+// matchTuple matches a possibly-variable atom against a ground tuple,
+// returning the variable bindings on success.
+func matchTuple(a, tuple ir.Atom) (ir.Substitution, bool) {
+	if a.Rel != tuple.Rel || len(a.Args) != len(tuple.Args) {
+		return nil, false
+	}
+	out := ir.Substitution{}
+	for i, t := range a.Args {
+		switch {
+		case t.IsConst():
+			if t.Value != tuple.Args[i].Value {
+				return nil, false
+			}
+		default:
+			if prev, ok := out[t.Value]; ok {
+				if prev.Value != tuple.Args[i].Value {
+					return nil, false
+				}
+			} else {
+				out[t.Value] = tuple.Args[i]
+			}
+		}
+	}
+	return out, true
+}

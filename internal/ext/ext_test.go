@@ -1,0 +1,251 @@
+package ext
+
+import (
+	"testing"
+
+	"entangle/internal/eqsql"
+	"entangle/internal/ir"
+	"entangle/internal/memdb"
+)
+
+func flightsDB(t testing.TB) *memdb.DB {
+	t.Helper()
+	db := memdb.New()
+	db.MustCreateTable("F", "fno", "dest")
+	db.MustCreateTable("A", "fno", "airline")
+	for _, r := range [][]string{{"122", "Paris"}, {"123", "Paris"}, {"134", "Paris"}, {"136", "Rome"}} {
+		db.MustInsert("F", r...)
+	}
+	for _, r := range [][]string{{"122", "United"}, {"123", "United"}, {"134", "Lufthansa"}, {"136", "Alitalia"}} {
+		db.MustInsert("A", r...)
+	}
+	return db
+}
+
+func pairQueries(choose int) []*ir.Query {
+	q1 := ir.MustParse(1, "{R(Jerry, x)} R(Kramer, x) :- F(x, Paris)")
+	q2 := ir.MustParse(2, "{R(Kramer, y)} R(Jerry, y) :- F(y, Paris)")
+	q1.Choose = choose
+	q2.Choose = choose
+	return []*ir.Query{q1, q2}
+}
+
+func TestChooseOneMatchesCore(t *testing.T) {
+	db := flightsDB(t)
+	out, err := Coordinate(db, pairQueries(1), nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Answers[1]) != 1 || len(out.Answers[2]) != 1 {
+		t.Fatalf("answers = %v", out.Answers)
+	}
+	f1 := out.Answers[1][0].Tuples[0].Args[1].Value
+	f2 := out.Answers[2][0].Tuples[0].Args[1].Value
+	if f1 != f2 {
+		t.Fatalf("not coordinated: %s vs %s", f1, f2)
+	}
+}
+
+func TestChooseK(t *testing.T) {
+	// CHOOSE 2: both users receive two coordinated flight choices.
+	db := flightsDB(t)
+	out, err := Coordinate(db, pairQueries(2), nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Answers[1]) != 2 || len(out.Answers[2]) != 2 {
+		t.Fatalf("answers = %v", out.Answers)
+	}
+	// Per-valuation coordination: answer i of query 1 pairs with answer i
+	// of query 2.
+	for i := 0; i < 2; i++ {
+		f1 := out.Answers[1][i].Tuples[0].Args[1].Value
+		f2 := out.Answers[2][i].Tuples[0].Args[1].Value
+		if f1 != f2 {
+			t.Fatalf("valuation %d not coordinated: %s vs %s", i, f1, f2)
+		}
+	}
+	// The two valuations must differ.
+	if out.Answers[1][0].Tuples[0].Args[1].Value == out.Answers[1][1].Tuples[0].Args[1].Value {
+		t.Fatal("CHOOSE 2 returned duplicate valuations")
+	}
+}
+
+func TestChooseKCappedByData(t *testing.T) {
+	// Only three Paris flights exist; CHOOSE 5 returns all three.
+	db := flightsDB(t)
+	out, err := Coordinate(db, pairQueries(5), nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Answers[1]) != 3 {
+		t.Fatalf("answers = %d, want 3 (all Paris flights)", len(out.Answers[1]))
+	}
+}
+
+func TestChooseKUsesComponentMinimum(t *testing.T) {
+	qs := pairQueries(1)
+	qs[0].Choose = 4 // partner still wants exactly 1
+	db := flightsDB(t)
+	out, err := Coordinate(db, qs, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Answers[1]) != 1 || len(out.Answers[2]) != 1 {
+		t.Fatalf("component minimum k violated: %v", out.Answers)
+	}
+}
+
+func TestPreferenceRanking(t *testing.T) {
+	// Soft preference: prefer the highest flight number.
+	db := flightsDB(t)
+	pref := func(val ir.Substitution) float64 {
+		for _, t := range val {
+			if t.Value >= "100" && t.Value <= "200" {
+				f := 0.0
+				for _, c := range t.Value {
+					f = f*10 + float64(c-'0')
+				}
+				return f
+			}
+		}
+		return 0
+	}
+	out, err := Coordinate(db, pairQueries(1), nil, Options{Preference: pref})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Answers[1][0].Tuples[0].Args[1].Value; got != "134" {
+		t.Fatalf("preference should pick flight 134, got %s", got)
+	}
+	// Inverted preference picks the lowest.
+	out, err = Coordinate(db, pairQueries(1), nil, Options{Preference: func(v ir.Substitution) float64 { return -pref(v) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Answers[1][0].Tuples[0].Args[1].Value; got != "122" {
+		t.Fatalf("inverted preference should pick 122, got %s", got)
+	}
+}
+
+func TestAggregationConstraint(t *testing.T) {
+	// Party scenario from Section 6: Jerry attends a Friday party only if
+	// more than two of his friends attend the same party. Friends'
+	// attendance comes from their own coordinated queries.
+	db := memdb.New()
+	db.MustCreateTable("Parties", "pid", "pdate")
+	db.MustCreateTable("Friend", "name1", "name2")
+	db.MustInsert("Parties", "P1", "Friday")
+	db.MustInsert("Parties", "P2", "Friday")
+	for _, f := range []string{"George", "Elaine", "Newman"} {
+		db.MustInsert("Friend", "Jerry", f)
+	}
+
+	// Jerry's query with the aggregation constraint, via SQL.
+	schema := eqsql.DBSchema{DB: db}
+	opt := eqsql.Options{
+		AllowExtensions: true,
+		AnswerSchemas:   map[string][]string{"Attendance": {"pid", "name"}},
+	}
+	jerry, err := eqsql.Parse(1, `
+SELECT party_id, 'Jerry' INTO ANSWER Attendance
+WHERE party_id IN (SELECT pid FROM Parties WHERE pdate='Friday')
+AND (SELECT COUNT(*) FROM ANSWER Attendance A, Friend F
+     WHERE party_id = A.pid AND A.name = F.name2 AND F.name1 = 'Jerry') > 2
+AND (party_id, 'George') IN ANSWER Attendance
+CHOOSE 1`, schema, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three friends who want to attend a party with Jerry. Their queries
+	// form a cycle George→Elaine→Newman→(George) with Jerry's post naming
+	// George, and each friend requires Jerry.
+	mk := func(id ir.QueryID, me, partner string) *ir.Query {
+		return ir.MustParse(id,
+			"{Attendance(p, "+partner+")} Attendance(p, "+me+") :- Parties(p, Friday)")
+	}
+	// Build the coordination cycle: Jerry requires George; George requires
+	// Elaine; Elaine requires Newman; Newman requires Jerry.
+	george := mk(2, "George", "Elaine")
+	elaine := mk(3, "Elaine", "Newman")
+	newman := ir.MustParse(4, "{Attendance(p, Jerry)} Attendance(p, Newman) :- Parties(p, Friday)")
+
+	// Jerry's IR head is Attendance(party_id, Jerry); fix the atom order
+	// mismatch: the friends' heads use (pid, name) ordering, same as
+	// Jerry's.
+	aggs := map[ir.QueryID][]eqsql.AggConstraint{1: jerry.Aggregates}
+	out, err := Coordinate(db, []*ir.Query{jerry.Query, george, elaine, newman}, aggs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Answers[1]) != 1 {
+		t.Fatalf("Jerry unanswered: %+v", out)
+	}
+	// All four at the same party.
+	party := out.Answers[1][0].Tuples[0].Args[0].Value
+	for id := ir.QueryID(2); id <= 4; id++ {
+		if got := out.Answers[id][0].Tuples[0].Args[0].Value; got != party {
+			t.Fatalf("query %d at party %s, Jerry at %s", id, got, party)
+		}
+	}
+}
+
+func TestAggregationUnsatisfiable(t *testing.T) {
+	// Same scenario but the bound requires more friends than exist.
+	db := memdb.New()
+	db.MustCreateTable("Parties", "pid", "pdate")
+	db.MustCreateTable("Friend", "name1", "name2")
+	db.MustInsert("Parties", "P1", "Friday")
+	db.MustInsert("Friend", "Jerry", "George")
+
+	schema := eqsql.DBSchema{DB: db}
+	opt := eqsql.Options{
+		AllowExtensions: true,
+		AnswerSchemas:   map[string][]string{"Attendance": {"pid", "name"}},
+	}
+	jerry, err := eqsql.Parse(1, `
+SELECT party_id, 'Jerry' INTO ANSWER Attendance
+WHERE party_id IN (SELECT pid FROM Parties WHERE pdate='Friday')
+AND (SELECT COUNT(*) FROM ANSWER Attendance A, Friend F
+     WHERE party_id = A.pid AND A.name = F.name2 AND F.name1 = 'Jerry') > 5
+AND (party_id, 'George') IN ANSWER Attendance
+CHOOSE 1`, schema, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	george := ir.MustParse(2, "{Attendance(p, Jerry)} Attendance(p, George) :- Parties(p, Friday)")
+	aggs := map[ir.QueryID][]eqsql.AggConstraint{1: jerry.Aggregates}
+	out, err := Coordinate(db, []*ir.Query{jerry.Query, george}, aggs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Answers) != 0 {
+		t.Fatalf("aggregation bound should block coordination: %+v", out.Answers)
+	}
+	if len(out.Rejected) != 2 {
+		t.Fatalf("rejected = %v", out.Rejected)
+	}
+}
+
+func TestUnsafeRejected(t *testing.T) {
+	db := flightsDB(t)
+	qs := []*ir.Query{
+		ir.MustParse(1, "{} R(A, x) :- F(x, Paris)"),
+		ir.MustParse(2, "{} R(B, y) :- F(y, Paris)"),
+		ir.MustParse(3, "{R(v, z)} S(z) :- F(z, Paris) ∧ A(v, United)"),
+	}
+	if _, err := Coordinate(db, qs, nil, Options{}); err == nil {
+		t.Fatal("unsafe workload must be rejected")
+	}
+}
+
+func TestDuplicateIDs(t *testing.T) {
+	db := flightsDB(t)
+	qs := []*ir.Query{
+		ir.MustParse(1, "{} R(A, x) :- F(x, Paris)"),
+		ir.MustParse(1, "{} S(B, y) :- F(y, Paris)"),
+	}
+	if _, err := Coordinate(db, qs, nil, Options{}); err == nil {
+		t.Fatal("duplicate IDs must be rejected")
+	}
+}

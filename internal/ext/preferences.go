@@ -1,0 +1,83 @@
+package ext
+
+import "entangle/internal/ir"
+
+// Preference combinators: building blocks for soft-preference ranking
+// functions (Section 6: users "prefer some dates to others" and the system
+// should favour coordinating sets that satisfy those preferences when
+// possible).
+
+// PreferValue scores 1 when any variable in the valuation is bound to v,
+// else 0. Useful for categorical preferences ("prefer morning sections").
+func PreferValue(v string) Preference {
+	return func(val ir.Substitution) float64 {
+		for _, t := range val {
+			if t.Value == v {
+				return 1
+			}
+		}
+		return 0
+	}
+}
+
+// PreferVar scores by applying f to the binding of the named variable;
+// unbound variables score 0. Variable names refer to the combined query's
+// post-simplification representatives — use with valuations inspected via
+// Outcome or within custom scoring.
+func PreferVar(name string, f func(string) float64) Preference {
+	return func(val ir.Substitution) float64 {
+		t, ok := val[name]
+		if !ok {
+			return 0
+		}
+		return f(t.Value)
+	}
+}
+
+// Weighted combines preferences as a weighted sum.
+func Weighted(parts ...struct {
+	W float64
+	P Preference
+}) Preference {
+	return func(val ir.Substitution) float64 {
+		total := 0.0
+		for _, p := range parts {
+			total += p.W * p.P(val)
+		}
+		return total
+	}
+}
+
+// WeightedPart builds one component for Weighted.
+func WeightedPart(w float64, p Preference) struct {
+	W float64
+	P Preference
+} {
+	return struct {
+		W float64
+		P Preference
+	}{W: w, P: p}
+}
+
+// Lexicographic ranks by the first preference, breaking ties with the next.
+// Each component's score is clamped to [0, 1); earlier components are
+// scaled to dominate all later ones combined.
+func Lexicographic(prefs ...Preference) Preference {
+	return func(val ir.Substitution) float64 {
+		total := 0.0
+		for _, p := range prefs {
+			total = total*1000 + clamp01(p(val))*999
+		}
+		return total
+	}
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 0.999
+	}
+	return x
+}

@@ -1,0 +1,74 @@
+package ext
+
+import (
+	"testing"
+
+	"entangle/internal/ir"
+	"entangle/internal/memdb"
+)
+
+func TestPreferValue(t *testing.T) {
+	p := PreferValue("morning")
+	if got := p(ir.Substitution{"s": ir.Const("morning")}); got != 1 {
+		t.Fatalf("score = %v", got)
+	}
+	if got := p(ir.Substitution{"s": ir.Const("evening")}); got != 0 {
+		t.Fatalf("score = %v", got)
+	}
+}
+
+func TestPreferVar(t *testing.T) {
+	p := PreferVar("x", func(v string) float64 { return float64(len(v)) })
+	if got := p(ir.Substitution{"x": ir.Const("abc")}); got != 3 {
+		t.Fatalf("score = %v", got)
+	}
+	if got := p(ir.Substitution{"y": ir.Const("abc")}); got != 0 {
+		t.Fatalf("unbound variable should score 0, got %v", got)
+	}
+}
+
+func TestWeighted(t *testing.T) {
+	p := Weighted(
+		WeightedPart(2, PreferValue("a")),
+		WeightedPart(0.5, PreferValue("b")),
+	)
+	val := ir.Substitution{"x": ir.Const("a"), "y": ir.Const("b")}
+	if got := p(val); got != 2.5 {
+		t.Fatalf("score = %v", got)
+	}
+}
+
+func TestLexicographic(t *testing.T) {
+	first := PreferValue("gold")
+	second := PreferValue("fast")
+	p := Lexicographic(first, second)
+	gold := ir.Substitution{"a": ir.Const("gold")}
+	fast := ir.Substitution{"a": ir.Const("fast")}
+	goldFast := ir.Substitution{"a": ir.Const("gold"), "b": ir.Const("fast")}
+	if !(p(goldFast) > p(gold) && p(gold) > p(fast)) {
+		t.Fatalf("ordering broken: goldFast=%v gold=%v fast=%v", p(goldFast), p(gold), p(fast))
+	}
+}
+
+func TestClamp01(t *testing.T) {
+	if clamp01(-5) != 0 || clamp01(2) >= 1 || clamp01(0.5) != 0.5 {
+		t.Fatal("clamp01 wrong")
+	}
+}
+
+func TestPreferenceHelpersEndToEnd(t *testing.T) {
+	// Drive Coordinate with a helper-built preference: pick the Lufthansa
+	// flight (134) over the United ones because the preference targets it.
+	db := memdb.New()
+	db.MustCreateTable("F", "fno", "dest")
+	for _, fno := range []string{"122", "123", "134"} {
+		db.MustInsert("F", fno, "Paris")
+	}
+	out, err := Coordinate(db, pairQueries(1), nil, Options{Preference: PreferValue("134")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Answers[1][0].Tuples[0].Args[1].Value; got != "134" {
+		t.Fatalf("preference ignored: got %s", got)
+	}
+}

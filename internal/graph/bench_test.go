@@ -1,0 +1,90 @@
+package graph
+
+import (
+	"fmt"
+	"testing"
+
+	"entangle/internal/ir"
+)
+
+// pairQueries builds n coordinating pairs over distinct ANSWER relations.
+func pairQueries(n int) []*ir.Query {
+	out := make([]*ir.Query, 0, 2*n)
+	for i := 0; i < n; i++ {
+		rel := fmt.Sprintf("R%d", i)
+		out = append(out,
+			ir.MustParse(ir.QueryID(2*i+1), fmt.Sprintf("{%s(B, x)} %s(A, x) :- F(x, P)", rel, rel)),
+			ir.MustParse(ir.QueryID(2*i+2), fmt.Sprintf("{%s(A, y)} %s(B, y) :- F(y, P)", rel, rel)))
+	}
+	return out
+}
+
+func BenchmarkAddQueryIndexed(b *testing.B) {
+	qs := pairQueries(b.N/2 + 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	g := New()
+	for i := 0; i < b.N; i++ {
+		if err := g.AddQuery(qs[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAddRemoveCycle(b *testing.B) {
+	// The engine's steady state: add a pair, evaluate, retire it.
+	b.ReportAllocs()
+	g := New()
+	for i := 0; i < b.N; i++ {
+		q1 := ir.MustParse(ir.QueryID(2*i+1), "{R(B, x)} R(A, x) :- F(x, P)")
+		q2 := ir.MustParse(ir.QueryID(2*i+2), "{R(A, y)} R(B, y) :- F(y, P)")
+		if err := g.AddQuery(q1); err != nil {
+			b.Fatal(err)
+		}
+		if err := g.AddQuery(q2); err != nil {
+			b.Fatal(err)
+		}
+		g.RemoveQuery(q1.ID)
+		g.RemoveQuery(q2.ID)
+	}
+}
+
+func BenchmarkIndexLookup(b *testing.B) {
+	ix := NewIndex()
+	for i := 0; i < 10000; i++ {
+		ix.Add(AtomRef{Query: ir.QueryID(i), Atom: ir.NewAtom("R",
+			ir.Var("x"), ir.Const(fmt.Sprintf("D%d", i%100)))})
+	}
+	probe := ir.NewAtom("R", ir.Const("u7"), ir.Const("D42"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Lookup(probe)
+	}
+}
+
+func BenchmarkConnectedComponents(b *testing.B) {
+	qs := pairQueries(2000)
+	g, err := Build(qs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.ConnectedComponents()
+	}
+}
+
+func BenchmarkSCCs(b *testing.B) {
+	qs := pairQueries(2000)
+	g, err := Build(qs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.SCCs()
+	}
+}

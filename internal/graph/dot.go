@@ -1,0 +1,36 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+
+	"entangle/internal/ir"
+)
+
+// Dot renders the unifiability graph in Graphviz DOT format. Nodes show the
+// query ID and its heads; edges are labelled with the unifying (head,
+// postcondition) atom pair. Useful for debugging coordination structure
+// ("why didn't my queries match?") — pipe into `dot -Tsvg`.
+func (g *Graph) Dot() string {
+	var b strings.Builder
+	b.WriteString("digraph unifiability {\n  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n")
+	for _, id := range g.order {
+		n, ok := g.nodes[id]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "  q%d [label=%q];\n", id, fmt.Sprintf("q%d: %s", id, ir.FormatAtoms(n.Query.Heads)))
+	}
+	for _, id := range g.order {
+		n, ok := g.nodes[id]
+		if !ok {
+			continue
+		}
+		for _, e := range n.Out {
+			fmt.Fprintf(&b, "  q%d -> q%d [label=%q];\n", e.From, e.To,
+				fmt.Sprintf("%s ~ %s", e.Head.Atom, e.Post.Atom))
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,372 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"entangle/internal/ir"
+)
+
+// fig4Queries is the running example of Section 4.1.1:
+//
+//	q1 : {R(x1) ∧ S(x2)} T(x3) :- D1(x1, x2, x3)
+//	q2 : {T(1)}          R(y1) :- D2(y1)
+//	q3 : {T(z1)}         S(z2) :- D3(z1, z2)
+func fig4Queries(t testing.TB) []*ir.Query {
+	t.Helper()
+	return []*ir.Query{
+		ir.MustParse(1, "{R(x1) ∧ S(x2)} T(x3) :- D1(x1, x2, x3)"),
+		ir.MustParse(2, "{T(1)} R(y1) :- D2(y1)"),
+		ir.MustParse(3, "{T(z1)} S(z2) :- D3(z1, z2)"),
+	}
+}
+
+func TestBuildFig4(t *testing.T) {
+	g, err := Build(fig4Queries(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected edges: q1→q2 (T(x3)~T(1)), q1→q3 (T(x3)~T(z1)),
+	// q2→q1 (R(y1)~R(x1)), q3→q1 (S(z2)~S(x2)).
+	type pair struct{ from, to ir.QueryID }
+	want := map[pair]int{
+		{1, 2}: 1, {1, 3}: 1, {2, 1}: 1, {3, 1}: 1,
+	}
+	got := map[pair]int{}
+	for _, id := range g.QueryIDs() {
+		for _, e := range g.Node(id).Out {
+			got[pair{e.From, e.To}]++
+		}
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("edges = %v, want %v", got, want)
+	}
+	// Indegree equals PCCOUNT for all three (every postcondition satisfied).
+	for _, id := range g.QueryIDs() {
+		n := g.Node(id)
+		if n.InDegree() != n.Query.PostCount() {
+			t.Errorf("q%d indegree %d != pccount %d", id, n.InDegree(), n.Query.PostCount())
+		}
+	}
+}
+
+func TestNoSelfEdges(t *testing.T) {
+	// A query's own head never satisfies its own postcondition: a query
+	// cannot be its own coordination partner. This keeps the paper's
+	// experimental workloads (whose posts unify with their own heads
+	// syntactically) safe and correctly paired.
+	q := ir.MustParse(1, "{R(x)} R(x) :- D(x)")
+	g, err := Build([]*ir.Query{q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.Node(1)
+	if len(n.Out) != 0 || n.InDegree() != 0 {
+		t.Fatalf("self edges must not exist: out=%v in=%d", n.Out, n.InDegree())
+	}
+}
+
+func TestNoFalseEdges(t *testing.T) {
+	// Reserve(Kramer, x) must not link with Reserve(Jerry, y) — the
+	// motivating example for the index in Section 4.1.4.
+	qs := []*ir.Query{
+		ir.MustParse(1, "{Reserve(Jerry, y)} Reserve(Kramer, x) :- D(x, y)"),
+		ir.MustParse(2, "{Reserve(Alice, w)} Reserve(Bob, z) :- D(z, w)"),
+	}
+	g, err := Build(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range g.QueryIDs() {
+		if len(g.Node(id).Out) != 0 {
+			t.Fatalf("q%d should have no outgoing edges: %s", id, g)
+		}
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	qs := []*ir.Query{
+		ir.MustParse(1, "{R(Jerry, x)} R(Kramer, x) :- F(x, Paris)"),
+		ir.MustParse(2, "{R(Kramer, y)} R(Jerry, y) :- F(y, Paris)"),
+		ir.MustParse(3, "{S(B, z)} S(A, z) :- F(z, Rome)"),
+		ir.MustParse(4, "{S(A, w)} S(B, w) :- F(w, Rome)"),
+		ir.MustParse(5, "{} Lone(v) :- F(v, Oslo)"),
+	}
+	g, err := Build(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comps := g.ConnectedComponents()
+	want := [][]ir.QueryID{{1, 2}, {3, 4}, {5}}
+	if !reflect.DeepEqual(comps, want) {
+		t.Fatalf("components = %v, want %v", comps, want)
+	}
+	if got := g.ComponentOf(3); !reflect.DeepEqual(got, []ir.QueryID{3, 4}) {
+		t.Fatalf("ComponentOf(3) = %v", got)
+	}
+	if g.ComponentOf(99) != nil {
+		t.Fatal("ComponentOf(unknown) should be nil")
+	}
+}
+
+func TestSCCsFig3b(t *testing.T) {
+	// Figure 3 (b): Jerry↔Kramer form an SCC; Frank is a singleton reached
+	// from Jerry. UCS must fail, flagging Frank's query (id 3).
+	qs := []*ir.Query{
+		ir.MustParse(1, "{R(Jerry, x)} R(Kramer, x) :- F(x, Paris)"),
+		ir.MustParse(2, "{R(Kramer, y)} R(Jerry, y) :- F(y, Paris)"),
+		ir.MustParse(3, "{R(Jerry, z)} R(Frank, z) :- F(z, Paris) ∧ A(z, United)"),
+	}
+	g, err := Build(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sccs := g.SCCs()
+	byLen := map[int]int{}
+	for _, s := range sccs {
+		byLen[len(s)]++
+	}
+	if byLen[2] != 1 || byLen[1] != 1 {
+		t.Fatalf("SCCs = %v, want one 2-SCC and one singleton", sccs)
+	}
+	viol := g.CheckUCS()
+	if !reflect.DeepEqual(viol, []ir.QueryID{3}) {
+		t.Fatalf("UCS violations = %v, want [3]", viol)
+	}
+}
+
+func TestUCSHoldsFig3a(t *testing.T) {
+	// Figure 3 (a): unsafe, but all three queries are in one SCC, so UCS
+	// holds ("an interesting property", Section 3.1.2).
+	qs := []*ir.Query{
+		ir.MustParse(1, "{R(Jerry, x)} R(Kramer, x) :- F(x, Paris)"),
+		ir.MustParse(2, "{R(Jerry, y)} R(Elaine, y) :- F(y, Athens)"),
+		ir.MustParse(3, "{R(f, z)} R(Jerry, z) :- F(z, w) ∧ Friend(Jerry, f)"),
+	}
+	g, err := Build(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sccs := g.SCCs()
+	if len(sccs) != 1 || len(sccs[0]) != 3 {
+		t.Fatalf("SCCs = %v, want a single 3-SCC", sccs)
+	}
+	if viol := g.CheckUCS(); len(viol) != 0 {
+		t.Fatalf("UCS should hold for Figure 3 (a), got violations %v", viol)
+	}
+}
+
+func TestUCSHoldsFig4(t *testing.T) {
+	g, err := Build(fig4Queries(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viol := g.CheckUCS(); len(viol) != 0 {
+		t.Fatalf("UCS violations = %v, want none", viol)
+	}
+}
+
+func TestRemoveQuery(t *testing.T) {
+	g, err := Build(fig4Queries(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.RemoveQuery(1) {
+		t.Fatal("RemoveQuery(1) returned false")
+	}
+	if g.RemoveQuery(1) {
+		t.Fatal("second RemoveQuery(1) should return false")
+	}
+	if g.Len() != 2 {
+		t.Fatalf("Len = %d after removal", g.Len())
+	}
+	for _, id := range g.QueryIDs() {
+		n := g.Node(id)
+		if len(n.Out) != 0 || len(n.In) != 0 {
+			t.Fatalf("q%d retains edges to removed node: out=%v in=%v", id, n.Out, n.In)
+		}
+	}
+	// Re-adding a query with the removed ID is allowed.
+	if err := g.AddQuery(ir.MustParse(1, "{R(x1) ∧ S(x2)} T(x3) :- D1(x1, x2, x3)")); err != nil {
+		t.Fatal(err)
+	}
+	if g.Node(1).InDegree() != 2 {
+		t.Fatalf("re-added node indegree = %d, want 2", g.Node(1).InDegree())
+	}
+}
+
+func TestDuplicateID(t *testing.T) {
+	g := New()
+	if err := g.AddQuery(ir.MustParse(1, "{} R(A) :- D(A)")); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddQuery(ir.MustParse(1, "{} R(B) :- D(B)")); err == nil {
+		t.Fatal("duplicate query ID must be rejected")
+	}
+}
+
+func TestDescendants(t *testing.T) {
+	// Chain 1 → 2 → 3, plus 4 disconnected. Head of qi satisfies post of
+	// q(i+1): edge qi→q(i+1) needs head(qi) ~ post(q(i+1)).
+	qs := []*ir.Query{
+		ir.MustParse(1, "{} H1(x) :- D(x)"),
+		ir.MustParse(2, "{H1(a)} H2(a) :- D(a)"),
+		ir.MustParse(3, "{H2(b)} H3(b) :- D(b)"),
+		ir.MustParse(4, "{} Other(c) :- D(c)"),
+	}
+	g, err := Build(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc := g.Descendants(1)
+	if !reflect.DeepEqual(desc, []ir.QueryID{2, 3}) {
+		t.Fatalf("Descendants(1) = %v, want [2 3]", desc)
+	}
+	if got := g.Descendants(4); len(got) != 0 {
+		t.Fatalf("Descendants(4) = %v, want empty", got)
+	}
+}
+
+func TestDescendantsCycle(t *testing.T) {
+	qs := []*ir.Query{
+		ir.MustParse(1, "{R(B, x)} R(A, x) :- D(x)"),
+		ir.MustParse(2, "{R(A, y)} R(B, y) :- D(y)"),
+	}
+	g, err := Build(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc := g.Descendants(1)
+	// From 1 we reach 2, and from 2 back to 1.
+	if len(desc) != 2 {
+		t.Fatalf("Descendants in a 2-cycle = %v, want both nodes", desc)
+	}
+}
+
+func TestIndexLookupMatchesScan(t *testing.T) {
+	// Randomized: index lookup must return exactly the scan results.
+	rng := rand.New(rand.NewSource(42))
+	rels := []string{"R", "S"}
+	consts := []string{"A", "B", "C"}
+	mkAtom := func(arity int) ir.Atom {
+		args := make([]ir.Term, arity)
+		for i := range args {
+			if rng.Intn(2) == 0 {
+				args[i] = ir.Var(fmt.Sprintf("v%d", rng.Intn(50)))
+			} else {
+				args[i] = ir.Const(consts[rng.Intn(len(consts))])
+			}
+		}
+		return ir.NewAtom(rels[rng.Intn(len(rels))], args...)
+	}
+	ix := NewIndex()
+	for i := 0; i < 200; i++ {
+		ix.Add(AtomRef{Query: ir.QueryID(i), Pos: 0, Atom: mkAtom(1 + rng.Intn(3))})
+	}
+	for trial := 0; trial < 200; trial++ {
+		probe := mkAtom(1 + rng.Intn(3))
+		fast := ix.Lookup(probe)
+		slow := ix.ScanLookup(probe)
+		if !sameRefs(fast, slow) {
+			t.Fatalf("probe %s: index %v != scan %v", probe, fast, slow)
+		}
+	}
+}
+
+func sameRefs(a, b []AtomRef) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Query != b[i].Query || a[i].Pos != b[i].Pos || !a[i].Atom.Equal(b[i].Atom) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestIndexRemove(t *testing.T) {
+	ix := NewIndex()
+	ix.Add(AtomRef{Query: 1, Pos: 0, Atom: ir.NewAtom("R", ir.Const("A"))})
+	ix.Add(AtomRef{Query: 2, Pos: 0, Atom: ir.NewAtom("R", ir.Const("A"))})
+	if ix.Len() != 2 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	ix.RemoveQuery(1)
+	if ix.Len() != 1 {
+		t.Fatalf("Len after remove = %d", ix.Len())
+	}
+	got := ix.Lookup(ir.NewAtom("R", ir.Var("x")))
+	if len(got) != 1 || got[0].Query != 2 {
+		t.Fatalf("Lookup after remove = %v", got)
+	}
+}
+
+func TestIndexAllVariableProbe(t *testing.T) {
+	ix := NewIndex()
+	ix.Add(AtomRef{Query: 1, Pos: 0, Atom: ir.NewAtom("R", ir.Const("A"), ir.Var("x"))})
+	ix.Add(AtomRef{Query: 2, Pos: 0, Atom: ir.NewAtom("R", ir.Var("y"), ir.Var("z"))})
+	ix.Add(AtomRef{Query: 3, Pos: 0, Atom: ir.NewAtom("S", ir.Var("w"))})
+	got := ix.Lookup(ir.NewAtom("R", ir.Var("p"), ir.Var("q")))
+	if len(got) != 2 {
+		t.Fatalf("all-variable probe should hit both R atoms, got %v", got)
+	}
+	if got := ix.Lookup(ir.NewAtom("T", ir.Var("p"))); got != nil {
+		t.Fatalf("unknown relation probe = %v, want nil", got)
+	}
+}
+
+func TestIndexArityFilter(t *testing.T) {
+	ix := NewIndex()
+	ix.Add(AtomRef{Query: 1, Pos: 0, Atom: ir.NewAtom("R", ir.Const("A"))})
+	ix.Add(AtomRef{Query: 2, Pos: 0, Atom: ir.NewAtom("R", ir.Const("A"), ir.Const("B"))})
+	got := ix.Lookup(ir.NewAtom("R", ir.Const("A")))
+	if len(got) != 1 || got[0].Query != 1 {
+		t.Fatalf("arity filter failed: %v", got)
+	}
+}
+
+func TestSCCLongChainNoStackOverflow(t *testing.T) {
+	// 50k-node chain exercises the iterative Tarjan implementation.
+	const n = 50000
+	g := New()
+	for i := 1; i <= n; i++ {
+		var q *ir.Query
+		if i == 1 {
+			q = ir.MustParse(ir.QueryID(i), fmt.Sprintf("{} H%d(x) :- D(x)", i))
+		} else {
+			q = ir.MustParse(ir.QueryID(i), fmt.Sprintf("{H%d(a)} H%d(a) :- D(a)", i-1, i))
+		}
+		if err := g.AddQuery(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sccs := g.SCCs()
+	if len(sccs) != n {
+		t.Fatalf("chain of %d nodes should give %d singleton SCCs, got %d", n, n, len(sccs))
+	}
+}
+
+func TestDotExport(t *testing.T) {
+	g, err := Build([]*ir.Query{
+		ir.MustParse(1, "{R(Jerry, x)} R(Kramer, x) :- F(x, Paris)"),
+		ir.MustParse(2, "{R(Kramer, y)} R(Jerry, y) :- F(y, Paris)"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := g.Dot()
+	for _, want := range []string{
+		"digraph unifiability",
+		`q1 [label="q1: R(Kramer, x)"]`,
+		"q1 -> q2",
+		"q2 -> q1",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("dot output missing %q:\n%s", want, dot)
+		}
+	}
+}

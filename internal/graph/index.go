@@ -1,0 +1,261 @@
+// Package graph implements the unifiability graph of Section 4.1 of the
+// paper: a directed multigraph with one node per entangled query and an edge
+// from N(qi) to N(qj) for every pair (h, p) where h is a head atom of qi, p
+// a postcondition atom of qj, and h unifies with p.
+//
+// The package also provides the (Relation, Parameter, Value) → [atoms] index
+// from Section 4.1.4 used to avoid the quadratic all-pairs unification scan,
+// connected components (the partitioning phase, Section 4.1.2), and strongly
+// connected components (the UCS check, Section 3.1.2).
+package graph
+
+import (
+	"strconv"
+	"strings"
+
+	"entangle/internal/ir"
+)
+
+// AtomRef locates an atom within a query: the owning query, whether it is a
+// head or a postcondition, and its position in that list.
+type AtomRef struct {
+	Query ir.QueryID
+	Pos   int // index within the query's head (or postcondition) slice
+	Atom  ir.Atom
+}
+
+// wildcard is the ∆ of Section 4.1.4: every variable position is indexed
+// under this marker so that a lookup can union L(R, i, v) with L(R, i, ∆).
+const wildcard = "\x00∆"
+
+// Index is the head-atom index of Section 4.1.4. Lookup for a probe atom
+// R(v1..vn) returns the indexed atoms that can possibly unify with it:
+//
+//	A ∩ ⋂_{constants vi} (L(R, i, vi) ∪ L(R, i, ∆))
+//
+// Probes with no constants fall back to all atoms of the relation. Entries
+// are tombstoned on Remove so iteration stays O(live + dead-but-unswept).
+type Index struct {
+	entries []AtomRef
+	dead    []bool
+	byKey   map[string][]int     // (rel, param, value|∆) → entry ids
+	byRel   map[string][]int     // rel → entry ids (for all-variable probes)
+	byQuery map[ir.QueryID][]int // query → entry ids, for O(1) removal
+	nLive   int
+}
+
+// NewIndex returns an empty atom index.
+func NewIndex() *Index {
+	return &Index{
+		byKey:   make(map[string][]int),
+		byRel:   make(map[string][]int),
+		byQuery: make(map[ir.QueryID][]int),
+	}
+}
+
+// Len returns the number of live atoms in the index.
+func (ix *Index) Len() int { return ix.nLive }
+
+func indexKey(rel string, param int, value string) string {
+	return rel + "\x00" + strconv.Itoa(param) + "\x00" + value
+}
+
+// Add inserts an atom reference.
+func (ix *Index) Add(ref AtomRef) {
+	id := len(ix.entries)
+	ix.entries = append(ix.entries, ref)
+	ix.dead = append(ix.dead, false)
+	ix.byQuery[ref.Query] = append(ix.byQuery[ref.Query], id)
+	ix.nLive++
+	rel := ref.Atom.Rel
+	ix.byRel[rel] = append(ix.byRel[rel], id)
+	for i, t := range ref.Atom.Args {
+		v := wildcard
+		if t.IsConst() {
+			v = t.Value
+		}
+		k := indexKey(rel, i, v)
+		ix.byKey[k] = append(ix.byKey[k], id)
+	}
+}
+
+// RemoveQuery tombstones every atom owned by the given query in O(atoms of
+// the query), not O(index size) — the engine removes a query on every
+// retirement, so this must not scan.
+func (ix *Index) RemoveQuery(q ir.QueryID) {
+	for _, id := range ix.byQuery[q] {
+		if !ix.dead[id] {
+			ix.dead[id] = true
+			ix.nLive--
+		}
+	}
+	delete(ix.byQuery, q)
+	// Compact when more than half the entries are tombstones, amortising
+	// the rebuild so long-running engines don't degrade.
+	if len(ix.entries) >= 64 && ix.nLive*2 < len(ix.entries) {
+		ix.compact()
+	}
+}
+
+// compact rebuilds the index with only live entries.
+func (ix *Index) compact() {
+	live := make([]AtomRef, 0, ix.nLive)
+	for id, ref := range ix.entries {
+		if !ix.dead[id] {
+			live = append(live, ref)
+		}
+	}
+	ix.entries = ix.entries[:0]
+	ix.dead = ix.dead[:0]
+	ix.byKey = make(map[string][]int)
+	ix.byRel = make(map[string][]int)
+	ix.byQuery = make(map[ir.QueryID][]int)
+	ix.nLive = 0
+	for _, ref := range live {
+		ix.Add(ref)
+	}
+}
+
+// Lookup returns the live indexed atoms that can possibly unify with the
+// probe, in insertion order. The result over-approximates true unifiability
+// only in that repeated-variable constraints are not checked here; it never
+// misses a unifiable atom.
+//
+// The intersection starts from the constant position with the smallest
+// combined (exact ∪ ∆) posting and filters the remaining positions by
+// binary search, so one huge wildcard posting (every variable in that
+// position) costs nothing when another position is selective. This keeps
+// per-arrival lookups O(smallest posting · log) even on workloads where
+// thousands of postconditions share a variable first column.
+func (ix *Index) Lookup(probe ir.Atom) []AtomRef {
+	rel := probe.Rel
+	all, ok := ix.byRel[rel]
+	if !ok {
+		return nil
+	}
+	// Collect per-constant-position postings and their combined sizes.
+	type posting struct {
+		exact, wild []int
+	}
+	var posts []posting
+	for i, t := range probe.Args {
+		if !t.IsConst() {
+			continue
+		}
+		posts = append(posts, posting{
+			exact: ix.byKey[indexKey(rel, i, t.Value)],
+			wild:  ix.byKey[indexKey(rel, i, wildcard)],
+		})
+	}
+	var candidate []int
+	if len(posts) == 0 {
+		candidate = all // probe had no constants
+	} else {
+		base := 0
+		for i := 1; i < len(posts); i++ {
+			if len(posts[i].exact)+len(posts[i].wild) < len(posts[base].exact)+len(posts[base].wild) {
+				base = i
+			}
+		}
+		candidate = mergeSorted(posts[base].exact, posts[base].wild)
+		for i, p := range posts {
+			if i == base || len(candidate) == 0 {
+				continue
+			}
+			kept := candidate[:0:len(candidate)]
+			for _, id := range candidate {
+				if containsSorted(p.exact, id) || containsSorted(p.wild, id) {
+					kept = append(kept, id)
+				}
+			}
+			candidate = kept
+		}
+		if len(candidate) == 0 {
+			return nil
+		}
+	}
+	out := make([]AtomRef, 0, len(candidate))
+	for _, id := range candidate {
+		if ix.dead[id] {
+			continue
+		}
+		ref := ix.entries[id]
+		// Final exactness filter: arity plus per-position constant check
+		// (covers positions where the probe has a constant but the entry has
+		// a different constant — already excluded — and arity mismatches).
+		if ir.Unifiable(ref.Atom, probe) {
+			out = append(out, ref)
+		}
+	}
+	return out
+}
+
+// containsSorted reports whether the ascending id slice contains id.
+func containsSorted(ids []int, id int) bool {
+	lo, hi := 0, len(ids)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case ids[mid] < id:
+			lo = mid + 1
+		case ids[mid] > id:
+			hi = mid
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// ScanLookup is the indexless variant used by the A1 ablation: it linearly
+// scans every live atom. Results match Lookup.
+func (ix *Index) ScanLookup(probe ir.Atom) []AtomRef {
+	var out []AtomRef
+	for id, ref := range ix.entries {
+		if ix.dead[id] {
+			continue
+		}
+		if ir.Unifiable(ref.Atom, probe) {
+			out = append(out, ref)
+		}
+	}
+	return out
+}
+
+// mergeSorted merges two ascending id slices, dropping duplicates.
+func mergeSorted(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// DebugString renders the index contents for diagnostics.
+func (ix *Index) DebugString() string {
+	var b strings.Builder
+	for id, ref := range ix.entries {
+		if ix.dead[id] {
+			continue
+		}
+		b.WriteString(ref.Atom.String())
+		b.WriteString(" (q")
+		b.WriteString(strconv.FormatInt(int64(ref.Query), 10))
+		b.WriteString(")\n")
+	}
+	return b.String()
+}

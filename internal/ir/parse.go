@@ -1,0 +1,272 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Parse parses a query written in the paper's intermediate-representation
+// syntax:
+//
+//	{R(Jerry, x)} R(Kramer, x) :- F(x, Paris)
+//
+// The postcondition block {...} may be empty ({}). The body after ":-" is
+// optional. Conjunctions may be joined with "∧", "&", "&&", "AND" or ",".
+//
+// Following the paper's notational convention, a bare identifier beginning
+// with a lowercase letter is a variable; identifiers beginning with an
+// uppercase letter or a digit, and single-quoted strings, are constants.
+// (Quote a value to force a lowercase constant: 'paris'.)
+func Parse(id QueryID, input string) (*Query, error) {
+	p := &irParser{src: input}
+	q, err := p.parseQuery(id)
+	if err != nil {
+		return nil, fmt.Errorf("parse %q: %w", input, err)
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParse is Parse that panics on error; intended for tests and examples
+// with literal query text.
+func MustParse(id QueryID, input string) *Query {
+	q, err := Parse(id, input)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// ParseAtom parses a single relational atom in IR syntax, e.g.
+// "R(Kramer, x)".
+func ParseAtom(input string) (Atom, error) {
+	p := &irParser{src: input}
+	a, err := p.parseAtom()
+	if err != nil {
+		return Atom{}, fmt.Errorf("parse atom %q: %w", input, err)
+	}
+	p.skipSpace()
+	if !p.eof() {
+		return Atom{}, fmt.Errorf("parse atom %q: trailing input at offset %d", input, p.pos)
+	}
+	return a, nil
+}
+
+type irParser struct {
+	src string
+	pos int
+}
+
+func (p *irParser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *irParser) peek() rune {
+	if p.eof() {
+		return 0
+	}
+	r, _ := utf8.DecodeRuneInString(p.src[p.pos:])
+	return r
+}
+
+func (p *irParser) next() rune {
+	r, n := utf8.DecodeRuneInString(p.src[p.pos:])
+	p.pos += n
+	return r
+}
+
+func (p *irParser) skipSpace() {
+	for !p.eof() {
+		r, n := utf8.DecodeRuneInString(p.src[p.pos:])
+		if !unicode.IsSpace(r) {
+			return
+		}
+		p.pos += n
+	}
+}
+
+func (p *irParser) expect(r rune) error {
+	p.skipSpace()
+	if p.eof() || p.peek() != r {
+		return fmt.Errorf("expected %q at offset %d", r, p.pos)
+	}
+	p.next()
+	return nil
+}
+
+func (p *irParser) parseQuery(id QueryID) (*Query, error) {
+	q := &Query{ID: id, Choose: 1}
+	if err := p.expect('{'); err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.peek() != '}' {
+		atoms, err := p.parseAtomList()
+		if err != nil {
+			return nil, err
+		}
+		q.Posts = atoms
+	}
+	if err := p.expect('}'); err != nil {
+		return nil, err
+	}
+	heads, err := p.parseAtomList()
+	if err != nil {
+		return nil, err
+	}
+	q.Heads = heads
+	p.skipSpace()
+	if p.consumeImplies() {
+		body, err := p.parseAtomList()
+		if err != nil {
+			return nil, err
+		}
+		q.Body = body
+	}
+	p.skipSpace()
+	if !p.eof() {
+		return nil, fmt.Errorf("trailing input at offset %d", p.pos)
+	}
+	return q, nil
+}
+
+// consumeImplies accepts ":-" or the paper's "D" arrow rendered as "<-".
+func (p *irParser) consumeImplies() bool {
+	for _, tok := range []string{":-", "<-", "⟵"} {
+		if strings.HasPrefix(p.src[p.pos:], tok) {
+			p.pos += len(tok)
+			return true
+		}
+	}
+	return false
+}
+
+func (p *irParser) parseAtomList() ([]Atom, error) {
+	var atoms []Atom
+	for {
+		a, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		atoms = append(atoms, a)
+		if !p.consumeConjunction() {
+			return atoms, nil
+		}
+	}
+}
+
+func (p *irParser) consumeConjunction() bool {
+	p.skipSpace()
+	switch {
+	case strings.HasPrefix(p.src[p.pos:], "∧"):
+		p.pos += len("∧")
+		return true
+	case strings.HasPrefix(p.src[p.pos:], "&&"):
+		p.pos += 2
+		return true
+	case strings.HasPrefix(p.src[p.pos:], "&"):
+		p.pos++
+		return true
+	case strings.HasPrefix(p.src[p.pos:], ","):
+		p.pos++
+		return true
+	}
+	// "AND" must be followed by a word boundary.
+	rest := p.src[p.pos:]
+	if len(rest) >= 3 && strings.EqualFold(rest[:3], "AND") {
+		if len(rest) == 3 || !isIdentRune(rune(rest[3])) {
+			p.pos += 3
+			return true
+		}
+	}
+	return false
+}
+
+func (p *irParser) parseAtom() (Atom, error) {
+	p.skipSpace()
+	rel, err := p.parseIdent()
+	if err != nil {
+		return Atom{}, err
+	}
+	if err := p.expect('('); err != nil {
+		return Atom{}, fmt.Errorf("after relation %s: %w", rel, err)
+	}
+	var args []Term
+	p.skipSpace()
+	if p.peek() != ')' {
+		for {
+			t, err := p.parseTerm()
+			if err != nil {
+				return Atom{}, err
+			}
+			args = append(args, t)
+			p.skipSpace()
+			if p.peek() == ',' {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expect(')'); err != nil {
+		return Atom{}, err
+	}
+	return Atom{Rel: rel, Args: args}, nil
+}
+
+func (p *irParser) parseTerm() (Term, error) {
+	p.skipSpace()
+	if p.eof() {
+		return Term{}, fmt.Errorf("expected term at offset %d", p.pos)
+	}
+	if p.peek() == '\'' {
+		return p.parseQuoted()
+	}
+	word, err := p.parseIdent()
+	if err != nil {
+		return Term{}, err
+	}
+	first, _ := utf8.DecodeRuneInString(word)
+	if unicode.IsLower(first) {
+		return Var(word), nil
+	}
+	return Const(word), nil
+}
+
+func (p *irParser) parseQuoted() (Term, error) {
+	p.next() // opening quote
+	var b strings.Builder
+	for {
+		if p.eof() {
+			return Term{}, fmt.Errorf("unterminated quoted constant at offset %d", p.pos)
+		}
+		r := p.next()
+		if r == '\'' {
+			if p.peek() == '\'' { // escaped quote
+				p.next()
+				b.WriteRune('\'')
+				continue
+			}
+			return Const(b.String()), nil
+		}
+		b.WriteRune(r)
+	}
+}
+
+func (p *irParser) parseIdent() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for !p.eof() && isIdentRune(p.peek()) {
+		p.next()
+	}
+	if p.pos == start {
+		return "", fmt.Errorf("expected identifier at offset %d", p.pos)
+	}
+	return p.src[start:p.pos], nil
+}
+
+func isIdentRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '.' || r == '-'
+}

@@ -1,0 +1,245 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// kramer and jerry are the running-example queries from the paper's
+// introduction (Figure 2 (a)).
+func kramerJerry(t *testing.T) (*Query, *Query) {
+	t.Helper()
+	kramer := MustParse(1, "{R(Jerry, x)} R(Kramer, x) :- F(x, Paris)")
+	jerry := MustParse(2, "{R(Kramer, y)} R(Jerry, y) :- F(y, Paris) ∧ A(y, United)")
+	return kramer, jerry
+}
+
+func TestParseRunningExample(t *testing.T) {
+	kramer, jerry := kramerJerry(t)
+	if len(kramer.Posts) != 1 || len(kramer.Heads) != 1 || len(kramer.Body) != 1 {
+		t.Fatalf("kramer parsed wrong: %v", kramer)
+	}
+	if kramer.Posts[0].Rel != "R" || !kramer.Posts[0].Args[0].Equal(Const("Jerry")) {
+		t.Fatalf("kramer postcondition wrong: %v", kramer.Posts[0])
+	}
+	if !kramer.Heads[0].Args[1].Equal(Var("x")) {
+		t.Fatalf("kramer head variable wrong: %v", kramer.Heads[0])
+	}
+	if len(jerry.Body) != 2 {
+		t.Fatalf("jerry body wrong: %v", jerry.Body)
+	}
+	if jerry.Body[1].Rel != "A" {
+		t.Fatalf("jerry second body atom wrong: %v", jerry.Body[1])
+	}
+}
+
+func TestParseConjunctionSpellings(t *testing.T) {
+	variants := []string{
+		"{R(A, x)} R(B, x) :- F(x, P) ∧ G(x, Q)",
+		"{R(A, x)} R(B, x) :- F(x, P) & G(x, Q)",
+		"{R(A, x)} R(B, x) :- F(x, P) && G(x, Q)",
+		"{R(A, x)} R(B, x) :- F(x, P), G(x, Q)",
+		"{R(A, x)} R(B, x) :- F(x, P) AND G(x, Q)",
+		"{R(A, x)} R(B, x) :- F(x, P) and G(x, Q)",
+	}
+	for _, v := range variants {
+		q, err := Parse(1, v)
+		if err != nil {
+			t.Fatalf("%q: %v", v, err)
+		}
+		if len(q.Body) != 2 {
+			t.Errorf("%q: body atoms = %d, want 2", v, len(q.Body))
+		}
+	}
+}
+
+func TestParseEmptyPostconditions(t *testing.T) {
+	q, err := Parse(7, "{} R(Kramer, x) :- F(x, Paris)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Posts) != 0 {
+		t.Fatalf("expected no postconditions, got %v", q.Posts)
+	}
+}
+
+func TestParseQuotedConstants(t *testing.T) {
+	q, err := Parse(1, "{} R('jerry', x) :- F(x, 'New York')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Heads[0].Args[0].Equal(Const("jerry")) {
+		t.Fatalf("quoted lowercase constant parsed as %v", q.Heads[0].Args[0])
+	}
+	if !q.Body[0].Args[1].Equal(Const("New York")) {
+		t.Fatalf("quoted multiword constant parsed as %v", q.Body[0].Args[1])
+	}
+}
+
+func TestParseAlternateImplication(t *testing.T) {
+	q, err := Parse(1, "{R(A, x)} R(B, x) <- F(x, P)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Body) != 1 {
+		t.Fatalf("body = %v", q.Body)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"R(Kramer, x)",                      // missing postcondition block
+		"{R(A, x)} :- F(x, P)",              // missing head
+		"{R(A, x)} R(B, x) :- ",             // empty body after :-
+		"{R(A, x} R(B, x)",                  // unbalanced paren
+		"{R(A, x)} R(B, x) :- F(x, P) junk", // trailing garbage
+		"{R(A, 'x} R(B, x)",                 // unterminated quote
+	}
+	for _, s := range bad {
+		if _, err := Parse(1, s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+func TestValidateRangeRestriction(t *testing.T) {
+	// Head variable z does not occur in the body.
+	q := &Query{
+		ID:    1,
+		Heads: []Atom{NewAtom("R", Var("z"))},
+		Body:  []Atom{NewAtom("F", Var("x"))},
+	}
+	if err := q.Validate(); err == nil || !strings.Contains(err.Error(), "range-restricted") {
+		t.Fatalf("expected range-restriction error, got %v", err)
+	}
+	// Postcondition variable w not in body.
+	q2 := &Query{
+		ID:    2,
+		Heads: []Atom{NewAtom("R", Var("x"))},
+		Posts: []Atom{NewAtom("R", Var("w"))},
+		Body:  []Atom{NewAtom("F", Var("x"))},
+	}
+	if err := q2.Validate(); err == nil {
+		t.Fatal("expected range-restriction error for postcondition variable")
+	}
+}
+
+func TestValidateArityConsistency(t *testing.T) {
+	q := &Query{
+		ID:    1,
+		Heads: []Atom{NewAtom("R", Const("a"))},
+		Body:  []Atom{NewAtom("R", Const("a"), Const("b"))},
+	}
+	if err := q.Validate(); err == nil || !strings.Contains(err.Error(), "arities") {
+		t.Fatalf("expected arity error, got %v", err)
+	}
+}
+
+func TestValidateNoHeads(t *testing.T) {
+	q := &Query{ID: 1, Body: []Atom{NewAtom("F", Const("a"))}}
+	if err := q.Validate(); err == nil {
+		t.Fatal("expected error for headless query")
+	}
+}
+
+func TestQueryVars(t *testing.T) {
+	q := MustParse(1, "{R(Jerry, x)} R(Kramer, x) :- F(x, w) ∧ Friend(Jerry, f)")
+	got := q.Vars()
+	want := []string{"f", "w", "x"}
+	if len(got) != len(want) {
+		t.Fatalf("Vars = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Vars = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRenameApart(t *testing.T) {
+	kramer, jerry := kramerJerry(t)
+	// Force a variable clash.
+	jerry2 := jerry.Clone()
+	for i := range jerry2.Body {
+		jerry2.Body[i] = jerry2.Body[i].Rename(func(string) string { return "x" })
+	}
+	rk := kramer.RenameApart()
+	rj := jerry2.RenameApart()
+	seen := map[string]QueryID{}
+	for _, v := range rk.Vars() {
+		seen[v] = rk.ID
+	}
+	for _, v := range rj.Vars() {
+		if owner, ok := seen[v]; ok && owner != rj.ID {
+			t.Fatalf("variable %s shared between queries %d and %d after RenameApart", v, owner, rj.ID)
+		}
+	}
+	// Renaming must preserve structure.
+	if rk.Heads[0].Rel != "R" || !rk.Heads[0].Args[0].Equal(Const("Kramer")) {
+		t.Fatalf("RenameApart damaged head: %v", rk.Heads[0])
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	q := MustParse(1, "{R(A, x)} R(B, x) :- F(x, P)")
+	cp := q.Clone()
+	cp.Heads[0].Args[0] = Const("MUTATED")
+	if q.Heads[0].Args[0].Value == "MUTATED" {
+		t.Fatal("Clone shares atom argument storage with the original")
+	}
+}
+
+func TestGround(t *testing.T) {
+	q := MustParse(1, "{R(Jerry, x)} R(Kramer, x) :- F(x, Paris)")
+	g, err := q.Ground(Substitution{"x": Const("122")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.String(); got != "{R(Jerry, 122)} R(Kramer, 122)" {
+		t.Errorf("grounding = %q", got)
+	}
+	if _, err := q.Ground(Substitution{}); err == nil {
+		t.Fatal("grounding with unbound variable should fail")
+	}
+}
+
+func TestQueryString(t *testing.T) {
+	q := MustParse(3, "{R(Kramer, y)} R(Jerry, y) :- F(y, Paris) ∧ A(y, United)")
+	want := "{R(Kramer, y)} R(Jerry, y) :- F(y, Paris) ∧ A(y, United)"
+	if got := q.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	// String output must re-parse to an equivalent query.
+	q2, err := Parse(3, q.String())
+	if err != nil {
+		t.Fatalf("round-trip parse: %v", err)
+	}
+	if q2.String() != want {
+		t.Errorf("round trip changed query: %q", q2.String())
+	}
+}
+
+func TestCombinedQueryStringAndVars(t *testing.T) {
+	c := &CombinedQuery{
+		Members: []QueryID{1, 2},
+		Heads:   []Atom{NewAtom("R", Const("Kramer"), Var("x")), NewAtom("R", Const("Jerry"), Var("y"))},
+		Body:    []Atom{NewAtom("F", Var("x"), Const("Paris"))},
+		Eq:      []Equality{{Left: Var("x"), Right: Var("y")}},
+	}
+	s := c.String()
+	if !strings.Contains(s, "x = y") {
+		t.Errorf("combined query string missing ϕU: %q", s)
+	}
+	vars := c.Vars()
+	if len(vars) != 2 || vars[0] != "x" || vars[1] != "y" {
+		t.Errorf("combined query vars = %v", vars)
+	}
+}
+
+func TestAnswerString(t *testing.T) {
+	a := Answer{QueryID: 9, Tuples: []Atom{NewAtom("R", Const("Kramer"), Const("122"))}}
+	if got := a.String(); got != "q9 ⇒ R(Kramer, 122)" {
+		t.Errorf("Answer.String = %q", got)
+	}
+}

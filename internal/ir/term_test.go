@@ -1,0 +1,190 @@
+package ir
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTermConstructors(t *testing.T) {
+	v := Var("x")
+	if !v.IsVar() || v.IsConst() {
+		t.Fatalf("Var(x) kind wrong: %+v", v)
+	}
+	c := Const("Paris")
+	if c.IsVar() || !c.IsConst() {
+		t.Fatalf("Const(Paris) kind wrong: %+v", c)
+	}
+	if v.Equal(c) {
+		t.Fatal("variable x should not equal constant Paris")
+	}
+	if !v.Equal(Var("x")) {
+		t.Fatal("Var(x) should equal Var(x)")
+	}
+}
+
+func TestTermKeyDistinguishesKinds(t *testing.T) {
+	if Var("Paris").Key() == Const("Paris").Key() {
+		t.Fatal("variable and constant with the same spelling must have distinct keys")
+	}
+}
+
+func TestTermStringQuoting(t *testing.T) {
+	cases := []struct {
+		in   Term
+		want string
+	}{
+		{Var("x"), "x"},
+		{Const("Paris"), "Paris"},
+		{Const("new york"), "'new york'"},
+		{Const(""), "''"},
+		{Const("it's"), "'it''s'"},
+		{Const("JFK-2"), "JFK-2"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAtomString(t *testing.T) {
+	a := NewAtom("R", Const("Kramer"), Var("x"))
+	if got := a.String(); got != "R(Kramer, x)" {
+		t.Errorf("atom string = %q", got)
+	}
+	empty := NewAtom("Nullary")
+	if got := empty.String(); got != "Nullary()" {
+		t.Errorf("nullary atom string = %q", got)
+	}
+}
+
+func TestAtomEqual(t *testing.T) {
+	a := NewAtom("R", Const("Kramer"), Var("x"))
+	b := NewAtom("R", Const("Kramer"), Var("x"))
+	if !a.Equal(b) {
+		t.Fatal("identical atoms should be equal")
+	}
+	if a.Equal(NewAtom("R", Const("Kramer"))) {
+		t.Fatal("atoms with different arity should differ")
+	}
+	if a.Equal(NewAtom("S", Const("Kramer"), Var("x"))) {
+		t.Fatal("atoms over different relations should differ")
+	}
+	if a.Equal(NewAtom("R", Const("Kramer"), Const("x"))) {
+		t.Fatal("variable x and constant x should differ")
+	}
+}
+
+func TestAtomVarsAndGround(t *testing.T) {
+	a := NewAtom("R", Const("Kramer"), Var("x"), Var("y"))
+	vars := a.Vars(nil)
+	if len(vars) != 2 || vars[0] != "x" || vars[1] != "y" {
+		t.Fatalf("Vars = %v", vars)
+	}
+	if a.IsGround() {
+		t.Fatal("atom with variables should not be ground")
+	}
+	if !NewAtom("R", Const("a"), Const("b")).IsGround() {
+		t.Fatal("constant atom should be ground")
+	}
+}
+
+func TestAtomApply(t *testing.T) {
+	a := NewAtom("R", Var("x"), Var("y"))
+	s := Substitution{"x": Const("122")}
+	got := a.Apply(s)
+	want := NewAtom("R", Const("122"), Var("y"))
+	if !got.Equal(want) {
+		t.Fatalf("Apply = %v, want %v", got, want)
+	}
+	// Original must be untouched.
+	if !a.Args[0].IsVar() {
+		t.Fatal("Apply mutated the receiver")
+	}
+}
+
+func TestAtomRename(t *testing.T) {
+	a := NewAtom("R", Var("x"), Const("Paris"))
+	got := a.Rename(func(v string) string { return "q1·" + v })
+	if got.Args[0].Value != "q1·x" {
+		t.Fatalf("rename produced %v", got)
+	}
+	if got.Args[1].Value != "Paris" {
+		t.Fatal("rename must not touch constants")
+	}
+}
+
+func TestUnifiable(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"R(x, y)", "R(z, z)", true},
+		{"R(2, y)", "R(3, z)", false}, // the paper's example
+		{"R(x)", "S(x)", false},
+		{"R(x)", "R(x, y)", false},
+		{"R(Kramer, x)", "R(Jerry, y)", false},
+		{"R(Kramer, x)", "R(Kramer, y)", true},
+		{"R(Kramer, x)", "R(y, 122)", true},
+	}
+	for _, c := range cases {
+		a, err := ParseAtom(c.a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ParseAtom(c.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := Unifiable(a, b); got != c.want {
+			t.Errorf("Unifiable(%s, %s) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := Unifiable(b, a); got != c.want {
+			t.Errorf("Unifiable(%s, %s) = %v, want %v (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestUnifiableSymmetryProperty(t *testing.T) {
+	// Unifiability of atoms must be symmetric for arbitrary argument shapes.
+	f := func(rel string, consts []bool, vals []uint8) bool {
+		n := len(consts)
+		if n > len(vals) {
+			n = len(vals)
+		}
+		mk := func(flip bool) Atom {
+			args := make([]Term, n)
+			for i := 0; i < n; i++ {
+				name := string(rune('a' + vals[i]%4))
+				if consts[i] != flip {
+					args[i] = Const(name)
+				} else {
+					args[i] = Var(name)
+				}
+			}
+			return NewAtom("R", args...)
+		}
+		a, b := mk(false), mk(true)
+		return Unifiable(a, b) == Unifiable(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormatAtoms(t *testing.T) {
+	atoms := []Atom{NewAtom("R", Var("x")), NewAtom("S", Const("1"))}
+	if got := FormatAtoms(atoms); got != "R(x) ∧ S(1)" {
+		t.Errorf("FormatAtoms = %q", got)
+	}
+	if got := FormatAtoms(nil); got != "" {
+		t.Errorf("FormatAtoms(nil) = %q", got)
+	}
+}
+
+func TestEqualityString(t *testing.T) {
+	e := Equality{Left: Var("x"), Right: Const("1")}
+	if got := e.String(); got != "x = 1" {
+		t.Errorf("Equality.String = %q", got)
+	}
+}

@@ -1,0 +1,78 @@
+package match
+
+import (
+	"fmt"
+	"testing"
+
+	"entangle/internal/graph"
+	"entangle/internal/ir"
+)
+
+func benchPairGraph(b *testing.B, pairs int) (*graph.Graph, [][]ir.QueryID) {
+	b.Helper()
+	var qs []*ir.Query
+	for i := 0; i < pairs; i++ {
+		rel := fmt.Sprintf("R%d", i)
+		q1 := ir.MustParse(ir.QueryID(2*i+1), fmt.Sprintf("{%s(B, x)} %s(A, x) :- F(x, P)", rel, rel)).RenameApart()
+		q2 := ir.MustParse(ir.QueryID(2*i+2), fmt.Sprintf("{%s(A, y)} %s(B, y) :- F(y, P)", rel, rel)).RenameApart()
+		qs = append(qs, q1, q2)
+	}
+	g, err := graph.Build(qs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g, g.ConnectedComponents()
+}
+
+func BenchmarkMatchComponentPair(b *testing.B) {
+	g, comps := benchPairGraph(b, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := MatchComponent(g, comps[0], Options{})
+		if len(res.Survivors) != 2 {
+			b.Fatal("pair did not match")
+		}
+	}
+}
+
+func BenchmarkMatchAllComponents(b *testing.B) {
+	g, comps := benchPairGraph(b, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, comp := range comps {
+			MatchComponent(g, comp, Options{})
+		}
+	}
+}
+
+func BenchmarkCheckSafety(b *testing.B) {
+	var qs []*ir.Query
+	for i := 0; i < 2000; i++ {
+		qs = append(qs, ir.MustParse(ir.QueryID(i+1),
+			fmt.Sprintf("{R(x, D%d)} R(U%d, D%d) :- F(U%d, x)", i%100, i, (i+7)%100, i)).RenameApart())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CheckSafety(qs)
+	}
+}
+
+func BenchmarkSafetyCheckerAdmission(b *testing.B) {
+	c := NewSafetyChecker()
+	for i := 0; i < 2000; i++ {
+		q := ir.MustParse(ir.QueryID(i+1),
+			fmt.Sprintf("{R(x, Z%d)} R(U%d, D%d) :- F(U%d, x)", i, i, i%100, i)).RenameApart()
+		if err := c.Admit(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	probe := ir.MustParse(999999, "{R(x, D7)} R(Probe, X1) :- F(Probe, x)").RenameApart()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.Check(probe) // expected to be rejected (many heads share D7)
+	}
+}

@@ -1,0 +1,125 @@
+package match
+
+import (
+	"fmt"
+
+	"entangle/internal/ir"
+	"entangle/internal/unify"
+)
+
+// BuildCombined constructs the combined query q* of Section 4.2 from the
+// survivors of a matched component:
+//
+//	⋀ Hi :- ⋀ Bi ∧ ϕU
+//
+// queries maps IDs to the (renamed-apart) queries. It first computes the
+// global unifier U = mgu({U(qi)}); if none exists the whole component is
+// rejected and an error is returned (the caller marks every member with
+// CauseGlobalMGU).
+func BuildCombined(queries map[ir.QueryID]*ir.Query, res *MatchResult) (*ir.CombinedQuery, *unify.Unifier, error) {
+	if len(res.Survivors) == 0 {
+		return nil, nil, fmt.Errorf("match: no surviving queries to combine")
+	}
+	global := unify.New()
+	for _, id := range res.Survivors {
+		if _, err := global.Merge(res.Unifiers[id]); err != nil {
+			return nil, nil, fmt.Errorf("match: no global unifier for component: %w", err)
+		}
+	}
+	cq := &ir.CombinedQuery{}
+	for _, id := range res.Survivors {
+		q, ok := queries[id]
+		if !ok {
+			return nil, nil, fmt.Errorf("match: survivor %d missing from query map", id)
+		}
+		cq.Members = append(cq.Members, id)
+		cq.Heads = append(cq.Heads, q.Heads...)
+		cq.Body = append(cq.Body, q.Body...)
+	}
+	cq.Eq = global.Equalities()
+	return cq, global, nil
+}
+
+// Simplify rewrites a combined query using the information in ϕU
+// (Section 4.2's final simplification step): every variable is replaced by
+// its class constant when one exists, or by the class's canonical
+// representative variable otherwise, after which the explicit equality atoms
+// are redundant and dropped.
+func Simplify(cq *ir.CombinedQuery, global *unify.Unifier) *ir.CombinedQuery {
+	s := global.Substitution()
+	out := &ir.CombinedQuery{Members: append([]ir.QueryID(nil), cq.Members...)}
+	out.Heads = make([]ir.Atom, len(cq.Heads))
+	for i, a := range cq.Heads {
+		out.Heads[i] = a.Apply(s)
+	}
+	out.Body = make([]ir.Atom, len(cq.Body))
+	for i, a := range cq.Body {
+		out.Body[i] = a.Apply(s)
+	}
+	return out
+}
+
+// SplitAnswers turns one valuation of the (simplified) combined query into
+// per-query answers: for each member query, its head atoms are grounded
+// through the global unifier's substitution composed with the valuation.
+// Every member query receives exactly one answer (the CHOOSE 1 semantics).
+func SplitAnswers(queries map[ir.QueryID]*ir.Query, members []ir.QueryID, global *unify.Unifier, val ir.Substitution) ([]ir.Answer, error) {
+	s := global.Substitution()
+	var out []ir.Answer
+	for _, id := range members {
+		q := queries[id]
+		ans := ir.Answer{QueryID: id}
+		for _, h := range q.Heads {
+			g := h.Apply(s).Apply(val)
+			if !g.IsGround() {
+				// The valuation must bind every representative variable;
+				// a non-ground head means the combined query's body failed
+				// to range-restrict it, which Validate prevents upstream.
+				return nil, fmt.Errorf("match: head %s of query %d not grounded by combined answer", h, id)
+			}
+			ans.Tuples = append(ans.Tuples, g)
+		}
+		out = append(out, ans)
+	}
+	return out, nil
+}
+
+// AnswerRelation materialises the answer relation(s) from a set of answers:
+// the union of all head atoms, grouped by relation name (Section 2.3). The
+// result maps relation name to ground tuples.
+func AnswerRelation(answers []ir.Answer) map[string][]ir.Atom {
+	out := make(map[string][]ir.Atom)
+	for _, a := range answers {
+		for _, t := range a.Tuples {
+			out[t.Rel] = append(out[t.Rel], t)
+		}
+	}
+	return out
+}
+
+// VerifyCoordination checks the defining property of a coordinating set
+// (Section 2.3): if all the head atoms of the answers are combined into a
+// set, that set must contain every postcondition atom (grounded through the
+// same valuation machinery). Used by tests and the CSP cross-validation.
+func VerifyCoordination(queries map[ir.QueryID]*ir.Query, answers []ir.Answer, global *unify.Unifier, val ir.Substitution) error {
+	s := global.Substitution()
+	headSet := make(map[string]bool)
+	for _, a := range answers {
+		for _, t := range a.Tuples {
+			headSet[t.String()] = true
+		}
+	}
+	for _, a := range answers {
+		q := queries[a.QueryID]
+		for _, p := range q.Posts {
+			g := p.Apply(s).Apply(val)
+			if !g.IsGround() {
+				return fmt.Errorf("match: postcondition %s of query %d not grounded", p, a.QueryID)
+			}
+			if !headSet[g.String()] {
+				return fmt.Errorf("match: postcondition %s of query %d not satisfied by any answer head", g, a.QueryID)
+			}
+		}
+	}
+	return nil
+}

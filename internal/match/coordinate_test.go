@@ -1,0 +1,352 @@
+package match
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"entangle/internal/ir"
+	"entangle/internal/memdb"
+	"entangle/internal/unify"
+)
+
+// flightsDB is the Figure 1 (a) database.
+func flightsDB(t testing.TB) *memdb.DB {
+	t.Helper()
+	db := memdb.New()
+	db.MustCreateTable("F", "fno", "dest")
+	db.MustCreateTable("A", "fno", "airline")
+	for _, r := range [][]string{{"122", "Paris"}, {"123", "Paris"}, {"134", "Paris"}, {"136", "Rome"}} {
+		db.MustInsert("F", r...)
+	}
+	for _, r := range [][]string{{"122", "United"}, {"123", "United"}, {"134", "Lufthansa"}, {"136", "Alitalia"}} {
+		db.MustInsert("A", r...)
+	}
+	return db
+}
+
+func kramerJerryQueries() []*ir.Query {
+	return []*ir.Query{
+		ir.MustParse(1, "{R(Jerry, x)} R(Kramer, x) :- F(x, Paris)"),
+		ir.MustParse(2, "{R(Kramer, y)} R(Jerry, y) :- F(y, Paris) ∧ A(y, United)"),
+	}
+}
+
+func TestCoordinateRunningExample(t *testing.T) {
+	// The paper's introduction: Kramer and Jerry must receive the same
+	// United flight to Paris — 122 or 123.
+	db := flightsDB(t)
+	out, err := Coordinate(db, kramerJerryQueries(), CoordinateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Answers) != 2 {
+		t.Fatalf("answers = %v, rejected = %v", out.Answers, out.Rejected)
+	}
+	kr := out.Answers[1].Tuples[0]
+	je := out.Answers[2].Tuples[0]
+	if kr.Rel != "R" || !kr.Args[0].Equal(ir.Const("Kramer")) {
+		t.Fatalf("kramer answer = %v", kr)
+	}
+	if je.Rel != "R" || !je.Args[0].Equal(ir.Const("Jerry")) {
+		t.Fatalf("jerry answer = %v", je)
+	}
+	fk, fj := kr.Args[1].Value, je.Args[1].Value
+	if fk != fj {
+		t.Fatalf("flights differ: Kramer %s, Jerry %s — coordination failed", fk, fj)
+	}
+	if fk != "122" && fk != "123" {
+		t.Fatalf("flight %s is not a United flight to Paris", fk)
+	}
+	if out.Components != 1 {
+		t.Fatalf("components = %d", out.Components)
+	}
+	if len(out.Combined) != 1 {
+		t.Fatalf("combined queries = %d", len(out.Combined))
+	}
+}
+
+func TestCoordinateRandomChoiceCoversBothFlights(t *testing.T) {
+	db := flightsDB(t)
+	seen := map[string]bool{}
+	for seed := int64(0); seed < 64 && len(seen) < 2; seed++ {
+		out, err := Coordinate(db, kramerJerryQueries(), CoordinateOptions{Rand: rand.New(rand.NewSource(seed))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[out.Answers[1].Tuples[0].Args[1].Value] = true
+	}
+	if len(seen) != 2 {
+		t.Fatalf("CHOOSE 1 randomness never varied: %v", seen)
+	}
+}
+
+func TestCoordinateNoData(t *testing.T) {
+	// Empty database: matching succeeds but evaluation returns no rows.
+	db := memdb.New()
+	db.MustCreateTable("F", "fno", "dest")
+	db.MustCreateTable("A", "fno", "airline")
+	out, err := Coordinate(db, kramerJerryQueries(), CoordinateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Answers) != 0 {
+		t.Fatalf("answers on empty db = %v", out.Answers)
+	}
+	for _, r := range out.Rejected {
+		if r.Cause != CauseNoData {
+			t.Fatalf("cause = %v, want no-data", r.Cause)
+		}
+	}
+	if len(out.Rejected) != 2 {
+		t.Fatalf("rejected = %v", out.Rejected)
+	}
+}
+
+func TestCoordinateLoneQueryRejected(t *testing.T) {
+	db := flightsDB(t)
+	out, err := Coordinate(db, []*ir.Query{
+		ir.MustParse(1, "{R(Jerry, x)} R(Kramer, x) :- F(x, Paris)"),
+	}, CoordinateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Answers) != 0 || len(out.Rejected) != 1 {
+		t.Fatalf("out = %+v", out)
+	}
+	if out.Rejected[0].Cause != CauseUnsatisfiedPost {
+		t.Fatalf("cause = %v", out.Rejected[0].Cause)
+	}
+}
+
+func TestCoordinatePostconditionFreeQuery(t *testing.T) {
+	// {} R(Kramer, x) :- F(x, Paris) needs no coordination: answered alone.
+	db := flightsDB(t)
+	out, err := Coordinate(db, []*ir.Query{
+		ir.MustParse(1, "{} R(Kramer, x) :- F(x, Paris)"),
+	}, CoordinateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, ok := out.Answers[1]
+	if !ok {
+		t.Fatalf("no answer: %+v", out)
+	}
+	dest := a.Tuples[0].Args[1].Value
+	if dest != "122" && dest != "123" && dest != "134" {
+		t.Fatalf("answer = %v", a)
+	}
+}
+
+func TestCoordinateUnsafeRejectedByDefault(t *testing.T) {
+	db := flightsDB(t)
+	db.MustCreateTable("Friend", "a", "b")
+	db.MustInsert("Friend", "Jerry", "Kramer")
+	qs := []*ir.Query{
+		ir.MustParse(1, "{R(Jerry, x)} R(Kramer, x) :- F(x, Paris)"),
+		ir.MustParse(2, "{R(Jerry, y)} R(Elaine, y) :- F(y, Paris)"),
+		ir.MustParse(3, "{R(f, z)} R(Jerry, z) :- F(z, w) ∧ Friend(Jerry, f)"),
+	}
+	if _, err := Coordinate(db, qs, CoordinateOptions{}); err == nil || !strings.Contains(err.Error(), "unsafe") {
+		t.Fatalf("expected unsafe error, got %v", err)
+	}
+	// With enforcement, query 3 is dropped; 1 and 2 remain but each lacks
+	// its partner, so everything is rejected without error.
+	out, err := Coordinate(db, qs, CoordinateOptions{EnforceSafety: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.UnsafeRemoved) != 1 || out.UnsafeRemoved[0] != 3 {
+		t.Fatalf("unsafe removed = %v", out.UnsafeRemoved)
+	}
+	if len(out.Answers) != 0 {
+		t.Fatalf("answers = %v", out.Answers)
+	}
+}
+
+func TestCoordinateUCS(t *testing.T) {
+	// Figure 3 (b): Frank's query violates UCS.
+	db := flightsDB(t)
+	qs := []*ir.Query{
+		ir.MustParse(1, "{R(Jerry, x)} R(Kramer, x) :- F(x, Paris)"),
+		ir.MustParse(2, "{R(Kramer, y)} R(Jerry, y) :- F(y, Paris)"),
+		ir.MustParse(3, "{R(Jerry, z)} R(Frank, z) :- F(z, Paris) ∧ A(z, United)"),
+	}
+	if _, err := Coordinate(db, qs, CoordinateOptions{RequireUCS: true}); err == nil || !strings.Contains(err.Error(), "UCS") {
+		t.Fatalf("expected UCS error, got %v", err)
+	}
+	out, err := Coordinate(db, qs, CoordinateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.UCSViolations) != 1 || out.UCSViolations[0] != 3 {
+		t.Fatalf("UCS violations = %v", out.UCSViolations)
+	}
+	// All three can coordinate on a United Paris flight here, so the
+	// matched structure answers all three together.
+	if len(out.Answers) != 3 {
+		t.Fatalf("answers = %v rejected = %v", out.Answers, out.Rejected)
+	}
+	f := out.Answers[1].Tuples[0].Args[1].Value
+	for id, a := range out.Answers {
+		if a.Tuples[0].Args[1].Value != f {
+			t.Fatalf("query %d got flight %s, others %s", id, a.Tuples[0].Args[1].Value, f)
+		}
+	}
+	if f != "122" && f != "123" {
+		t.Fatalf("three-way coordination must pick a United flight, got %s", f)
+	}
+}
+
+func TestCoordinateIndependentComponentsInParallel(t *testing.T) {
+	db := flightsDB(t)
+	var qs []*ir.Query
+	// 50 independent pairs, each coordinating on ANSWER relation R<i>.
+	for i := 0; i < 50; i++ {
+		rel := "R" + string(rune('A'+i%26)) + string(rune('A'+i/26))
+		a := ir.MustParse(ir.QueryID(2*i+1), "{"+rel+"(Jerry, x)} "+rel+"(Kramer, x) :- F(x, Paris)")
+		b := ir.MustParse(ir.QueryID(2*i+2), "{"+rel+"(Kramer, y)} "+rel+"(Jerry, y) :- F(y, Paris)")
+		qs = append(qs, a, b)
+	}
+	out, err := Coordinate(db, qs, CoordinateOptions{Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Components != 50 {
+		t.Fatalf("components = %d", out.Components)
+	}
+	if len(out.Answers) != 100 {
+		t.Fatalf("answers = %d", len(out.Answers))
+	}
+	// Each pair coordinated internally.
+	for i := 0; i < 50; i++ {
+		a := out.Answers[ir.QueryID(2*i+1)].Tuples[0].Args[1].Value
+		b := out.Answers[ir.QueryID(2*i+2)].Tuples[0].Args[1].Value
+		if a != b {
+			t.Fatalf("pair %d mismatched: %s vs %s", i, a, b)
+		}
+	}
+}
+
+func TestCoordinateDuplicateIDs(t *testing.T) {
+	db := flightsDB(t)
+	qs := []*ir.Query{
+		ir.MustParse(1, "{} R(A, x) :- F(x, Paris)"),
+		ir.MustParse(1, "{} R(B, y) :- F(y, Paris)"),
+	}
+	if _, err := Coordinate(db, qs, CoordinateOptions{}); err == nil {
+		t.Fatal("duplicate IDs must be rejected")
+	}
+}
+
+func TestCoordinateInvalidQuery(t *testing.T) {
+	db := flightsDB(t)
+	bad := &ir.Query{ID: 1, Heads: []ir.Atom{ir.NewAtom("R", ir.Var("z"))}}
+	if _, err := Coordinate(db, []*ir.Query{bad}, CoordinateOptions{}); err == nil {
+		t.Fatal("invalid query must be rejected")
+	}
+}
+
+func TestCombinedQueryShape(t *testing.T) {
+	// The combined Kramer/Jerry query must ask for a United flight to
+	// Paris with both head tuples (Section 3.2's example).
+	db := flightsDB(t)
+	out, err := Coordinate(db, kramerJerryQueries(), CoordinateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cq := out.Combined[0]
+	if len(cq.Heads) != 2 || len(cq.Body) != 3 {
+		t.Fatalf("combined query = %s", cq)
+	}
+	s := cq.String()
+	for _, want := range []string{"R(Kramer", "R(Jerry", "F(", "A(", "United"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("combined query %q missing %q", s, want)
+		}
+	}
+}
+
+func TestVerifyCoordinationHolds(t *testing.T) {
+	// Whatever Coordinate returns must satisfy the coordinating-set
+	// property of Section 2.3: head set ⊇ grounded postconditions.
+	db := flightsDB(t)
+	qs := kramerJerryQueries()
+	out, err := Coordinate(db, qs, CoordinateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	headSet := map[string]bool{}
+	var answers []ir.Answer
+	for _, a := range out.Answers {
+		answers = append(answers, a)
+		for _, tup := range a.Tuples {
+			headSet[tup.String()] = true
+		}
+	}
+	// Re-derive postconditions: ground each query's posts with the shared
+	// flight number and check membership.
+	f := out.Answers[1].Tuples[0].Args[1].Value
+	for _, q := range qs {
+		for _, p := range q.Posts {
+			g := p.Apply(ir.Substitution{"x": ir.Const(f), "y": ir.Const(f)})
+			if !headSet[g.String()] {
+				t.Fatalf("postcondition %s not satisfied by answer heads %v", g, headSet)
+			}
+		}
+	}
+	rel := AnswerRelation(answers)
+	if len(rel["R"]) != 2 {
+		t.Fatalf("answer relation = %v", rel)
+	}
+}
+
+func TestThreeWayCycleCoordination(t *testing.T) {
+	// Section 5.3.2's three-way cycle: Jerry→Kramer→Elaine→Jerry.
+	db := flightsDB(t)
+	qs := []*ir.Query{
+		ir.MustParse(1, "{R(Kramer, x)} R(Jerry, x) :- F(x, Paris)"),
+		ir.MustParse(2, "{R(Elaine, y)} R(Kramer, y) :- F(y, Paris)"),
+		ir.MustParse(3, "{R(Jerry, z)} R(Elaine, z) :- F(z, Paris)"),
+	}
+	out, err := Coordinate(db, qs, CoordinateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Answers) != 3 {
+		t.Fatalf("answers = %v rejected = %v", out.Answers, out.Rejected)
+	}
+	f := out.Answers[1].Tuples[0].Args[1].Value
+	for id := ir.QueryID(1); id <= 3; id++ {
+		if got := out.Answers[id].Tuples[0].Args[1].Value; got != f {
+			t.Fatalf("q%d flight %s != %s", id, got, f)
+		}
+	}
+}
+
+func TestGlobalMGUFailure(t *testing.T) {
+	// Exercise BuildCombined's rejection path directly with two survivors
+	// whose unifiers are incompatible (x = 1 vs x = 2 on a shared
+	// variable). Under safety this cannot arise from MatchComponent, but
+	// BuildCombined must still defend against it (Section 4.2: "If such a
+	// U cannot be computed, evaluation fails for Q′").
+	u1 := unify.New()
+	if _, err := u1.Union(ir.Var("shared"), ir.Const("1")); err != nil {
+		t.Fatal(err)
+	}
+	u2 := unify.New()
+	if _, err := u2.Union(ir.Var("shared"), ir.Const("2")); err != nil {
+		t.Fatal(err)
+	}
+	res := &MatchResult{
+		Survivors: []ir.QueryID{1, 2},
+		Unifiers:  map[ir.QueryID]*unify.Unifier{1: u1, 2: u2},
+	}
+	queries := map[ir.QueryID]*ir.Query{
+		1: ir.MustParse(1, "{} R(x) :- D(x)").RenameApart(),
+		2: ir.MustParse(2, "{} R(y) :- D(y)").RenameApart(),
+	}
+	if _, _, err := BuildCombined(queries, res); err == nil {
+		t.Fatal("incompatible unifiers must fail the component")
+	}
+}

@@ -1,0 +1,271 @@
+package match
+
+import (
+	"fmt"
+	"sort"
+
+	"entangle/internal/graph"
+	"entangle/internal/ir"
+	"entangle/internal/unify"
+)
+
+// RemovalCause explains why matching removed a query from consideration.
+type RemovalCause int
+
+const (
+	// CauseUnsatisfiedPost — a postcondition has no unifying head in the
+	// workload (indegree < PCCOUNT). In incremental mode such a query may
+	// simply be waiting for a partner that has not arrived yet.
+	CauseUnsatisfiedPost RemovalCause = iota
+	// CauseClash — unifier propagation produced a constant clash; no future
+	// arrival can repair this under the safety condition, so the query is
+	// permanently unanswerable.
+	CauseClash
+	// CauseCascade — the query was removed by CLEANUP because a query it
+	// depends on (directly or transitively) was removed.
+	CauseCascade
+	// CauseGlobalMGU — the component's surviving unifiers admit no global
+	// most general unifier (Section 4.2), so the component is rejected.
+	CauseGlobalMGU
+)
+
+// String names the cause.
+func (c RemovalCause) String() string {
+	switch c {
+	case CauseUnsatisfiedPost:
+		return "unsatisfied postcondition"
+	case CauseClash:
+		return "unifier clash"
+	case CauseCascade:
+		return "cascade cleanup"
+	case CauseGlobalMGU:
+		return "no global unifier"
+	case CauseNoData:
+		return "no satisfying data"
+	case CauseUnsafe:
+		return "unsafe"
+	default:
+		return fmt.Sprintf("RemovalCause(%d)", int(c))
+	}
+}
+
+// Removal pairs a removed query with its cause.
+type Removal struct {
+	Query ir.QueryID
+	Cause RemovalCause
+}
+
+// MatchResult is the outcome of running Algorithm 1 on one connected
+// component of the unifiability graph.
+type MatchResult struct {
+	// Survivors are the answerable queries, in insertion order, each with
+	// its final unifier.
+	Survivors []ir.QueryID
+	Unifiers  map[ir.QueryID]*unify.Unifier
+	// Removed lists queries eliminated during matching with their causes.
+	Removed []Removal
+	// Stats
+	Iterations int // number of queue dequeues performed
+	MGUCalls   int // number of pairwise unifier merges
+}
+
+// matcher carries the state of one Algorithm 1 run. It never mutates the
+// underlying graph; removals are tracked in an overlay so the engine can
+// reuse the graph across incremental rounds.
+type matcher struct {
+	g       *graph.Graph
+	member  map[ir.QueryID]bool
+	removed map[ir.QueryID]bool
+	u       map[ir.QueryID]*unify.Unifier
+	inQueue map[ir.QueryID]bool
+	queue   []ir.QueryID
+	res     *MatchResult
+	naive   bool // use NaiveMerge (A3 ablation)
+}
+
+// Options tunes MatchComponent.
+type Options struct {
+	// NaiveMGU switches unifier merging to the quadratic baseline (A3).
+	NaiveMGU bool
+}
+
+// MatchComponent runs unifier propagation (Algorithm 1) on the queries of
+// one connected component of g. The component must contain only live graph
+// nodes. Queries in the component must have pairwise-disjoint variable
+// names (rename apart first).
+func MatchComponent(g *graph.Graph, component []ir.QueryID, opt Options) *MatchResult {
+	m := &matcher{
+		g:       g,
+		member:  make(map[ir.QueryID]bool, len(component)),
+		removed: make(map[ir.QueryID]bool),
+		u:       make(map[ir.QueryID]*unify.Unifier, len(component)),
+		inQueue: make(map[ir.QueryID]bool, len(component)),
+		res:     &MatchResult{Unifiers: make(map[ir.QueryID]*unify.Unifier)},
+		naive:   opt.NaiveMGU,
+	}
+	for _, id := range component {
+		m.member[id] = true
+		m.u[id] = unify.New()
+	}
+
+	// Phase 1 (graph construction residue): initialise each node's unifier
+	// from its incoming edges, and remove nodes whose indegree is below
+	// their postcondition count — some postcondition has no unifying head.
+	for _, id := range component {
+		n := g.Node(id)
+		if n == nil {
+			continue
+		}
+		if m.removed[id] {
+			continue
+		}
+		if m.liveInDegree(id) < n.Query.PostCount() {
+			m.cleanup(id, CauseUnsatisfiedPost)
+			continue
+		}
+		ok := true
+		for _, e := range n.In {
+			if !m.member[e.From] || m.removed[e.From] {
+				continue
+			}
+			m.res.MGUCalls++
+			if _, err := m.u[id].UnifyAtoms(e.Head.Atom, e.Post.Atom); err != nil {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			m.cleanup(id, CauseClash)
+		}
+	}
+	// Re-check indegrees: cleanups above may have starved other nodes.
+	m.sweepStarved()
+
+	// Phase 2: Algorithm 1 — propagate unifiers along edges until fixpoint.
+	for _, id := range component {
+		if !m.removed[id] {
+			m.enqueue(id)
+		}
+	}
+	for len(m.queue) > 0 {
+		parent := m.queue[0]
+		m.queue = m.queue[1:]
+		m.inQueue[parent] = false
+		if m.removed[parent] {
+			continue
+		}
+		m.res.Iterations++
+		n := m.g.Node(parent)
+		if n == nil {
+			continue
+		}
+		for _, e := range n.Out {
+			child := e.To
+			if !m.member[child] || m.removed[child] || m.removed[parent] {
+				continue
+			}
+			m.res.MGUCalls++
+			changed, err := m.merge(m.u[child], m.u[parent])
+			if err != nil {
+				m.cleanup(child, CauseClash)
+				m.sweepStarved()
+				continue
+			}
+			if changed {
+				m.enqueue(child)
+			}
+		}
+	}
+
+	// Collect survivors in insertion order.
+	for _, id := range component {
+		if !m.removed[id] && g.Node(id) != nil {
+			m.res.Survivors = append(m.res.Survivors, id)
+			m.res.Unifiers[id] = m.u[id]
+		}
+	}
+	return m.res
+}
+
+func (m *matcher) merge(dst, src *unify.Unifier) (bool, error) {
+	if m.naive {
+		return dst.NaiveMerge(src)
+	}
+	return dst.Merge(src)
+}
+
+// liveInDegree counts in-edges whose source is a live member of the
+// component overlay.
+func (m *matcher) liveInDegree(id ir.QueryID) int {
+	n := m.g.Node(id)
+	if n == nil {
+		return 0
+	}
+	c := 0
+	for _, e := range n.In {
+		if m.member[e.From] && !m.removed[e.From] {
+			c++
+		}
+	}
+	return c
+}
+
+// enqueue adds a node to the updates queue if absent.
+func (m *matcher) enqueue(id ir.QueryID) {
+	if m.inQueue[id] || m.removed[id] {
+		return
+	}
+	m.inQueue[id] = true
+	m.queue = append(m.queue, id)
+}
+
+// cleanup implements CLEANUP(n): remove the node and all its descendants
+// from the overlay and the updates queue (Section 4.1.3). The triggering
+// node gets the given cause; descendants get CauseCascade.
+func (m *matcher) cleanup(id ir.QueryID, cause RemovalCause) {
+	if m.removed[id] {
+		return
+	}
+	m.removed[id] = true
+	m.inQueue[id] = false
+	m.res.Removed = append(m.res.Removed, Removal{Query: id, Cause: cause})
+	for _, d := range m.g.Descendants(id) {
+		if !m.member[d] || m.removed[d] {
+			continue
+		}
+		m.removed[d] = true
+		m.inQueue[d] = false
+		m.res.Removed = append(m.res.Removed, Removal{Query: d, Cause: CauseCascade})
+	}
+}
+
+// sweepStarved removes nodes whose live indegree dropped below their
+// postcondition count after cleanups, repeating until stable. Under safety
+// each postcondition has at most one feeding head, so once the feeder is
+// gone the postcondition is permanently unsatisfied within this workload.
+func (m *matcher) sweepStarved() {
+	for {
+		changed := false
+		for id := range m.member {
+			if m.removed[id] {
+				continue
+			}
+			n := m.g.Node(id)
+			if n == nil {
+				continue
+			}
+			if m.liveInDegree(id) < n.Query.PostCount() {
+				m.cleanup(id, CauseCascade)
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// sortRemovals orders removals by query ID for deterministic reporting.
+func sortRemovals(rs []Removal) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Query < rs[j].Query })
+}

@@ -1,0 +1,362 @@
+package match
+
+import (
+	"strings"
+	"testing"
+
+	"entangle/internal/graph"
+	"entangle/internal/ir"
+	"entangle/internal/unify"
+)
+
+// buildGraph renames queries apart, builds the unifiability graph, and
+// returns the graph plus the id→query map.
+func buildGraph(t testing.TB, queries []*ir.Query) (*graph.Graph, map[ir.QueryID]*ir.Query) {
+	t.Helper()
+	renamed := make([]*ir.Query, len(queries))
+	byID := make(map[ir.QueryID]*ir.Query)
+	for i, q := range queries {
+		renamed[i] = q.RenameApart()
+		byID[q.ID] = renamed[i]
+	}
+	g, err := graph.Build(renamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, byID
+}
+
+func TestCheckSafetyFig3a(t *testing.T) {
+	// Figure 3 (a): Jerry's postcondition R(f, z) unifies with both
+	// Kramer's and Elaine's heads → unsafe, query 3 flagged. Jerry's own
+	// head R(Jerry, z) also unifies syntactically but is excluded — a
+	// query is never its own coordination partner.
+	qs := []*ir.Query{
+		ir.MustParse(1, "{R(Jerry, x)} R(Kramer, x) :- F(x, Paris)"),
+		ir.MustParse(2, "{R(Jerry, y)} R(Elaine, y) :- F(y, Athens)"),
+		ir.MustParse(3, "{R(f, z)} R(Jerry, z) :- F(z, w) ∧ Friend(Jerry, f)"),
+	}
+	viol := CheckSafety(qs)
+	if len(viol) != 1 || viol[0].Query != 3 || len(viol[0].Heads) != 2 {
+		t.Fatalf("violations = %v", viol)
+	}
+	if !strings.Contains(viol[0].String(), "query 3") {
+		t.Errorf("violation string = %q", viol[0])
+	}
+}
+
+func TestCheckSafetyRunningExample(t *testing.T) {
+	qs := []*ir.Query{
+		ir.MustParse(1, "{R(Jerry, x)} R(Kramer, x) :- F(x, Paris)"),
+		ir.MustParse(2, "{R(Kramer, y)} R(Jerry, y) :- F(y, Paris) ∧ A(y, United)"),
+	}
+	if viol := CheckSafety(qs); len(viol) != 0 {
+		t.Fatalf("running example should be safe, got %v", viol)
+	}
+}
+
+func TestCheckSafetySameQueryTwoHeads(t *testing.T) {
+	// A postcondition can be unsafe against two head atoms of one query.
+	qs := []*ir.Query{
+		ir.MustParse(1, "{} R(A, x) ∧ R(B, x) :- D(x)"),
+		ir.MustParse(2, "{R(w, y)} S(y) :- D(y) ∧ E(w)"),
+	}
+	viol := CheckSafety(qs)
+	if len(viol) != 1 || viol[0].Query != 2 {
+		t.Fatalf("violations = %v", viol)
+	}
+}
+
+func TestEnforceSafety(t *testing.T) {
+	qs := []*ir.Query{
+		ir.MustParse(1, "{R(Jerry, x)} R(Kramer, x) :- F(x, Paris)"),
+		ir.MustParse(2, "{R(Jerry, y)} R(Elaine, y) :- F(y, Athens)"),
+		ir.MustParse(3, "{R(f, z)} R(Jerry, z) :- F(z, w) ∧ Friend(Jerry, f)"),
+	}
+	kept, removed := EnforceSafety(qs)
+	if len(removed) != 1 || removed[0].ID != 3 {
+		t.Fatalf("removed = %v", removed)
+	}
+	if len(kept) != 2 {
+		t.Fatalf("kept = %v", kept)
+	}
+	if viol := CheckSafety(kept); len(viol) != 0 {
+		t.Fatalf("kept set still unsafe: %v", viol)
+	}
+}
+
+func TestEnforceSafetyCascades(t *testing.T) {
+	// Removing one query can expose no new violations, but the loop must
+	// re-check until stable. Construct: q3's post unifies with q1,q2 heads
+	// (unsafe); after removing q3, the rest is safe.
+	qs := []*ir.Query{
+		ir.MustParse(1, "{} R(A, x) :- D(x)"),
+		ir.MustParse(2, "{} R(B, y) :- D(y)"),
+		ir.MustParse(3, "{R(v, z)} S(z) :- D(z) ∧ E(v)"),
+	}
+	kept, removed := EnforceSafety(qs)
+	if len(kept) != 2 || len(removed) != 1 {
+		t.Fatalf("kept=%d removed=%d", len(kept), len(removed))
+	}
+}
+
+func TestSafetyCheckerAdmit(t *testing.T) {
+	c := NewSafetyChecker()
+	q1 := ir.MustParse(1, "{R(Jerry, x)} R(Kramer, x) :- F(x, Paris)")
+	q2 := ir.MustParse(2, "{R(Kramer, y)} R(Jerry, y) :- F(y, Paris)")
+	if err := c.Admit(q1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Admit(q2); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	// Elaine's query: her head R(Elaine, …) is fine, but her postcondition
+	// R(Jerry, w) would be a second match… actually Jerry's head already
+	// matches Kramer's post; Elaine's post R(Jerry, w) gives Jerry's head a
+	// second outgoing match, which is allowed — safety is about a *post*
+	// matching two heads. Her post matches only Jerry's head → admissible.
+	q3 := ir.MustParse(3, "{R(Jerry, w)} R(Elaine, w) :- F(w, Paris)")
+	if err := c.Admit(q3); err != nil {
+		t.Fatalf("q3 should be admissible: %v", err)
+	}
+	// A wildcard postcondition R(f, z) now unifies with all three admitted
+	// heads → reject.
+	q4 := ir.MustParse(4, "{R(f, z)} R(Newman, z) :- F(z, v) ∧ Friend(Newman, f)")
+	if err := c.Check(q4); err == nil {
+		t.Fatal("wildcard postcondition must be rejected")
+	}
+	// A new head that would give an admitted postcondition a second match:
+	// Kramer's post is R(Jerry, y); another query with head R(Jerry, …).
+	q5 := ir.MustParse(5, "{} R(Jerry, u) :- F(u, Rome)")
+	if err := c.Check(q5); err == nil {
+		t.Fatal("second head for an admitted postcondition must be rejected")
+	}
+	// Removal frees the constraint.
+	c.Remove(2) // Jerry's query (head R(Jerry, y))
+	c.Remove(1) // Kramer's query (post R(Jerry, x)) — wait, q1 post is R(Jerry, x)
+	c.Remove(3)
+	if c.Len() != 0 {
+		t.Fatalf("Len after removals = %d", c.Len())
+	}
+	if err := c.Admit(q5); err != nil {
+		t.Fatalf("after removals q5 should be admissible: %v", err)
+	}
+}
+
+func TestSafetyCheckerOwnAtoms(t *testing.T) {
+	c := NewSafetyChecker()
+	// A query whose post unifies with two of its own heads is admissible:
+	// own heads never count (no self-coordination), so it simply waits for
+	// a real partner.
+	q := ir.MustParse(1, "{R(v, x)} R(A, x) ∧ R(B, x) :- D(x) ∧ E(v)")
+	if err := c.Admit(q); err != nil {
+		t.Fatalf("own heads must not trigger the safety check: %v", err)
+	}
+	// But its wildcard post R(v, x) now has zero *other* matches; a second
+	// query whose head matches is the first partner — fine. A third query
+	// whose head also matches must be rejected.
+	if err := c.Admit(ir.MustParse(2, "{} R(C, y) :- D(y)")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Check(ir.MustParse(3, "{} R(D, z) :- D(z)")); err == nil {
+		t.Fatal("second partner head must be rejected")
+	}
+}
+
+func TestSafetyCheckerTwoHeadsAtOnce(t *testing.T) {
+	// A single arriving query contributing TWO heads that both unify with
+	// one admitted postcondition must be rejected even though the
+	// postcondition previously had zero matches.
+	c := NewSafetyChecker()
+	if err := c.Admit(ir.MustParse(1, "{R(v, x)} S(x) :- D(x) ∧ E(v)")); err != nil {
+		t.Fatal(err)
+	}
+	q := ir.MustParse(2, "{} R(A, y) ∧ R(B, y) :- D(y)")
+	if err := c.Check(q); err == nil {
+		t.Fatal("two simultaneous matching heads must be rejected")
+	}
+}
+
+func TestMatchFig4RunningExample(t *testing.T) {
+	// Section 4.1.4's worked example. All three queries survive and end
+	// with the same unifier {{x1, y1}, {x2, z2}, {x3, z1, 1}}.
+	qs := []*ir.Query{
+		ir.MustParse(1, "{R(x1) ∧ S(x2)} T(x3) :- D1(x1, x2, x3)"),
+		ir.MustParse(2, "{T(1)} R(y1) :- D2(y1)"),
+		ir.MustParse(3, "{T(z1)} S(z2) :- D3(z1, z2)"),
+	}
+	g, _ := buildGraph(t, qs)
+	comps := g.ConnectedComponents()
+	if len(comps) != 1 {
+		t.Fatalf("components = %v", comps)
+	}
+	res := MatchComponent(g, comps[0], Options{})
+	if len(res.Survivors) != 3 {
+		t.Fatalf("survivors = %v, removed = %v", res.Survivors, res.Removed)
+	}
+	// Check the final unifier constraints on q1's variables (renamed).
+	u1 := res.Unifiers[1]
+	if c, ok := u1.ConstantOf(ir.Var("q1·x3")); !ok || c != "1" {
+		t.Fatalf("x3 should be bound to 1, got %q (%v); unifier %v", c, ok, u1)
+	}
+	if !u1.SameClass(ir.Var("q1·x1"), ir.Var("q2·y1")) {
+		t.Fatalf("x1 and y1 should be unified: %v", u1)
+	}
+	if !u1.SameClass(ir.Var("q1·x2"), ir.Var("q3·z2")) {
+		t.Fatalf("x2 and z2 should be unified: %v", u1)
+	}
+	// Every node converges to equivalent unifiers in this example.
+	for _, id := range res.Survivors {
+		global, err := unify.MGU(u1, res.Unifiers[id])
+		if err != nil {
+			t.Fatalf("q%d unifier incompatible with q1's: %v", id, err)
+		}
+		if !unify.Equivalent(global, u1) {
+			t.Fatalf("q%d unifier %v differs from q1's %v", id, res.Unifiers[id], u1)
+		}
+	}
+}
+
+func TestMatchFig4VariantClash(t *testing.T) {
+	// Section 4.1.4's failure variant: q3's postcondition T(2) forces
+	// x3 = 1 and x3 = 2 simultaneously; the whole component dies.
+	qs := []*ir.Query{
+		ir.MustParse(1, "{R(x1) ∧ S(x2)} T(x3) :- D1(x1, x2, x3)"),
+		ir.MustParse(2, "{T(1)} R(y1) :- D2(y1)"),
+		ir.MustParse(3, "{T(2)} S(z2) :- D3(z2)"),
+	}
+	g, _ := buildGraph(t, qs)
+	res := MatchComponent(g, g.ConnectedComponents()[0], Options{})
+	if len(res.Survivors) != 0 {
+		t.Fatalf("survivors = %v, want none", res.Survivors)
+	}
+	// q1 clashes; q2 and q3 cascade.
+	causes := map[ir.QueryID]RemovalCause{}
+	for _, r := range res.Removed {
+		causes[r.Query] = r.Cause
+	}
+	if causes[1] != CauseClash {
+		t.Errorf("q1 cause = %v, want clash", causes[1])
+	}
+	if causes[2] != CauseCascade || causes[3] != CauseCascade {
+		t.Errorf("q2/q3 causes = %v/%v, want cascade", causes[2], causes[3])
+	}
+}
+
+func TestMatchUnsatisfiedPostcondition(t *testing.T) {
+	// Kramer alone: his postcondition R(Jerry, x) has no partner.
+	qs := []*ir.Query{
+		ir.MustParse(1, "{R(Jerry, x)} R(Kramer, x) :- F(x, Paris)"),
+	}
+	g, _ := buildGraph(t, qs)
+	res := MatchComponent(g, g.ConnectedComponents()[0], Options{})
+	if len(res.Survivors) != 0 {
+		t.Fatalf("lone Kramer should not survive: %v", res.Survivors)
+	}
+	if len(res.Removed) != 1 || res.Removed[0].Cause != CauseUnsatisfiedPost {
+		t.Fatalf("removed = %v", res.Removed)
+	}
+}
+
+func TestMatchCascadeOnStarvation(t *testing.T) {
+	// Chain: q1 (no posts) feeds q2 feeds q3; q4's post is unmatched and
+	// q4's head feeds nothing. Removing q4 must not affect the chain.
+	qs := []*ir.Query{
+		ir.MustParse(1, "{} H1(x) :- D(x)"),
+		ir.MustParse(2, "{H1(a)} H2(a) :- D(a)"),
+		ir.MustParse(3, "{H2(b)} H3(b) :- D(b)"),
+		ir.MustParse(4, "{Nowhere(c)} H4(c) :- D(c)"),
+	}
+	g, _ := buildGraph(t, qs)
+	for _, comp := range g.ConnectedComponents() {
+		res := MatchComponent(g, comp, Options{})
+		for _, id := range res.Survivors {
+			if id == 4 {
+				t.Fatal("q4 must not survive")
+			}
+		}
+		if comp[0] == 1 && len(res.Survivors) != 3 {
+			t.Fatalf("chain survivors = %v", res.Survivors)
+		}
+	}
+}
+
+func TestMatchStarvationCascades(t *testing.T) {
+	// q1's post is unmatched; q2 depends on q1's head; q3 depends on q2's.
+	// All three must be removed (q1 unsatisfied, rest cascade).
+	qs := []*ir.Query{
+		ir.MustParse(1, "{Nowhere(n)} H1(x) :- D(x) ∧ E(n)"),
+		ir.MustParse(2, "{H1(a)} H2(a) :- D(a)"),
+		ir.MustParse(3, "{H2(b)} H3(b) :- D(b)"),
+	}
+	g, _ := buildGraph(t, qs)
+	res := MatchComponent(g, g.ConnectedComponents()[0], Options{})
+	if len(res.Survivors) != 0 {
+		t.Fatalf("survivors = %v, want none", res.Survivors)
+	}
+	if len(res.Removed) != 3 {
+		t.Fatalf("removed = %v", res.Removed)
+	}
+}
+
+func TestMatchMutualPair(t *testing.T) {
+	// Kramer & Jerry coordinate; final unifiers bind x = y.
+	qs := []*ir.Query{
+		ir.MustParse(1, "{R(Jerry, x)} R(Kramer, x) :- F(x, Paris)"),
+		ir.MustParse(2, "{R(Kramer, y)} R(Jerry, y) :- F(y, Paris) ∧ A(y, United)"),
+	}
+	g, _ := buildGraph(t, qs)
+	res := MatchComponent(g, g.ConnectedComponents()[0], Options{})
+	if len(res.Survivors) != 2 {
+		t.Fatalf("survivors = %v removed = %v", res.Survivors, res.Removed)
+	}
+	u := res.Unifiers[1]
+	if !u.SameClass(ir.Var("q1·x"), ir.Var("q2·y")) {
+		t.Fatalf("x and y must be unified, got %v", u)
+	}
+}
+
+func TestMatchNaiveMGUAgrees(t *testing.T) {
+	qs := []*ir.Query{
+		ir.MustParse(1, "{R(x1) ∧ S(x2)} T(x3) :- D1(x1, x2, x3)"),
+		ir.MustParse(2, "{T(1)} R(y1) :- D2(y1)"),
+		ir.MustParse(3, "{T(z1)} S(z2) :- D3(z1, z2)"),
+	}
+	g, _ := buildGraph(t, qs)
+	comp := g.ConnectedComponents()[0]
+	fast := MatchComponent(g, comp, Options{})
+	slow := MatchComponent(g, comp, Options{NaiveMGU: true})
+	if len(fast.Survivors) != len(slow.Survivors) {
+		t.Fatalf("survivor mismatch: %v vs %v", fast.Survivors, slow.Survivors)
+	}
+	for _, id := range fast.Survivors {
+		if !unify.Equivalent(fast.Unifiers[id], slow.Unifiers[id]) {
+			t.Fatalf("q%d: %v vs %v", id, fast.Unifiers[id], slow.Unifiers[id])
+		}
+	}
+}
+
+func TestRemovalCauseStrings(t *testing.T) {
+	for c, want := range map[RemovalCause]string{
+		CauseUnsatisfiedPost: "unsatisfied postcondition",
+		CauseClash:           "unifier clash",
+		CauseCascade:         "cascade cleanup",
+		CauseGlobalMGU:       "no global unifier",
+	} {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(c), c.String(), want)
+		}
+	}
+	if !strings.Contains(RemovalCause(77).String(), "77") {
+		t.Error("unknown cause should include its number")
+	}
+}
+
+func TestEvaluationCauseStrings(t *testing.T) {
+	if CauseNoData.String() != "no satisfying data" || CauseUnsafe.String() != "unsafe" {
+		t.Fatalf("cause strings: %q / %q", CauseNoData.String(), CauseUnsafe.String())
+	}
+}

@@ -1,0 +1,180 @@
+// Package match implements the evaluation algorithm for entangled queries
+// (Section 4 of the paper): the safety check (Section 3.1.1), the UCS check
+// (Section 3.1.2), unifier propagation on the unifiability graph
+// (Algorithm 1, Section 4.1.4), combined-query construction and
+// simplification (Section 4.2), and end-to-end coordinated query answering
+// against the memdb substrate.
+package match
+
+import (
+	"fmt"
+
+	"entangle/internal/graph"
+	"entangle/internal/ir"
+)
+
+// SafetyViolation records an unsafe query: one of its postcondition atoms
+// unifies with two or more head atoms in the workload (Section 3.1.1).
+type SafetyViolation struct {
+	Query ir.QueryID      // the unsafe query
+	Post  ir.Atom         // the offending postcondition atom
+	Heads []graph.AtomRef // the ≥2 head atoms it unifies with
+}
+
+// String describes the violation.
+func (v SafetyViolation) String() string {
+	return fmt.Sprintf("query %d: postcondition %s unifies with %d head atoms", v.Query, v.Post, len(v.Heads))
+}
+
+// CheckSafety examines a workload and returns a violation for every query
+// with a postcondition unifying with more than one head atom. The counted
+// heads may belong to several queries or to a single other query ("two head
+// atoms of the same query"); a query's own heads are excluded, because a
+// query is never its own coordination partner (see graph.AddQuery).
+// An empty result means the set is safe.
+func CheckSafety(queries []*ir.Query) []SafetyViolation {
+	ix := graph.NewIndex()
+	for _, q := range queries {
+		for hi, h := range q.Heads {
+			ix.Add(graph.AtomRef{Query: q.ID, Pos: hi, Atom: h})
+		}
+	}
+	var out []SafetyViolation
+	for _, q := range queries {
+		for _, p := range q.Posts {
+			heads := ix.Lookup(p)
+			others := heads[:0]
+			for _, h := range heads {
+				if h.Query != q.ID {
+					others = append(others, h)
+				}
+			}
+			if len(others) > 1 {
+				out = append(out, SafetyViolation{Query: q.ID, Post: p, Heads: others})
+			}
+		}
+	}
+	return out
+}
+
+// EnforceSafety implements the paper's simple removal procedure: iterate
+// over the query set, removing every query that has a postcondition
+// unifying with more than one head atom, until the remaining set is safe.
+// The procedure is not Church-Rosser in general but is efficient and
+// deterministic here (queries are scanned in input order each round).
+// It returns the surviving queries and the removed ones.
+func EnforceSafety(queries []*ir.Query) (kept, removed []*ir.Query) {
+	kept = append([]*ir.Query(nil), queries...)
+	for {
+		viol := CheckSafety(kept)
+		if len(viol) == 0 {
+			return kept, removed
+		}
+		bad := make(map[ir.QueryID]bool, len(viol))
+		for _, v := range viol {
+			bad[v.Query] = true
+		}
+		next := kept[:0]
+		for _, q := range kept {
+			if bad[q.ID] {
+				removed = append(removed, q)
+			} else {
+				next = append(next, q)
+			}
+		}
+		kept = next
+	}
+}
+
+// SafetyChecker admits queries one at a time, maintaining head and
+// postcondition indices over the admitted set. A new query is rejected if
+// admitting it would make the workload unsafe — either because one of its
+// own postconditions unifies with two or more admitted heads, or because one
+// of its heads would give an admitted query's postcondition a second
+// unifying head. This is the incremental admission test stress-tested in
+// the paper's Figure 9 experiment.
+type SafetyChecker struct {
+	heads *graph.Index // head atoms of admitted queries
+	posts *graph.Index // postcondition atoms of admitted queries
+	n     int
+}
+
+// NewSafetyChecker returns an empty checker.
+func NewSafetyChecker() *SafetyChecker {
+	return &SafetyChecker{heads: graph.NewIndex(), posts: graph.NewIndex()}
+}
+
+// Len returns the number of admitted queries.
+func (c *SafetyChecker) Len() int { return c.n }
+
+// Check reports whether q can be admitted without violating safety. It does
+// not modify the checker. A query's own heads never count against its own
+// postconditions (no self-coordination).
+func (c *SafetyChecker) Check(q *ir.Query) error {
+	// (1) Each of q's postconditions must unify with at most one admitted
+	// head (own heads excluded).
+	for _, p := range q.Posts {
+		n := 0
+		for _, h := range c.heads.Lookup(p) {
+			if h.Query != q.ID {
+				n++
+			}
+		}
+		if n > 1 {
+			return fmt.Errorf("match: unsafe: postcondition %s of query %d unifies with %d head atoms", p, q.ID, n)
+		}
+	}
+	// (2) q's heads must not give any admitted postcondition a second
+	// unifying head. Each admitted postcondition currently has 0 or 1
+	// unifying heads (invariant); count how many of q's heads would join,
+	// so a query contributing two unifying heads at once is caught even
+	// when the postcondition currently has none.
+	type postKey struct {
+		q   ir.QueryID
+		pos int
+	}
+	added := make(map[postKey]int)
+	for _, h := range q.Heads {
+		for _, pref := range c.posts.Lookup(h) {
+			if pref.Query == q.ID {
+				continue
+			}
+			k := postKey{pref.Query, pref.Pos}
+			added[k]++
+			existing := 0
+			for _, eh := range c.heads.Lookup(pref.Atom) {
+				if eh.Query != pref.Query {
+					existing++
+				}
+			}
+			if existing+added[k] > 1 {
+				return fmt.Errorf("match: unsafe: head %s of query %d would give postcondition %s of query %d multiple matches",
+					h, q.ID, pref.Atom, pref.Query)
+			}
+		}
+	}
+	return nil
+}
+
+// Admit checks q and, on success, adds its atoms to the indices.
+func (c *SafetyChecker) Admit(q *ir.Query) error {
+	if err := c.Check(q); err != nil {
+		return err
+	}
+	for hi, h := range q.Heads {
+		c.heads.Add(graph.AtomRef{Query: q.ID, Pos: hi, Atom: h})
+	}
+	for pi, p := range q.Posts {
+		c.posts.Add(graph.AtomRef{Query: q.ID, Pos: pi, Atom: p})
+	}
+	c.n++
+	return nil
+}
+
+// Remove deletes a previously admitted query's atoms (for retirement or
+// staleness eviction).
+func (c *SafetyChecker) Remove(id ir.QueryID) {
+	c.heads.RemoveQuery(id)
+	c.posts.RemoveQuery(id)
+	c.n--
+}

@@ -1,0 +1,246 @@
+// Package memdb is the relational database substrate for the D3C engine.
+//
+// The paper's implementation sent combined queries to MySQL 4.1.20 over
+// JDBC. This reproduction is stdlib-only, so memdb provides the slice of
+// relational functionality those combined queries need: named tables with
+// string-valued columns, hash indexes, and an evaluator for conjunctive
+// (select-project-join) queries with equality constraints and LIMIT — which
+// is exactly the class of queries that Section 4.2's combined-query
+// construction emits.
+//
+// All values are strings; the IR's constants map onto them directly. Tables
+// are safe for concurrent readers; writers take an exclusive lock.
+package memdb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Row is one tuple of a table. Positions correspond to the table's columns.
+type Row []string
+
+// Table is a named relation with a fixed column list. Hash indexes are
+// built lazily per column on first use by the evaluator.
+type Table struct {
+	name    string
+	cols    []string
+	rows    []Row
+	indexes map[int]map[string][]int // column → value → row ids
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Columns returns a copy of the column names.
+func (t *Table) Columns() []string { return append([]string(nil), t.cols...) }
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Arity returns the number of columns.
+func (t *Table) Arity() int { return len(t.cols) }
+
+// DB is an in-memory relational database.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// New returns an empty database.
+func New() *DB {
+	return &DB{tables: make(map[string]*Table)}
+}
+
+// CreateTable creates a table with the given columns. It fails if the table
+// exists or has no columns.
+func (db *DB) CreateTable(name string, cols ...string) error {
+	if len(cols) == 0 {
+		return fmt.Errorf("memdb: table %s needs at least one column", name)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[name]; ok {
+		return fmt.Errorf("memdb: table %s already exists", name)
+	}
+	seen := map[string]bool{}
+	for _, c := range cols {
+		if seen[c] {
+			return fmt.Errorf("memdb: table %s: duplicate column %s", name, c)
+		}
+		seen[c] = true
+	}
+	db.tables[name] = &Table{
+		name:    name,
+		cols:    append([]string(nil), cols...),
+		indexes: make(map[int]map[string][]int),
+	}
+	return nil
+}
+
+// MustCreateTable is CreateTable that panics on error; for tests and setup
+// code with literal schemas.
+func (db *DB) MustCreateTable(name string, cols ...string) {
+	if err := db.CreateTable(name, cols...); err != nil {
+		panic(err)
+	}
+}
+
+// DropTable removes a table. It returns an error if the table is unknown.
+func (db *DB) DropTable(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[name]; !ok {
+		return fmt.Errorf("memdb: no table %s", name)
+	}
+	delete(db.tables, name)
+	return nil
+}
+
+// Table returns the named table, or nil.
+func (db *DB) Table(name string) *Table {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.tables[name]
+}
+
+// TableNames returns the sorted table names.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Insert appends one row. The value count must match the table's arity.
+func (db *DB) Insert(table string, values ...string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[table]
+	if !ok {
+		return fmt.Errorf("memdb: no table %s", table)
+	}
+	if len(values) != len(t.cols) {
+		return fmt.Errorf("memdb: table %s has %d columns, got %d values", table, len(t.cols), len(values))
+	}
+	id := len(t.rows)
+	t.rows = append(t.rows, append(Row(nil), values...))
+	for col, ix := range t.indexes {
+		ix[values[col]] = append(ix[values[col]], id)
+	}
+	return nil
+}
+
+// MustInsert is Insert that panics on error.
+func (db *DB) MustInsert(table string, values ...string) {
+	if err := db.Insert(table, values...); err != nil {
+		panic(err)
+	}
+}
+
+// BulkInsert appends many rows at once under a single lock acquisition.
+func (db *DB) BulkInsert(table string, rows [][]string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[table]
+	if !ok {
+		return fmt.Errorf("memdb: no table %s", table)
+	}
+	for _, values := range rows {
+		if len(values) != len(t.cols) {
+			return fmt.Errorf("memdb: table %s has %d columns, got %d values", table, len(t.cols), len(values))
+		}
+		id := len(t.rows)
+		t.rows = append(t.rows, append(Row(nil), values...))
+		for col, ix := range t.indexes {
+			ix[values[col]] = append(ix[values[col]], id)
+		}
+	}
+	return nil
+}
+
+// CreateIndex builds (or rebuilds) a hash index on the given column.
+func (db *DB) CreateIndex(table, column string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[table]
+	if !ok {
+		return fmt.Errorf("memdb: no table %s", table)
+	}
+	col := -1
+	for i, c := range t.cols {
+		if c == column {
+			col = i
+			break
+		}
+	}
+	if col < 0 {
+		return fmt.Errorf("memdb: table %s has no column %s", table, column)
+	}
+	t.buildIndex(col)
+	return nil
+}
+
+// buildIndex constructs the hash index for a column position. Caller holds
+// the write lock (or is the evaluator, which upgrades explicitly).
+func (t *Table) buildIndex(col int) {
+	ix := make(map[string][]int)
+	for id, row := range t.rows {
+		ix[row[col]] = append(ix[row[col]], id)
+	}
+	t.indexes[col] = ix
+}
+
+// lookupEq returns the row ids whose column equals value, using the index
+// when present, a scan otherwise. Caller holds at least the read lock.
+func (t *Table) lookupEq(col int, value string) []int {
+	if ix, ok := t.indexes[col]; ok {
+		return ix[value]
+	}
+	var out []int
+	for id, row := range t.rows {
+		if row[col] == value {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Rows returns a snapshot copy of all rows. Intended for tests and tools,
+// not hot paths.
+func (db *DB) Rows(table string) ([][]string, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[table]
+	if !ok {
+		return nil, fmt.Errorf("memdb: no table %s", table)
+	}
+	out := make([][]string, len(t.rows))
+	for i, r := range t.rows {
+		out[i] = append([]string(nil), r...)
+	}
+	return out, nil
+}
+
+// String summarizes the database contents.
+func (db *DB) String() string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var b strings.Builder
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		t := db.tables[n]
+		fmt.Fprintf(&b, "%s(%s): %d rows\n", n, strings.Join(t.cols, ", "), len(t.rows))
+	}
+	return b.String()
+}

@@ -1,0 +1,402 @@
+package memdb
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"entangle/internal/ir"
+)
+
+// flightsDB builds the Figure 1 (a) database.
+func flightsDB(t testing.TB) *DB {
+	t.Helper()
+	db := New()
+	db.MustCreateTable("Flights", "fno", "dest")
+	db.MustCreateTable("Airlines", "fno", "airline")
+	for _, r := range [][]string{
+		{"122", "Paris"}, {"123", "Paris"}, {"134", "Paris"}, {"136", "Rome"},
+	} {
+		db.MustInsert("Flights", r...)
+	}
+	for _, r := range [][]string{
+		{"122", "United"}, {"123", "United"}, {"134", "Lufthansa"}, {"136", "Alitalia"},
+	} {
+		db.MustInsert("Airlines", r...)
+	}
+	return db
+}
+
+func TestCreateTableErrors(t *testing.T) {
+	db := New()
+	if err := db.CreateTable("T"); err == nil {
+		t.Fatal("zero-column table must fail")
+	}
+	if err := db.CreateTable("T", "a", "a"); err == nil {
+		t.Fatal("duplicate column must fail")
+	}
+	if err := db.CreateTable("T", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable("T", "b"); err == nil {
+		t.Fatal("duplicate table must fail")
+	}
+}
+
+func TestInsertErrors(t *testing.T) {
+	db := New()
+	db.MustCreateTable("T", "a", "b")
+	if err := db.Insert("Missing", "1", "2"); err == nil {
+		t.Fatal("insert into missing table must fail")
+	}
+	if err := db.Insert("T", "1"); err == nil {
+		t.Fatal("arity mismatch must fail")
+	}
+	if err := db.Insert("T", "1", "2"); err != nil {
+		t.Fatal(err)
+	}
+	if db.Table("T").Len() != 1 {
+		t.Fatal("row not inserted")
+	}
+}
+
+func TestBulkInsert(t *testing.T) {
+	db := New()
+	db.MustCreateTable("T", "a")
+	rows := make([][]string, 1000)
+	for i := range rows {
+		rows[i] = []string{fmt.Sprint(i)}
+	}
+	if err := db.BulkInsert("T", rows); err != nil {
+		t.Fatal(err)
+	}
+	if db.Table("T").Len() != 1000 {
+		t.Fatalf("Len = %d", db.Table("T").Len())
+	}
+	if err := db.BulkInsert("T", [][]string{{"x", "y"}}); err == nil {
+		t.Fatal("bulk arity mismatch must fail")
+	}
+}
+
+func TestDropTable(t *testing.T) {
+	db := New()
+	db.MustCreateTable("T", "a")
+	if err := db.DropTable("T"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DropTable("T"); err == nil {
+		t.Fatal("dropping a missing table must fail")
+	}
+	if db.Table("T") != nil {
+		t.Fatal("table still visible after drop")
+	}
+}
+
+func TestIndexMaintainedAcrossInserts(t *testing.T) {
+	db := New()
+	db.MustCreateTable("T", "a", "b")
+	db.MustInsert("T", "1", "x")
+	if err := db.CreateIndex("T", "a"); err != nil {
+		t.Fatal(err)
+	}
+	db.MustInsert("T", "1", "y") // post-index insert must be indexed too
+	got, err := db.EvalConjunctive([]ir.Atom{ir.NewAtom("T", ir.Const("1"), ir.Var("v"))}, nil, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("expected 2 rows via index, got %v", got)
+	}
+	if err := db.CreateIndex("T", "zzz"); err == nil {
+		t.Fatal("index on unknown column must fail")
+	}
+	if err := db.CreateIndex("Missing", "a"); err == nil {
+		t.Fatal("index on unknown table must fail")
+	}
+}
+
+func TestEvalSingleAtom(t *testing.T) {
+	db := flightsDB(t)
+	got, err := db.EvalConjunctive(
+		[]ir.Atom{ir.NewAtom("Flights", ir.Var("f"), ir.Const("Paris"))}, nil, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fnos []string
+	for _, v := range got {
+		fnos = append(fnos, v["f"].Value)
+	}
+	sort.Strings(fnos)
+	if strings.Join(fnos, ",") != "122,123,134" {
+		t.Fatalf("Paris flights = %v", fnos)
+	}
+}
+
+func TestEvalJoin(t *testing.T) {
+	// United flights to Paris — the combined Kramer/Jerry query body.
+	db := flightsDB(t)
+	got, err := db.EvalConjunctive([]ir.Atom{
+		ir.NewAtom("Flights", ir.Var("x"), ir.Const("Paris")),
+		ir.NewAtom("Airlines", ir.Var("x"), ir.Const("United")),
+	}, nil, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fnos []string
+	for _, v := range got {
+		fnos = append(fnos, v["x"].Value)
+	}
+	sort.Strings(fnos)
+	if strings.Join(fnos, ",") != "122,123" {
+		t.Fatalf("United Paris flights = %v", fnos)
+	}
+}
+
+func TestEvalWithEqualities(t *testing.T) {
+	// Body of the simplified running-example combined query (Section 4.2):
+	// D1(x1,x2,x3) ∧ D2(y1) ∧ D3(z1,z2) ∧ x1=y1 ∧ x2=z2 ∧ x3=z1 ∧ x3=1.
+	db := New()
+	db.MustCreateTable("D1", "a", "b", "c")
+	db.MustCreateTable("D2", "a")
+	db.MustCreateTable("D3", "a", "b")
+	db.MustInsert("D1", "7", "8", "1")
+	db.MustInsert("D1", "7", "8", "2") // fails x3=1
+	db.MustInsert("D2", "7")
+	db.MustInsert("D3", "1", "8")
+	got, err := db.EvalConjunctive(
+		[]ir.Atom{
+			ir.NewAtom("D1", ir.Var("x1"), ir.Var("x2"), ir.Var("x3")),
+			ir.NewAtom("D2", ir.Var("y1")),
+			ir.NewAtom("D3", ir.Var("z1"), ir.Var("z2")),
+		},
+		[]ir.Equality{
+			{Left: ir.Var("x1"), Right: ir.Var("y1")},
+			{Left: ir.Var("x2"), Right: ir.Var("z2")},
+			{Left: ir.Var("x3"), Right: ir.Var("z1")},
+			{Left: ir.Var("x3"), Right: ir.Const("1")},
+		},
+		EvalOptions{},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("valuations = %v, want exactly 1", got)
+	}
+	v := got[0]
+	checks := map[string]string{"x1": "7", "y1": "7", "x2": "8", "z2": "8", "x3": "1", "z1": "1"}
+	for name, want := range checks {
+		if v[name].Value != want {
+			t.Errorf("%s = %v, want %s", name, v[name], want)
+		}
+	}
+}
+
+func TestEvalInconsistentEqualities(t *testing.T) {
+	db := flightsDB(t)
+	got, err := db.EvalConjunctive(
+		[]ir.Atom{ir.NewAtom("Flights", ir.Var("x"), ir.Var("d"))},
+		[]ir.Equality{
+			{Left: ir.Var("x"), Right: ir.Const("1")},
+			{Left: ir.Var("x"), Right: ir.Const("2")},
+		},
+		EvalOptions{},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("inconsistent ϕU must yield no valuations, got %v", got)
+	}
+	// Constant-constant contradiction.
+	got, err = db.EvalConjunctive(
+		[]ir.Atom{ir.NewAtom("Flights", ir.Var("x"), ir.Var("d"))},
+		[]ir.Equality{{Left: ir.Const("1"), Right: ir.Const("2")}},
+		EvalOptions{},
+	)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("constant contradiction: got %v, %v", got, err)
+	}
+}
+
+func TestEvalRepeatedVariableInAtom(t *testing.T) {
+	db := New()
+	db.MustCreateTable("P", "a", "b")
+	db.MustInsert("P", "1", "1")
+	db.MustInsert("P", "1", "2")
+	got, err := db.EvalConjunctive([]ir.Atom{ir.NewAtom("P", ir.Var("x"), ir.Var("x"))}, nil, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0]["x"].Value != "1" {
+		t.Fatalf("repeated variable join = %v", got)
+	}
+}
+
+func TestEvalLimit(t *testing.T) {
+	db := flightsDB(t)
+	got, err := db.EvalConjunctive(
+		[]ir.Atom{ir.NewAtom("Flights", ir.Var("f"), ir.Const("Paris"))}, nil, EvalOptions{Limit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("limit 1 returned %d rows", len(got))
+	}
+	got, err = db.EvalConjunctive(
+		[]ir.Atom{ir.NewAtom("Flights", ir.Var("f"), ir.Const("Paris"))}, nil, EvalOptions{Limit: 2})
+	if err != nil || len(got) != 2 {
+		t.Fatalf("limit 2 returned %d rows (%v)", len(got), err)
+	}
+}
+
+func TestEvalRandomisedChoice(t *testing.T) {
+	// With a seeded Rand, LIMIT 1 must (eventually) return different
+	// coordinated choices — the CHOOSE 1 nondeterminism of Section 2.1.
+	db := flightsDB(t)
+	seen := map[string]bool{}
+	for seed := int64(0); seed < 32; seed++ {
+		got, err := db.EvalConjunctive(
+			[]ir.Atom{ir.NewAtom("Flights", ir.Var("f"), ir.Const("Paris"))},
+			nil, EvalOptions{Limit: 1, Rand: rand.New(rand.NewSource(seed))})
+		if err != nil || len(got) != 1 {
+			t.Fatal(err)
+		}
+		seen[got[0]["f"].Value] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("randomised choice always returned the same flight: %v", seen)
+	}
+	for f := range seen {
+		if f != "122" && f != "123" && f != "134" {
+			t.Fatalf("randomised choice returned non-Paris flight %s", f)
+		}
+	}
+}
+
+func TestEvalUnknownTable(t *testing.T) {
+	db := New()
+	if _, err := db.EvalConjunctive([]ir.Atom{ir.NewAtom("Nope", ir.Var("x"))}, nil, EvalOptions{}); err == nil {
+		t.Fatal("unknown table must error")
+	}
+}
+
+func TestEvalArityMismatch(t *testing.T) {
+	db := New()
+	db.MustCreateTable("T", "a", "b")
+	if _, err := db.EvalConjunctive([]ir.Atom{ir.NewAtom("T", ir.Var("x"))}, nil, EvalOptions{}); err == nil {
+		t.Fatal("atom arity mismatch must error")
+	}
+}
+
+func TestEvalCrossProductNoSharedVars(t *testing.T) {
+	db := New()
+	db.MustCreateTable("A", "x")
+	db.MustCreateTable("B", "y")
+	db.MustInsert("A", "1")
+	db.MustInsert("A", "2")
+	db.MustInsert("B", "p")
+	db.MustInsert("B", "q")
+	got, err := db.EvalConjunctive([]ir.Atom{
+		ir.NewAtom("A", ir.Var("x")),
+		ir.NewAtom("B", ir.Var("y")),
+	}, nil, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("cross product size = %d, want 4", len(got))
+	}
+}
+
+func TestEvalEmptyAtomList(t *testing.T) {
+	db := New()
+	got, err := db.EvalConjunctive(nil, nil, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The empty conjunction is trivially satisfied by the empty valuation.
+	if len(got) != 1 || len(got[0]) != 0 {
+		t.Fatalf("empty conjunction = %v", got)
+	}
+}
+
+func TestCount(t *testing.T) {
+	db := flightsDB(t)
+	n, err := db.Count([]ir.Atom{ir.NewAtom("Flights", ir.Var("f"), ir.Const("Paris"))}, nil)
+	if err != nil || n != 3 {
+		t.Fatalf("Count = %d, %v", n, err)
+	}
+}
+
+func TestRowsSnapshot(t *testing.T) {
+	db := flightsDB(t)
+	rows, err := db.Rows("Flights")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows[0][0] = "MUTATED"
+	rows2, _ := db.Rows("Flights")
+	if rows2[0][0] == "MUTATED" {
+		t.Fatal("Rows must return a snapshot copy")
+	}
+	if _, err := db.Rows("Missing"); err == nil {
+		t.Fatal("Rows of unknown table must fail")
+	}
+}
+
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	db := New()
+	db.MustCreateTable("T", "a", "b")
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				db.MustInsert("T", fmt.Sprint(w), fmt.Sprint(i))
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_, err := db.EvalConjunctive(
+					[]ir.Atom{ir.NewAtom("T", ir.Const("1"), ir.Var("v"))}, nil, EvalOptions{})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if db.Table("T").Len() != 800 {
+		t.Fatalf("rows = %d, want 800", db.Table("T").Len())
+	}
+}
+
+func TestTableAccessors(t *testing.T) {
+	db := flightsDB(t)
+	tab := db.Table("Flights")
+	if tab.Name() != "Flights" || tab.Arity() != 2 || tab.Len() != 4 {
+		t.Fatalf("accessors wrong: %s %d %d", tab.Name(), tab.Arity(), tab.Len())
+	}
+	cols := tab.Columns()
+	cols[0] = "MUTATED"
+	if db.Table("Flights").Columns()[0] == "MUTATED" {
+		t.Fatal("Columns must return a copy")
+	}
+	names := db.TableNames()
+	if len(names) != 2 || names[0] != "Airlines" {
+		t.Fatalf("TableNames = %v", names)
+	}
+	if !strings.Contains(db.String(), "Flights(fno, dest): 4 rows") {
+		t.Fatalf("String = %q", db.String())
+	}
+}

@@ -1,0 +1,91 @@
+package memdb
+
+import "fmt"
+
+// Delete removes every row whose column equals value and returns the number
+// of rows removed. Deletion is physical: rows after the deleted ones shift
+// down and all indexes on the table are rebuilt, so Delete costs O(rows);
+// it is intended for inventory-style updates between coordination rounds
+// (the database must not change *during* a coordination round —
+// Section 2.3 — which the engine's evaluation paths guarantee by holding
+// the coordination lock, not this method).
+func (db *DB) Delete(table, column, value string) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[table]
+	if !ok {
+		return 0, fmt.Errorf("memdb: no table %s", table)
+	}
+	col := -1
+	for i, c := range t.cols {
+		if c == column {
+			col = i
+			break
+		}
+	}
+	if col < 0 {
+		return 0, fmt.Errorf("memdb: table %s has no column %s", table, column)
+	}
+	kept := t.rows[:0]
+	removed := 0
+	for _, row := range t.rows {
+		if row[col] == value {
+			removed++
+			continue
+		}
+		kept = append(kept, row)
+	}
+	if removed == 0 {
+		return 0, nil
+	}
+	t.rows = kept
+	for idxCol := range t.indexes {
+		t.buildIndex(idxCol)
+	}
+	return removed, nil
+}
+
+// DeleteRow removes rows matching all given column=value conditions,
+// returning the count removed.
+func (db *DB) DeleteRow(table string, conds map[string]string) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[table]
+	if !ok {
+		return 0, fmt.Errorf("memdb: no table %s", table)
+	}
+	colOf := make(map[int]string, len(conds))
+	for name, v := range conds {
+		found := false
+		for i, c := range t.cols {
+			if c == name {
+				colOf[i] = v
+				found = true
+				break
+			}
+		}
+		if !found {
+			return 0, fmt.Errorf("memdb: table %s has no column %s", table, name)
+		}
+	}
+	kept := t.rows[:0]
+	removed := 0
+rows:
+	for _, row := range t.rows {
+		for col, v := range colOf {
+			if row[col] != v {
+				kept = append(kept, row)
+				continue rows
+			}
+		}
+		removed++
+	}
+	if removed == 0 {
+		return 0, nil
+	}
+	t.rows = kept
+	for idxCol := range t.indexes {
+		t.buildIndex(idxCol)
+	}
+	return removed, nil
+}

@@ -1,0 +1,67 @@
+package memdb
+
+import (
+	"testing"
+
+	"entangle/internal/ir"
+)
+
+func TestDelete(t *testing.T) {
+	db := flightsDB(t)
+	if err := db.CreateIndex("Flights", "dest"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := db.Delete("Flights", "dest", "Paris")
+	if err != nil || n != 3 {
+		t.Fatalf("Delete = %d, %v", n, err)
+	}
+	if db.Table("Flights").Len() != 1 {
+		t.Fatalf("rows = %d", db.Table("Flights").Len())
+	}
+	// Indexes are rebuilt: lookups see the new state.
+	got, err := db.EvalConjunctive([]ir.Atom{ir.NewAtom("Flights", ir.Var("f"), ir.Const("Paris"))}, nil, EvalOptions{})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("Paris flights after delete = %v, %v", got, err)
+	}
+	got, err = db.EvalConjunctive([]ir.Atom{ir.NewAtom("Flights", ir.Var("f"), ir.Const("Rome"))}, nil, EvalOptions{})
+	if err != nil || len(got) != 1 {
+		t.Fatalf("Rome flights = %v, %v", got, err)
+	}
+	// No-match delete is a cheap no-op.
+	n, err = db.Delete("Flights", "dest", "Atlantis")
+	if err != nil || n != 0 {
+		t.Fatalf("no-op delete = %d, %v", n, err)
+	}
+}
+
+func TestDeleteErrors(t *testing.T) {
+	db := flightsDB(t)
+	if _, err := db.Delete("Missing", "a", "b"); err == nil {
+		t.Fatal("unknown table must fail")
+	}
+	if _, err := db.Delete("Flights", "nope", "b"); err == nil {
+		t.Fatal("unknown column must fail")
+	}
+}
+
+func TestDeleteRow(t *testing.T) {
+	db := flightsDB(t)
+	n, err := db.DeleteRow("Flights", map[string]string{"fno": "122", "dest": "Paris"})
+	if err != nil || n != 1 {
+		t.Fatalf("DeleteRow = %d, %v", n, err)
+	}
+	if db.Table("Flights").Len() != 3 {
+		t.Fatalf("rows = %d", db.Table("Flights").Len())
+	}
+	// Mismatched multi-condition removes nothing.
+	n, err = db.DeleteRow("Flights", map[string]string{"fno": "123", "dest": "Rome"})
+	if err != nil || n != 0 {
+		t.Fatalf("DeleteRow mismatch = %d, %v", n, err)
+	}
+	if _, err := db.DeleteRow("Flights", map[string]string{"ghost": "1"}); err == nil {
+		t.Fatal("unknown column must fail")
+	}
+	if _, err := db.DeleteRow("Missing", nil); err == nil {
+		t.Fatal("unknown table must fail")
+	}
+}

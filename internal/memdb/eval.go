@@ -1,0 +1,334 @@
+package memdb
+
+import (
+	"fmt"
+	"math/rand"
+
+	"entangle/internal/ir"
+)
+
+// EvalOptions controls conjunctive query evaluation.
+type EvalOptions struct {
+	// Limit bounds the number of valuations returned; 0 means no limit.
+	// The combined queries of Section 4.2 use Limit 1 ("q* may be equipped
+	// with a LIMIT 1 clause").
+	Limit int
+	// Rand, when non-nil, randomises the join's candidate iteration order so
+	// that Limit-1 evaluation implements the CHOOSE 1 "chosen at random"
+	// semantics of Section 2.1 without materialising every valuation.
+	Rand *rand.Rand
+}
+
+// EvalConjunctive evaluates a conjunction of relational atoms with equality
+// constraints against the database and returns the satisfying valuations
+// (variable → constant substitutions). This is the evaluation target for
+// combined queries: body atoms plus ϕU.
+//
+// The evaluator first normalises the equality constraints into a
+// substitution (propagating constants and collapsing variable classes),
+// rewrites the atoms, then runs an index-backed backtracking join, choosing
+// at each step the atom with the most bound arguments. Returned valuations
+// bind every variable of the original atoms (post-normalisation classes are
+// expanded back to all members).
+func (db *DB) EvalConjunctive(atoms []ir.Atom, eqs []ir.Equality, opt EvalOptions) ([]ir.Substitution, error) {
+	norm, expand, err := normalizeEqualities(eqs)
+	if err != nil {
+		// Inconsistent ϕU: no valuations.
+		return nil, nil
+	}
+	rewritten := make([]ir.Atom, len(atoms))
+	for i, a := range atoms {
+		rewritten[i] = a.Apply(norm)
+	}
+
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+
+	// Resolve tables and validate arities up front.
+	tabs := make([]*Table, len(rewritten))
+	for i, a := range rewritten {
+		t, ok := db.tables[a.Rel]
+		if !ok {
+			return nil, fmt.Errorf("memdb: query references unknown table %s", a.Rel)
+		}
+		if len(a.Args) != len(t.cols) {
+			return nil, fmt.Errorf("memdb: atom %s has arity %d but table has %d columns", a, len(a.Args), len(t.cols))
+		}
+		tabs[i] = t
+	}
+
+	// Ensure an index exists for the first column of every table touched;
+	// the join below prefers indexed access on the first bound position.
+	// Index building mutates the table, so do it under the write lock.
+	needBuild := false
+	for i, a := range rewritten {
+		for pos := range a.Args {
+			if _, ok := tabs[i].indexes[pos]; !ok {
+				needBuild = true
+			}
+		}
+	}
+	if needBuild {
+		db.mu.RUnlock()
+		db.mu.Lock()
+		for i, a := range rewritten {
+			for pos := range a.Args {
+				if _, ok := tabs[i].indexes[pos]; !ok {
+					tabs[i].buildIndex(pos)
+				}
+			}
+		}
+		db.mu.Unlock()
+		db.mu.RLock()
+	}
+
+	st := &joinState{
+		db:      db,
+		atoms:   rewritten,
+		tables:  tabs,
+		used:    make([]bool, len(rewritten)),
+		binding: make(ir.Substitution),
+		opt:     opt,
+	}
+	st.search()
+
+	// Expand class representatives back to every original variable and
+	// re-check ground equalities.
+	var out []ir.Substitution
+	for _, val := range st.results {
+		full := make(ir.Substitution, len(val)+len(expand))
+		for k, v := range val {
+			full[k] = v
+		}
+		ok := true
+		for v, rep := range expand {
+			switch {
+			case rep.IsConst():
+				full[v] = rep
+			default:
+				bound, have := val[rep.Value]
+				if !have {
+					ok = false
+					break
+				}
+				full[v] = bound
+			}
+		}
+		if ok {
+			out = append(out, full)
+		}
+	}
+	return out, nil
+}
+
+// Count returns the number of valuations of the conjunction, without a
+// limit. Used by aggregation extensions and tests.
+func (db *DB) Count(atoms []ir.Atom, eqs []ir.Equality) (int, error) {
+	res, err := db.EvalConjunctive(atoms, eqs, EvalOptions{})
+	if err != nil {
+		return 0, err
+	}
+	return len(res), nil
+}
+
+// normalizeEqualities converts ϕU into (1) a substitution `norm` mapping
+// each variable to its class representative (a constant when the class has
+// one), applied to atoms before the join, and (2) an `expand` map from every
+// substituted-away variable to its representative so result valuations can
+// be completed. Returns an error when the equalities are inconsistent
+// (two distinct constants equated).
+func normalizeEqualities(eqs []ir.Equality) (norm ir.Substitution, expand map[string]ir.Term, err error) {
+	parent := map[string]string{}
+	constOf := map[string]string{}
+	var find func(string) string
+	find = func(x string) string {
+		if parent[x] == "" {
+			parent[x] = x
+		}
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	addConst := func(root, c string) error {
+		if prev, ok := constOf[root]; ok && prev != c {
+			return fmt.Errorf("memdb: inconsistent equalities: %s vs %s", prev, c)
+		}
+		constOf[root] = c
+		return nil
+	}
+	union := func(a, b string) string {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return ra
+		}
+		parent[rb] = ra
+		if c, ok := constOf[rb]; ok {
+			constOf[ra] = c // caller checked for clash
+			delete(constOf, rb)
+		}
+		return ra
+	}
+	for _, e := range eqs {
+		switch {
+		case e.Left.IsConst() && e.Right.IsConst():
+			if e.Left.Value != e.Right.Value {
+				return nil, nil, fmt.Errorf("memdb: inconsistent equalities: %s = %s", e.Left, e.Right)
+			}
+		case e.Left.IsConst():
+			r := find(e.Right.Value)
+			if err := addConst(r, e.Left.Value); err != nil {
+				return nil, nil, err
+			}
+		case e.Right.IsConst():
+			r := find(e.Left.Value)
+			if err := addConst(r, e.Right.Value); err != nil {
+				return nil, nil, err
+			}
+		default:
+			ca, hasA := constOf[find(e.Left.Value)]
+			cb, hasB := constOf[find(e.Right.Value)]
+			if hasA && hasB && ca != cb {
+				return nil, nil, fmt.Errorf("memdb: inconsistent equalities: %s vs %s", ca, cb)
+			}
+			union(e.Left.Value, e.Right.Value)
+		}
+	}
+	norm = make(ir.Substitution)
+	expand = make(map[string]ir.Term)
+	for v := range parent {
+		root := find(v)
+		if c, ok := constOf[root]; ok {
+			norm[v] = ir.Const(c)
+			expand[v] = ir.Const(c)
+			continue
+		}
+		if v != root {
+			norm[v] = ir.Var(root)
+			expand[v] = ir.Var(root)
+		}
+	}
+	return norm, expand, nil
+}
+
+// joinState carries the backtracking join.
+type joinState struct {
+	db      *DB
+	atoms   []ir.Atom
+	tables  []*Table
+	used    []bool
+	binding ir.Substitution
+	results []ir.Substitution
+	opt     EvalOptions
+}
+
+func (s *joinState) done() bool {
+	return s.opt.Limit > 0 && len(s.results) >= s.opt.Limit
+}
+
+// search picks the next atom (most bound arguments first, ties by position),
+// iterates its candidate rows, extends the binding and recurses.
+func (s *joinState) search() {
+	if s.done() {
+		return
+	}
+	next, bound := -1, -1
+	for i, a := range s.atoms {
+		if s.used[i] {
+			continue
+		}
+		n := 0
+		for _, t := range a.Args {
+			if t.IsConst() {
+				n++
+			} else if _, ok := s.binding[t.Value]; ok {
+				n++
+			}
+		}
+		if n > bound {
+			next, bound = i, n
+		}
+	}
+	if next < 0 {
+		// All atoms satisfied: record a copy of the binding.
+		cp := make(ir.Substitution, len(s.binding))
+		for k, v := range s.binding {
+			cp[k] = v
+		}
+		s.results = append(s.results, cp)
+		return
+	}
+	s.used[next] = true
+	defer func() { s.used[next] = false }()
+
+	a := s.atoms[next]
+	t := s.tables[next]
+
+	// Determine candidate rows: indexed lookup on the first bound position,
+	// else full scan.
+	resolved := make([]ir.Term, len(a.Args))
+	firstBound := -1
+	for i, arg := range a.Args {
+		if arg.IsConst() {
+			resolved[i] = arg
+		} else if v, ok := s.binding[arg.Value]; ok {
+			resolved[i] = v
+		} else {
+			resolved[i] = arg
+			continue
+		}
+		if firstBound < 0 {
+			firstBound = i
+		}
+	}
+	var candidates []int
+	if firstBound >= 0 {
+		candidates = t.lookupEq(firstBound, resolved[firstBound].Value)
+	} else {
+		candidates = make([]int, len(t.rows))
+		for i := range candidates {
+			candidates[i] = i
+		}
+	}
+	// Randomised start offset implements CHOOSE-at-random cheaply without
+	// copying the candidate list.
+	offset := 0
+	if s.opt.Rand != nil && len(candidates) > 1 {
+		offset = s.opt.Rand.Intn(len(candidates))
+	}
+	for i := 0; i < len(candidates); i++ {
+		if s.done() {
+			return
+		}
+		row := t.rows[candidates[(i+offset)%len(candidates)]]
+		// Match row against resolved args, collecting new bindings.
+		var added []string
+		ok := true
+		for pos, term := range resolved {
+			switch {
+			case term.IsConst():
+				if row[pos] != term.Value {
+					ok = false
+				}
+			default:
+				if v, boundNow := s.binding[term.Value]; boundNow {
+					if v.Value != row[pos] {
+						ok = false
+					}
+				} else {
+					s.binding[term.Value] = ir.Const(row[pos])
+					added = append(added, term.Value)
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+		if ok {
+			s.search()
+		}
+		for _, v := range added {
+			delete(s.binding, v)
+		}
+	}
+}

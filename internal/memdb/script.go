@@ -1,0 +1,218 @@
+package memdb
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// ExecScript executes a minimal DDL/DML script against the database:
+//
+//	CREATE TABLE Flights (fno, dest);
+//	INSERT INTO Flights VALUES ('122', 'Paris');
+//	INSERT INTO Flights VALUES ('123', 'Paris'), ('136', 'Rome');
+//	CREATE INDEX ON Flights (fno);
+//	-- comments and blank lines are ignored
+//
+// Statements are separated by semicolons. Values are single-quoted strings
+// or bare words. This exists so tools (d3cctl, tests, examples) can load
+// schemas and data without the Go API; it is deliberately tiny — the
+// entangled-query language itself lives in internal/eqsql.
+func (db *DB) ExecScript(script string) error {
+	for _, stmt := range splitStatements(script) {
+		if err := db.execStatement(stmt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// splitStatements splits on semicolons outside quotes and strips comments.
+func splitStatements(script string) []string {
+	var stmts []string
+	var cur strings.Builder
+	inQuote := false
+	lines := strings.Split(script, "\n")
+	for _, line := range lines {
+		if !inQuote {
+			if i := strings.Index(line, "--"); i >= 0 && !strings.Contains(line[:i], "'") {
+				line = line[:i]
+			}
+		}
+		for _, r := range line {
+			switch {
+			case r == '\'':
+				inQuote = !inQuote
+				cur.WriteRune(r)
+			case r == ';' && !inQuote:
+				stmts = append(stmts, cur.String())
+				cur.Reset()
+			default:
+				cur.WriteRune(r)
+			}
+		}
+		cur.WriteByte('\n')
+	}
+	stmts = append(stmts, cur.String())
+	var out []string
+	for _, s := range stmts {
+		if t := strings.TrimSpace(s); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func (db *DB) execStatement(stmt string) error {
+	toks, err := scriptTokens(stmt)
+	if err != nil {
+		return err
+	}
+	if len(toks) == 0 {
+		return nil
+	}
+	up := func(i int) string {
+		if i < len(toks) {
+			return strings.ToUpper(toks[i])
+		}
+		return ""
+	}
+	switch {
+	case up(0) == "CREATE" && up(1) == "TABLE":
+		if len(toks) < 3 {
+			return fmt.Errorf("memdb: CREATE TABLE needs a name: %q", stmt)
+		}
+		name := toks[2]
+		cols, _, err := parenList(toks, 3)
+		if err != nil {
+			return fmt.Errorf("memdb: CREATE TABLE %s: %w", name, err)
+		}
+		return db.CreateTable(name, cols...)
+	case up(0) == "CREATE" && up(1) == "INDEX":
+		// CREATE INDEX ON table (col)
+		if up(2) != "ON" || len(toks) < 4 {
+			return fmt.Errorf("memdb: CREATE INDEX syntax: CREATE INDEX ON tbl (col): %q", stmt)
+		}
+		table := toks[3]
+		cols, _, err := parenList(toks, 4)
+		if err != nil || len(cols) != 1 {
+			return fmt.Errorf("memdb: CREATE INDEX ON %s needs exactly one column", table)
+		}
+		return db.CreateIndex(table, cols[0])
+	case up(0) == "INSERT" && up(1) == "INTO":
+		if len(toks) < 3 {
+			return fmt.Errorf("memdb: INSERT INTO needs a table: %q", stmt)
+		}
+		table := toks[2]
+		i := 3
+		if strings.ToUpper(tok(toks, i)) != "VALUES" {
+			return fmt.Errorf("memdb: INSERT INTO %s: expected VALUES", table)
+		}
+		i++
+		var rows [][]string
+		for {
+			vals, next, err := parenList(toks, i)
+			if err != nil {
+				return fmt.Errorf("memdb: INSERT INTO %s: %w", table, err)
+			}
+			rows = append(rows, vals)
+			i = next
+			if tok(toks, i) == "," {
+				i++
+				continue
+			}
+			break
+		}
+		if i != len(toks) {
+			return fmt.Errorf("memdb: INSERT INTO %s: trailing tokens", table)
+		}
+		return db.BulkInsert(table, rows)
+	case up(0) == "DROP" && up(1) == "TABLE":
+		if len(toks) != 3 {
+			return fmt.Errorf("memdb: DROP TABLE needs a name: %q", stmt)
+		}
+		return db.DropTable(toks[2])
+	default:
+		return fmt.Errorf("memdb: unsupported statement %q", stmt)
+	}
+}
+
+func tok(toks []string, i int) string {
+	if i < len(toks) {
+		return toks[i]
+	}
+	return ""
+}
+
+// parenList parses "( item [, item]... )" starting at toks[i], returning
+// the items and the index after the closing paren.
+func parenList(toks []string, i int) ([]string, int, error) {
+	if tok(toks, i) != "(" {
+		return nil, i, fmt.Errorf("expected ( at token %d", i)
+	}
+	i++
+	var items []string
+	for {
+		t := tok(toks, i)
+		switch t {
+		case ")":
+			return items, i + 1, nil
+		case ",":
+			i++
+		case "":
+			return nil, i, fmt.Errorf("unterminated ( list")
+		default:
+			items = append(items, t)
+			i++
+		}
+	}
+}
+
+// scriptTokens lexes a statement into words, quoted strings (quotes
+// stripped, escapes resolved) and punctuation.
+func scriptTokens(stmt string) ([]string, error) {
+	var toks []string
+	i := 0
+	for i < len(stmt) {
+		r, size := utf8.DecodeRuneInString(stmt[i:])
+		switch {
+		case unicode.IsSpace(r):
+			i += size
+		case r == '\'':
+			var b strings.Builder
+			i += size
+			for {
+				if i >= len(stmt) {
+					return nil, fmt.Errorf("memdb: unterminated string in %q", stmt)
+				}
+				r2, s2 := utf8.DecodeRuneInString(stmt[i:])
+				i += s2
+				if r2 == '\'' {
+					if i < len(stmt) && stmt[i] == '\'' {
+						i++
+						b.WriteByte('\'')
+						continue
+					}
+					break
+				}
+				b.WriteRune(r2)
+			}
+			toks = append(toks, b.String())
+		case r == '(' || r == ')' || r == ',':
+			toks = append(toks, string(r))
+			i += size
+		default:
+			start := i
+			for i < len(stmt) {
+				r2, s2 := utf8.DecodeRuneInString(stmt[i:])
+				if unicode.IsSpace(r2) || r2 == '(' || r2 == ')' || r2 == ',' || r2 == '\'' {
+					break
+				}
+				i += s2
+			}
+			toks = append(toks, stmt[start:i])
+		}
+	}
+	return toks, nil
+}

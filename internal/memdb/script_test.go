@@ -1,0 +1,99 @@
+package memdb
+
+import (
+	"strings"
+	"testing"
+
+	"entangle/internal/ir"
+)
+
+func TestExecScriptBasics(t *testing.T) {
+	db := New()
+	err := db.ExecScript(`
+-- flight data
+CREATE TABLE Flights (fno, dest);
+INSERT INTO Flights VALUES ('122', 'Paris');
+INSERT INTO Flights VALUES ('123', 'Paris'), ('136', 'Rome');
+CREATE INDEX ON Flights (fno);
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Table("Flights").Len() != 3 {
+		t.Fatalf("rows = %d", db.Table("Flights").Len())
+	}
+	got, err := db.EvalConjunctive([]ir.Atom{ir.NewAtom("Flights", ir.Var("f"), ir.Const("Paris"))}, nil, EvalOptions{})
+	if err != nil || len(got) != 2 {
+		t.Fatalf("eval = %v, %v", got, err)
+	}
+}
+
+func TestExecScriptBareWordsAndCase(t *testing.T) {
+	db := New()
+	err := db.ExecScript(`create table T (a, b); insert into T values (x, y);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := db.Rows("T")
+	if len(rows) != 1 || rows[0][0] != "x" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestExecScriptQuotedEdgeCases(t *testing.T) {
+	db := New()
+	err := db.ExecScript(`CREATE TABLE Q (v);
+INSERT INTO Q VALUES ('it''s; fine');
+INSERT INTO Q VALUES ('multi word');`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := db.Rows("Q")
+	if len(rows) != 2 || rows[0][0] != "it's; fine" || rows[1][0] != "multi word" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestExecScriptDropTable(t *testing.T) {
+	db := New()
+	if err := db.ExecScript(`CREATE TABLE T (a); DROP TABLE T;`); err != nil {
+		t.Fatal(err)
+	}
+	if db.Table("T") != nil {
+		t.Fatal("table survived drop")
+	}
+}
+
+func TestExecScriptErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown statement": `SELECT * FROM x;`,
+		"create no name":    `CREATE TABLE;`,
+		"create no cols":    `CREATE TABLE T;`,
+		"insert no values":  `CREATE TABLE T (a); INSERT INTO T (x);`,
+		"insert arity":      `CREATE TABLE T (a); INSERT INTO T VALUES ('x', 'y');`,
+		"unterminated str":  `CREATE TABLE T (a); INSERT INTO T VALUES ('x);`,
+		"unterminated list": `CREATE TABLE T (a`,
+		"index cols":        `CREATE TABLE T (a, b); CREATE INDEX ON T (a, b);`,
+		"trailing tokens":   `CREATE TABLE T (a); INSERT INTO T VALUES ('x') junk;`,
+		"drop missing":      `DROP TABLE Nope;`,
+	}
+	for name, script := range cases {
+		db := New()
+		if err := db.ExecScript(script); err == nil {
+			t.Errorf("%s: ExecScript(%q) should fail", name, script)
+		}
+	}
+}
+
+func TestExecScriptCommentInsideQuote(t *testing.T) {
+	db := New()
+	err := db.ExecScript(`CREATE TABLE C (v);
+INSERT INTO C VALUES ('not -- a comment');`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := db.Rows("C")
+	if !strings.Contains(rows[0][0], "--") {
+		t.Fatalf("comment stripped inside quote: %v", rows)
+	}
+}

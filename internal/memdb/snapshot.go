@@ -1,0 +1,136 @@
+package memdb
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// snapshot is the on-disk representation of a database.
+type snapshot struct {
+	Version int
+	Tables  []tableSnapshot
+}
+
+type tableSnapshot struct {
+	Name    string
+	Cols    []string
+	Rows    []Row
+	Indexed []string // column names with hash indexes to rebuild on load
+}
+
+const snapshotVersion = 1
+
+// WriteSnapshot serialises the whole database to w (gob encoding). The
+// snapshot is taken under the read lock, so it is consistent with respect
+// to concurrent writers.
+func (db *DB) WriteSnapshot(w io.Writer) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	snap := snapshot{Version: snapshotVersion}
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		t := db.tables[n]
+		ts := tableSnapshot{Name: t.name, Cols: t.cols, Rows: t.rows}
+		for col := range t.indexes {
+			ts.Indexed = append(ts.Indexed, t.cols[col])
+		}
+		sort.Strings(ts.Indexed)
+		snap.Tables = append(snap.Tables, ts)
+	}
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+// ReadSnapshot loads a snapshot into an empty database. It fails if the
+// database already contains tables, to prevent silent merging.
+func (db *DB) ReadSnapshot(r io.Reader) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if len(db.tables) != 0 {
+		return fmt.Errorf("memdb: ReadSnapshot requires an empty database (%d tables present)", len(db.tables))
+	}
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("memdb: decode snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return fmt.Errorf("memdb: unsupported snapshot version %d", snap.Version)
+	}
+	for _, ts := range snap.Tables {
+		if len(ts.Cols) == 0 {
+			return fmt.Errorf("memdb: snapshot table %s has no columns", ts.Name)
+		}
+		t := &Table{
+			name:    ts.Name,
+			cols:    append([]string(nil), ts.Cols...),
+			rows:    ts.Rows,
+			indexes: make(map[int]map[string][]int),
+		}
+		for _, r := range t.rows {
+			if len(r) != len(t.cols) {
+				return fmt.Errorf("memdb: snapshot table %s has a row of arity %d (want %d)", ts.Name, len(r), len(t.cols))
+			}
+		}
+		for _, colName := range ts.Indexed {
+			for i, c := range t.cols {
+				if c == colName {
+					t.buildIndex(i)
+				}
+			}
+		}
+		db.tables[ts.Name] = t
+	}
+	return nil
+}
+
+// SaveFile writes a snapshot to path atomically (write to a temp file in
+// the same directory, then rename).
+func (db *DB) SaveFile(path string) error {
+	tmp, err := os.CreateTemp(dirOf(path), ".memdb-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	bw := bufio.NewWriter(tmp)
+	if err := db.WriteSnapshot(bw); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadFile reads a snapshot from path into an empty database.
+func (db *DB) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return db.ReadSnapshot(bufio.NewReader(f))
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			if i == 0 {
+				return "/"
+			}
+			return path[:i]
+		}
+	}
+	return "."
+}

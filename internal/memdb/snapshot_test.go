@@ -1,0 +1,91 @@
+package memdb
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"entangle/internal/ir"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	src := flightsDB(t)
+	if err := src.CreateIndex("Flights", "dest"); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := src.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := New()
+	if err := dst.ReadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := dst.TableNames(); len(got) != 2 || got[0] != "Airlines" || got[1] != "Flights" {
+		t.Fatalf("tables = %v", got)
+	}
+	if dst.Table("Flights").Len() != 4 {
+		t.Fatalf("Flights rows = %d", dst.Table("Flights").Len())
+	}
+	// Loaded indexes work.
+	got, err := dst.EvalConjunctive([]ir.Atom{ir.NewAtom("Flights", ir.Var("f"), ir.Const("Paris"))}, nil, EvalOptions{})
+	if err != nil || len(got) != 3 {
+		t.Fatalf("eval after load = %v, %v", got, err)
+	}
+	// Loaded data is independent of the source.
+	dst.MustInsert("Flights", "999", "Oslo")
+	if src.Table("Flights").Len() != 4 {
+		t.Fatal("snapshot shares row storage with source")
+	}
+}
+
+func TestSnapshotRefusesNonEmpty(t *testing.T) {
+	src := flightsDB(t)
+	var buf bytes.Buffer
+	if err := src.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := flightsDB(t)
+	if err := dst.ReadSnapshot(&buf); err == nil || !strings.Contains(err.Error(), "empty") {
+		t.Fatalf("expected non-empty refusal, got %v", err)
+	}
+}
+
+func TestSnapshotBadInput(t *testing.T) {
+	db := New()
+	if err := db.ReadSnapshot(bytes.NewReader([]byte("not a gob"))); err == nil {
+		t.Fatal("garbage snapshot must fail")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.snap")
+	src := flightsDB(t)
+	if err := src.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	dst := New()
+	if err := dst.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Table("Airlines").Len() != 4 {
+		t.Fatalf("Airlines rows = %d", dst.Table("Airlines").Len())
+	}
+	if err := New().LoadFile(filepath.Join(dir, "missing.snap")); err == nil {
+		t.Fatal("missing file must fail")
+	}
+}
+
+func TestDirOf(t *testing.T) {
+	for in, want := range map[string]string{
+		"/a/b/c.snap": "/a/b",
+		"c.snap":      ".",
+		"/c.snap":     "/",
+	} {
+		if got := dirOf(in); got != want {
+			t.Errorf("dirOf(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"entangle/internal/ir"
+)
+
+// Client is a connection to a D3C server. Safe for concurrent use; results
+// are demultiplexed by query ID.
+type Client struct {
+	conn net.Conn
+	enc  *json.Encoder
+
+	mu      sync.Mutex
+	waiters map[ir.QueryID]chan Response
+	orphans map[ir.QueryID]Response // results that arrived before their waiter registered
+	acks    chan Response           // acks and errors for in-order submission replies
+	stats   chan Response
+	readErr error
+	closed  bool
+}
+
+// Dial connects to a D3C server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:    conn,
+		enc:     json.NewEncoder(conn),
+		waiters: make(map[ir.QueryID]chan Response),
+		orphans: make(map[ir.QueryID]Response),
+		acks:    make(chan Response, 16),
+		stats:   make(chan Response, 16),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Close terminates the connection; pending waiters receive an error result.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	return c.conn.Close()
+}
+
+func (c *Client) readLoop() {
+	sc := bufio.NewScanner(c.conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		var resp Response
+		if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+			continue
+		}
+		switch resp.Type {
+		case "ack", "error":
+			c.acks <- resp
+		case "stats":
+			c.stats <- resp
+		case "result":
+			c.mu.Lock()
+			ch := c.waiters[resp.ID]
+			delete(c.waiters, resp.ID)
+			if ch == nil {
+				// Coordination can complete before the submitter has
+				// registered its waiter (the ack and the result race);
+				// park the result until the waiter appears.
+				c.orphans[resp.ID] = resp
+			}
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- resp
+			}
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.readErr = sc.Err()
+	for id, ch := range c.waiters {
+		ch <- Response{Type: "result", ID: id, Status: "error", Detail: "connection closed"}
+	}
+	c.waiters = make(map[ir.QueryID]chan Response)
+}
+
+// submit sends a request and waits for the ack, registering a result waiter.
+func (c *Client) submit(req Request) (ir.QueryID, <-chan Response, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return 0, nil, fmt.Errorf("server client: closed")
+	}
+	c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return 0, nil, err
+	}
+	ack, ok := <-c.acks
+	if !ok {
+		return 0, nil, fmt.Errorf("server client: connection closed")
+	}
+	if ack.Type == "error" {
+		return 0, nil, fmt.Errorf("server: %s", ack.Error)
+	}
+	ch := make(chan Response, 1)
+	c.mu.Lock()
+	if r, ok := c.orphans[ack.ID]; ok {
+		delete(c.orphans, ack.ID)
+		ch <- r
+	} else {
+		c.waiters[ack.ID] = ch
+	}
+	c.mu.Unlock()
+	return ack.ID, ch, nil
+}
+
+// SubmitSQL submits an entangled-SQL statement; the returned channel
+// receives the single terminal result.
+func (c *Client) SubmitSQL(sql string) (ir.QueryID, <-chan Response, error) {
+	return c.submit(Request{Op: "sql", SQL: sql})
+}
+
+// SubmitIR submits a query in IR text syntax.
+func (c *Client) SubmitIR(irText string) (ir.QueryID, <-chan Response, error) {
+	return c.submit(Request{Op: "ir", IR: irText})
+}
+
+// Load runs a DDL/DML script (memdb.ExecScript syntax) on the server's
+// database.
+func (c *Client) Load(script string) error {
+	if err := c.enc.Encode(Request{Op: "load", SQL: script}); err != nil {
+		return err
+	}
+	ack := <-c.acks
+	if ack.Type == "error" {
+		return fmt.Errorf("server: %s", ack.Error)
+	}
+	return nil
+}
+
+// Flush asks the server to run a set-at-a-time evaluation round.
+func (c *Client) Flush() error {
+	if err := c.enc.Encode(Request{Op: "flush"}); err != nil {
+		return err
+	}
+	ack := <-c.acks
+	if ack.Type == "error" {
+		return fmt.Errorf("server: %s", ack.Error)
+	}
+	return nil
+}
+
+// Stats fetches the engine counters.
+func (c *Client) Stats() (Response, error) {
+	if err := c.enc.Encode(Request{Op: "stats"}); err != nil {
+		return Response{}, err
+	}
+	select {
+	case r := <-c.stats:
+		return r, nil
+	case <-time.After(5 * time.Second):
+		return Response{}, fmt.Errorf("server client: stats timeout")
+	}
+}

@@ -1,0 +1,172 @@
+// Package server exposes the D3C engine over TCP with a JSON line protocol,
+// mirroring the paper's system structure (Section 5.1): a server accepting
+// connections and entangled queries from many concurrent clients, answering
+// asynchronously once coordination succeeds or fails.
+//
+// Protocol: each line is one JSON object.
+//
+//	client → server: {"op":"sql","sql":"SELECT …"}        submit entangled SQL
+//	                 {"op":"ir","ir":"{R(J,x)} R(K,x) :- F(x,P)"}  submit IR text
+//	                 {"op":"load","sql":"CREATE TABLE …"} run a DDL/DML script
+//	                 {"op":"flush"}                       force a set-at-a-time round
+//	                 {"op":"stats"}                       engine counters
+//	server → client: {"type":"ack","id":7}                submission accepted
+//	                 {"type":"error","error":"…"}         submission failed
+//	                 {"type":"result","id":7,"status":"answered","tuples":["R(K, 122)"]}
+//	                 {"type":"stats","stats":{…}}
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+
+	"entangle/internal/engine"
+	"entangle/internal/ir"
+)
+
+// Request is a client → server message.
+type Request struct {
+	Op  string `json:"op"`
+	SQL string `json:"sql,omitempty"`
+	IR  string `json:"ir,omitempty"`
+}
+
+// Response is a server → client message.
+type Response struct {
+	Type   string        `json:"type"`
+	ID     ir.QueryID    `json:"id,omitempty"`
+	Status string        `json:"status,omitempty"`
+	Tuples []string      `json:"tuples,omitempty"`
+	Detail string        `json:"detail,omitempty"`
+	Error  string        `json:"error,omitempty"`
+	Stats  *engine.Stats `json:"stats,omitempty"`
+}
+
+// Server serves a D3C engine over a listener.
+type Server struct {
+	Engine *engine.Engine
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	done  chan struct{}
+	once  sync.Once
+}
+
+// New returns a server for the given engine.
+func New(e *engine.Engine) *Server {
+	return &Server{Engine: e, conns: make(map[net.Conn]struct{}), done: make(chan struct{})}
+}
+
+// Serve accepts connections until the listener is closed or Shutdown is
+// called. It returns the listener's accept error.
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return nil
+			default:
+				return err
+			}
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// Shutdown closes all client connections. The caller should also close the
+// listener passed to Serve.
+func (s *Server) Shutdown() {
+	s.once.Do(func() { close(s.done) })
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for c := range s.conns {
+		c.Close()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	var wmu sync.Mutex // serialises concurrent result writers
+	write := func(r Response) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		b, err := json.Marshal(r)
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		_, err = conn.Write(b)
+		return err
+	}
+
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req Request
+		if err := json.Unmarshal(line, &req); err != nil {
+			write(Response{Type: "error", Error: fmt.Sprintf("bad request: %v", err)})
+			continue
+		}
+		switch req.Op {
+		case "sql", "ir":
+			var h *engine.Handle
+			var err error
+			if req.Op == "sql" {
+				h, err = s.Engine.SubmitSQL(req.SQL)
+			} else {
+				var q *ir.Query
+				q, err = ir.Parse(0, req.IR)
+				if err == nil {
+					h, err = s.Engine.Submit(q)
+				}
+			}
+			if err != nil {
+				write(Response{Type: "error", Error: err.Error()})
+				continue
+			}
+			if err := write(Response{Type: "ack", ID: h.ID}); err != nil {
+				return
+			}
+			go func(h *engine.Handle) {
+				r := <-h.Done()
+				resp := Response{Type: "result", ID: r.QueryID, Status: r.Status.String(), Detail: r.Detail}
+				if r.Answer != nil {
+					for _, tpl := range r.Answer.Tuples {
+						resp.Tuples = append(resp.Tuples, tpl.String())
+					}
+				}
+				write(resp)
+			}(h)
+		case "load":
+			if err := s.Engine.DB().ExecScript(req.SQL); err != nil {
+				write(Response{Type: "error", Error: err.Error()})
+				continue
+			}
+			write(Response{Type: "ack"})
+		case "flush":
+			s.Engine.Flush()
+			write(Response{Type: "ack"})
+		case "stats":
+			st := s.Engine.Stats()
+			write(Response{Type: "stats", Stats: &st})
+		default:
+			write(Response{Type: "error", Error: fmt.Sprintf("unknown op %q", req.Op)})
+		}
+	}
+}

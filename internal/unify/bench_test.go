@@ -1,0 +1,61 @@
+package unify
+
+import (
+	"fmt"
+	"testing"
+
+	"entangle/internal/ir"
+)
+
+// chainUnifier builds a unifier with a k-variable chain v0=v1=…=vk.
+func chainUnifier(k int) *Unifier {
+	u := New()
+	for i := 0; i < k; i++ {
+		u.Union(ir.Var(fmt.Sprintf("v%d", i)), ir.Var(fmt.Sprintf("v%d", i+1)))
+	}
+	return u
+}
+
+func BenchmarkUnionFindMerge(b *testing.B) {
+	for _, k := range []int{8, 64, 512} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			src := chainUnifier(k)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst := New()
+				if _, err := dst.Merge(src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkNaiveMerge(b *testing.B) {
+	for _, k := range []int{8, 64, 512} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			src := chainUnifier(k)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst := New()
+				if _, err := dst.NaiveMerge(src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkUnifyAtoms(b *testing.B) {
+	h := ir.NewAtom("R", ir.Const("Kramer"), ir.Var("x"), ir.Var("y"))
+	p := ir.NewAtom("R", ir.Var("f"), ir.Var("z"), ir.Const("7"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		u := New()
+		if _, err := u.UnifyAtoms(h, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,424 @@
+// Package unify implements unifiers for entangled-query matching.
+//
+// A unifier (Section 4.1.3 of the paper) is a constraint on the valuations
+// of the variables in a query workload: formally, a partition of a subset of
+// Val (the constants and variables occurring in the workload) containing at
+// most one constant per partition class. For example {{x, 3}, {y, z}}
+// requires x = 3 and y = z in any permitted valuation.
+//
+// The implementation uses a disjoint-set forest with union by rank and path
+// compression, giving the expected O(k·α(k)) most-general-unifier bound the
+// paper relies on in its complexity analysis (Section 4.1.5). A naive
+// quadratic merge is provided alongside for the A3 ablation benchmark.
+package unify
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"entangle/internal/ir"
+)
+
+// ErrClash is returned when a requested unification would force two distinct
+// constants into the same partition class (no most general unifier exists).
+var ErrClash = errors.New("unify: constant clash — no most general unifier exists")
+
+// Unifier is a mutable partition of terms with at-most-one constant per
+// class. The zero value is not ready for use; call New.
+type Unifier struct {
+	parent  map[string]string // term key → parent term key
+	rank    map[string]int    // root key → rank
+	size    map[string]int    // root key → class size
+	constOf map[string]string // root key → constant value bound to the class
+	terms   map[string]ir.Term
+}
+
+// New returns an empty unifier (the least restrictive constraint).
+func New() *Unifier {
+	return &Unifier{
+		parent:  make(map[string]string),
+		rank:    make(map[string]int),
+		size:    make(map[string]int),
+		constOf: make(map[string]string),
+		terms:   make(map[string]ir.Term),
+	}
+}
+
+// Clone returns an independent copy of the unifier.
+func (u *Unifier) Clone() *Unifier {
+	cp := &Unifier{
+		parent:  make(map[string]string, len(u.parent)),
+		rank:    make(map[string]int, len(u.rank)),
+		size:    make(map[string]int, len(u.size)),
+		constOf: make(map[string]string, len(u.constOf)),
+		terms:   make(map[string]ir.Term, len(u.terms)),
+	}
+	for k, v := range u.parent {
+		cp.parent[k] = v
+	}
+	for k, v := range u.rank {
+		cp.rank[k] = v
+	}
+	for k, v := range u.size {
+		cp.size[k] = v
+	}
+	for k, v := range u.constOf {
+		cp.constOf[k] = v
+	}
+	for k, v := range u.terms {
+		cp.terms[k] = v
+	}
+	return cp
+}
+
+// Len returns the number of terms known to the unifier.
+func (u *Unifier) Len() int { return len(u.parent) }
+
+// add ensures the term has a class, returning its key.
+func (u *Unifier) add(t ir.Term) string {
+	k := t.Key()
+	if _, ok := u.parent[k]; !ok {
+		u.parent[k] = k
+		u.rank[k] = 0
+		u.size[k] = 1
+		u.terms[k] = t
+		if t.IsConst() {
+			u.constOf[k] = t.Value
+		}
+	}
+	return k
+}
+
+// find returns the root key of the class containing key k, applying path
+// compression.
+func (u *Unifier) find(k string) string {
+	root := k
+	for u.parent[root] != root {
+		root = u.parent[root]
+	}
+	for u.parent[k] != root {
+		u.parent[k], k = root, u.parent[k]
+	}
+	return root
+}
+
+// Union merges the classes of a and b. It returns ErrClash if the merged
+// class would contain two distinct constants, and reports whether the call
+// changed the unifier (false when a and b were already in the same class).
+func (u *Unifier) Union(a, b ir.Term) (changed bool, err error) {
+	ra := u.find(u.add(a))
+	rb := u.find(u.add(b))
+	if ra == rb {
+		return false, nil
+	}
+	ca, hasA := u.constOf[ra]
+	cb, hasB := u.constOf[rb]
+	if hasA && hasB && ca != cb {
+		return false, fmt.Errorf("%w: %q vs %q", ErrClash, ca, cb)
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+		ca, hasA = cb, hasB
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+	u.size[ra] += u.size[rb]
+	delete(u.size, rb)
+	if !hasA {
+		if cb, hasB := u.constOf[rb]; hasB {
+			u.constOf[ra] = cb
+		}
+	}
+	_ = ca
+	delete(u.constOf, rb)
+	return true, nil
+}
+
+// SameClass reports whether a and b are currently constrained equal. Terms
+// the unifier has never seen are treated as singletons.
+func (u *Unifier) SameClass(a, b ir.Term) bool {
+	if a.Equal(b) {
+		return true
+	}
+	ka, oka := u.parent[a.Key()]
+	kb, okb := u.parent[b.Key()]
+	if !oka || !okb {
+		return false
+	}
+	_ = ka
+	_ = kb
+	return u.find(a.Key()) == u.find(b.Key())
+}
+
+// ConstantOf returns the constant bound to t's class, if any.
+func (u *Unifier) ConstantOf(t ir.Term) (string, bool) {
+	if t.IsConst() {
+		return t.Value, true
+	}
+	k := t.Key()
+	if _, ok := u.parent[k]; !ok {
+		return "", false
+	}
+	c, ok := u.constOf[u.find(k)]
+	return c, ok
+}
+
+// Resolve maps a term to its most specific known form: the class constant if
+// one exists, otherwise the canonical representative variable of its class
+// (the lexicographically least variable, for deterministic output), or the
+// term itself if unknown.
+func (u *Unifier) Resolve(t ir.Term) ir.Term {
+	if t.IsConst() {
+		return t
+	}
+	k := t.Key()
+	if _, ok := u.parent[k]; !ok {
+		return t
+	}
+	root := u.find(k)
+	if c, ok := u.constOf[root]; ok {
+		return ir.Const(c)
+	}
+	// Deterministic representative: smallest variable name in the class.
+	best := t
+	for key, term := range u.terms {
+		if term.IsVar() && u.find(key) == root && term.Value < best.Value {
+			best = term
+		}
+	}
+	return best
+}
+
+// UnifyAtoms adds the constraints of the most general unifier of atoms a and
+// b: argument i of a must equal argument i of b for all i. It returns an
+// error if the atoms are not over the same relation and arity, or if a
+// constant clash arises. On clash the unifier may be partially updated; use
+// a Clone if atomicity matters. It reports whether any constraint was new.
+func (u *Unifier) UnifyAtoms(a, b ir.Atom) (changed bool, err error) {
+	if a.Rel != b.Rel || len(a.Args) != len(b.Args) {
+		return false, fmt.Errorf("unify: atoms %s and %s are not compatible", a, b)
+	}
+	for i := range a.Args {
+		c, err := u.Union(a.Args[i], b.Args[i])
+		if err != nil {
+			return changed, err
+		}
+		changed = changed || c
+	}
+	return changed, nil
+}
+
+// Merge folds every constraint of src into u, computing mgu(u, src) in
+// place. It reports whether u changed, and returns ErrClash (wrapped) if the
+// two unifiers are incompatible. On clash u may be partially updated.
+func (u *Unifier) Merge(src *Unifier) (changed bool, err error) {
+	for _, class := range src.classKeys() {
+		if len(class) < 2 {
+			// A singleton imposes no equality constraint, but a singleton
+			// constant still matters when another unifier later joins it;
+			// constants carry their binding in the term itself, so nothing
+			// to do here.
+			continue
+		}
+		first := src.terms[class[0]]
+		for _, k := range class[1:] {
+			c, err := u.Union(first, src.terms[k])
+			if err != nil {
+				return changed, err
+			}
+			changed = changed || c
+		}
+	}
+	return changed, nil
+}
+
+// MGU returns the most general unifier of a and b as a fresh unifier, or an
+// error if none exists. Neither input is modified.
+func MGU(a, b *Unifier) (*Unifier, error) {
+	out := a.Clone()
+	if _, err := out.Merge(b); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// classKeys returns the classes of the unifier as slices of term keys, each
+// class sorted, classes sorted by their first key. Deterministic.
+func (u *Unifier) classKeys() [][]string {
+	groups := make(map[string][]string)
+	for k := range u.parent {
+		root := u.find(k)
+		groups[root] = append(groups[root], k)
+	}
+	out := make([][]string, 0, len(groups))
+	for _, members := range groups {
+		sort.Strings(members)
+		out = append(out, members)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// Classes returns the partition as term slices, deterministically ordered.
+func (u *Unifier) Classes() [][]ir.Term {
+	keys := u.classKeys()
+	out := make([][]ir.Term, len(keys))
+	for i, class := range keys {
+		ts := make([]ir.Term, len(class))
+		for j, k := range class {
+			ts[j] = u.terms[k]
+		}
+		out[i] = ts
+	}
+	return out
+}
+
+// Equivalent reports whether two unifiers impose exactly the same
+// constraints (same partition of the union of their term sets, ignoring
+// singleton classes, and same constant bindings).
+func Equivalent(a, b *Unifier) bool {
+	sig := func(u *Unifier) string {
+		var parts []string
+		for _, class := range u.classKeys() {
+			if len(class) < 2 {
+				continue
+			}
+			parts = append(parts, strings.Join(class, ","))
+		}
+		sort.Strings(parts)
+		return strings.Join(parts, ";")
+	}
+	return sig(a) == sig(b)
+}
+
+// Substitution extracts a substitution mapping every known variable to its
+// resolved form (constant or canonical representative). Variables that
+// resolve to themselves are omitted. Used to simplify combined queries
+// (Section 4.2).
+func (u *Unifier) Substitution() ir.Substitution {
+	s := make(ir.Substitution)
+	for k, t := range u.terms {
+		if !t.IsVar() {
+			continue
+		}
+		_ = k
+		r := u.Resolve(t)
+		if !r.Equal(t) {
+			s[t.Value] = r
+		}
+	}
+	return s
+}
+
+// Equalities renders the unifier as the conjunction ϕU of equality atoms
+// relating each class's members to its representative (Section 4.2).
+// Deterministic ordering.
+func (u *Unifier) Equalities() []ir.Equality {
+	var out []ir.Equality
+	for _, class := range u.classKeys() {
+		if len(class) < 2 {
+			continue
+		}
+		rep := u.Resolve(u.terms[class[0]])
+		for _, k := range class {
+			t := u.terms[k]
+			if t.Equal(rep) {
+				continue
+			}
+			if t.IsConst() && rep.IsConst() {
+				continue // same constant; no equality needed
+			}
+			out = append(out, ir.Equality{Left: t, Right: rep})
+		}
+	}
+	return out
+}
+
+// String renders the unifier in the paper's set-of-sets notation, e.g.
+// {{x, 3}, {y, z}}.
+func (u *Unifier) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	for _, class := range u.classKeys() {
+		if len(class) < 2 {
+			continue
+		}
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		b.WriteByte('{')
+		for i, k := range class {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(u.terms[k].String())
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// NaiveMerge is a deliberately quadratic partition merge used by the A3
+// ablation benchmark: it rebuilds u's partition by repeated linear scans
+// instead of union-find. Semantics match Merge.
+func (u *Unifier) NaiveMerge(src *Unifier) (changed bool, err error) {
+	for _, class := range src.Classes() {
+		if len(class) < 2 {
+			continue
+		}
+		for i := 1; i < len(class); i++ {
+			c, err := u.naiveUnion(class[0], class[i])
+			if err != nil {
+				return changed, err
+			}
+			changed = changed || c
+		}
+	}
+	return changed, nil
+}
+
+func (u *Unifier) naiveUnion(a, b ir.Term) (bool, error) {
+	ka, kb := u.add(a), u.add(b)
+	// Linear-scan find (no compression): follow parents.
+	ra, rb := ka, kb
+	for u.parent[ra] != ra {
+		ra = u.parent[ra]
+	}
+	for u.parent[rb] != rb {
+		rb = u.parent[rb]
+	}
+	if ra == rb {
+		return false, nil
+	}
+	ca, hasA := u.constOf[ra]
+	cb, hasB := u.constOf[rb]
+	if hasA && hasB && ca != cb {
+		return false, fmt.Errorf("%w: %q vs %q", ErrClash, ca, cb)
+	}
+	// Always attach rb under ra, then re-point every member of rb's class
+	// (the quadratic part).
+	for k := range u.parent {
+		r := k
+		for u.parent[r] != r {
+			r = u.parent[r]
+		}
+		if r == rb {
+			u.parent[k] = ra
+		}
+	}
+	u.parent[rb] = ra
+	u.size[ra] += u.size[rb]
+	delete(u.size, rb)
+	if !hasA && hasB {
+		u.constOf[ra] = cb
+	}
+	delete(u.constOf, rb)
+	return true, nil
+}

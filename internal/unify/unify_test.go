@@ -1,0 +1,405 @@
+package unify
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"entangle/internal/ir"
+)
+
+func mustUnion(t *testing.T, u *Unifier, a, b ir.Term) {
+	t.Helper()
+	if _, err := u.Union(a, b); err != nil {
+		t.Fatalf("Union(%v, %v): %v", a, b, err)
+	}
+}
+
+func TestUnionBasics(t *testing.T) {
+	u := New()
+	changed, err := u.Union(ir.Var("x"), ir.Const("3"))
+	if err != nil || !changed {
+		t.Fatalf("first union: changed=%v err=%v", changed, err)
+	}
+	changed, err = u.Union(ir.Var("x"), ir.Const("3"))
+	if err != nil || changed {
+		t.Fatalf("repeated union must be a no-op: changed=%v err=%v", changed, err)
+	}
+	if c, ok := u.ConstantOf(ir.Var("x")); !ok || c != "3" {
+		t.Fatalf("ConstantOf(x) = %q, %v", c, ok)
+	}
+}
+
+func TestUnionClash(t *testing.T) {
+	// The paper's example: no MGU for {{x, 3}} and {{x, 4}}.
+	u := New()
+	mustUnion(t, u, ir.Var("x"), ir.Const("3"))
+	if _, err := u.Union(ir.Var("x"), ir.Const("4")); !errors.Is(err, ErrClash) {
+		t.Fatalf("expected ErrClash, got %v", err)
+	}
+}
+
+func TestTransitiveConstantPropagation(t *testing.T) {
+	u := New()
+	mustUnion(t, u, ir.Var("x"), ir.Var("y"))
+	mustUnion(t, u, ir.Var("y"), ir.Var("z"))
+	mustUnion(t, u, ir.Var("z"), ir.Const("7"))
+	for _, v := range []string{"x", "y", "z"} {
+		if c, ok := u.ConstantOf(ir.Var(v)); !ok || c != "7" {
+			t.Fatalf("ConstantOf(%s) = %q, %v", v, c, ok)
+		}
+	}
+	// Unioning two chains whose ends hold different constants must clash.
+	u2 := New()
+	mustUnion(t, u2, ir.Var("a"), ir.Const("1"))
+	mustUnion(t, u2, ir.Var("b"), ir.Const("2"))
+	if _, err := u2.Union(ir.Var("a"), ir.Var("b")); !errors.Is(err, ErrClash) {
+		t.Fatalf("expected transitive clash, got %v", err)
+	}
+}
+
+func TestSameClass(t *testing.T) {
+	u := New()
+	mustUnion(t, u, ir.Var("x"), ir.Var("y"))
+	if !u.SameClass(ir.Var("x"), ir.Var("y")) {
+		t.Fatal("x and y should be in the same class")
+	}
+	if u.SameClass(ir.Var("x"), ir.Var("w")) {
+		t.Fatal("x and w should not be in the same class")
+	}
+	if !u.SameClass(ir.Var("unseen"), ir.Var("unseen")) {
+		t.Fatal("a term is always in its own class")
+	}
+}
+
+func TestSameSpellingDifferentKind(t *testing.T) {
+	u := New()
+	mustUnion(t, u, ir.Var("Paris"), ir.Var("q")) // legal: Paris here is a variable name
+	if u.SameClass(ir.Const("Paris"), ir.Var("q")) {
+		t.Fatal("constant Paris must not be conflated with variable Paris")
+	}
+}
+
+func TestUnifyAtoms(t *testing.T) {
+	u := New()
+	h := ir.NewAtom("R", ir.Const("Kramer"), ir.Var("x"))
+	p := ir.NewAtom("R", ir.Var("f"), ir.Var("z"))
+	if _, err := u.UnifyAtoms(h, p); err != nil {
+		t.Fatal(err)
+	}
+	if c, ok := u.ConstantOf(ir.Var("f")); !ok || c != "Kramer" {
+		t.Fatalf("f should be bound to Kramer, got %q, %v", c, ok)
+	}
+	if !u.SameClass(ir.Var("x"), ir.Var("z")) {
+		t.Fatal("x and z should be unified")
+	}
+}
+
+func TestUnifyAtomsIncompatible(t *testing.T) {
+	u := New()
+	if _, err := u.UnifyAtoms(ir.NewAtom("R", ir.Var("x")), ir.NewAtom("S", ir.Var("x"))); err == nil {
+		t.Fatal("different relations must not unify")
+	}
+	if _, err := u.UnifyAtoms(ir.NewAtom("R", ir.Var("x")), ir.NewAtom("R", ir.Var("x"), ir.Var("y"))); err == nil {
+		t.Fatal("different arities must not unify")
+	}
+	if _, err := u.UnifyAtoms(ir.NewAtom("R", ir.Const("2")), ir.NewAtom("R", ir.Const("3"))); !errors.Is(err, ErrClash) {
+		t.Fatal("distinct constants must clash")
+	}
+}
+
+func TestRepeatedVariableInAtom(t *testing.T) {
+	// R(x, y) with R(z, z): x, y, z all one class.
+	u := New()
+	if _, err := u.UnifyAtoms(
+		ir.NewAtom("R", ir.Var("x"), ir.Var("y")),
+		ir.NewAtom("R", ir.Var("z"), ir.Var("z")),
+	); err != nil {
+		t.Fatal(err)
+	}
+	if !u.SameClass(ir.Var("x"), ir.Var("y")) {
+		t.Fatal("repeated variable z must force x = y")
+	}
+	// R(2, y) with R(z, z) then z=3 elsewhere would clash; directly:
+	u2 := New()
+	if _, err := u2.UnifyAtoms(
+		ir.NewAtom("R", ir.Const("2"), ir.Const("3")),
+		ir.NewAtom("R", ir.Var("z"), ir.Var("z")),
+	); !errors.Is(err, ErrClash) {
+		t.Fatalf("R(2,3) vs R(z,z) must clash, got %v", err)
+	}
+}
+
+func TestMergeAndMGU(t *testing.T) {
+	u1 := New()
+	mustUnion(t, u1, ir.Var("x"), ir.Const("3"))
+	u2 := New()
+	mustUnion(t, u2, ir.Var("y"), ir.Var("z"))
+
+	m, err := MGU(u1, u2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, ok := m.ConstantOf(ir.Var("x")); !ok || c != "3" {
+		t.Fatal("MGU lost x=3")
+	}
+	if !m.SameClass(ir.Var("y"), ir.Var("z")) {
+		t.Fatal("MGU lost y=z")
+	}
+	// Inputs untouched.
+	if u1.SameClass(ir.Var("y"), ir.Var("z")) {
+		t.Fatal("MGU mutated input u1")
+	}
+
+	u3 := New()
+	mustUnion(t, u3, ir.Var("x"), ir.Const("4"))
+	if _, err := MGU(u1, u3); !errors.Is(err, ErrClash) {
+		t.Fatalf("MGU of x=3 and x=4 must fail, got %v", err)
+	}
+}
+
+func TestMergeChangedFlag(t *testing.T) {
+	u1 := New()
+	mustUnion(t, u1, ir.Var("x"), ir.Var("y"))
+	u2 := New()
+	mustUnion(t, u2, ir.Var("x"), ir.Var("y"))
+	changed, err := u1.Merge(u2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed {
+		t.Fatal("merging identical constraints must report no change")
+	}
+	u3 := New()
+	mustUnion(t, u3, ir.Var("y"), ir.Var("w"))
+	changed, err = u1.Merge(u3)
+	if err != nil || !changed {
+		t.Fatalf("merging new constraint: changed=%v err=%v", changed, err)
+	}
+}
+
+func TestResolveDeterministic(t *testing.T) {
+	u := New()
+	mustUnion(t, u, ir.Var("zz"), ir.Var("aa"))
+	mustUnion(t, u, ir.Var("mm"), ir.Var("zz"))
+	if got := u.Resolve(ir.Var("zz")); !got.Equal(ir.Var("aa")) {
+		t.Fatalf("Resolve should pick lexicographically least variable, got %v", got)
+	}
+	mustUnion(t, u, ir.Var("mm"), ir.Const("9"))
+	if got := u.Resolve(ir.Var("zz")); !got.Equal(ir.Const("9")) {
+		t.Fatalf("Resolve should prefer the class constant, got %v", got)
+	}
+	if got := u.Resolve(ir.Const("42")); !got.Equal(ir.Const("42")) {
+		t.Fatal("Resolve of a constant is itself")
+	}
+	if got := u.Resolve(ir.Var("never-seen")); !got.Equal(ir.Var("never-seen")) {
+		t.Fatal("Resolve of an unknown variable is itself")
+	}
+}
+
+func TestSubstitution(t *testing.T) {
+	u := New()
+	mustUnion(t, u, ir.Var("x"), ir.Var("y"))
+	mustUnion(t, u, ir.Var("w"), ir.Const("5"))
+	s := u.Substitution()
+	if !s["w"].Equal(ir.Const("5")) {
+		t.Fatalf("substitution for w = %v", s["w"])
+	}
+	// One of x,y maps to the other; the representative maps to nothing.
+	if _, ok := s["x"]; !ok {
+		if _, ok := s["y"]; !ok {
+			t.Fatal("neither x nor y mapped")
+		}
+	}
+}
+
+func TestEqualities(t *testing.T) {
+	// Paper running example final unifier: {{x1, y1}, {x2, z2}, {x3, z1, 1}}.
+	u := New()
+	mustUnion(t, u, ir.Var("x1"), ir.Var("y1"))
+	mustUnion(t, u, ir.Var("x2"), ir.Var("z2"))
+	mustUnion(t, u, ir.Var("x3"), ir.Var("z1"))
+	mustUnion(t, u, ir.Var("x3"), ir.Const("1"))
+	eqs := u.Equalities()
+	// Expect: y1 = x1 (or symmetric), z2 = x2, x3 = 1, z1 = 1.
+	if len(eqs) != 4 {
+		t.Fatalf("equalities = %v, want 4 of them", eqs)
+	}
+	check := New()
+	for _, e := range eqs {
+		if _, err := check.Union(e.Left, e.Right); err != nil {
+			t.Fatalf("equalities self-inconsistent: %v", err)
+		}
+	}
+	if !check.SameClass(ir.Var("x1"), ir.Var("y1")) ||
+		!check.SameClass(ir.Var("x2"), ir.Var("z2")) ||
+		!check.SameClass(ir.Var("x3"), ir.Const("1")) ||
+		!check.SameClass(ir.Var("z1"), ir.Const("1")) {
+		t.Fatalf("equalities %v do not reproduce the partition %v", eqs, u)
+	}
+}
+
+func TestStringNotation(t *testing.T) {
+	u := New()
+	mustUnion(t, u, ir.Var("x"), ir.Const("3"))
+	mustUnion(t, u, ir.Var("y"), ir.Var("z"))
+	got := u.String()
+	// Classes are ordered by first key; constants sort before variables
+	// (key prefix c < v), so {3, x} then {y, z}.
+	if got != "{{3, x}, {y, z}}" {
+		t.Errorf("String = %q", got)
+	}
+	if New().String() != "{}" {
+		t.Errorf("empty unifier String = %q", New().String())
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	u := New()
+	mustUnion(t, u, ir.Var("x"), ir.Var("y"))
+	cp := u.Clone()
+	mustUnion(t, cp, ir.Var("x"), ir.Const("1"))
+	if _, ok := u.ConstantOf(ir.Var("x")); ok {
+		t.Fatal("mutating the clone changed the original")
+	}
+}
+
+// --- property-based tests -------------------------------------------------
+
+// TestMGUCommutative: mgu(a, b) ≡ mgu(b, a) whenever both exist, and they
+// fail together.
+func TestMGUCommutative(t *testing.T) {
+	f := func(ops []uint16) bool {
+		a := randomUnifier(ops, 0)
+		b := randomUnifier(ops, 1)
+		ab, err1 := MGU(a, b)
+		ba, err2 := MGU(b, a)
+		if (err1 == nil) != (err2 == nil) {
+			return false
+		}
+		if err1 != nil {
+			return true
+		}
+		return Equivalent(ab, ba)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMGUIdempotent: mgu(u, u) ≡ u.
+func TestMGUIdempotent(t *testing.T) {
+	f := func(ops []uint16) bool {
+		u := randomUnifier(ops, 0)
+		m, err := MGU(u, u)
+		if err != nil {
+			return false
+		}
+		return Equivalent(m, u)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMGUAssociative: mgu(a, mgu(b, c)) ≡ mgu(mgu(a, b), c) when defined.
+func TestMGUAssociative(t *testing.T) {
+	f := func(ops []uint16) bool {
+		a := randomUnifier(ops, 0)
+		b := randomUnifier(ops, 1)
+		c := randomUnifier(ops, 2)
+		bc, err := MGU(b, c)
+		var left *Unifier
+		if err == nil {
+			left, err = MGU(a, bc)
+		}
+		leftErr := err
+
+		ab, err := MGU(a, b)
+		var right *Unifier
+		if err == nil {
+			right, err = MGU(ab, c)
+		}
+		rightErr := err
+
+		if (leftErr == nil) != (rightErr == nil) {
+			return false
+		}
+		if leftErr != nil {
+			return true
+		}
+		return Equivalent(left, right)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAtMostOneConstantPerClass: the structural invariant from the paper's
+// definition of a unifier always holds after random operations.
+func TestAtMostOneConstantPerClass(t *testing.T) {
+	f := func(ops []uint16) bool {
+		u := randomUnifier(ops, 0)
+		for _, class := range u.Classes() {
+			consts := map[string]bool{}
+			for _, term := range class {
+				if term.IsConst() {
+					consts[term.Value] = true
+				}
+			}
+			if len(consts) > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNaiveMergeAgreesWithMerge: the A3 ablation baseline must be
+// semantically identical to the union-find implementation.
+func TestNaiveMergeAgreesWithMerge(t *testing.T) {
+	f := func(ops []uint16) bool {
+		a1 := randomUnifier(ops, 0)
+		a2 := a1.Clone()
+		b := randomUnifier(ops, 1)
+		_, err1 := a1.Merge(b)
+		_, err2 := a2.NaiveMerge(b)
+		if (err1 == nil) != (err2 == nil) {
+			return false
+		}
+		if err1 != nil {
+			return true
+		}
+		return Equivalent(a1, a2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomUnifier builds a unifier from a fuzz vector; salt varies the
+// construction so distinct unifiers come from the same vector.
+func randomUnifier(ops []uint16, salt int) *Unifier {
+	rng := rand.New(rand.NewSource(int64(salt)*7919 + int64(len(ops))))
+	u := New()
+	vars := []string{"a", "b", "c", "d", "e", "f"}
+	consts := []string{"1", "2", "3"}
+	for _, op := range ops {
+		x := ir.Var(vars[int(op)%len(vars)])
+		var y ir.Term
+		if (op>>4)%3 == 0 {
+			y = ir.Const(consts[int(op>>8)%len(consts)])
+		} else {
+			y = ir.Var(vars[int(op>>8)%len(vars)])
+		}
+		if rng.Intn(2) == 0 {
+			x, y = y, x
+		}
+		u.Union(x, y) // ignore clash: keep whatever partial state results
+	}
+	return u
+}

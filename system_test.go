@@ -1,0 +1,350 @@
+package entangle
+
+// End-to-end integration tests across the whole stack: SQL front end →
+// engine → matcher → database → TCP server, on the paper's scenarios.
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"entangle/internal/core"
+	"entangle/internal/engine"
+	"entangle/internal/ir"
+	"entangle/internal/match"
+	"entangle/internal/memdb"
+	"entangle/internal/server"
+	"entangle/internal/workload"
+)
+
+// TestEndToEndPaperScenario drives the full running example through the
+// TCP server with two separate client connections, as two real users would.
+func TestEndToEndPaperScenario(t *testing.T) {
+	db := memdb.New()
+	db.MustCreateTable("Flights", "fno", "dest")
+	db.MustCreateTable("Airlines", "fno", "airline")
+	for _, r := range [][]string{{"122", "Paris"}, {"123", "Paris"}, {"134", "Paris"}, {"136", "Rome"}} {
+		db.MustInsert("Flights", r...)
+	}
+	for _, r := range [][]string{{"122", "United"}, {"123", "United"}, {"134", "Lufthansa"}, {"136", "Alitalia"}} {
+		db.MustInsert("Airlines", r...)
+	}
+	eng := engine.New(db, engine.Config{Mode: engine.Incremental, Seed: 11})
+	srv := server.New(eng)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go srv.Serve(l)
+	defer srv.Shutdown()
+
+	kramer, err := server.Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kramer.Close()
+	jerry, err := server.Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jerry.Close()
+
+	_, chK, err := kramer.SubmitSQL(`SELECT 'Kramer', fno INTO ANSWER Reservation
+WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris')
+AND ('Jerry', fno) IN ANSWER Reservation CHOOSE 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, chJ, err := jerry.SubmitSQL(`SELECT 'Jerry', fno INTO ANSWER Reservation
+WHERE fno IN (SELECT fno FROM Flights F, Airlines A WHERE
+F.dest='Paris' AND F.fno = A.fno AND A.airline = 'United')
+AND ('Kramer', fno) IN ANSWER Reservation CHOOSE 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(ch <-chan server.Response) server.Response {
+		select {
+		case r := <-ch:
+			return r
+		case <-time.After(5 * time.Second):
+			t.Fatal("timeout")
+			return server.Response{}
+		}
+	}
+	rk, rj := get(chK), get(chJ)
+	if rk.Status != "answered" || rj.Status != "answered" {
+		t.Fatalf("statuses %s/%s (%s/%s)", rk.Status, rj.Status, rk.Detail, rj.Detail)
+	}
+	// Same United flight for both.
+	want := map[string]bool{
+		"Reservation(Kramer, 122)": true, "Reservation(Kramer, 123)": true,
+	}
+	if !want[rk.Tuples[0]] {
+		t.Fatalf("kramer tuple %v", rk.Tuples)
+	}
+	if rk.Tuples[0][len(rk.Tuples[0])-4:] != rj.Tuples[0][len(rj.Tuples[0])-4:] {
+		t.Fatalf("flights differ: %v vs %v", rk.Tuples, rj.Tuples)
+	}
+}
+
+// TestEndToEndSocialWorkload runs a mid-sized paper workload through the
+// core façade and cross-checks the engine counters.
+func TestEndToEndSocialWorkload(t *testing.T) {
+	g := workload.NewGraph(workload.Config{N: 3000, AvgDeg: 10, Seed: 21, Airports: 60})
+	db := memdb.New()
+	if err := workload.PopulateDB(db, g); err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(db, engine.Config{Mode: engine.Incremental, Seed: 21})
+	defer eng.Close()
+
+	gen := workload.NewGen(g, 21)
+	qs := gen.PermuteGroups(gen.TwoWayBest(g.FriendPairs(300, 21)), 2)
+	var handles []*engine.Handle
+	for _, q := range qs {
+		h, err := eng.Submit(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	st := eng.Stats()
+	if st.Submitted != 600 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Answered == 0 {
+		t.Fatal("no coordination on the social workload")
+	}
+	if st.Answered%2 != 0 {
+		t.Fatalf("odd answered count %d", st.Answered)
+	}
+	// All same-destination pairs answered must have mutually equal flights;
+	// verify by draining resolved handles.
+	byPair := map[string][]engine.Result{}
+	for _, h := range handles {
+		select {
+		case r := <-h.Done():
+			if r.Status == engine.StatusAnswered {
+				dest := r.Answer.Tuples[0].Args[1].Value
+				byPair[dest] = append(byPair[dest], r)
+			}
+		default:
+		}
+	}
+	if len(byPair) == 0 {
+		t.Fatal("no answered pairs collected")
+	}
+}
+
+// TestIncrementalEqualsSetAtATimeOutcomes checks that on collision-free
+// workloads (each pair coordinates through its own ANSWER relation, so no
+// arrival can trip the safety check against another pair), incremental and
+// set-at-a-time modes answer exactly the same queries — the mode changes
+// latency, not the outcome. (On colliding workloads the modes legitimately
+// differ: incremental retires pairs before later arrivals can collide with
+// them, while set-at-a-time keeps everything pending simultaneously.)
+func TestIncrementalEqualsSetAtATimeOutcomes(t *testing.T) {
+	g := workload.NewGraph(workload.Config{N: 1000, AvgDeg: 8, Seed: 33, Airports: 40})
+	db := memdb.New()
+	if err := workload.PopulateDB(db, g); err != nil {
+		t.Fatal(err)
+	}
+	pairs := g.FriendPairs(100, 33)
+	mkQueries := func() []*ir.Query {
+		var qs []*ir.Query
+		for i, p := range pairs {
+			rel := fmt.Sprintf("Pair%d", i)
+			u, v := workload.UserName(p[0]), workload.UserName(p[1])
+			q1 := ir.MustParse(ir.QueryID(2*i+1), fmt.Sprintf(
+				"{%s(%s, c)} %s(%s, c) :- U(%s, c) ∧ U(%s, c)", rel, v, rel, u, u, v))
+			q2 := ir.MustParse(ir.QueryID(2*i+2), fmt.Sprintf(
+				"{%s(%s, c)} %s(%s, c) :- U(%s, c) ∧ U(%s, c)", rel, u, rel, v, v, u))
+			qs = append(qs, q1, q2)
+		}
+		return qs
+	}
+	run := func(mode engine.Mode) map[int]engine.Status {
+		eng := engine.New(db, engine.Config{Mode: mode})
+		defer eng.Close()
+		out := map[int]engine.Status{}
+		handles := map[int]*engine.Handle{}
+		for i, q := range mkQueries() {
+			h, err := eng.Submit(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			handles[i] = h
+		}
+		eng.Flush()
+		for i, h := range handles {
+			select {
+			case r := <-h.Done():
+				out[i] = r.Status
+			default:
+				out[i] = engine.Status(-1) // still pending
+			}
+		}
+		return out
+	}
+	inc := run(engine.Incremental)
+	saat := run(engine.SetAtATime)
+	if len(inc) != len(saat) {
+		t.Fatalf("sizes differ: %d vs %d", len(inc), len(saat))
+	}
+	answered := 0
+	for i, s := range inc {
+		if saat[i] != s {
+			t.Errorf("query #%d: incremental %v vs set-at-a-time %v", i, s, saat[i])
+		}
+		if s == engine.StatusAnswered {
+			answered++
+		}
+	}
+	if answered == 0 {
+		t.Fatal("no pair coordinated")
+	}
+}
+
+// TestChooseRandomnessAcrossRuns verifies the CHOOSE 1 semantics at system
+// level: different seeds pick different coordinated flights.
+func TestChooseRandomnessAcrossRuns(t *testing.T) {
+	seen := map[string]bool{}
+	for seed := int64(1); seed <= 24 && len(seen) < 2; seed++ {
+		sys := core.NewSystem(core.Options{Seed: seed})
+		sys.MustCreateTable("F", "fno", "dest")
+		for _, f := range []string{"101", "102", "103", "104"} {
+			sys.MustInsert("F", f, "Paris")
+		}
+		h1, _ := sys.SubmitIR("{R(B, x)} R(A, x) :- F(x, Paris)")
+		h2, _ := sys.SubmitIR("{R(A, y)} R(B, y) :- F(y, Paris)")
+		r1, err := h1.Wait(time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h2.Wait(time.Second); err != nil {
+			t.Fatal(err)
+		}
+		seen[r1.Answer.Tuples[0].Args[1].Value] = true
+		sys.Close()
+	}
+	if len(seen) < 2 {
+		t.Fatalf("CHOOSE 1 never varied across seeds: %v", seen)
+	}
+}
+
+// TestBatchPipelineMatchesEngine cross-checks the synchronous batch
+// pipeline (match.Coordinate) against the engine on identical workloads.
+func TestBatchPipelineMatchesEngine(t *testing.T) {
+	g := workload.NewGraph(workload.Config{N: 800, AvgDeg: 8, Seed: 44, Airports: 30})
+	db := memdb.New()
+	if err := workload.PopulateDB(db, g); err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.NewGen(g, 44)
+	qs := gen.PermuteGroups(gen.TwoWayBest(g.FriendPairs(80, 44)), 2)
+
+	out, err := match.Coordinate(db, qs, match.CoordinateOptions{EnforceSafety: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng := engine.New(db, engine.Config{Mode: engine.SetAtATime})
+	defer eng.Close()
+	idMap := map[ir.QueryID]ir.QueryID{} // engine id → workload id
+	handles := map[ir.QueryID]*engine.Handle{}
+	for _, q := range qs {
+		h, err := eng.Submit(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idMap[h.ID] = q.ID
+		handles[h.ID] = h
+	}
+	eng.Flush()
+	engineAnswered := map[ir.QueryID]bool{}
+	for hid, h := range handles {
+		select {
+		case r := <-h.Done():
+			if r.Status == engine.StatusAnswered {
+				engineAnswered[idMap[hid]] = true
+			}
+		default:
+		}
+	}
+	batchAnswered := map[ir.QueryID]bool{}
+	for id := range out.Answers {
+		batchAnswered[id] = true
+	}
+	if len(batchAnswered) != len(engineAnswered) {
+		t.Fatalf("batch answered %d, engine answered %d", len(batchAnswered), len(engineAnswered))
+	}
+	for id := range batchAnswered {
+		if !engineAnswered[id] {
+			t.Errorf("query %d answered by batch but not by engine", id)
+		}
+	}
+}
+
+// TestHundredConcurrentPairsViaServer reproduces the "hundred clients"
+// claim end to end with coordinated SQL submissions.
+func TestHundredConcurrentPairsViaServer(t *testing.T) {
+	db := memdb.New()
+	db.MustCreateTable("Flights", "fno", "dest")
+	db.MustInsert("Flights", "555", "Paris")
+	eng := engine.New(db, engine.Config{Mode: engine.Incremental})
+	srv := server.New(eng)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go srv.Serve(l)
+	defer srv.Shutdown()
+
+	const pairs = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, pairs*2)
+	for p := 0; p < pairs; p++ {
+		for side := 0; side < 2; side++ {
+			wg.Add(1)
+			go func(p, side int) {
+				defer wg.Done()
+				c, err := server.Dial(l.Addr().String())
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer c.Close()
+				me, partner := fmt.Sprintf("L%d", p), fmt.Sprintf("R%d", p)
+				if side == 1 {
+					me, partner = partner, me
+				}
+				sql := fmt.Sprintf(`SELECT '%s', fno INTO ANSWER Res%d
+WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris')
+AND ('%s', fno) IN ANSWER Res%d CHOOSE 1`, me, p, partner, p)
+				_, ch, err := c.SubmitSQL(sql)
+				if err != nil {
+					errs <- err
+					return
+				}
+				select {
+				case r := <-ch:
+					if r.Status != "answered" {
+						errs <- fmt.Errorf("pair %d side %d: %s (%s)", p, side, r.Status, r.Detail)
+					}
+				case <-time.After(10 * time.Second):
+					errs <- fmt.Errorf("pair %d side %d: timeout", p, side)
+				}
+			}(p, side)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
