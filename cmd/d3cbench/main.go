@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	d3cbench [-experiment all|fig6|fig7|fig8|fig9|ablations]
-//	         [-users 82168] [-scale 1.0] [-seed 42]
+//	d3cbench [-experiment all|fig6|fig7|fig8|fig9|ablations|sharding]
+//	         [-users 82168] [-scale 1.0] [-seed 42] [-shards 8] [-workers 8]
 //
 // -users sets the social-graph size (default: the paper's 82,168).
 // -scale multiplies the workload sizes; 1.0 reproduces the paper's range
@@ -24,10 +24,12 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment: all, fig6, fig7, fig8, fig9, ablations")
+		experiment = flag.String("experiment", "all", "which experiment: all, fig6, fig7, fig8, fig9, ablations, sharding")
 		users      = flag.Int("users", 82168, "social graph size (paper: 82168)")
 		scale      = flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper sizes up to 100k queries)")
 		seed       = flag.Int64("seed", 42, "deterministic seed")
+		shards     = flag.Int("shards", 8, "shard count for the sharding experiment")
+		workers    = flag.Int("workers", 8, "concurrent submitters for the sharding experiment")
 	)
 	flag.Parse()
 
@@ -115,6 +117,16 @@ func main() {
 		}
 		bench.PrintSeries(os.Stdout,
 			fmt.Sprintf("Figure 9 — safety check with %d resident queries", resident), rows)
+		return nil
+	})
+
+	run("sharding", func() error {
+		rows, err := env.ShardingComparison(scaled([]int{1000, 10000}, *scale), *shards, *workers)
+		if err != nil {
+			return err
+		}
+		bench.PrintSeries(os.Stdout,
+			fmt.Sprintf("Sharding — concurrent submit, 1 shard vs %d shards (%d workers)", *shards, *workers), rows)
 		return nil
 	})
 

@@ -105,6 +105,10 @@ func main() {
 				s := st.Stats
 				fmt.Printf("submitted=%d answered=%d rejected=%d unsafe=%d stale=%d pending=%d flushes=%d\n",
 					s.Submitted, s.Answered, s.Rejected, s.RejectedUnsafe, s.ExpiredStale, s.Pending, s.Flushes)
+				for i, sh := range s.PerShard {
+					fmt.Printf("  shard %d: submitted=%d answered=%d rejected=%d unsafe=%d stale=%d pending=%d flushes=%d\n",
+						i, sh.Submitted, sh.Answered, sh.Rejected, sh.RejectedUnsafe, sh.ExpiredStale, sh.Pending, sh.Flushes)
+				}
 			}
 		case len(sqlBuf) > 0 || strings.HasPrefix(strings.ToUpper(line), "SELECT"):
 			sqlBuf = append(sqlBuf, line)

@@ -34,8 +34,9 @@ func main() {
 	var (
 		addr          = flag.String("addr", ":7070", "listen address")
 		mode          = flag.String("mode", "incremental", "evaluation mode: incremental or setatatime")
+		shards        = flag.Int("shards", 0, "engine shards (0 = one per CPU, 1 = single-lock engine)")
 		stale         = flag.Duration("stale", 30*time.Second, "staleness bound for pending queries (0 = never)")
-		flushEvery    = flag.Int("flush-every", 0, "set-at-a-time: flush after this many submissions (0 = timer only)")
+		flushEvery    = flag.Int("flush-every", 0, "set-at-a-time: auto-flush a shard after this many submissions landed on it (per shard, 0 = timer only)")
 		flushInterval = flag.Duration("flush-interval", 100*time.Millisecond, "background flush/staleness tick")
 		social        = flag.Int("social", 0, "preload a synthetic social graph with this many users (0 = empty database)")
 		seed          = flag.Int64("seed", 42, "seed for the social graph and CHOOSE 1 randomness")
@@ -73,6 +74,7 @@ func main() {
 
 	eng := engine.New(db, engine.Config{
 		Mode:       m,
+		Shards:     *shards,
 		StaleAfter: *stale,
 		FlushEvery: *flushEvery,
 		Seed:       *seed,
@@ -85,7 +87,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("d3cd: %v", err)
 	}
-	log.Printf("d3cd: serving %s mode on %s", m, l.Addr())
+	log.Printf("d3cd: serving %s mode on %s (%d shards)", m, l.Addr(), eng.NumShards())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

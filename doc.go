@@ -14,7 +14,12 @@
 //   - internal/match — safety, UCS, unifier propagation (Algorithm 1) and
 //     combined-query construction;
 //   - internal/engine — the asynchronous coordination engine (incremental
-//     and set-at-a-time modes, staleness);
+//     and set-at-a-time modes, staleness), sharded for parallel
+//     coordination: the pending set is partitioned across N shards, each
+//     with its own unifiability graph, safety checker and lock, and queries
+//     are routed by the relation names of their head/postcondition atoms so
+//     that potential coordination partners always meet on the same shard
+//     (see the engine package comment for the routing invariant);
 //   - internal/server — a TCP/JSON front end for many concurrent clients;
 //   - internal/memdb — the in-memory conjunctive-query database substrate;
 //   - internal/workload, internal/bench — the paper's experimental

@@ -81,9 +81,12 @@ func PrintSeries(w io.Writer, heading string, rows []Row) {
 }
 
 // runIncremental submits queries one at a time to a fresh incremental
-// engine over the env's database and returns the measurement.
+// engine over the env's database and returns the measurement. The figure
+// experiments pin Shards to 1 — the paper's single-engine configuration —
+// so reported numbers do not depend on the host's core count (sharding has
+// its own experiment, ShardingComparison).
 func (e *Env) runIncremental(label string, qs []*ir.Query) (Row, error) {
-	eng := engine.New(e.DB, engine.Config{Mode: engine.Incremental, Seed: 1})
+	eng := engine.New(e.DB, engine.Config{Mode: engine.Incremental, Shards: 1, Seed: 1})
 	start := time.Now()
 	for _, q := range qs {
 		if _, err := eng.Submit(q); err != nil {
@@ -99,9 +102,10 @@ func (e *Env) runIncremental(label string, qs []*ir.Query) (Row, error) {
 	}, nil
 }
 
-// runSetAtATime submits all queries then flushes once.
+// runSetAtATime submits all queries then flushes once (Shards pinned to 1,
+// as in runIncremental).
 func (e *Env) runSetAtATime(label string, qs []*ir.Query) (Row, error) {
-	eng := engine.New(e.DB, engine.Config{Mode: engine.SetAtATime, Seed: 1})
+	eng := engine.New(e.DB, engine.Config{Mode: engine.SetAtATime, Shards: 1, Seed: 1})
 	start := time.Now()
 	for _, q := range qs {
 		if _, err := eng.Submit(q); err != nil {

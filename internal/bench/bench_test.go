@@ -144,6 +144,25 @@ func TestAblations(t *testing.T) {
 	}
 }
 
+func TestShardingComparison(t *testing.T) {
+	env := testEnv(t)
+	rows, err := env.ShardingComparison([]int{200}, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	// ShardingComparison itself errors if the answered counts diverge; here
+	// just check the workload actually coordinated and drained.
+	if rows[0].Answered == 0 {
+		t.Fatalf("single-lock row never coordinated: %v", rows[0])
+	}
+	if rows[0].Pending != rows[1].Pending {
+		t.Fatalf("pending differ: %v vs %v", rows[0], rows[1])
+	}
+}
+
 func TestPrintSeries(t *testing.T) {
 	var buf bytes.Buffer
 	PrintSeries(&buf, "demo", []Row{{Label: "x", N: 5, Elapsed: 1000}})

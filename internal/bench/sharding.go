@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"entangle/internal/engine"
+	"entangle/internal/ir"
+	"entangle/internal/workload"
+)
+
+// runConcurrentSubmit drives qs through a fresh incremental engine with the
+// given shard count, submitting from `workers` goroutines, and returns the
+// measurement. The workload must be order-independent (no cross-group
+// unification), which the per-group ANSWER relation generators guarantee.
+func (e *Env) runConcurrentSubmit(label string, qs []*ir.Query, shards, workers int) (Row, error) {
+	eng := engine.New(e.DB, engine.Config{Mode: engine.Incremental, Shards: shards, Seed: 1})
+	defer eng.Close()
+	var next atomic.Int64
+	errs := make(chan error, workers)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(qs) {
+					return
+				}
+				if _, err := eng.Submit(qs[i]); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errs:
+		return Row{}, err
+	default:
+	}
+	st := eng.Stats()
+	return Row{
+		Label: label, N: len(qs), Elapsed: elapsed,
+		Answered: st.Answered, Rejected: st.Rejected + st.RejectedUnsafe, Pending: st.Pending,
+	}, nil
+}
+
+// ShardingComparison measures concurrent Submit throughput on the social
+// workload for a single-lock engine (1 shard) versus a sharded one. Each
+// coordinating pair uses its own ANSWER relation (Gen.DistinctRels), the
+// workload shape under which the router can spread independent coordination
+// groups across shards; with the paper's single shared relation R every
+// query has the same routing signature and sharding cannot help. The two
+// engines receive identical query sets, so their answered counts must agree
+// — the bench harness's cheap standing equivalence check.
+func (e *Env) ShardingComparison(sizes []int, shards, workers int) ([]Row, error) {
+	if shards < 2 {
+		return nil, fmt.Errorf("bench: sharding comparison needs shards ≥ 2, got %d", shards)
+	}
+	if workers < 1 {
+		return nil, fmt.Errorf("bench: sharding comparison needs workers ≥ 1, got %d", workers)
+	}
+	var rows []Row
+	for _, n := range sizes {
+		gen := workload.NewGen(e.G, int64(n)+37)
+		gen.DistinctRels = true
+		qs := gen.Interleave(gen.TwoWayBest(e.G.FriendPairs(n/2, int64(n)+37)))
+
+		single, err := e.runConcurrentSubmit(fmt.Sprintf("submit 1 shard (%d workers)", workers), qs, 1, workers)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, single)
+		sharded, err := e.runConcurrentSubmit(fmt.Sprintf("submit %d shards (%d workers)", shards, workers), qs, shards, workers)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, sharded)
+		if single.Answered != sharded.Answered {
+			return nil, fmt.Errorf("bench: sharded engine answered %d, single-lock answered %d on identical workloads",
+				sharded.Answered, single.Answered)
+		}
+	}
+	return rows, nil
+}

@@ -31,9 +31,15 @@ import (
 type Options struct {
 	// Mode selects incremental (default) or set-at-a-time evaluation.
 	Mode engine.Mode
+	// Shards partitions the engine's pending set for parallel coordination
+	// (0 = one shard per CPU; 1 = the single-lock engine).
+	Shards int
 	// StaleAfter bounds how long queries wait for partners (0 = forever).
 	StaleAfter time.Duration
-	// FlushEvery auto-flushes after N submissions in set-at-a-time mode.
+	// FlushEvery auto-flushes a shard after N submissions landed on it in
+	// set-at-a-time mode. The counter is per shard: with S shards and
+	// spread-out traffic, up to S×N submissions may buffer engine-wide
+	// before the first auto-flush (see engine.Config.FlushEvery).
 	FlushEvery int
 	// Seed drives CHOOSE 1 randomness (0 = deterministic first choice).
 	Seed int64
@@ -54,6 +60,7 @@ func NewSystem(opt Options) *System {
 	db := memdb.New()
 	eng := engine.New(db, engine.Config{
 		Mode:          opt.Mode,
+		Shards:        opt.Shards,
 		StaleAfter:    opt.StaleAfter,
 		FlushEvery:    opt.FlushEvery,
 		Seed:          opt.Seed,

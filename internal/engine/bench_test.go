@@ -2,10 +2,13 @@ package engine
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"entangle/internal/ir"
 	"entangle/internal/memdb"
+	"entangle/internal/workload"
 )
 
 // BenchmarkSubmitCoordinatePair measures the engine's steady-state
@@ -36,6 +39,123 @@ func BenchmarkSubmitCoordinatePair(b *testing.B) {
 		}
 	}
 }
+
+// Shared social substrate for the sharded-vs-single-lock benchmark pairs
+// (building the graph and database once keeps iteration setup cheap).
+var (
+	socialOnce  sync.Once
+	socialGraph *workload.Graph
+	socialDB    *memdb.DB
+	socialPairs [][2]int
+)
+
+func socialEnv(b *testing.B) {
+	b.Helper()
+	socialOnce.Do(func() {
+		socialGraph = workload.NewGraph(workload.Config{N: 2000, AvgDeg: 10, Seed: 17, Airports: 60})
+		socialDB = memdb.New()
+		if err := workload.PopulateDB(socialDB, socialGraph); err != nil {
+			panic(err)
+		}
+		socialPairs = socialGraph.FriendPairs(4096, 17)
+	})
+}
+
+// socialPairQueries builds n fully specified coordinating queries (n/2
+// friend pairs) over the social substrate, each pair on its own ANSWER
+// relation so independent pairs are routable to different shards — the
+// workload shape of many applications sharing one engine.
+func socialPairQueries(n int) []*ir.Query {
+	qs := make([]*ir.Query, 0, n+1)
+	for i := 0; len(qs) < n; i++ {
+		p := socialPairs[i%len(socialPairs)]
+		rel := fmt.Sprintf("R_b%d", i)
+		dest := socialGraph.Airport(i % 60)
+		u, v := workload.UserName(p[0]), workload.UserName(p[1])
+		mk := func(me, partner string) *ir.Query {
+			return &ir.Query{
+				Owner:  me,
+				Choose: 1,
+				Heads:  []ir.Atom{ir.NewAtom(rel, ir.Const(me), ir.Const(dest))},
+				Posts:  []ir.Atom{ir.NewAtom(rel, ir.Const(partner), ir.Const(dest))},
+				Body: []ir.Atom{
+					ir.NewAtom(workload.FriendsRel, ir.Const(me), ir.Const(partner)),
+					ir.NewAtom(workload.UserRel, ir.Const(me), ir.Var("c")),
+					ir.NewAtom(workload.UserRel, ir.Const(partner), ir.Var("c")),
+				},
+			}
+		}
+		qs = append(qs, mk(u, v), mk(v, u))
+	}
+	return qs[:n]
+}
+
+// benchmarkSubmitSocial measures concurrent Submit throughput on the social
+// pair workload: one submitter goroutine per GOMAXPROCS (RunParallel's
+// default — deliberately not SetParallelism, which would multiply by the
+// core count and oversubscribe a multicore host) races queries into the
+// engine, each pair coordinating (and usually retiring) on arrival of its
+// second member.
+func benchmarkSubmitSocial(b *testing.B, shards int) {
+	socialEnv(b)
+	qs := socialPairQueries(b.N)
+	e := New(socialDB, Config{Mode: Incremental, Shards: shards})
+	defer e.Close()
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := int(next.Add(1)) - 1
+			if i >= len(qs) {
+				continue
+			}
+			if _, err := e.Submit(qs[i]); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkSubmitSocialSingleLock is the pre-sharding baseline: one shard,
+// every submission serialised behind a single mutex.
+func BenchmarkSubmitSocialSingleLock(b *testing.B) { benchmarkSubmitSocial(b, 1) }
+
+// BenchmarkSubmitSocialSharded8 is the same workload on eight shards.
+func BenchmarkSubmitSocialSharded8(b *testing.B) { benchmarkSubmitSocial(b, 8) }
+
+// benchmarkFlushSocial measures a set-at-a-time flush round over a resident
+// pending set that never matches (each query waits for a partner that is
+// absent), the steady-state cost of scanning partitions per Section 4.1.2.
+func benchmarkFlushSocial(b *testing.B, shards int) {
+	socialEnv(b)
+	const resident = 2048
+	e := New(socialDB, Config{Mode: SetAtATime, Shards: shards})
+	defer e.Close()
+	qs := socialPairQueries(resident * 2)
+	for i := 0; i < resident*2; i += 2 {
+		// Submit only the first member of each pair: the component stays
+		// open, so every flush rescans it without retiring anything.
+		if _, err := e.Submit(qs[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Flush()
+	}
+	if st := e.Stats(); st.Pending != resident {
+		b.Fatalf("resident set drained: %+v", st)
+	}
+}
+
+// BenchmarkFlushSocialSingleLock flushes one graph holding every partition.
+func BenchmarkFlushSocialSingleLock(b *testing.B) { benchmarkFlushSocial(b, 1) }
+
+// BenchmarkFlushSocialSharded8 flushes eight shard-local graphs in parallel.
+func BenchmarkFlushSocialSharded8(b *testing.B) { benchmarkFlushSocial(b, 8) }
 
 // BenchmarkSubmitPendingNoMatch measures arrival cost when nothing unifies
 // and the pending set keeps growing (the Figure 8 "no unification" path).

@@ -9,18 +9,47 @@
 // asynchronous (a query may wait for partners), every query eventually
 // resolves to exactly one Result (answered, rejected, unsafe, or stale),
 // and staleness bounds how long a query may wait for coordination partners.
+//
+// # Sharding
+//
+// The engine partitions its pending set across N shards (Config.Shards,
+// default runtime.NumCPU()), generalising the paper's observation (Section
+// 4.1.2) that matching decomposes into independent connected components of
+// the unifiability graph. Each shard owns a complete pipeline — graph, atom
+// indexes, safety checker, pending map — behind its own lock, so Submit,
+// Flush and ExpireStale on different shards proceed in parallel.
+//
+// Routing invariant: two queries that can ever share a unifiability edge
+// are always routed to the same shard. A query's routing signature is the
+// set of relation names in its head and postcondition atoms (bodies never
+// unify and are ignored); queries unify only when they share such a
+// relation name. The router maintains a union-find over relation names —
+// every signature's relations are merged into one family — and a family's
+// home shard is min(hash(r)) over its member relations, mod N. Queries with
+// equal single-relation signatures therefore land on the same shard
+// deterministically, and a query whose signature spans families triggers a
+// family merge: the displaced shards' pending members migrate to the merged
+// family's home shard before the new query is admitted. Because connected
+// components never cross family boundaries, every matching, safety and
+// staleness decision remains shard-local and the sharded engine is
+// observationally equivalent to a single-shard one (see the equivalence
+// tests). One caveat: when a merged component admits several valid
+// coordinated answers, the CHOOSE pick can differ from the single-shard
+// run's (migration re-inserts members in query-ID order, which may
+// interleave differently with the home shard's residents); runs with a
+// fixed (Seed, Shards, arrival order) still reproduce exactly.
 package engine
 
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"entangle/internal/eqsql"
-	"entangle/internal/graph"
 	"entangle/internal/ir"
 	"entangle/internal/match"
 	"entangle/internal/memdb"
@@ -117,16 +146,26 @@ func (h *Handle) Wait(timeout time.Duration) (Result, error) {
 // Config tunes the engine.
 type Config struct {
 	Mode Mode
+	// Shards is the number of engine partitions; 0 picks runtime.NumCPU().
+	// 1 reproduces the pre-sharding single-lock engine exactly.
+	Shards int
 	// StaleAfter bounds how long a query may stay pending; 0 disables
 	// staleness. Expiry happens on ExpireStale calls (or Run's ticker).
 	StaleAfter time.Duration
 	// FlushEvery triggers an automatic Flush after this many submissions
-	// in SetAtATime mode; 0 means flush only on explicit Flush calls.
+	// in SetAtATime mode; 0 means flush only on explicit Flush calls. The
+	// counter is per shard: a shard flushes after FlushEvery submissions
+	// landed on it, which preserves the single-shard semantics for
+	// workloads routed to one shard and bounds every shard's buffered
+	// backlog independently.
 	FlushEvery int
-	// Parallelism bounds concurrent component evaluation during Flush;
-	// 0 means GOMAXPROCS.
+	// Parallelism bounds concurrent component evaluation during a shard's
+	// flush; 0 means GOMAXPROCS.
 	Parallelism int
 	// Seed drives the CHOOSE 1 random choice; 0 picks deterministically.
+	// Each shard runs its own stream started from the seed, so a given
+	// (Seed, Shards, arrival order) reproduces exactly, and workloads that
+	// land on a single shard reproduce across shard counts too.
 	Seed int64
 	// Match carries ablation switches through to the matcher.
 	Match match.Options
@@ -134,11 +173,24 @@ type Config struct {
 	AnswerSchemas map[string][]string
 	// HistorySize retains the last N lifecycle events (submissions,
 	// answers, rejections, staleness, flushes) for debugging; 0 disables
-	// the audit trail.
+	// the audit trail. The trail is one globally ordered ring shared by
+	// all shards, so enabling it serialises event recording on a single
+	// history lock — a deliberate debugging trade-off (0, the default,
+	// records nothing and takes no lock).
 	HistorySize int
 }
 
-// Stats are cumulative engine counters.
+// Stats are cumulative engine counters. For a sharded engine the top-level
+// fields aggregate across shards and PerShard carries each shard's own
+// counters (indexed by shard; nested PerShard is always nil). A query
+// migrated by a family merge moves its Submitted attribution to the
+// destination shard, so every PerShard entry independently satisfies
+// Submitted = Answered + Rejected + RejectedUnsafe + ExpiredStale +
+// Pending. Flushes is
+// the exception to plain summing: the aggregate counts flush rounds — one
+// per Flush call plus one per FlushEvery-triggered auto-flush — while each
+// PerShard entry counts the rounds that ran on that shard (a single Flush
+// call is one round but touches every shard).
 type Stats struct {
 	Submitted      int
 	Answered       int
@@ -148,6 +200,21 @@ type Stats struct {
 	Pending        int
 	Flushes        int
 	Evaluations    int // combined queries sent to the database
+
+	PerShard []Stats `json:"PerShard,omitempty"`
+}
+
+// add accumulates s2 into the aggregate. PerShard is excluded, and so is
+// Flushes: the aggregate counts engine-level rounds (Engine.flushRounds),
+// not the sum of per-shard rounds — see the Stats doc comment.
+func (s *Stats) add(s2 Stats) {
+	s.Submitted += s2.Submitted
+	s.Answered += s2.Answered
+	s.RejectedUnsafe += s2.RejectedUnsafe
+	s.Rejected += s2.Rejected
+	s.ExpiredStale += s2.ExpiredStale
+	s.Pending += s2.Pending
+	s.Evaluations += s2.Evaluations
 }
 
 // ErrClosed is returned by operations on a closed engine.
@@ -155,59 +222,107 @@ var ErrClosed = errors.New("engine: closed")
 
 type pendingQuery struct {
 	orig      *ir.Query // as submitted (caller's variable names)
-	renamed   *ir.Query // renamed apart; lives in the graph
+	renamed   *ir.Query // renamed apart; lives in the shard's graph
+	rels      []string  // coordination signature (routing key)
 	handle    *Handle
 	submitted time.Time
 }
 
-// Engine is the D3C coordination module. Safe for concurrent use.
+// Engine is the D3C coordination module. Safe for concurrent use: requests
+// are routed to shards that lock independently (see the package comment).
+//
+// Lock order: lifeMu (read for operations, write for Close) → shard mutexes
+// in ascending index order → router/history mutexes. The router's own lock
+// is also taken without shard locks held during routing; it never acquires
+// shard locks itself, so the order stays acyclic.
 type Engine struct {
 	db  *memdb.DB
 	cfg Config
 
-	mu      sync.Mutex
-	g       *graph.Graph
-	checker *match.SafetyChecker
-	pending map[ir.QueryID]*pendingQuery
-	nextID  ir.QueryID
-	rnd     *rand.Rand
-	stats   Stats
-	hist    *history
-	closed  bool
-	sinceFl int // submissions since last flush (SetAtATime)
-	now     func() time.Time
+	shards      []*shard
+	router      *router
+	nextID      atomic.Int64
+	flushRounds atomic.Int64 // engine-level flush rounds (see Stats.Flushes)
+	// evalSem caps concurrent component evaluations across all flushing
+	// shards at Parallelism (or GOMAXPROCS). A shared semaphore rather
+	// than a per-shard split: a skewed workload concentrated on one shard
+	// can still use the whole budget, while simultaneous flushes (explicit
+	// or FlushEvery-triggered) cannot oversubscribe to Shards × budget.
+	evalSem chan struct{}
+	// migEpoch increments whenever a family merge moves pending queries
+	// between shards. Stats uses it to take an exact aggregate without
+	// holding all shard locks at once: snapshot shards one at a time and
+	// retry if a migration happened mid-pass (the only event that could
+	// double- or zero-count a query across per-shard snapshots).
+	migEpoch atomic.Uint64
+
+	lifeMu sync.RWMutex // held read by operations, write by Close
+	closed bool         // guarded by lifeMu
+
+	histMu sync.Mutex
+	hist   *history
+
+	now func() time.Time
 }
 
 // New creates an engine over the given database.
 func New(db *memdb.DB, cfg Config) *Engine {
-	var rnd *rand.Rand
-	if cfg.Seed != 0 {
-		rnd = rand.New(rand.NewSource(cfg.Seed))
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.NumCPU()
 	}
-	return &Engine{
+	budget := cfg.Parallelism
+	if budget <= 0 {
+		budget = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{
 		db:      db,
 		cfg:     cfg,
-		g:       graph.New(),
-		checker: match.NewSafetyChecker(),
-		pending: make(map[ir.QueryID]*pendingQuery),
-		nextID:  1,
-		rnd:     rnd,
+		router:  newRouter(cfg.Shards),
 		hist:    newHistory(cfg.HistorySize),
+		evalSem: make(chan struct{}, budget),
 		now:     time.Now,
 	}
+	e.shards = make([]*shard, cfg.Shards)
+	for i := range e.shards {
+		e.shards[i] = newShard(i, e)
+	}
+	return e
 }
 
 // DB returns the engine's database (for loading data and for SubmitSQL
 // schema resolution).
 func (e *Engine) DB() *memdb.DB { return e.db }
 
-// Stats returns a snapshot of the counters.
+// NumShards returns the number of engine partitions.
+func (e *Engine) NumShards() int { return len(e.shards) }
+
+// Stats returns a snapshot of the counters, aggregated across shards, with
+// each shard's own counters in PerShard. Shards are snapshotted one at a
+// time — never holding one shard's lock while waiting on another, so a
+// slow flush on one shard cannot stall Stats-concurrent Submits elsewhere
+// — and the pass retries if a family-merge migration ran meanwhile, the
+// only event that could count a moving query twice or not at all. The one
+// non-shard field, Flushes, is a monotone engine-level round counter read
+// atomically alongside: a Flush call concurrent with Stats may already be
+// counted before its per-shard effects are visible.
 func (e *Engine) Stats() Stats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	s := e.stats
-	s.Pending = len(e.pending)
-	return s
+	for {
+		epoch := e.migEpoch.Load()
+		var agg Stats
+		agg.PerShard = make([]Stats, len(e.shards))
+		for i, s := range e.shards {
+			s.mu.Lock()
+			st := s.snapshotLocked()
+			s.mu.Unlock()
+			agg.PerShard[i] = st
+			agg.add(st)
+		}
+		if e.migEpoch.Load() != epoch {
+			continue // a migration interleaved; re-snapshot (merges are rare and finite)
+		}
+		agg.Flushes = int(e.flushRounds.Load())
+		return agg
+	}
 }
 
 // Submit enqueues an entangled query for coordinated answering and returns
@@ -217,47 +332,125 @@ func (e *Engine) Submit(q *ir.Query) (*Handle, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.lifeMu.RLock()
+	defer e.lifeMu.RUnlock()
 	if e.closed {
 		return nil, ErrClosed
 	}
 	cp := q.Clone()
-	cp.ID = e.nextID
-	e.nextID++
+	cp.ID = ir.QueryID(e.nextID.Add(1))
 	h := &Handle{ID: cp.ID, ch: make(chan Result, 1)}
-	e.stats.Submitted++
-	e.recordLocked(EventSubmitted, cp.ID, cp.Owner)
-
 	renamed := cp.RenameApart()
+	rels := coordRels(cp)
 
-	// Admission safety check (Sections 3.1.1, 5.3.5): reject arrivals that
-	// would make the pending workload unsafe.
-	if err := e.checker.Check(renamed); err != nil {
-		e.stats.RejectedUnsafe++
-		e.recordLocked(EventUnsafe, cp.ID, err.Error())
-		h.ch <- Result{QueryID: cp.ID, Status: StatusUnsafe, Detail: err.Error()}
+	for {
+		target, root, needsMigration, gen := e.router.route(rels)
+		if needsMigration {
+			e.migrateFamily(root)
+		}
+		s := e.shards[target]
+		s.mu.Lock()
+		// A concurrent family merge may have re-homed our signature between
+		// routing and locking; re-validate and retry if so. One atomic load
+		// suffices: an unchanged generation means no family anywhere
+		// re-homed, so our route is still current (a changed one merely
+		// costs a spurious re-route). Merges are bounded by the number of
+		// distinct relations, so this terminates.
+		if e.router.generation() != gen {
+			s.mu.Unlock()
+			continue
+		}
+		err := s.submit(cp, renamed, rels, h, e.now())
+		s.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
 		return h, nil
 	}
-	if err := e.checker.Admit(renamed); err != nil {
-		return nil, err // unreachable: Check passed above
-	}
-	if err := e.g.AddQuery(renamed); err != nil {
-		e.checker.Remove(renamed.ID)
-		return nil, err
-	}
-	e.pending[cp.ID] = &pendingQuery{orig: cp, renamed: renamed, handle: h, submitted: e.now()}
+}
 
-	switch e.cfg.Mode {
-	case Incremental:
-		e.evaluateComponentLocked(e.g.ComponentOf(cp.ID))
-	case SetAtATime:
-		e.sinceFl++
-		if e.cfg.FlushEvery > 0 && e.sinceFl >= e.cfg.FlushEvery {
-			e.flushLocked()
+// migrateFamily drains every displaced shard of the family rooted at root
+// into the family's current home, looping until the residence set collapses
+// (a concurrent merge can re-home the family mid-drain, in which case the
+// stale drain target stays resident and the next round moves it again).
+// Both shard locks are held for the duration of each move (acquired in
+// ascending index order), so a migrating query is never invisible to Flush,
+// ExpireStale or Close — it is in exactly one shard at every observable
+// instant.
+func (e *Engine) migrateFamily(root string) {
+	for {
+		home, sources := e.router.residencePlan(root)
+		if home < 0 || len(sources) == 0 {
+			return
+		}
+		for _, from := range sources {
+			src, dst := e.shards[from], e.shards[home]
+			first, second := src, dst
+			if dst.idx < src.idx {
+				first, second = dst, src
+			}
+			first.mu.Lock()
+			second.mu.Lock()
+			if e.router.currentHome(root) == home {
+				// Classify the source shard's pending set with one router
+				// pass. All of a pending query's signature relations belong
+				// to one family (its own submission merged them), so its
+				// first relation decides membership.
+				distinct := make(map[string]bool)
+				for _, p := range src.pending {
+					distinct[p.rels[0]] = true
+				}
+				rels := make([]string, 0, len(distinct))
+				for rel := range distinct {
+					rels = append(rels, rel)
+				}
+				member := e.router.inFamily(rels, root)
+				var ids []ir.QueryID
+				for id, p := range src.pending {
+					if member[p.rels[0]] {
+						ids = append(ids, id)
+					}
+				}
+				// Move in query-ID (= submission) order: map iteration
+				// order must not leak into the destination graph's
+				// insertion order, or matching would lose its determinism
+				// for a fixed (Seed, Shards, arrival order).
+				sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+				for _, id := range ids {
+					dst.adopt(src.evict(id))
+				}
+				if len(ids) > 0 {
+					e.migEpoch.Add(1) // invalidate concurrent Stats passes
+					// Defensive: adoption rediscovers the migrated queries'
+					// edges in the destination graph, so re-check their
+					// components. Today every same-family arrival drains
+					// residence before landing (its own Submit migrates
+					// first) and distinct families share no relations, so
+					// adoption alone should not close a component that some
+					// submit won't also evaluate — but liveness of the
+					// exactly-one-Result contract is worth an O(adopted)
+					// re-check rather than a reachability argument.
+					// ComponentOf returns nil for members already retired
+					// by an earlier iteration.
+					if e.cfg.Mode == Incremental {
+						for _, id := range ids {
+							dst.evaluateComponent(dst.g.ComponentOf(id))
+						}
+					}
+					// Adopted queries count toward the destination's
+					// FlushEvery backlog; fire the auto-flush the adoptions
+					// may have earned, as their own submissions would have.
+					if e.cfg.Mode == SetAtATime && e.cfg.FlushEvery > 0 && dst.sinceFl >= e.cfg.FlushEvery {
+						e.flushRounds.Add(1)
+						dst.flush()
+					}
+				}
+				e.router.clearResidence(root, from, home)
+			}
+			second.mu.Unlock()
+			first.mu.Unlock()
 		}
 	}
-	return h, nil
 }
 
 // SubmitSQL parses an entangled-SQL statement against the engine's database
@@ -273,198 +466,53 @@ func (e *Engine) SubmitSQL(src string) (*Handle, error) {
 	return e.Submit(tr.Query)
 }
 
-// Flush runs a set-at-a-time evaluation round over the whole pending set.
-// It is a no-op in Incremental mode (arrivals are already evaluated).
+// Flush runs a set-at-a-time evaluation round over every shard's pending
+// set, shards in parallel. It is a no-op in Incremental mode (arrivals are
+// already evaluated).
 func (e *Engine) Flush() {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.lifeMu.RLock()
+	defer e.lifeMu.RUnlock()
 	if e.closed {
 		return
 	}
-	e.flushLocked()
-}
-
-func (e *Engine) flushLocked() {
-	e.stats.Flushes++
-	e.sinceFl = 0
-	e.recordLocked(EventFlush, 0, fmt.Sprintf("%d pending", len(e.pending)))
-	comps := e.g.ConnectedComponents()
-
-	// Filter to closed components first; they are independent, so evaluate
-	// them in parallel (Section 4.1.2's partitioning benefit). Graph
-	// mutation happens afterwards, under the lock we already hold.
-	var closed [][]ir.QueryID
-	for _, comp := range comps {
-		if e.componentClosedLocked(comp) {
-			closed = append(closed, comp)
-		}
-	}
-	if len(closed) == 0 {
-		return
-	}
-	type evalOut struct {
-		answers  []ir.Answer
-		rejected []match.Removal
-	}
-	results := make([]evalOut, len(closed))
-	par := e.cfg.Parallelism
-	if par <= 0 {
-		par = runtime.GOMAXPROCS(0)
-	}
-	if par > len(closed) {
-		par = len(closed)
-	}
-	byID := make(map[ir.QueryID]*ir.Query, len(e.pending))
-	for id, p := range e.pending {
-		byID[id] = p.renamed
-	}
-	var seed int64
-	if e.rnd != nil {
-		seed = e.rnd.Int63()
-	}
+	e.flushRounds.Add(1)
 	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < par; w++ {
+	for _, s := range e.shards {
 		wg.Add(1)
-		go func() {
+		go func(s *shard) {
 			defer wg.Done()
-			for ci := range work {
-				var rnd *rand.Rand
-				if seed != 0 {
-					rnd = rand.New(rand.NewSource(seed + int64(ci)))
-				}
-				ans, rej, _, err := match.EvaluateComponent(e.db, e.g, closed[ci], byID, rnd, e.cfg.Match)
-				if err != nil {
-					// Treat evaluation errors as rejections of the whole
-					// component; surface the error text.
-					for _, id := range closed[ci] {
-						rej = append(rej, match.Removal{Query: id, Cause: match.CauseNoData})
-					}
-					ans = nil
-				}
-				results[ci] = evalOut{answers: ans, rejected: rej}
-			}
-		}()
+			s.mu.Lock()
+			s.flush()
+			s.mu.Unlock()
+		}(s)
 	}
-	for ci := range closed {
-		work <- ci
-	}
-	close(work)
 	wg.Wait()
-
-	for _, r := range results {
-		e.stats.Evaluations++
-		e.deliverLocked(r.answers, r.rejected)
-	}
-}
-
-// evaluateComponentLocked handles one incremental arrival: if the affected
-// component is closed (every pending member has all postconditions fed), it
-// is matched and evaluated; otherwise the queries keep waiting.
-func (e *Engine) evaluateComponentLocked(comp []ir.QueryID) {
-	if len(comp) == 0 || !e.componentClosedLocked(comp) {
-		return
-	}
-	byID := make(map[ir.QueryID]*ir.Query, len(comp))
-	for _, id := range comp {
-		p, ok := e.pending[id]
-		if !ok {
-			return
-		}
-		byID[id] = p.renamed
-	}
-	var rnd *rand.Rand
-	if e.rnd != nil {
-		rnd = rand.New(rand.NewSource(e.rnd.Int63()))
-	}
-	e.stats.Evaluations++
-	ans, rej, _, err := match.EvaluateComponent(e.db, e.g, comp, byID, rnd, e.cfg.Match)
-	if err != nil {
-		for _, id := range comp {
-			rej = append(rej, match.Removal{Query: id, Cause: match.CauseNoData})
-		}
-		ans = nil
-	}
-	e.deliverLocked(ans, rej)
-}
-
-// componentClosedLocked reports whether every member's live indegree equals
-// its postcondition count — i.e. all coordination partners have arrived and
-// the component can be matched conclusively.
-func (e *Engine) componentClosedLocked(comp []ir.QueryID) bool {
-	for _, id := range comp {
-		n := e.g.Node(id)
-		if n == nil {
-			return false
-		}
-		if n.InDegree() < n.Query.PostCount() {
-			return false
-		}
-	}
-	return true
-}
-
-// deliverLocked retires answered and rejected queries, sending results.
-func (e *Engine) deliverLocked(answers []ir.Answer, rejected []match.Removal) {
-	for _, a := range answers {
-		p, ok := e.pending[a.QueryID]
-		if !ok {
-			continue
-		}
-		e.stats.Answered++
-		ans := a
-		e.recordLocked(EventAnswered, a.QueryID, ir.FormatAtoms(a.Tuples))
-		p.handle.ch <- Result{QueryID: a.QueryID, Status: StatusAnswered, Answer: &ans}
-		e.retireLocked(a.QueryID)
-	}
-	for _, r := range rejected {
-		p, ok := e.pending[r.Query]
-		if !ok {
-			continue
-		}
-		e.stats.Rejected++
-		e.recordLocked(EventRejected, r.Query, r.Cause.String())
-		p.handle.ch <- Result{QueryID: r.Query, Status: StatusRejected, Detail: r.Cause.String()}
-		e.retireLocked(r.Query)
-	}
-}
-
-func (e *Engine) retireLocked(id ir.QueryID) {
-	delete(e.pending, id)
-	e.g.RemoveQuery(id)
-	e.checker.Remove(id)
 }
 
 // ExpireStale fails every pending query older than the staleness bound and
 // returns how many were expired. No-op when StaleAfter is 0.
 func (e *Engine) ExpireStale() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.lifeMu.RLock()
+	defer e.lifeMu.RUnlock()
 	if e.cfg.StaleAfter <= 0 || e.closed {
 		return 0
 	}
 	cutoff := e.now().Add(-e.cfg.StaleAfter)
-	var stale []ir.QueryID
-	for id, p := range e.pending {
-		if p.submitted.Before(cutoff) {
-			stale = append(stale, id)
-		}
+	total := 0
+	var wg sync.WaitGroup
+	counts := make([]int, len(e.shards))
+	for i, s := range e.shards {
+		wg.Add(1)
+		go func(i int, s *shard) {
+			defer wg.Done()
+			counts[i] = s.expireStale(cutoff)
+		}(i, s)
 	}
-	for _, id := range stale {
-		p := e.pending[id]
-		e.stats.ExpiredStale++
-		e.recordLocked(EventStale, id, "staleness bound exceeded")
-		p.handle.ch <- Result{QueryID: id, Status: StatusStale, Detail: "no coordination partners arrived within the staleness bound"}
-		e.retireLocked(id)
+	wg.Wait()
+	for _, n := range counts {
+		total += n
 	}
-	// Expiry can close previously blocked components: a stale query whose
-	// unmatched postcondition was the only obstacle is gone now.
-	if len(stale) > 0 && e.cfg.Mode == Incremental {
-		for _, comp := range e.g.ConnectedComponents() {
-			e.evaluateComponentLocked(comp)
-		}
-	}
-	return len(stale)
+	return total
 }
 
 // Run services the engine in the background until stop is closed: it
@@ -491,14 +539,13 @@ func (e *Engine) Run(stop <-chan struct{}, flushInterval time.Duration) {
 
 // Close fails all pending queries as stale and rejects future submissions.
 func (e *Engine) Close() {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.lifeMu.Lock()
+	defer e.lifeMu.Unlock()
 	if e.closed {
 		return
 	}
-	for id, p := range e.pending {
-		p.handle.ch <- Result{QueryID: id, Status: StatusStale, Detail: "engine closed"}
+	for _, s := range e.shards {
+		s.close()
 	}
-	e.pending = make(map[ir.QueryID]*pendingQuery)
 	e.closed = true
 }

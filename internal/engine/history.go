@@ -80,20 +80,24 @@ func (h *history) snapshot() []Event {
 
 // History returns the retained audit events, oldest first, and the total
 // number of events ever recorded (which exceeds the slice length once the
-// ring has wrapped). Returns nil when Config.HistorySize is 0.
+// ring has wrapped). Returns nil when Config.HistorySize is 0. The trail is
+// engine-global: shards interleave their events into one ring under a
+// dedicated history lock.
 func (e *Engine) History() ([]Event, int) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.histMu.Lock()
+	defer e.histMu.Unlock()
 	if e.hist == nil {
 		return nil, 0
 	}
 	return e.hist.snapshot(), e.hist.total
 }
 
-// recordLocked appends to the audit trail; caller holds e.mu.
-func (e *Engine) recordLocked(kind EventKind, id ir.QueryID, detail string) {
+// record appends to the audit trail; safe to call from any shard.
+func (e *Engine) record(kind EventKind, id ir.QueryID, detail string) {
 	if e.hist == nil {
 		return
 	}
+	e.histMu.Lock()
+	defer e.histMu.Unlock()
 	e.hist.record(Event{Time: e.now(), Kind: kind, QueryID: id, Detail: detail})
 }

@@ -1,0 +1,261 @@
+package engine
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"entangle/internal/ir"
+)
+
+// coordRels returns the sorted distinct relation names appearing in the
+// query's head and postcondition atoms — its coordination signature. Two
+// queries can only share a unifiability edge if a head of one and a
+// postcondition of the other name the same relation, so this signature is
+// all the router needs to keep potential partners together. Body relations
+// are deliberately excluded: they never participate in unification, and
+// including them would collapse workloads that share one substrate schema
+// (e.g. the social graph's Friends/User tables) onto a single shard.
+func coordRels(q *ir.Query) []string {
+	seen := make(map[string]bool, len(q.Heads)+len(q.Posts))
+	out := make([]string, 0, len(q.Heads)+len(q.Posts))
+	add := func(atoms []ir.Atom) {
+		for _, a := range atoms {
+			if !seen[a.Rel] {
+				seen[a.Rel] = true
+				out = append(out, a.Rel)
+			}
+		}
+	}
+	add(q.Heads)
+	add(q.Posts)
+	sort.Strings(out)
+	return out
+}
+
+func relHash(rel string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(rel))
+	return h.Sum32()
+}
+
+// family is one unifiability-closed group of relation names.
+type family struct {
+	minHash  uint32       // minimum relHash over member relations
+	home     int          // current home shard: minHash mod nshards
+	resident map[int]bool // shards that may still hold pending members
+}
+
+// router assigns coordination-relation families to shards.
+//
+// Relations are grouped into families with a union-find: every query unions
+// all relations of its coordination signature, so any two queries that
+// could ever unify (they must share a relation name) end up in the same
+// family. A family's home shard is min(relHash(r)) mod nshards over its
+// member relations — the "minimum hash" rule — which makes routing
+// deterministic and independent of arrival order for single-relation
+// signatures.
+//
+// When a query's signature spans families previously assigned to different
+// shards, the families merge and the merged family re-homes to its new
+// minimum hash. The family's residence set records every shard that may
+// still physically hold pending members; Engine.migrateFamily drains
+// residence shards into the home until the set collapses, so members are
+// never stranded even if concurrent merges re-home the family mid-flight.
+// Merges are bounded by the number of distinct relations ever seen, so both
+// the migration fixpoint and Submit's routing retry loop terminate.
+type router struct {
+	mu      sync.Mutex
+	nshards int
+	parent  map[string]string  // union-find over relation names
+	fams    map[string]*family // root relation → family
+	// gen counts home reassignments. Submit snapshots it during route and
+	// re-validates with one atomic load after locking the target shard —
+	// if no family anywhere re-homed in between, its own route is still
+	// current — keeping the router mutex off the post-routing hot path.
+	// The counter is deliberately global rather than per-family: a bump
+	// merely costs concurrent submitters one spurious re-route (and cache
+	// refill), and re-homes are bounded by the number of distinct relations
+	// ever seen, so precision isn't worth per-family bookkeeping that would
+	// have to survive merges.
+	gen atomic.Uint64
+	// cache holds gen-stamped homes for single-relation signatures whose
+	// family needed no migration when last routed. A hit whose stamp still
+	// equals gen routes without touching the mutex at all: the signature
+	// adds no new unions (its relation is already in a family) and no
+	// re-home has happened anywhere since the stamp, so the cached home is
+	// current. This keeps the common case — submitting against a known
+	// ANSWER relation — lock-free instead of serialising every Submit on
+	// one router mutex.
+	cache sync.Map // rel string → cachedRoute
+}
+
+type cachedRoute struct {
+	home int
+	gen  uint64
+}
+
+func newRouter(nshards int) *router {
+	return &router{
+		nshards: nshards,
+		parent:  make(map[string]string),
+		fams:    make(map[string]*family),
+	}
+}
+
+// find returns the family root of rel, with path compression. Caller holds
+// r.mu. Relations never seen before are their own root (not yet inserted).
+func (r *router) find(rel string) string {
+	p, ok := r.parent[rel]
+	if !ok || p == rel {
+		return rel
+	}
+	root := r.find(p)
+	r.parent[rel] = root
+	return root
+}
+
+// route unions the relations of one coordination signature into a single
+// family and returns the family's home shard, the family root, whether
+// pending members on other shards must migrate, and the router generation
+// to re-validate against after locking the home shard. rels must be
+// non-empty (Validate guarantees at least one head atom).
+func (r *router) route(rels []string) (home int, root string, needsMigration bool, gen uint64) {
+	if len(rels) == 1 {
+		if v, ok := r.cache.Load(rels[0]); ok {
+			if c := v.(cachedRoute); c.gen == r.gen.Load() {
+				return c.home, rels[0], false, c.gen
+			}
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	// Distinct family roots among the signature's relations.
+	roots := make([]string, 0, len(rels))
+	seen := make(map[string]bool, len(rels))
+	for _, rel := range rels {
+		rt := r.find(rel)
+		if !seen[rt] {
+			seen[rt] = true
+			roots = append(roots, rt)
+		}
+	}
+
+	merged := roots[0]
+	fam := r.fams[merged]
+	hadHome := fam != nil
+	oldHome := 0
+	if hadHome {
+		oldHome = fam.home
+	}
+	if fam == nil {
+		r.parent[merged] = merged
+		fam = &family{minHash: relHash(merged), resident: make(map[int]bool)}
+		r.fams[merged] = fam
+	}
+	var absorbedHomes []int
+	for _, rt := range roots[1:] {
+		r.parent[rt] = merged
+		other := r.fams[rt]
+		if other == nil {
+			// Fresh relation joining the family.
+			if h := relHash(rt); h < fam.minHash {
+				fam.minHash = h
+			}
+			continue
+		}
+		if other.minHash < fam.minHash {
+			fam.minHash = other.minHash
+		}
+		for sh := range other.resident {
+			fam.resident[sh] = true
+		}
+		absorbedHomes = append(absorbedHomes, other.home)
+		delete(r.fams, rt)
+	}
+	fam.home = int(fam.minHash % uint32(r.nshards))
+	// Bump the generation iff some previously routed signature's home just
+	// changed — fresh assignments are deterministic, so concurrent routers
+	// of a brand-new family agree without invalidation.
+	rehomed := hadHome && fam.home != oldHome
+	for _, h := range absorbedHomes {
+		if h != fam.home {
+			rehomed = true
+		}
+	}
+	if rehomed {
+		r.gen.Add(1)
+	}
+	fam.resident[fam.home] = true
+	needsMigration = len(fam.resident) > 1
+	gen = r.gen.Load()
+	if len(rels) == 1 && !needsMigration {
+		r.cache.Store(rels[0], cachedRoute{home: fam.home, gen: gen})
+	}
+	return fam.home, merged, needsMigration, gen
+}
+
+// generation returns the current home-assignment generation with a single
+// atomic load (no router mutex).
+func (r *router) generation() uint64 { return r.gen.Load() }
+
+// currentHome returns the present home shard of the family containing rel.
+// Submit re-validates its route against this after locking the target
+// shard, because a concurrent merge may have re-homed the family between
+// routing and locking.
+func (r *router) currentHome(rel string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if fam := r.fams[r.find(rel)]; fam != nil {
+		return fam.home
+	}
+	return -1
+}
+
+// residencePlan returns the family's current home and the resident shards
+// that still need draining into it.
+func (r *router) residencePlan(root string) (home int, sources []int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam := r.fams[r.find(root)]
+	if fam == nil {
+		return -1, nil
+	}
+	for sh := range fam.resident {
+		if sh != fam.home {
+			sources = append(sources, sh)
+		}
+	}
+	sort.Ints(sources)
+	return fam.home, sources
+}
+
+// clearResidence marks shard from as drained, provided the family's home is
+// still expectHome (if the family re-homed concurrently, the drain landed
+// members on a stale home, which stays in the residence set for the next
+// migration round).
+func (r *router) clearResidence(root string, from, expectHome int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam := r.fams[r.find(root)]
+	if fam != nil && fam.home == expectHome && from != fam.home {
+		delete(fam.resident, from)
+	}
+}
+
+// inFamily reports, for each given relation, whether it belongs to the
+// family rooted at root — resolved under a single lock acquisition so
+// migration can classify a whole shard's pending set without hammering the
+// router mutex (which sits on every Submit's routing path).
+func (r *router) inFamily(rels []string, root string) map[string]bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	famRoot := r.find(root)
+	out := make(map[string]bool, len(rels))
+	for _, rel := range rels {
+		out[rel] = r.find(rel) == famRoot
+	}
+	return out
+}

@@ -1,0 +1,272 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"entangle/internal/ir"
+)
+
+// TestRoutingInvariantSameRelation is the explicit routing-invariant test:
+// queries with the same coordination-relation signature always land on the
+// same shard, no matter how many shards exist, so unifiable queries always
+// meet. Verified both through the router's assignment and behaviourally —
+// every pair coordinates, which could not happen across shards.
+func TestRoutingInvariantSameRelation(t *testing.T) {
+	e := New(flightsDB(t), Config{Mode: Incremental, Shards: 8})
+	defer e.Close()
+	for p := 0; p < 40; p++ {
+		rel := fmt.Sprintf("Rel%d", p)
+		h1, err := e.Submit(ir.MustParse(0, fmt.Sprintf("{%s(B, x)} %s(A, x) :- F(x, Paris)", rel, rel)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		home := e.router.currentHome(rel)
+		if home < 0 || home >= 8 {
+			t.Fatalf("relation %s has no home shard (%d)", rel, home)
+		}
+		h2, err := e.Submit(ir.MustParse(0, fmt.Sprintf("{%s(A, y)} %s(B, y) :- F(y, Paris)", rel, rel)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := e.router.currentHome(rel); got != home {
+			t.Fatalf("relation %s re-homed %d → %d without a family merge", rel, home, got)
+		}
+		r1, r2 := mustResult(t, h1), mustResult(t, h2)
+		if r1.Status != StatusAnswered || r2.Status != StatusAnswered {
+			t.Fatalf("pair %d did not coordinate: %v / %v", p, r1.Status, r2.Status)
+		}
+	}
+	// The workload must actually have used more than one shard, otherwise
+	// the invariant is vacuous.
+	st := e.Stats()
+	used := 0
+	for _, sh := range st.PerShard {
+		if sh.Submitted > 0 {
+			used++
+		}
+	}
+	if used < 2 {
+		t.Fatalf("only %d of 8 shards used across 40 distinct relations", used)
+	}
+}
+
+// TestRoutingDeterministicAcrossEngines checks that the home shard of a
+// single-relation signature depends only on the relation name and shard
+// count — the min-hash rule — not on arrival order or engine instance.
+func TestRoutingDeterministicAcrossEngines(t *testing.T) {
+	e1 := New(flightsDB(t), Config{Mode: SetAtATime, Shards: 8})
+	e2 := New(flightsDB(t), Config{Mode: SetAtATime, Shards: 8})
+	defer e1.Close()
+	defer e2.Close()
+	rels := []string{"R", "Reservation", "Enroll", "Raid", "Booking"}
+	// Submit in opposite orders.
+	for i := range rels {
+		q1 := fmt.Sprintf("{%s(B, x)} %s(A, x) :- F(x, Paris)", rels[i], rels[i])
+		q2 := fmt.Sprintf("{%s(B, x)} %s(A, x) :- F(x, Paris)", rels[len(rels)-1-i], rels[len(rels)-1-i])
+		if _, err := e1.Submit(ir.MustParse(0, q1)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e2.Submit(ir.MustParse(0, q2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, rel := range rels {
+		if h1, h2 := e1.router.currentHome(rel), e2.router.currentHome(rel); h1 != h2 {
+			t.Fatalf("relation %s homes differ across engines: %d vs %d", rel, h1, h2)
+		}
+	}
+}
+
+// relsOnDistinctShards finds two relation names whose single-relation
+// families would live on different shards of an n-shard engine.
+func relsOnDistinctShards(t *testing.T, n int) (string, string) {
+	t.Helper()
+	for i := 0; i < 1000; i++ {
+		a, b := fmt.Sprintf("Fam%d", i), fmt.Sprintf("Fam%d", i+1)
+		if relHash(a)%uint32(n) != relHash(b)%uint32(n) {
+			return a, b
+		}
+	}
+	t.Fatal("no relation pair hashing to distinct shards")
+	return "", ""
+}
+
+// TestFamilyMergeMigratesPendingQueries covers the cross-shard routing
+// fallback: a query whose signature spans two families previously homed on
+// different shards merges them, the displaced shard's pending members
+// migrate to the merged home, and coordination then completes across what
+// used to be two shards.
+func TestFamilyMergeMigratesPendingQueries(t *testing.T) {
+	relA, relB := relsOnDistinctShards(t, 8)
+	e := New(flightsDB(t), Config{Mode: Incremental, Shards: 8})
+	defer e.Close()
+
+	// q1 waits for a head on relA; q2 waits for a head on relB.
+	h1, err := e.Submit(ir.MustParse(0, fmt.Sprintf("{%s(W, x)} %s(U, x) :- F(x, Paris)", relA, relA)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := e.Submit(ir.MustParse(0, fmt.Sprintf("{%s(V, y)} %s(T, y) :- F(y, Paris)", relB, relB)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	homeA, homeB := e.router.currentHome(relA), e.router.currentHome(relB)
+	if homeA == homeB {
+		t.Fatalf("setup broken: %s and %s share home shard %d", relA, relB, homeA)
+	}
+	// Both loners are pending on their own shards.
+	st := e.Stats()
+	if st.PerShard[homeA].Pending != 1 || st.PerShard[homeB].Pending != 1 {
+		t.Fatalf("pending not on expected shards: %+v", st.PerShard)
+	}
+
+	// The bridge closes a cycle across both relations: its heads feed q1
+	// and q2's postconditions, its postconditions consume their heads.
+	bridge := fmt.Sprintf("{%s(U, z) ∧ %s(T, z)} %s(W, z) ∧ %s(V, z) :- F(z, Paris)",
+		relA, relB, relA, relB)
+	h3, err := e.Submit(ir.MustParse(0, bridge))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Families merged: one home now serves both relations.
+	if ha, hb := e.router.currentHome(relA), e.router.currentHome(relB); ha != hb {
+		t.Fatalf("families did not merge: homes %d / %d", ha, hb)
+	}
+	merged := e.router.currentHome(relA)
+
+	// All three queries coordinate on the same flight.
+	r1, r2, r3 := mustResult(t, h1), mustResult(t, h2), mustResult(t, h3)
+	for i, r := range []Result{r1, r2, r3} {
+		if r.Status != StatusAnswered {
+			t.Fatalf("query %d: %v (%s)", i+1, r.Status, r.Detail)
+		}
+	}
+	f1 := r1.Answer.Tuples[0].Args[1].Value
+	f2 := r2.Answer.Tuples[0].Args[1].Value
+	if f1 != f2 {
+		t.Fatalf("cross-family partners booked different flights: %s vs %s", f1, f2)
+	}
+
+	// Nothing left behind on the displaced shard, and every shard's
+	// counters balance on their own — migration moves the Submitted
+	// attribution along with the query.
+	st = e.Stats()
+	for i, sh := range st.PerShard {
+		if sh.Pending != 0 {
+			t.Fatalf("shard %d still has %d pending after merge+answer: %+v", i, sh.Pending, st.PerShard)
+		}
+		if sh.Submitted != sh.Answered+sh.Rejected+sh.RejectedUnsafe+sh.ExpiredStale+sh.Pending {
+			t.Fatalf("shard %d counters unbalanced after migration: %+v", i, sh)
+		}
+	}
+	// The merged family keeps its home for future arrivals.
+	if e.router.currentHome(relA) != merged || e.router.currentHome(relB) != merged {
+		t.Fatal("merged family home drifted")
+	}
+}
+
+// TestMergeWindowArrivalCoordinatesWithMigratedPartner pins down the
+// merge-window behaviour: the router re-homes a family (a bridge query's
+// routing step) while a member is still pending on the displaced shard,
+// and only then does the member's coordination partner arrive. The
+// arrival's own Submit must drain the displaced shard before landing —
+// every submit with outstanding residence migrates first — so the pair
+// meets on the new home and coordinates immediately; no later flush,
+// bridge completion, or staleness sweep is needed.
+func TestMergeWindowArrivalCoordinatesWithMigratedPartner(t *testing.T) {
+	// Need distinct homes with the merged family landing on relB's shard,
+	// so a post-re-home arrival on relA routes away from relA's old shard.
+	var relA, relB string
+	for i := 0; ; i++ {
+		if i >= 1000 {
+			t.Fatal("no suitable relation pair")
+		}
+		a, b := fmt.Sprintf("Win%d", i), fmt.Sprintf("Win%d", i+1)
+		if relHash(a)%8 != relHash(b)%8 && relHash(b) < relHash(a) {
+			relA, relB = a, b
+			break
+		}
+	}
+	e := New(flightsDB(t), Config{Mode: Incremental, Shards: 8})
+	defer e.Close()
+
+	// Q1 waits on relA's original home shard.
+	h1, err := e.Submit(ir.MustParse(0, fmt.Sprintf("{%s(W, x)} %s(U, x) :- F(x, Paris)", relA, relA)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldHome := e.router.currentHome(relA)
+
+	// Simulate the bridge's route step without its migration: the family
+	// re-homes (to relB's shard, the smaller hash) while Q1 is still on
+	// the old shard — exactly the state a concurrent submitter observes
+	// mid-merge.
+	bridge := ir.MustParse(0, fmt.Sprintf("{%s(Ghost, z)} %s(Phantom, z) ∧ %s(Wraith, z) :- F(z, Paris)", relA, relA, relB))
+	if home, _, _, _ := e.router.route(coordRels(bridge)); home == oldHome {
+		t.Fatalf("merge did not re-home the family (still %d)", home)
+	}
+
+	// Q4, Q1's coordination partner, arrives mid-window. Its Submit sees
+	// the family's outstanding residence, drains Q1 to the new home, and
+	// only then lands — so the pair coordinates right here.
+	h4, err := e.Submit(ir.MustParse(0, fmt.Sprintf("{%s(U, y)} %s(W, y) :- F(y, Paris)", relA, relA)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, r4 := mustResult(t, h1), mustResult(t, h4)
+	if r1.Status != StatusAnswered || r4.Status != StatusAnswered {
+		t.Fatalf("merge-window pair did not coordinate: %v / %v (%s / %s)",
+			r1.Status, r4.Status, r1.Detail, r4.Detail)
+	}
+	if f1, f4 := r1.Answer.Tuples[0].Args[1].Value, r4.Answer.Tuples[0].Args[1].Value; f1 != f4 {
+		t.Fatalf("partners booked different flights: %s vs %s", f1, f4)
+	}
+	// The displaced shard is fully drained.
+	if got := e.Stats().PerShard[oldHome].Pending; got != 0 {
+		t.Fatalf("old home shard still holds %d pending", got)
+	}
+}
+
+// TestFamilyMergePreservesStaleness verifies a migrated query keeps its
+// original submission time: staleness is judged against when the user
+// submitted, not when migration re-homed it.
+func TestFamilyMergePreservesStaleness(t *testing.T) {
+	relA, relB := relsOnDistinctShards(t, 8)
+	e := New(flightsDB(t), Config{Mode: Incremental, Shards: 8, StaleAfter: 30 * time.Millisecond})
+	defer e.Close()
+	// Drive the engine's clock manually so the test is deterministic.
+	base := time.Now()
+	clock := base
+	e.now = func() time.Time { return clock }
+
+	h1, err := e.Submit(ir.MustParse(0, fmt.Sprintf("{%s(W, x)} %s(U, x) :- F(x, Paris)", relA, relA)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bridge merges the families but supplies no matching head for q1's
+	// postcondition (all constants differ), so q1 keeps waiting — on the
+	// merged shard now.
+	clock = base.Add(20 * time.Millisecond)
+	bridgeText := fmt.Sprintf("{%s(Nobody, z)} %s(Ghost, z) ∧ %s(Gone, z) :- F(z, Paris)", relA, relA, relB)
+	h2, err := e.Submit(ir.MustParse(0, bridgeText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// q1 is 35ms old (past the bound) even though it migrated 15ms ago;
+	// the bridge is only 15ms old and must survive this sweep.
+	clock = base.Add(35 * time.Millisecond)
+	if n := e.ExpireStale(); n != 1 {
+		t.Fatalf("expired %d queries, want exactly the migrated one", n)
+	}
+	if r := mustResult(t, h1); r.Status != StatusStale {
+		t.Fatalf("migrated query: %v", r.Status)
+	}
+	clock = base.Add(60 * time.Millisecond)
+	e.ExpireStale()
+	if r := mustResult(t, h2); r.Status != StatusStale {
+		t.Fatalf("bridge query: %v", r.Status)
+	}
+}

@@ -1,0 +1,337 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"entangle/internal/graph"
+	"entangle/internal/ir"
+	"entangle/internal/match"
+)
+
+// shard is one partition of the engine's pending-query set. Each shard owns
+// a complete coordination pipeline — unifiability graph, atom indexes,
+// safety checker, pending map and counters — guarded by its own mutex, so
+// shards make progress independently. The router guarantees that queries
+// able to unify always land on the same shard, which keeps every connected
+// component (and therefore every matching and safety decision) shard-local.
+type shard struct {
+	idx int
+	eng *Engine
+
+	mu      sync.Mutex
+	g       *graph.Graph
+	checker *match.SafetyChecker
+	pending map[ir.QueryID]*pendingQuery
+	rnd     *rand.Rand
+	stats   Stats
+	sinceFl int // submissions since last flush (SetAtATime)
+}
+
+func newShard(idx int, e *Engine) *shard {
+	var rnd *rand.Rand
+	if e.cfg.Seed != 0 {
+		// Every shard starts its stream from the same seed (not mixed with
+		// the shard index): a workload whose queries all land on one shard
+		// — every single-relation-family workload, including the paper's —
+		// then draws the same CHOOSE sequence no matter which index that
+		// shard has, so fixed-seed results reproduce across hosts with
+		// different core counts (the index would otherwise depend on
+		// hash(rel) mod NumCPU). Shards consume their streams
+		// independently as they evaluate.
+		rnd = rand.New(rand.NewSource(e.cfg.Seed))
+	}
+	return &shard{
+		idx:     idx,
+		eng:     e,
+		g:       graph.New(),
+		checker: match.NewSafetyChecker(),
+		pending: make(map[ir.QueryID]*pendingQuery),
+		rnd:     rnd,
+	}
+}
+
+// submit admits one arrival. cp and renamed carry the engine-assigned ID;
+// the handle receives exactly one Result, either here (unsafe rejection,
+// incremental coordination) or later (flush, staleness, close).
+func (s *shard) submit(cp, renamed *ir.Query, rels []string, h *Handle, now time.Time) error {
+	s.stats.Submitted++
+	s.eng.record(EventSubmitted, cp.ID, cp.Owner)
+
+	// Admission safety check (Sections 3.1.1, 5.3.5): reject arrivals that
+	// would make the pending workload unsafe. Safety is a property of
+	// unifying atoms, and all atoms that can unify with cp's live on this
+	// shard, so the shard-local check is equivalent to a global one.
+	if err := s.checker.Check(renamed); err != nil {
+		s.stats.RejectedUnsafe++
+		s.eng.record(EventUnsafe, cp.ID, err.Error())
+		h.ch <- Result{QueryID: cp.ID, Status: StatusUnsafe, Detail: err.Error()}
+		return nil
+	}
+	if err := s.checker.Admit(renamed); err != nil {
+		return err // unreachable: Check passed above
+	}
+	if err := s.g.AddQuery(renamed); err != nil {
+		s.checker.Remove(renamed.ID)
+		return err
+	}
+	s.pending[cp.ID] = &pendingQuery{orig: cp, renamed: renamed, rels: rels, handle: h, submitted: now}
+
+	switch s.eng.cfg.Mode {
+	case Incremental:
+		s.evaluateComponent(s.g.ComponentOf(cp.ID))
+	case SetAtATime:
+		s.sinceFl++
+		if s.eng.cfg.FlushEvery > 0 && s.sinceFl >= s.eng.cfg.FlushEvery {
+			s.eng.flushRounds.Add(1) // auto-flush is one shard-local round
+			s.flush()
+		}
+	}
+	return nil
+}
+
+// adopt re-homes a pending query migrated from another shard after a family
+// merge. The query was vetted by its source shard's safety checker, and
+// atoms of distinct families never unify, so re-admission cannot introduce a
+// violation; AdmitUnchecked skips the redundant re-check. The Submitted
+// attribution moves with the query (evict decremented it) so every shard's
+// counters satisfy Submitted = Answered + Rejected + RejectedUnsafe +
+// ExpiredStale + Pending on their own. Caller holds s.mu.
+func (s *shard) adopt(p *pendingQuery) {
+	s.stats.Submitted++
+	if s.eng.cfg.Mode == SetAtATime {
+		// The adopted query counts toward this shard's FlushEvery backlog
+		// bound just like a direct submission; migrateFamily checks the
+		// threshold once the drain completes.
+		s.sinceFl++
+	}
+	s.checker.AdmitUnchecked(p.renamed)
+	if err := s.g.AddQuery(p.renamed); err != nil {
+		// Duplicate IDs cannot occur (IDs are engine-global); fail loudly
+		// rather than silently dropping a handle.
+		panic(fmt.Sprintf("engine: migration re-add failed: %v", err))
+	}
+	s.pending[p.orig.ID] = p
+}
+
+// evict removes a pending query from this shard without resolving its
+// handle, returning it for adoption elsewhere. Caller holds s.mu.
+func (s *shard) evict(id ir.QueryID) *pendingQuery {
+	p := s.pending[id]
+	if p == nil {
+		return nil
+	}
+	s.stats.Submitted--
+	delete(s.pending, id)
+	s.g.RemoveQuery(id)
+	s.checker.Remove(id)
+	return p
+}
+
+// flush runs a set-at-a-time evaluation round over the shard's pending
+// set. Closed components evaluate concurrently, gated by the engine's
+// shared evaluation semaphore, so one busy shard can use the whole
+// Parallelism budget while simultaneous flushes across shards cannot
+// exceed it in total. Caller holds s.mu.
+func (s *shard) flush() {
+	s.stats.Flushes++
+	s.sinceFl = 0
+	if s.eng.hist != nil {
+		s.eng.record(EventFlush, 0, fmt.Sprintf("shard %d: %d pending", s.idx, len(s.pending)))
+	}
+	comps := s.g.ConnectedComponents()
+
+	// Filter to closed components first; they are independent, so evaluate
+	// them in parallel (Section 4.1.2's partitioning benefit). Graph
+	// mutation happens afterwards, under the lock we already hold.
+	var closed [][]ir.QueryID
+	for _, comp := range comps {
+		if s.componentClosed(comp) {
+			closed = append(closed, comp)
+		}
+	}
+	if len(closed) == 0 {
+		return
+	}
+	type evalOut struct {
+		answers  []ir.Answer
+		rejected []match.Removal
+	}
+	results := make([]evalOut, len(closed))
+	byID := make(map[ir.QueryID]*ir.Query, len(s.pending))
+	for id, p := range s.pending {
+		byID[id] = p.renamed
+	}
+	var seed int64
+	if s.rnd != nil {
+		seed = s.rnd.Int63()
+	}
+	// Acquire the engine-wide evaluation slot before spawning, so at most
+	// the Parallelism budget's worth of goroutines exist across all
+	// flushing shards (spawn-then-block would park Shards × budget
+	// goroutines for the same work).
+	var wg sync.WaitGroup
+	for ci := range closed {
+		s.eng.evalSem <- struct{}{}
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			defer func() { <-s.eng.evalSem }()
+			var rnd *rand.Rand
+			if seed != 0 {
+				rnd = rand.New(rand.NewSource(seed + int64(ci)))
+			}
+			ans, rej, _, err := match.EvaluateComponent(s.eng.db, s.g, closed[ci], byID, rnd, s.eng.cfg.Match)
+			if err != nil {
+				// Treat evaluation errors as rejections of the whole
+				// component; surface the error text.
+				for _, id := range closed[ci] {
+					rej = append(rej, match.Removal{Query: id, Cause: match.CauseNoData})
+				}
+				ans = nil
+			}
+			results[ci] = evalOut{answers: ans, rejected: rej}
+		}(ci)
+	}
+	wg.Wait()
+
+	for _, r := range results {
+		s.stats.Evaluations++
+		s.deliver(r.answers, r.rejected)
+	}
+}
+
+// evaluateComponent handles one incremental arrival: if the affected
+// component is closed (every pending member has all postconditions fed), it
+// is matched and evaluated; otherwise the queries keep waiting. Caller
+// holds s.mu.
+func (s *shard) evaluateComponent(comp []ir.QueryID) {
+	if len(comp) == 0 || !s.componentClosed(comp) {
+		return
+	}
+	byID := make(map[ir.QueryID]*ir.Query, len(comp))
+	for _, id := range comp {
+		p, ok := s.pending[id]
+		if !ok {
+			return
+		}
+		byID[id] = p.renamed
+	}
+	var rnd *rand.Rand
+	if s.rnd != nil {
+		rnd = rand.New(rand.NewSource(s.rnd.Int63()))
+	}
+	s.stats.Evaluations++
+	ans, rej, _, err := match.EvaluateComponent(s.eng.db, s.g, comp, byID, rnd, s.eng.cfg.Match)
+	if err != nil {
+		for _, id := range comp {
+			rej = append(rej, match.Removal{Query: id, Cause: match.CauseNoData})
+		}
+		ans = nil
+	}
+	s.deliver(ans, rej)
+}
+
+// componentClosed reports whether every member's live indegree equals its
+// postcondition count — i.e. all coordination partners have arrived and the
+// component can be matched conclusively. Caller holds s.mu.
+func (s *shard) componentClosed(comp []ir.QueryID) bool {
+	for _, id := range comp {
+		n := s.g.Node(id)
+		if n == nil {
+			return false
+		}
+		if n.InDegree() < n.Query.PostCount() {
+			return false
+		}
+	}
+	return true
+}
+
+// deliver retires answered and rejected queries, sending results. Caller
+// holds s.mu.
+func (s *shard) deliver(answers []ir.Answer, rejected []match.Removal) {
+	for _, a := range answers {
+		p, ok := s.pending[a.QueryID]
+		if !ok {
+			continue
+		}
+		s.stats.Answered++
+		ans := a
+		if s.eng.hist != nil { // don't format tuples the nil trail discards
+			s.eng.record(EventAnswered, a.QueryID, ir.FormatAtoms(a.Tuples))
+		}
+		p.handle.ch <- Result{QueryID: a.QueryID, Status: StatusAnswered, Answer: &ans}
+		s.retire(a.QueryID)
+	}
+	for _, r := range rejected {
+		p, ok := s.pending[r.Query]
+		if !ok {
+			continue
+		}
+		s.stats.Rejected++
+		s.eng.record(EventRejected, r.Query, r.Cause.String())
+		p.handle.ch <- Result{QueryID: r.Query, Status: StatusRejected, Detail: r.Cause.String()}
+		s.retire(r.Query)
+	}
+}
+
+func (s *shard) retire(id ir.QueryID) {
+	delete(s.pending, id)
+	s.g.RemoveQuery(id)
+	s.checker.Remove(id)
+}
+
+// expireStale fails every pending query older than the cutoff and returns
+// how many were expired.
+func (s *shard) expireStale(cutoff time.Time) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var stale []ir.QueryID
+	for id, p := range s.pending {
+		if p.submitted.Before(cutoff) {
+			stale = append(stale, id)
+		}
+	}
+	for _, id := range stale {
+		p := s.pending[id]
+		s.stats.ExpiredStale++
+		s.eng.record(EventStale, id, "staleness bound exceeded")
+		p.handle.ch <- Result{QueryID: id, Status: StatusStale, Detail: "no coordination partners arrived within the staleness bound"}
+		s.retire(id)
+	}
+	// Expiry can close previously blocked components: a stale query whose
+	// unmatched postcondition was the only obstacle is gone now.
+	if len(stale) > 0 && s.eng.cfg.Mode == Incremental {
+		for _, comp := range s.g.ConnectedComponents() {
+			s.evaluateComponent(comp)
+		}
+	}
+	return len(stale)
+}
+
+// close fails all pending queries as stale, counting them as expired so
+// the per-shard accounting identity survives shutdown (a query reported
+// StatusStale to its caller must show up in ExpiredStale).
+func (s *shard) close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, p := range s.pending {
+		s.stats.ExpiredStale++
+		s.eng.record(EventStale, id, "engine closed")
+		p.handle.ch <- Result{QueryID: id, Status: StatusStale, Detail: "engine closed"}
+	}
+	s.pending = make(map[ir.QueryID]*pendingQuery)
+}
+
+// snapshotLocked returns the shard's counters with Pending filled in.
+// Caller holds s.mu. Cross-shard exactness is Engine.Stats's concern: it
+// snapshots shards one at a time and retries the pass when a migration
+// interleaves (see the migEpoch comment there).
+func (s *shard) snapshotLocked() Stats {
+	st := s.stats
+	st.Pending = len(s.pending)
+	return st
+}

@@ -1,0 +1,238 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"entangle/internal/ir"
+	"entangle/internal/memdb"
+	"entangle/internal/workload"
+)
+
+// TestStressConcurrentMixedOps hammers a sharded engine with concurrent
+// Submit, Flush, ExpireStale and Stats callers and asserts the middleware
+// contract of Section 5.1: every submitted query resolves to exactly one
+// Result, and the terminal counters account for every submission. Run under
+// -race this doubles as the engine's data-race certification.
+func TestStressConcurrentMixedOps(t *testing.T) {
+	g := workload.NewGraph(workload.Config{N: 400, AvgDeg: 8, Seed: 11, Airports: 40})
+	db := memdb.New()
+	if err := workload.PopulateDB(db, g); err != nil {
+		t.Fatal(err)
+	}
+	// StaleAfter is generous so pairs reliably meet before expiry even on a
+	// slow -race run; the drain loop below ages out whatever cannot match.
+	e := New(db, Config{
+		Mode:       SetAtATime,
+		Shards:     8,
+		FlushEvery: 16,
+		StaleAfter: time.Second,
+		Seed:       7,
+	})
+	defer e.Close()
+
+	// Mixed workload: coordinating pairs spread over distinct relations
+	// (answerable), partner-seeking pairs on the shared relation (may
+	// answer or go stale depending on hometowns), and loners that can only
+	// expire. Interleaved so shards see all kinds.
+	gen := workload.NewGen(g, 11)
+	gen.DistinctRels = true
+	qs := gen.TwoWayBest(g.FriendPairs(120, 11))
+	gen.DistinctRels = false
+	qs = append(qs, gen.TwoWayRandom(g.FriendPairs(60, 12))...)
+	qs = append(qs, gen.NoMatch(100)...)
+	qs = gen.Interleave(qs)
+
+	const submitters = 8
+	handles := make([]*Handle, len(qs))
+	var next atomic.Int64
+	stop := make(chan struct{})
+	var bg sync.WaitGroup
+
+	// Background hammers: flushers, expirers, stats readers.
+	for i := 0; i < 2; i++ {
+		bg.Add(3)
+		go func() {
+			defer bg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					e.Flush()
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}()
+		go func() {
+			defer bg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					e.ExpireStale()
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}()
+		go func() {
+			defer bg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					st := e.Stats()
+					if st.Pending < 0 || st.Submitted < st.Answered {
+						t.Error("inconsistent stats snapshot")
+						return
+					}
+					time.Sleep(500 * time.Microsecond)
+				}
+			}
+		}()
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < submitters; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(qs) {
+					return
+				}
+				h, err := e.Submit(qs[i])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				handles[i] = h
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	bg.Wait()
+
+	// Drain: flush once more, then expire until nothing is pending.
+	e.Flush()
+	deadline := time.Now().Add(10 * time.Second)
+	for e.Stats().Pending > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("pending queries not draining: %+v", e.Stats())
+		}
+		time.Sleep(2 * time.Millisecond)
+		e.ExpireStale()
+	}
+
+	// Exactly one result per handle: one arrives, no second is buffered.
+	seen := make(map[ir.QueryID]bool, len(handles))
+	for i, h := range handles {
+		if h == nil {
+			t.Fatalf("handle %d missing", i)
+		}
+		r, err := h.Wait(2 * time.Second)
+		if err != nil {
+			t.Fatalf("handle %d (query %d): %v", i, h.ID, err)
+		}
+		if r.QueryID != h.ID {
+			t.Fatalf("handle %d: result for query %d", i, r.QueryID)
+		}
+		if seen[r.QueryID] {
+			t.Fatalf("query %d delivered twice", r.QueryID)
+		}
+		seen[r.QueryID] = true
+		select {
+		case extra := <-h.Done():
+			t.Fatalf("query %d received a second result: %v", h.ID, extra)
+		default:
+		}
+	}
+
+	// Terminal accounting: every submission ended in exactly one bucket,
+	// and the per-shard counters sum to the aggregate.
+	st := e.Stats()
+	if st.Submitted != len(qs) {
+		t.Fatalf("submitted %d, want %d", st.Submitted, len(qs))
+	}
+	if got := st.Answered + st.Rejected + st.RejectedUnsafe + st.ExpiredStale; got != len(qs) {
+		t.Fatalf("terminal outcomes %d != submissions %d: %+v", got, len(qs), st)
+	}
+	var sum Stats
+	for _, sh := range st.PerShard {
+		sum.add(sh)
+	}
+	if sum.Submitted != st.Submitted || sum.Answered != st.Answered ||
+		sum.Rejected != st.Rejected || sum.RejectedUnsafe != st.RejectedUnsafe ||
+		sum.ExpiredStale != st.ExpiredStale || sum.Pending != st.Pending {
+		t.Fatalf("per-shard counters do not sum to aggregate:\nagg %+v\nsum %+v", st, sum)
+	}
+	// Coordination must actually have happened (same-hometown pairs answer;
+	// the rest reject or expire, which the identity above already covers).
+	if st.Answered == 0 {
+		t.Fatalf("no query ever coordinated: %+v", st)
+	}
+}
+
+// TestStressCloseDuringTraffic closes the engine while submitters are
+// running; every accepted handle must still resolve exactly once (answered
+// before the close, or stale at close), and late submissions must fail with
+// ErrClosed rather than losing queries silently.
+func TestStressCloseDuringTraffic(t *testing.T) {
+	e := New(flightsDB(t), Config{Mode: SetAtATime, Shards: 4})
+	type accepted struct {
+		h *Handle
+	}
+	var mu sync.Mutex
+	var got []accepted
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 50; i++ {
+				q := ir.MustParse(0, "{R(Nobody, x)} R(Someone, x) :- F(x, Paris)")
+				h, err := e.Submit(q)
+				if err != nil {
+					if err != ErrClosed {
+						t.Errorf("unexpected submit error: %v", err)
+					}
+					return
+				}
+				mu.Lock()
+				got = append(got, accepted{h})
+				mu.Unlock()
+			}
+		}(w)
+	}
+	close(start)
+	time.Sleep(2 * time.Millisecond)
+	e.Close()
+	wg.Wait()
+	for i, a := range got {
+		r, err := a.h.Wait(2 * time.Second)
+		if err != nil {
+			t.Fatalf("accepted handle %d never resolved: %v", i, err)
+		}
+		if r.Status != StatusStale && r.Status != StatusUnsafe && r.Status != StatusRejected {
+			t.Fatalf("handle %d: unexpected status %v", i, r.Status)
+		}
+	}
+	if _, err := e.Submit(ir.MustParse(0, "{} R(Z, x) :- F(x, Paris)")); err != ErrClosed {
+		t.Fatalf("submit after close: %v", err)
+	}
+	// Shutdown keeps the books: queries failed as stale by Close count as
+	// expired, so every shard's identity still balances.
+	for i, sh := range e.Stats().PerShard {
+		if sh.Submitted != sh.Answered+sh.Rejected+sh.RejectedUnsafe+sh.ExpiredStale+sh.Pending {
+			t.Fatalf("shard %d counters unbalanced after Close: %+v", i, sh)
+		}
+	}
+}

@@ -31,7 +31,12 @@ func (n *Node) InDegree() int { return len(n.In) }
 // Graph is the unifiability multigraph over a set of entangled queries.
 // It supports incremental insertion (AddQuery) and removal (RemoveQuery),
 // which the engine's incremental mode relies on. Not safe for concurrent
-// mutation; the engine serialises access per partition.
+// mutation: each engine shard owns one Graph (plus its atom indexes)
+// exclusively and serialises access behind the shard lock, so the graph
+// itself needs no synchronisation. Removal from one graph followed by
+// insertion into another (the engine's shard-migration path) is supported —
+// edge discovery is order-independent, so re-adding a component member by
+// member rebuilds exactly the edges it had.
 type Graph struct {
 	nodes    map[ir.QueryID]*Node
 	order    []ir.QueryID       // insertion order, for deterministic traversal

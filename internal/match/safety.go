@@ -161,6 +161,18 @@ func (c *SafetyChecker) Admit(q *ir.Query) error {
 	if err := c.Check(q); err != nil {
 		return err
 	}
+	c.AdmitUnchecked(q)
+	return nil
+}
+
+// AdmitUnchecked adds q's atoms to the indices without re-running the
+// safety check. It exists for the engine's shard migration path: a query
+// re-homed after a relation-family merge was already vetted by its source
+// shard's checker, and atoms of previously separate families cannot unify
+// (they share no relation name), so re-checking against the merged
+// population is redundant work. Callers outside that setting should use
+// Admit.
+func (c *SafetyChecker) AdmitUnchecked(q *ir.Query) {
 	for hi, h := range q.Heads {
 		c.heads.Add(graph.AtomRef{Query: q.ID, Pos: hi, Atom: h})
 	}
@@ -168,7 +180,6 @@ func (c *SafetyChecker) Admit(q *ir.Query) error {
 		c.posts.Add(graph.AtomRef{Query: q.ID, Pos: pi, Atom: p})
 	}
 	c.n++
-	return nil
 }
 
 // Remove deletes a previously admitted query's atoms (for retirement or

@@ -195,6 +195,81 @@ func TestServerHundredClients(t *testing.T) {
 	}
 }
 
+// TestServerShardedConcurrentPartners runs the quickstart friendship
+// pattern over a sharded engine: two clients connect concurrently, each
+// submits one half of a coordinating pair, and both must receive the
+// matched answer — the partners land on the same shard by the routing
+// invariant even though they arrive on different connections. The stats
+// reply must carry the per-shard counters.
+func TestServerShardedConcurrentPartners(t *testing.T) {
+	_, addr := startServer(t, engine.Config{Mode: engine.Incremental, Shards: 8})
+	type outcome struct {
+		r   Response
+		err error
+	}
+	results := make(chan outcome, 2)
+	submit := func(me, partner string) {
+		c, err := Dial(addr)
+		if err != nil {
+			results <- outcome{err: err}
+			return
+		}
+		defer c.Close()
+		sql := fmt.Sprintf(`SELECT '%s', fno INTO ANSWER R
+WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris')
+AND ('%s', fno) IN ANSWER R CHOOSE 1`, me, partner)
+		_, ch, err := c.SubmitSQL(sql)
+		if err != nil {
+			results <- outcome{err: err}
+			return
+		}
+		results <- outcome{r: waitResult(t, ch)}
+	}
+	go submit("Kramer", "Jerry")
+	go submit("Jerry", "Kramer")
+	var got []Response
+	for i := 0; i < 2; i++ {
+		o := <-results
+		if o.err != nil {
+			t.Fatal(o.err)
+		}
+		if o.r.Status != "answered" {
+			t.Fatalf("client %d: %s (%s)", i, o.r.Status, o.r.Detail)
+		}
+		got = append(got, o.r)
+	}
+	// Both partners hold the same flight.
+	f0 := got[0].Tuples[0][len(got[0].Tuples[0])-4:]
+	f1 := got[1].Tuples[0][len(got[1].Tuples[0])-4:]
+	if f0 != f1 {
+		t.Fatalf("partners booked different flights: %v vs %v", got[0].Tuples, got[1].Tuples)
+	}
+
+	// The stats reply exposes per-shard counters that sum to the aggregate.
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats == nil || st.Stats.Answered != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if len(st.Stats.PerShard) != 8 {
+		t.Fatalf("stats reply has %d per-shard entries, want 8", len(st.Stats.PerShard))
+	}
+	sum := 0
+	for _, sh := range st.Stats.PerShard {
+		sum += sh.Answered
+	}
+	if sum != st.Stats.Answered {
+		t.Fatalf("per-shard answered sums to %d, aggregate %d", sum, st.Stats.Answered)
+	}
+}
+
 func TestServerLoadScript(t *testing.T) {
 	db := memdb.New()
 	e := engine.New(db, engine.Config{Mode: engine.Incremental})

@@ -53,6 +53,17 @@ type Gen struct {
 	G    *Graph
 	Next ir.QueryID
 	rng  *rand.Rand
+
+	// DistinctRels gives each coordinating group (pair, triangle, clique)
+	// its own ANSWER relation ("R_g1", "R_g2", …) instead of the shared
+	// paper relation R. Coordination inside a group is unchanged — members
+	// still reference each other's heads — but groups become unifiability-
+	// disjoint, modelling independent applications each declaring their own
+	// ANSWER namespace. This is the workload shape that lets a sharded
+	// engine spread groups across shards (with one shared R every query has
+	// the same routing signature and lands on one shard).
+	DistinctRels bool
+	group        int
 }
 
 // NewGen returns a generator with its own deterministic RNG.
@@ -64,6 +75,16 @@ func (gen *Gen) id() ir.QueryID {
 	id := gen.Next
 	gen.Next++
 	return id
+}
+
+// groupRel returns the ANSWER relation for the next coordinating group:
+// the shared AnswerRel, or a fresh per-group name under DistinctRels.
+func (gen *Gen) groupRel() string {
+	if !gen.DistinctRels {
+		return AnswerRel
+	}
+	gen.group++
+	return fmt.Sprintf("%s_g%d", AnswerRel, gen.group)
 }
 
 func (gen *Gen) dest() string {
@@ -83,21 +104,22 @@ func (gen *Gen) TwoWayRandom(pairs [][2]int) []*ir.Query {
 	var out []*ir.Query
 	for _, p := range pairs {
 		d := gen.dest()
-		out = append(out, gen.partnerSeekQuery(p[0], d), gen.partnerSeekQuery(p[1], d))
+		rel := gen.groupRel()
+		out = append(out, gen.partnerSeekQuery(rel, p[0], d), gen.partnerSeekQuery(rel, p[1], d))
 	}
 	return out
 }
 
 // partnerSeekQuery builds one "fly to dest with any friend in my city"
-// query for user u.
-func (gen *Gen) partnerSeekQuery(u int, dest string) *ir.Query {
+// query for user u, coordinating through the given ANSWER relation.
+func (gen *Gen) partnerSeekQuery(rel string, u int, dest string) *ir.Query {
 	un := UserName(u)
 	q := &ir.Query{
 		ID:     gen.id(),
 		Owner:  un,
 		Choose: 1,
-		Heads:  []ir.Atom{ir.NewAtom(AnswerRel, ir.Const(un), ir.Const(dest))},
-		Posts:  []ir.Atom{ir.NewAtom(AnswerRel, ir.Var("x"), ir.Const(dest))},
+		Heads:  []ir.Atom{ir.NewAtom(rel, ir.Const(un), ir.Const(dest))},
+		Posts:  []ir.Atom{ir.NewAtom(rel, ir.Var("x"), ir.Const(dest))},
 		Body: []ir.Atom{
 			ir.NewAtom(FriendsRel, ir.Const(un), ir.Var("x")),
 			ir.NewAtom(UserRel, ir.Const(un), ir.Var("c")),
@@ -114,22 +136,24 @@ func (gen *Gen) TwoWayBest(pairs [][2]int) []*ir.Query {
 	var out []*ir.Query
 	for _, p := range pairs {
 		d := gen.dest()
+		rel := gen.groupRel()
 		out = append(out,
-			gen.specificQuery(p[0], p[1], d),
-			gen.specificQuery(p[1], p[0], d))
+			gen.specificQuery(rel, p[0], p[1], d),
+			gen.specificQuery(rel, p[1], p[0], d))
 	}
 	return out
 }
 
-// specificQuery builds "u flies to dest with exactly partner".
-func (gen *Gen) specificQuery(u, partner int, dest string) *ir.Query {
+// specificQuery builds "u flies to dest with exactly partner", coordinating
+// through the given ANSWER relation.
+func (gen *Gen) specificQuery(rel string, u, partner int, dest string) *ir.Query {
 	un, pn := UserName(u), UserName(partner)
 	return &ir.Query{
 		ID:     gen.id(),
 		Owner:  un,
 		Choose: 1,
-		Heads:  []ir.Atom{ir.NewAtom(AnswerRel, ir.Const(un), ir.Const(dest))},
-		Posts:  []ir.Atom{ir.NewAtom(AnswerRel, ir.Const(pn), ir.Const(dest))},
+		Heads:  []ir.Atom{ir.NewAtom(rel, ir.Const(un), ir.Const(dest))},
+		Posts:  []ir.Atom{ir.NewAtom(rel, ir.Const(pn), ir.Const(dest))},
 		Body: []ir.Atom{
 			ir.NewAtom(FriendsRel, ir.Const(un), ir.Const(pn)),
 			ir.NewAtom(UserRel, ir.Const(un), ir.Var("c")),
@@ -144,10 +168,11 @@ func (gen *Gen) ThreeWay(triangles [][3]int) []*ir.Query {
 	var out []*ir.Query
 	for _, tri := range triangles {
 		d := gen.dest()
+		rel := gen.groupRel()
 		out = append(out,
-			gen.specificQuery(tri[0], tri[1], d),
-			gen.specificQuery(tri[1], tri[2], d),
-			gen.specificQuery(tri[2], tri[0], d))
+			gen.specificQuery(rel, tri[0], tri[1], d),
+			gen.specificQuery(rel, tri[1], tri[2], d),
+			gen.specificQuery(rel, tri[2], tri[0], d))
 	}
 	return out
 }
@@ -159,13 +184,14 @@ func (gen *Gen) Clique(cliques [][]int) []*ir.Query {
 	var out []*ir.Query
 	for _, clique := range cliques {
 		d := gen.dest()
+		rel := gen.groupRel()
 		for i, u := range clique {
 			un := UserName(u)
 			q := &ir.Query{
 				ID:     gen.id(),
 				Owner:  un,
 				Choose: 1,
-				Heads:  []ir.Atom{ir.NewAtom(AnswerRel, ir.Const(un), ir.Const(d))},
+				Heads:  []ir.Atom{ir.NewAtom(rel, ir.Const(un), ir.Const(d))},
 			}
 			q.Body = append(q.Body, ir.NewAtom(UserRel, ir.Const(un), ir.Var("c")))
 			for j, v := range clique {
@@ -173,7 +199,7 @@ func (gen *Gen) Clique(cliques [][]int) []*ir.Query {
 					continue
 				}
 				vn := UserName(v)
-				q.Posts = append(q.Posts, ir.NewAtom(AnswerRel, ir.Const(vn), ir.Const(d)))
+				q.Posts = append(q.Posts, ir.NewAtom(rel, ir.Const(vn), ir.Const(d)))
 				q.Body = append(q.Body,
 					ir.NewAtom(FriendsRel, ir.Const(un), ir.Const(vn)),
 					ir.NewAtom(UserRel, ir.Const(vn), ir.Var("c")))
