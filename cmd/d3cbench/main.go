@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	d3cbench [-experiment all|fig6|fig7|fig8|fig9|ablations|sharding]
+//	d3cbench [-experiment all|fig6|fig7|fig8|fig9|ablations|sharding|batching]
 //	         [-users 82168] [-scale 1.0] [-seed 42] [-shards 8] [-workers 8]
+//	         [-batch 64]
 //
 // -users sets the social-graph size (default: the paper's 82,168).
 // -scale multiplies the workload sizes; 1.0 reproduces the paper's range
@@ -24,12 +25,13 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment: all, fig6, fig7, fig8, fig9, ablations, sharding")
+		experiment = flag.String("experiment", "all", "which experiment: all, fig6, fig7, fig8, fig9, ablations, sharding, batching")
 		users      = flag.Int("users", 82168, "social graph size (paper: 82168)")
 		scale      = flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper sizes up to 100k queries)")
 		seed       = flag.Int64("seed", 42, "deterministic seed")
-		shards     = flag.Int("shards", 8, "shard count for the sharding experiment")
+		shards     = flag.Int("shards", 8, "shard count for the sharding and batching experiments")
 		workers    = flag.Int("workers", 8, "concurrent submitters for the sharding experiment")
+		batch      = flag.Int("batch", 64, "batch size for the batching experiment")
 	)
 	flag.Parse()
 
@@ -127,6 +129,16 @@ func main() {
 		}
 		bench.PrintSeries(os.Stdout,
 			fmt.Sprintf("Sharding — concurrent submit, 1 shard vs %d shards (%d workers)", *shards, *workers), rows)
+		return nil
+	})
+
+	run("batching", func() error {
+		rows, err := env.BatchingComparison(scaled([]int{1000, 10000}, *scale), *batch, *shards)
+		if err != nil {
+			return err
+		}
+		bench.PrintSeries(os.Stdout,
+			fmt.Sprintf("Batching — SubmitBatch B=%d vs single Submit (%d shards); labels carry [router passes/submit locks]", *batch, *shards), rows)
 		return nil
 	})
 

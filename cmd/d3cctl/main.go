@@ -6,9 +6,10 @@
 //
 // Commands:
 //
-//	.flush     force a set-at-a-time round
-//	.stats     print engine counters
-//	.quit      exit
+//	.batch q1; q2; …   submit several IR queries as one engine batch
+//	.flush             force a set-at-a-time round
+//	.stats             print engine counters
+//	.quit              exit
 //
 // Usage: d3cctl [-addr localhost:7070]
 package main
@@ -58,6 +59,32 @@ func main() {
 		go func() { results <- <-ch }()
 	}
 
+	submitBatch := func(text string) {
+		var queries []server.BatchQuery
+		for _, part := range strings.Split(text, ";") {
+			if part = strings.TrimSpace(part); part != "" {
+				queries = append(queries, server.BatchQuery{IR: part})
+			}
+		}
+		if len(queries) == 0 {
+			fmt.Println("usage: .batch {C} H :- B; {C} H :- B; …")
+			return
+		}
+		handles, err := c.SubmitBatch(queries)
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			return
+		}
+		for i, h := range handles {
+			if h.Err != nil {
+				fmt.Printf("batch[%d] error: %v\n", i, h.Err)
+				continue
+			}
+			fmt.Printf("submitted q%d\n", h.ID)
+			go func(ch <-chan server.Response) { results <- <-ch }(h.Ch)
+		}
+	}
+
 	// Printer goroutine: results arrive asynchronously.
 	go func() {
 		for r := range results {
@@ -84,7 +111,9 @@ func main() {
 		case line == ".help":
 			fmt.Println("IR query:  {R(Jerry, x)} R(Kramer, x) :- Flights(x, Paris)")
 			fmt.Println("SQL query: SELECT 'Kramer', fno INTO ANSWER R WHERE … CHOOSE 1 (multiline; ends at CHOOSE or blank line)")
-			fmt.Println("commands:  .load <ddl/dml statements;…>  .flush  .stats  .quit")
+			fmt.Println("commands:  .load <ddl/dml statements;…>  .batch <ir; ir; …>  .flush  .stats  .quit")
+		case strings.HasPrefix(line, ".batch "):
+			submitBatch(strings.TrimPrefix(line, ".batch "))
 		case strings.HasPrefix(line, ".load "):
 			if err := c.Load(strings.TrimPrefix(line, ".load ")); err != nil {
 				fmt.Printf("error: %v\n", err)
@@ -103,8 +132,9 @@ func main() {
 				fmt.Printf("error: %v\n", err)
 			} else if st.Stats != nil {
 				s := st.Stats
-				fmt.Printf("submitted=%d answered=%d rejected=%d unsafe=%d stale=%d pending=%d flushes=%d\n",
-					s.Submitted, s.Answered, s.Rejected, s.RejectedUnsafe, s.ExpiredStale, s.Pending, s.Flushes)
+				fmt.Printf("submitted=%d answered=%d rejected=%d unsafe=%d stale=%d pending=%d flushes=%d router-passes=%d submit-locks=%d families-retired=%d\n",
+					s.Submitted, s.Answered, s.Rejected, s.RejectedUnsafe, s.ExpiredStale, s.Pending, s.Flushes,
+					s.RouterPasses, s.SubmitLocks, s.FamiliesRetired)
 				for i, sh := range s.PerShard {
 					fmt.Printf("  shard %d: submitted=%d answered=%d rejected=%d unsafe=%d stale=%d pending=%d flushes=%d\n",
 						i, sh.Submitted, sh.Answered, sh.Rejected, sh.RejectedUnsafe, sh.ExpiredStale, sh.Pending, sh.Flushes)

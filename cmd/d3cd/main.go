@@ -1,6 +1,6 @@
 // Command d3cd runs the D3C coordination server: an entangled-query engine
 // over an in-memory database, exposed via the JSON line protocol of
-// internal/server.
+// internal/server (including batched submission via the submit_batch op).
 //
 // Usage:
 //
@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -24,8 +25,7 @@ import (
 	"syscall"
 	"time"
 
-	"entangle/internal/engine"
-	"entangle/internal/memdb"
+	"entangle"
 	"entangle/internal/server"
 	"entangle/internal/workload"
 )
@@ -44,17 +44,25 @@ func main() {
 	)
 	flag.Parse()
 
-	var m engine.Mode
+	var m entangle.Mode
 	switch strings.ToLower(*mode) {
 	case "incremental":
-		m = engine.Incremental
+		m = entangle.Incremental
 	case "setatatime", "set-at-a-time":
-		m = engine.SetAtATime
+		m = entangle.SetAtATime
 	default:
 		log.Fatalf("d3cd: unknown mode %q", *mode)
 	}
 
-	db := memdb.New()
+	sys := entangle.Open(
+		entangle.WithMode(m),
+		entangle.WithShards(*shards),
+		entangle.WithStaleAfter(*stale),
+		entangle.WithFlushEvery(*flushEvery),
+		entangle.WithFlushInterval(*flushInterval),
+		entangle.WithSeed(*seed),
+	)
+	db := sys.DB()
 	if *dbFile != "" {
 		if _, err := os.Stat(*dbFile); err == nil {
 			if err := db.LoadFile(*dbFile); err != nil {
@@ -72,32 +80,25 @@ func main() {
 		log.Printf("d3cd: loaded %s", strings.TrimSpace(db.String()))
 	}
 
-	eng := engine.New(db, engine.Config{
-		Mode:       m,
-		Shards:     *shards,
-		StaleAfter: *stale,
-		FlushEvery: *flushEvery,
-		Seed:       *seed,
-	})
-	stop := make(chan struct{})
-	go eng.Run(stop, *flushInterval)
+	ctx, cancel := context.WithCancel(context.Background())
+	go sys.Run(ctx)
 
-	srv := server.New(eng)
+	srv := server.New(sys.Engine())
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("d3cd: %v", err)
 	}
-	log.Printf("d3cd: serving %s mode on %s (%d shards)", m, l.Addr(), eng.NumShards())
+	log.Printf("d3cd: serving %s mode on %s (%d shards)", m, l.Addr(), sys.Engine().NumShards())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	go func() {
 		<-sig
 		fmt.Fprintln(os.Stderr, "d3cd: shutting down")
-		close(stop)
+		cancel()
 		srv.Shutdown()
 		l.Close()
-		eng.Close()
+		sys.Close()
 		if *dbFile != "" {
 			if err := db.SaveFile(*dbFile); err != nil {
 				log.Printf("d3cd: save %s: %v", *dbFile, err)

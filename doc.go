@@ -6,9 +6,34 @@
 // Entangled queries extend SQL with constraints over virtual ANSWER
 // relations so that queries from different users are answered jointly with
 // a coordinated choice of tuples ("Kramer flies to Paris on the same flight
-// as Jerry"). The library provides:
+// as Jerry").
 //
-//   - internal/core — the high-level System façade (start here);
+// This root package IS the public API: a context-first façade over the
+// internal engine. Open a System, load data, submit entangled queries, and
+// wait for coordinated answers:
+//
+//	sys := entangle.Open(entangle.WithSeed(42))
+//	defer sys.Close()
+//	sys.MustCreateTable("Flights", "fno", "dest")
+//	sys.MustInsert("Flights", "122", "Paris")
+//
+//	h1, _ := sys.SubmitSQL(ctx, `SELECT 'Kramer', fno INTO ANSWER R
+//	    WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris')
+//	    AND ('Jerry', fno) IN ANSWER R CHOOSE 1`)
+//	h2, _ := sys.SubmitSQL(ctx, `SELECT 'Jerry', fno INTO ANSWER R …`)
+//	r1, _ := h1.Wait(ctx) // blocks until coordination succeeds or fails
+//
+// Query answering is asynchronous middleware (Section 5.1 of the paper): a
+// submitted query may wait for partners, every handle resolves to exactly
+// one Result, and Wait respects context cancellation without losing the
+// result for a later Wait. Bulk loads go through SubmitBatch, which admits
+// a whole batch with one routing pass and one lock acquisition per engine
+// shard. Failures are typed: errors.Is(err, ErrClosed) after Close,
+// errors.Is(res.Err(), ErrStale / ErrUnsafe / ErrRejected) on non-answered
+// results, and errors.As(err, **ParseError) for syntax errors with offsets.
+//
+// The implementation lives under internal/:
+//
 //   - internal/eqsql — the entangled-SQL parser and translator;
 //   - internal/ir — the {C} H :- B intermediate representation;
 //   - internal/match — safety, UCS, unifier propagation (Algorithm 1) and
@@ -20,7 +45,8 @@
 //     are routed by the relation names of their head/postcondition atoms so
 //     that potential coordination partners always meet on the same shard
 //     (see the engine package comment for the routing invariant);
-//   - internal/server — a TCP/JSON front end for many concurrent clients;
+//   - internal/server — a TCP/JSON front end for many concurrent clients,
+//     with single and batched submission ops;
 //   - internal/memdb — the in-memory conjunctive-query database substrate;
 //   - internal/workload, internal/bench — the paper's experimental
 //     workloads and the harness regenerating every evaluation figure;
@@ -28,7 +54,6 @@
 //   - internal/ext — the Section 6 extensions (CHOOSE k, aggregation
 //     postconditions, soft preferences).
 //
-// The root package contains no code of its own; see the benchmarks in
-// bench_test.go (one per paper figure) and the runnable programs under
-// examples/ and cmd/.
+// See README.md for a quickstart, the benchmarks in bench_test.go (one per
+// paper figure), and the runnable programs under examples/ and cmd/.
 package entangle

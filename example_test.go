@@ -1,33 +1,33 @@
-package core_test
+package entangle_test
 
 import (
+	"context"
 	"fmt"
-	"time"
 
-	"entangle/internal/core"
-	"entangle/internal/ir"
+	"entangle"
 )
 
 // Example reproduces the paper's introduction: Kramer and Jerry coordinate
 // on a United flight to Paris through entangled SQL.
 func Example() {
-	sys := core.NewSystem(core.Options{})
+	ctx := context.Background()
+	sys := entangle.Open()
 	defer sys.Close()
 	sys.MustCreateTable("Flights", "fno", "dest")
 	sys.MustCreateTable("Airlines", "fno", "airline")
 	sys.MustInsert("Flights", "122", "Paris")
 	sys.MustInsert("Airlines", "122", "United")
 
-	kramer, _ := sys.SubmitSQL(`SELECT 'Kramer', fno INTO ANSWER Reservation
+	kramer, _ := sys.SubmitSQL(ctx, `SELECT 'Kramer', fno INTO ANSWER Reservation
 WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris')
 AND ('Jerry', fno) IN ANSWER Reservation CHOOSE 1`)
-	jerry, _ := sys.SubmitSQL(`SELECT 'Jerry', fno INTO ANSWER Reservation
+	jerry, _ := sys.SubmitSQL(ctx, `SELECT 'Jerry', fno INTO ANSWER Reservation
 WHERE fno IN (SELECT fno FROM Flights F, Airlines A
               WHERE F.dest='Paris' AND F.fno = A.fno AND A.airline='United')
 AND ('Kramer', fno) IN ANSWER Reservation CHOOSE 1`)
 
-	rk, _ := kramer.Wait(time.Second)
-	rj, _ := jerry.Wait(time.Second)
+	rk, _ := kramer.Wait(ctx)
+	rj, _ := jerry.Wait(ctx)
 	fmt.Println(rk.Answer.Tuples[0])
 	fmt.Println(rj.Answer.Tuples[0])
 	// Output:
@@ -38,31 +38,56 @@ AND ('Kramer', fno) IN ANSWER Reservation CHOOSE 1`)
 // ExampleSystem_SubmitIR shows the Datalog-like intermediate representation
 // as a submission syntax: {postconditions} heads :- body.
 func ExampleSystem_SubmitIR() {
-	sys := core.NewSystem(core.Options{})
+	ctx := context.Background()
+	sys := entangle.Open()
 	defer sys.Close()
 	sys.MustCreateTable("Courses", "cid", "slot")
 	sys.MustInsert("Courses", "CS4320", "morning")
 
-	ann, _ := sys.SubmitIR("{Enroll(Bob, c)} Enroll(Ann, c) :- Courses(c, s)")
-	bob, _ := sys.SubmitIR("{Enroll(Ann, c)} Enroll(Bob, c) :- Courses(c, s)")
-	ra, _ := ann.Wait(time.Second)
-	rb, _ := bob.Wait(time.Second)
+	ann, _ := sys.SubmitIR(ctx, "{Enroll(Bob, c)} Enroll(Ann, c) :- Courses(c, s)")
+	bob, _ := sys.SubmitIR(ctx, "{Enroll(Ann, c)} Enroll(Bob, c) :- Courses(c, s)")
+	ra, _ := ann.Wait(ctx)
+	rb, _ := bob.Wait(ctx)
 	fmt.Println(ra.Answer.Tuples[0], "/", rb.Answer.Tuples[0])
 	// Output: Enroll(Ann, CS4320) / Enroll(Bob, CS4320)
+}
+
+// ExampleSystem_SubmitBatch ingests a group of entangled queries in one
+// batch: one routing pass, one lock per touched shard, same outcomes as
+// submitting them one at a time.
+func ExampleSystem_SubmitBatch() {
+	ctx := context.Background()
+	sys := entangle.Open()
+	defer sys.Close()
+	sys.MustCreateTable("F", "fno", "dest")
+	sys.MustInsert("F", "136", "Rome")
+
+	handles, _ := sys.SubmitBatch(ctx, []*entangle.Query{
+		entangle.MustParseIR("{R(B, x)} R(A, x) :- F(x, Rome)"),
+		entangle.MustParseIR("{R(A, y)} R(B, y) :- F(y, Rome)"),
+	})
+	for _, h := range handles {
+		r, _ := h.Wait(ctx)
+		fmt.Println(r.Answer.Tuples[0])
+	}
+	// Output:
+	// R(A, 136)
+	// R(B, 136)
 }
 
 // ExampleSystem_Coordinate shows synchronous batch coordination
 // (set-at-a-time) and inspection of the outcome.
 func ExampleSystem_Coordinate() {
-	sys := core.NewSystem(core.Options{})
+	sys := entangle.Open()
 	defer sys.Close()
 	sys.MustCreateTable("F", "fno", "dest")
 	sys.MustInsert("F", "136", "Rome")
 
-	out, _ := sys.Coordinate([]*ir.Query{
-		ir.MustParse(1, "{R(B, x)} R(A, x) :- F(x, Rome)"),
-		ir.MustParse(2, "{R(A, y)} R(B, y) :- F(y, Rome)"),
-	})
+	q1 := entangle.MustParseIR("{R(B, x)} R(A, x) :- F(x, Rome)")
+	q1.ID = 1
+	q2 := entangle.MustParseIR("{R(A, y)} R(B, y) :- F(y, Rome)")
+	q2.ID = 2
+	out, _ := sys.Coordinate([]*entangle.Query{q1, q2})
 	fmt.Println(out.Answers[1].Tuples[0])
 	fmt.Println(out.Answers[2].Tuples[0])
 	// Output:

@@ -14,17 +14,17 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"entangle/internal/core"
-	"entangle/internal/engine"
-	"entangle/internal/ir"
+	"entangle"
 )
 
 func main() {
-	sys := core.NewSystem(core.Options{Seed: 99})
+	ctx := context.Background()
+	sys := entangle.Open(entangle.WithSeed(99))
 	defer sys.Close()
 
 	// Seats(fno, seatsLeft) — inventory is data, so "has free seats" is
@@ -58,29 +58,32 @@ func main() {
 	booked := map[string][]string{}
 	for round, pair := range pairNames {
 		// Each traveller requires: a Paris flight, with seats available,
-		// and their partner on the same flight.
-		submit := func(me, partner string) *engine.Handle {
-			q := ir.MustParse(0, fmt.Sprintf(
+		// and their partner on the same flight. Both members of the pair
+		// are admitted together as one batch.
+		mk := func(me, partner string) string {
+			return fmt.Sprintf(
 				"{Res%d(%s, f)} Res%d(%s, f) :- Flights(f, Paris) ∧ Available(f)",
-				round, partner, round, me))
-			h, err := sys.Submit(q)
-			if err != nil {
-				log.Fatal(err)
-			}
-			return h
+				round, partner, round, me)
 		}
-		h1 := submit(pair[0], pair[1])
-		h2 := submit(pair[1], pair[0])
-		r1, err := h1.Wait(time.Second)
+		handles, err := sys.SubmitBatch(ctx, []*entangle.Query{
+			entangle.MustParseIR(mk(pair[0], pair[1])),
+			entangle.MustParseIR(mk(pair[1], pair[0])),
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		r2, err := h2.Wait(time.Second)
+		waitCtx, cancel := context.WithTimeout(ctx, time.Second)
+		r1, err := handles[0].Wait(waitCtx)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if r1.Status != engine.StatusAnswered || r2.Status != engine.StatusAnswered {
-			log.Fatalf("round %d: coordination failed: %v / %v", round, r1.Status, r2.Status)
+		r2, err := handles[1].Wait(waitCtx)
+		cancel()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if r1.Err() != nil || r2.Err() != nil {
+			log.Fatalf("round %d: coordination failed: %v / %v", round, r1.Err(), r2.Err())
 		}
 		fno := r1.Answer.Tuples[0].Args[1].Value
 		if got := r2.Answer.Tuples[0].Args[1].Value; got != fno {

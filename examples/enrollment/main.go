@@ -13,13 +13,13 @@ import (
 	"fmt"
 	"log"
 
-	"entangle/internal/core"
+	"entangle"
 	"entangle/internal/ext"
 	"entangle/internal/ir"
 )
 
 func main() {
-	sys := core.NewSystem(core.Options{})
+	sys := entangle.Open()
 	defer sys.Close()
 
 	// Course catalogue: Courses(cid, topic, slot).
@@ -37,14 +37,14 @@ func main() {
 	// A three-cycle of students: Ann wants whatever Bob takes, Bob wants
 	// whatever Cas takes, Cas wants whatever Ann takes — so all three end
 	// up in the same courses. CHOOSE 2 asks for two shared courses.
-	mk := func(id ir.QueryID, me, partner string) *ir.Query {
+	mk := func(id entangle.QueryID, me, partner string) *entangle.Query {
 		q := ir.MustParse(id, fmt.Sprintf(
 			"{Enroll(%s, c)} Enroll(%s, c) :- Courses(c, t, s)", partner, me))
 		q.Choose = 2
 		q.Owner = me
 		return q
 	}
-	queries := []*ir.Query{
+	queries := []*entangle.Query{
 		mk(1, "Ann", "Bob"),
 		mk(2, "Bob", "Cas"),
 		mk(3, "Cas", "Ann"),
@@ -82,7 +82,7 @@ func main() {
 	// students share the same course.
 	for i := 0; i < 2; i++ {
 		course := out.Answers[1][i].Tuples[0].Args[1].Value
-		for id := ir.QueryID(2); id <= 3; id++ {
+		for id := entangle.QueryID(2); id <= 3; id++ {
 			if got := out.Answers[id][i].Tuples[0].Args[1].Value; got != course {
 				log.Fatalf("choice %d not coordinated: %s vs %s", i, got, course)
 			}

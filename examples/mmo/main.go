@@ -11,17 +11,20 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"entangle/internal/core"
-	"entangle/internal/engine"
-	"entangle/internal/ir"
+	"entangle"
 )
 
 func main() {
-	sys := core.NewSystem(core.Options{Seed: time.Now().UnixNano(), StaleAfter: time.Second})
+	ctx := context.Background()
+	sys := entangle.Open(
+		entangle.WithSeed(time.Now().UnixNano()),
+		entangle.WithStaleAfter(time.Second),
+	)
 	defer sys.Close()
 
 	// Raid instances currently open: Instances(iid, boss, minLevel).
@@ -39,11 +42,11 @@ func main() {
 	// player — only roles. The party composition is Tank, Healer, DPS1,
 	// DPS2; the cyclic postcondition chain Tank→Healer→DPS1→DPS2→Tank
 	// keeps the set safe (each postcondition has exactly one partner head).
-	submit := func(role, needs string) *engine.Handle {
-		q := ir.MustParse(0, fmt.Sprintf(
+	submit := func(role, needs string) *entangle.Handle {
+		q := entangle.MustParseIR(fmt.Sprintf(
 			"{Raid(%s, i)} Raid(%s, i) :- Instances(i, b, l)", needs, role))
 		q.Owner = role
-		h, err := sys.Submit(q)
+		h, err := sys.Submit(ctx, q)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -51,7 +54,7 @@ func main() {
 		return h
 	}
 
-	handles := map[string]*engine.Handle{
+	handles := map[string]*entangle.Handle{
 		"Tank":   submit("Tank", "Healer"),
 		"Healer": submit("Healer", "DPS1"),
 		"DPS1":   submit("DPS1", "DPS2"),
@@ -63,14 +66,16 @@ func main() {
 	fmt.Println("three of four slots queued; party still forming…")
 	handles["DPS2"] = submit("DPS2", "Tank")
 
+	waitCtx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
 	var instance string
 	for role, h := range handles {
-		r, err := h.Wait(2 * time.Second)
+		r, err := h.Wait(waitCtx)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if r.Status != engine.StatusAnswered {
-			log.Fatalf("%s: %v (%s)", role, r.Status, r.Detail)
+		if err := r.Err(); err != nil {
+			log.Fatalf("%s: %v", role, err)
 		}
 		got := r.Answer.Tuples[0].Args[1].Value
 		if instance == "" {

@@ -8,16 +8,17 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"entangle/internal/core"
-	"entangle/internal/engine"
+	"entangle"
 )
 
 func main() {
-	sys := core.NewSystem(core.Options{Seed: time.Now().UnixNano()})
+	ctx := context.Background()
+	sys := entangle.Open(entangle.WithSeed(time.Now().UnixNano()))
 	defer sys.Close()
 
 	// The Figure 1 (a) database.
@@ -31,7 +32,7 @@ func main() {
 	}
 
 	// Kramer's entangled query — verbatim from the paper's introduction.
-	kramer, err := sys.SubmitSQL(`
+	kramer, err := sys.SubmitSQL(ctx, `
 SELECT 'Kramer', fno INTO ANSWER Reservation
 WHERE
 fno IN (SELECT fno FROM Flights WHERE dest='Paris')
@@ -43,7 +44,7 @@ CHOOSE 1`)
 	fmt.Println("Kramer submitted; waiting for a coordination partner…")
 
 	// Jerry's query with the additional United constraint.
-	jerry, err := sys.SubmitSQL(`
+	jerry, err := sys.SubmitSQL(ctx, `
 SELECT 'Jerry', fno INTO ANSWER Reservation
 WHERE
 fno IN (SELECT fno FROM Flights F, Airlines A WHERE
@@ -55,16 +56,18 @@ CHOOSE 1`)
 		log.Fatal(err)
 	}
 
-	rk, err := kramer.Wait(time.Second)
+	waitCtx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	rk, err := kramer.Wait(waitCtx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	rj, err := jerry.Wait(time.Second)
+	rj, err := jerry.Wait(waitCtx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if rk.Status != engine.StatusAnswered || rj.Status != engine.StatusAnswered {
-		log.Fatalf("coordination failed: %v / %v", rk, rj)
+	if rk.Err() != nil || rj.Err() != nil {
+		log.Fatalf("coordination failed: %v / %v", rk.Err(), rj.Err())
 	}
 	fmt.Printf("Kramer's reservation: %s\n", rk.Answer.Tuples[0])
 	fmt.Printf("Jerry's  reservation: %s\n", rj.Answer.Tuples[0])

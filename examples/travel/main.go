@@ -3,82 +3,92 @@
 //
 // A synthetic social graph of 2,000 users is loaded into the database
 // (Friends and User tables). Pairs of friends then submit the paper's
-// two-way coordination queries: each wants to fly to a destination with
-// any friend from their own city. The engine matches arrivals
-// incrementally; pairs that share a hometown coordinate, the rest
-// eventually go stale.
+// two-way coordination queries in bulk — one SubmitBatch call per wave,
+// the shape a booking front end ingesting queued requests would use: the
+// whole wave is routed in one pass and admitted under one lock per engine
+// shard. Pairs that share a hometown coordinate, the rest eventually go
+// stale via the background Run loop.
 //
 // Run: go run ./examples/travel
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"sync"
 	"time"
 
-	"entangle/internal/engine"
-	"entangle/internal/memdb"
+	"entangle"
 	"entangle/internal/workload"
 )
 
 func main() {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
 	fmt.Println("building a 2,000-user social substrate…")
 	g := workload.NewGraph(workload.Config{N: 2000, AvgDeg: 12, Seed: 7})
-	db := memdb.New()
-	if err := workload.PopulateDB(db, g); err != nil {
+	sys := entangle.Open(
+		entangle.WithSeed(7),
+		entangle.WithStaleAfter(200*time.Millisecond),
+		entangle.WithFlushInterval(50*time.Millisecond),
+	)
+	defer sys.Close()
+	if err := workload.PopulateDB(sys.DB(), g); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("  %d users, clustering ≈ %.3f\n", g.N, g.ClusteringCoefficient(300, 7))
+	go sys.Run(ctx)
 
-	eng := engine.New(db, engine.Config{
-		Mode:       engine.Incremental,
-		StaleAfter: 200 * time.Millisecond,
-		Seed:       7,
-	})
-	stop := make(chan struct{})
-	go eng.Run(stop, 50*time.Millisecond)
-	defer close(stop)
-	defer eng.Close()
-
-	// 200 friend pairs submit "fly with a friend from my city" queries.
+	// 200 friend pairs submit "fly with a friend from my city" queries,
+	// ingested as one batch.
 	gen := workload.NewGen(g, 7)
 	pairs := g.FriendPairs(200, 7)
 	queries := gen.Interleave(gen.TwoWayRandom(pairs))
-	fmt.Printf("submitting %d entangled queries from %d friend pairs…\n", len(queries), len(pairs))
+	fmt.Printf("submitting %d entangled queries from %d friend pairs in one batch…\n", len(queries), len(pairs))
 
-	type outcome struct {
-		owner string
-		res   engine.Result
-	}
-	results := make(chan outcome, len(queries))
-	for _, q := range queries {
-		h, err := eng.Submit(q)
-		if err != nil {
-			log.Fatal(err)
-		}
-		owner := q.Owner
-		go func(h *engine.Handle) {
-			r := <-h.Done()
-			results <- outcome{owner: owner, res: r}
-		}(h)
+	handles, err := sys.SubmitBatch(ctx, queries)
+	if err != nil {
+		log.Fatal(err)
 	}
 
-	counts := map[engine.Status]int{}
-	var sampleShown int
-	for i := 0; i < len(queries); i++ {
-		o := <-results
-		counts[o.res.Status]++
-		if o.res.Status == engine.StatusAnswered && sampleShown < 5 {
-			fmt.Printf("  %s booked: %s\n", o.owner, o.res.Answer.Tuples[0])
-			sampleShown++
-		}
+	waitCtx, waitCancel := context.WithTimeout(ctx, 10*time.Second)
+	defer waitCancel()
+	var (
+		mu     sync.Mutex
+		counts = map[entangle.Status]int{}
+		sample []string
+		wg     sync.WaitGroup
+	)
+	for i, h := range handles {
+		wg.Add(1)
+		go func(owner string, h *entangle.Handle) {
+			defer wg.Done()
+			r, err := h.Wait(waitCtx)
+			if err != nil {
+				log.Fatal(err)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			counts[r.Status]++
+			if r.Status == entangle.StatusAnswered && len(sample) < 5 {
+				sample = append(sample, fmt.Sprintf("  %s booked: %s", owner, r.Answer.Tuples[0]))
+			}
+		}(queries[i].Owner, h)
 	}
+	wg.Wait()
+	for _, line := range sample {
+		fmt.Println(line)
+	}
+
 	fmt.Println("\noutcome summary:")
-	for _, s := range []engine.Status{engine.StatusAnswered, engine.StatusRejected, engine.StatusStale, engine.StatusUnsafe} {
+	for _, s := range []entangle.Status{entangle.StatusAnswered, entangle.StatusRejected, entangle.StatusStale, entangle.StatusUnsafe} {
 		fmt.Printf("  %-9s %d\n", s, counts[s])
 	}
-	st := eng.Stats()
-	fmt.Printf("engine: %d submissions, %d combined-query evaluations\n", st.Submitted, st.Evaluations)
+	st := sys.Stats()
+	fmt.Printf("engine: %d submissions, %d combined-query evaluations, %d router passes, %d submit locks\n",
+		st.Submitted, st.Evaluations, st.RouterPasses, st.SubmitLocks)
 	fmt.Println("\npairs sharing a hometown coordinated; pairs in different cities matched but found no")
 	fmt.Println("satisfying data (rejected); queries whose partner collided with another pending pair")
 	fmt.Println("were rejected by the safety check or timed out as stale.")

@@ -1,0 +1,81 @@
+package entangle
+
+import (
+	"context"
+
+	"entangle/internal/engine"
+	"entangle/internal/ir"
+)
+
+// Result is the single terminal outcome of a submitted query.
+type Result struct {
+	QueryID ir.QueryID
+	Status  Status
+	Answer  *ir.Answer // non-nil iff Status == StatusAnswered
+	Detail  string     // human-readable cause for non-answered statuses
+}
+
+// Err returns nil for an answered result, and otherwise a *QueryError
+// wrapping the sentinel for the terminal status, so callers can branch with
+// errors.Is(r.Err(), entangle.ErrStale) and friends.
+func (r Result) Err() error {
+	if r.Status == StatusAnswered {
+		return nil
+	}
+	return &QueryError{QueryID: r.QueryID, Status: r.Status, Detail: r.Detail}
+}
+
+// Handle tracks an in-flight query. Exactly one Result is eventually
+// delivered; Wait retrieves it any number of times, from any number of
+// goroutines.
+type Handle struct {
+	id   ir.QueryID
+	eh   *engine.Handle
+	done chan struct{}
+	res  Result // written once before done is closed
+}
+
+func newHandle(eh *engine.Handle) *Handle {
+	return &Handle{id: eh.ID, eh: eh, done: make(chan struct{})}
+}
+
+// ID returns the engine-assigned query ID.
+func (h *Handle) ID() ir.QueryID { return h.id }
+
+// Wait blocks until the query's terminal Result is available or the context
+// is done, whichever comes first. Cancellation returns ctx.Err() and does
+// NOT lose the result: the query keeps running and a later Wait (with a
+// fresh context) still retrieves its outcome. After the first successful
+// Wait the result is cached, so repeated calls return it immediately —
+// even with an already-done context, which is why an available result is
+// checked before the context (Go selects among ready cases at random, and
+// a caller re-Waiting with an expired context must not lose a coin flip).
+func (h *Handle) Wait(ctx context.Context) (Result, error) {
+	select {
+	case <-h.done:
+		return h.res, nil
+	default:
+	}
+	select {
+	case er := <-h.eh.Done():
+		return h.publish(er), nil
+	default:
+	}
+	select {
+	case er := <-h.eh.Done():
+		return h.publish(er), nil
+	case <-h.done:
+		return h.res, nil
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
+}
+
+// publish caches the engine's single delivered result and wakes every other
+// waiter. The engine sends exactly one result, so exactly one Wait call can
+// receive it and reach here.
+func (h *Handle) publish(er engine.Result) Result {
+	h.res = Result{QueryID: er.QueryID, Status: er.Status, Answer: er.Answer, Detail: er.Detail}
+	close(h.done)
+	return h.res
+}

@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"entangle/internal/engine"
+	"entangle/internal/ir"
+	"entangle/internal/workload"
+)
+
+// BatchingComparison measures the submission-path amortisation of
+// Engine.SubmitBatch against one-at-a-time Submit on identical social
+// workloads (per-group ANSWER relations, the spreadable shape). The engine
+// runs set-at-a-time and only the submission phase is timed — evaluation
+// cost is identical for both paths and would otherwise drown the
+// per-arrival overhead being measured; a final flush outside the timer
+// drains both runs so their answered counts can be compared, and must agree
+// (the batch path is an amortisation, not a semantics change). Row labels
+// carry the routing work actually done — the amortised mechanism: N router
+// passes and N submit-lock acquisitions for singles versus ⌈N/B⌉ passes and
+// ≤ ⌈N/B⌉ × min(B, shards) locks for batches.
+func (e *Env) BatchingComparison(sizes []int, batchSize, shards int) ([]Row, error) {
+	if batchSize < 2 {
+		return nil, fmt.Errorf("bench: batching comparison needs batch size ≥ 2, got %d", batchSize)
+	}
+	if shards < 1 {
+		return nil, fmt.Errorf("bench: batching comparison needs shards ≥ 1, got %d", shards)
+	}
+	var rows []Row
+	for _, n := range sizes {
+		gen := workload.NewGen(e.G, int64(n)+91)
+		gen.DistinctRels = true
+		qs := gen.Interleave(gen.TwoWayBest(e.G.FriendPairs(n/2, int64(n)+91)))
+
+		single, err := e.runSubmitMode(fmt.Sprintf("single submit (%d shards)", shards), qs, shards, 0)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, single)
+		batched, err := e.runSubmitMode(fmt.Sprintf("batched B=%d (%d shards)", batchSize, shards), qs, shards, batchSize)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, batched)
+		if single.Answered != batched.Answered {
+			return nil, fmt.Errorf("bench: batched run answered %d, single-submit answered %d on identical workloads",
+				batched.Answered, single.Answered)
+		}
+	}
+	return rows, nil
+}
+
+// runSubmitMode drives qs into a fresh set-at-a-time engine, either one
+// Submit per query (batchSize 0) or in SubmitBatch chunks, timing only the
+// submission phase; a flush afterwards drains the pending set for the
+// answered-count equivalence check. The routing-work counters are appended
+// to the label.
+func (e *Env) runSubmitMode(label string, qs []*ir.Query, shards, batchSize int) (Row, error) {
+	eng := engine.New(e.DB, engine.Config{Mode: engine.SetAtATime, Shards: shards, Seed: 1})
+	defer eng.Close()
+	start := time.Now()
+	if batchSize <= 0 {
+		for _, q := range qs {
+			if _, err := eng.Submit(q); err != nil {
+				return Row{}, err
+			}
+		}
+	} else {
+		for i := 0; i < len(qs); i += batchSize {
+			end := i + batchSize
+			if end > len(qs) {
+				end = len(qs)
+			}
+			if _, err := eng.SubmitBatch(qs[i:end]); err != nil {
+				return Row{}, err
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	st := eng.Stats() // submission-path counters, before the drain flush
+	eng.Flush()
+	drained := eng.Stats()
+	return Row{
+		Label: fmt.Sprintf("%s [%dp/%dl]", label, st.RouterPasses, st.SubmitLocks),
+		N:     len(qs), Elapsed: elapsed,
+		Answered: drained.Answered, Rejected: drained.Rejected + drained.RejectedUnsafe, Pending: drained.Pending,
+	}, nil
+}

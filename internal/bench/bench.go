@@ -65,6 +65,9 @@ type Row struct {
 // String renders the row in the harness's output format.
 func (r Row) String() string {
 	s := fmt.Sprintf("%-28s n=%-8d total=%-12v", r.Label, r.N, r.Elapsed.Round(time.Microsecond))
+	if r.N > 0 {
+		s += fmt.Sprintf(" per-op=%-10v", (r.Elapsed / time.Duration(r.N)).Round(10*time.Nanosecond))
+	}
 	if r.MatchDur > 0 || r.DBDur > 0 {
 		s += fmt.Sprintf(" match=%-12v db=%-12v", r.MatchDur.Round(time.Microsecond), r.DBDur.Round(time.Microsecond))
 	}

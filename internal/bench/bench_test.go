@@ -163,6 +163,24 @@ func TestShardingComparison(t *testing.T) {
 	}
 }
 
+func TestBatchingComparison(t *testing.T) {
+	env := testEnv(t)
+	rows, err := env.BatchingComparison([]int{200}, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	// BatchingComparison itself errors if the answered counts diverge.
+	if rows[0].Answered == 0 {
+		t.Fatalf("single-submit row never coordinated: %v", rows[0])
+	}
+	if rows[0].Pending != rows[1].Pending {
+		t.Fatalf("pending differ: %v vs %v", rows[0], rows[1])
+	}
+}
+
 func TestPrintSeries(t *testing.T) {
 	var buf bytes.Buffer
 	PrintSeries(&buf, "demo", []Row{{Label: "x", N: 5, Elapsed: 1000}})

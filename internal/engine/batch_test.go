@@ -1,0 +1,148 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"entangle/internal/ir"
+)
+
+// TestSubmitBatchAmortisation is the acceptance check for the batch fast
+// path: a whole batch takes exactly one router pass and at most one shard
+// lock acquisition per touched shard, while the same workload submitted one
+// query at a time pays one of each per query.
+func TestSubmitBatchAmortisation(t *testing.T) {
+	const shards, pairs = 4, 50
+	mkQueries := func() []*ir.Query {
+		var qs []*ir.Query
+		for p := 0; p < pairs; p++ {
+			rel := fmt.Sprintf("Rel%d", p)
+			qs = append(qs,
+				ir.MustParse(0, fmt.Sprintf("{%s(B, x)} %s(A, x) :- F(x, Paris)", rel, rel)),
+				ir.MustParse(0, fmt.Sprintf("{%s(A, y)} %s(B, y) :- F(y, Paris)", rel, rel)))
+		}
+		return qs
+	}
+
+	batched := New(flightsDB(t), Config{Mode: Incremental, Shards: shards})
+	defer batched.Close()
+	handles, err := batched.SubmitBatch(mkQueries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(handles) != 2*pairs {
+		t.Fatalf("%d handles", len(handles))
+	}
+	for i, h := range handles {
+		if r := mustResult(t, h); r.Status != StatusAnswered {
+			t.Fatalf("batch member %d: %v (%s)", i, r.Status, r.Detail)
+		}
+	}
+	st := batched.Stats()
+	if st.RouterPasses != 1 {
+		t.Fatalf("batch took %d router passes, want 1", st.RouterPasses)
+	}
+	if st.SubmitLocks > shards {
+		t.Fatalf("batch took %d submit lock acquisitions for %d shards", st.SubmitLocks, shards)
+	}
+	touched := 0
+	for _, sh := range st.PerShard {
+		if sh.Submitted > 0 {
+			touched++
+		}
+	}
+	if st.SubmitLocks != touched {
+		t.Fatalf("batch locked %d shards but touched %d", st.SubmitLocks, touched)
+	}
+
+	single := New(flightsDB(t), Config{Mode: Incremental, Shards: shards})
+	defer single.Close()
+	var singleHandles []*Handle
+	for _, q := range mkQueries() {
+		h, err := single.Submit(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		singleHandles = append(singleHandles, h)
+	}
+	for _, h := range singleHandles {
+		if r := mustResult(t, h); r.Status != StatusAnswered {
+			t.Fatalf("single: %v", r.Status)
+		}
+	}
+	sst := single.Stats()
+	if sst.RouterPasses != 2*pairs || sst.SubmitLocks != 2*pairs {
+		t.Fatalf("singles: %d passes / %d locks for %d queries", sst.RouterPasses, sst.SubmitLocks, 2*pairs)
+	}
+	if sst.Answered != st.Answered {
+		t.Fatalf("answered differ: batch %d vs single %d", st.Answered, sst.Answered)
+	}
+}
+
+// TestSubmitBatchAssignsIDsInOrder pins the ID/handle contract: handles come
+// back in input order with ascending engine-assigned IDs, so callers can
+// correlate batch members with their submissions.
+func TestSubmitBatchAssignsIDsInOrder(t *testing.T) {
+	e := New(flightsDB(t), Config{Mode: SetAtATime, Shards: 4})
+	defer e.Close()
+	var qs []*ir.Query
+	for i := 0; i < 10; i++ {
+		qs = append(qs, ir.MustParse(0, fmt.Sprintf("{X%d(B, x)} X%d(A, x) :- F(x, Paris)", i, i)))
+	}
+	handles, err := e.SubmitBatch(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(handles); i++ {
+		if handles[i].ID <= handles[i-1].ID {
+			t.Fatalf("IDs not ascending: %v then %v", handles[i-1].ID, handles[i].ID)
+		}
+	}
+}
+
+// TestSubmitBatchMergesFamilies submits a batch whose last query bridges
+// relation families that already hold pending members on different shards;
+// the batch's own router pass must trigger the migration and the merged
+// component must still coordinate.
+func TestSubmitBatchMergesFamilies(t *testing.T) {
+	e := New(flightsDB(t), Config{Mode: Incremental, Shards: 8})
+	defer e.Close()
+	// Two pending loners on (very likely) different shards.
+	h1, err := e.Submit(ir.MustParse(0, "{Right(K, x)} Left(J, x) :- F(x, Paris)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The batch: a partner for the Left head plus an unrelated pair. The
+	// bridge query's signature {Left, Right} merges both families.
+	handles, err := e.SubmitBatch([]*ir.Query{
+		ir.MustParse(0, "{Left(J, y)} Right(K, y) :- F(y, Paris)"),
+		ir.MustParse(0, "{Other(B, z)} Other(A, z) :- F(z, Paris)"),
+		ir.MustParse(0, "{Other(A, w)} Other(B, w) :- F(w, Paris)"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := mustResult(t, h1); r.Status != StatusAnswered {
+		t.Fatalf("bridged loner: %v (%s)", r.Status, r.Detail)
+	}
+	for i, h := range handles {
+		if r := mustResult(t, h); r.Status != StatusAnswered {
+			t.Fatalf("batch member %d: %v (%s)", i, r.Status, r.Detail)
+		}
+	}
+}
+
+// TestSubmitBatchValidation: an invalid query fails the whole engine-level
+// batch before anything is admitted (per-query recovery is the server
+// protocol's job).
+func TestSubmitBatchValidation(t *testing.T) {
+	e := New(flightsDB(t), Config{Shards: 2})
+	defer e.Close()
+	bad := &ir.Query{} // no heads
+	if _, err := e.SubmitBatch([]*ir.Query{ir.MustParse(0, "{R(B, x)} R(A, x) :- F(x, Paris)"), bad}); err == nil {
+		t.Fatal("invalid batch member must fail the batch")
+	}
+	if st := e.Stats(); st.Submitted != 0 {
+		t.Fatalf("failed batch admitted queries: %+v", st)
+	}
+}

@@ -125,6 +125,29 @@ func BenchmarkSubmitSocialSingleLock(b *testing.B) { benchmarkSubmitSocial(b, 1)
 // BenchmarkSubmitSocialSharded8 is the same workload on eight shards.
 func BenchmarkSubmitSocialSharded8(b *testing.B) { benchmarkSubmitSocial(b, 8) }
 
+// BenchmarkSubmitSocialBatch64 submits the same social workload through the
+// batched fast path in chunks of 64: one router pass and one lock
+// acquisition per touched shard per chunk, instead of one of each per
+// query. Compare per-op time against BenchmarkSubmitSocialSharded8.
+func BenchmarkSubmitSocialBatch64(b *testing.B) {
+	socialEnv(b)
+	qs := socialPairQueries(b.N)
+	e := New(socialDB, Config{Mode: Incremental, Shards: 8})
+	defer e.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	const batch = 64
+	for i := 0; i < len(qs); i += batch {
+		end := i + batch
+		if end > len(qs) {
+			end = len(qs)
+		}
+		if _, err := e.SubmitBatch(qs[i:end]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // benchmarkFlushSocial measures a set-at-a-time flush round over a resident
 // pending set that never matches (each query waits for a partner that is
 // absent), the steady-state cost of scanning partitions per Section 4.1.2.

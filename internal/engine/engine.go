@@ -41,6 +41,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -171,12 +172,12 @@ type Config struct {
 	Match match.Options
 	// AnswerSchemas forwards declared ANSWER relation layouts to SubmitSQL.
 	AnswerSchemas map[string][]string
-	// HistorySize retains the last N lifecycle events (submissions,
-	// answers, rejections, staleness, flushes) for debugging; 0 disables
-	// the audit trail. The trail is one globally ordered ring shared by
-	// all shards, so enabling it serialises event recording on a single
-	// history lock — a deliberate debugging trade-off (0, the default,
-	// records nothing and takes no lock).
+	// HistorySize retains the last N lifecycle events PER SHARD
+	// (submissions, answers, rejections, staleness, flushes) for
+	// debugging and operations; 0 disables the audit trail. Each shard
+	// records into its own ring under the shard lock it already holds, so
+	// an always-on trail adds no cross-shard contention; History() merges
+	// the rings by timestamp at read time.
 	HistorySize int
 }
 
@@ -200,6 +201,19 @@ type Stats struct {
 	Pending        int
 	Flushes        int
 	Evaluations    int // combined queries sent to the database
+
+	// RouterPasses counts routing passes on the submission path: one per
+	// Submit retry loop iteration and one per SubmitBatch round, however
+	// many queries the round resolves. SubmitLocks counts shard lock
+	// acquisitions on the submission path: one per Submit iteration, one
+	// per touched shard per SubmitBatch round. Both are engine-level (zero
+	// in PerShard, excluded from aggregation) and exist to make the batch
+	// fast path's amortisation observable: a batch of N queries costs 1
+	// router pass and ≤ min(N, Shards) submit locks instead of N of each.
+	RouterPasses int
+	SubmitLocks  int
+	// FamiliesRetired counts relation families reclaimed by GC sweeps.
+	FamiliesRetired int
 
 	PerShard []Stats `json:"PerShard,omitempty"`
 }
@@ -232,9 +246,10 @@ type pendingQuery struct {
 // are routed to shards that lock independently (see the package comment).
 //
 // Lock order: lifeMu (read for operations, write for Close) → shard mutexes
-// in ascending index order → router/history mutexes. The router's own lock
-// is also taken without shard locks held during routing; it never acquires
-// shard locks itself, so the order stays acyclic.
+// in ascending index order → router mutex. The router's own lock is also
+// taken without shard locks held during routing; it never acquires shard
+// locks itself, so the order stays acyclic. Shard-local history rings are
+// guarded by their shard's mutex — there is no separate history lock.
 type Engine struct {
 	db  *memdb.DB
 	cfg Config
@@ -243,6 +258,13 @@ type Engine struct {
 	router      *router
 	nextID      atomic.Int64
 	flushRounds atomic.Int64 // engine-level flush rounds (see Stats.Flushes)
+	// Submission-path amortisation counters (see Stats.RouterPasses).
+	routerPasses    atomic.Int64
+	submitLocks     atomic.Int64
+	familiesRetired atomic.Int64
+	// eventSeq stamps audit events with a total order, so History can merge
+	// the per-shard rings deterministically even at equal timestamps.
+	eventSeq atomic.Uint64
 	// evalSem caps concurrent component evaluations across all flushing
 	// shards at Parallelism (or GOMAXPROCS). A shared semaphore rather
 	// than a per-shard split: a skewed workload concentrated on one shard
@@ -258,9 +280,6 @@ type Engine struct {
 
 	lifeMu sync.RWMutex // held read by operations, write by Close
 	closed bool         // guarded by lifeMu
-
-	histMu sync.Mutex
-	hist   *history
 
 	now func() time.Time
 }
@@ -278,7 +297,6 @@ func New(db *memdb.DB, cfg Config) *Engine {
 		db:      db,
 		cfg:     cfg,
 		router:  newRouter(cfg.Shards),
-		hist:    newHistory(cfg.HistorySize),
 		evalSem: make(chan struct{}, budget),
 		now:     time.Now,
 	}
@@ -321,6 +339,9 @@ func (e *Engine) Stats() Stats {
 			continue // a migration interleaved; re-snapshot (merges are rare and finite)
 		}
 		agg.Flushes = int(e.flushRounds.Load())
+		agg.RouterPasses = int(e.routerPasses.Load())
+		agg.SubmitLocks = int(e.submitLocks.Load())
+		agg.FamiliesRetired = int(e.familiesRetired.Load())
 		return agg
 	}
 }
@@ -344,12 +365,14 @@ func (e *Engine) Submit(q *ir.Query) (*Handle, error) {
 	rels := coordRels(cp)
 
 	for {
+		e.routerPasses.Add(1)
 		target, root, needsMigration, gen := e.router.route(rels)
 		if needsMigration {
 			e.migrateFamily(root)
 		}
 		s := e.shards[target]
 		s.mu.Lock()
+		e.submitLocks.Add(1)
 		// A concurrent family merge may have re-homed our signature between
 		// routing and locking; re-validate and retry if so. One atomic load
 		// suffices: an unchanged generation means no family anywhere
@@ -453,17 +476,131 @@ func (e *Engine) migrateFamily(root string) {
 	}
 }
 
-// SubmitSQL parses an entangled-SQL statement against the engine's database
-// schema and submits it. Extension constructs require cfg.AnswerSchemas for
-// aggregation column resolution and are rejected here (use internal/ext).
-func (e *Engine) SubmitSQL(src string) (*Handle, error) {
+// SubmitBatch enqueues many queries at once, amortising the routing and
+// locking cost that dominates bulk loads: every round resolves ALL remaining
+// queries with one router pass (a single router mutex acquisition, however
+// large the batch) and then admits each group of same-shard queries under
+// ONE shard lock acquisition, in ascending shard order. Queries are admitted
+// in batch order within each shard, so a batch is observationally equivalent
+// to submitting its queries one at a time: the safety check sees the same
+// admission sequence, incremental evaluation fires at the same points, and
+// per-shard FlushEvery accounting is unchanged. Handles are returned in
+// input order, each delivering exactly one Result.
+//
+// A concurrent family merge can invalidate routes between the router pass
+// and a shard lock (detected by the generation check, exactly as in Submit);
+// only the not-yet-admitted remainder of the batch is re-routed, so extra
+// passes occur only under cross-submitter merge races, not in steady state.
+func (e *Engine) SubmitBatch(qs []*ir.Query) ([]*Handle, error) {
+	if len(qs) == 0 {
+		return nil, nil
+	}
+	for i, q := range qs {
+		if err := q.Validate(); err != nil {
+			return nil, fmt.Errorf("batch query %d: %w", i, err)
+		}
+	}
+	e.lifeMu.RLock()
+	defer e.lifeMu.RUnlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	n := len(qs)
+	cps := make([]*ir.Query, n)
+	renamed := make([]*ir.Query, n)
+	relss := make([][]string, n)
+	handles := make([]*Handle, n)
+	for i, q := range qs {
+		cp := q.Clone()
+		cp.ID = ir.QueryID(e.nextID.Add(1))
+		cps[i] = cp
+		renamed[i] = cp.RenameApart()
+		relss[i] = coordRels(cp)
+		handles[i] = &Handle{ID: cp.ID, ch: make(chan Result, 1)}
+	}
+	now := e.now()
+
+	remaining := make([]int, n)
+	for i := range remaining {
+		remaining[i] = i
+	}
+	for len(remaining) > 0 {
+		sigs := make([][]string, len(remaining))
+		for j, i := range remaining {
+			sigs[j] = relss[i]
+		}
+		e.routerPasses.Add(1)
+		homes, _, migrate, gen := e.router.routeBatch(sigs)
+		for _, root := range migrate {
+			e.migrateFamily(root)
+		}
+		// Group by home shard; ascending order keeps the per-batch locking
+		// sequence deterministic. Batch order is preserved within a group,
+		// which is all determinism needs: queries on different shards are in
+		// different families and cannot interact.
+		groups := make(map[int][]int, len(e.shards))
+		for j, i := range remaining {
+			groups[homes[j]] = append(groups[homes[j]], i)
+		}
+		order := make([]int, 0, len(groups))
+		for t := range groups {
+			order = append(order, t)
+		}
+		sort.Ints(order)
+		var retry []int
+		stale := false
+		for _, t := range order {
+			if stale {
+				retry = append(retry, groups[t]...)
+				continue
+			}
+			s := e.shards[t]
+			s.mu.Lock()
+			e.submitLocks.Add(1)
+			if e.router.generation() != gen {
+				// A concurrent merge re-homed some family; this group's (and
+				// all later groups') routes may be stale. Groups admitted
+				// before the bump validated their routes under their own
+				// shard locks, so they stand.
+				s.mu.Unlock()
+				stale = true
+				retry = append(retry, groups[t]...)
+				continue
+			}
+			for _, i := range groups[t] {
+				if err := s.submit(cps[i], renamed[i], relss[i], handles[i], now); err != nil {
+					s.mu.Unlock()
+					return nil, err // unreachable: IDs are fresh and Check precedes Admit
+				}
+			}
+			s.mu.Unlock()
+		}
+		remaining = retry
+	}
+	return handles, nil
+}
+
+// ParseSQL translates an entangled-SQL statement against the engine's
+// database schema and configured ANSWER schemas, without submitting it.
+func (e *Engine) ParseSQL(src string) (*ir.Query, error) {
 	tr, err := eqsql.Parse(0, src, eqsql.DBSchema{DB: e.db}, eqsql.Options{
 		AnswerSchemas: e.cfg.AnswerSchemas,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return e.Submit(tr.Query)
+	return tr.Query, nil
+}
+
+// SubmitSQL parses an entangled-SQL statement against the engine's database
+// schema and submits it. Extension constructs require cfg.AnswerSchemas for
+// aggregation column resolution and are rejected here (use internal/ext).
+func (e *Engine) SubmitSQL(src string) (*Handle, error) {
+	q, err := e.ParseSQL(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.Submit(q)
 }
 
 // Flush runs a set-at-a-time evaluation round over every shard's pending
@@ -515,10 +652,10 @@ func (e *Engine) ExpireStale() int {
 	return total
 }
 
-// Run services the engine in the background until stop is closed: it
-// flushes every flushInterval (SetAtATime) and expires stale queries every
-// staleness bound. Intended to be started as a goroutine.
-func (e *Engine) Run(stop <-chan struct{}, flushInterval time.Duration) {
+// Run services the engine until the context is cancelled: every
+// flushInterval tick it flushes (SetAtATime), expires stale queries, and
+// sweeps retired relation families. Intended to be started as a goroutine.
+func (e *Engine) Run(ctx context.Context, flushInterval time.Duration) {
 	if flushInterval <= 0 {
 		flushInterval = 100 * time.Millisecond
 	}
@@ -526,15 +663,59 @@ func (e *Engine) Run(stop <-chan struct{}, flushInterval time.Duration) {
 	defer t.Stop()
 	for {
 		select {
-		case <-stop:
+		case <-ctx.Done():
 			return
 		case <-t.C:
 			if e.cfg.Mode == SetAtATime {
 				e.Flush()
 			}
 			e.ExpireStale()
+			e.GCFamilies()
 		}
 	}
+}
+
+// GCFamilies retires relation families with no pending members and no
+// migration in flight, reclaiming the state a long-lived engine would
+// otherwise accrete for every ANSWER relation it ever saw: the union-find
+// entries and route-cache slots in the router, and the per-relation key maps
+// of the home shard's atom indexes (graph head/postcondition indexes and the
+// safety checker's), all removed in the same sweep. Returns how many
+// families were retired. A family whose relations reappear later is simply
+// re-created by routing, with the same deterministic min-hash home.
+func (e *Engine) GCFamilies() int {
+	e.lifeMu.RLock()
+	defer e.lifeMu.RUnlock()
+	if e.closed {
+		return 0
+	}
+	retired := 0
+	for _, root := range e.router.gcCandidates() {
+		home := e.router.currentHome(root)
+		if home < 0 {
+			continue // already gone (concurrent sweep or merge)
+		}
+		s := e.shards[home]
+		// Home shard lock first (lock order: shard → router), so no admission
+		// into this family can interleave between the eligibility re-check
+		// and the index sweep: a concurrent Submit either admits before
+		// retireFamily (pending > 0 fails the check) or routes afresh after
+		// the generation bump and re-creates the family.
+		s.mu.Lock()
+		members, ok := e.router.retireFamily(root, home)
+		if ok {
+			for _, rel := range members {
+				s.g.DropRelation(rel)
+				s.checker.DropRelation(rel)
+			}
+			retired++
+		}
+		s.mu.Unlock()
+	}
+	if retired > 0 {
+		e.familiesRetired.Add(int64(retired))
+	}
+	return retired
 }
 
 // Close fails all pending queries as stale and rejects future submissions.

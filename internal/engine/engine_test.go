@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -190,9 +191,9 @@ func TestStalenessUnblocksComponent(t *testing.T) {
 
 func TestRunBackgroundLoop(t *testing.T) {
 	e := New(flightsDB(t), Config{Mode: SetAtATime, StaleAfter: 30 * time.Millisecond})
-	stop := make(chan struct{})
-	go e.Run(stop, 10*time.Millisecond)
-	defer close(stop)
+	ctx, cancel := context.WithCancel(context.Background())
+	go e.Run(ctx, 10*time.Millisecond)
+	defer cancel()
 	h1, _ := e.Submit(ir.MustParse(0, "{R(Jerry, x)} R(Kramer, x) :- F(x, Paris)"))
 	h2, _ := e.Submit(ir.MustParse(0, "{R(Kramer, y)} R(Jerry, y) :- F(y, Paris)"))
 	if r := mustResult(t, h1); r.Status != StatusAnswered {

@@ -1,0 +1,124 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"entangle/internal/ir"
+)
+
+// TestFamilyGCBoundsRouterGrowth is the ROADMAP's family-GC scenario: a
+// long-lived engine seeing a fresh ANSWER relation name per coordinating
+// group must not grow the router's union-find, the route cache, or the
+// shard-local atom-index key maps without bound. Retired families (empty
+// residence, no pending members) are swept; live pending families survive.
+func TestFamilyGCBoundsRouterGrowth(t *testing.T) {
+	e := New(flightsDB(t), Config{Mode: Incremental, Shards: 4})
+	defer e.Close()
+
+	const waves, perWave = 8, 25
+	for w := 0; w < waves; w++ {
+		for p := 0; p < perWave; p++ {
+			rel := fmt.Sprintf("Wave%dGroup%d", w, p)
+			h1, err := e.Submit(ir.MustParse(0, fmt.Sprintf("{%s(B, x)} %s(A, x) :- F(x, Paris)", rel, rel)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			h2, err := e.Submit(ir.MustParse(0, fmt.Sprintf("{%s(A, y)} %s(B, y) :- F(y, Paris)", rel, rel)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r := mustResult(t, h1); r.Status != StatusAnswered {
+				t.Fatalf("wave %d group %d: %v", w, p, r.Status)
+			}
+			mustResult(t, h2)
+		}
+		// End of wave: everything retired, so GC must reclaim every family.
+		if got := e.GCFamilies(); got != perWave {
+			t.Fatalf("wave %d: GC retired %d families, want %d", w, got, perWave)
+		}
+		fams, rels := e.router.size()
+		if fams != 0 || rels != 0 {
+			t.Fatalf("wave %d: router still tracks %d families / %d relations after GC", w, fams, rels)
+		}
+	}
+	// Index key maps across shards must be bounded by the substrate schema,
+	// not by waves × groups of dead ANSWER relations.
+	for i, s := range e.shards {
+		s.mu.Lock()
+		keys := s.g.IndexKeyCount() + s.checker.IndexKeyCount()
+		s.mu.Unlock()
+		if keys > 0 {
+			t.Fatalf("shard %d: %d atom-index keys survive GC with nothing pending", i, keys)
+		}
+	}
+	if st := e.Stats(); st.FamiliesRetired != waves*perWave {
+		t.Fatalf("FamiliesRetired = %d, want %d", st.FamiliesRetired, waves*perWave)
+	}
+
+	// A relation reappearing after GC routes deterministically to the same
+	// home it had before retirement.
+	homeBefore := relHash("Wave0Group0") % 4
+	h1, _ := e.Submit(ir.MustParse(0, "{Wave0Group0(B, x)} Wave0Group0(A, x) :- F(x, Paris)"))
+	if got := e.router.currentHome("Wave0Group0"); got != int(homeBefore) {
+		t.Fatalf("re-created family homed on %d, want %d", got, homeBefore)
+	}
+	h2, _ := e.Submit(ir.MustParse(0, "{Wave0Group0(A, y)} Wave0Group0(B, y) :- F(y, Paris)"))
+	if r := mustResult(t, h1); r.Status != StatusAnswered {
+		t.Fatalf("post-GC resubmission: %v", r.Status)
+	}
+	mustResult(t, h2)
+}
+
+// TestFamilyGCSparesPending: a family with a pending member must survive
+// sweeps, keep its atom-index entries, and still coordinate afterwards.
+func TestFamilyGCSparesPending(t *testing.T) {
+	e := New(flightsDB(t), Config{Mode: Incremental, Shards: 4})
+	defer e.Close()
+	h1, err := e.Submit(ir.MustParse(0, "{Keep(B, x)} Keep(A, x) :- F(x, Paris)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.GCFamilies(); got != 0 {
+		t.Fatalf("GC retired %d families with a member pending", got)
+	}
+	if fams, _ := e.router.size(); fams != 1 {
+		t.Fatalf("router families = %d", fams)
+	}
+	h2, err := e.Submit(ir.MustParse(0, "{Keep(A, y)} Keep(B, y) :- F(y, Paris)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := mustResult(t, h1); r.Status != StatusAnswered {
+		t.Fatalf("pending query lost to GC: %v", r.Status)
+	}
+	mustResult(t, h2)
+	if got := e.GCFamilies(); got != 1 {
+		t.Fatalf("GC retired %d families after retirement, want 1", got)
+	}
+}
+
+// TestRunSweepsFamilies: the background loop GCs without explicit calls.
+func TestRunSweepsFamilies(t *testing.T) {
+	e := New(flightsDB(t), Config{Mode: Incremental, Shards: 2})
+	defer e.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go e.Run(ctx, 5*time.Millisecond)
+	h1, _ := e.Submit(ir.MustParse(0, "{Sweep(B, x)} Sweep(A, x) :- F(x, Paris)"))
+	h2, _ := e.Submit(ir.MustParse(0, "{Sweep(A, y)} Sweep(B, y) :- F(y, Paris)"))
+	mustResult(t, h1)
+	mustResult(t, h2)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if fams, _ := e.router.size(); fams == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("Run never swept the retired family")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"entangle/internal/ir"
@@ -25,6 +26,7 @@ const (
 // "what happened to my query, and when?"
 type Event struct {
 	Time    time.Time
+	Seq     uint64 // engine-wide recording order; breaks equal-timestamp ties
 	Kind    EventKind
 	QueryID ir.QueryID // zero for engine-level events such as flushes
 	Detail  string
@@ -80,24 +82,34 @@ func (h *history) snapshot() []Event {
 
 // History returns the retained audit events, oldest first, and the total
 // number of events ever recorded (which exceeds the slice length once the
-// ring has wrapped). Returns nil when Config.HistorySize is 0. The trail is
-// engine-global: shards interleave their events into one ring under a
-// dedicated history lock.
+// rings have wrapped). Returns nil when Config.HistorySize is 0.
+//
+// The trail is sharded like everything else: each shard records into its own
+// ring of capacity Config.HistorySize under the shard lock it already holds
+// — recording takes no additional lock and shards never contend on a shared
+// history mutex. History merges the per-shard rings by timestamp at read
+// time, with the engine-wide sequence number breaking equal-timestamp ties,
+// so the merged view is a consistent total order of what each shard
+// retained. Retention is per shard: an engine keeps up to Shards ×
+// HistorySize events, each shard independently retaining its latest
+// HistorySize.
 func (e *Engine) History() ([]Event, int) {
-	e.histMu.Lock()
-	defer e.histMu.Unlock()
-	if e.hist == nil {
+	if e.cfg.HistorySize <= 0 {
 		return nil, 0
 	}
-	return e.hist.snapshot(), e.hist.total
-}
-
-// record appends to the audit trail; safe to call from any shard.
-func (e *Engine) record(kind EventKind, id ir.QueryID, detail string) {
-	if e.hist == nil {
-		return
+	total := 0
+	var merged []Event
+	for _, s := range e.shards {
+		s.mu.Lock()
+		merged = append(merged, s.hist.snapshot()...)
+		total += s.hist.total
+		s.mu.Unlock()
 	}
-	e.histMu.Lock()
-	defer e.histMu.Unlock()
-	e.hist.record(Event{Time: e.now(), Kind: kind, QueryID: id, Detail: detail})
+	sort.Slice(merged, func(i, j int) bool {
+		if !merged[i].Time.Equal(merged[j].Time) {
+			return merged[i].Time.Before(merged[j].Time)
+		}
+		return merged[i].Seq < merged[j].Seq
+	})
+	return merged, total
 }

@@ -45,6 +45,8 @@ type family struct {
 	minHash  uint32       // minimum relHash over member relations
 	home     int          // current home shard: minHash mod nshards
 	resident map[int]bool // shards that may still hold pending members
+	members  []string     // every relation name in the family (for GC)
+	pending  int          // live pending queries routed to this family
 }
 
 // router assigns coordination-relation families to shards.
@@ -131,7 +133,53 @@ func (r *router) route(rels []string) (home int, root string, needsMigration boo
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	merged := r.unionSigLocked(rels)
+	fam := r.fams[merged]
+	needsMigration = len(fam.resident) > 1
+	gen = r.gen.Load()
+	if len(rels) == 1 && !needsMigration {
+		r.cache.Store(rels[0], cachedRoute{home: fam.home, gen: gen})
+	}
+	return fam.home, merged, needsMigration, gen
+}
 
+// routeBatch resolves many coordination signatures in ONE router pass under
+// a single mutex acquisition: first every signature's relations are unioned
+// (performing any family merges exactly once), then — with all merges done —
+// each signature's final home is read off its family. Resolving homes only
+// after all unions matters: an early signature's family can be absorbed and
+// re-homed by a later signature in the same batch, and a per-signature home
+// taken mid-pass would be stale with no generation bump left to expose it.
+// Returns the per-signature homes and roots, the distinct family roots that
+// still need migration draining, and the generation to re-validate against
+// after locking each target shard.
+func (r *router) routeBatch(sigs [][]string) (homes []int, roots []string, migrate []string, gen uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, rels := range sigs {
+		r.unionSigLocked(rels)
+	}
+	homes = make([]int, len(sigs))
+	roots = make([]string, len(sigs))
+	migSeen := make(map[string]bool)
+	for i, rels := range sigs {
+		root := r.find(rels[0])
+		fam := r.fams[root]
+		homes[i] = fam.home
+		roots[i] = root
+		if len(fam.resident) > 1 && !migSeen[root] {
+			migSeen[root] = true
+			migrate = append(migrate, root)
+		}
+	}
+	gen = r.gen.Load()
+	return homes, roots, migrate, gen
+}
+
+// unionSigLocked merges the relations of one coordination signature into a
+// single family (creating it if fresh), re-homing on merges, and returns the
+// family root. Caller holds r.mu.
+func (r *router) unionSigLocked(rels []string) string {
 	// Distinct family roots among the signature's relations.
 	roots := make([]string, 0, len(rels))
 	seen := make(map[string]bool, len(rels))
@@ -152,7 +200,7 @@ func (r *router) route(rels []string) (home int, root string, needsMigration boo
 	}
 	if fam == nil {
 		r.parent[merged] = merged
-		fam = &family{minHash: relHash(merged), resident: make(map[int]bool)}
+		fam = &family{minHash: relHash(merged), resident: make(map[int]bool), members: []string{merged}}
 		r.fams[merged] = fam
 	}
 	var absorbedHomes []int
@@ -164,6 +212,7 @@ func (r *router) route(rels []string) (home int, root string, needsMigration boo
 			if h := relHash(rt); h < fam.minHash {
 				fam.minHash = h
 			}
+			fam.members = append(fam.members, rt)
 			continue
 		}
 		if other.minHash < fam.minHash {
@@ -172,6 +221,8 @@ func (r *router) route(rels []string) (home int, root string, needsMigration boo
 		for sh := range other.resident {
 			fam.resident[sh] = true
 		}
+		fam.members = append(fam.members, other.members...)
+		fam.pending += other.pending
 		absorbedHomes = append(absorbedHomes, other.home)
 		delete(r.fams, rt)
 	}
@@ -189,12 +240,7 @@ func (r *router) route(rels []string) (home int, root string, needsMigration boo
 		r.gen.Add(1)
 	}
 	fam.resident[fam.home] = true
-	needsMigration = len(fam.resident) > 1
-	gen = r.gen.Load()
-	if len(rels) == 1 && !needsMigration {
-		r.cache.Store(rels[0], cachedRoute{home: fam.home, gen: gen})
-	}
-	return fam.home, merged, needsMigration, gen
+	return merged
 }
 
 // generation returns the current home-assignment generation with a single
@@ -243,6 +289,70 @@ func (r *router) clearResidence(root string, from, expectHome int) {
 	if fam != nil && fam.home == expectHome && from != fam.home {
 		delete(fam.resident, from)
 	}
+}
+
+// addPending adjusts the live-pending-member count of the family containing
+// rel. The shard owning the query calls this on admission (+1) and on every
+// retirement path (-1); a zero count marks the family as a GC candidate.
+// Safe to call with a shard lock held (router.mu is a leaf lock).
+func (r *router) addPending(rel string, delta int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if fam := r.fams[r.find(rel)]; fam != nil {
+		fam.pending += delta
+	}
+}
+
+// gcCandidates returns the roots of families eligible for retirement: no
+// pending members anywhere and no migration in flight (residence collapsed
+// to at most the home shard). Eligibility is re-verified under the home
+// shard's lock by retireFamily before anything is deleted.
+func (r *router) gcCandidates() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []string
+	for root, fam := range r.fams {
+		if fam.pending == 0 && len(fam.resident) <= 1 {
+			out = append(out, root)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// retireFamily deletes the family rooted at root if it is still GC-eligible
+// and still homed on expectHome, removing its union-find entries and route
+// cache entries and bumping the generation so concurrent submitters holding
+// a route into the dead family re-route (and re-create it fresh). Returns
+// the member relations for the caller to sweep out of the home shard's
+// atom indexes; the caller must hold the home shard's lock so no admission
+// can interleave between this check and the index sweep.
+func (r *router) retireFamily(root string, expectHome int) (members []string, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rt := r.find(root)
+	fam := r.fams[rt]
+	if fam == nil || fam.pending != 0 || fam.home != expectHome {
+		return nil, false
+	}
+	if len(fam.resident) > 1 {
+		return nil, false
+	}
+	for _, rel := range fam.members {
+		delete(r.parent, rel)
+		r.cache.Delete(rel)
+	}
+	delete(r.fams, rt)
+	r.gen.Add(1)
+	return fam.members, true
+}
+
+// size returns the number of live families and tracked relations — the
+// state family GC is meant to bound.
+func (r *router) size() (families, relations int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.fams), len(r.parent)
 }
 
 // inFamily reports, for each given relation, whether it belongs to the

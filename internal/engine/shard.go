@@ -27,7 +27,8 @@ type shard struct {
 	pending map[ir.QueryID]*pendingQuery
 	rnd     *rand.Rand
 	stats   Stats
-	sinceFl int // submissions since last flush (SetAtATime)
+	sinceFl int      // submissions since last flush (SetAtATime)
+	hist    *history // this shard's slice of the audit trail (nil if disabled)
 }
 
 func newShard(idx int, e *Engine) *shard {
@@ -50,7 +51,20 @@ func newShard(idx int, e *Engine) *shard {
 		checker: match.NewSafetyChecker(),
 		pending: make(map[ir.QueryID]*pendingQuery),
 		rnd:     rnd,
+		hist:    newHistory(e.cfg.HistorySize),
 	}
+}
+
+// record appends to this shard's slice of the audit trail. The ring is
+// guarded by the shard lock the caller already holds — no extra lock is
+// taken, unlike the old engine-global ring that serialised all shards on
+// one history mutex. The engine-wide sequence number gives events a total
+// order for the timestamp merge in Engine.History.
+func (s *shard) record(kind EventKind, id ir.QueryID, detail string) {
+	if s.hist == nil {
+		return
+	}
+	s.hist.record(Event{Time: s.eng.now(), Seq: s.eng.eventSeq.Add(1), Kind: kind, QueryID: id, Detail: detail})
 }
 
 // submit admits one arrival. cp and renamed carry the engine-assigned ID;
@@ -58,7 +72,7 @@ func newShard(idx int, e *Engine) *shard {
 // incremental coordination) or later (flush, staleness, close).
 func (s *shard) submit(cp, renamed *ir.Query, rels []string, h *Handle, now time.Time) error {
 	s.stats.Submitted++
-	s.eng.record(EventSubmitted, cp.ID, cp.Owner)
+	s.record(EventSubmitted, cp.ID, cp.Owner)
 
 	// Admission safety check (Sections 3.1.1, 5.3.5): reject arrivals that
 	// would make the pending workload unsafe. Safety is a property of
@@ -66,7 +80,7 @@ func (s *shard) submit(cp, renamed *ir.Query, rels []string, h *Handle, now time
 	// shard, so the shard-local check is equivalent to a global one.
 	if err := s.checker.Check(renamed); err != nil {
 		s.stats.RejectedUnsafe++
-		s.eng.record(EventUnsafe, cp.ID, err.Error())
+		s.record(EventUnsafe, cp.ID, err.Error())
 		h.ch <- Result{QueryID: cp.ID, Status: StatusUnsafe, Detail: err.Error()}
 		return nil
 	}
@@ -78,6 +92,10 @@ func (s *shard) submit(cp, renamed *ir.Query, rels []string, h *Handle, now time
 		return err
 	}
 	s.pending[cp.ID] = &pendingQuery{orig: cp, renamed: renamed, rels: rels, handle: h, submitted: now}
+	// All of a query's signature relations are in one family (its own
+	// routing merged them), so the first relation identifies it for the
+	// family's pending-member count (which gates family GC).
+	s.eng.router.addPending(rels[0], 1)
 
 	switch s.eng.cfg.Mode {
 	case Incremental:
@@ -138,8 +156,8 @@ func (s *shard) evict(id ir.QueryID) *pendingQuery {
 func (s *shard) flush() {
 	s.stats.Flushes++
 	s.sinceFl = 0
-	if s.eng.hist != nil {
-		s.eng.record(EventFlush, 0, fmt.Sprintf("shard %d: %d pending", s.idx, len(s.pending)))
+	if s.hist != nil {
+		s.record(EventFlush, 0, fmt.Sprintf("shard %d: %d pending", s.idx, len(s.pending)))
 	}
 	comps := s.g.ConnectedComponents()
 
@@ -260,8 +278,8 @@ func (s *shard) deliver(answers []ir.Answer, rejected []match.Removal) {
 		}
 		s.stats.Answered++
 		ans := a
-		if s.eng.hist != nil { // don't format tuples the nil trail discards
-			s.eng.record(EventAnswered, a.QueryID, ir.FormatAtoms(a.Tuples))
+		if s.hist != nil { // don't format tuples the nil trail discards
+			s.record(EventAnswered, a.QueryID, ir.FormatAtoms(a.Tuples))
 		}
 		p.handle.ch <- Result{QueryID: a.QueryID, Status: StatusAnswered, Answer: &ans}
 		s.retire(a.QueryID)
@@ -272,13 +290,16 @@ func (s *shard) deliver(answers []ir.Answer, rejected []match.Removal) {
 			continue
 		}
 		s.stats.Rejected++
-		s.eng.record(EventRejected, r.Query, r.Cause.String())
+		s.record(EventRejected, r.Query, r.Cause.String())
 		p.handle.ch <- Result{QueryID: r.Query, Status: StatusRejected, Detail: r.Cause.String()}
 		s.retire(r.Query)
 	}
 }
 
 func (s *shard) retire(id ir.QueryID) {
+	if p := s.pending[id]; p != nil {
+		s.eng.router.addPending(p.rels[0], -1)
+	}
 	delete(s.pending, id)
 	s.g.RemoveQuery(id)
 	s.checker.Remove(id)
@@ -298,7 +319,7 @@ func (s *shard) expireStale(cutoff time.Time) int {
 	for _, id := range stale {
 		p := s.pending[id]
 		s.stats.ExpiredStale++
-		s.eng.record(EventStale, id, "staleness bound exceeded")
+		s.record(EventStale, id, "staleness bound exceeded")
 		p.handle.ch <- Result{QueryID: id, Status: StatusStale, Detail: "no coordination partners arrived within the staleness bound"}
 		s.retire(id)
 	}
@@ -320,8 +341,9 @@ func (s *shard) close() {
 	defer s.mu.Unlock()
 	for id, p := range s.pending {
 		s.stats.ExpiredStale++
-		s.eng.record(EventStale, id, "engine closed")
+		s.record(EventStale, id, "engine closed")
 		p.handle.ch <- Result{QueryID: id, Status: StatusStale, Detail: "engine closed"}
+		s.eng.router.addPending(p.rels[0], -1)
 	}
 	s.pending = make(map[ir.QueryID]*pendingQuery)
 }

@@ -18,6 +18,8 @@ import (
 	"strings"
 	"unicode"
 	"unicode/utf8"
+
+	"entangle/internal/ir"
 )
 
 // tokenKind enumerates lexical token categories.
@@ -71,7 +73,7 @@ func lex(src string) ([]token, error) {
 			l.pos += size
 			l.toks = append(l.toks, token{kind: tokPunct, text: string(r), pos: start})
 		default:
-			return nil, fmt.Errorf("eqsql: unexpected character %q at offset %d", r, l.pos)
+			return nil, &ir.ParseError{Offset: l.pos, Msg: fmt.Sprintf("eqsql: unexpected character %q", r)}
 		}
 	}
 }
@@ -124,7 +126,7 @@ func (l *lexer) lexString() (string, error) {
 		}
 		b.WriteRune(r)
 	}
-	return "", fmt.Errorf("eqsql: unterminated string literal")
+	return "", &ir.ParseError{Offset: l.pos, Msg: "eqsql: unterminated string literal"}
 }
 
 func isWordRune(r rune) bool {

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"entangle/internal/ir"
 )
 
 // ParseStatement parses one entangled-SQL SELECT statement.
@@ -33,7 +35,7 @@ func (p *parser) cur() token  { return p.toks[p.i] }
 func (p *parser) atEOF() bool { return p.cur().kind == tokEOF }
 
 func (p *parser) errorf(format string, args ...interface{}) error {
-	return fmt.Errorf("eqsql: %s (near offset %d)", fmt.Sprintf(format, args...), p.cur().pos)
+	return &ir.ParseError{Offset: p.cur().pos, Msg: "eqsql: " + fmt.Sprintf(format, args...)}
 }
 
 // keyword reports whether the current token is the given keyword

@@ -63,6 +63,19 @@ func NewWithOptions(useIndex bool) *Graph {
 	}
 }
 
+// DropRelation clears the atom indexes' key maps for a relation with no
+// live atoms in this graph (see Index.DropRelation). Returns false if live
+// atoms remain in either index.
+func (g *Graph) DropRelation(rel string) bool {
+	h := g.headIx.DropRelation(rel)
+	p := g.postIx.DropRelation(rel)
+	return h && p
+}
+
+// IndexKeyCount returns the combined key-map footprint of the graph's atom
+// indexes (observability for relation-family GC).
+func (g *Graph) IndexKeyCount() int { return g.headIx.KeyCount() + g.postIx.KeyCount() }
+
 // Build constructs the unifiability graph of the given queries. Queries must
 // already be renamed apart and have unique IDs.
 func Build(queries []*ir.Query) (*Graph, error) {

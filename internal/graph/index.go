@@ -97,6 +97,40 @@ func (ix *Index) RemoveQuery(q ir.QueryID) {
 	}
 }
 
+// DropRelation removes a relation's key-map entries — its byRel posting and
+// every (rel, param, value) byKey posting — provided the relation has no
+// live atoms, and reports whether it did. Tombstoned entry slots are left
+// for the next compaction (they are bounded by it); the point of this call
+// is the key maps, which compaction alone never clears while other
+// relations keep the tombstone ratio low. The engine's relation-family GC
+// invokes it so that a long-lived engine seeing unboundedly many fresh
+// ANSWER relation names does not accrete one dead map key per name.
+func (ix *Index) DropRelation(rel string) bool {
+	ids := ix.byRel[rel]
+	for _, id := range ids {
+		if !ix.dead[id] {
+			return false
+		}
+	}
+	for _, id := range ids {
+		a := ix.entries[id].Atom
+		for i, t := range a.Args {
+			v := wildcard
+			if t.IsConst() {
+				v = t.Value
+			}
+			delete(ix.byKey, indexKey(rel, i, v))
+		}
+	}
+	delete(ix.byRel, rel)
+	return true
+}
+
+// KeyCount returns the number of distinct (rel, param, value) keys plus
+// per-relation postings currently held — the map footprint relation GC is
+// meant to bound.
+func (ix *Index) KeyCount() int { return len(ix.byKey) + len(ix.byRel) }
+
 // compact rebuilds the index with only live entries.
 func (ix *Index) compact() {
 	live := make([]AtomRef, 0, ix.nLive)

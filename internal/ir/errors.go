@@ -1,0 +1,22 @@
+package ir
+
+import "fmt"
+
+// ParseError is a syntax error with the byte offset where it was detected.
+// Both the IR text parser and the entangled-SQL front end report their
+// position-bearing failures as *ParseError, wrapped in whatever context the
+// caller adds, so applications can recover the offset with errors.As.
+type ParseError struct {
+	Offset int    // byte offset into the parsed input
+	Msg    string // description without position information
+}
+
+// Error renders the message with its offset.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("%s (at offset %d)", e.Msg, e.Offset)
+}
+
+// errAt builds a positioned parse error.
+func errAt(offset int, format string, args ...interface{}) *ParseError {
+	return &ParseError{Offset: offset, Msg: fmt.Sprintf(format, args...)}
+}

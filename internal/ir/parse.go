@@ -51,7 +51,7 @@ func ParseAtom(input string) (Atom, error) {
 	}
 	p.skipSpace()
 	if !p.eof() {
-		return Atom{}, fmt.Errorf("parse atom %q: trailing input at offset %d", input, p.pos)
+		return Atom{}, fmt.Errorf("parse atom %q: %w", input, errAt(p.pos, "trailing input"))
 	}
 	return a, nil
 }
@@ -90,7 +90,7 @@ func (p *irParser) skipSpace() {
 func (p *irParser) expect(r rune) error {
 	p.skipSpace()
 	if p.eof() || p.peek() != r {
-		return fmt.Errorf("expected %q at offset %d", r, p.pos)
+		return errAt(p.pos, "expected %q", r)
 	}
 	p.next()
 	return nil
@@ -127,7 +127,7 @@ func (p *irParser) parseQuery(id QueryID) (*Query, error) {
 	}
 	p.skipSpace()
 	if !p.eof() {
-		return nil, fmt.Errorf("trailing input at offset %d", p.pos)
+		return nil, errAt(p.pos, "trailing input")
 	}
 	return q, nil
 }
@@ -219,7 +219,7 @@ func (p *irParser) parseAtom() (Atom, error) {
 func (p *irParser) parseTerm() (Term, error) {
 	p.skipSpace()
 	if p.eof() {
-		return Term{}, fmt.Errorf("expected term at offset %d", p.pos)
+		return Term{}, errAt(p.pos, "expected term")
 	}
 	if p.peek() == '\'' {
 		return p.parseQuoted()
@@ -240,7 +240,7 @@ func (p *irParser) parseQuoted() (Term, error) {
 	var b strings.Builder
 	for {
 		if p.eof() {
-			return Term{}, fmt.Errorf("unterminated quoted constant at offset %d", p.pos)
+			return Term{}, errAt(p.pos, "unterminated quoted constant")
 		}
 		r := p.next()
 		if r == '\'' {
@@ -262,7 +262,7 @@ func (p *irParser) parseIdent() (string, error) {
 		p.next()
 	}
 	if p.pos == start {
-		return "", fmt.Errorf("expected identifier at offset %d", p.pos)
+		return "", errAt(p.pos, "expected identifier")
 	}
 	return p.src[start:p.pos], nil
 }

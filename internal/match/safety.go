@@ -189,3 +189,16 @@ func (c *SafetyChecker) Remove(id ir.QueryID) {
 	c.posts.RemoveQuery(id)
 	c.n--
 }
+
+// DropRelation clears the checker indexes' key maps for a relation with no
+// live atoms (see graph.Index.DropRelation). Returns false if live atoms
+// remain.
+func (c *SafetyChecker) DropRelation(rel string) bool {
+	h := c.heads.DropRelation(rel)
+	p := c.posts.DropRelation(rel)
+	return h && p
+}
+
+// IndexKeyCount returns the combined key-map footprint of the checker's
+// indexes (observability for relation-family GC).
+func (c *SafetyChecker) IndexKeyCount() int { return c.heads.KeyCount() + c.posts.KeyCount() }

@@ -17,6 +17,12 @@ type Client struct {
 	conn net.Conn
 	enc  *json.Encoder
 
+	// reqMu serialises request/reply exchanges: it is held across the
+	// request encode AND the receive of its in-order reply, so concurrent
+	// submissions (single or batch), loads, and flushes can never consume
+	// each other's acknowledgements off the shared acks channel.
+	reqMu sync.Mutex
+
 	mu      sync.Mutex
 	waiters map[ir.QueryID]chan Response
 	orphans map[ir.QueryID]Response // results that arrived before their waiter registered
@@ -61,7 +67,7 @@ func (c *Client) readLoop() {
 			continue
 		}
 		switch resp.Type {
-		case "ack", "error":
+		case "ack", "error", "batch":
 			c.acks <- resp
 		case "stats":
 			c.stats <- resp
@@ -98,6 +104,8 @@ func (c *Client) submit(req Request) (ir.QueryID, <-chan Response, error) {
 		return 0, nil, fmt.Errorf("server client: closed")
 	}
 	c.mu.Unlock()
+	c.reqMu.Lock()
+	defer c.reqMu.Unlock()
 	if err := c.enc.Encode(req); err != nil {
 		return 0, nil, err
 	}
@@ -126,6 +134,62 @@ func (c *Client) SubmitSQL(sql string) (ir.QueryID, <-chan Response, error) {
 	return c.submit(Request{Op: "sql", SQL: sql})
 }
 
+// BatchHandle is the per-query outcome of a client batch submission: either
+// Err is set (that query was refused — parse or validation failure) or Ch
+// receives the query's single terminal result.
+type BatchHandle struct {
+	ID  ir.QueryID
+	Err error
+	Ch  <-chan Response
+}
+
+// SubmitBatch submits many queries in one submit_batch request, admitted
+// server-side through the engine's batched fast path. Returns one handle
+// per query in input order; a per-query failure sets that handle's Err and
+// does not fail the rest. The error return covers transport-level failures
+// only.
+func (c *Client) SubmitBatch(queries []BatchQuery) ([]BatchHandle, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("server client: closed")
+	}
+	c.mu.Unlock()
+	c.reqMu.Lock()
+	defer c.reqMu.Unlock()
+	if err := c.enc.Encode(Request{Op: "submit_batch", Queries: queries}); err != nil {
+		return nil, err
+	}
+	ack, ok := <-c.acks
+	if !ok {
+		return nil, fmt.Errorf("server client: connection closed")
+	}
+	if ack.Type == "error" {
+		return nil, fmt.Errorf("server: %s", ack.Error)
+	}
+	if len(ack.Items) != len(queries) {
+		return nil, fmt.Errorf("server client: batch reply has %d items for %d queries", len(ack.Items), len(queries))
+	}
+	out := make([]BatchHandle, len(ack.Items))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, item := range ack.Items {
+		if item.Error != "" {
+			out[i] = BatchHandle{Err: fmt.Errorf("server: %s", item.Error)}
+			continue
+		}
+		ch := make(chan Response, 1)
+		if r, ok := c.orphans[item.ID]; ok {
+			delete(c.orphans, item.ID)
+			ch <- r
+		} else {
+			c.waiters[item.ID] = ch
+		}
+		out[i] = BatchHandle{ID: item.ID, Ch: ch}
+	}
+	return out, nil
+}
+
 // SubmitIR submits a query in IR text syntax.
 func (c *Client) SubmitIR(irText string) (ir.QueryID, <-chan Response, error) {
 	return c.submit(Request{Op: "ir", IR: irText})
@@ -134,6 +198,8 @@ func (c *Client) SubmitIR(irText string) (ir.QueryID, <-chan Response, error) {
 // Load runs a DDL/DML script (memdb.ExecScript syntax) on the server's
 // database.
 func (c *Client) Load(script string) error {
+	c.reqMu.Lock()
+	defer c.reqMu.Unlock()
 	if err := c.enc.Encode(Request{Op: "load", SQL: script}); err != nil {
 		return err
 	}
@@ -146,6 +212,8 @@ func (c *Client) Load(script string) error {
 
 // Flush asks the server to run a set-at-a-time evaluation round.
 func (c *Client) Flush() error {
+	c.reqMu.Lock()
+	defer c.reqMu.Unlock()
 	if err := c.enc.Encode(Request{Op: "flush"}); err != nil {
 		return err
 	}
@@ -158,7 +226,10 @@ func (c *Client) Flush() error {
 
 // Stats fetches the engine counters.
 func (c *Client) Stats() (Response, error) {
-	if err := c.enc.Encode(Request{Op: "stats"}); err != nil {
+	c.reqMu.Lock()
+	err := c.enc.Encode(Request{Op: "stats"})
+	c.reqMu.Unlock() // stats replies arrive on their own channel; don't block submitters while waiting
+	if err != nil {
 		return Response{}, err
 	}
 	select {

@@ -7,13 +7,24 @@
 //
 //	client → server: {"op":"sql","sql":"SELECT …"}        submit entangled SQL
 //	                 {"op":"ir","ir":"{R(J,x)} R(K,x) :- F(x,P)"}  submit IR text
+//	                 {"op":"submit_batch","queries":[{"sql":"…"},{"ir":"…"}]}
+//	                                                      submit many queries in one engine batch
 //	                 {"op":"load","sql":"CREATE TABLE …"} run a DDL/DML script
 //	                 {"op":"flush"}                       force a set-at-a-time round
 //	                 {"op":"stats"}                       engine counters
 //	server → client: {"type":"ack","id":7}                submission accepted
 //	                 {"type":"error","error":"…"}         submission failed
+//	                 {"type":"batch","items":[{"id":7},{"error":"…"}]}
+//	                                                      per-query batch outcome, in input order
 //	                 {"type":"result","id":7,"status":"answered","tuples":["R(K, 122)"]}
 //	                 {"type":"stats","stats":{…}}
+//
+// A submit_batch reply carries one item per input query: an engine-assigned
+// id for each accepted query (whose single result later arrives as a normal
+// "result" message) or a per-query error (parse/validation failures do not
+// fail the rest of the batch). Accepted queries are admitted through the
+// engine's batched fast path: one routing pass and one lock acquisition per
+// touched shard for the whole batch.
 package server
 
 import (
@@ -29,9 +40,23 @@ import (
 
 // Request is a client → server message.
 type Request struct {
-	Op  string `json:"op"`
+	Op      string       `json:"op"`
+	SQL     string       `json:"sql,omitempty"`
+	IR      string       `json:"ir,omitempty"`
+	Queries []BatchQuery `json:"queries,omitempty"` // submit_batch payload
+}
+
+// BatchQuery is one query of a submit_batch request: entangled SQL or IR
+// text (exactly one should be set; SQL wins if both are).
+type BatchQuery struct {
 	SQL string `json:"sql,omitempty"`
 	IR  string `json:"ir,omitempty"`
+}
+
+// BatchItem is the per-query outcome of a submit_batch request.
+type BatchItem struct {
+	ID    ir.QueryID `json:"id,omitempty"`
+	Error string     `json:"error,omitempty"`
 }
 
 // Response is a server → client message.
@@ -43,6 +68,7 @@ type Response struct {
 	Detail string        `json:"detail,omitempty"`
 	Error  string        `json:"error,omitempty"`
 	Stats  *engine.Stats `json:"stats,omitempty"`
+	Items  []BatchItem   `json:"items,omitempty"` // batch reply, in input order
 }
 
 // Server serves a D3C engine over a listener.
@@ -123,6 +149,17 @@ func (s *Server) handle(conn net.Conn) {
 			write(Response{Type: "error", Error: fmt.Sprintf("bad request: %v", err)})
 			continue
 		}
+		// forward streams a handle's single result back to the client.
+		forward := func(h *engine.Handle) {
+			r := <-h.Done()
+			resp := Response{Type: "result", ID: r.QueryID, Status: r.Status.String(), Detail: r.Detail}
+			if r.Answer != nil {
+				for _, tpl := range r.Answer.Tuples {
+					resp.Tuples = append(resp.Tuples, tpl.String())
+				}
+			}
+			write(resp)
+		}
 		switch req.Op {
 		case "sql", "ir":
 			var h *engine.Handle
@@ -143,16 +180,49 @@ func (s *Server) handle(conn net.Conn) {
 			if err := write(Response{Type: "ack", ID: h.ID}); err != nil {
 				return
 			}
-			go func(h *engine.Handle) {
-				r := <-h.Done()
-				resp := Response{Type: "result", ID: r.QueryID, Status: r.Status.String(), Detail: r.Detail}
-				if r.Answer != nil {
-					for _, tpl := range r.Answer.Tuples {
-						resp.Tuples = append(resp.Tuples, tpl.String())
-					}
+			go forward(h)
+		case "submit_batch":
+			// Parse every query first so one bad query fails only its own
+			// item; the good ones are admitted through the engine's batched
+			// fast path in input order.
+			items := make([]BatchItem, len(req.Queries))
+			var qs []*ir.Query
+			var slots []int // items index per parsed query
+			for i, bq := range req.Queries {
+				var q *ir.Query
+				var err error
+				switch {
+				case bq.SQL != "":
+					q, err = s.Engine.ParseSQL(bq.SQL)
+				case bq.IR != "":
+					q, err = ir.Parse(0, bq.IR)
+				default:
+					err = fmt.Errorf("batch query %d: neither sql nor ir set", i)
 				}
-				write(resp)
-			}(h)
+				if err == nil {
+					err = q.Validate()
+				}
+				if err != nil {
+					items[i] = BatchItem{Error: err.Error()}
+					continue
+				}
+				qs = append(qs, q)
+				slots = append(slots, i)
+			}
+			handles, err := s.Engine.SubmitBatch(qs)
+			if err != nil {
+				write(Response{Type: "error", Error: err.Error()})
+				continue
+			}
+			for j, h := range handles {
+				items[slots[j]] = BatchItem{ID: h.ID}
+			}
+			if err := write(Response{Type: "batch", Items: items}); err != nil {
+				return
+			}
+			for _, h := range handles {
+				go forward(h)
+			}
 		case "load":
 			if err := s.Engine.DB().ExecScript(req.SQL); err != nil {
 				write(Response{Type: "error", Error: err.Error()})

@@ -4,13 +4,13 @@ package entangle
 // engine → matcher → database → TCP server, on the paper's scenarios.
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
 	"testing"
 	"time"
 
-	"entangle/internal/core"
 	"entangle/internal/engine"
 	"entangle/internal/ir"
 	"entangle/internal/match"
@@ -92,7 +92,7 @@ AND ('Kramer', fno) IN ANSWER Reservation CHOOSE 1`)
 }
 
 // TestEndToEndSocialWorkload runs a mid-sized paper workload through the
-// core façade and cross-checks the engine counters.
+// engine and cross-checks the engine counters.
 func TestEndToEndSocialWorkload(t *testing.T) {
 	g := workload.NewGraph(workload.Config{N: 3000, AvgDeg: 10, Seed: 21, Airports: 60})
 	db := memdb.New()
@@ -212,20 +212,22 @@ func TestIncrementalEqualsSetAtATimeOutcomes(t *testing.T) {
 // TestChooseRandomnessAcrossRuns verifies the CHOOSE 1 semantics at system
 // level: different seeds pick different coordinated flights.
 func TestChooseRandomnessAcrossRuns(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
 	seen := map[string]bool{}
 	for seed := int64(1); seed <= 24 && len(seen) < 2; seed++ {
-		sys := core.NewSystem(core.Options{Seed: seed})
+		sys := Open(WithSeed(seed))
 		sys.MustCreateTable("F", "fno", "dest")
 		for _, f := range []string{"101", "102", "103", "104"} {
 			sys.MustInsert("F", f, "Paris")
 		}
-		h1, _ := sys.SubmitIR("{R(B, x)} R(A, x) :- F(x, Paris)")
-		h2, _ := sys.SubmitIR("{R(A, y)} R(B, y) :- F(y, Paris)")
-		r1, err := h1.Wait(time.Second)
+		h1, _ := sys.SubmitIR(ctx, "{R(B, x)} R(A, x) :- F(x, Paris)")
+		h2, _ := sys.SubmitIR(ctx, "{R(A, y)} R(B, y) :- F(y, Paris)")
+		r1, err := h1.Wait(ctx)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := h2.Wait(time.Second); err != nil {
+		if _, err := h2.Wait(ctx); err != nil {
 			t.Fatal(err)
 		}
 		seen[r1.Answer.Tuples[0].Args[1].Value] = true
