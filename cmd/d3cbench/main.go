@@ -4,13 +4,17 @@
 //
 // Usage:
 //
-//	d3cbench [-experiment all|fig6|fig7|fig8|fig9|ablations|sharding|batching]
+//	d3cbench [-experiment all|fig6|fig7|fig8|fig9|ablations|sharding|batching|arrival]
 //	         [-users 82168] [-scale 1.0] [-seed 42] [-shards 8] [-workers 8]
-//	         [-batch 64]
+//	         [-batch 64] [-json path]
 //
 // -users sets the social-graph size (default: the paper's 82,168).
 // -scale multiplies the workload sizes; 1.0 reproduces the paper's range
 // (5 … 100,000 queries), smaller values give quick runs.
+// -experiment arrival measures incremental per-arrival latency and
+// allocations, closing vs non-closing (the engine's hot path).
+// -json writes every series the run produced as a machine-readable report,
+// the format checked in as BENCH_arrival.json / BENCH_batching.json.
 package main
 
 import (
@@ -25,15 +29,19 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment: all, fig6, fig7, fig8, fig9, ablations, sharding, batching")
+		experiment = flag.String("experiment", "all", "which experiment: all, fig6, fig7, fig8, fig9, ablations, sharding, batching, arrival")
 		users      = flag.Int("users", 82168, "social graph size (paper: 82168)")
 		scale      = flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper sizes up to 100k queries)")
 		seed       = flag.Int64("seed", 42, "deterministic seed")
 		shards     = flag.Int("shards", 8, "shard count for the sharding and batching experiments")
 		workers    = flag.Int("workers", 8, "concurrent submitters for the sharding experiment")
 		batch      = flag.Int("batch", 64, "batch size for the batching experiment")
+		jsonPath   = flag.String("json", "", "write the run's series as a JSON report to this path")
 	)
 	flag.Parse()
+	if *experiment == "ablation" {
+		*experiment = "ablations" // accept the singular alias
+	}
 
 	sizes := scaled([]int{5, 100, 1000, 10000, 100000}, *scale)
 	fig7Queries := int(10000 * *scale)
@@ -54,6 +62,13 @@ func main() {
 	log.Printf("d3cbench: substrate ready in %v (clustering ≈ %.3f)",
 		time.Since(start).Round(time.Millisecond), env.G.ClusteringCoefficient(500, *seed))
 
+	report := bench.NewReport(*experiment, *users, *scale, *seed)
+	// emit prints a series and records it for the JSON report.
+	emit := func(heading string, rows []bench.Row) {
+		bench.PrintSeries(os.Stdout, heading, rows)
+		report.Add(heading, rows)
+	}
+
 	run := func(name string, f func() error) {
 		if *experiment != "all" && *experiment != name {
 			return
@@ -68,17 +83,17 @@ func main() {
 		if err != nil {
 			return err
 		}
-		bench.PrintSeries(os.Stdout, "Figure 6 — two-way coordination, random workload", rows)
+		emit("Figure 6 — two-way coordination, random workload", rows)
 		rows, err = env.Fig6TwoWayBest(sizes)
 		if err != nil {
 			return err
 		}
-		bench.PrintSeries(os.Stdout, "Figure 6 — two-way coordination, best case (fully specified)", rows)
+		emit("Figure 6 — two-way coordination, best case (fully specified)", rows)
 		rows, err = env.Fig6ThreeWay(sizes)
 		if err != nil {
 			return err
 		}
-		bench.PrintSeries(os.Stdout, "Figure 6 — three-way coordination (triangles)", rows)
+		emit("Figure 6 — three-way coordination (triangles)", rows)
 		return nil
 	})
 
@@ -87,7 +102,7 @@ func main() {
 		if err != nil {
 			return err
 		}
-		bench.PrintSeries(os.Stdout,
+		emit(
 			fmt.Sprintf("Figure 7 — scalability in the number of postconditions (%d queries)", fig7Queries), rows)
 		return nil
 	})
@@ -97,18 +112,18 @@ func main() {
 		if err != nil {
 			return err
 		}
-		bench.PrintSeries(os.Stdout, "Figure 8 — no coordination, no unification", rows)
+		emit("Figure 8 — no coordination, no unification", rows)
 		rows, err = env.Fig8Chains(sizes, 16)
 		if err != nil {
 			return err
 		}
-		bench.PrintSeries(os.Stdout, "Figure 8 — usual partitions (bounded chains)", rows)
+		emit("Figure 8 — usual partitions (bounded chains)", rows)
 		big := scaled([]int{100, 1000, 5000}, *scale)
 		rows, err = env.Fig8BigCluster(big)
 		if err != nil {
 			return err
 		}
-		bench.PrintSeries(os.Stdout, "Figure 8 — massive single cluster: incremental vs set-at-a-time", rows)
+		emit("Figure 8 — massive single cluster: incremental vs set-at-a-time", rows)
 		return nil
 	})
 
@@ -117,7 +132,7 @@ func main() {
 		if err != nil {
 			return err
 		}
-		bench.PrintSeries(os.Stdout,
+		emit(
 			fmt.Sprintf("Figure 9 — safety check with %d resident queries", resident), rows)
 		return nil
 	})
@@ -127,7 +142,7 @@ func main() {
 		if err != nil {
 			return err
 		}
-		bench.PrintSeries(os.Stdout,
+		emit(
 			fmt.Sprintf("Sharding — concurrent submit, 1 shard vs %d shards (%d workers)", *shards, *workers), rows)
 		return nil
 	})
@@ -137,8 +152,18 @@ func main() {
 		if err != nil {
 			return err
 		}
-		bench.PrintSeries(os.Stdout,
+		emit(
 			fmt.Sprintf("Batching — SubmitBatch B=%d vs single Submit (%d shards); labels carry [router passes/submit locks]", *batch, *shards), rows)
+		return nil
+	})
+
+	run("arrival", func() error {
+		rows, err := env.ArrivalExperiment(scaled([]int{1000, 10000}, *scale), *shards)
+		if err != nil {
+			return err
+		}
+		emit(
+			fmt.Sprintf("Arrival — incremental per-arrival latency and allocations, closing vs non-closing (%d shards)", *shards), rows)
 		return nil
 	})
 
@@ -147,25 +172,31 @@ func main() {
 		if err != nil {
 			return err
 		}
-		bench.PrintSeries(os.Stdout, "Ablation A1 — atom index vs linear scan (graph construction)", rows)
+		emit("Ablation A1 — atom index vs linear scan (graph construction)", rows)
 		rows, err = env.AblationModes(scaled([]int{1000, 10000}, *scale))
 		if err != nil {
 			return err
 		}
-		bench.PrintSeries(os.Stdout, "Ablation A2 — incremental vs set-at-a-time on matched pairs", rows)
+		emit("Ablation A2 — incremental vs set-at-a-time on matched pairs", rows)
 		rows, err = env.AblationMGU(int(3000**scale)+60, 3)
 		if err != nil {
 			return err
 		}
-		bench.PrintSeries(os.Stdout, "Ablation A3 — union-find MGU vs naive quadratic merge", rows)
+		emit("Ablation A3 — union-find MGU vs naive quadratic merge", rows)
 		rows, err = env.AblationCSPBaseline([]int{4, 8, 16, 24, 32})
 		if err != nil {
 			return err
 		}
-		bench.PrintSeries(os.Stdout, "Ablation A4 — safe-fragment matcher vs CSP backtracking (Theorem 2.1)", rows)
+		emit("Ablation A4 — safe-fragment matcher vs CSP backtracking (Theorem 2.1)", rows)
 		return nil
 	})
 
+	if *jsonPath != "" {
+		if err := report.Write(*jsonPath); err != nil {
+			log.Fatalf("d3cbench: writing %s: %v", *jsonPath, err)
+		}
+		log.Printf("d3cbench: wrote JSON report to %s", *jsonPath)
+	}
 	log.Printf("d3cbench: done in %v", time.Since(start).Round(time.Millisecond))
 }
 

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"entangle/internal/engine"
+	"entangle/internal/ir"
+	"entangle/internal/workload"
+)
+
+// ArrivalExperiment measures the incremental engine's per-arrival cost —
+// the steady-state number a production coordination service lives on — for
+// the two regimes an arrival can hit:
+//
+//   - "arrival non-closing": only the first member of each social pair is
+//     submitted, so no component ever closes; this isolates the admission
+//     pipeline itself (validate, route, safety check, graph insert,
+//     closedness probe) with matching and evaluation out of the picture.
+//   - "arrival closing (per pair)": both members arrive back to back and
+//     the second closes the pair, so the figure includes matching, the
+//     combined query's database evaluation, and retirement.
+//
+// Per-op wall time comes from the run clock; allocation figures come from
+// runtime.MemStats deltas around the timed phase (the process is quiesced
+// with a GC first), divided by the number of submissions. Workloads use
+// per-pair ANSWER relations (the routable shape), matching the engine's
+// own BenchmarkArrival* microbenchmarks.
+func (e *Env) ArrivalExperiment(sizes []int, shards int) ([]Row, error) {
+	var rows []Row
+	for _, n := range sizes {
+		if n < 2 {
+			n = 2
+		}
+		gen := workload.NewGen(e.G, int64(n)+137)
+		gen.DistinctRels = true
+		qs := gen.PermuteGroups(gen.TwoWayBest(e.G.FriendPairs(n/2, int64(n)+137)), 2)
+
+		// Non-closing: first members only (pairs are adjacent after
+		// PermuteGroups, so even indexes are first members).
+		firsts := make([]*ir.Query, 0, len(qs)/2)
+		for i := 0; i < len(qs); i += 2 {
+			firsts = append(firsts, qs[i])
+		}
+		open, err := e.runArrivals(fmt.Sprintf("arrival non-closing (%d shards)", shards), firsts, shards)
+		if err != nil {
+			return nil, err
+		}
+		if open.Answered != 0 {
+			return nil, fmt.Errorf("bench: non-closing run answered %d queries", open.Answered)
+		}
+		rows = append(rows, open)
+
+		closing, err := e.runArrivals(fmt.Sprintf("arrival closing (%d shards)", shards), qs, shards)
+		if err != nil {
+			return nil, err
+		}
+		if closing.Pending != 0 {
+			return nil, fmt.Errorf("bench: closing run left %d pending", closing.Pending)
+		}
+		rows = append(rows, closing)
+	}
+	return rows, nil
+}
+
+// runArrivals submits qs one at a time to a fresh incremental engine,
+// timing the submission phase and attributing allocations per arrival.
+func (e *Env) runArrivals(label string, qs []*ir.Query, shards int) (Row, error) {
+	eng := engine.New(e.DB, engine.Config{Mode: engine.Incremental, Shards: shards, Seed: 1})
+	defer eng.Close()
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for _, q := range qs {
+		if _, err := eng.Submit(q); err != nil {
+			return Row{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	st := eng.Stats()
+	n := len(qs)
+	return Row{
+		Label: label, N: n, Elapsed: elapsed,
+		AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / float64(n),
+		BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(n),
+		Answered:    st.Answered, Rejected: st.Rejected + st.RejectedUnsafe, Pending: st.Pending,
+	}, nil
+}

@@ -55,11 +55,24 @@ type Row struct {
 	Label    string        // series name, e.g. "two-way random"
 	N        int           // workload size (number of queries)
 	Elapsed  time.Duration // total wall time for the run
-	MatchDur time.Duration // time in query matching (when measured separately)
-	DBDur    time.Duration // time in database evaluation (when measured separately)
-	Answered int
-	Rejected int
-	Pending  int
+	MatchDur time.Duration `json:",omitempty"` // time in query matching (when measured separately)
+	DBDur    time.Duration `json:",omitempty"` // time in database evaluation (when measured separately)
+	// AllocsPerOp and BytesPerOp carry heap-allocation attribution for the
+	// experiments that measure it (the arrival experiment); zero elsewhere.
+	AllocsPerOp float64 `json:",omitempty"`
+	BytesPerOp  float64 `json:",omitempty"`
+	Answered    int
+	Rejected    int
+	Pending     int
+}
+
+// NsPerOp returns the per-operation wall time in nanoseconds (0 when N is 0),
+// the figure perf trajectories compare across commits.
+func (r Row) NsPerOp() float64 {
+	if r.N == 0 {
+		return 0
+	}
+	return float64(r.Elapsed.Nanoseconds()) / float64(r.N)
 }
 
 // String renders the row in the harness's output format.
@@ -71,7 +84,17 @@ func (r Row) String() string {
 	if r.MatchDur > 0 || r.DBDur > 0 {
 		s += fmt.Sprintf(" match=%-12v db=%-12v", r.MatchDur.Round(time.Microsecond), r.DBDur.Round(time.Microsecond))
 	}
+	if r.AllocsPerOp > 0 {
+		s += fmt.Sprintf(" allocs/op=%-7.1f B/op=%-9.0f", r.AllocsPerOp, r.BytesPerOp)
+	}
 	return s + fmt.Sprintf(" answered=%d rejected=%d pending=%d", r.Answered, r.Rejected, r.Pending)
+}
+
+// Series pairs an experiment heading with its measured rows, the unit of
+// both the text report and the JSON output.
+type Series struct {
+	Heading string
+	Rows    []Row
 }
 
 // PrintSeries writes rows to w with a heading.

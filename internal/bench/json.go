@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"time"
+)
+
+// Report is the machine-readable form of a d3cbench run, written by the
+// -json flag so results can be checked in (BENCH_arrival.json and friends)
+// and compared across commits — the perf trajectory of the hot paths.
+type Report struct {
+	Experiment string // experiment selector the run was invoked with
+	GoVersion  string
+	GOOS       string
+	GOARCH     string
+	NumCPU     int
+	Users      int     // social-graph size
+	Scale      float64 // workload scale factor
+	Seed       int64
+	When       time.Time
+	Series     []Series
+}
+
+// NewReport stamps a report with the run's configuration and environment.
+func NewReport(experiment string, users int, scale float64, seed int64) *Report {
+	return &Report{
+		Experiment: experiment,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		Users:      users,
+		Scale:      scale,
+		Seed:       seed,
+		When:       time.Now().UTC().Round(time.Second),
+	}
+}
+
+// Add appends one experiment series.
+func (r *Report) Add(heading string, rows []Row) {
+	r.Series = append(r.Series, Series{Heading: heading, Rows: rows})
+}
+
+// Write marshals the report (indented, trailing newline) to path.
+func (r *Report) Write(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

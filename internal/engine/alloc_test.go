@@ -1,0 +1,35 @@
+package engine
+
+import (
+	"testing"
+)
+
+// TestNonClosingArrivalAllocs is the allocation regression guard for the
+// incremental hot path: a non-closing arrival (the dominant case — the
+// query waits for partners) must stay allocation-lean. The bound leaves
+// headroom over the measured ~11 allocs/op for map-growth amortisation and
+// toolchain drift; the pre-index baseline sat at ~73, so a regression back
+// toward BFS-and-rescan territory trips this immediately.
+func TestNonClosingArrivalAllocs(t *testing.T) {
+	socialEnv(t)
+	const runs = 400
+	qs := socialPairQueries(2 * (runs + 60)) // AllocsPerRun invokes runs+1 times, plus 50 warm-ups
+	e := New(socialDB, Config{Mode: Incremental, Shards: 1})
+	defer e.Close()
+	// Warm up: map headers, router state, index arenas.
+	for i := 0; i < 50; i++ {
+		if _, err := e.Submit(qs[2*i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	next := 50
+	avg := testing.AllocsPerRun(runs, func() {
+		if _, err := e.Submit(qs[2*next]); err != nil {
+			t.Fatal(err)
+		}
+		next++
+	})
+	if avg > 18 {
+		t.Fatalf("non-closing arrival allocates %.1f allocs/op, want ≤ 18", avg)
+	}
+}

@@ -49,7 +49,7 @@ var (
 	socialPairs [][2]int
 )
 
-func socialEnv(b *testing.B) {
+func socialEnv(b testing.TB) {
 	b.Helper()
 	socialOnce.Do(func() {
 		socialGraph = workload.NewGraph(workload.Config{N: 2000, AvgDeg: 10, Seed: 17, Airports: 60})
@@ -144,6 +144,56 @@ func BenchmarkSubmitSocialBatch64(b *testing.B) {
 		}
 		if _, err := e.SubmitBatch(qs[i:end]); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkArrivalNonClosing measures the incremental engine's per-arrival
+// cost when the arrival does NOT close its component — the dominant case for
+// a coordination service, where most queries wait for partners. Only the
+// first member of each social pair is submitted, so every component stays
+// open and the arrival path's own overhead (admission check, graph insert,
+// closedness decision) is isolated from matching and evaluation.
+func BenchmarkArrivalNonClosing(b *testing.B) {
+	socialEnv(b)
+	qs := socialPairQueries(2 * b.N)
+	e := New(socialDB, Config{Mode: Incremental, Shards: 1})
+	defer e.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Submit(qs[2*i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkArrivalClosing measures the full coordinate-and-retire cycle:
+// each iteration submits both members of a pair, the second arrival closes
+// the component, matching runs and the pair retires. Pairs whose members
+// share no city evaluate to zero rows and retire rejected — either way the
+// whole match-evaluate-deliver path runs, which is what is being timed.
+func BenchmarkArrivalClosing(b *testing.B) {
+	socialEnv(b)
+	qs := socialPairQueries(2 * b.N)
+	e := New(socialDB, Config{Mode: Incremental, Shards: 1})
+	defer e.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h1, err := e.Submit(qs[2*i])
+		if err != nil {
+			b.Fatal(err)
+		}
+		h2, err := e.Submit(qs[2*i+1])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r := <-h1.Done(); r.Status != StatusAnswered && r.Status != StatusRejected {
+			b.Fatalf("first member: %v", r.Status)
+		}
+		if r := <-h2.Done(); r.Status != StatusAnswered && r.Status != StatusRejected {
+			b.Fatalf("second member: %v", r.Status)
 		}
 	}
 }

@@ -235,7 +235,6 @@ func (s *Stats) add(s2 Stats) {
 var ErrClosed = errors.New("engine: closed")
 
 type pendingQuery struct {
-	orig      *ir.Query // as submitted (caller's variable names)
 	renamed   *ir.Query // renamed apart; lives in the shard's graph
 	rels      []string  // coordination signature (routing key)
 	handle    *Handle
@@ -358,11 +357,14 @@ func (e *Engine) Submit(q *ir.Query) (*Handle, error) {
 	if e.closed {
 		return nil, ErrClosed
 	}
-	cp := q.Clone()
-	cp.ID = ir.QueryID(e.nextID.Add(1))
-	h := &Handle{ID: cp.ID, ch: make(chan Result, 1)}
-	renamed := cp.RenameApart()
-	rels := coordRels(cp)
+	// One copy, not three: RenamedCopy fuses the defensive clone (the
+	// caller keeps q) with ID assignment and the rename-apart pass. The
+	// original variable names are never needed again — answers carry only
+	// ground tuples.
+	id := ir.QueryID(e.nextID.Add(1))
+	renamed := q.RenamedCopy(id)
+	h := &Handle{ID: id, ch: make(chan Result, 1)}
+	rels := coordRels(q)
 
 	for {
 		e.routerPasses.Add(1)
@@ -383,7 +385,7 @@ func (e *Engine) Submit(q *ir.Query) (*Handle, error) {
 			s.mu.Unlock()
 			continue
 		}
-		err := s.submit(cp, renamed, rels, h, e.now())
+		err := s.submit(renamed, rels, h, e.now())
 		s.mu.Unlock()
 		if err != nil {
 			return nil, err
@@ -453,11 +455,13 @@ func (e *Engine) migrateFamily(root string) {
 					// submit won't also evaluate — but liveness of the
 					// exactly-one-Result contract is worth an O(adopted)
 					// re-check rather than a reachability argument.
-					// ComponentOf returns nil for members already retired
-					// by an earlier iteration.
+					// ComponentClosed returns false for members already
+					// retired by an earlier iteration.
 					if e.cfg.Mode == Incremental {
 						for _, id := range ids {
-							dst.evaluateComponent(dst.g.ComponentOf(id))
+							if dst.g.ComponentClosed(id) {
+								dst.evaluateComponent(dst.g.ComponentMembers(id))
+							}
 						}
 					}
 					// Adopted queries count toward the destination's
@@ -506,17 +510,14 @@ func (e *Engine) SubmitBatch(qs []*ir.Query) ([]*Handle, error) {
 		return nil, ErrClosed
 	}
 	n := len(qs)
-	cps := make([]*ir.Query, n)
 	renamed := make([]*ir.Query, n)
 	relss := make([][]string, n)
 	handles := make([]*Handle, n)
 	for i, q := range qs {
-		cp := q.Clone()
-		cp.ID = ir.QueryID(e.nextID.Add(1))
-		cps[i] = cp
-		renamed[i] = cp.RenameApart()
-		relss[i] = coordRels(cp)
-		handles[i] = &Handle{ID: cp.ID, ch: make(chan Result, 1)}
+		id := ir.QueryID(e.nextID.Add(1))
+		renamed[i] = q.RenamedCopy(id)
+		relss[i] = coordRels(q)
+		handles[i] = &Handle{ID: id, ch: make(chan Result, 1)}
 	}
 	now := e.now()
 
@@ -568,7 +569,7 @@ func (e *Engine) SubmitBatch(qs []*ir.Query) ([]*Handle, error) {
 				continue
 			}
 			for _, i := range groups[t] {
-				if err := s.submit(cps[i], renamed[i], relss[i], handles[i], now); err != nil {
+				if err := s.submit(renamed[i], relss[i], handles[i], now); err != nil {
 					s.mu.Unlock()
 					return nil, err // unreachable: IDs are fresh and Check precedes Admit
 				}

@@ -18,19 +18,29 @@ import (
 // including them would collapse workloads that share one substrate schema
 // (e.g. the social graph's Friends/User tables) onto a single shard.
 func coordRels(q *ir.Query) []string {
-	seen := make(map[string]bool, len(q.Heads)+len(q.Posts))
+	// Signatures are tiny (usually one relation), so dedupe and order with
+	// linear scans and insertion sort: one allocation, no map, no
+	// sort.Interface boxing — this runs on every Submit.
 	out := make([]string, 0, len(q.Heads)+len(q.Posts))
-	add := func(atoms []ir.Atom) {
-		for _, a := range atoms {
-			if !seen[a.Rel] {
-				seen[a.Rel] = true
+	for _, group := range [2][]ir.Atom{q.Heads, q.Posts} {
+		for _, a := range group {
+			dup := false
+			for _, r := range out {
+				if r == a.Rel {
+					dup = true
+					break
+				}
+			}
+			if !dup {
 				out = append(out, a.Rel)
 			}
 		}
 	}
-	add(q.Heads)
-	add(q.Posts)
-	sort.Strings(out)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
 	return out
 }
 
@@ -41,12 +51,27 @@ func relHash(rel string) uint32 {
 }
 
 // family is one unifiability-closed group of relation names.
+//
+// The resident and members fields are allocated lazily: nil resident means
+// "exactly the home shard", nil members means "exactly the root relation".
+// The overwhelmingly common family — one relation, never merged, never
+// re-homed — therefore costs a single struct allocation; the maps and
+// slices appear only once a merge, re-home or GC sweep actually needs them.
 type family struct {
 	minHash  uint32       // minimum relHash over member relations
 	home     int          // current home shard: minHash mod nshards
-	resident map[int]bool // shards that may still hold pending members
-	members  []string     // every relation name in the family (for GC)
+	resident map[int]bool // shards that may still hold pending members (nil ⇒ {home})
+	members  []string     // every relation name in the family (nil ⇒ {root}; for GC)
 	pending  int          // live pending queries routed to this family
+}
+
+// residentCount returns the size of the residence set, counting the
+// implicit {home} representation as one.
+func (f *family) residentCount() int {
+	if f.resident == nil {
+		return 1
+	}
+	return len(f.resident)
 }
 
 // router assigns coordination-relation families to shards.
@@ -133,11 +158,15 @@ func (r *router) route(rels []string) (home int, root string, needsMigration boo
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	merged := r.unionSigLocked(rels)
+	merged, fresh := r.unionSigLocked(rels)
 	fam := r.fams[merged]
-	needsMigration = len(fam.resident) > 1
+	needsMigration = fam.residentCount() > 1
 	gen = r.gen.Load()
-	if len(rels) == 1 && !needsMigration {
+	// Cache only relations seen before this route: a repeat submitter gets
+	// the lock-free fast path from its second Submit on, while one-shot
+	// ANSWER relations (a fresh name per coordination group is a common
+	// workload shape) never pay the cache-entry allocations.
+	if len(rels) == 1 && !needsMigration && !fresh {
 		r.cache.Store(rels[0], cachedRoute{home: fam.home, gen: gen})
 	}
 	return fam.home, merged, needsMigration, gen
@@ -167,7 +196,7 @@ func (r *router) routeBatch(sigs [][]string) (homes []int, roots []string, migra
 		fam := r.fams[root]
 		homes[i] = fam.home
 		roots[i] = root
-		if len(fam.resident) > 1 && !migSeen[root] {
+		if fam.residentCount() > 1 && !migSeen[root] {
 			migSeen[root] = true
 			migrate = append(migrate, root)
 		}
@@ -177,16 +206,24 @@ func (r *router) routeBatch(sigs [][]string) (homes []int, roots []string, migra
 }
 
 // unionSigLocked merges the relations of one coordination signature into a
-// single family (creating it if fresh), re-homing on merges, and returns the
-// family root. Caller holds r.mu.
-func (r *router) unionSigLocked(rels []string) string {
-	// Distinct family roots among the signature's relations.
-	roots := make([]string, 0, len(rels))
-	seen := make(map[string]bool, len(rels))
+// single family (creating it if fresh), re-homing on merges, and returns
+// the family root plus whether the root's family was created by this call.
+// Caller holds r.mu.
+func (r *router) unionSigLocked(rels []string) (root string, fresh bool) {
+	// Distinct family roots among the signature's relations. Signatures are
+	// tiny; linear dedupe avoids a map allocation per routed Submit.
+	var rootBuf [8]string
+	roots := rootBuf[:0]
 	for _, rel := range rels {
 		rt := r.find(rel)
-		if !seen[rt] {
-			seen[rt] = true
+		dup := false
+		for _, seen := range roots {
+			if seen == rt {
+				dup = true
+				break
+			}
+		}
+		if !dup {
 			roots = append(roots, rt)
 		}
 	}
@@ -200,8 +237,18 @@ func (r *router) unionSigLocked(rels []string) string {
 	}
 	if fam == nil {
 		r.parent[merged] = merged
-		fam = &family{minHash: relHash(merged), resident: make(map[int]bool), members: []string{merged}}
+		fam = &family{minHash: relHash(merged)}
 		r.fams[merged] = fam
+	}
+	// ensureResident materialises the lazy residence set before a mutation
+	// that can make it diverge from the implicit {home}.
+	ensureResident := func() {
+		if fam.resident == nil {
+			fam.resident = make(map[int]bool, 2)
+			if hadHome {
+				fam.resident[oldHome] = true
+			}
+		}
 	}
 	var absorbedHomes []int
 	for _, rt := range roots[1:] {
@@ -212,16 +259,31 @@ func (r *router) unionSigLocked(rels []string) string {
 			if h := relHash(rt); h < fam.minHash {
 				fam.minHash = h
 			}
+			if fam.members == nil {
+				fam.members = append(make([]string, 0, 2), merged)
+			}
 			fam.members = append(fam.members, rt)
 			continue
 		}
 		if other.minHash < fam.minHash {
 			fam.minHash = other.minHash
 		}
-		for sh := range other.resident {
-			fam.resident[sh] = true
+		ensureResident()
+		if other.resident == nil {
+			fam.resident[other.home] = true
+		} else {
+			for sh := range other.resident {
+				fam.resident[sh] = true
+			}
 		}
-		fam.members = append(fam.members, other.members...)
+		if fam.members == nil {
+			fam.members = append(make([]string, 0, 1+len(other.members)+1), merged)
+		}
+		if other.members == nil {
+			fam.members = append(fam.members, rt)
+		} else {
+			fam.members = append(fam.members, other.members...)
+		}
 		fam.pending += other.pending
 		absorbedHomes = append(absorbedHomes, other.home)
 		delete(r.fams, rt)
@@ -238,9 +300,14 @@ func (r *router) unionSigLocked(rels []string) string {
 	}
 	if rehomed {
 		r.gen.Add(1)
+		// The old home may still hold pending members; a re-home must leave
+		// it in the residence set so migration drains it.
+		ensureResident()
 	}
-	fam.resident[fam.home] = true
-	return merged
+	if fam.resident != nil {
+		fam.resident[fam.home] = true
+	}
+	return merged, !hadHome
 }
 
 // generation returns the current home-assignment generation with a single
@@ -312,7 +379,7 @@ func (r *router) gcCandidates() []string {
 	defer r.mu.Unlock()
 	var out []string
 	for root, fam := range r.fams {
-		if fam.pending == 0 && len(fam.resident) <= 1 {
+		if fam.pending == 0 && fam.residentCount() <= 1 {
 			out = append(out, root)
 		}
 	}
@@ -335,16 +402,20 @@ func (r *router) retireFamily(root string, expectHome int) (members []string, ok
 	if fam == nil || fam.pending != 0 || fam.home != expectHome {
 		return nil, false
 	}
-	if len(fam.resident) > 1 {
+	if fam.residentCount() > 1 {
 		return nil, false
 	}
-	for _, rel := range fam.members {
+	members = fam.members
+	if members == nil {
+		members = []string{rt}
+	}
+	for _, rel := range members {
 		delete(r.parent, rel)
 		r.cache.Delete(rel)
 	}
 	delete(r.fams, rt)
 	r.gen.Add(1)
-	return fam.members, true
+	return members, true
 }
 
 // size returns the number of live families and tracked relations — the

@@ -25,6 +25,7 @@ type shard struct {
 	g       *graph.Graph
 	checker *match.SafetyChecker
 	pending map[ir.QueryID]*pendingQuery
+	stale   staleHeap // pending submissions by submit time (maintained iff StaleAfter > 0)
 	rnd     *rand.Rand
 	stats   Stats
 	sinceFl int      // submissions since last flush (SetAtATime)
@@ -44,11 +45,15 @@ func newShard(idx int, e *Engine) *shard {
 		// independently as they evaluate.
 		rnd = rand.New(rand.NewSource(e.cfg.Seed))
 	}
+	g := graph.New()
 	return &shard{
-		idx:     idx,
-		eng:     e,
-		g:       graph.New(),
-		checker: match.NewSafetyChecker(),
+		idx: idx,
+		eng: e,
+		g:   g,
+		// The checker reads the graph's own atom indexes: admission and
+		// graph membership move in lock-step under the shard lock, so one
+		// index pair serves both and every atom is indexed once per shard.
+		checker: match.NewSharedSafetyChecker(g),
 		pending: make(map[ir.QueryID]*pendingQuery),
 		rnd:     rnd,
 		hist:    newHistory(e.cfg.HistorySize),
@@ -67,31 +72,35 @@ func (s *shard) record(kind EventKind, id ir.QueryID, detail string) {
 	s.hist.record(Event{Time: s.eng.now(), Seq: s.eng.eventSeq.Add(1), Kind: kind, QueryID: id, Detail: detail})
 }
 
-// submit admits one arrival. cp and renamed carry the engine-assigned ID;
-// the handle receives exactly one Result, either here (unsafe rejection,
+// submit admits one arrival. renamed carries the engine-assigned ID; the
+// handle receives exactly one Result, either here (unsafe rejection,
 // incremental coordination) or later (flush, staleness, close).
-func (s *shard) submit(cp, renamed *ir.Query, rels []string, h *Handle, now time.Time) error {
+func (s *shard) submit(renamed *ir.Query, rels []string, h *Handle, now time.Time) error {
 	s.stats.Submitted++
-	s.record(EventSubmitted, cp.ID, cp.Owner)
+	s.record(EventSubmitted, renamed.ID, renamed.Owner)
 
 	// Admission safety check (Sections 3.1.1, 5.3.5): reject arrivals that
 	// would make the pending workload unsafe. Safety is a property of
-	// unifying atoms, and all atoms that can unify with cp's live on this
-	// shard, so the shard-local check is equivalent to a global one.
+	// unifying atoms, and all atoms that can unify with this query's live
+	// on this shard, so the shard-local check is equivalent to a global one.
 	if err := s.checker.Check(renamed); err != nil {
 		s.stats.RejectedUnsafe++
-		s.record(EventUnsafe, cp.ID, err.Error())
-		h.ch <- Result{QueryID: cp.ID, Status: StatusUnsafe, Detail: err.Error()}
+		s.record(EventUnsafe, renamed.ID, err.Error())
+		h.ch <- Result{QueryID: renamed.ID, Status: StatusUnsafe, Detail: err.Error()}
 		return nil
 	}
-	if err := s.checker.Admit(renamed); err != nil {
-		return err // unreachable: Check passed above
-	}
+	// Check just passed under this same lock, so admission cannot re-fail;
+	// AdmitUnchecked skips the redundant second pass over the indexes.
+	s.checker.AdmitUnchecked(renamed)
 	if err := s.g.AddQuery(renamed); err != nil {
 		s.checker.Remove(renamed.ID)
 		return err
 	}
-	s.pending[cp.ID] = &pendingQuery{orig: cp, renamed: renamed, rels: rels, handle: h, submitted: now}
+	s.pending[renamed.ID] = &pendingQuery{renamed: renamed, rels: rels, handle: h, submitted: now}
+	if s.eng.cfg.StaleAfter > 0 {
+		s.stale.push(staleItem{at: now, id: renamed.ID})
+		s.compactStaleIfNeeded()
+	}
 	// All of a query's signature relations are in one family (its own
 	// routing merged them), so the first relation identifies it for the
 	// family's pending-member count (which gates family GC).
@@ -99,7 +108,13 @@ func (s *shard) submit(cp, renamed *ir.Query, rels []string, h *Handle, now time
 
 	switch s.eng.cfg.Mode {
 	case Incremental:
-		s.evaluateComponent(s.g.ComponentOf(cp.ID))
+		// Constant-time closedness probe: the component index already knows
+		// whether this arrival completed its component. Only then is the
+		// member list materialised and matched; the dominant non-closing
+		// arrival does no component traversal at all.
+		if s.g.ComponentClosed(renamed.ID) {
+			s.evaluateComponent(s.g.ComponentMembers(renamed.ID))
+		}
 	case SetAtATime:
 		s.sinceFl++
 		if s.eng.cfg.FlushEvery > 0 && s.sinceFl >= s.eng.cfg.FlushEvery {
@@ -131,7 +146,13 @@ func (s *shard) adopt(p *pendingQuery) {
 		// rather than silently dropping a handle.
 		panic(fmt.Sprintf("engine: migration re-add failed: %v", err))
 	}
-	s.pending[p.orig.ID] = p
+	s.pending[p.renamed.ID] = p
+	// The source shard's heap entry goes stale (lazily skipped there); the
+	// adopted query keeps its original submission time here.
+	if s.eng.cfg.StaleAfter > 0 {
+		s.stale.push(staleItem{at: p.submitted, id: p.renamed.ID})
+		s.compactStaleIfNeeded()
+	}
 }
 
 // evict removes a pending query from this shard without resolving its
@@ -159,17 +180,14 @@ func (s *shard) flush() {
 	if s.hist != nil {
 		s.record(EventFlush, 0, fmt.Sprintf("shard %d: %d pending", s.idx, len(s.pending)))
 	}
-	comps := s.g.ConnectedComponents()
-
-	// Filter to closed components first; they are independent, so evaluate
-	// them in parallel (Section 4.1.2's partitioning benefit). Graph
-	// mutation happens afterwards, under the lock we already hold.
-	var closed [][]ir.QueryID
-	for _, comp := range comps {
-		if s.componentClosed(comp) {
-			closed = append(closed, comp)
-		}
-	}
+	// The component index enumerates exactly the closed components — the
+	// open remainder of the pending set (typically the vast majority) is
+	// never visited, and closedness is read off the per-component counters
+	// instead of re-scanning member indegrees. Closed components are
+	// independent, so evaluate them in parallel (Section 4.1.2's
+	// partitioning benefit). Graph mutation happens afterwards, under the
+	// lock we already hold.
+	closed := s.g.ClosedComponents()
 	if len(closed) == 0 {
 		return
 	}
@@ -178,9 +196,20 @@ func (s *shard) flush() {
 		rejected []match.Removal
 	}
 	results := make([]evalOut, len(closed))
-	byID := make(map[ir.QueryID]*ir.Query, len(s.pending))
-	for id, p := range s.pending {
-		byID[id] = p.renamed
+	// Matching and answer splitting only ever look up members of the
+	// components being evaluated, so the query map covers exactly those —
+	// not a copy of the entire pending set per round.
+	nClosed := 0
+	for _, comp := range closed {
+		nClosed += len(comp)
+	}
+	byID := make(map[ir.QueryID]*ir.Query, nClosed)
+	for _, comp := range closed {
+		for _, id := range comp {
+			if p, ok := s.pending[id]; ok {
+				byID[id] = p.renamed
+			}
+		}
 	}
 	var seed int64
 	if s.rnd != nil {
@@ -221,12 +250,12 @@ func (s *shard) flush() {
 	}
 }
 
-// evaluateComponent handles one incremental arrival: if the affected
-// component is closed (every pending member has all postconditions fed), it
-// is matched and evaluated; otherwise the queries keep waiting. Caller
-// holds s.mu.
+// evaluateComponent matches and evaluates one closed component. Callers
+// gate on the component index (ComponentClosed / ClosedComponents); the
+// re-check here is a constant-time counter read, kept so a stray call on an
+// open component stays a no-op. Caller holds s.mu.
 func (s *shard) evaluateComponent(comp []ir.QueryID) {
-	if len(comp) == 0 || !s.componentClosed(comp) {
+	if len(comp) == 0 || !s.g.ComponentClosed(comp[0]) {
 		return
 	}
 	byID := make(map[ir.QueryID]*ir.Query, len(comp))
@@ -250,22 +279,6 @@ func (s *shard) evaluateComponent(comp []ir.QueryID) {
 		ans = nil
 	}
 	s.deliver(ans, rej)
-}
-
-// componentClosed reports whether every member's live indegree equals its
-// postcondition count — i.e. all coordination partners have arrived and the
-// component can be matched conclusively. Caller holds s.mu.
-func (s *shard) componentClosed(comp []ir.QueryID) bool {
-	for _, id := range comp {
-		n := s.g.Node(id)
-		if n == nil {
-			return false
-		}
-		if n.InDegree() < n.Query.PostCount() {
-			return false
-		}
-	}
-	return true
 }
 
 // deliver retires answered and rejected queries, sending results. Caller
@@ -305,32 +318,47 @@ func (s *shard) retire(id ir.QueryID) {
 	s.checker.Remove(id)
 }
 
+// compactStaleIfNeeded rebuilds the staleness heap once entries for
+// already-retired (or migrated-away) queries outnumber the live pending
+// set, bounding the heap at O(pending) regardless of churn rate or
+// staleness window. Caller holds s.mu.
+func (s *shard) compactStaleIfNeeded() {
+	if n := s.stale.len(); n >= 64 && n > 2*len(s.pending) {
+		s.stale.compact(s.pending)
+	}
+}
+
 // expireStale fails every pending query older than the cutoff and returns
-// how many were expired.
+// how many were expired. The staleness heap is ordered by submit time, so
+// the sweep pops exactly the expired prefix — O(expired · log pending) per
+// tick — instead of scanning the whole pending set; entries whose query
+// already retired or migrated are skipped as they surface.
 func (s *shard) expireStale(cutoff time.Time) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	var stale []ir.QueryID
-	for id, p := range s.pending {
-		if p.submitted.Before(cutoff) {
-			stale = append(stale, id)
+	expired := 0
+	for s.stale.len() > 0 && s.stale.min().at.Before(cutoff) {
+		it := s.stale.pop()
+		p, ok := s.pending[it.id]
+		if !ok || !p.submitted.Equal(it.at) {
+			continue // retired here, or migrated away and re-tracked elsewhere
 		}
-	}
-	for _, id := range stale {
-		p := s.pending[id]
+		expired++
 		s.stats.ExpiredStale++
-		s.record(EventStale, id, "staleness bound exceeded")
-		p.handle.ch <- Result{QueryID: id, Status: StatusStale, Detail: "no coordination partners arrived within the staleness bound"}
-		s.retire(id)
+		s.record(EventStale, it.id, "staleness bound exceeded")
+		p.handle.ch <- Result{QueryID: it.id, Status: StatusStale, Detail: "no coordination partners arrived within the staleness bound"}
+		s.retire(it.id)
 	}
 	// Expiry can close previously blocked components: a stale query whose
-	// unmatched postcondition was the only obstacle is gone now.
-	if len(stale) > 0 && s.eng.cfg.Mode == Incremental {
-		for _, comp := range s.g.ConnectedComponents() {
+	// unmatched postcondition was the only obstacle is gone now. The
+	// component index enumerates exactly those — open components are not
+	// revisited.
+	if expired > 0 && s.eng.cfg.Mode == Incremental {
+		for _, comp := range s.g.ClosedComponents() {
 			s.evaluateComponent(comp)
 		}
 	}
-	return len(stale)
+	return expired
 }
 
 // close fails all pending queries as stale, counting them as expired so
@@ -346,6 +374,7 @@ func (s *shard) close() {
 		s.eng.router.addPending(p.rels[0], -1)
 	}
 	s.pending = make(map[ir.QueryID]*pendingQuery)
+	s.stale.reset()
 }
 
 // snapshotLocked returns the shard's counters with Pending filled in.

@@ -1,0 +1,103 @@
+package engine
+
+import (
+	"time"
+
+	"entangle/internal/ir"
+)
+
+// staleItem is one staleness-heap entry: the submission instant and the
+// query it belongs to.
+type staleItem struct {
+	at time.Time
+	id ir.QueryID
+}
+
+// staleHeap is a binary min-heap of pending submissions ordered by submit
+// time (ties by query ID, so expiry order is deterministic). It makes the
+// per-tick staleness sweep O(expired · log n) instead of a scan of the
+// whole pending set: expireStale pops while the minimum is older than the
+// cutoff and stops at the first young entry.
+//
+// Entries are removed lazily: retirement and migration leave their heap
+// entries behind, and the sweep skips entries whose query is no longer
+// pending on this shard (or was adopted with a different submission
+// instant). Dead entries are popped once their timestamp crosses the
+// cutoff; until then they are bounded by compact, which the shard triggers
+// when dead entries outnumber the live pending set (so a high-churn
+// workload under a long staleness window cannot accumulate a window's
+// worth of retired entries).
+type staleHeap struct {
+	items []staleItem
+}
+
+func (h *staleHeap) len() int { return len(h.items) }
+
+func (h *staleHeap) min() staleItem { return h.items[0] }
+
+func (h *staleHeap) less(i, j int) bool {
+	if !h.items[i].at.Equal(h.items[j].at) {
+		return h.items[i].at.Before(h.items[j].at)
+	}
+	return h.items[i].id < h.items[j].id
+}
+
+func (h *staleHeap) push(it staleItem) {
+	h.items = append(h.items, it)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *staleHeap) pop() staleItem {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	h.siftDown(0)
+	return top
+}
+
+func (h *staleHeap) siftDown(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.items) && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(h.items) && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+}
+
+// compact drops entries whose query is no longer pending on this shard
+// with the recorded submission instant, then restores the heap property in
+// place. Cost is O(n); the caller triggers it only once dead entries
+// outnumber live ones, so the amortized cost per push is O(1).
+func (h *staleHeap) compact(pending map[ir.QueryID]*pendingQuery) {
+	live := h.items[:0]
+	for _, it := range h.items {
+		if p, ok := pending[it.id]; ok && p.submitted.Equal(it.at) {
+			live = append(live, it)
+		}
+	}
+	h.items = live
+	for i := len(h.items)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+// reset drops all entries, keeping capacity.
+func (h *staleHeap) reset() { h.items = h.items[:0] }

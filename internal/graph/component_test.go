@@ -1,0 +1,194 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"entangle/internal/ir"
+)
+
+// oracleClosed derives closedness the pre-index way: BFS the component and
+// scan every member's indegree against its postcondition count.
+func oracleClosed(g *Graph, comp []ir.QueryID) bool {
+	for _, id := range comp {
+		n := g.Node(id)
+		if n == nil {
+			return false
+		}
+		if n.InDegree() < n.Query.PostCount() {
+			return false
+		}
+	}
+	return true
+}
+
+// checkAgainstOracle asserts, for every live query, that the component
+// index agrees with the BFS-derived membership and closedness, and that
+// ClosedComponents enumerates exactly the closed ones of
+// ConnectedComponents.
+func checkAgainstOracle(t *testing.T, g *Graph, tag string) {
+	t.Helper()
+	for _, id := range g.QueryIDs() {
+		bfs := g.ComponentOf(id)
+		idx := g.ComponentMembers(id)
+		if !reflect.DeepEqual(bfs, idx) {
+			t.Fatalf("%s: ComponentMembers(%d) = %v, BFS oracle = %v\n%s", tag, id, idx, bfs, g)
+		}
+		want := oracleClosed(g, bfs)
+		if got := g.ComponentClosed(id); got != want {
+			t.Fatalf("%s: ComponentClosed(%d) = %v, oracle = %v (component %v)\n%s", tag, id, got, want, bfs, g)
+		}
+	}
+	var wantClosed [][]ir.QueryID
+	for _, comp := range g.ConnectedComponents() {
+		if oracleClosed(g, comp) {
+			wantClosed = append(wantClosed, comp)
+		}
+	}
+	gotClosed := g.ClosedComponents()
+	if !reflect.DeepEqual(gotClosed, wantClosed) {
+		t.Fatalf("%s: ClosedComponents = %v, oracle = %v", tag, gotClosed, wantClosed)
+	}
+}
+
+// randQuery builds a random query over a small relation/constant space, so
+// random pairs frequently unify into multi-member components (and sometimes
+// violate safety — the index contract must match the BFS oracle either way).
+func randQuery(rng *rand.Rand, id ir.QueryID) *ir.Query {
+	term := func() ir.Term {
+		if rng.Intn(2) == 0 {
+			return ir.Const(fmt.Sprintf("c%d", rng.Intn(6)))
+		}
+		return ir.Var(fmt.Sprintf("q%d·v%d", id, rng.Intn(3)))
+	}
+	atom := func() ir.Atom {
+		return ir.NewAtom(fmt.Sprintf("R%d", rng.Intn(4)), term(), term())
+	}
+	q := &ir.Query{ID: id, Choose: 1}
+	for i := 0; i < 1+rng.Intn(2); i++ {
+		q.Heads = append(q.Heads, atom())
+	}
+	for i := 0; i < rng.Intn(3); i++ {
+		q.Posts = append(q.Posts, atom())
+	}
+	return q
+}
+
+// TestComponentIndexOracle drives the incremental component/closedness
+// index through ≥1000 random add/remove steps, checking it against the BFS
+// derivation after every step. Removals exercise the dirty-rebuild path
+// (including component splits); small relation and constant spaces make
+// edges, cycles and shared components common.
+func TestComponentIndexOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	g := New()
+	var live []ir.QueryID
+	nextID := ir.QueryID(1)
+	for step := 0; step < 1200; step++ {
+		// The population cap keeps the oracle's O(live²) per-step check
+		// affordable while still cycling hundreds of queries through
+		// add/remove/split states.
+		if len(live) == 0 || (rng.Intn(100) < 60 && len(live) < 48) {
+			q := randQuery(rng, nextID)
+			if err := g.AddQuery(q); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, nextID)
+			nextID++
+		} else {
+			i := rng.Intn(len(live))
+			id := live[i]
+			if !g.RemoveQuery(id) {
+				t.Fatalf("step %d: RemoveQuery(%d) = false", step, id)
+			}
+			live = append(live[:i], live[i+1:]...)
+		}
+		// Checking every step keeps failures minimal; the interesting
+		// states (splits pending rebuild) are exactly post-removal.
+		checkAgainstOracle(t, g, fmt.Sprintf("step %d", step))
+	}
+}
+
+// TestComponentIndexOracleMigration mirrors the engine's shard-migration
+// path: queries move between two graphs (RemoveQuery from one, AddQuery of
+// the same renamed query into the other), and both graphs' indexes must
+// stay consistent with their oracles throughout.
+func TestComponentIndexOracleMigration(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	gs := [2]*Graph{New(), New()}
+	home := make(map[ir.QueryID]int)
+	queries := make(map[ir.QueryID]*ir.Query)
+	var live []ir.QueryID
+	nextID := ir.QueryID(1)
+	for step := 0; step < 1000; step++ {
+		switch {
+		case len(live) == 0 || (rng.Intn(100) < 45 && len(live) < 48):
+			q := randQuery(rng, nextID)
+			h := rng.Intn(2)
+			if err := gs[h].AddQuery(q); err != nil {
+				t.Fatal(err)
+			}
+			home[nextID] = h
+			queries[nextID] = q
+			live = append(live, nextID)
+			nextID++
+		case rng.Intn(100) < 50:
+			// Migrate a random query to the other graph.
+			id := live[rng.Intn(len(live))]
+			from := home[id]
+			to := 1 - from
+			if !gs[from].RemoveQuery(id) {
+				t.Fatalf("step %d: migration evict of %d failed", step, id)
+			}
+			if err := gs[to].AddQuery(queries[id]); err != nil {
+				t.Fatal(err)
+			}
+			home[id] = to
+		default:
+			i := rng.Intn(len(live))
+			id := live[i]
+			gs[home[id]].RemoveQuery(id)
+			delete(home, id)
+			delete(queries, id)
+			live = append(live[:i], live[i+1:]...)
+		}
+		checkAgainstOracle(t, gs[0], fmt.Sprintf("step %d graph 0", step))
+		checkAgainstOracle(t, gs[1], fmt.Sprintf("step %d graph 1", step))
+	}
+}
+
+// TestComponentIndexReAdd pins the tombstone-purge path: removing a query
+// and re-adding the same ID to the same graph must leave the index exact.
+func TestComponentIndexReAdd(t *testing.T) {
+	qs := []*ir.Query{
+		ir.MustParse(1, "{R(B, x)} R(A, x) :- F(x, P)"),
+		ir.MustParse(2, "{R(A, y)} R(B, y) :- F(y, P)"),
+	}
+	g := New()
+	for _, q := range qs {
+		if err := g.AddQuery(q.RenameApart()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !g.ComponentClosed(1) {
+		t.Fatal("pair should be closed")
+	}
+	g.RemoveQuery(1)
+	if g.ComponentClosed(2) {
+		t.Fatal("lone member cannot be closed")
+	}
+	if err := g.AddQuery(qs[0].RenameApart()); err != nil {
+		t.Fatal(err)
+	}
+	if !g.ComponentClosed(2) || !g.ComponentClosed(1) {
+		t.Fatal("re-added pair should be closed again")
+	}
+	members := g.ComponentMembers(2)
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	if !reflect.DeepEqual(members, []ir.QueryID{1, 2}) {
+		t.Fatalf("members = %v", members)
+	}
+}

@@ -23,6 +23,7 @@ type Node struct {
 	Query *ir.Query
 	Out   []*Edge // this node's head feeds these postconditions
 	In    []*Edge // these heads feed this node's postconditions
+	pos   int     // insertion sequence number, for deterministic ordering
 }
 
 // InDegree returns the number of incoming edges (INDEGREE in Section 4.1.1).
@@ -39,12 +40,20 @@ func (n *Node) InDegree() int { return len(n.In) }
 // member rebuilds exactly the edges it had.
 type Graph struct {
 	nodes    map[ir.QueryID]*Node
-	order    []ir.QueryID       // insertion order, for deterministic traversal
-	pos      map[ir.QueryID]int // query → insertion sequence number
-	nextPos  int
-	headIx   *Index // index over head atoms
-	postIx   *Index // index over postcondition atoms
+	order    []ir.QueryID // insertion order, for deterministic traversal
+	nextPos  int          // next insertion sequence number (stored on the Node)
+	headIx   *Index       // index over head atoms
+	postIx   *Index       // index over postcondition atoms
 	useIndex bool
+	comp     *componentIndex // incremental components + closedness counters
+
+	// removedOrder tracks removed ids whose tombstoned order entries have
+	// not been compacted away yet, so re-adding such an id (the engine's
+	// migration path can bounce a query back) purges the stale entry
+	// instead of duplicating the id in traversal order.
+	removedOrder map[ir.QueryID]bool
+
+	lookupBuf []AtomRef // reused across AddQuery edge-discovery lookups
 }
 
 // New returns an empty unifiability graph that uses the atom index during
@@ -55,11 +64,12 @@ func New() *Graph { return NewWithOptions(true) }
 // discovery to linear scans (the A1 ablation).
 func NewWithOptions(useIndex bool) *Graph {
 	return &Graph{
-		nodes:    make(map[ir.QueryID]*Node),
-		pos:      make(map[ir.QueryID]int),
-		headIx:   NewIndex(),
-		postIx:   NewIndex(),
-		useIndex: useIndex,
+		nodes:        make(map[ir.QueryID]*Node),
+		headIx:       NewIndex(),
+		postIx:       NewIndex(),
+		useIndex:     useIndex,
+		comp:         newComponentIndex(),
+		removedOrder: make(map[ir.QueryID]bool),
 	}
 }
 
@@ -71,6 +81,15 @@ func (g *Graph) DropRelation(rel string) bool {
 	p := g.postIx.DropRelation(rel)
 	return h && p
 }
+
+// HeadIndex exposes the graph's head-atom index. The engine's safety
+// checker layers on it (the admitted set and the graph's node set are the
+// same queries) so each shard indexes every atom once instead of twice.
+// Callers must not mutate it; AddQuery/RemoveQuery own its contents.
+func (g *Graph) HeadIndex() *Index { return g.headIx }
+
+// PostIndex exposes the graph's postcondition-atom index (see HeadIndex).
+func (g *Graph) PostIndex() *Index { return g.postIx }
 
 // IndexKeyCount returns the combined key-map footprint of the graph's atom
 // indexes (observability for relation-family GC).
@@ -119,11 +138,23 @@ func (g *Graph) AddQuery(q *ir.Query) error {
 	if _, dup := g.nodes[q.ID]; dup {
 		return fmt.Errorf("graph: duplicate query id %d", q.ID)
 	}
-	n := &Node{Query: q}
+	if g.removedOrder[q.ID] {
+		// Re-added after removal with its tombstoned order entry still in
+		// place: purge it so the id appears once, at its new position.
+		live := g.order[:0]
+		for _, qid := range g.order {
+			if qid != q.ID {
+				live = append(live, qid)
+			}
+		}
+		g.order = live
+		delete(g.removedOrder, q.ID)
+	}
+	n := &Node{Query: q, pos: g.nextPos}
 	g.nodes[q.ID] = n
 	g.order = append(g.order, q.ID)
-	g.pos[q.ID] = g.nextPos
 	g.nextPos++
+	g.comp.addNode(g, q.ID, q.PostCount())
 
 	// New heads against existing (and own) postconditions.
 	for hi, h := range q.Heads {
@@ -134,7 +165,8 @@ func (g *Graph) AddQuery(q *ir.Query) error {
 	}
 	// Edges out of q: q's heads unify with other queries' postconditions.
 	for hi, h := range q.Heads {
-		for _, ref := range g.lookup(g.postIx, h) {
+		refs := g.lookup(g.postIx, h)
+		for _, ref := range refs {
 			if ref.Query == q.ID {
 				continue // no self-edges
 			}
@@ -143,7 +175,8 @@ func (g *Graph) AddQuery(q *ir.Query) error {
 	}
 	// Edges into q: other queries' heads unify with q's postconditions.
 	for pi, p := range q.Posts {
-		for _, ref := range g.lookup(g.headIx, p) {
+		refs := g.lookup(g.headIx, p)
+		for _, ref := range refs {
 			if ref.Query == q.ID {
 				continue // no self-edges
 			}
@@ -153,11 +186,15 @@ func (g *Graph) AddQuery(q *ir.Query) error {
 	return nil
 }
 
+// lookup resolves a probe through the graph's reusable buffer; the result
+// is valid until the next lookup call.
 func (g *Graph) lookup(ix *Index, probe ir.Atom) []AtomRef {
 	if g.useIndex {
-		return ix.Lookup(probe)
+		g.lookupBuf = ix.AppendLookup(g.lookupBuf[:0], probe)
+	} else {
+		g.lookupBuf = ix.AppendScanLookup(g.lookupBuf[:0], probe)
 	}
-	return ix.ScanLookup(probe)
+	return g.lookupBuf
 }
 
 func (g *Graph) link(e *Edge) {
@@ -168,6 +205,7 @@ func (g *Graph) link(e *Edge) {
 	}
 	from.Out = append(from.Out, e)
 	to.In = append(to.In, e)
+	g.comp.onLink(e.From, e.To, len(to.In), to.Query.PostCount())
 }
 
 // RemoveQuery deletes a node and all its incident edges. It returns false if
@@ -177,6 +215,7 @@ func (g *Graph) RemoveQuery(id ir.QueryID) bool {
 	if !ok {
 		return false
 	}
+	g.comp.removeNode(id)
 	for _, e := range n.Out {
 		if peer := g.nodes[e.To]; peer != nil && e.To != id {
 			peer.In = dropEdges(peer.In, id)
@@ -188,9 +227,9 @@ func (g *Graph) RemoveQuery(id ir.QueryID) bool {
 		}
 	}
 	delete(g.nodes, id)
-	delete(g.pos, id)
 	g.headIx.RemoveQuery(id)
 	g.postIx.RemoveQuery(id)
+	g.removedOrder[id] = true
 	// Compact the insertion-order slice once it is mostly tombstones, so
 	// long-running engines do not accumulate dead entries.
 	if len(g.order) >= 64 && len(g.nodes)*2 < len(g.order) {
@@ -201,6 +240,7 @@ func (g *Graph) RemoveQuery(id ir.QueryID) bool {
 			}
 		}
 		g.order = live
+		clear(g.removedOrder) // every tombstoned entry is gone now
 	}
 	return true
 }
@@ -315,7 +355,7 @@ func (g *Graph) ComponentOf(id ir.QueryID) []ir.QueryID {
 			visit(e.From)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return g.pos[out[i]] < g.pos[out[j]] })
+	sort.Slice(out, func(i, j int) bool { return g.nodes[out[i]].pos < g.nodes[out[j]].pos })
 	return out
 }
 

@@ -3,10 +3,22 @@
 // from N(qi) to N(qj) for every pair (h, p) where h is a head atom of qi, p
 // a postcondition atom of qj, and h unifies with p.
 //
-// The package also provides the (Relation, Parameter, Value) → [atoms] index
-// from Section 4.1.4 used to avoid the quadratic all-pairs unification scan,
-// connected components (the partitioning phase, Section 4.1.2), and strongly
-// connected components (the UCS check, Section 3.1.2).
+// Around the graph the package provides the machinery the engine's hot
+// paths lean on:
+//
+//   - The (Relation, Parameter, Value) → [atoms] index of Section 4.1.4,
+//     used to avoid the quadratic all-pairs unification scan during
+//     incremental insertion (and shared with the safety checker).
+//   - An incrementally maintained component index: a union-find over live
+//     queries kept in lock-step with AddQuery/RemoveQuery, whose roots carry
+//     a closedness counter Σ max(0, PostCount − InDegree). ComponentClosed,
+//     ComponentMembers and ClosedComponents answer the engine's per-arrival
+//     and per-flush questions ("did this arrival close its component?",
+//     "which components can be matched now?") without BFS-walking the graph;
+//     removals mark the touched component for a lazily scoped rebuild. The
+//     BFS derivations (ComponentOf, ConnectedComponents, Section 4.1.2)
+//     remain as the oracle the index is tested against.
+//   - Strongly connected components and the UCS check (Section 3.1.2).
 package graph
 
 import (
@@ -28,6 +40,77 @@ type AtomRef struct {
 // under this marker so that a lookup can union L(R, i, v) with L(R, i, ∆).
 const wildcard = "\x00∆"
 
+// ikey is a (relation, parameter, value|∆) posting key. A comparable struct
+// key instead of a concatenated string keeps Add and Lookup free of the
+// per-position key allocations that used to dominate the engine's
+// per-arrival profile; the relation is carried as its interned id so the
+// map hashes the relation name once per operation (in byRel), not once per
+// argument position.
+type ikey struct {
+	rel   int32
+	param int32
+	value string
+}
+
+// relInfo is the byRel entry: the relation's interned id plus the posting
+// of its atoms.
+type relInfo struct {
+	id  int32
+	ids posting
+}
+
+// span is a half-open range of entry ids. A query's entries are recorded as
+// one span: atoms of one query are added consecutively, so the span is
+// normally exact; if a caller interleaves queries the span simply widens and
+// removal filters by owner, trading a little scan width for never allocating
+// a per-query id slice.
+type span struct{ lo, hi int32 }
+
+// posting is an ascending list of entry ids with the first two stored
+// inline. Workloads with per-group ANSWER relations produce vast numbers of
+// postings holding one or two ids; keeping those inline in the map value
+// means a fresh key costs no slice allocation at all.
+type posting struct {
+	n      int32
+	inline [2]int32
+	more   []int32 // ids beyond the first two
+}
+
+func (p *posting) add(id int32) {
+	if p.n < 2 {
+		p.inline[p.n] = id
+	} else {
+		p.more = append(p.more, id)
+	}
+	p.n++
+}
+
+func (p *posting) len() int { return int(p.n) }
+
+func (p *posting) at(i int) int32 {
+	if i < 2 {
+		return p.inline[i]
+	}
+	return p.more[i-2]
+}
+
+// contains reports whether the ascending posting holds id.
+func (p *posting) contains(id int32) bool {
+	lo, hi := 0, p.len()
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch v := p.at(mid); {
+		case v < id:
+			lo = mid + 1
+		case v > id:
+			hi = mid
+		default:
+			return true
+		}
+	}
+	return false
+}
+
 // Index is the head-atom index of Section 4.1.4. Lookup for a probe atom
 // R(v1..vn) returns the indexed atoms that can possibly unify with it:
 //
@@ -38,44 +121,55 @@ const wildcard = "\x00∆"
 type Index struct {
 	entries []AtomRef
 	dead    []bool
-	byKey   map[string][]int     // (rel, param, value|∆) → entry ids
-	byRel   map[string][]int     // rel → entry ids (for all-variable probes)
-	byQuery map[ir.QueryID][]int // query → entry ids, for O(1) removal
+	byKey   map[ikey]posting    // (interned rel, param, value|∆) → entry ids
+	byRel   map[string]relInfo  // rel → interned id + entry ids (for all-variable probes)
+	byQuery map[ir.QueryID]span // query → entry id range, for O(atoms) removal
+	nextRel int32               // next relation id to intern
 	nLive   int
+	merged  []int32 // scratch for the candidate posting merge, reused across Lookups
 }
 
 // NewIndex returns an empty atom index.
 func NewIndex() *Index {
 	return &Index{
-		byKey:   make(map[string][]int),
-		byRel:   make(map[string][]int),
-		byQuery: make(map[ir.QueryID][]int),
+		byKey:   make(map[ikey]posting),
+		byRel:   make(map[string]relInfo),
+		byQuery: make(map[ir.QueryID]span),
 	}
 }
 
 // Len returns the number of live atoms in the index.
 func (ix *Index) Len() int { return ix.nLive }
 
-func indexKey(rel string, param int, value string) string {
-	return rel + "\x00" + strconv.Itoa(param) + "\x00" + value
-}
-
 // Add inserts an atom reference.
 func (ix *Index) Add(ref AtomRef) {
-	id := len(ix.entries)
+	id := int32(len(ix.entries))
 	ix.entries = append(ix.entries, ref)
 	ix.dead = append(ix.dead, false)
-	ix.byQuery[ref.Query] = append(ix.byQuery[ref.Query], id)
+	if sp, ok := ix.byQuery[ref.Query]; ok {
+		sp.hi = id + 1
+		ix.byQuery[ref.Query] = sp
+	} else {
+		ix.byQuery[ref.Query] = span{lo: id, hi: id + 1}
+	}
 	ix.nLive++
 	rel := ref.Atom.Rel
-	ix.byRel[rel] = append(ix.byRel[rel], id)
+	ri, known := ix.byRel[rel]
+	if !known {
+		ri.id = ix.nextRel
+		ix.nextRel++
+	}
+	ri.ids.add(id)
+	ix.byRel[rel] = ri
 	for i, t := range ref.Atom.Args {
 		v := wildcard
 		if t.IsConst() {
 			v = t.Value
 		}
-		k := indexKey(rel, i, v)
-		ix.byKey[k] = append(ix.byKey[k], id)
+		k := ikey{rel: ri.id, param: int32(i), value: v}
+		kp := ix.byKey[k]
+		kp.add(id)
+		ix.byKey[k] = kp
 	}
 }
 
@@ -83,9 +177,13 @@ func (ix *Index) Add(ref AtomRef) {
 // the query), not O(index size) — the engine removes a query on every
 // retirement, so this must not scan.
 func (ix *Index) RemoveQuery(q ir.QueryID) {
-	for _, id := range ix.byQuery[q] {
-		if !ix.dead[id] {
-			ix.dead[id] = true
+	sp, ok := ix.byQuery[q]
+	if !ok {
+		return
+	}
+	for i := sp.lo; i < sp.hi; i++ {
+		if ix.entries[i].Query == q && !ix.dead[i] {
+			ix.dead[i] = true
 			ix.nLive--
 		}
 	}
@@ -106,20 +204,24 @@ func (ix *Index) RemoveQuery(q ir.QueryID) {
 // invokes it so that a long-lived engine seeing unboundedly many fresh
 // ANSWER relation names does not accrete one dead map key per name.
 func (ix *Index) DropRelation(rel string) bool {
-	ids := ix.byRel[rel]
-	for _, id := range ids {
-		if !ix.dead[id] {
+	ri, ok := ix.byRel[rel]
+	if !ok {
+		return true
+	}
+	for i := 0; i < ri.ids.len(); i++ {
+		if !ix.dead[ri.ids.at(i)] {
 			return false
 		}
 	}
-	for _, id := range ids {
+	for i := 0; i < ri.ids.len(); i++ {
+		id := ri.ids.at(i)
 		a := ix.entries[id].Atom
-		for i, t := range a.Args {
+		for pi, t := range a.Args {
 			v := wildcard
 			if t.IsConst() {
 				v = t.Value
 			}
-			delete(ix.byKey, indexKey(rel, i, v))
+			delete(ix.byKey, ikey{rel: ri.id, param: int32(pi), value: v})
 		}
 	}
 	delete(ix.byRel, rel)
@@ -141,9 +243,10 @@ func (ix *Index) compact() {
 	}
 	ix.entries = ix.entries[:0]
 	ix.dead = ix.dead[:0]
-	ix.byKey = make(map[string][]int)
-	ix.byRel = make(map[string][]int)
-	ix.byQuery = make(map[ir.QueryID][]int)
+	ix.byKey = make(map[ikey]posting)
+	ix.byRel = make(map[string]relInfo)
+	ix.byQuery = make(map[ir.QueryID]span)
+	ix.nextRel = 0
 	ix.nLive = 0
 	for _, ref := range live {
 		ix.Add(ref)
@@ -154,6 +257,15 @@ func (ix *Index) compact() {
 // probe, in insertion order. The result over-approximates true unifiability
 // only in that repeated-variable constraints are not checked here; it never
 // misses a unifiable atom.
+func (ix *Index) Lookup(probe ir.Atom) []AtomRef {
+	return ix.AppendLookup(nil, probe)
+}
+
+// AppendLookup appends Lookup's results to dst and returns it. Apart from
+// growing dst it does not allocate — candidate selection works over the
+// postings in place (with one reusable merge buffer), so probes that match
+// nothing, the common case on the engine's per-arrival path, cost zero
+// allocations. The returned refs are copies; dst may be reused freely.
 //
 // The intersection starts from the constant position with the smallest
 // combined (exact ∪ ∆) posting and filters the remaining positions by
@@ -161,54 +273,54 @@ func (ix *Index) compact() {
 // position) costs nothing when another position is selective. This keeps
 // per-arrival lookups O(smallest posting · log) even on workloads where
 // thousands of postconditions share a variable first column.
-func (ix *Index) Lookup(probe ir.Atom) []AtomRef {
-	rel := probe.Rel
-	all, ok := ix.byRel[rel]
+func (ix *Index) AppendLookup(dst []AtomRef, probe ir.Atom) []AtomRef {
+	ri, ok := ix.byRel[probe.Rel]
 	if !ok {
-		return nil
+		return dst
 	}
-	// Collect per-constant-position postings and their combined sizes.
-	type posting struct {
-		exact, wild []int
-	}
-	var posts []posting
+	rel, all := ri.id, ri.ids
+	// Pick the constant position with the smallest combined posting.
+	base, bestLen := -1, int(^uint(0)>>1)
 	for i, t := range probe.Args {
 		if !t.IsConst() {
 			continue
 		}
-		posts = append(posts, posting{
-			exact: ix.byKey[indexKey(rel, i, t.Value)],
-			wild:  ix.byKey[indexKey(rel, i, wildcard)],
-		})
-	}
-	var candidate []int
-	if len(posts) == 0 {
-		candidate = all // probe had no constants
-	} else {
-		base := 0
-		for i := 1; i < len(posts); i++ {
-			if len(posts[i].exact)+len(posts[i].wild) < len(posts[base].exact)+len(posts[base].wild) {
-				base = i
-			}
+		exact := ix.byKey[ikey{rel: rel, param: int32(i), value: t.Value}]
+		wild := ix.byKey[ikey{rel: rel, param: int32(i), value: wildcard}]
+		if l := exact.len() + wild.len(); l < bestLen {
+			base, bestLen = i, l
 		}
-		candidate = mergeSorted(posts[base].exact, posts[base].wild)
-		for i, p := range posts {
-			if i == base || len(candidate) == 0 {
+	}
+	var candidate []int32
+	if base < 0 {
+		// Probe had no constants: every atom of the relation is a candidate.
+		candidate = ix.merged[:0]
+		for i := 0; i < all.len(); i++ {
+			candidate = append(candidate, all.at(i))
+		}
+		ix.merged = candidate
+	} else {
+		exact := ix.byKey[ikey{rel: rel, param: int32(base), value: probe.Args[base].Value}]
+		wild := ix.byKey[ikey{rel: rel, param: int32(base), value: wildcard}]
+		candidate = ix.mergeSortedInto(exact, wild)
+		for i, t := range probe.Args {
+			if i == base || !t.IsConst() || len(candidate) == 0 {
 				continue
 			}
-			kept := candidate[:0:len(candidate)]
+			exact := ix.byKey[ikey{rel: rel, param: int32(i), value: t.Value}]
+			wild := ix.byKey[ikey{rel: rel, param: int32(i), value: wildcard}]
+			kept := candidate[:0]
 			for _, id := range candidate {
-				if containsSorted(p.exact, id) || containsSorted(p.wild, id) {
+				if exact.contains(id) || wild.contains(id) {
 					kept = append(kept, id)
 				}
 			}
 			candidate = kept
 		}
 		if len(candidate) == 0 {
-			return nil
+			return dst
 		}
 	}
-	out := make([]AtomRef, 0, len(candidate))
 	for _, id := range candidate {
 		if ix.dead[id] {
 			continue
@@ -218,64 +330,58 @@ func (ix *Index) Lookup(probe ir.Atom) []AtomRef {
 		// (covers positions where the probe has a constant but the entry has
 		// a different constant — already excluded — and arity mismatches).
 		if ir.Unifiable(ref.Atom, probe) {
-			out = append(out, ref)
+			dst = append(dst, ref)
 		}
 	}
-	return out
-}
-
-// containsSorted reports whether the ascending id slice contains id.
-func containsSorted(ids []int, id int) bool {
-	lo, hi := 0, len(ids)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		switch {
-		case ids[mid] < id:
-			lo = mid + 1
-		case ids[mid] > id:
-			hi = mid
-		default:
-			return true
-		}
-	}
-	return false
+	return dst
 }
 
 // ScanLookup is the indexless variant used by the A1 ablation: it linearly
 // scans every live atom. Results match Lookup.
 func (ix *Index) ScanLookup(probe ir.Atom) []AtomRef {
-	var out []AtomRef
+	return ix.AppendScanLookup(nil, probe)
+}
+
+// AppendScanLookup is ScanLookup appending into dst.
+func (ix *Index) AppendScanLookup(dst []AtomRef, probe ir.Atom) []AtomRef {
 	for id, ref := range ix.entries {
 		if ix.dead[id] {
 			continue
 		}
 		if ir.Unifiable(ref.Atom, probe) {
-			out = append(out, ref)
+			dst = append(dst, ref)
 		}
 	}
-	return out
+	return dst
 }
 
-// mergeSorted merges two ascending id slices, dropping duplicates.
-func mergeSorted(a, b []int) []int {
-	out := make([]int, 0, len(a)+len(b))
+// mergeSortedInto merges two ascending postings into the index's reusable
+// scratch buffer, dropping duplicates. The result is only valid until the
+// next Lookup on this index.
+func (ix *Index) mergeSortedInto(a, b posting) []int32 {
+	out := ix.merged[:0]
 	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			out = append(out, a[i])
+	for i < a.len() && j < b.len() {
+		switch va, vb := a.at(i), b.at(j); {
+		case va < vb:
+			out = append(out, va)
 			i++
-		case a[i] > b[j]:
-			out = append(out, b[j])
+		case va > vb:
+			out = append(out, vb)
 			j++
 		default:
-			out = append(out, a[i])
+			out = append(out, va)
 			i++
 			j++
 		}
 	}
-	out = append(out, a[i:]...)
-	out = append(out, b[j:]...)
+	for ; i < a.len(); i++ {
+		out = append(out, a.at(i))
+	}
+	for ; j < b.len(); j++ {
+		out = append(out, b.at(j))
+	}
+	ix.merged = out
 	return out
 }
 

@@ -3,6 +3,7 @@ package ir
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -33,54 +34,83 @@ func NewQuery(id QueryID, heads, posts, body []Atom) *Query {
 	return &Query{ID: id, Heads: heads, Posts: posts, Body: body, Choose: 1}
 }
 
+// relArity pairs a relation name with an observed arity during validation.
+type relArity struct {
+	rel string
+	n   int
+}
+
 // Validate checks the structural well-formedness rules of Section 2.2:
 // at least one head atom, range restriction (every variable in H or C occurs
 // in B), and non-empty relation names with consistent arities per relation
 // within the query.
+//
+// Validate runs on the engine's submission hot path for every arrival, so
+// the bookkeeping uses linear scans over stack scratch rather than maps:
+// queries are small (a handful of atoms, fewer distinct relations and
+// variables), where the scan beats hashing and allocates nothing.
 func (q *Query) Validate() error {
 	if len(q.Heads) == 0 {
 		return fmt.Errorf("query %d: no head atoms", q.ID)
 	}
-	bodyVars := make(map[string]bool)
-	arity := make(map[string]int)
-	check := func(atoms []Atom, where string) error {
-		for _, a := range atoms {
-			if a.Rel == "" {
-				return fmt.Errorf("query %d: empty relation name in %s", q.ID, where)
-			}
-			if n, ok := arity[a.Rel]; ok && n != len(a.Args) {
-				return fmt.Errorf("query %d: relation %s used with arities %d and %d", q.ID, a.Rel, n, len(a.Args))
-			}
-			arity[a.Rel] = len(a.Args)
-		}
-		return nil
-	}
-	if err := check(q.Body, "body"); err != nil {
+	var arityBuf [12]relArity
+	arities := arityBuf[:0]
+	var err error
+	if arities, err = q.checkArities(arities, q.Body, "body"); err != nil {
 		return err
 	}
-	for _, a := range q.Body {
-		for _, t := range a.Args {
-			if t.IsVar() {
-				bodyVars[t.Value] = true
-			}
-		}
-	}
-	if err := check(q.Heads, "head"); err != nil {
+	if arities, err = q.checkArities(arities, q.Heads, "head"); err != nil {
 		return err
 	}
-	if err := check(q.Posts, "postcondition"); err != nil {
+	if _, err = q.checkArities(arities, q.Posts, "postcondition"); err != nil {
 		return err
 	}
-	for _, group := range [][]Atom{q.Heads, q.Posts} {
+	for _, group := range [2][]Atom{q.Heads, q.Posts} {
 		for _, a := range group {
 			for _, t := range a.Args {
-				if t.IsVar() && !bodyVars[t.Value] {
+				if t.IsVar() && !q.bodyBinds(t.Value) {
 					return fmt.Errorf("query %d: variable %s in %s is not range-restricted (does not occur in the body)", q.ID, t.Value, a)
 				}
 			}
 		}
 	}
 	return nil
+}
+
+// checkArities verifies non-empty relation names and per-relation arity
+// consistency against (and extending) the accumulated scratch.
+func (q *Query) checkArities(arities []relArity, atoms []Atom, where string) ([]relArity, error) {
+	for _, a := range atoms {
+		if a.Rel == "" {
+			return arities, fmt.Errorf("query %d: empty relation name in %s", q.ID, where)
+		}
+		known := false
+		for _, ra := range arities {
+			if ra.rel == a.Rel {
+				if ra.n != len(a.Args) {
+					return arities, fmt.Errorf("query %d: relation %s used with arities %d and %d", q.ID, a.Rel, ra.n, len(a.Args))
+				}
+				known = true
+				break
+			}
+		}
+		if !known {
+			arities = append(arities, relArity{rel: a.Rel, n: len(a.Args)})
+		}
+	}
+	return arities, nil
+}
+
+// bodyBinds reports whether the variable occurs in the body.
+func (q *Query) bodyBinds(v string) bool {
+	for _, a := range q.Body {
+		for _, t := range a.Args {
+			if t.IsVar() && t.Value == v {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // Vars returns the sorted set of variable names appearing anywhere in the
@@ -109,43 +139,81 @@ func (q *Query) Vars() []string {
 // Section 4.1.1).
 func (q *Query) PostCount() int { return len(q.Posts) }
 
-// Clone returns a deep copy of the query.
+// Clone returns a deep copy of the query. The copy's atom and argument
+// slices are carved from two shared backing arrays (three-index sliced, so
+// appending to one group can never alias a sibling), keeping the allocation
+// count per clone constant rather than proportional to the atom count —
+// Clone sits on the engine's per-arrival path.
 func (q *Query) Clone() *Query {
 	cp := &Query{ID: q.ID, Owner: q.Owner, Choose: q.Choose}
-	cp.Heads = cloneAtoms(q.Heads)
-	cp.Posts = cloneAtoms(q.Posts)
-	cp.Body = cloneAtoms(q.Body)
+	nAtoms := len(q.Heads) + len(q.Posts) + len(q.Body)
+	if nAtoms == 0 {
+		return cp
+	}
+	nArgs := 0
+	for _, group := range [3][]Atom{q.Heads, q.Posts, q.Body} {
+		for _, a := range group {
+			nArgs += len(a.Args)
+		}
+	}
+	atoms := make([]Atom, 0, nAtoms)
+	args := make([]Term, nArgs)
+	ti := 0
+	carve := func(src []Atom) []Atom {
+		if src == nil {
+			return nil
+		}
+		lo := len(atoms)
+		for _, a := range src {
+			dst := args[ti : ti+len(a.Args) : ti+len(a.Args)]
+			copy(dst, a.Args)
+			ti += len(a.Args)
+			atoms = append(atoms, Atom{Rel: a.Rel, Args: dst})
+		}
+		return atoms[lo:len(atoms):len(atoms)]
+	}
+	cp.Heads = carve(q.Heads)
+	cp.Posts = carve(q.Posts)
+	cp.Body = carve(q.Body)
 	return cp
 }
 
-func cloneAtoms(in []Atom) []Atom {
-	if in == nil {
-		return nil
+// RenamedCopy returns a copy of the query with its ID set to id and every
+// variable prefixed with "q<id>·". It fuses the engine's ID assignment and
+// rename-apart into one copy: the clone is renamed in place instead of
+// cloned a second time per atom.
+func (q *Query) RenamedCopy(id QueryID) *Query {
+	cp := q.Clone()
+	cp.ID = id
+	var pfxBuf [24]byte
+	buf := append(pfxBuf[:0], 'q')
+	buf = strconv.AppendInt(buf, int64(id), 10)
+	buf = append(buf, "·"...)
+	pfx := string(buf)
+	// Repeated occurrences of the same variable are common (a join variable
+	// appears in several body atoms); reuse the previous occurrence's
+	// renamed string instead of concatenating again.
+	lastOld, lastNew := "", ""
+	for _, group := range [3][]Atom{cp.Heads, cp.Posts, cp.Body} {
+		for _, a := range group {
+			for i, t := range a.Args {
+				if t.Kind != KindVar {
+					continue
+				}
+				if t.Value != lastOld {
+					lastOld, lastNew = t.Value, pfx+t.Value
+				}
+				a.Args[i].Value = lastNew
+			}
+		}
 	}
-	out := make([]Atom, len(in))
-	for i, a := range in {
-		out[i] = a.Clone()
-	}
-	return out
+	return cp
 }
 
 // RenameApart returns a copy of the query whose variables are prefixed with
 // "q<ID>·", guaranteeing that no variable is shared between distinct queries
 // in a batch. Unifier propagation (Section 4.1.3) requires this property.
-func (q *Query) RenameApart() *Query {
-	f := func(v string) string { return fmt.Sprintf("q%d·%s", q.ID, v) }
-	cp := q.Clone()
-	for i := range cp.Heads {
-		cp.Heads[i] = cp.Heads[i].Rename(f)
-	}
-	for i := range cp.Posts {
-		cp.Posts[i] = cp.Posts[i].Rename(f)
-	}
-	for i := range cp.Body {
-		cp.Body[i] = cp.Body[i].Rename(f)
-	}
-	return cp
-}
+func (q *Query) RenameApart() *Query { return q.RenamedCopy(q.ID) }
 
 // Apply returns a copy of the query with the substitution applied to all
 // three parts.

@@ -1,0 +1,49 @@
+package match
+
+import (
+	"testing"
+
+	"entangle/internal/graph"
+	"entangle/internal/ir"
+)
+
+// benchPairGraphFrom builds the unifiability graph of already renamed-apart
+// queries and returns it with its connected components.
+func benchPairGraphFrom(t *testing.T, qs []*ir.Query) (*graph.Graph, [][]ir.QueryID) {
+	t.Helper()
+	g, err := graph.Build(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, g.ConnectedComponents()
+}
+
+// TestMatchComponentAllocs is the allocation regression guard for the
+// matcher's dense fast path on a fixed social two-way component (the
+// coordinating-pair shape of the paper's Figure 6 workload). The bound
+// leaves headroom over the measured ~16 allocs (result slices and the
+// materialised global unifier); the map-overlay matcher sat above 60, so a
+// fast-path regression trips this immediately.
+func TestMatchComponentAllocs(t *testing.T) {
+	qs := []*ir.Query{
+		ir.MustParse(1, "{R(Bob, x)} R(Ann, x) :- F(x, Paris)").RenameApart(),
+		ir.MustParse(2, "{R(Ann, y)} R(Bob, y) :- F(y, Paris)").RenameApart(),
+	}
+	g, comps := benchPairGraphFrom(t, qs)
+	if len(comps) != 1 {
+		t.Fatalf("components = %v", comps)
+	}
+	// Warm the dense-scratch pool.
+	if res := MatchComponent(g, comps[0], Options{}); len(res.Survivors) != 2 {
+		t.Fatalf("survivors = %v", res.Survivors)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		res := MatchComponent(g, comps[0], Options{})
+		if len(res.Survivors) != 2 {
+			t.Fatal("pair did not match")
+		}
+	})
+	if avg > 24 {
+		t.Fatalf("MatchComponent allocates %.1f allocs/op, want ≤ 24", avg)
+	}
+}

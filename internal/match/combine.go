@@ -20,10 +20,13 @@ func BuildCombined(queries map[ir.QueryID]*ir.Query, res *MatchResult) (*ir.Comb
 	if len(res.Survivors) == 0 {
 		return nil, nil, fmt.Errorf("match: no surviving queries to combine")
 	}
-	global := unify.New()
-	for _, id := range res.Survivors {
-		if _, err := global.Merge(res.Unifiers[id]); err != nil {
-			return nil, nil, fmt.Errorf("match: no global unifier for component: %w", err)
+	global := res.Global
+	if global == nil {
+		global = unify.New()
+		for _, id := range res.Survivors {
+			if _, err := global.Merge(res.Unifiers[id]); err != nil {
+				return nil, nil, fmt.Errorf("match: no global unifier for component: %w", err)
+			}
 		}
 	}
 	cq := &ir.CombinedQuery{}

@@ -3,6 +3,7 @@ package match
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"entangle/internal/graph"
 	"entangle/internal/ir"
@@ -62,25 +63,16 @@ type MatchResult struct {
 	// its final unifier.
 	Survivors []ir.QueryID
 	Unifiers  map[ir.QueryID]*unify.Unifier
+	// Global, when non-nil, is the component's global unifier — the mgu of
+	// all survivor unifiers — computed as a by-product of the dense fast
+	// path. BuildCombined uses it directly instead of re-merging the
+	// survivors; consumers must treat it as read-only.
+	Global *unify.Unifier
 	// Removed lists queries eliminated during matching with their causes.
 	Removed []Removal
 	// Stats
 	Iterations int // number of queue dequeues performed
 	MGUCalls   int // number of pairwise unifier merges
-}
-
-// matcher carries the state of one Algorithm 1 run. It never mutates the
-// underlying graph; removals are tracked in an overlay so the engine can
-// reuse the graph across incremental rounds.
-type matcher struct {
-	g       *graph.Graph
-	member  map[ir.QueryID]bool
-	removed map[ir.QueryID]bool
-	u       map[ir.QueryID]*unify.Unifier
-	inQueue map[ir.QueryID]bool
-	queue   []ir.QueryID
-	res     *MatchResult
-	naive   bool // use NaiveMerge (A3 ablation)
 }
 
 // Options tunes MatchComponent.
@@ -89,99 +81,196 @@ type Options struct {
 	NaiveMGU bool
 }
 
+// denseState is the pooled scratch of the fast path: an interner and a
+// slice-backed union-find, reused across components and safe for the
+// engine's concurrent per-component flush evaluations.
+type denseState struct {
+	in *unify.Interner
+	du *unify.DenseUnifier
+}
+
+var densePool = sync.Pool{New: func() any {
+	in := unify.NewInterner()
+	return &denseState{in: in, du: unify.NewDenseUnifier(in)}
+}}
+
 // MatchComponent runs unifier propagation (Algorithm 1) on the queries of
-// one connected component of g. The component must contain only live graph
-// nodes. Queries in the component must have pairwise-disjoint variable
-// names (rename apart first).
+// one connected component of g. The component must be exactly the member
+// set of a live connected component (as produced by ConnectedComponents,
+// ComponentMembers or ClosedComponents). Queries in the component must have
+// pairwise-disjoint variable names (rename apart first).
+//
+// Two implementations sit behind this entry point. The dense fast path
+// handles the dominant case — every member's postconditions are fed and no
+// constant clash exists: then no query is ever removed and every final
+// unifier merges into one global mgu, so a single union-find pass over the
+// component's edges (on interned int slices, no maps, pooled scratch)
+// produces the result. If any member is starved or any union clashes, the
+// run falls back to the literal Algorithm 1 with per-member unifiers and
+// CLEANUP cascades, whose removal attribution the fast path cannot
+// reproduce. The A3 NaiveMGU ablation always takes the literal path.
 func MatchComponent(g *graph.Graph, component []ir.QueryID, opt Options) *MatchResult {
+	if !opt.NaiveMGU {
+		if res := matchFast(g, component); res != nil {
+			return res
+		}
+	}
+	return matchSlow(g, component, opt)
+}
+
+// matchFast attempts the one-pass dense match; it returns nil when the
+// component needs the literal algorithm (dead or starved member, or a
+// unifier clash).
+func matchFast(g *graph.Graph, component []ir.QueryID) *MatchResult {
+	for _, id := range component {
+		n := g.Node(id)
+		if n == nil || len(n.In) < n.Query.PostCount() {
+			return nil
+		}
+	}
+	st := densePool.Get().(*denseState)
+	st.in.Reset()
+	st.du.Reset()
+	mgu := 0
+	for _, id := range component {
+		n := g.Node(id)
+		for _, e := range n.In {
+			mgu++
+			if err := st.du.UnifyAtoms(e.Head.Atom, e.Post.Atom); err != nil {
+				densePool.Put(st)
+				return nil // clash: removal attribution needs Algorithm 1
+			}
+		}
+	}
+	global, err := st.du.Materialize()
+	densePool.Put(st)
+	if err != nil {
+		return nil
+	}
+	res := &MatchResult{
+		Survivors: append(make([]ir.QueryID, 0, len(component)), component...),
+		Unifiers:  make(map[ir.QueryID]*unify.Unifier, len(component)),
+		Global:    global,
+		MGUCalls:  mgu,
+	}
+	// With no removals, propagation converges every member onto the global
+	// unifier's constraints; exposing the global for each survivor imposes
+	// exactly the same constraint set downstream.
+	for _, id := range component {
+		res.Unifiers[id] = global
+	}
+	return res
+}
+
+// matcher carries the state of one literal Algorithm 1 run. It never
+// mutates the underlying graph; removals are tracked in an overlay so the
+// engine can reuse the graph across incremental rounds. Overlay state is
+// keyed by component-local dense indexes (one small map from query ID to
+// index, bool slices for the rest) rather than one map per concern.
+type matcher struct {
+	g       *graph.Graph
+	comp    []ir.QueryID
+	idx     map[ir.QueryID]int32 // query → dense component-local index
+	removed []bool
+	inQueue []bool
+	u       []*unify.Unifier
+	queue   []int32
+	res     *MatchResult
+	naive   bool // use NaiveMerge (A3 ablation)
+}
+
+func matchSlow(g *graph.Graph, component []ir.QueryID, opt Options) *MatchResult {
+	n := len(component)
 	m := &matcher{
 		g:       g,
-		member:  make(map[ir.QueryID]bool, len(component)),
-		removed: make(map[ir.QueryID]bool),
-		u:       make(map[ir.QueryID]*unify.Unifier, len(component)),
-		inQueue: make(map[ir.QueryID]bool, len(component)),
+		comp:    component,
+		idx:     make(map[ir.QueryID]int32, n),
+		removed: make([]bool, n),
+		inQueue: make([]bool, n),
+		u:       make([]*unify.Unifier, n),
 		res:     &MatchResult{Unifiers: make(map[ir.QueryID]*unify.Unifier)},
 		naive:   opt.NaiveMGU,
 	}
-	for _, id := range component {
-		m.member[id] = true
-		m.u[id] = unify.New()
+	for i, id := range component {
+		m.idx[id] = int32(i)
+		m.u[i] = unify.New()
 	}
 
 	// Phase 1 (graph construction residue): initialise each node's unifier
 	// from its incoming edges, and remove nodes whose indegree is below
 	// their postcondition count — some postcondition has no unifying head.
-	for _, id := range component {
+	for i, id := range component {
 		n := g.Node(id)
 		if n == nil {
 			continue
 		}
-		if m.removed[id] {
+		if m.removed[i] {
 			continue
 		}
 		if m.liveInDegree(id) < n.Query.PostCount() {
-			m.cleanup(id, CauseUnsatisfiedPost)
+			m.cleanup(int32(i), CauseUnsatisfiedPost)
 			continue
 		}
 		ok := true
 		for _, e := range n.In {
-			if !m.member[e.From] || m.removed[e.From] {
+			j, member := m.idx[e.From]
+			if !member || m.removed[j] {
 				continue
 			}
 			m.res.MGUCalls++
-			if _, err := m.u[id].UnifyAtoms(e.Head.Atom, e.Post.Atom); err != nil {
+			if _, err := m.u[i].UnifyAtoms(e.Head.Atom, e.Post.Atom); err != nil {
 				ok = false
 				break
 			}
 		}
 		if !ok {
-			m.cleanup(id, CauseClash)
+			m.cleanup(int32(i), CauseClash)
 		}
 	}
 	// Re-check indegrees: cleanups above may have starved other nodes.
 	m.sweepStarved()
 
 	// Phase 2: Algorithm 1 — propagate unifiers along edges until fixpoint.
-	for _, id := range component {
-		if !m.removed[id] {
-			m.enqueue(id)
+	for i := range component {
+		if !m.removed[i] {
+			m.enqueue(int32(i))
 		}
 	}
 	for len(m.queue) > 0 {
-		parent := m.queue[0]
+		pi := m.queue[0]
 		m.queue = m.queue[1:]
-		m.inQueue[parent] = false
-		if m.removed[parent] {
+		m.inQueue[pi] = false
+		if m.removed[pi] {
 			continue
 		}
 		m.res.Iterations++
-		n := m.g.Node(parent)
+		n := m.g.Node(m.comp[pi])
 		if n == nil {
 			continue
 		}
 		for _, e := range n.Out {
-			child := e.To
-			if !m.member[child] || m.removed[child] || m.removed[parent] {
+			ci, member := m.idx[e.To]
+			if !member || m.removed[ci] || m.removed[pi] {
 				continue
 			}
 			m.res.MGUCalls++
-			changed, err := m.merge(m.u[child], m.u[parent])
+			changed, err := m.merge(m.u[ci], m.u[pi])
 			if err != nil {
-				m.cleanup(child, CauseClash)
+				m.cleanup(ci, CauseClash)
 				m.sweepStarved()
 				continue
 			}
 			if changed {
-				m.enqueue(child)
+				m.enqueue(ci)
 			}
 		}
 	}
 
 	// Collect survivors in insertion order.
-	for _, id := range component {
-		if !m.removed[id] && g.Node(id) != nil {
+	for i, id := range component {
+		if !m.removed[i] && g.Node(id) != nil {
 			m.res.Survivors = append(m.res.Survivors, id)
-			m.res.Unifiers[id] = m.u[id]
+			m.res.Unifiers[id] = m.u[i]
 		}
 	}
 	return m.res
@@ -203,7 +292,7 @@ func (m *matcher) liveInDegree(id ir.QueryID) int {
 	}
 	c := 0
 	for _, e := range n.In {
-		if m.member[e.From] && !m.removed[e.From] {
+		if j, member := m.idx[e.From]; member && !m.removed[j] {
 			c++
 		}
 	}
@@ -211,30 +300,31 @@ func (m *matcher) liveInDegree(id ir.QueryID) int {
 }
 
 // enqueue adds a node to the updates queue if absent.
-func (m *matcher) enqueue(id ir.QueryID) {
-	if m.inQueue[id] || m.removed[id] {
+func (m *matcher) enqueue(i int32) {
+	if m.inQueue[i] || m.removed[i] {
 		return
 	}
-	m.inQueue[id] = true
-	m.queue = append(m.queue, id)
+	m.inQueue[i] = true
+	m.queue = append(m.queue, i)
 }
 
 // cleanup implements CLEANUP(n): remove the node and all its descendants
 // from the overlay and the updates queue (Section 4.1.3). The triggering
 // node gets the given cause; descendants get CauseCascade.
-func (m *matcher) cleanup(id ir.QueryID, cause RemovalCause) {
-	if m.removed[id] {
+func (m *matcher) cleanup(i int32, cause RemovalCause) {
+	if m.removed[i] {
 		return
 	}
-	m.removed[id] = true
-	m.inQueue[id] = false
-	m.res.Removed = append(m.res.Removed, Removal{Query: id, Cause: cause})
-	for _, d := range m.g.Descendants(id) {
-		if !m.member[d] || m.removed[d] {
+	m.removed[i] = true
+	m.inQueue[i] = false
+	m.res.Removed = append(m.res.Removed, Removal{Query: m.comp[i], Cause: cause})
+	for _, d := range m.g.Descendants(m.comp[i]) {
+		j, member := m.idx[d]
+		if !member || m.removed[j] {
 			continue
 		}
-		m.removed[d] = true
-		m.inQueue[d] = false
+		m.removed[j] = true
+		m.inQueue[j] = false
 		m.res.Removed = append(m.res.Removed, Removal{Query: d, Cause: CauseCascade})
 	}
 }
@@ -246,8 +336,8 @@ func (m *matcher) cleanup(id ir.QueryID, cause RemovalCause) {
 func (m *matcher) sweepStarved() {
 	for {
 		changed := false
-		for id := range m.member {
-			if m.removed[id] {
+		for i, id := range m.comp {
+			if m.removed[i] {
 				continue
 			}
 			n := m.g.Node(id)
@@ -255,7 +345,7 @@ func (m *matcher) sweepStarved() {
 				continue
 			}
 			if m.liveInDegree(id) < n.Query.PostCount() {
-				m.cleanup(id, CauseCascade)
+				m.cleanup(int32(i), CauseCascade)
 				changed = true
 			}
 		}

@@ -97,11 +97,30 @@ type SafetyChecker struct {
 	heads *graph.Index // head atoms of admitted queries
 	posts *graph.Index // postcondition atoms of admitted queries
 	n     int
+	// shared marks a checker layered over a unifiability graph's own atom
+	// indexes: the graph maintains the entries (AddQuery/RemoveQuery), so
+	// this checker's admission bookkeeping must not touch them.
+	shared bool
+	// Reusable lookup buffers: Check runs on the engine's per-arrival path,
+	// so its index probes must not allocate. buf2 exists because the
+	// head-side check nests a heads lookup inside a posts lookup.
+	buf, buf2 []graph.AtomRef
 }
 
 // NewSafetyChecker returns an empty checker.
 func NewSafetyChecker() *SafetyChecker {
 	return &SafetyChecker{heads: graph.NewIndex(), posts: graph.NewIndex()}
+}
+
+// NewSharedSafetyChecker returns a checker that reads the given graph's own
+// head/postcondition indexes instead of maintaining a duplicate pair. The
+// caller must keep checker admissions and graph membership in lock-step
+// (admit ⇒ AddQuery, retire ⇒ RemoveQuery), which is exactly the engine's
+// shard discipline; in exchange every atom is indexed once per shard, not
+// twice. Admit/AdmitUnchecked/Remove only track the admitted count; the
+// index mutations happen through the graph.
+func NewSharedSafetyChecker(g *graph.Graph) *SafetyChecker {
+	return &SafetyChecker{heads: g.HeadIndex(), posts: g.PostIndex(), shared: true}
 }
 
 // Len returns the number of admitted queries.
@@ -115,7 +134,8 @@ func (c *SafetyChecker) Check(q *ir.Query) error {
 	// head (own heads excluded).
 	for _, p := range q.Posts {
 		n := 0
-		for _, h := range c.heads.Lookup(p) {
+		c.buf = c.heads.AppendLookup(c.buf[:0], p)
+		for _, h := range c.buf {
 			if h.Query != q.ID {
 				n++
 			}
@@ -133,16 +153,21 @@ func (c *SafetyChecker) Check(q *ir.Query) error {
 		q   ir.QueryID
 		pos int
 	}
-	added := make(map[postKey]int)
+	var added map[postKey]int // lazily allocated: empty on the usual no-match probe
 	for _, h := range q.Heads {
-		for _, pref := range c.posts.Lookup(h) {
+		c.buf = c.posts.AppendLookup(c.buf[:0], h)
+		for _, pref := range c.buf {
 			if pref.Query == q.ID {
 				continue
+			}
+			if added == nil {
+				added = make(map[postKey]int)
 			}
 			k := postKey{pref.Query, pref.Pos}
 			added[k]++
 			existing := 0
-			for _, eh := range c.heads.Lookup(pref.Atom) {
+			c.buf2 = c.heads.AppendLookup(c.buf2[:0], pref.Atom)
+			for _, eh := range c.buf2 {
 				if eh.Query != pref.Query {
 					existing++
 				}
@@ -173,32 +198,47 @@ func (c *SafetyChecker) Admit(q *ir.Query) error {
 // population is redundant work. Callers outside that setting should use
 // Admit.
 func (c *SafetyChecker) AdmitUnchecked(q *ir.Query) {
-	for hi, h := range q.Heads {
-		c.heads.Add(graph.AtomRef{Query: q.ID, Pos: hi, Atom: h})
-	}
-	for pi, p := range q.Posts {
-		c.posts.Add(graph.AtomRef{Query: q.ID, Pos: pi, Atom: p})
+	if !c.shared {
+		for hi, h := range q.Heads {
+			c.heads.Add(graph.AtomRef{Query: q.ID, Pos: hi, Atom: h})
+		}
+		for pi, p := range q.Posts {
+			c.posts.Add(graph.AtomRef{Query: q.ID, Pos: pi, Atom: p})
+		}
 	}
 	c.n++
 }
 
 // Remove deletes a previously admitted query's atoms (for retirement or
-// staleness eviction).
+// staleness eviction). For a shared checker the graph's RemoveQuery does
+// the index work; only the admitted count is adjusted here.
 func (c *SafetyChecker) Remove(id ir.QueryID) {
-	c.heads.RemoveQuery(id)
-	c.posts.RemoveQuery(id)
+	if !c.shared {
+		c.heads.RemoveQuery(id)
+		c.posts.RemoveQuery(id)
+	}
 	c.n--
 }
 
 // DropRelation clears the checker indexes' key maps for a relation with no
 // live atoms (see graph.Index.DropRelation). Returns false if live atoms
-// remain.
+// remain. A shared checker owns no index state of its own, so this reports
+// success and leaves the sweep to the graph.
 func (c *SafetyChecker) DropRelation(rel string) bool {
+	if c.shared {
+		return true
+	}
 	h := c.heads.DropRelation(rel)
 	p := c.posts.DropRelation(rel)
 	return h && p
 }
 
-// IndexKeyCount returns the combined key-map footprint of the checker's
-// indexes (observability for relation-family GC).
-func (c *SafetyChecker) IndexKeyCount() int { return c.heads.KeyCount() + c.posts.KeyCount() }
+// IndexKeyCount returns the combined key-map footprint of the checker's own
+// indexes (observability for relation-family GC); zero for a shared checker,
+// whose footprint is the graph's.
+func (c *SafetyChecker) IndexKeyCount() int {
+	if c.shared {
+		return 0
+	}
+	return c.heads.KeyCount() + c.posts.KeyCount()
+}

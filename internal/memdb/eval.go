@@ -87,9 +87,25 @@ func (db *DB) EvalConjunctive(atoms []ir.Atom, eqs []ir.Equality, opt EvalOption
 		atoms:   rewritten,
 		tables:  tabs,
 		used:    make([]bool, len(rewritten)),
+		bound:   make([]int, len(rewritten)),
 		binding: make(ir.Substitution),
 		opt:     opt,
 	}
+	// Pre-compute the per-atom bound-argument counts and the variable →
+	// argument-occurrence postings that keep them current as bindings come
+	// and go, so atom selection per search level is one O(atoms) max-scan
+	// instead of re-counting every argument of every atom.
+	st.varOccs = make(map[string][]int, len(rewritten)*2)
+	for i, a := range rewritten {
+		for _, t := range a.Args {
+			if t.IsConst() {
+				st.bound[i]++
+			} else {
+				st.varOccs[t.Value] = append(st.varOccs[t.Value], i)
+			}
+		}
+	}
+	st.resolved = make([][]ir.Term, len(rewritten))
 	st.search()
 
 	// Expand class representatives back to every original variable and
@@ -211,19 +227,50 @@ func normalizeEqualities(eqs []ir.Equality) (norm ir.Substitution, expand map[st
 	return norm, expand, nil
 }
 
-// joinState carries the backtracking join.
+// joinState carries the backtracking join. The per-level scratch — the
+// resolved-argument buffers (one per recursion depth, reused across sibling
+// rows) and the binding trail (one shared stack unwound to a mark on
+// backtrack) — is allocated once per evaluation, so the inner candidate
+// loop itself allocates nothing.
 type joinState struct {
-	db      *DB
-	atoms   []ir.Atom
-	tables  []*Table
-	used    []bool
-	binding ir.Substitution
-	results []ir.Substitution
-	opt     EvalOptions
+	db       *DB
+	atoms    []ir.Atom
+	tables   []*Table
+	used     []bool
+	bound    []int            // per atom: count of argument positions currently bound
+	varOccs  map[string][]int // variable → atom index per argument occurrence
+	binding  ir.Substitution
+	trail    []string    // bound-variable stack; unwound to a mark on backtrack
+	resolved [][]ir.Term // per-depth resolved-argument scratch
+	depth    int
+	results  []ir.Substitution
+	opt      EvalOptions
 }
 
 func (s *joinState) done() bool {
 	return s.opt.Limit > 0 && len(s.results) >= s.opt.Limit
+}
+
+// bindVar records a fresh binding, pushing it on the trail and bumping the
+// bound count of every atom the variable occurs in.
+func (s *joinState) bindVar(v string, val ir.Term) {
+	s.binding[v] = val
+	s.trail = append(s.trail, v)
+	for _, ai := range s.varOccs[v] {
+		s.bound[ai]++
+	}
+}
+
+// unwind pops trail bindings down to the mark.
+func (s *joinState) unwind(mark int) {
+	for i := len(s.trail) - 1; i >= mark; i-- {
+		v := s.trail[i]
+		delete(s.binding, v)
+		for _, ai := range s.varOccs[v] {
+			s.bound[ai]--
+		}
+	}
+	s.trail = s.trail[:mark]
 }
 
 // search picks the next atom (most bound arguments first, ties by position),
@@ -232,21 +279,12 @@ func (s *joinState) search() {
 	if s.done() {
 		return
 	}
+	// Atom selection reads the incrementally maintained bound counts — one
+	// comparison per atom, not a rescan of every argument.
 	next, bound := -1, -1
-	for i, a := range s.atoms {
-		if s.used[i] {
-			continue
-		}
-		n := 0
-		for _, t := range a.Args {
-			if t.IsConst() {
-				n++
-			} else if _, ok := s.binding[t.Value]; ok {
-				n++
-			}
-		}
-		if n > bound {
-			next, bound = i, n
+	for i := range s.atoms {
+		if !s.used[i] && s.bound[i] > bound {
+			next, bound = i, s.bound[i]
 		}
 	}
 	if next < 0 {
@@ -265,44 +303,56 @@ func (s *joinState) search() {
 	t := s.tables[next]
 
 	// Determine candidate rows: indexed lookup on the first bound position,
-	// else full scan.
-	resolved := make([]ir.Term, len(a.Args))
+	// else full scan (iterated directly — no materialised id list).
+	if s.resolved[s.depth] == nil {
+		s.resolved[s.depth] = make([]ir.Term, 0, len(a.Args))
+	}
+	resolved := s.resolved[s.depth][:0]
 	firstBound := -1
 	for i, arg := range a.Args {
-		if arg.IsConst() {
-			resolved[i] = arg
-		} else if v, ok := s.binding[arg.Value]; ok {
-			resolved[i] = v
-		} else {
-			resolved[i] = arg
-			continue
+		switch {
+		case arg.IsConst():
+			resolved = append(resolved, arg)
+		default:
+			if v, ok := s.binding[arg.Value]; ok {
+				resolved = append(resolved, v)
+			} else {
+				resolved = append(resolved, arg)
+				continue
+			}
 		}
 		if firstBound < 0 {
 			firstBound = i
 		}
 	}
+	s.resolved[s.depth] = resolved // keep grown capacity for reuse
+
 	var candidates []int
+	nCand := 0
 	if firstBound >= 0 {
 		candidates = t.lookupEq(firstBound, resolved[firstBound].Value)
+		nCand = len(candidates)
 	} else {
-		candidates = make([]int, len(t.rows))
-		for i := range candidates {
-			candidates[i] = i
-		}
+		nCand = len(t.rows)
 	}
 	// Randomised start offset implements CHOOSE-at-random cheaply without
 	// copying the candidate list.
 	offset := 0
-	if s.opt.Rand != nil && len(candidates) > 1 {
-		offset = s.opt.Rand.Intn(len(candidates))
+	if s.opt.Rand != nil && nCand > 1 {
+		offset = s.opt.Rand.Intn(nCand)
 	}
-	for i := 0; i < len(candidates); i++ {
+	for i := 0; i < nCand; i++ {
 		if s.done() {
 			return
 		}
-		row := t.rows[candidates[(i+offset)%len(candidates)]]
-		// Match row against resolved args, collecting new bindings.
-		var added []string
+		ri := (i + offset) % nCand
+		if candidates != nil {
+			ri = candidates[ri]
+		}
+		row := t.rows[ri]
+		// Match row against resolved args, recording new bindings on the
+		// trail.
+		mark := len(s.trail)
 		ok := true
 		for pos, term := range resolved {
 			switch {
@@ -316,8 +366,7 @@ func (s *joinState) search() {
 						ok = false
 					}
 				} else {
-					s.binding[term.Value] = ir.Const(row[pos])
-					added = append(added, term.Value)
+					s.bindVar(term.Value, ir.Const(row[pos]))
 				}
 			}
 			if !ok {
@@ -325,10 +374,10 @@ func (s *joinState) search() {
 			}
 		}
 		if ok {
+			s.depth++
 			s.search()
+			s.depth--
 		}
-		for _, v := range added {
-			delete(s.binding, v)
-		}
+		s.unwind(mark)
 	}
 }

@@ -1,0 +1,159 @@
+package unify
+
+import (
+	"entangle/internal/ir"
+)
+
+// Interner assigns dense int32 ids to the terms of one matching run, so
+// union-find can run on int slices instead of string-keyed maps. Terms are
+// comparable structs, so the intern table needs no key-string allocation.
+// Reset clears the table for reuse; the backing storage survives, making a
+// long-lived interner allocation-free in steady state.
+type Interner struct {
+	ids   map[ir.Term]int32
+	terms []ir.Term
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{ids: make(map[ir.Term]int32)}
+}
+
+// Reset forgets all interned terms, keeping capacity.
+func (in *Interner) Reset() {
+	clear(in.ids)
+	in.terms = in.terms[:0]
+}
+
+// Len returns the number of interned terms.
+func (in *Interner) Len() int { return len(in.terms) }
+
+// Term returns the term with the given id.
+func (in *Interner) Term(id int32) ir.Term { return in.terms[id] }
+
+// Intern returns the id of t, assigning the next dense id on first sight.
+func (in *Interner) Intern(t ir.Term) int32 {
+	if id, ok := in.ids[t]; ok {
+		return id
+	}
+	id := int32(len(in.terms))
+	in.ids[t] = id
+	in.terms = append(in.terms, t)
+	return id
+}
+
+// DenseUnifier is a unifier over interned terms: a union-find on int32
+// slices with at most one constant per class, the slice-backed fast path
+// behind the map-based Unifier. It implements exactly the mgu semantics of
+// Unifier.Union/UnifyAtoms (including ErrClash on two distinct constants in
+// one class) but allocates nothing in steady state — the parent/rank/const
+// arrays grow to the high-water mark of the runs sharing it and are renewed
+// with Reset.
+type DenseUnifier struct {
+	in      *Interner
+	parent  []int32
+	rank    []int8
+	constOf []int32 // root → interned id of the class constant, or -1
+}
+
+// NewDenseUnifier returns an empty dense unifier drawing ids from in.
+func NewDenseUnifier(in *Interner) *DenseUnifier {
+	return &DenseUnifier{in: in}
+}
+
+// Reset prepares for a fresh run over the (already Reset) interner.
+func (d *DenseUnifier) Reset() {
+	d.parent = d.parent[:0]
+	d.rank = d.rank[:0]
+	d.constOf = d.constOf[:0]
+}
+
+// slot ensures the union-find arrays cover id, initialising fresh slots as
+// singletons.
+func (d *DenseUnifier) slot(id int32) {
+	for int32(len(d.parent)) <= id {
+		i := int32(len(d.parent))
+		d.parent = append(d.parent, i)
+		d.rank = append(d.rank, 0)
+		c := int32(-1)
+		if d.in.terms[i].IsConst() {
+			c = i
+		}
+		d.constOf = append(d.constOf, c)
+	}
+}
+
+// find returns the root of id with path compression.
+func (d *DenseUnifier) find(id int32) int32 {
+	root := id
+	for d.parent[root] != root {
+		root = d.parent[root]
+	}
+	for d.parent[id] != root {
+		d.parent[id], id = root, d.parent[id]
+	}
+	return root
+}
+
+// UnionTerms merges the classes of a and b, interning them as needed.
+// Returns ErrClash (wrapped, with the constants named) when the merged
+// class would contain two distinct constants.
+func (d *DenseUnifier) UnionTerms(a, b ir.Term) error {
+	ia := d.in.Intern(a)
+	ib := d.in.Intern(b)
+	d.slot(ia)
+	d.slot(ib)
+	ra, rb := d.find(ia), d.find(ib)
+	if ra == rb {
+		return nil
+	}
+	ca, cb := d.constOf[ra], d.constOf[rb]
+	if ca >= 0 && cb >= 0 && d.in.terms[ca].Value != d.in.terms[cb].Value {
+		return clashError(d.in.terms[ca].Value, d.in.terms[cb].Value)
+	}
+	if d.rank[ra] < d.rank[rb] {
+		ra, rb = rb, ra
+		ca, cb = cb, ca
+	}
+	d.parent[rb] = ra
+	if d.rank[ra] == d.rank[rb] {
+		d.rank[ra]++
+	}
+	if ca < 0 && cb >= 0 {
+		d.constOf[ra] = cb
+	}
+	return nil
+}
+
+// UnifyAtoms adds the constraints of the most general unifier of atoms a
+// and b: argument i of a must equal argument i of b for all i. The atoms
+// must be over the same relation and arity (the unifiability graph only
+// creates edges between such pairs).
+func (d *DenseUnifier) UnifyAtoms(a, b ir.Atom) error {
+	for i := range a.Args {
+		if err := d.UnionTerms(a.Args[i], b.Args[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Materialize builds a map-based Unifier imposing exactly this unifier's
+// constraints, for the consumers of a MatchResult (combined-query
+// construction, equality rendering). Singleton classes are skipped — they
+// impose no constraint, and the Unifier API treats unknown terms as
+// singletons anyway.
+func (d *DenseUnifier) Materialize() (*Unifier, error) {
+	u := New()
+	n := int32(len(d.parent))
+	for id := int32(0); id < n; id++ {
+		root := d.find(id)
+		if root == id {
+			continue
+		}
+		if _, err := u.Union(d.in.terms[root], d.in.terms[id]); err != nil {
+			return nil, err // unreachable: clashes were rejected during Union
+		}
+	}
+	return u, nil
+}

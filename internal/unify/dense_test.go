@@ -1,0 +1,113 @@
+package unify
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"entangle/internal/ir"
+)
+
+func TestDenseUnifierBasics(t *testing.T) {
+	in := NewInterner()
+	d := NewDenseUnifier(in)
+	if err := d.UnionTerms(ir.Var("x"), ir.Var("y")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.UnionTerms(ir.Var("y"), ir.Const("3")); err != nil {
+		t.Fatal(err)
+	}
+	u, err := d.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.SameClass(ir.Var("x"), ir.Var("y")) {
+		t.Fatalf("x and y must be unified: %v", u)
+	}
+	if c, ok := u.ConstantOf(ir.Var("x")); !ok || c != "3" {
+		t.Fatalf("x should resolve to 3, got %q (%v)", c, ok)
+	}
+}
+
+func TestDenseUnifierClash(t *testing.T) {
+	in := NewInterner()
+	d := NewDenseUnifier(in)
+	if err := d.UnionTerms(ir.Var("x"), ir.Const("1")); err != nil {
+		t.Fatal(err)
+	}
+	err := d.UnionTerms(ir.Var("x"), ir.Const("2"))
+	if !errors.Is(err, ErrClash) {
+		t.Fatalf("want ErrClash, got %v", err)
+	}
+	// Same constant in one class is fine.
+	if err := d.UnionTerms(ir.Var("z"), ir.Const("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.UnionTerms(ir.Var("z"), ir.Var("x")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDenseUnifierUnifyAtoms(t *testing.T) {
+	in := NewInterner()
+	d := NewDenseUnifier(in)
+	a := ir.NewAtom("R", ir.Var("x"), ir.Const("Paris"))
+	b := ir.NewAtom("R", ir.Const("Kramer"), ir.Var("y"))
+	if err := d.UnifyAtoms(a, b); err != nil {
+		t.Fatal(err)
+	}
+	u, err := d.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, _ := u.ConstantOf(ir.Var("x")); c != "Kramer" {
+		t.Fatalf("x = %q, want Kramer", c)
+	}
+	if c, _ := u.ConstantOf(ir.Var("y")); c != "Paris" {
+		t.Fatalf("y = %q, want Paris", c)
+	}
+}
+
+// TestDenseUnifierAgreesWithMapUnifier randomly applies the same union
+// sequence to the dense and the map-based unifier and requires equivalent
+// partitions (or agreement on the clash), across Reset reuse.
+func TestDenseUnifierAgreesWithMapUnifier(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	in := NewInterner()
+	d := NewDenseUnifier(in)
+	for round := 0; round < 200; round++ {
+		in.Reset()
+		d.Reset()
+		u := New()
+		var clashDense, clashMap bool
+		for op := 0; op < 12; op++ {
+			mk := func() ir.Term {
+				if rng.Intn(3) == 0 {
+					return ir.Const(fmt.Sprintf("c%d", rng.Intn(3)))
+				}
+				return ir.Var(fmt.Sprintf("v%d", rng.Intn(6)))
+			}
+			a, b := mk(), mk()
+			errD := d.UnionTerms(a, b)
+			_, errM := u.Union(a, b)
+			if (errD != nil) != (errM != nil) {
+				t.Fatalf("round %d op %d: dense err %v, map err %v (union %v = %v)", round, op, errD, errM, a, b)
+			}
+			if errD != nil {
+				clashDense, clashMap = true, true
+				break
+			}
+		}
+		if clashDense || clashMap {
+			continue
+		}
+		got, err := d.Materialize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Equivalent(got, u) {
+			t.Fatalf("round %d: dense %v != map %v", round, got, u)
+		}
+	}
+}

@@ -25,6 +25,9 @@ import (
 // constants into the same partition class (no most general unifier exists).
 var ErrClash = errors.New("unify: constant clash — no most general unifier exists")
 
+// clashError wraps ErrClash naming the two offending constants.
+func clashError(a, b string) error { return fmt.Errorf("%w: %q vs %q", ErrClash, a, b) }
+
 // Unifier is a mutable partition of terms with at-most-one constant per
 // class. The zero value is not ready for use; call New.
 type Unifier struct {
@@ -116,7 +119,7 @@ func (u *Unifier) Union(a, b ir.Term) (changed bool, err error) {
 	ca, hasA := u.constOf[ra]
 	cb, hasB := u.constOf[rb]
 	if hasA && hasB && ca != cb {
-		return false, fmt.Errorf("%w: %q vs %q", ErrClash, ca, cb)
+		return false, clashError(ca, cb)
 	}
 	if u.rank[ra] < u.rank[rb] {
 		ra, rb = rb, ra
@@ -400,7 +403,7 @@ func (u *Unifier) naiveUnion(a, b ir.Term) (bool, error) {
 	ca, hasA := u.constOf[ra]
 	cb, hasB := u.constOf[rb]
 	if hasA && hasB && ca != cb {
-		return false, fmt.Errorf("%w: %q vs %q", ErrClash, ca, cb)
+		return false, clashError(ca, cb)
 	}
 	// Always attach rb under ra, then re-point every member of rb's class
 	// (the quadratic part).
