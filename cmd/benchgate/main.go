@@ -1,0 +1,58 @@
+// Command benchgate is the CI perf-regression gate: it diffs a freshly
+// produced d3cbench JSON report against the pinned reference checked into
+// the repository (BENCH_arrival.json and friends) and exits non-zero when a
+// per-operation ALLOCATION count exceeds its pinned budget. Alloc counts
+// are host-independent — the same code allocates the same everywhere — so
+// they gate hard; per-op latency is printed for the log but never fails the
+// build (CI runners are noisy). Row labels, not indexes, pair the reports,
+// so the gate survives re-ordered or re-sized series.
+//
+// Usage:
+//
+//	benchgate -pinned BENCH_arrival.json -current bench-arrival.json
+//	          [-slack 1.5] [-abs 4]
+//
+// -slack multiplies each pinned allocs/op budget (headroom for tiny CI
+// workload sizes, where fixed costs amortise over fewer ops, and toolchain
+// drift); -abs adds a flat allocs/op on top.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"entangle/internal/bench"
+)
+
+func main() {
+	var (
+		pinnedPath  = flag.String("pinned", "BENCH_arrival.json", "pinned reference report (checked in)")
+		currentPath = flag.String("current", "bench-arrival.json", "freshly produced report to gate")
+		slack       = flag.Float64("slack", 0, "multiplicative headroom on pinned alloc budgets (0 = default 1.5)")
+		abs         = flag.Float64("abs", 0, "flat allocs/op headroom on top (0 = default 4)")
+	)
+	flag.Parse()
+
+	pinned, err := bench.ReadReport(*pinnedPath)
+	if err != nil {
+		log.Fatalf("benchgate: %v", err)
+	}
+	current, err := bench.ReadReport(*currentPath)
+	if err != nil {
+		log.Fatalf("benchgate: %v", err)
+	}
+	out := bench.CompareReports(pinned, current, bench.GateOptions{AllocSlack: *slack, AllocAbs: *abs})
+	for _, a := range out.Advisories {
+		fmt.Println("benchgate:", a)
+	}
+	if !out.OK() {
+		for _, v := range out.Violations {
+			fmt.Fprintln(os.Stderr, "benchgate: ALLOC REGRESSION:", v)
+		}
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL — %d alloc budget(s) exceeded vs %s\n", len(out.Violations), *pinnedPath)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: PASS — %s within the alloc budgets of %s\n", *currentPath, *pinnedPath)
+}

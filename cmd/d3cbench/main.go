@@ -13,6 +13,10 @@
 // (5 … 100,000 queries), smaller values give quick runs.
 // -experiment arrival measures incremental per-arrival latency and
 // allocations, closing vs non-closing (the engine's hot path).
+// -experiment batching compares the three submission modes — single
+// Submit, SubmitBatch, and the unordered SubmitBulk load path — timing the
+// submission phase only (median of 5 reps), with identical answered counts
+// enforced.
 // -json writes every series the run produced as a machine-readable report,
 // the format checked in as BENCH_arrival.json / BENCH_batching.json.
 package main
@@ -153,7 +157,7 @@ func main() {
 			return err
 		}
 		emit(
-			fmt.Sprintf("Batching — SubmitBatch B=%d vs single Submit (%d shards); labels carry [router passes/submit locks]", *batch, *shards), rows)
+			fmt.Sprintf("Batching — single Submit vs SubmitBatch B=%d vs SubmitBulk B=%d (%d shards); labels carry [router passes/submit locks]", *batch, *batch, *shards), rows)
 		return nil
 	})
 

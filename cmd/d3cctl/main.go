@@ -7,6 +7,7 @@
 // Commands:
 //
 //	.batch q1; q2; …   submit several IR queries as one engine batch
+//	.bulk q1; q2; …    submit several IR queries as one unordered bulk load
 //	.flush             force a set-at-a-time round
 //	.stats             print engine counters
 //	.quit              exit
@@ -59,7 +60,7 @@ func main() {
 		go func() { results <- <-ch }()
 	}
 
-	submitBatch := func(text string) {
+	submitMany := func(text, cmd string, send func([]server.BatchQuery) ([]server.BatchHandle, error)) {
 		var queries []server.BatchQuery
 		for _, part := range strings.Split(text, ";") {
 			if part = strings.TrimSpace(part); part != "" {
@@ -67,10 +68,10 @@ func main() {
 			}
 		}
 		if len(queries) == 0 {
-			fmt.Println("usage: .batch {C} H :- B; {C} H :- B; …")
+			fmt.Printf("usage: .%s {C} H :- B; {C} H :- B; …\n", cmd)
 			return
 		}
-		handles, err := c.SubmitBatch(queries)
+		handles, err := send(queries)
 		if err != nil {
 			fmt.Printf("error: %v\n", err)
 			return
@@ -111,9 +112,13 @@ func main() {
 		case line == ".help":
 			fmt.Println("IR query:  {R(Jerry, x)} R(Kramer, x) :- Flights(x, Paris)")
 			fmt.Println("SQL query: SELECT 'Kramer', fno INTO ANSWER R WHERE … CHOOSE 1 (multiline; ends at CHOOSE or blank line)")
-			fmt.Println("commands:  .load <ddl/dml statements;…>  .batch <ir; ir; …>  .flush  .stats  .quit")
+			fmt.Println("commands:  .load <ddl/dml statements;…>  .batch <ir; ir; …>  .bulk <ir; ir; …>  .flush  .stats  .quit")
 		case strings.HasPrefix(line, ".batch "):
-			submitBatch(strings.TrimPrefix(line, ".batch "))
+			submitMany(strings.TrimPrefix(line, ".batch "), "batch", c.SubmitBatch)
+		case strings.HasPrefix(line, ".bulk "):
+			submitMany(strings.TrimPrefix(line, ".bulk "), "bulk", func(qs []server.BatchQuery) ([]server.BatchHandle, error) {
+				return c.SubmitBulk(qs, false)
+			})
 		case strings.HasPrefix(line, ".load "):
 			if err := c.Load(strings.TrimPrefix(line, ".load ")); err != nil {
 				fmt.Printf("error: %v\n", err)
@@ -132,9 +137,9 @@ func main() {
 				fmt.Printf("error: %v\n", err)
 			} else if st.Stats != nil {
 				s := st.Stats
-				fmt.Printf("submitted=%d answered=%d rejected=%d unsafe=%d stale=%d pending=%d flushes=%d router-passes=%d submit-locks=%d families-retired=%d\n",
+				fmt.Printf("submitted=%d answered=%d rejected=%d unsafe=%d stale=%d pending=%d flushes=%d router-passes=%d submit-locks=%d bulk-loads=%d bulk-flushes=%d families-retired=%d\n",
 					s.Submitted, s.Answered, s.Rejected, s.RejectedUnsafe, s.ExpiredStale, s.Pending, s.Flushes,
-					s.RouterPasses, s.SubmitLocks, s.FamiliesRetired)
+					s.RouterPasses, s.SubmitLocks, s.BulkLoads, s.BulkFlushes, s.FamiliesRetired)
 				for i, sh := range s.PerShard {
 					fmt.Printf("  shard %d: submitted=%d answered=%d rejected=%d unsafe=%d stale=%d pending=%d flushes=%d\n",
 						i, sh.Submitted, sh.Answered, sh.Rejected, sh.RejectedUnsafe, sh.ExpiredStale, sh.Pending, sh.Flushes)

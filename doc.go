@@ -26,9 +26,13 @@
 // Query answering is asynchronous middleware (Section 5.1 of the paper): a
 // submitted query may wait for partners, every handle resolves to exactly
 // one Result, and Wait respects context cancellation without losing the
-// result for a later Wait. Bulk loads go through SubmitBatch, which admits
-// a whole batch with one routing pass and one lock acquisition per engine
-// shard. Failures are typed: errors.Is(err, ErrClosed) after Close,
+// result for a later Wait. Batches go through SubmitBatch, which admits a
+// whole batch with one routing pass and one lock acquisition per engine
+// shard while staying equivalent to one-at-a-time submission; bulk loads go
+// through SubmitBulk, which additionally drops the intra-batch ordering
+// guarantee to ingest and coordinate each batch set-at-a-time — the cheaper
+// path whenever the batch is a set, not a sequence (see "Bulk loading" in
+// README.md). Failures are typed: errors.Is(err, ErrClosed) after Close,
 // errors.Is(res.Err(), ErrStale / ErrUnsafe / ErrRejected) on non-answered
 // results, and errors.As(err, **ParseError) for syntax errors with offsets.
 //

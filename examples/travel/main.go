@@ -3,11 +3,15 @@
 //
 // A synthetic social graph of 2,000 users is loaded into the database
 // (Friends and User tables). Pairs of friends then submit the paper's
-// two-way coordination queries in bulk — one SubmitBatch call per wave,
-// the shape a booking front end ingesting queued requests would use: the
-// whole wave is routed in one pass and admitted under one lock per engine
-// shard. Pairs that share a hometown coordinate, the rest eventually go
-// stale via the background Run loop.
+// two-way coordination queries as one SubmitBulk call — the unordered
+// bulk-load path a booking front end draining a request queue would use:
+// the whole wave is routed in one pass, each engine shard ingests its
+// share set-at-a-time under one lock (atoms indexed, unifiability edges
+// built, the safety check run once over the set), and a single flush per
+// shard coordinates every pair that closed. A queue of buffered requests
+// has no meaningful arrival order, which is exactly the contract SubmitBulk
+// relaxes to skip per-query admission work. Pairs that share a hometown
+// coordinate; the rest eventually go stale via the background Run loop.
 //
 // Run: go run ./examples/travel
 package main
@@ -46,9 +50,9 @@ func main() {
 	gen := workload.NewGen(g, 7)
 	pairs := g.FriendPairs(200, 7)
 	queries := gen.Interleave(gen.TwoWayRandom(pairs))
-	fmt.Printf("submitting %d entangled queries from %d friend pairs in one batch…\n", len(queries), len(pairs))
+	fmt.Printf("bulk-loading %d entangled queries from %d friend pairs (unordered, set-at-a-time)…\n", len(queries), len(pairs))
 
-	handles, err := sys.SubmitBatch(ctx, queries)
+	handles, err := sys.SubmitBulk(ctx, queries)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -87,8 +91,8 @@ func main() {
 		fmt.Printf("  %-9s %d\n", s, counts[s])
 	}
 	st := sys.Stats()
-	fmt.Printf("engine: %d submissions, %d combined-query evaluations, %d router passes, %d submit locks\n",
-		st.Submitted, st.Evaluations, st.RouterPasses, st.SubmitLocks)
+	fmt.Printf("engine: %d submissions, %d combined-query evaluations, %d router passes, %d submit locks, %d bulk loads / %d bulk flushes\n",
+		st.Submitted, st.Evaluations, st.RouterPasses, st.SubmitLocks, st.BulkLoads, st.BulkFlushes)
 	fmt.Println("\npairs sharing a hometown coordinated; pairs in different cities matched but found no")
 	fmt.Println("satisfying data (rejected); queries whose partner collided with another pending pair")
 	fmt.Println("were rejected by the safety check or timed out as stale.")

@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// GateOptions tunes the perf-regression gate's tolerance. Allocation counts
+// are the hard budget: they are host-independent (the same code allocates
+// the same on any machine for a given workload shape), so exceeding the
+// pinned value means the code regressed, not the hardware. The slack
+// absorbs workload-scale effects — CI runs the experiments at tiny sizes,
+// where fixed costs (map growth, router warm-up) amortise over fewer
+// operations than in the checked-in full-scale report — plus toolchain
+// drift. Latency is never gated, only reported: wall time on shared CI
+// runners is noise.
+type GateOptions struct {
+	// AllocSlack multiplies the pinned allocs/op budget (default 1.5).
+	AllocSlack float64
+	// AllocAbs is added on top, in allocs/op (default 4), so near-zero
+	// budgets keep a usable margin.
+	AllocAbs float64
+}
+
+func (o GateOptions) withDefaults() GateOptions {
+	if o.AllocSlack <= 0 {
+		o.AllocSlack = 1.5
+	}
+	if o.AllocAbs <= 0 {
+		o.AllocAbs = 4
+	}
+	return o
+}
+
+// GateOutcome is the result of comparing a fresh report against the pinned
+// reference: Violations fail the build, Advisories are informational.
+type GateOutcome struct {
+	Violations []string
+	Advisories []string
+}
+
+// OK reports whether the gate passes.
+func (g GateOutcome) OK() bool { return len(g.Violations) == 0 }
+
+// ReadReport loads a d3cbench -json report from disk.
+func ReadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: parsing report %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// CompareReports diffs a freshly produced report against the pinned
+// reference. For every row label carrying allocation figures, the pinned
+// budget is the maximum AllocsPerOp over the reference's rows with that
+// label; a current row exceeding budget × AllocSlack + AllocAbs is a
+// violation — and so is a pinned budget with NO current row to check, or
+// the gate would fail open: a label-format change (or a dropped
+// experiment) would turn every comparison into a no-op while CI kept
+// printing PASS. Per-op latency is compared the same way but only ever
+// produces advisories, as do current labels with no pinned counterpart
+// (new experiments are not regressions). Labels are compared, not row
+// indexes, so re-ordered or re-sized series still gate correctly.
+func CompareReports(pinned, current *Report, opt GateOptions) GateOutcome {
+	opt = opt.withDefaults()
+	budgets := make(map[string]float64) // label → max pinned allocs/op
+	latency := make(map[string]float64) // label → max pinned ns/op
+	for _, s := range pinned.Series {
+		for _, r := range s.Rows {
+			if r.AllocsPerOp > budgets[r.Label] {
+				budgets[r.Label] = r.AllocsPerOp
+			}
+			if ns := r.NsPerOp(); ns > latency[r.Label] {
+				latency[r.Label] = ns
+			}
+		}
+	}
+
+	var out GateOutcome
+	seen := make(map[string]bool)
+	for _, s := range current.Series {
+		for _, r := range s.Rows {
+			if r.AllocsPerOp <= 0 {
+				continue // no allocation attribution on this row
+			}
+			budget, ok := budgets[r.Label]
+			if !ok || budget <= 0 {
+				out.Advisories = append(out.Advisories,
+					fmt.Sprintf("%s: %.1f allocs/op has no pinned budget (new row?)", r.Label, r.AllocsPerOp))
+				continue
+			}
+			limit := budget*opt.AllocSlack + opt.AllocAbs
+			if r.AllocsPerOp > limit {
+				out.Violations = append(out.Violations,
+					fmt.Sprintf("%s (n=%d): %.1f allocs/op exceeds pinned budget %.1f (limit %.1f = %.1f × %.2f + %.1f)",
+						r.Label, r.N, r.AllocsPerOp, budget, limit, budget, opt.AllocSlack, opt.AllocAbs))
+			} else if !seen[r.Label] {
+				out.Advisories = append(out.Advisories,
+					fmt.Sprintf("%s: %.1f allocs/op within pinned budget %.1f (limit %.1f)", r.Label, r.AllocsPerOp, budget, limit))
+			}
+			if ns, ok := latency[r.Label]; ok && ns > 0 && !seen[r.Label] {
+				out.Advisories = append(out.Advisories,
+					fmt.Sprintf("%s: %.0f ns/op vs pinned %.0f ns/op (advisory — latency is host-dependent)", r.Label, r.NsPerOp(), ns))
+			}
+			seen[r.Label] = true
+		}
+	}
+	for label, budget := range budgets {
+		if budget > 0 && !seen[label] {
+			out.Violations = append(out.Violations,
+				fmt.Sprintf("%s: pinned alloc budget %.1f has no row in the current report — the gate would be checking nothing (label drift or dropped experiment?)",
+					label, budget))
+		}
+	}
+	sort.Strings(out.Violations)
+	return out
+}

@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func gateReport(rows ...Row) *Report {
+	r := NewReport("arrival", 2000, 0.01, 42)
+	r.Add("Arrival — test series", rows)
+	return r
+}
+
+// TestGatePassesWithinBudget: a report at (or moderately above) the pinned
+// alloc figures passes — the slack absorbs small-workload amortisation.
+func TestGatePassesWithinBudget(t *testing.T) {
+	pinned := gateReport(
+		Row{Label: "arrival non-closing (8 shards)", N: 500, AllocsPerOp: 11.3, Elapsed: 500 * 17000},
+		Row{Label: "arrival closing (8 shards)", N: 1000, AllocsPerOp: 55.2, Elapsed: 1000 * 33000},
+	)
+	current := gateReport(
+		Row{Label: "arrival non-closing (8 shards)", N: 10, AllocsPerOp: 14.0, Elapsed: 10 * 20000},
+		Row{Label: "arrival closing (8 shards)", N: 20, AllocsPerOp: 60.0, Elapsed: 20 * 40000},
+	)
+	out := CompareReports(pinned, current, GateOptions{})
+	if !out.OK() {
+		t.Fatalf("gate failed within budget: %v", out.Violations)
+	}
+	if len(out.Advisories) == 0 {
+		t.Fatal("gate reported nothing — latency and budget advisories expected")
+	}
+}
+
+// TestGateTripsOnAllocRegression is the acceptance demonstration for the CI
+// gate: an intentional regression — per-arrival allocs jumping past the
+// pinned budget, e.g. the pre-PR-3 BFS-and-rescan path's ~73 allocs/op
+// against the pinned ~11 — must hard-fail, while the latency column never
+// does.
+func TestGateTripsOnAllocRegression(t *testing.T) {
+	pinned := gateReport(
+		Row{Label: "arrival non-closing (8 shards)", N: 500, AllocsPerOp: 11.3},
+		Row{Label: "arrival closing (8 shards)", N: 1000, AllocsPerOp: 55.2},
+	)
+	current := gateReport(
+		Row{Label: "arrival non-closing (8 shards)", N: 10, AllocsPerOp: 73.0}, // regressed
+		Row{Label: "arrival closing (8 shards)", N: 20, AllocsPerOp: 56.0},     // fine
+	)
+	out := CompareReports(pinned, current, GateOptions{})
+	if out.OK() {
+		t.Fatal("gate passed an alloc regression of 11.3 → 73.0 allocs/op")
+	}
+	if len(out.Violations) != 1 || !strings.Contains(out.Violations[0], "non-closing") {
+		t.Fatalf("violations = %v, want exactly the regressed row", out.Violations)
+	}
+
+	// A latency-only regression is advisory, never a failure.
+	slow := gateReport(
+		Row{Label: "arrival non-closing (8 shards)", N: 10, AllocsPerOp: 11.3, Elapsed: 10 * 10_000_000},
+		Row{Label: "arrival closing (8 shards)", N: 20, AllocsPerOp: 55.2, Elapsed: 20 * 10_000_000},
+	)
+	if out := CompareReports(pinned, slow, GateOptions{}); !out.OK() {
+		t.Fatalf("latency delta hard-failed the gate: %v", out.Violations)
+	}
+}
+
+// TestGateUnknownLabelIsAdvisory: rows with no pinned counterpart (a new
+// experiment arm) inform rather than fail — provided every pinned budget
+// still found its row (the fail-closed check is separate).
+func TestGateUnknownLabelIsAdvisory(t *testing.T) {
+	pinned := gateReport(Row{Label: "arrival non-closing (8 shards)", N: 500, AllocsPerOp: 11.3})
+	current := gateReport(
+		Row{Label: "arrival non-closing (8 shards)", N: 10, AllocsPerOp: 12.0},
+		Row{Label: "brand new row", N: 10, AllocsPerOp: 500},
+	)
+	out := CompareReports(pinned, current, GateOptions{})
+	if !out.OK() {
+		t.Fatalf("unmatched label failed the gate: %v", out.Violations)
+	}
+	found := false
+	for _, a := range out.Advisories {
+		if strings.Contains(a, "no pinned budget") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no advisory for the unmatched label: %v", out.Advisories)
+	}
+}
+
+// TestGateAgainstCheckedInReference keeps the gate wired to the real pinned
+// file: BENCH_arrival.json must parse and pass against itself, so a CI run
+// can never fail on a malformed or self-inconsistent reference.
+func TestGateAgainstCheckedInReference(t *testing.T) {
+	path := filepath.Join("..", "..", "BENCH_arrival.json")
+	pinned, err := ReadReport(path)
+	if err != nil {
+		t.Fatalf("pinned reference unreadable: %v", err)
+	}
+	if len(pinned.Series) == 0 || len(pinned.Series[0].Rows) == 0 {
+		t.Fatal("pinned reference carries no rows")
+	}
+	if out := CompareReports(pinned, pinned, GateOptions{}); !out.OK() {
+		t.Fatalf("pinned reference fails against itself: %v", out.Violations)
+	}
+}
+
+// TestGateFailsClosedOnLabelDrift: a pinned budget with no current row to
+// check is itself a violation — otherwise a label rename (or a dropped
+// experiment) would silently disable the whole gate while CI prints PASS.
+func TestGateFailsClosedOnLabelDrift(t *testing.T) {
+	pinned := gateReport(Row{Label: "arrival non-closing (8 shards)", N: 500, AllocsPerOp: 11.3})
+	drifted := gateReport(Row{Label: "arrival non-closing (16 shards)", N: 10, AllocsPerOp: 73.0})
+	out := CompareReports(pinned, drifted, GateOptions{})
+	if out.OK() {
+		t.Fatal("gate passed with zero matched labels — it fails open")
+	}
+	if !strings.Contains(out.Violations[0], "no row in the current report") {
+		t.Fatalf("violations = %v", out.Violations)
+	}
+}

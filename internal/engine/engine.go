@@ -212,6 +212,13 @@ type Stats struct {
 	// router pass and ≤ min(N, Shards) submit locks instead of N of each.
 	RouterPasses int
 	SubmitLocks  int
+	// BulkLoads counts SubmitBulk calls; BulkFlushes counts the per-shard
+	// coordination rounds those calls ran after ingest (at most one per
+	// touched shard per call; zero for deferred bulks, whose rounds happen
+	// at the next Flush). Engine-level like RouterPasses: zero in PerShard,
+	// excluded from aggregation.
+	BulkLoads   int
+	BulkFlushes int
 	// FamiliesRetired counts relation families reclaimed by GC sweeps.
 	FamiliesRetired int
 
@@ -260,6 +267,8 @@ type Engine struct {
 	// Submission-path amortisation counters (see Stats.RouterPasses).
 	routerPasses    atomic.Int64
 	submitLocks     atomic.Int64
+	bulkLoads       atomic.Int64
+	bulkFlushes     atomic.Int64
 	familiesRetired atomic.Int64
 	// eventSeq stamps audit events with a total order, so History can merge
 	// the per-shard rings deterministically even at equal timestamps.
@@ -340,6 +349,8 @@ func (e *Engine) Stats() Stats {
 		agg.Flushes = int(e.flushRounds.Load())
 		agg.RouterPasses = int(e.routerPasses.Load())
 		agg.SubmitLocks = int(e.submitLocks.Load())
+		agg.BulkLoads = int(e.bulkLoads.Load())
+		agg.BulkFlushes = int(e.bulkFlushes.Load())
 		agg.FamiliesRetired = int(e.familiesRetired.Load())
 		return agg
 	}
@@ -520,8 +531,37 @@ func (e *Engine) SubmitBatch(qs []*ir.Query) ([]*Handle, error) {
 		handles[i] = &Handle{ID: id, ch: make(chan Result, 1)}
 	}
 	now := e.now()
+	err := e.submitGrouped(relss, func(s *shard, group []int) error {
+		for _, i := range group {
+			if err := s.submit(renamed[i], relss[i], handles[i], now); err != nil {
+				return err // unreachable: IDs are fresh and Check precedes Admit
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return handles, nil
+}
 
-	remaining := make([]int, n)
+// submitGrouped is the shared routing/regrouping skeleton of SubmitBatch
+// and SubmitBulk: every round resolves ALL remaining items with one router
+// pass, groups them by home shard, and hands each group — in ascending
+// input order, under its shard's lock, with the routing generation
+// re-validated — to the ingest callback. relss holds one coordination
+// signature per item; group carries indices into it.
+//
+// A concurrent family merge between the router pass and a shard lock is
+// detected by the generation check; groups ingested before the bump
+// validated their routes under their own shard locks, so they stand, and
+// only the remainder re-routes. The remainder is re-sorted back to input
+// order before the next round: regrouping collects it shard by shard,
+// which interleaves the original order, and both callers' admission-order
+// contracts (batch order for SubmitBatch, ID-order safety verdicts for
+// SubmitBulk) require every group to ascend even after a retry.
+func (e *Engine) submitGrouped(relss [][]string, ingest func(s *shard, group []int) error) error {
+	remaining := make([]int, len(relss))
 	for i := range remaining {
 		remaining[i] = i
 	}
@@ -535,8 +575,8 @@ func (e *Engine) SubmitBatch(qs []*ir.Query) ([]*Handle, error) {
 		for _, root := range migrate {
 			e.migrateFamily(root)
 		}
-		// Group by home shard; ascending order keeps the per-batch locking
-		// sequence deterministic. Batch order is preserved within a group,
+		// Group by home shard; ascending shard order keeps the locking
+		// sequence deterministic. Input order is preserved within a group,
 		// which is all determinism needs: queries on different shards are in
 		// different families and cannot interact.
 		groups := make(map[int][]int, len(e.shards))
@@ -559,26 +599,21 @@ func (e *Engine) SubmitBatch(qs []*ir.Query) ([]*Handle, error) {
 			s.mu.Lock()
 			e.submitLocks.Add(1)
 			if e.router.generation() != gen {
-				// A concurrent merge re-homed some family; this group's (and
-				// all later groups') routes may be stale. Groups admitted
-				// before the bump validated their routes under their own
-				// shard locks, so they stand.
 				s.mu.Unlock()
 				stale = true
 				retry = append(retry, groups[t]...)
 				continue
 			}
-			for _, i := range groups[t] {
-				if err := s.submit(renamed[i], relss[i], handles[i], now); err != nil {
-					s.mu.Unlock()
-					return nil, err // unreachable: IDs are fresh and Check precedes Admit
-				}
-			}
+			err := ingest(s, groups[t])
 			s.mu.Unlock()
+			if err != nil {
+				return err
+			}
 		}
+		sort.Ints(retry)
 		remaining = retry
 	}
-	return handles, nil
+	return nil
 }
 
 // ParseSQL translates an entangled-SQL statement against the engine's
@@ -671,12 +706,17 @@ func (e *Engine) Run(ctx context.Context, flushInterval time.Duration) {
 				e.Flush()
 			}
 			e.ExpireStale()
-			e.GCFamilies()
+			e.GCFamiliesN(gcFamiliesPerTick)
 		}
 	}
 }
 
-// GCFamilies retires relation families with no pending members and no
+// gcFamiliesPerTick bounds how many GC candidates one Run tick examines, so
+// an engine waking up to a huge retired-family backlog drains it across
+// ticks instead of stalling one tick on a single sweep.
+const gcFamiliesPerTick = 256
+
+// GCFamilies retires every relation family with no pending members and no
 // migration in flight, reclaiming the state a long-lived engine would
 // otherwise accrete for every ANSWER relation it ever saw: the union-find
 // entries and route-cache slots in the router, and the per-relation key maps
@@ -684,14 +724,25 @@ func (e *Engine) Run(ctx context.Context, flushInterval time.Duration) {
 // safety checker's), all removed in the same sweep. Returns how many
 // families were retired. A family whose relations reappear later is simply
 // re-created by routing, with the same deterministic min-hash home.
-func (e *Engine) GCFamilies() int {
+func (e *Engine) GCFamilies() int { return e.GCFamiliesN(0) }
+
+// GCFamiliesN is the incremental form of GCFamilies: it examines at most
+// max candidates (0 = all) off the router's eligibility queue, so the
+// caller bounds the work of one sweep. Candidates are discovered by
+// transition (family created idle, pending count hitting zero, residence
+// collapsing), not by scanning every family, and eligibility is re-verified
+// under the home shard's lock before anything is deleted; a candidate found
+// busy simply re-queues at its next transition. Run's tick uses this with a
+// fixed budget, so a huge retired-family backlog drains across ticks
+// without a single-sweep spike.
+func (e *Engine) GCFamiliesN(max int) int {
 	e.lifeMu.RLock()
 	defer e.lifeMu.RUnlock()
 	if e.closed {
 		return 0
 	}
 	retired := 0
-	for _, root := range e.router.gcCandidates() {
+	for _, root := range e.router.popGCCandidates(max) {
 		home := e.router.currentHome(root)
 		if home < 0 {
 			continue // already gone (concurrent sweep or merge)

@@ -258,7 +258,14 @@ func TestConcurrentSubmissions(t *testing.T) {
 	if err := workload.PopulateDB(db, g); err != nil {
 		t.Fatal(err)
 	}
-	e := New(db, Config{Mode: Incremental, Seed: 99})
+	// StaleAfter is set from the start: expiry pops the per-shard staleness
+	// heap, whose entries are pushed at submit time only when a bound is
+	// configured — enabling staleness after the fact (as this test once did
+	// by mutating e.cfg) leaves earlier submissions unexpirable, and the
+	// occasional unsafe collision then strands its partner forever. Expiry
+	// still only happens on the explicit ExpireStale call below, so the
+	// short bound cannot race the coordination itself.
+	e := New(db, Config{Mode: Incremental, Seed: 99, StaleAfter: time.Millisecond})
 	pairs := g.FriendPairs(60, 5)
 	gen := workload.NewGen(g, 5)
 	qs := gen.TwoWayBest(pairs)
@@ -280,7 +287,6 @@ func TestConcurrentSubmissions(t *testing.T) {
 	wg.Wait()
 	// Expire whatever could not coordinate (unsafe collisions, different
 	// cities) so that every handle resolves.
-	e.cfg.StaleAfter = time.Nanosecond
 	time.Sleep(2 * time.Millisecond)
 	e.ExpireStale()
 	answered := 0

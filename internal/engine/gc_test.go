@@ -122,3 +122,69 @@ func TestRunSweepsFamilies(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 }
+
+// TestGCFamiliesBoundedDrainsBacklog is the ROADMAP's incremental-GC
+// scenario: an engine with a huge retired-family backlog must drain it in
+// bounded slices — no single call examining more than its budget — with the
+// backlog strictly shrinking every call until the router is empty. The
+// candidates come off the router's eligibility queue (fed by pending-count
+// transitions), so each bounded sweep costs O(budget), not O(families ever
+// seen).
+func TestGCFamiliesBoundedDrainsBacklog(t *testing.T) {
+	e := New(flightsDB(t), Config{Mode: Incremental, Shards: 4})
+	defer e.Close()
+
+	// Build the backlog: 600 coordinating pairs, each under its own ANSWER
+	// relation, all answered — leaving 600 idle families behind.
+	const backlog = 600
+	var handles []*Handle
+	for p := 0; p < backlog; p++ {
+		rel := fmt.Sprintf("Backlog%d", p)
+		h1, err := e.Submit(ir.MustParse(0, fmt.Sprintf("{%s(B, x)} %s(A, x) :- F(x, Paris)", rel, rel)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h2, err := e.Submit(ir.MustParse(0, fmt.Sprintf("{%s(A, y)} %s(B, y) :- F(y, Paris)", rel, rel)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h1, h2)
+	}
+	for _, h := range handles {
+		mustResult(t, h)
+	}
+	if got := e.router.gcBacklog(); got < backlog {
+		t.Fatalf("GC backlog = %d, want ≥ %d", got, backlog)
+	}
+
+	// Drain with a per-tick budget: every call retires at most the budget,
+	// makes progress, and the sum reaches the full backlog.
+	const budget = 100
+	total, ticks := 0, 0
+	for {
+		n := e.GCFamiliesN(budget)
+		if n == 0 {
+			break
+		}
+		if n > budget {
+			t.Fatalf("one bounded sweep retired %d families, budget %d", n, budget)
+		}
+		total += n
+		ticks++
+		if ticks > backlog {
+			t.Fatal("bounded GC failed to terminate")
+		}
+	}
+	if total != backlog {
+		t.Fatalf("bounded sweeps retired %d families in total, want %d", total, backlog)
+	}
+	if ticks < backlog/budget {
+		t.Fatalf("backlog drained in %d ticks — a single-sweep spike, want ≥ %d bounded ticks", ticks, backlog/budget)
+	}
+	if fams, rels := e.router.size(); fams != 0 || rels != 0 {
+		t.Fatalf("router still tracks %d families / %d relations after the drain", fams, rels)
+	}
+	if st := e.Stats(); st.FamiliesRetired != backlog {
+		t.Fatalf("FamiliesRetired = %d, want %d", st.FamiliesRetired, backlog)
+	}
+}

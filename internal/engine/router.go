@@ -63,6 +63,7 @@ type family struct {
 	resident map[int]bool // shards that may still hold pending members (nil ⇒ {home})
 	members  []string     // every relation name in the family (nil ⇒ {root}; for GC)
 	pending  int          // live pending queries routed to this family
+	queued   bool         // sitting in the router's GC candidate queue
 }
 
 // residentCount returns the size of the residence set, counting the
@@ -107,6 +108,14 @@ type router struct {
 	// ever seen, so precision isn't worth per-family bookkeeping that would
 	// have to survive merges.
 	gen atomic.Uint64
+	// gcQueue holds the roots of families that MAY be GC-eligible: a family
+	// is enqueued when it is created pending-less, when its pending count
+	// drops to zero, and when its residence set collapses with nothing
+	// pending — the only transitions that can make it eligible. GC pops a
+	// bounded number of roots per sweep and re-verifies eligibility under
+	// the home shard's lock, so a sweep's cost tracks how many families
+	// actually became idle, not how many the router has ever seen.
+	gcQueue []string
 	// cache holds gen-stamped homes for single-relation signatures whose
 	// family needed no migration when last routed. A hit whose stamp still
 	// equals gen routes without touching the mutex at all: the signature
@@ -239,6 +248,10 @@ func (r *router) unionSigLocked(rels []string) (root string, fresh bool) {
 		r.parent[merged] = merged
 		fam = &family{minHash: relHash(merged)}
 		r.fams[merged] = fam
+		// A fresh family has no pending members yet; enqueue it so a query
+		// that never reaches admission (e.g. an unsafe rejection right after
+		// routing) cannot leave an unreachable GC candidate behind.
+		r.enqueueGC(merged, fam)
 	}
 	// ensureResident materialises the lazy residence set before a mutation
 	// that can make it diverge from the implicit {home}.
@@ -307,7 +320,26 @@ func (r *router) unionSigLocked(rels []string) (root string, fresh bool) {
 	if fam.resident != nil {
 		fam.resident[fam.home] = true
 	}
+	if (rehomed || len(absorbedHomes) > 0) && fam.pending == 0 {
+		// A merge may have absorbed a queued family into this one, and a
+		// re-home invalidates any sweep that popped this family and is
+		// about to fail retireFamily's home check — in both cases, if
+		// nothing is pending, re-track the surviving root so an idle family
+		// cannot be stranded with a cleared queued flag (the routing query
+		// behind this union may yet be rejected unsafe, in which case no
+		// pending transition would ever re-enqueue it).
+		r.enqueueGC(merged, fam)
+	}
 	return merged, !hadHome
+}
+
+// enqueueGC adds a family to the GC candidate queue once per queued episode.
+// Caller holds r.mu.
+func (r *router) enqueueGC(root string, fam *family) {
+	if !fam.queued {
+		fam.queued = true
+		r.gcQueue = append(r.gcQueue, root)
+	}
 }
 
 // generation returns the current home-assignment generation with a single
@@ -352,9 +384,15 @@ func (r *router) residencePlan(root string) (home int, sources []int) {
 func (r *router) clearResidence(root string, from, expectHome int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	fam := r.fams[r.find(root)]
+	rt := r.find(root)
+	fam := r.fams[rt]
 	if fam != nil && fam.home == expectHome && from != fam.home {
 		delete(fam.resident, from)
+		if fam.pending == 0 && fam.residentCount() <= 1 {
+			// The migration drain just made an idle family eligible; a GC
+			// pop may have discarded it while residence was still split.
+			r.enqueueGC(rt, fam)
+		}
 	}
 }
 
@@ -365,26 +403,56 @@ func (r *router) clearResidence(root string, from, expectHome int) {
 func (r *router) addPending(rel string, delta int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if fam := r.fams[r.find(rel)]; fam != nil {
+	root := r.find(rel)
+	if fam := r.fams[root]; fam != nil {
 		fam.pending += delta
+		if fam.pending == 0 {
+			r.enqueueGC(root, fam)
+		}
 	}
 }
 
-// gcCandidates returns the roots of families eligible for retirement: no
-// pending members anywhere and no migration in flight (residence collapsed
-// to at most the home shard). Eligibility is re-verified under the home
-// shard's lock by retireFamily before anything is deleted.
-func (r *router) gcCandidates() []string {
+// popGCCandidates removes and returns up to max roots from the GC candidate
+// queue (max ≤ 0 drains it), clearing each family's queued mark so the next
+// eligibility transition re-enqueues it. Candidates may have become
+// ineligible while queued — a sweep re-verifies each under the home shard's
+// lock via retireFamily before deleting anything, and an ineligible pop
+// simply waits for its next transition (pending back to zero, residence
+// collapse) to requeue it. The queue replaces a full scan over every family
+// the router has ever seen: a sweep's cost is bounded by max, however large
+// the retired backlog, so GC from Run's tick can drain a huge backlog
+// across ticks instead of in one spike.
+func (r *router) popGCCandidates(max int) []string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	var out []string
-	for root, fam := range r.fams {
-		if fam.pending == 0 && fam.residentCount() <= 1 {
-			out = append(out, root)
+	n := len(r.gcQueue)
+	if max > 0 && n > max {
+		n = max
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]string, n)
+	copy(out, r.gcQueue)
+	r.gcQueue = append(r.gcQueue[:0], r.gcQueue[n:]...)
+	for _, root := range out {
+		// Clear the flag only while the popped root is still its family's
+		// live root. A stale pre-merge root resolves (via find) to the
+		// surviving family, whose OWN queue entry may still be pending —
+		// clearing its flag here would let a later transition enqueue it a
+		// second time.
+		if fam := r.fams[root]; fam != nil && r.find(root) == root {
+			fam.queued = false
 		}
 	}
-	sort.Strings(out)
 	return out
+}
+
+// gcBacklog returns how many candidates are queued (observability/tests).
+func (r *router) gcBacklog() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.gcQueue)
 }
 
 // retireFamily deletes the family rooted at root if it is still GC-eligible

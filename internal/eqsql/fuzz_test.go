@@ -1,0 +1,54 @@
+package eqsql
+
+import (
+	"errors"
+	"testing"
+
+	"entangle/internal/ir"
+)
+
+// FuzzParseSQL throws arbitrary bytes at the entangled-SQL front end —
+// lexer, parser and translator — over a small fixed schema. The contract
+// under fuzzing: never panic; every failure is either a *ir.ParseError
+// (errors.As) with a byte offset inside the input, or an offset-free
+// translation error; successful translations yield queries that Validate
+// accepts.
+func FuzzParseSQL(f *testing.F) {
+	schema := MapSchema{
+		"Flights": {"fno", "dest"},
+		"Friends": {"a", "b"},
+		"R":       {"who", "fno"},
+	}
+	for _, seed := range []string{
+		`SELECT 'Kramer', fno INTO ANSWER R
+WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris')
+AND ('Jerry', fno) IN ANSWER R CHOOSE 1`,
+		`SELECT 'Jerry', fno INTO ANSWER R WHERE ('Kramer', fno) IN ANSWER R CHOOSE 1`,
+		`SELECT a, b FROM Friends`,
+		`SELECT x INTO ANSWER R CHOOSE 2`,
+		`SELECT`,
+		`SELECT 'a' INTO ANSWER`,
+		`sele ct ' unterminated`,
+		``,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		tr, err := Parse(0, src, schema, Options{AllowExtensions: true, AnswerSchemas: map[string][]string{"R": {"who", "fno"}}})
+		if err != nil {
+			var pe *ir.ParseError
+			if errors.As(err, &pe) {
+				if pe.Offset < 0 || pe.Offset > len(src) {
+					t.Fatalf("ParseError offset %d outside input of %d bytes: %q", pe.Offset, len(src), src)
+				}
+			}
+			return
+		}
+		if tr.Query == nil {
+			t.Fatalf("Parse accepted %q but returned no query", src)
+		}
+		if err := tr.Query.Validate(); err != nil {
+			t.Fatalf("Parse accepted %q but Validate rejects the translation: %v", src, err)
+		}
+	})
+}

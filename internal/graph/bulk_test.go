@@ -1,0 +1,146 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"entangle/internal/ir"
+)
+
+// edgeKey normalises an edge for multiset comparison: which atoms connect
+// which queries, independent of discovery order.
+func edgeKey(e *Edge) string {
+	return fmt.Sprintf("%d/%d→%d/%d", e.From, e.Head.Pos, e.To, e.Post.Pos)
+}
+
+// edgeMultiset collects every edge of the graph once (from the Out side).
+func edgeMultiset(g *Graph) []string {
+	var out []string
+	for _, id := range g.QueryIDs() {
+		for _, e := range g.Node(id).Out {
+			out = append(out, edgeKey(e))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestBulkAddMatchesSequential is the BulkAdd equivalence oracle: random
+// populations split into a resident prefix (AddQuery'd one at a time) and a
+// bulk suffix must produce, via BulkAdd, exactly the node set, edge
+// multiset, components and closedness that the same queries inserted
+// sequentially produce — with the in-edge count per node also equal, so the
+// engine's edge-derived safety sweep sees the same picture either way.
+func TestBulkAddMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for round := 0; round < 60; round++ {
+		n := 2 + rng.Intn(30)
+		cut := rng.Intn(n) // residents before the bulk (0 = empty-graph fast path)
+		qs := make([]*ir.Query, n)
+		for i := range qs {
+			qs[i] = randQuery(rng, ir.QueryID(i+1))
+		}
+
+		seq := New()
+		for _, q := range qs {
+			if err := seq.AddQuery(q); err != nil {
+				t.Fatal(err)
+			}
+		}
+		bulk := New()
+		for _, q := range qs[:cut] {
+			if err := bulk.AddQuery(q); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := bulk.BulkAdd(qs[cut:]); err != nil {
+			t.Fatal(err)
+		}
+
+		tag := fmt.Sprintf("round %d (n=%d cut=%d)", round, n, cut)
+		if got, want := edgeMultiset(bulk), edgeMultiset(seq); !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: bulk edges %v, sequential %v", tag, got, want)
+		}
+		if got, want := bulk.QueryIDs(), seq.QueryIDs(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: bulk order %v, sequential %v", tag, got, want)
+		}
+		if got, want := bulk.ConnectedComponents(), seq.ConnectedComponents(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: bulk components %v, sequential %v", tag, got, want)
+		}
+		// Closedness via the deferred-dirty path must agree with the oracle.
+		checkAgainstOracle(t, bulk, tag)
+	}
+}
+
+// TestBulkAddAfterRemovals exercises the tombstone paths: IDs removed from
+// the graph (leaving order tombstones and stale component entries) are
+// re-added through BulkAdd, which must purge both and keep the index exact.
+func TestBulkAddAfterRemovals(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	g := New()
+	queries := make(map[ir.QueryID]*ir.Query)
+	var live, dead []ir.QueryID
+	nextID := ir.QueryID(1)
+	for step := 0; step < 200; step++ {
+		switch {
+		case len(dead) > 0 && rng.Intn(100) < 30:
+			// Bulk re-add a random subset of removed IDs (fresh atoms).
+			rng.Shuffle(len(dead), func(i, j int) { dead[i], dead[j] = dead[j], dead[i] })
+			k := 1 + rng.Intn(len(dead))
+			batch := make([]*ir.Query, 0, k)
+			for _, id := range dead[:k] {
+				q := randQuery(rng, id)
+				queries[id] = q
+				batch = append(batch, q)
+			}
+			// Bulk admission is ID-ordered in the engine; mirror that here.
+			sort.Slice(batch, func(i, j int) bool { return batch[i].ID < batch[j].ID })
+			if err := g.BulkAdd(batch); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, dead[:k]...)
+			dead = dead[k:]
+		case len(live) > 0 && rng.Intn(100) < 40:
+			i := rng.Intn(len(live))
+			id := live[i]
+			if !g.RemoveQuery(id) {
+				t.Fatalf("step %d: RemoveQuery(%d) = false", step, id)
+			}
+			live = append(live[:i], live[i+1:]...)
+			dead = append(dead, id)
+		default:
+			q := randQuery(rng, nextID)
+			if err := g.AddQuery(q); err != nil {
+				t.Fatal(err)
+			}
+			queries[nextID] = q
+			live = append(live, nextID)
+			nextID++
+		}
+		checkAgainstOracle(t, g, fmt.Sprintf("step %d", step))
+	}
+}
+
+// TestBulkAddRejectsDuplicates: duplicate IDs — against the graph or within
+// the batch — fail before any mutation.
+func TestBulkAddRejectsDuplicates(t *testing.T) {
+	g := New()
+	if err := g.AddQuery(ir.MustParse(1, "{R(x)} S(x) :- D(x)")); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.BulkAdd([]*ir.Query{ir.MustParse(1, "{R(y)} S(y) :- D(y)")}); err == nil {
+		t.Fatal("BulkAdd accepted an ID already in the graph")
+	}
+	if err := g.BulkAdd([]*ir.Query{
+		ir.MustParse(2, "{R(y)} S(y) :- D(y)"),
+		ir.MustParse(2, "{R(z)} S(z) :- D(z)"),
+	}); err == nil {
+		t.Fatal("BulkAdd accepted a duplicate ID within the batch")
+	}
+	if g.Len() != 1 {
+		t.Fatalf("failed BulkAdd mutated the graph: %d nodes", g.Len())
+	}
+}

@@ -149,6 +149,23 @@ type BatchHandle struct {
 // does not fail the rest. The error return covers transport-level failures
 // only.
 func (c *Client) SubmitBatch(queries []BatchQuery) ([]BatchHandle, error) {
+	return c.submitMany(Request{Op: "submit_batch", Queries: queries})
+}
+
+// SubmitBulk submits many queries in one submit_bulk request, loaded
+// server-side through the engine's UNORDERED bulk path: the batch is
+// ingested and coordinated set-at-a-time, which is cheaper than
+// SubmitBatch but gives up the intra-batch admission ordering (see
+// engine.SubmitBulk). deferFlush skips the coordination round after
+// ingest. Handle semantics match SubmitBatch.
+func (c *Client) SubmitBulk(queries []BatchQuery, deferFlush bool) ([]BatchHandle, error) {
+	return c.submitMany(Request{Op: "submit_bulk", Queries: queries, DeferFlush: deferFlush})
+}
+
+// submitMany performs a batch-shaped request/reply exchange (submit_batch
+// or submit_bulk) and registers a result waiter per accepted query.
+func (c *Client) submitMany(req Request) ([]BatchHandle, error) {
+	queries := req.Queries
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -157,7 +174,7 @@ func (c *Client) SubmitBatch(queries []BatchQuery) ([]BatchHandle, error) {
 	c.mu.Unlock()
 	c.reqMu.Lock()
 	defer c.reqMu.Unlock()
-	if err := c.enc.Encode(Request{Op: "submit_batch", Queries: queries}); err != nil {
+	if err := c.enc.Encode(req); err != nil {
 		return nil, err
 	}
 	ack, ok := <-c.acks

@@ -9,6 +9,8 @@
 //	                 {"op":"ir","ir":"{R(J,x)} R(K,x) :- F(x,P)"}  submit IR text
 //	                 {"op":"submit_batch","queries":[{"sql":"…"},{"ir":"…"}]}
 //	                                                      submit many queries in one engine batch
+//	                 {"op":"submit_bulk","queries":[…],"defer_flush":true}
+//	                                                      unordered bulk load (set-at-a-time per batch)
 //	                 {"op":"load","sql":"CREATE TABLE …"} run a DDL/DML script
 //	                 {"op":"flush"}                       force a set-at-a-time round
 //	                 {"op":"stats"}                       engine counters
@@ -25,6 +27,12 @@
 // fail the rest of the batch). Accepted queries are admitted through the
 // engine's batched fast path: one routing pass and one lock acquisition per
 // touched shard for the whole batch.
+//
+// submit_bulk has the same request/reply shape but loads the accepted
+// queries through the engine's unordered bulk path: the batch is ingested
+// and coordinated set-at-a-time (no per-query incremental evaluation; see
+// Engine.SubmitBulk for the ordering caveat). defer_flush skips the
+// coordination round after ingest.
 package server
 
 import (
@@ -43,7 +51,10 @@ type Request struct {
 	Op      string       `json:"op"`
 	SQL     string       `json:"sql,omitempty"`
 	IR      string       `json:"ir,omitempty"`
-	Queries []BatchQuery `json:"queries,omitempty"` // submit_batch payload
+	Queries []BatchQuery `json:"queries,omitempty"` // submit_batch / submit_bulk payload
+	// DeferFlush (submit_bulk only) skips the coordination round after the
+	// bulk ingest; closed components wait for the next flush.
+	DeferFlush bool `json:"defer_flush,omitempty"`
 }
 
 // BatchQuery is one query of a submit_batch request: entangled SQL or IR
@@ -181,10 +192,11 @@ func (s *Server) handle(conn net.Conn) {
 				return
 			}
 			go forward(h)
-		case "submit_batch":
+		case "submit_batch", "submit_bulk":
 			// Parse every query first so one bad query fails only its own
 			// item; the good ones are admitted through the engine's batched
-			// fast path in input order.
+			// fast path in input order (submit_batch) or its unordered
+			// set-at-a-time bulk path (submit_bulk).
 			items := make([]BatchItem, len(req.Queries))
 			var qs []*ir.Query
 			var slots []int // items index per parsed query
@@ -209,7 +221,13 @@ func (s *Server) handle(conn net.Conn) {
 				qs = append(qs, q)
 				slots = append(slots, i)
 			}
-			handles, err := s.Engine.SubmitBatch(qs)
+			var handles []*engine.Handle
+			var err error
+			if req.Op == "submit_bulk" {
+				handles, err = s.Engine.SubmitBulk(qs, engine.BulkOptions{DeferFlush: req.DeferFlush})
+			} else {
+				handles, err = s.Engine.SubmitBatch(qs)
+			}
 			if err != nil {
 				write(Response{Type: "error", Error: err.Error()})
 				continue
