@@ -12,7 +12,9 @@
 // -scale multiplies the workload sizes; 1.0 reproduces the paper's range
 // (5 … 100,000 queries), smaller values give quick runs.
 // -experiment arrival measures incremental per-arrival latency and
-// allocations, closing vs non-closing (the engine's hot path).
+// allocations, closing vs non-closing (the engine's hot path), at the
+// requested shard count and single-shard (the per-core reference rows);
+// each row carries the hard AllocLimit the perf gate enforces.
 // -experiment batching compares the three submission modes — single
 // Submit, SubmitBatch, and the unordered SubmitBulk load path — timing the
 // submission phase only (median of 5 reps), with identical answered counts

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"time"
 
@@ -20,15 +21,29 @@ import (
 //     closedness probe) with matching and evaluation out of the picture.
 //   - "arrival closing (per pair)": both members arrive back to back and
 //     the second closes the pair, so the figure includes matching, the
-//     combined query's database evaluation, and retirement.
+//     compiled combined-query evaluation, and retirement.
+//
+// Both regimes run at the requested shard count AND single-shard (when they
+// differ): the single-shard rows are the per-core reference point the
+// ROADMAP's multicore re-measurement scales from, and give the perf gate a
+// sharding-independent closing-path budget.
 //
 // Per-op wall time comes from the run clock; allocation figures come from
 // runtime.MemStats deltas around the timed phase (the process is quiesced
-// with a GC first), divided by the number of submissions. Workloads use
-// per-pair ANSWER relations (the routable shape), matching the engine's
-// own BenchmarkArrival* microbenchmarks.
+// with a GC first), divided by the number of submissions. Each row also
+// carries an AllocLimit — measured allocs/op × 1.4 + 6, rounded up — so a
+// checked-in report pins a tight hard budget for the gate (see
+// CompareReports): a regression back to map-backed evaluation (~2.5× the
+// compiled path's allocations) trips CI outright, while small-scale
+// amortisation noise stays inside the margin. Workloads use per-pair ANSWER
+// relations (the routable shape), matching the engine's own
+// BenchmarkArrival* microbenchmarks.
 func (e *Env) ArrivalExperiment(sizes []int, shards int) ([]Row, error) {
 	var rows []Row
+	shardCounts := []int{shards}
+	if shards != 1 {
+		shardCounts = append(shardCounts, 1)
+	}
 	for _, n := range sizes {
 		if n < 2 {
 			n = 2
@@ -43,25 +58,35 @@ func (e *Env) ArrivalExperiment(sizes []int, shards int) ([]Row, error) {
 		for i := 0; i < len(qs); i += 2 {
 			firsts = append(firsts, qs[i])
 		}
-		open, err := e.runArrivals(fmt.Sprintf("arrival non-closing (%d shards)", shards), firsts, shards)
-		if err != nil {
-			return nil, err
-		}
-		if open.Answered != 0 {
-			return nil, fmt.Errorf("bench: non-closing run answered %d queries", open.Answered)
-		}
-		rows = append(rows, open)
+		for _, sc := range shardCounts {
+			open, err := e.runArrivals(fmt.Sprintf("arrival non-closing (%s)", shardsLabel(sc)), firsts, sc)
+			if err != nil {
+				return nil, err
+			}
+			if open.Answered != 0 {
+				return nil, fmt.Errorf("bench: non-closing run answered %d queries", open.Answered)
+			}
+			rows = append(rows, open)
 
-		closing, err := e.runArrivals(fmt.Sprintf("arrival closing (%d shards)", shards), qs, shards)
-		if err != nil {
-			return nil, err
+			closing, err := e.runArrivals(fmt.Sprintf("arrival closing (%s)", shardsLabel(sc)), qs, sc)
+			if err != nil {
+				return nil, err
+			}
+			if closing.Pending != 0 {
+				return nil, fmt.Errorf("bench: closing run left %d pending", closing.Pending)
+			}
+			rows = append(rows, closing)
 		}
-		if closing.Pending != 0 {
-			return nil, fmt.Errorf("bench: closing run left %d pending", closing.Pending)
-		}
-		rows = append(rows, closing)
 	}
 	return rows, nil
+}
+
+// shardsLabel renders a shard count for row labels ("1 shard", "8 shards").
+func shardsLabel(n int) string {
+	if n == 1 {
+		return "1 shard"
+	}
+	return fmt.Sprintf("%d shards", n)
 }
 
 // runArrivals submits qs one at a time to a fresh incremental engine,
@@ -82,10 +107,12 @@ func (e *Env) runArrivals(label string, qs []*ir.Query, shards int) (Row, error)
 	runtime.ReadMemStats(&m1)
 	st := eng.Stats()
 	n := len(qs)
+	allocs := float64(m1.Mallocs-m0.Mallocs) / float64(n)
 	return Row{
 		Label: label, N: n, Elapsed: elapsed,
-		AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / float64(n),
+		AllocsPerOp: allocs,
 		BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(n),
+		AllocLimit:  math.Ceil(allocs*1.4) + 6,
 		Answered:    st.Answered, Rejected: st.Rejected + st.RejectedUnsafe, Pending: st.Pending,
 	}, nil
 }

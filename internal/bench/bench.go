@@ -61,9 +61,15 @@ type Row struct {
 	// experiments that measure it (the arrival experiment); zero elsewhere.
 	AllocsPerOp float64 `json:",omitempty"`
 	BytesPerOp  float64 `json:",omitempty"`
-	Answered    int
-	Rejected    int
-	Pending     int
+	// AllocLimit, when set on a row of a PINNED report, is a hard per-label
+	// allocs/op ceiling for the perf gate: CompareReports caps the default
+	// budget × slack + abs margin at this value, so an experiment that knows
+	// its own amortisation headroom can pin a tighter trip-wire than the
+	// generic slack would allow. Ignored on current (freshly measured) rows.
+	AllocLimit float64 `json:",omitempty"`
+	Answered   int
+	Rejected   int
+	Pending    int
 }
 
 // NsPerOp returns the per-operation wall time in nanoseconds (0 when N is 0),

@@ -64,7 +64,10 @@ func ReadReport(path string) (*Report, error) {
 // violation — and so is a pinned budget with NO current row to check, or
 // the gate would fail open: a label-format change (or a dropped
 // experiment) would turn every comparison into a no-op while CI kept
-// printing PASS. Per-op latency is compared the same way but only ever
+// printing PASS. A pinned row carrying AllocLimit tightens its label's
+// limit to min(default margin, smallest pinned AllocLimit) — experiments
+// that know their amortisation headroom pin a harder trip-wire than the
+// generic slack. Per-op latency is compared the same way but only ever
 // produces advisories, as do current labels with no pinned counterpart
 // (new experiments are not regressions). Labels are compared, not row
 // indexes, so re-ordered or re-sized series still gate correctly.
@@ -72,10 +75,16 @@ func CompareReports(pinned, current *Report, opt GateOptions) GateOutcome {
 	opt = opt.withDefaults()
 	budgets := make(map[string]float64) // label → max pinned allocs/op
 	latency := make(map[string]float64) // label → max pinned ns/op
+	hard := make(map[string]float64)    // label → min pinned AllocLimit (> 0)
 	for _, s := range pinned.Series {
 		for _, r := range s.Rows {
 			if r.AllocsPerOp > budgets[r.Label] {
 				budgets[r.Label] = r.AllocsPerOp
+			}
+			if r.AllocLimit > 0 {
+				if h, ok := hard[r.Label]; !ok || r.AllocLimit < h {
+					hard[r.Label] = r.AllocLimit
+				}
 			}
 			if ns := r.NsPerOp(); ns > latency[r.Label] {
 				latency[r.Label] = ns
@@ -97,10 +106,18 @@ func CompareReports(pinned, current *Report, opt GateOptions) GateOutcome {
 				continue
 			}
 			limit := budget*opt.AllocSlack + opt.AllocAbs
+			how := fmt.Sprintf("%.1f × %.2f + %.1f", budget, opt.AllocSlack, opt.AllocAbs)
+			// A pinned AllocLimit tightens the generic margin — never
+			// loosens it: the experiment pinned its own amortisation-aware
+			// hard ceiling.
+			if h, ok := hard[r.Label]; ok && h < limit {
+				limit = h
+				how = fmt.Sprintf("pinned hard AllocLimit %.1f", h)
+			}
 			if r.AllocsPerOp > limit {
 				out.Violations = append(out.Violations,
-					fmt.Sprintf("%s (n=%d): %.1f allocs/op exceeds pinned budget %.1f (limit %.1f = %.1f × %.2f + %.1f)",
-						r.Label, r.N, r.AllocsPerOp, budget, limit, budget, opt.AllocSlack, opt.AllocAbs))
+					fmt.Sprintf("%s (n=%d): %.1f allocs/op exceeds pinned budget %.1f (limit %.1f = %s)",
+						r.Label, r.N, r.AllocsPerOp, budget, limit, how))
 			} else if !seen[r.Label] {
 				out.Advisories = append(out.Advisories,
 					fmt.Sprintf("%s: %.1f allocs/op within pinned budget %.1f (limit %.1f)", r.Label, r.AllocsPerOp, budget, limit))

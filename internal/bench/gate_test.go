@@ -88,6 +88,40 @@ func TestGateUnknownLabelIsAdvisory(t *testing.T) {
 	}
 }
 
+// TestGateHardAllocLimitTightens: a pinned AllocLimit caps the generic
+// budget × slack + abs margin — a current row inside the generic margin but
+// above the pinned hard ceiling fails; a pinned AllocLimit LOOSER than the
+// generic margin is ignored (the gate never weakens itself).
+func TestGateHardAllocLimitTightens(t *testing.T) {
+	pinned := gateReport(
+		Row{Label: "arrival closing (8 shards)", N: 1000, AllocsPerOp: 20.0, AllocLimit: 28},
+	)
+	// 32 allocs/op: inside 20 × 1.5 + 4 = 34, above the hard 28.
+	current := gateReport(Row{Label: "arrival closing (8 shards)", N: 20, AllocsPerOp: 32.0})
+	out := CompareReports(pinned, current, GateOptions{})
+	if out.OK() {
+		t.Fatal("gate passed 32 allocs/op against pinned hard limit 28")
+	}
+	if !strings.Contains(out.Violations[0], "hard AllocLimit") {
+		t.Fatalf("violation does not cite the hard limit: %v", out.Violations)
+	}
+
+	// Under the hard limit: passes.
+	ok := gateReport(Row{Label: "arrival closing (8 shards)", N: 20, AllocsPerOp: 27.0})
+	if out := CompareReports(pinned, ok, GateOptions{}); !out.OK() {
+		t.Fatalf("gate failed under the hard limit: %v", out.Violations)
+	}
+
+	// A loose AllocLimit (90) never loosens the generic margin (34).
+	loose := gateReport(
+		Row{Label: "arrival closing (8 shards)", N: 1000, AllocsPerOp: 20.0, AllocLimit: 90},
+	)
+	bad := gateReport(Row{Label: "arrival closing (8 shards)", N: 20, AllocsPerOp: 50.0})
+	if out := CompareReports(loose, bad, GateOptions{}); out.OK() {
+		t.Fatal("a loose pinned AllocLimit weakened the generic margin")
+	}
+}
+
 // TestGateAgainstCheckedInReference keeps the gate wired to the real pinned
 // file: BENCH_arrival.json must parse and pass against itself, so a CI run
 // can never fail on a malformed or self-inconsistent reference.

@@ -33,3 +33,45 @@ func TestNonClosingArrivalAllocs(t *testing.T) {
 		t.Fatalf("non-closing arrival allocates %.1f allocs/op, want ≤ 18", avg)
 	}
 }
+
+// TestClosingArrivalAllocs guards the compiled answer path: submitting a
+// full coordinating pair — the second arrival closes the component, the
+// dense matcher runs, the combined query compiles and executes through
+// pooled plan scratch, heads are grounded and both results deliver. The
+// pre-compilation pipeline (map-backed unifier materialisation,
+// CombinedQuery + Simplify substitutions, per-call join state) sat near 97
+// allocs for the closing member; the compiled path's budget is 50 for the
+// PAIR (≈ 11 for the non-closing member + the closing member's match,
+// evaluation, answer tuples and delivery), so a map-backed regression
+// anywhere in the answer path trips immediately.
+func TestClosingArrivalAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are distorted under -race: sync.Pool randomly drops Put items, so the pooled evaluation scratch re-allocates")
+	}
+	socialEnv(t)
+	const runs = 400
+	qs := socialPairQueries(2 * (runs + 60))
+	e := New(socialDB, Config{Mode: Incremental, Shards: 1, Seed: 1})
+	defer e.Close()
+	next := 0
+	pair := func() {
+		h1, err := e.Submit(qs[2*next])
+		if err != nil {
+			t.Fatal(err)
+		}
+		h2, err := e.Submit(qs[2*next+1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		next++
+		<-h1.Done()
+		<-h2.Done()
+	}
+	for i := 0; i < 50; i++ {
+		pair() // warm up: maps, pools, router state
+	}
+	avg := testing.AllocsPerRun(runs, pair)
+	if avg > 50 {
+		t.Fatalf("closing pair allocates %.1f allocs (%.1f/arrival), want ≤ 50 (≤ 25/arrival)", avg, avg/2)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package engine
+
+// raceEnabled reports that this binary was built with the race detector,
+// under which allocation guards are unreliable: sync.Pool randomly drops
+// Put items to widen race coverage, so pooled scratch re-allocates.
+const raceEnabled = true

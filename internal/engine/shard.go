@@ -30,6 +30,12 @@ type shard struct {
 	stats   Stats
 	sinceFl int      // submissions since last flush (SetAtATime)
 	hist    *history // this shard's slice of the audit trail (nil if disabled)
+	// byIDBuf is the shard's reusable member → query map handed to component
+	// evaluation. Mutated only under the shard lock (flush fills it before
+	// spawning its read-only evaluation goroutines and waits for them under
+	// the same lock hold), so one map serves every round instead of
+	// allocating per flush and per incremental closing.
+	byIDBuf map[ir.QueryID]*ir.Query
 }
 
 func newShard(idx int, e *Engine) *shard {
@@ -169,6 +175,17 @@ func (s *shard) evict(id ir.QueryID) *pendingQuery {
 	return p
 }
 
+// memberMap returns the shard's cleared reusable member → query map.
+// Caller holds s.mu; the map stays valid for the duration of that hold.
+func (s *shard) memberMap() map[ir.QueryID]*ir.Query {
+	if s.byIDBuf == nil {
+		s.byIDBuf = make(map[ir.QueryID]*ir.Query, 8)
+	} else {
+		clear(s.byIDBuf)
+	}
+	return s.byIDBuf
+}
+
 // flush runs a set-at-a-time evaluation round over the shard's pending
 // set. Closed components evaluate concurrently, gated by the engine's
 // shared evaluation semaphore, so one busy shard can use the whole
@@ -197,13 +214,10 @@ func (s *shard) flush() {
 	}
 	results := make([]evalOut, len(closed))
 	// Matching and answer splitting only ever look up members of the
-	// components being evaluated, so the query map covers exactly those —
-	// not a copy of the entire pending set per round.
-	nClosed := 0
-	for _, comp := range closed {
-		nClosed += len(comp)
-	}
-	byID := make(map[ir.QueryID]*ir.Query, nClosed)
+	// components being evaluated, so the reused per-shard query map covers
+	// exactly those — not a copy of the entire pending set per round, and
+	// not a fresh map per round either.
+	byID := s.memberMap()
 	for _, comp := range closed {
 		for _, id := range comp {
 			if p, ok := s.pending[id]; ok {
@@ -226,11 +240,14 @@ func (s *shard) flush() {
 		go func(ci int) {
 			defer wg.Done()
 			defer func() { <-s.eng.evalSem }()
-			var rnd *rand.Rand
+			// Each component draws its CHOOSE stream from the round seed
+			// plus its index — a splitmix stream built inside the pooled
+			// evaluation scratch, not a per-component rand.Rand allocation.
+			var cseed int64
 			if seed != 0 {
-				rnd = rand.New(rand.NewSource(seed + int64(ci)))
+				cseed = seed + int64(ci)
 			}
-			ans, rej, _, err := match.EvaluateComponent(s.eng.db, s.g, closed[ci], byID, rnd, s.eng.cfg.Match)
+			ans, rej, err := match.EvaluateComponentFast(s.eng.db, s.g, closed[ci], byID, cseed, s.eng.cfg.Match)
 			if err != nil {
 				// Treat evaluation errors as rejections of the whole
 				// component; surface the error text.
@@ -258,7 +275,7 @@ func (s *shard) evaluateComponent(comp []ir.QueryID) {
 	if len(comp) == 0 || !s.g.ComponentClosed(comp[0]) {
 		return
 	}
-	byID := make(map[ir.QueryID]*ir.Query, len(comp))
+	byID := s.memberMap()
 	for _, id := range comp {
 		p, ok := s.pending[id]
 		if !ok {
@@ -266,12 +283,12 @@ func (s *shard) evaluateComponent(comp []ir.QueryID) {
 		}
 		byID[id] = p.renamed
 	}
-	var rnd *rand.Rand
+	var seed int64
 	if s.rnd != nil {
-		rnd = rand.New(rand.NewSource(s.rnd.Int63()))
+		seed = s.rnd.Int63()
 	}
 	s.stats.Evaluations++
-	ans, rej, _, err := match.EvaluateComponent(s.eng.db, s.g, comp, byID, rnd, s.eng.cfg.Match)
+	ans, rej, err := match.EvaluateComponentFast(s.eng.db, s.g, comp, byID, seed, s.eng.cfg.Match)
 	if err != nil {
 		for _, id := range comp {
 			rej = append(rej, match.Removal{Query: id, Cause: match.CauseNoData})

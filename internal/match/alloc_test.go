@@ -5,6 +5,7 @@ import (
 
 	"entangle/internal/graph"
 	"entangle/internal/ir"
+	"entangle/internal/memdb"
 )
 
 // benchPairGraphFrom builds the unifiability graph of already renamed-apart
@@ -45,5 +46,41 @@ func TestMatchComponentAllocs(t *testing.T) {
 	})
 	if avg > 24 {
 		t.Fatalf("MatchComponent allocates %.1f allocs/op, want ≤ 24", avg)
+	}
+}
+
+// TestEvaluateComponentFastAllocs guards the whole compiled answer path at
+// the match layer: dense matching, plan compilation off the interned
+// unifier, execution, and head grounding for a coordinating pair. Only the
+// escaping answer tuples (and the two MatchResult-free slices backing them)
+// may allocate; the budget leaves headroom over the measured handful for
+// toolchain drift. The pre-compilation pipeline sat near 90 allocs here.
+func TestEvaluateComponentFastAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are distorted under -race: sync.Pool randomly drops Put items, so the pooled evaluation scratch re-allocates")
+	}
+	db := memdb.New()
+	db.MustCreateTable("F", "fno", "dest")
+	db.MustInsert("F", "121", "Rome")
+	db.MustInsert("F", "122", "Paris")
+	db.MustInsert("F", "123", "Paris")
+	qs := []*ir.Query{
+		ir.MustParse(1, "{R(Bob, x)} R(Ann, x) :- F(x, Paris)").RenameApart(),
+		ir.MustParse(2, "{R(Ann, y)} R(Bob, y) :- F(y, Paris)").RenameApart(),
+	}
+	g, comps := benchPairGraphFrom(t, qs)
+	byID := map[ir.QueryID]*ir.Query{1: qs[0], 2: qs[1]}
+	// Warm the dense and evaluation scratch pools (and the probe index).
+	if ans, _, err := EvaluateComponentFast(db, g, comps[0], byID, 7, Options{}); err != nil || len(ans) != 2 {
+		t.Fatalf("warm-up: answers=%v err=%v", ans, err)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		ans, _, err := EvaluateComponentFast(db, g, comps[0], byID, 7, Options{})
+		if err != nil || len(ans) != 2 {
+			t.Fatal("pair did not answer")
+		}
+	})
+	if avg > 12 {
+		t.Fatalf("EvaluateComponentFast allocates %.1f allocs/op, want ≤ 12", avg)
 	}
 }

@@ -1,0 +1,160 @@
+package match
+
+import (
+	"fmt"
+	"sync"
+
+	"entangle/internal/ir"
+	"entangle/internal/memdb"
+)
+
+// evalScratch is the pooled state of one compiled component evaluation: the
+// plan builder and execution scratch (memdb), the dense-root → binding-slot
+// map, and the CHOOSE stream. Pooled alongside the matcher's dense scratch,
+// it makes the whole answer path — match, compile, execute, ground —
+// allocation-free in steady state except for the answer tuples themselves.
+type evalScratch struct {
+	pb      memdb.PlanBuilder
+	ex      memdb.ExecState
+	slotOf  []int32 // dense-unifier root id → plan slot, -1 unassigned
+	touched []int32 // roots assigned this run, for O(assigned) reset
+	nSlots  int32
+	rng     memdb.SplitMix
+}
+
+var evalPool = sync.Pool{New: func() any { return new(evalScratch) }}
+
+func (sc *evalScratch) reset() {
+	sc.pb.Reset()
+	for _, r := range sc.touched {
+		sc.slotOf[r] = -1
+	}
+	sc.touched = sc.touched[:0]
+	sc.nSlots = 0
+}
+
+// slot returns the plan slot for a dense-unifier class root, assigning the
+// next dense slot on first sight.
+func (sc *evalScratch) slot(root int32) int32 {
+	for int32(len(sc.slotOf)) <= root {
+		sc.slotOf = append(sc.slotOf, -1)
+	}
+	s := sc.slotOf[root]
+	if s < 0 {
+		s = sc.nSlots
+		sc.nSlots++
+		sc.slotOf[root] = s
+		sc.touched = append(sc.touched, root)
+	}
+	return s
+}
+
+// assignedSlot is the read-only form of slot, for head grounding: -1 when
+// the root never occurred in the compiled body.
+func (sc *evalScratch) assignedSlot(root int32) int32 {
+	if root < int32(len(sc.slotOf)) {
+		return sc.slotOf[root]
+	}
+	return -1
+}
+
+// evaluateDense is the compiled fast path for a fully matched component:
+// the combined query's body compiles straight off the dense unifier (class
+// constants → constant descriptors, class roots → shared binding slots)
+// through the pooled plan builder, executes with the pooled scratch, and
+// the survivors' heads are grounded directly from the winning binding row.
+// No CombinedQuery, map-backed unifier or ir.Substitution exists on this
+// path. Takes ownership of nothing; the caller still owns ds.
+func evaluateDense(db *memdb.DB, ds *denseState, byID map[ir.QueryID]*ir.Query, component []ir.QueryID, seed int64) (answers []ir.Answer, rejected []Removal, err error) {
+	sc := evalPool.Get().(*evalScratch)
+	defer evalPool.Put(sc)
+	sc.reset()
+
+	for _, id := range component {
+		q, ok := byID[id]
+		if !ok {
+			return nil, nil, fmt.Errorf("match: survivor %d missing from query map", id)
+		}
+		for _, a := range q.Body {
+			sc.pb.StartAtom(a.Rel, a)
+			for _, t := range a.Args {
+				if t.IsConst() {
+					sc.pb.AddConst(t.Value)
+					continue
+				}
+				root, cval, isConst := ds.du.ResolveTerm(t)
+				if isConst {
+					sc.pb.AddConst(cval)
+				} else {
+					sc.pb.AddVar(sc.slot(root))
+				}
+			}
+		}
+	}
+	p := sc.pb.Finish(int(sc.nSlots))
+
+	var rng memdb.Rng
+	if seed != 0 {
+		sc.rng = memdb.NewSplitMix(seed)
+		rng = &sc.rng
+	}
+	n, err := db.ExecPlan(p, &sc.ex, memdb.EvalOptions{Limit: 1, Rand: rng})
+	if err != nil {
+		return nil, nil, err
+	}
+	if n == 0 {
+		rejected = make([]Removal, 0, len(component))
+		for _, id := range component {
+			rejected = append(rejected, Removal{Query: id, Cause: CauseNoData})
+		}
+		return nil, rejected, nil
+	}
+	row := sc.ex.Row(0)
+
+	// Ground every member's heads from the winning row. The tuples escape to
+	// the caller, so they are the one unavoidable allocation of this path —
+	// carved from two backing arrays, ir.Clone-style.
+	nHeads, nArgs := 0, 0
+	for _, id := range component {
+		q := byID[id]
+		nHeads += len(q.Heads)
+		for _, h := range q.Heads {
+			nArgs += len(h.Args)
+		}
+	}
+	answers = make([]ir.Answer, 0, len(component))
+	tuples := make([]ir.Atom, nHeads)
+	args := make([]ir.Term, nArgs)
+	ti, ai := 0, 0
+	for _, id := range component {
+		q := byID[id]
+		lo := ti
+		for _, h := range q.Heads {
+			dst := args[ai : ai+len(h.Args) : ai+len(h.Args)]
+			ai += len(h.Args)
+			for k, t := range h.Args {
+				if t.IsConst() {
+					dst[k] = t
+					continue
+				}
+				root, cval, isConst := ds.du.ResolveTerm(t)
+				if isConst {
+					dst[k] = ir.Const(cval)
+					continue
+				}
+				s := sc.assignedSlot(root)
+				if s < 0 {
+					// The valuation must bind every head variable's class; an
+					// unbound one means the body failed to range-restrict it,
+					// which Validate prevents upstream.
+					return nil, nil, fmt.Errorf("match: head %s of query %d not grounded by combined answer", h, id)
+				}
+				dst[k] = ir.Const(row[s])
+			}
+			tuples[ti] = ir.Atom{Rel: h.Rel, Args: dst}
+			ti++
+		}
+		answers = append(answers, ir.Answer{QueryID: id, Tuples: tuples[lo:ti:ti]})
+	}
+	return answers, nil, nil
+}

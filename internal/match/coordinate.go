@@ -144,9 +144,13 @@ func Coordinate(db *memdb.DB, queries []*ir.Query, opt CoordinateOptions) (*Outc
 		go func() {
 			defer wg.Done()
 			for ci := range work {
-				var rnd *rand.Rand
+				// One splitmix stream per component instead of a ~5 KB
+				// rand.Rand allocation: a machine word on the stack, same
+				// fixed-seed reproducibility.
+				var rnd memdb.Rng
 				if opt.Rand != nil {
-					rnd = rand.New(rand.NewSource(seed + int64(ci)))
+					sm := memdb.NewSplitMix(seed + int64(ci))
+					rnd = &sm
 				}
 				ans, rej, cq, err := EvaluateComponent(db, g, comps[ci], byID, rnd, opt.Match)
 				if err != nil {
@@ -185,8 +189,45 @@ func Coordinate(db *memdb.DB, queries []*ir.Query, opt CoordinateOptions) (*Outc
 
 // EvaluateComponent matches one component, builds and evaluates its combined
 // query, and splits the answers. byID must map every component member to its
-// renamed-apart query. A nil rnd picks the first valuation.
-func EvaluateComponent(db *memdb.DB, g *graph.Graph, component []ir.QueryID, byID map[ir.QueryID]*ir.Query, rnd *rand.Rand, mopt Options) (answers []ir.Answer, rejected []Removal, combined *ir.CombinedQuery, err error) {
+// renamed-apart query. A nil rnd picks the first valuation. The combined
+// query is returned for diagnostics; callers that do not need it should use
+// EvaluateComponentFast, which skips materialising it.
+func EvaluateComponent(db *memdb.DB, g *graph.Graph, component []ir.QueryID, byID map[ir.QueryID]*ir.Query, rnd memdb.Rng, mopt Options) (answers []ir.Answer, rejected []Removal, combined *ir.CombinedQuery, err error) {
+	return evaluateViaCombined(db, g, component, byID, rnd, mopt)
+}
+
+// EvaluateComponentFast is the engine's per-component answer path: the same
+// outcomes as EvaluateComponent (identical answers, rejections, and CHOOSE
+// draws for the stream derived from seed), without the CombinedQuery
+// diagnostic or its construction cost. When the dense matcher fast path
+// applies, the component evaluates through a compiled plan built straight
+// off the interned unifier with pooled scratch; otherwise (clash or
+// starvation, or the NaiveMGU/LegacyEval ablations) it falls back to the
+// literal pipeline. seed derives the component's CHOOSE stream; 0 picks the
+// first valuation deterministically.
+func EvaluateComponentFast(db *memdb.DB, g *graph.Graph, component []ir.QueryID, byID map[ir.QueryID]*ir.Query, seed int64, mopt Options) (answers []ir.Answer, rejected []Removal, err error) {
+	if !mopt.NaiveMGU && !mopt.LegacyEval {
+		if ds, _, ok := matchFastCore(g, component); ok {
+			answers, rejected, err = evaluateDense(db, ds, byID, component, seed)
+			densePool.Put(ds)
+			return answers, rejected, err
+		}
+	}
+	var rnd memdb.Rng
+	if seed != 0 {
+		sm := memdb.NewSplitMix(seed)
+		rnd = &sm
+	}
+	answers, rejected, _, err = evaluateViaCombined(db, g, component, byID, rnd, mopt)
+	return answers, rejected, err
+}
+
+// evaluateViaCombined is the literal pipeline: Algorithm 1 matching, then
+// BuildCombined → Simplify → conjunctive evaluation → SplitAnswers.
+// Options.LegacyEval selects the retained map-backed evaluator; the default
+// compiles the simplified body per call (CompilePlan + ExecPlan under
+// EvalConjunctive).
+func evaluateViaCombined(db *memdb.DB, g *graph.Graph, component []ir.QueryID, byID map[ir.QueryID]*ir.Query, rnd memdb.Rng, mopt Options) (answers []ir.Answer, rejected []Removal, combined *ir.CombinedQuery, err error) {
 	res := MatchComponent(g, component, mopt)
 	rejected = append(rejected, res.Removed...)
 	if len(res.Survivors) == 0 {
@@ -201,7 +242,12 @@ func EvaluateComponent(db *memdb.DB, g *graph.Graph, component []ir.QueryID, byI
 		return nil, rejected, nil, nil
 	}
 	simplified := Simplify(cq, global)
-	vals, err := db.EvalConjunctive(simplified.Body, nil, memdb.EvalOptions{Limit: 1, Rand: rnd})
+	var vals []ir.Substitution
+	if mopt.LegacyEval {
+		vals, err = db.EvalConjunctiveLegacy(simplified.Body, nil, memdb.EvalOptions{Limit: 1, Rand: rnd})
+	} else {
+		vals, err = db.EvalConjunctive(simplified.Body, nil, memdb.EvalOptions{Limit: 1, Rand: rnd})
+	}
 	if err != nil {
 		return nil, nil, nil, err
 	}

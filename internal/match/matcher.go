@@ -1,3 +1,20 @@
+// Package match implements the matching and evaluation pipeline of the
+// paper's Section 4: unifier propagation over connected components of the
+// unifiability graph (Algorithm 1, with a dense union-find fast path over
+// interned terms), combined-query construction (Section 4.2), and
+// coordinated answering against the memdb substrate.
+//
+// Evaluation runs through memdb's compiled plans. The hot path —
+// EvaluateComponentFast, used by the engine for every closing component —
+// compiles the combined query's body straight off the dense unifier: each
+// argument resolves to a class constant or a class-root binding slot, the
+// plan builder and execution scratch are pooled, and the survivors' heads
+// are grounded directly from the winning binding row, so no CombinedQuery,
+// map-backed unifier or ir.Substitution is materialised on the way to an
+// answer. The literal pipeline (BuildCombined → Simplify → EvalConjunctive)
+// remains for diagnostics-bearing callers, for components the fast path
+// cannot handle, and — via Options.LegacyEval — as the equivalence ablation
+// that routes evaluation through memdb's retained map-backed evaluator.
 package match
 
 import (
@@ -75,10 +92,16 @@ type MatchResult struct {
 	MGUCalls   int // number of pairwise unifier merges
 }
 
-// Options tunes MatchComponent.
+// Options tunes MatchComponent and the evaluation entry points.
 type Options struct {
 	// NaiveMGU switches unifier merging to the quadratic baseline (A3).
 	NaiveMGU bool
+	// LegacyEval routes combined-query evaluation through the retained
+	// map-backed evaluator (memdb.EvalConjunctiveLegacy) and the literal
+	// BuildCombined/Simplify pipeline instead of compiled plans. The two
+	// paths are equivalence-tested: identical answers, rejections and
+	// fixed-seed CHOOSE draws.
+	LegacyEval bool
 }
 
 // denseState is the pooled scratch of the fast path: an interner and a
@@ -118,29 +141,40 @@ func MatchComponent(g *graph.Graph, component []ir.QueryID, opt Options) *MatchR
 	return matchSlow(g, component, opt)
 }
 
-// matchFast attempts the one-pass dense match; it returns nil when the
-// component needs the literal algorithm (dead or starved member, or a
-// unifier clash).
-func matchFast(g *graph.Graph, component []ir.QueryID) *MatchResult {
+// matchFastCore runs the one-pass dense union-find over the component's
+// edges. On success ownership of the pooled state passes to the caller
+// (who must densePool.Put it); ok false means the component needs the
+// literal algorithm (dead or starved member, or a unifier clash — removal
+// attribution the dense pass cannot reproduce).
+func matchFastCore(g *graph.Graph, component []ir.QueryID) (st *denseState, mgu int, ok bool) {
 	for _, id := range component {
 		n := g.Node(id)
 		if n == nil || len(n.In) < n.Query.PostCount() {
-			return nil
+			return nil, 0, false
 		}
 	}
-	st := densePool.Get().(*denseState)
+	st = densePool.Get().(*denseState)
 	st.in.Reset()
 	st.du.Reset()
-	mgu := 0
 	for _, id := range component {
 		n := g.Node(id)
 		for _, e := range n.In {
 			mgu++
 			if err := st.du.UnifyAtoms(e.Head.Atom, e.Post.Atom); err != nil {
 				densePool.Put(st)
-				return nil // clash: removal attribution needs Algorithm 1
+				return nil, 0, false
 			}
 		}
+	}
+	return st, mgu, true
+}
+
+// matchFast attempts the one-pass dense match; it returns nil when the
+// component needs the literal algorithm.
+func matchFast(g *graph.Graph, component []ir.QueryID) *MatchResult {
+	st, mgu, ok := matchFastCore(g, component)
+	if !ok {
+		return nil
 	}
 	global, err := st.du.Materialize()
 	densePool.Put(st)

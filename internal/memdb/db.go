@@ -10,6 +10,23 @@
 //
 // All values are strings; the IR's constants map onto them directly. Tables
 // are safe for concurrent readers; writers take an exclusive lock.
+//
+// # Compiled evaluation plans
+//
+// Evaluation is split into a compile step and an execute step (plan.go).
+// CompilePlan (or, on hot paths, a pooled PlanBuilder fed pre-classified
+// argument descriptors) interns variables to dense binding slots, folds
+// equality constraints into the descriptors, and — exploiting the fact that
+// the join's atom-selection rule depends only on which argument positions
+// are constants or already-bound variables, never on row values — fixes the
+// entire join order and each atom's index-probe position at compile time.
+// ExecPlan then runs the backtracking join over a slice-backed binding
+// array with an int trail, building hash indexes for exactly the declared
+// probe positions (never-probed positions stay unindexed) and allocating
+// nothing in steady state with a reused ExecState. Single-atom plans skip
+// the join-order simulation entirely. EvalConjunctiveLegacy retains the
+// map-backed evaluator as the executable specification the compiled path is
+// equivalence-tested against (identical valuations and CHOOSE draws).
 package memdb
 
 import (
@@ -197,19 +214,24 @@ func (t *Table) buildIndex(col int) {
 	t.indexes[col] = ix
 }
 
-// lookupEq returns the row ids whose column equals value, using the index
-// when present, a scan otherwise. Caller holds at least the read lock.
-func (t *Table) lookupEq(col int, value string) []int {
+// lookupEq returns the row ids whose column equals value (ascending, i.e.
+// insertion order either way): the index's posting list when one exists,
+// otherwise a scan appended into scratch so the fallback allocates nothing
+// once the caller's scratch has grown. The second result is the scratch to
+// retain for the next call — the caller must NOT retain the first result as
+// scratch, since in the indexed case it aliases the live index. Caller holds
+// at least the read lock.
+func (t *Table) lookupEq(col int, value string, scratch []int) (ids, retain []int) {
 	if ix, ok := t.indexes[col]; ok {
-		return ix[value]
+		return ix[value], scratch
 	}
-	var out []int
+	out := scratch[:0]
 	for id, row := range t.rows {
 		if row[col] == value {
 			out = append(out, id)
 		}
 	}
-	return out
+	return out, out
 }
 
 // Rows returns a snapshot copy of all rows. Intended for tests and tools,

@@ -2,7 +2,6 @@ package memdb
 
 import (
 	"fmt"
-	"math/rand"
 
 	"entangle/internal/ir"
 )
@@ -16,7 +15,7 @@ type EvalOptions struct {
 	// Rand, when non-nil, randomises the join's candidate iteration order so
 	// that Limit-1 evaluation implements the CHOOSE 1 "chosen at random"
 	// semantics of Section 2.1 without materialising every valuation.
-	Rand *rand.Rand
+	Rand Rng
 }
 
 // EvalConjunctive evaluates a conjunction of relational atoms with equality
@@ -24,13 +23,59 @@ type EvalOptions struct {
 // (variable → constant substitutions). This is the evaluation target for
 // combined queries: body atoms plus ϕU.
 //
-// The evaluator first normalises the equality constraints into a
-// substitution (propagating constants and collapsing variable classes),
-// rewrites the atoms, then runs an index-backed backtracking join, choosing
-// at each step the atom with the most bound arguments. Returned valuations
-// bind every variable of the original atoms (post-normalisation classes are
-// expanded back to all members).
+// The call is CompilePlan + ExecPlan: equality constraints fold into the
+// compiled plan (constants propagated, variable classes collapsed onto
+// shared binding slots), the join order and index-probe positions are fixed
+// at compile time, and execution runs the backtracking join over
+// slice-backed bindings. Returned valuations bind every variable of the
+// original atoms (post-normalisation classes are expanded back to all
+// members). Callers that evaluate repeatedly should compile once and use
+// ExecPlan with a reused ExecState; EvalConjunctiveLegacy is the retained
+// map-backed reference implementation the compiled path is test-checked
+// against.
 func (db *DB) EvalConjunctive(atoms []ir.Atom, eqs []ir.Equality, opt EvalOptions) ([]ir.Substitution, error) {
+	p := CompilePlan(atoms, eqs)
+	var st ExecState
+	n, err := db.ExecPlan(p, &st, opt)
+	if err != nil {
+		return nil, err
+	}
+	var out []ir.Substitution
+	for i := 0; i < n; i++ {
+		row := st.Row(i)
+		full := make(ir.Substitution, len(p.outs))
+		for _, o := range p.outs {
+			if o.slot < 0 {
+				full[o.name] = ir.Const(o.cval)
+			} else {
+				full[o.name] = ir.Const(row[o.slot])
+			}
+		}
+		out = append(out, full)
+	}
+	return out, nil
+}
+
+// Count returns the number of valuations of the conjunction, without a
+// limit. Used by aggregation extensions and tests.
+func (db *DB) Count(atoms []ir.Atom, eqs []ir.Equality) (int, error) {
+	res, err := db.EvalConjunctive(atoms, eqs, EvalOptions{})
+	if err != nil {
+		return 0, err
+	}
+	return len(res), nil
+}
+
+// EvalConjunctiveLegacy is the pre-compilation evaluator: equality
+// normalisation, atom rewriting and a map-backed backtracking join, all per
+// call. It is retained as the executable specification of EvalConjunctive —
+// the equivalence tests drive both evaluators over the same workloads and
+// random streams and require identical valuations and identical CHOOSE
+// draws — and as the engine's LegacyEval ablation. Unlike the compiled
+// path it never builds indexes: absent an index, candidate rows come from
+// an allocation-free scan into per-depth scratch, which yields row ids in
+// the same (insertion) order an index would.
+func (db *DB) EvalConjunctiveLegacy(atoms []ir.Atom, eqs []ir.Equality, opt EvalOptions) ([]ir.Substitution, error) {
 	norm, expand, err := normalizeEqualities(eqs)
 	if err != nil {
 		// Inconsistent ϕU: no valuations.
@@ -57,31 +102,6 @@ func (db *DB) EvalConjunctive(atoms []ir.Atom, eqs []ir.Equality, opt EvalOption
 		tabs[i] = t
 	}
 
-	// Ensure an index exists for the first column of every table touched;
-	// the join below prefers indexed access on the first bound position.
-	// Index building mutates the table, so do it under the write lock.
-	needBuild := false
-	for i, a := range rewritten {
-		for pos := range a.Args {
-			if _, ok := tabs[i].indexes[pos]; !ok {
-				needBuild = true
-			}
-		}
-	}
-	if needBuild {
-		db.mu.RUnlock()
-		db.mu.Lock()
-		for i, a := range rewritten {
-			for pos := range a.Args {
-				if _, ok := tabs[i].indexes[pos]; !ok {
-					tabs[i].buildIndex(pos)
-				}
-			}
-		}
-		db.mu.Unlock()
-		db.mu.RLock()
-	}
-
 	st := &joinState{
 		db:      db,
 		atoms:   rewritten,
@@ -106,6 +126,7 @@ func (db *DB) EvalConjunctive(atoms []ir.Atom, eqs []ir.Equality, opt EvalOption
 		}
 	}
 	st.resolved = make([][]ir.Term, len(rewritten))
+	st.scan = make([][]int, len(rewritten))
 	st.search()
 
 	// Expand class representatives back to every original variable and
@@ -135,16 +156,6 @@ func (db *DB) EvalConjunctive(atoms []ir.Atom, eqs []ir.Equality, opt EvalOption
 		}
 	}
 	return out, nil
-}
-
-// Count returns the number of valuations of the conjunction, without a
-// limit. Used by aggregation extensions and tests.
-func (db *DB) Count(atoms []ir.Atom, eqs []ir.Equality) (int, error) {
-	res, err := db.EvalConjunctive(atoms, eqs, EvalOptions{})
-	if err != nil {
-		return 0, err
-	}
-	return len(res), nil
 }
 
 // normalizeEqualities converts ϕU into (1) a substitution `norm` mapping
@@ -227,11 +238,11 @@ func normalizeEqualities(eqs []ir.Equality) (norm ir.Substitution, expand map[st
 	return norm, expand, nil
 }
 
-// joinState carries the backtracking join. The per-level scratch — the
-// resolved-argument buffers (one per recursion depth, reused across sibling
-// rows) and the binding trail (one shared stack unwound to a mark on
-// backtrack) — is allocated once per evaluation, so the inner candidate
-// loop itself allocates nothing.
+// joinState carries the legacy backtracking join. The per-level scratch —
+// the resolved-argument buffers (one per recursion depth, reused across
+// sibling rows), the unindexed-scan candidate buffers, and the binding trail
+// (one shared stack unwound to a mark on backtrack) — is allocated once per
+// evaluation, so the inner candidate loop itself allocates nothing.
 type joinState struct {
 	db       *DB
 	atoms    []ir.Atom
@@ -242,6 +253,7 @@ type joinState struct {
 	binding  ir.Substitution
 	trail    []string    // bound-variable stack; unwound to a mark on backtrack
 	resolved [][]ir.Term // per-depth resolved-argument scratch
+	scan     [][]int     // per-depth unindexed-lookup scratch
 	depth    int
 	results  []ir.Substitution
 	opt      EvalOptions
@@ -330,7 +342,7 @@ func (s *joinState) search() {
 	var candidates []int
 	nCand := 0
 	if firstBound >= 0 {
-		candidates = t.lookupEq(firstBound, resolved[firstBound].Value)
+		candidates, s.scan[s.depth] = t.lookupEq(firstBound, resolved[firstBound].Value, s.scan[s.depth])
 		nCand = len(candidates)
 	} else {
 		nCand = len(t.rows)

@@ -1,0 +1,529 @@
+package memdb
+
+import (
+	"fmt"
+
+	"entangle/internal/ir"
+)
+
+// This file implements compiled evaluation plans: the conjunctive-query
+// evaluator split into a compile step (variables interned to dense slots,
+// join order and index-probe positions fixed up front) and an
+// allocation-free execute step over slice-backed bindings.
+//
+// The split exploits a property of the backtracking join in
+// EvalConjunctiveLegacy: its atom-selection rule ("most bound argument
+// occurrences first, ties by position") depends only on WHICH argument
+// positions are constants or already-bound variables — never on row values —
+// because choosing an atom binds all of its variables before the next
+// selection. The entire join order, and the argument position each atom will
+// probe through a hash index, are therefore known at compile time. A Plan
+// records that order; execution is a tight loop over int-indexed slots with
+// a trail for backtracking, allocating nothing in steady state.
+//
+// Two compilers produce Plans. CompilePlan is the general, string-keyed
+// entry used by EvalConjunctive (equality constraints folded in via
+// normalizeEqualities). PlanBuilder is the caller-driven form for hot paths
+// that already know each argument's class — the matcher feeds interned
+// unifier roots straight into slots, skipping string machinery entirely.
+
+// planArg describes one argument position of a compiled atom: a constant to
+// match, or a binding slot to compare against / fill.
+type planArg struct {
+	slot int32  // binding slot; < 0 means constant
+	cval string // constant value when slot < 0
+}
+
+// planAtom is one atom of a compiled plan, in execution order.
+type planAtom struct {
+	rel      string
+	orig     ir.Atom   // original atom, for error rendering only
+	args     []planArg // one descriptor per argument position
+	probePos int       // argument position probed via hash index; -1 = full scan
+	origIdx  int       // position in the pre-compilation atom list
+}
+
+// planOut materialises one entry of a result substitution (CompilePlan
+// only; slot-consuming callers read execution rows directly).
+type planOut struct {
+	name string
+	slot int32 // < 0: constant cval
+	cval string
+}
+
+// Plan is a compiled conjunctive query. Plans are immutable after
+// compilation and independent of any DB: tables are resolved (and the
+// declared probe-position indexes built, if missing) at execution time.
+// A Plan may be executed repeatedly and concurrently, each run with its own
+// ExecState.
+type Plan struct {
+	atoms  []planAtom
+	nSlots int
+	outs   []planOut
+	// empty marks a plan that is statically unsatisfiable: inconsistent
+	// equality constraints, or an equality class whose representative is
+	// never bound by any atom (the legacy evaluator filtered every valuation
+	// in that case; the compiled form skips the join entirely). Execution
+	// still resolves and validates tables — unknown-table and arity errors
+	// must not be masked by an unsatisfiable ϕU — except when unchecked.
+	empty bool
+	// unchecked marks an empty plan whose atoms must NOT be validated at
+	// execution: inconsistent equalities, where the legacy evaluator returns
+	// "no valuations" before ever resolving tables.
+	unchecked bool
+}
+
+// NumProbes returns how many atoms the plan resolves through an index probe
+// (the remainder are full scans). Exposed for tests and diagnostics: the
+// executor builds indexes for exactly these positions, nothing else.
+func (p *Plan) NumProbes() int {
+	n := 0
+	for i := range p.atoms {
+		if p.atoms[i].probePos >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// PlanBuilder assembles a Plan from per-argument descriptors the caller has
+// already classified (constant vs. binding slot). The zero value is ready to
+// use; Reset makes a builder reusable with its backing storage retained, so
+// a pooled builder compiles in steady state without allocating. The returned
+// Plan aliases the builder's storage and is valid until the next Reset.
+//
+// Feed atoms with StartAtom + AddConst/AddVar, then call Finish with the
+// number of distinct slots used. Slots must be dense (0..nSlots-1), assigned
+// by the caller — one per equivalence class of variables, so equality
+// constraints are expressed by slot sharing rather than by explicit
+// equality atoms.
+type PlanBuilder struct {
+	plan Plan
+
+	rels  []string
+	origs []ir.Atom
+	bound []int32 // arg index ranges: atom i's args are argBuf[bound[i]:bound[i+1]]
+	args  []planArg
+
+	// join-order simulation scratch
+	used      []bool
+	boundCnt  []int32
+	slotBound []bool
+}
+
+// Reset clears the builder for a fresh compilation, keeping capacity.
+func (b *PlanBuilder) Reset() {
+	b.rels = b.rels[:0]
+	b.origs = b.origs[:0]
+	b.bound = b.bound[:0]
+	b.args = b.args[:0]
+	b.plan.atoms = b.plan.atoms[:0]
+	b.plan.outs = nil
+	b.plan.empty = false
+	b.plan.nSlots = 0
+}
+
+// StartAtom begins a new atom over rel; orig is retained only for error
+// messages at execution time.
+func (b *PlanBuilder) StartAtom(rel string, orig ir.Atom) {
+	b.rels = append(b.rels, rel)
+	b.origs = append(b.origs, orig)
+	b.bound = append(b.bound, int32(len(b.args)))
+}
+
+// AddConst appends a constant argument to the current atom.
+func (b *PlanBuilder) AddConst(v string) {
+	b.args = append(b.args, planArg{slot: -1, cval: v})
+}
+
+// AddVar appends a binding-slot argument to the current atom.
+func (b *PlanBuilder) AddVar(slot int32) {
+	b.args = append(b.args, planArg{slot: slot})
+}
+
+// Finish computes the static join order and per-atom probe positions and
+// returns the compiled plan (aliasing builder storage; valid until Reset).
+func (b *PlanBuilder) Finish(nSlots int) *Plan {
+	n := len(b.rels)
+	b.bound = append(b.bound, int32(len(b.args)))
+	b.plan.nSlots = nSlots
+	if n == 1 {
+		// Trivial single-atom plan: the join-order simulation is skipped —
+		// the only atom runs first and probes its first constant position
+		// (no variable can be bound before it).
+		args := b.args[b.bound[0]:b.bound[1]:b.bound[1]]
+		probe := -1
+		for pos := range args {
+			if args[pos].slot < 0 {
+				probe = pos
+				break
+			}
+		}
+		b.plan.atoms = append(b.plan.atoms, planAtom{
+			rel: b.rels[0], orig: b.origs[0], args: args, probePos: probe, origIdx: 0,
+		})
+		return &b.plan
+	}
+
+	b.used = growBools(b.used, n)
+	b.slotBound = growBools(b.slotBound, nSlots)
+	if cap(b.boundCnt) < n {
+		b.boundCnt = make([]int32, n)
+	}
+	cnt := b.boundCnt[:n]
+	for i := 0; i < n; i++ {
+		cnt[i] = 0
+		for _, a := range b.args[b.bound[i]:b.bound[i+1]] {
+			if a.slot < 0 {
+				cnt[i]++
+			}
+		}
+	}
+
+	// Simulate the legacy selection rule exactly: repeatedly pick the unused
+	// atom with the most bound argument occurrences (first wins ties), probe
+	// its first bound position, then mark its slots bound — bumping the
+	// occurrence counts of the remaining atoms — and repeat.
+	for k := 0; k < n; k++ {
+		next := -1
+		var best int32 = -1
+		for i := 0; i < n; i++ {
+			if !b.used[i] && cnt[i] > best {
+				next, best = i, cnt[i]
+			}
+		}
+		b.used[next] = true
+		args := b.args[b.bound[next]:b.bound[next+1]:b.bound[next+1]]
+		probe := -1
+		for pos := range args {
+			if args[pos].slot < 0 || b.slotBound[args[pos].slot] {
+				probe = pos
+				break
+			}
+		}
+		b.plan.atoms = append(b.plan.atoms, planAtom{
+			rel: b.rels[next], orig: b.origs[next], args: args, probePos: probe, origIdx: next,
+		})
+		for _, a := range args {
+			if a.slot < 0 || b.slotBound[a.slot] {
+				continue
+			}
+			b.slotBound[a.slot] = true
+			for j := 0; j < n; j++ {
+				if b.used[j] {
+					continue
+				}
+				for _, ja := range b.args[b.bound[j]:b.bound[j+1]] {
+					if ja.slot == a.slot {
+						cnt[j]++
+					}
+				}
+			}
+		}
+	}
+	return &b.plan
+}
+
+// growBools returns a false-filled bool slice of length n, reusing capacity.
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
+}
+
+// CompilePlan compiles a conjunction of atoms with equality constraints into
+// a standalone Plan. Equality normalisation is folded into compilation:
+// variable classes share one slot, classes bound to a constant compile to
+// constant descriptors, and inconsistent equalities yield a statically empty
+// plan. The plan's outputs reproduce EvalConjunctive's substitution contract
+// (every variable of the atoms bound, normalised-away class members expanded
+// back to their representatives).
+func CompilePlan(atoms []ir.Atom, eqs []ir.Equality) *Plan {
+	norm, expand, err := normalizeEqualities(eqs)
+	if err != nil {
+		return &Plan{empty: true, unchecked: true}
+	}
+	b := &PlanBuilder{}
+	slots := make(map[string]int32)
+	names := make([]string, 0, 8) // slot → rewritten variable name
+	for _, a := range atoms {
+		b.StartAtom(a.Rel, a)
+		for _, t := range a.Args {
+			if t.IsVar() {
+				if r, ok := norm[t.Value]; ok {
+					t = r
+				}
+			}
+			if t.IsConst() {
+				b.AddConst(t.Value)
+				continue
+			}
+			s, ok := slots[t.Value]
+			if !ok {
+				s = int32(len(names))
+				slots[t.Value] = s
+				names = append(names, t.Value)
+			}
+			b.AddVar(s)
+		}
+	}
+	p := b.Finish(len(names))
+	p.outs = make([]planOut, 0, len(names)+len(expand))
+	for s, name := range names {
+		p.outs = append(p.outs, planOut{name: name, slot: int32(s)})
+	}
+	for v, rep := range expand {
+		if rep.IsConst() {
+			p.outs = append(p.outs, planOut{name: v, slot: -1, cval: rep.Value})
+			continue
+		}
+		s, ok := slots[rep.Value]
+		if !ok {
+			// The class representative never occurs in the atoms, so no
+			// valuation can bind it: statically empty (the legacy evaluator
+			// reached the same outcome by filtering every result row).
+			p.empty = true
+			return p
+		}
+		p.outs = append(p.outs, planOut{name: v, slot: s})
+	}
+	return p
+}
+
+// ExecState is the reusable execution scratch of a Plan: resolved tables,
+// the slot-indexed binding array, the backtracking trail, and the result
+// rows. A pooled ExecState makes repeated execution allocation-free in
+// steady state. Not safe for concurrent use; run concurrent executions with
+// distinct states.
+type ExecState struct {
+	tabs  []*Table
+	binds []string
+	bound []bool
+	trail []int32
+	res   [][]string
+	nres  int
+}
+
+// Row returns result row i (slot-indexed values). Valid until the next
+// ExecPlan call with this state.
+func (st *ExecState) Row(i int) []string { return st.res[i] }
+
+// ExecPlan executes a compiled plan, returning the number of result rows
+// collected into st (bounded by opt.Limit when non-zero). Tables are
+// resolved at execution time; hash indexes are built for exactly the
+// argument positions the plan declares it will probe — never-probed
+// positions are left unindexed. opt.Rand, when non-nil, randomises each
+// join level's candidate start offset (the CHOOSE 1 semantics), drawing
+// exactly as the legacy evaluator does.
+func (db *DB) ExecPlan(p *Plan, st *ExecState, opt EvalOptions) (int, error) {
+	st.nres = 0
+	if cap(st.tabs) < len(p.atoms) {
+		st.tabs = make([]*Table, len(p.atoms))
+	}
+	st.tabs = st.tabs[:len(p.atoms)]
+	if p.empty {
+		if p.unchecked {
+			return 0, nil
+		}
+		// Statically no valuations, but table references still validate —
+		// exactly as the legacy evaluator resolves tables before its join
+		// filters every row out.
+		db.mu.RLock()
+		err := db.resolvePlanTables(p, st)
+		db.mu.RUnlock()
+		return 0, err
+	}
+
+	db.mu.RLock()
+	for {
+		if err := db.resolvePlanTables(p, st); err != nil {
+			db.mu.RUnlock()
+			return 0, err
+		}
+		missing := false
+		for i := range p.atoms {
+			if pp := p.atoms[i].probePos; pp >= 0 {
+				if _, ok := st.tabs[i].indexes[pp]; !ok {
+					missing = true
+					break
+				}
+			}
+		}
+		if !missing {
+			break
+		}
+		// Index building mutates tables, so upgrade to the write lock. The
+		// table set can change while unlocked (Drop/Create race), so tables
+		// are re-resolved from db.tables under the write lock before
+		// building — an index is never built on a stale table snapshot —
+		// and the loop re-resolves once more under the read lock, in case
+		// a concurrent drop replaced a table again after the build.
+		db.mu.RUnlock()
+		db.mu.Lock()
+		if err := db.resolvePlanTables(p, st); err != nil {
+			db.mu.Unlock()
+			return 0, err
+		}
+		for i := range p.atoms {
+			pa := &p.atoms[i]
+			if pa.probePos < 0 {
+				continue
+			}
+			if _, ok := st.tabs[i].indexes[pa.probePos]; !ok {
+				st.tabs[i].buildIndex(pa.probePos)
+			}
+		}
+		db.mu.Unlock()
+		db.mu.RLock()
+	}
+	defer db.mu.RUnlock()
+
+	if cap(st.binds) < p.nSlots {
+		st.binds = make([]string, p.nSlots)
+		st.bound = make([]bool, p.nSlots)
+	}
+	st.binds = st.binds[:p.nSlots]
+	st.bound = st.bound[:p.nSlots]
+	for i := range st.bound {
+		st.bound[i] = false
+	}
+	st.trail = st.trail[:0]
+
+	e := planExec{p: p, st: st, opt: opt}
+	e.search(0)
+	return st.nres, nil
+}
+
+// resolvePlanTables fills st.tabs (plan order) and validates arities,
+// reporting errors in the original atom order for parity with the legacy
+// evaluator. Caller holds at least the read lock.
+func (db *DB) resolvePlanTables(p *Plan, st *ExecState) error {
+	var firstErr error
+	errIdx := len(p.atoms)
+	for i := range p.atoms {
+		pa := &p.atoms[i]
+		t, ok := db.tables[pa.rel]
+		if !ok {
+			if pa.origIdx < errIdx {
+				errIdx = pa.origIdx
+				firstErr = fmt.Errorf("memdb: query references unknown table %s", pa.rel)
+			}
+			continue
+		}
+		if len(pa.args) != len(t.cols) {
+			if pa.origIdx < errIdx {
+				errIdx = pa.origIdx
+				firstErr = fmt.Errorf("memdb: atom %s has arity %d but table has %d columns", pa.orig, len(pa.args), len(t.cols))
+			}
+			continue
+		}
+		st.tabs[i] = t
+	}
+	return firstErr
+}
+
+// planExec is one execution of a plan: a backtracking join over the
+// precompiled atom order. All state lives in the (reusable) ExecState, so
+// the search allocates nothing beyond result-row growth on first use.
+type planExec struct {
+	p   *Plan
+	st  *ExecState
+	opt EvalOptions
+}
+
+func (e *planExec) done() bool {
+	return e.opt.Limit > 0 && e.st.nres >= e.opt.Limit
+}
+
+func (e *planExec) search(depth int) {
+	if e.done() {
+		return
+	}
+	if depth == len(e.p.atoms) {
+		e.emit()
+		return
+	}
+	pa := &e.p.atoms[depth]
+	t := e.st.tabs[depth]
+	st := e.st
+
+	var candidates []int
+	nCand := 0
+	if pa.probePos >= 0 {
+		arg := pa.args[pa.probePos]
+		v := arg.cval
+		if arg.slot >= 0 {
+			v = st.binds[arg.slot]
+		}
+		candidates = t.indexes[pa.probePos][v]
+		nCand = len(candidates)
+	} else {
+		nCand = len(t.rows)
+	}
+	offset := 0
+	if e.opt.Rand != nil && nCand > 1 {
+		offset = e.opt.Rand.Intn(nCand)
+	}
+	for i := 0; i < nCand; i++ {
+		if e.done() {
+			return
+		}
+		ri := (i + offset) % nCand
+		if candidates != nil {
+			ri = candidates[ri]
+		}
+		row := t.rows[ri]
+		mark := len(st.trail)
+		ok := true
+		for pos := range pa.args {
+			arg := &pa.args[pos]
+			switch {
+			case arg.slot < 0:
+				if row[pos] != arg.cval {
+					ok = false
+				}
+			case st.bound[arg.slot]:
+				if st.binds[arg.slot] != row[pos] {
+					ok = false
+				}
+			default:
+				st.binds[arg.slot] = row[pos]
+				st.bound[arg.slot] = true
+				st.trail = append(st.trail, arg.slot)
+			}
+			if !ok {
+				break
+			}
+		}
+		if ok {
+			e.search(depth + 1)
+		}
+		for j := len(st.trail) - 1; j >= mark; j-- {
+			st.bound[st.trail[j]] = false
+		}
+		st.trail = st.trail[:mark]
+	}
+}
+
+// emit copies the current bindings into the next result row, reusing row
+// buffers across executions.
+func (e *planExec) emit() {
+	st := e.st
+	if len(st.res) <= st.nres {
+		st.res = append(st.res, nil)
+	}
+	row := st.res[st.nres]
+	if cap(row) < e.p.nSlots {
+		row = make([]string, e.p.nSlots)
+	} else {
+		row = row[:e.p.nSlots]
+	}
+	copy(row, st.binds)
+	st.res[st.nres] = row
+	st.nres++
+}

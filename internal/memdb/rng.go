@@ -1,0 +1,34 @@
+package memdb
+
+// Rng is the randomness source for CHOOSE 1 draws. *math/rand.Rand
+// satisfies it; hot paths use SplitMix, which is a single machine word of
+// state and therefore embeds in pooled scratch without the ~5 KB per-stream
+// allocation of rand.New.
+type Rng interface {
+	// Intn returns a uniform int in [0, n); n must be > 0.
+	Intn(n int) int
+}
+
+// SplitMix is a splitmix64 generator. The zero value is a valid stream
+// (seed 0); NewSplitMix derives an independent stream per seed, so the
+// engine can hand every component evaluation its own reproducible stream
+// from one int64 without allocating.
+type SplitMix struct {
+	state uint64
+}
+
+// NewSplitMix returns a stream seeded with seed.
+func NewSplitMix(seed int64) SplitMix { return SplitMix{state: uint64(seed)} }
+
+// Intn returns a uniform-enough int in [0, n) (modulo reduction; the bias
+// over candidate-list sizes is immaterial to CHOOSE semantics).
+func (m *SplitMix) Intn(n int) int {
+	m.state += 0x9E3779B97F4A7C15
+	z := m.state
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int(z % uint64(n))
+}

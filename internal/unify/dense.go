@@ -138,6 +138,20 @@ func (d *DenseUnifier) UnifyAtoms(a, b ir.Atom) error {
 	return nil
 }
 
+// ResolveTerm interns t (if new) and resolves it against the current
+// partition: the id of its class root, plus the class constant when one is
+// bound. Root ids are stable once no further unions run, which is what lets
+// the compiled evaluation path use them directly as binding-slot keys.
+func (d *DenseUnifier) ResolveTerm(t ir.Term) (root int32, cval string, isConst bool) {
+	id := d.in.Intern(t)
+	d.slot(id)
+	r := d.find(id)
+	if c := d.constOf[r]; c >= 0 {
+		return r, d.in.terms[c].Value, true
+	}
+	return r, "", false
+}
+
 // Materialize builds a map-based Unifier imposing exactly this unifier's
 // constraints, for the consumers of a MatchResult (combined-query
 // construction, equality rendering). Singleton classes are skipped — they
