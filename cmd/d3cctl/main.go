@@ -8,6 +8,8 @@
 //
 //	.batch q1; q2; …   submit several IR queries as one engine batch
 //	.bulk q1; q2; …    submit several IR queries as one unordered bulk load
+//	.prepare q         prepare an IR template ('$1'..'$K' placeholders)
+//	.exec N v1; v2; …  execute prepared statement N with bindings
 //	.flush             force a set-at-a-time round
 //	.stats             print engine counters
 //	.quit              exit
@@ -86,6 +88,53 @@ func main() {
 		}
 	}
 
+	stmts := make(map[int]*server.ClientStmt)
+	nextStmt := 0
+	prepare := func(text string) {
+		var st *server.ClientStmt
+		var err error
+		if strings.HasPrefix(strings.ToUpper(text), "SELECT") {
+			st, err = c.PrepareSQL(text)
+		} else {
+			st, err = c.PrepareIR(text)
+		}
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			return
+		}
+		nextStmt++
+		stmts[nextStmt] = st
+		fmt.Printf("prepared s%d (%d bindings)\n", nextStmt, st.NumParams())
+	}
+	exec := func(text string) {
+		fields := strings.SplitN(strings.TrimSpace(text), " ", 2)
+		var id int
+		if _, err := fmt.Sscanf(fields[0], "%d", &id); err != nil {
+			fmt.Println("usage: .exec N v1; v2; …")
+			return
+		}
+		st, ok := stmts[id]
+		if !ok {
+			fmt.Printf("error: no prepared statement s%d\n", id)
+			return
+		}
+		var bindings []string
+		if len(fields) == 2 {
+			for _, part := range strings.Split(fields[1], ";") {
+				if part = strings.TrimSpace(part); part != "" {
+					bindings = append(bindings, part)
+				}
+			}
+		}
+		qid, ch, err := st.Execute(bindings...)
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			return
+		}
+		fmt.Printf("submitted q%d\n", qid)
+		go func() { results <- <-ch }()
+	}
+
 	// Printer goroutine: results arrive asynchronously.
 	go func() {
 		for r := range results {
@@ -112,7 +161,11 @@ func main() {
 		case line == ".help":
 			fmt.Println("IR query:  {R(Jerry, x)} R(Kramer, x) :- Flights(x, Paris)")
 			fmt.Println("SQL query: SELECT 'Kramer', fno INTO ANSWER R WHERE … CHOOSE 1 (multiline; ends at CHOOSE or blank line)")
-			fmt.Println("commands:  .load <ddl/dml statements;…>  .batch <ir; ir; …>  .bulk <ir; ir; …>  .flush  .stats  .quit")
+			fmt.Println("commands:  .load <ddl/dml statements;…>  .batch <ir; ir; …>  .bulk <ir; ir; …>  .prepare <template>  .exec <N> <v1; v2; …>  .flush  .stats  .quit")
+		case strings.HasPrefix(line, ".prepare "):
+			prepare(strings.TrimPrefix(line, ".prepare "))
+		case strings.HasPrefix(line, ".exec "):
+			exec(strings.TrimPrefix(line, ".exec "))
 		case strings.HasPrefix(line, ".batch "):
 			submitMany(strings.TrimPrefix(line, ".batch "), "batch", c.SubmitBatch)
 		case strings.HasPrefix(line, ".bulk "):
@@ -137,9 +190,10 @@ func main() {
 				fmt.Printf("error: %v\n", err)
 			} else if st.Stats != nil {
 				s := st.Stats
-				fmt.Printf("submitted=%d answered=%d rejected=%d unsafe=%d stale=%d pending=%d flushes=%d router-passes=%d submit-locks=%d bulk-loads=%d bulk-flushes=%d families-retired=%d\n",
+				fmt.Printf("submitted=%d answered=%d rejected=%d unsafe=%d stale=%d pending=%d flushes=%d router-passes=%d submit-locks=%d bulk-loads=%d bulk-flushes=%d families-retired=%d plan-hits=%d plan-misses=%d plan-evictions=%d\n",
 					s.Submitted, s.Answered, s.Rejected, s.RejectedUnsafe, s.ExpiredStale, s.Pending, s.Flushes,
-					s.RouterPasses, s.SubmitLocks, s.BulkLoads, s.BulkFlushes, s.FamiliesRetired)
+					s.RouterPasses, s.SubmitLocks, s.BulkLoads, s.BulkFlushes, s.FamiliesRetired,
+					s.PlanHits, s.PlanMisses, s.PlanEvictions)
 				for i, sh := range s.PerShard {
 					fmt.Printf("  shard %d: submitted=%d answered=%d rejected=%d unsafe=%d stale=%d pending=%d flushes=%d\n",
 						i, sh.Submitted, sh.Answered, sh.Rejected, sh.RejectedUnsafe, sh.ExpiredStale, sh.Pending, sh.Flushes)

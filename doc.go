@@ -32,7 +32,12 @@
 // through SubmitBulk, which additionally drops the intra-batch ordering
 // guarantee to ingest and coordinate each batch set-at-a-time — the cheaper
 // path whenever the batch is a set, not a sequence (see "Bulk loading" in
-// README.md). Failures are typed: errors.Is(err, ErrClosed) after Close,
+// README.md). Repeated query shapes go through prepared statements:
+// Prepare/PrepareSQL/PrepareIR compile-check a template whose constants may
+// be '$1'…'$K' placeholders, and Stmt.Submit(ctx, bindings...) submits one
+// instance per binding set — every instance shares one cached evaluation
+// plan (see "Prepared statements" in README.md). Failures are typed:
+// errors.Is(err, ErrClosed) after Close,
 // errors.Is(res.Err(), ErrStale / ErrUnsafe / ErrRejected) on non-answered
 // results, and errors.As(err, **ParseError) for syntax errors with offsets.
 //
@@ -50,8 +55,9 @@
 //     that potential coordination partners always meet on the same shard
 //     (see the engine package comment for the routing invariant);
 //   - internal/server — a TCP/JSON front end for many concurrent clients,
-//     with single and batched submission ops;
-//   - internal/memdb — the in-memory conjunctive-query database substrate;
+//     with single, batched and prepared submission ops;
+//   - internal/memdb — the in-memory conjunctive-query database substrate,
+//     with compiled evaluation plans and the shape-keyed plan cache;
 //   - internal/workload, internal/bench — the paper's experimental
 //     workloads and the harness regenerating every evaluation figure;
 //   - internal/csp — the general NP-complete baseline (Theorem 2.1);

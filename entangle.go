@@ -103,6 +103,13 @@ func WithAnswerSchemas(schemas map[string][]string) Option {
 // audit trail, readable through History (0, the default, disables it).
 func WithHistory(n int) Option { return func(c *config) { c.engine.HistorySize = n } }
 
+// WithPlanCacheSize bounds the engine's shape-keyed compiled-plan cache
+// (entries, LRU eviction): coordinated components whose combined queries
+// share a shape reuse one compiled plan instead of re-running join-order
+// selection per evaluation. 0, the default, picks the engine's default
+// capacity (512); a negative n disables caching.
+func WithPlanCacheSize(n int) Option { return func(c *config) { c.engine.PlanCacheSize = n } }
+
 // System is the top-level façade of the entangled-queries library: a
 // database substrate plus an asynchronous coordination engine, wired to the
 // entangled-SQL front end, the matching algorithm, and the Section 6

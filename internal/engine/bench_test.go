@@ -221,6 +221,46 @@ func BenchmarkArrivalClosing(b *testing.B) {
 	}
 }
 
+// BenchmarkArrivalClosingCacheHit is BenchmarkArrivalClosing in its
+// steady state: a warm-up pair compiles the workload's one component
+// shape into the plan cache before the clock starts, so every timed
+// closing arrival serves its combined-query plan from the cache. The
+// benchmark fails if any timed iteration compiles a plan (PlanMisses
+// must stay flat) — it pins the cache-hit path, not the compile path.
+func BenchmarkArrivalClosingCacheHit(b *testing.B) {
+	socialEnv(b)
+	qs := socialPairQueries(2*b.N + 2)
+	e := New(socialDB, Config{Mode: Incremental, Shards: 1})
+	defer e.Close()
+	submitPair := func(q1, q2 *ir.Query) {
+		h1, err := e.Submit(q1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		h2, err := e.Submit(q2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r := <-h1.Done(); r.Status != StatusAnswered && r.Status != StatusRejected {
+			b.Fatalf("first member: %v", r.Status)
+		}
+		if r := <-h2.Done(); r.Status != StatusAnswered && r.Status != StatusRejected {
+			b.Fatalf("second member: %v", r.Status)
+		}
+	}
+	submitPair(qs[0], qs[1]) // prime the plan cache
+	misses := e.Stats().PlanMisses
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 1; i <= b.N; i++ {
+		submitPair(qs[2*i], qs[2*i+1])
+	}
+	b.StopTimer()
+	if got := e.Stats().PlanMisses; got != misses {
+		b.Fatalf("PlanMisses grew %d -> %d during timed iterations; expected pure cache hits", misses, got)
+	}
+}
+
 // benchmarkFlushSocial measures a set-at-a-time flush round over a resident
 // pending set that never matches (each query waits for a partner that is
 // absent), the steady-state cost of scanning partitions per Section 4.1.2.

@@ -168,6 +168,13 @@ type Config struct {
 	// (Seed, Shards, arrival order) reproduces exactly, and workloads that
 	// land on a single shard reproduce across shard counts too.
 	Seed int64
+	// PlanCacheSize bounds the engine's shape-keyed compiled-plan cache
+	// (entries, LRU eviction): components whose bodies share a shape —
+	// same relations, same variable-sharing pattern, constants in the same
+	// positions — reuse one compiled plan, skipping the join-order
+	// simulation on every repeat arrival. 0 picks the default (512);
+	// negative disables caching (every evaluation compiles afresh).
+	PlanCacheSize int
 	// Match carries ablation switches through to the matcher.
 	Match match.Options
 	// AnswerSchemas forwards declared ANSWER relation layouts to SubmitSQL.
@@ -221,6 +228,14 @@ type Stats struct {
 	BulkFlushes int
 	// FamiliesRetired counts relation families reclaimed by GC sweeps.
 	FamiliesRetired int
+	// PlanHits / PlanMisses / PlanEvictions are the compiled-plan cache's
+	// counters: a hit reuses a cached plan (no join-order simulation), a
+	// miss compiles and caches, an eviction ages out the least recently
+	// used shape. Engine-level like RouterPasses: zero in PerShard,
+	// excluded from aggregation. All zero when PlanCacheSize < 0.
+	PlanHits      int
+	PlanMisses    int
+	PlanEvictions int
 
 	PerShard []Stats `json:"PerShard,omitempty"`
 }
@@ -262,6 +277,7 @@ type Engine struct {
 
 	shards      []*shard
 	router      *router
+	plans       *memdb.PlanCache // shared compiled-plan cache; nil when disabled
 	nextID      atomic.Int64
 	flushRounds atomic.Int64 // engine-level flush rounds (see Stats.Flushes)
 	// Submission-path amortisation counters (see Stats.RouterPasses).
@@ -308,6 +324,14 @@ func New(db *memdb.DB, cfg Config) *Engine {
 		evalSem: make(chan struct{}, budget),
 		now:     time.Now,
 	}
+	if cfg.PlanCacheSize >= 0 {
+		size := cfg.PlanCacheSize
+		if size == 0 {
+			size = 512
+		}
+		e.plans = memdb.NewPlanCache(size)
+		e.cfg.Match.Plans = e.plans
+	}
 	e.shards = make([]*shard, cfg.Shards)
 	for i := range e.shards {
 		e.shards[i] = newShard(i, e)
@@ -352,6 +376,12 @@ func (e *Engine) Stats() Stats {
 		agg.BulkLoads = int(e.bulkLoads.Load())
 		agg.BulkFlushes = int(e.bulkFlushes.Load())
 		agg.FamiliesRetired = int(e.familiesRetired.Load())
+		if e.plans != nil {
+			hits, misses, evictions := e.plans.Counters()
+			agg.PlanHits = int(hits)
+			agg.PlanMisses = int(misses)
+			agg.PlanEvictions = int(evictions)
+		}
 		return agg
 	}
 }

@@ -1,0 +1,85 @@
+package ir
+
+import "testing"
+
+func TestPlaceholderIndex(t *testing.T) {
+	cases := []struct {
+		in string
+		n  int
+		ok bool
+	}{
+		{"$1", 1, true},
+		{"$2", 2, true},
+		{"$12", 12, true},
+		{"$", 0, false},
+		{"$0", 0, false},
+		{"$01", 0, false},
+		{"$x", 0, false},
+		{"$1b", 0, false},
+		{"1", 0, false},
+		{"", 0, false},
+		{"dollar$1", 0, false},
+	}
+	for _, c := range cases {
+		n, ok := placeholderIndex(c.in)
+		if n != c.n || ok != c.ok {
+			t.Errorf("placeholderIndex(%q) = %d,%v; want %d,%v", c.in, n, ok, c.n, c.ok)
+		}
+	}
+}
+
+func TestPlaceholderCount(t *testing.T) {
+	q := MustParse(1, "{R(J, '$2')} R('$1', x) :- F(x, '$2')")
+	n, err := q.PlaceholderCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("count = %d, want 2", n)
+	}
+
+	// Gap: $1 and $3 with no $2.
+	bad := MustParse(2, "{R(J, x)} R('$1', x) :- F(x, '$3')")
+	if _, err := bad.PlaceholderCount(); err == nil {
+		t.Fatal("gapped placeholders must be rejected")
+	}
+
+	plain := MustParse(3, "{R(J, x)} R(K, x) :- F(x, Paris)")
+	if n, err := plain.PlaceholderCount(); err != nil || n != 0 {
+		t.Fatalf("plain query count = %d, %v; want 0, nil", n, err)
+	}
+}
+
+func TestBindPlaceholders(t *testing.T) {
+	q := MustParse(1, "{R(J, x)} R('$1', x) :- F(x, '$2')")
+	bound, err := q.BindPlaceholders([]string{"Kramer", "Paris"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bound.Heads[0].Args[0]; !got.Equal(Const("Kramer")) {
+		t.Fatalf("head arg = %v, want Kramer", got)
+	}
+	if got := bound.Body[0].Args[1]; !got.Equal(Const("Paris")) {
+		t.Fatalf("body arg = %v, want Paris", got)
+	}
+	// The template is untouched.
+	if got := q.Heads[0].Args[0]; !got.Equal(Const("$1")) {
+		t.Fatalf("template mutated: head arg = %v", got)
+	}
+
+	if _, err := q.BindPlaceholders([]string{"only-one"}); err == nil {
+		t.Fatal("binding-count mismatch must be rejected")
+	}
+
+	// Repeated placeholder: both occurrences bind.
+	rep := MustParse(2, "{R(J, '$1')} R(K, '$1') :- F('$1', y)")
+	b2, err := rep.BindPlaceholders([]string{"v"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range [][]Atom{b2.Heads, b2.Posts, b2.Body} {
+		if !a[0].Args[0].Equal(Const("v")) && !a[0].Args[1].Equal(Const("v")) {
+			t.Fatalf("placeholder occurrence unbound in %v", a[0])
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package match
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sync"
 
@@ -10,8 +11,9 @@ import (
 
 // evalScratch is the pooled state of one compiled component evaluation: the
 // plan builder and execution scratch (memdb), the dense-root → binding-slot
-// map, and the CHOOSE stream. Pooled alongside the matcher's dense scratch,
-// it makes the whole answer path — match, compile, execute, ground —
+// map, the shape-key and parameter buffers for the plan cache, and the
+// CHOOSE stream. Pooled alongside the matcher's dense scratch, it makes the
+// whole answer path — match, compile (or cache hit), execute, ground —
 // allocation-free in steady state except for the answer tuples themselves.
 type evalScratch struct {
 	pb      memdb.PlanBuilder
@@ -20,6 +22,8 @@ type evalScratch struct {
 	touched []int32 // roots assigned this run, for O(assigned) reset
 	nSlots  int32
 	rng     memdb.SplitMix
+	key     []byte   // component shape key, rebuilt per evaluation
+	params  []string // constant values in parameter-index order
 }
 
 var evalPool = sync.Pool{New: func() any { return new(evalScratch) }}
@@ -58,18 +62,40 @@ func (sc *evalScratch) assignedSlot(root int32) int32 {
 	return -1
 }
 
+// Shape-key argument markers. Binding slots encode as markSlot plus the
+// slot's uvarint; the markers sit above the one-byte uvarint range, so a
+// prefix parse of the key can never confuse a marker with a small length or
+// slot byte.
+const (
+	markParam = 0xFF // constant position (late-bound parameter)
+	markSlot  = 0xFE // variable position; followed by uvarint slot id
+)
+
 // evaluateDense is the compiled fast path for a fully matched component:
 // the combined query's body compiles straight off the dense unifier (class
-// constants → constant descriptors, class roots → shared binding slots)
+// constants → parameter descriptors, class roots → shared binding slots)
 // through the pooled plan builder, executes with the pooled scratch, and
 // the survivors' heads are grounded directly from the winning binding row.
 // No CombinedQuery, map-backed unifier or ir.Substitution exists on this
 // path. Takes ownership of nothing; the caller still owns ds.
-func evaluateDense(db *memdb.DB, ds *denseState, byID map[ir.QueryID]*ir.Query, component []ir.QueryID, seed int64) (answers []ir.Answer, rejected []Removal, err error) {
+//
+// When plans is non-nil, the walk additionally builds the component's shape
+// key — stats epoch, then per atom the relation name, arg count, and a
+// param marker or binding-slot id per argument — into reused scratch. On a
+// hit the cached plan executes directly and the whole compile step
+// (PlanBuilder.Finish's join-order simulation) is skipped; constants were
+// compiled to parameters, so the same plan serves every component of this
+// shape and only the parameter values differ per execution.
+func evaluateDense(db *memdb.DB, ds *denseState, byID map[ir.QueryID]*ir.Query, component []ir.QueryID, seed int64, plans *memdb.PlanCache) (answers []ir.Answer, rejected []Removal, err error) {
 	sc := evalPool.Get().(*evalScratch)
 	defer evalPool.Put(sc)
 	sc.reset()
 
+	caching := plans != nil
+	sc.params = sc.params[:0]
+	if caching {
+		sc.key = binary.AppendUvarint(sc.key[:0], db.StatsEpoch())
+	}
 	for _, id := range component {
 		q, ok := byID[id]
 		if !ok {
@@ -77,21 +103,50 @@ func evaluateDense(db *memdb.DB, ds *denseState, byID map[ir.QueryID]*ir.Query, 
 		}
 		for _, a := range q.Body {
 			sc.pb.StartAtom(a.Rel, a)
+			if caching {
+				sc.key = binary.AppendUvarint(sc.key, uint64(len(a.Rel)))
+				sc.key = append(sc.key, a.Rel...)
+				sc.key = binary.AppendUvarint(sc.key, uint64(len(a.Args)))
+			}
 			for _, t := range a.Args {
-				if t.IsConst() {
-					sc.pb.AddConst(t.Value)
-					continue
-				}
-				root, cval, isConst := ds.du.ResolveTerm(t)
+				var cval string
+				isConst := t.IsConst()
 				if isConst {
-					sc.pb.AddConst(cval)
+					cval = t.Value
 				} else {
-					sc.pb.AddVar(sc.slot(root))
+					var root int32
+					root, cval, isConst = ds.du.ResolveTerm(t)
+					if !isConst {
+						s := sc.slot(root)
+						sc.pb.AddVar(s)
+						if caching {
+							sc.key = append(sc.key, markSlot)
+							sc.key = binary.AppendUvarint(sc.key, uint64(s))
+						}
+						continue
+					}
+				}
+				if caching {
+					sc.pb.AddParam()
+					sc.params = append(sc.params, cval)
+					sc.key = append(sc.key, markParam)
+				} else {
+					sc.pb.AddConst(cval)
 				}
 			}
 		}
 	}
-	p := sc.pb.Finish(int(sc.nSlots))
+	var p *memdb.Plan
+	if caching {
+		p = plans.Get(sc.key)
+		if p == nil {
+			p = plans.Add(sc.key, sc.pb.Finish(db, int(sc.nSlots)))
+		}
+		sc.ex.SetParams(sc.params)
+	} else {
+		p = sc.pb.Finish(db, int(sc.nSlots))
+		sc.ex.SetParams(nil)
+	}
 
 	var rng memdb.Rng
 	if seed != 0 {

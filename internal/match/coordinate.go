@@ -208,7 +208,7 @@ func EvaluateComponent(db *memdb.DB, g *graph.Graph, component []ir.QueryID, byI
 func EvaluateComponentFast(db *memdb.DB, g *graph.Graph, component []ir.QueryID, byID map[ir.QueryID]*ir.Query, seed int64, mopt Options) (answers []ir.Answer, rejected []Removal, err error) {
 	if !mopt.NaiveMGU && !mopt.LegacyEval {
 		if ds, _, ok := matchFastCore(g, component); ok {
-			answers, rejected, err = evaluateDense(db, ds, byID, component, seed)
+			answers, rejected, err = evaluateDense(db, ds, byID, component, seed, mopt.Plans)
 			densePool.Put(ds)
 			return answers, rejected, err
 		}

@@ -24,6 +24,7 @@ import (
 
 	"entangle/internal/graph"
 	"entangle/internal/ir"
+	"entangle/internal/memdb"
 	"entangle/internal/unify"
 )
 
@@ -102,6 +103,11 @@ type Options struct {
 	// paths are equivalence-tested: identical answers, rejections and
 	// fixed-seed CHOOSE draws.
 	LegacyEval bool
+	// Plans, when non-nil, caches compiled evaluation plans by component
+	// shape on the dense fast path: repeat shapes skip join-order
+	// compilation entirely, executing the cached parameterised plan with
+	// the component's constants late-bound. Safe to share across shards.
+	Plans *memdb.PlanCache
 }
 
 // denseState is the pooled scratch of the fast path: an interner and a

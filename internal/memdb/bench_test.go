@@ -60,6 +60,7 @@ func BenchmarkEvalThreeWayJoin(b *testing.B) {
 // BenchmarkPlanCompile times the compile half of the evaluator split: the
 // string-keyed CompilePlan of the three-way combined-query shape.
 func BenchmarkPlanCompile(b *testing.B) {
+	db := benchDB(b, 1000)
 	atoms := []ir.Atom{
 		ir.NewAtom("F", ir.Const("u5000"), ir.Var("x")),
 		ir.NewAtom("U", ir.Const("u5000"), ir.Var("c")),
@@ -68,7 +69,7 @@ func BenchmarkPlanCompile(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if p := CompilePlan(atoms, nil); p.empty {
+		if p := db.CompilePlan(atoms, nil); p.empty {
 			b.Fatal("plan unexpectedly empty")
 		}
 	}
@@ -83,7 +84,7 @@ func BenchmarkPlanExec(b *testing.B) {
 		ir.NewAtom("U", ir.Const("u5000"), ir.Var("c")),
 		ir.NewAtom("U", ir.Var("x"), ir.Var("c")),
 	}
-	p := CompilePlan(atoms, nil)
+	p := db.CompilePlan(atoms, nil)
 	var st ExecState
 	if _, err := db.ExecPlan(p, &st, EvalOptions{Limit: 1}); err != nil {
 		b.Fatal(err)

@@ -16,17 +16,37 @@
 // Evaluation is split into a compile step and an execute step (plan.go).
 // CompilePlan (or, on hot paths, a pooled PlanBuilder fed pre-classified
 // argument descriptors) interns variables to dense binding slots, folds
-// equality constraints into the descriptors, and — exploiting the fact that
-// the join's atom-selection rule depends only on which argument positions
-// are constants or already-bound variables, never on row values — fixes the
-// entire join order and each atom's index-probe position at compile time.
-// ExecPlan then runs the backtracking join over a slice-backed binding
-// array with an int trail, building hash indexes for exactly the declared
-// probe positions (never-probed positions stay unindexed) and allocating
-// nothing in steady state with a reused ExecState. Single-atom plans skip
-// the join-order simulation entirely. EvalConjunctiveLegacy retains the
-// map-backed evaluator as the executable specification the compiled path is
+// equality constraints into the descriptors, and fixes the entire join
+// order and each atom's index-probe position at compile time. Atom
+// selection is cardinality-aware: each candidate's cost is its table's
+// live row count shifted down by three bits per const/bound argument
+// position (size >> min(3·bound, 30)) — a selectivity estimate that sends
+// the join through small or well-bound relations first — with ties broken
+// by more bound positions, then input order; since the rule reads only
+// table sizes and the const/bound pattern, never row values, the order is
+// still a compile-time constant for a given database state. ExecPlan then
+// runs the backtracking join over a slice-backed binding array with an int
+// trail, building hash indexes for exactly the declared probe positions
+// (never-probed positions stay unindexed) and allocating nothing in steady
+// state with a reused ExecState. Single-atom plans skip the join-order
+// simulation entirely. EvalConjunctiveLegacy retains the map-backed
+// evaluator as the executable specification the compiled path is
 // equivalence-tested against (identical valuations and CHOOSE draws).
+//
+// # Plan cache
+//
+// Compiled plans are cacheable and parameterised: constant positions can
+// compile to late-bound parameters (PlanBuilder.AddParam +
+// ExecState.SetParams), so one plan serves every query of the same shape
+// and only the parameter values differ per execution. PlanCache is the
+// shape-keyed, LRU-bounded, concurrency-safe store for such plans; cached
+// plans are detached from their builder's pooled storage. Invalidation is
+// by unreachability: every shape key embeds the DB's stats epoch
+// (StatsEpoch), which bumps on DDL (CreateTable/DropTable/ReadSnapshot)
+// and when a table's row count drifts outside a band around the count the
+// epoch last saw (planRows; grow past 2n+16 or shrink below n/2) — so
+// plans whose join order was chosen for stale cardinalities age out of the
+// LRU instead of being served.
 package memdb
 
 import (
@@ -34,6 +54,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Row is one tuple of a table. Positions correspond to the table's columns.
@@ -46,6 +67,12 @@ type Table struct {
 	cols    []string
 	rows    []Row
 	indexes map[int]map[string][]int // column → value → row ids
+	// planRows is the row count at the last stats-epoch bump attributed to
+	// this table. Join-order compilation reads live row counts; once the
+	// count drifts outside a band around planRows the DB's stats epoch is
+	// bumped so shape-keyed plan caches stop serving orders chosen for the
+	// old cardinality. Guarded by the DB write lock.
+	planRows int
 }
 
 // Name returns the table name.
@@ -64,6 +91,12 @@ func (t *Table) Arity() int { return len(t.cols) }
 type DB struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
+	// statsEpoch advances whenever the inputs of join-order compilation
+	// change materially: any DDL (table created or dropped), and any table
+	// whose row count drifts outside the band around its count at the last
+	// bump. Plan caches key on the epoch, so a bump makes every cached join
+	// order unreachable without an explicit purge.
+	statsEpoch atomic.Uint64
 }
 
 // New returns an empty database.
@@ -94,6 +127,7 @@ func (db *DB) CreateTable(name string, cols ...string) error {
 		cols:    append([]string(nil), cols...),
 		indexes: make(map[int]map[string][]int),
 	}
+	db.statsEpoch.Add(1)
 	return nil
 }
 
@@ -113,7 +147,27 @@ func (db *DB) DropTable(name string) error {
 		return fmt.Errorf("memdb: no table %s", name)
 	}
 	delete(db.tables, name)
+	db.statsEpoch.Add(1)
 	return nil
+}
+
+// StatsEpoch returns the current statistics epoch: a counter that advances
+// on DDL and whenever some table's row count drifts outside the band around
+// its count at the previous bump. Callers that cache anything derived from
+// table cardinalities (compiled join orders) should key on it.
+func (db *DB) StatsEpoch() uint64 { return db.statsEpoch.Load() }
+
+// noteSizeLocked bumps the stats epoch when t's row count has drifted
+// outside the band around the count recorded at the last bump — growth past
+// 2n+16 or shrinkage below n/2. The band makes epoch bumps logarithmic in
+// table growth: steady inserts invalidate cached join orders O(log n) times,
+// not per row. Caller holds the write lock.
+func (db *DB) noteSizeLocked(t *Table) {
+	n := len(t.rows)
+	if n > 2*t.planRows+16 || n < t.planRows/2 {
+		t.planRows = n
+		db.statsEpoch.Add(1)
+	}
 }
 
 // Table returns the named table, or nil.
@@ -151,6 +205,7 @@ func (db *DB) Insert(table string, values ...string) error {
 	for col, ix := range t.indexes {
 		ix[values[col]] = append(ix[values[col]], id)
 	}
+	db.noteSizeLocked(t)
 	return nil
 }
 
@@ -179,6 +234,7 @@ func (db *DB) BulkInsert(table string, rows [][]string) error {
 			ix[values[col]] = append(ix[values[col]], id)
 		}
 	}
+	db.noteSizeLocked(t)
 	return nil
 }
 

@@ -42,6 +42,7 @@ func (db *DB) Delete(table, column, value string) (int, error) {
 	for idxCol := range t.indexes {
 		t.buildIndex(idxCol)
 	}
+	db.noteSizeLocked(t)
 	return removed, nil
 }
 
@@ -87,5 +88,6 @@ rows:
 	for idxCol := range t.indexes {
 		t.buildIndex(idxCol)
 	}
+	db.noteSizeLocked(t)
 	return removed, nil
 }

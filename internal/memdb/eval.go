@@ -34,7 +34,7 @@ type EvalOptions struct {
 // map-backed reference implementation the compiled path is test-checked
 // against.
 func (db *DB) EvalConjunctive(atoms []ir.Atom, eqs []ir.Equality, opt EvalOptions) ([]ir.Substitution, error) {
-	p := CompilePlan(atoms, eqs)
+	p := db.CompilePlan(atoms, eqs)
 	var st ExecState
 	n, err := db.ExecPlan(p, &st, opt)
 	if err != nil {
@@ -285,18 +285,27 @@ func (s *joinState) unwind(mark int) {
 	s.trail = s.trail[:mark]
 }
 
-// search picks the next atom (most bound arguments first, ties by position),
-// iterates its candidate rows, extends the binding and recurses.
+// search picks the next atom (lowest planCost first — table size discounted
+// per bound argument occurrence; ties by more bound occurrences, then by
+// position), iterates its candidate rows, extends the binding and recurses.
+// The rule is shared verbatim with the compile-time simulation in
+// PlanBuilder.Finish: it reads only bound counts and table sizes (static
+// under the read lock held for the whole evaluation), which is what lets
+// compiled plans fix the identical order up front.
 func (s *joinState) search() {
 	if s.done() {
 		return
 	}
 	// Atom selection reads the incrementally maintained bound counts — one
 	// comparison per atom, not a rescan of every argument.
-	next, bound := -1, -1
+	next, bestCost, bound := -1, 0, -1
 	for i := range s.atoms {
-		if !s.used[i] && s.bound[i] > bound {
-			next, bound = i, s.bound[i]
+		if s.used[i] {
+			continue
+		}
+		c := planCost(len(s.tables[i].rows), s.bound[i])
+		if next < 0 || c < bestCost || (c == bestCost && s.bound[i] > bound) {
+			next, bestCost, bound = i, c, s.bound[i]
 		}
 	}
 	if next < 0 {

@@ -12,26 +12,36 @@ import (
 // allocation-free execute step over slice-backed bindings.
 //
 // The split exploits a property of the backtracking join in
-// EvalConjunctiveLegacy: its atom-selection rule ("most bound argument
-// occurrences first, ties by position") depends only on WHICH argument
-// positions are constants or already-bound variables — never on row values —
-// because choosing an atom binds all of its variables before the next
-// selection. The entire join order, and the argument position each atom will
-// probe through a hash index, are therefore known at compile time. A Plan
-// records that order; execution is a tight loop over int-indexed slots with
-// a trail for backtracking, allocating nothing in steady state.
+// EvalConjunctiveLegacy: its atom-selection rule (cheapest estimated scan
+// first — table size discounted per bound argument occurrence, ties by
+// more bound occurrences then position) depends only on WHICH argument
+// positions are constants or already-bound variables plus static table row
+// counts — never on row values — because choosing an atom binds all of its
+// variables before the next selection. The entire join order, and the
+// argument position each atom will probe through a hash index, are
+// therefore known at compile time. A Plan records that order; execution is
+// a tight loop over int-indexed slots with a trail for backtracking,
+// allocating nothing in steady state.
 //
 // Two compilers produce Plans. CompilePlan is the general, string-keyed
 // entry used by EvalConjunctive (equality constraints folded in via
 // normalizeEqualities). PlanBuilder is the caller-driven form for hot paths
 // that already know each argument's class — the matcher feeds interned
 // unifier roots straight into slots, skipping string machinery entirely.
+//
+// An argument can also be a parameter — a constant whose value is supplied
+// per execution via ExecState.SetParams rather than baked into the plan.
+// Parameters are what make plans shareable across queries of the same shape
+// (the shape-keyed plan cache) and are the execution substrate of prepared
+// statements: a parameter behaves exactly like a constant for join ordering
+// and index probing, only the value is late-bound.
 
 // planArg describes one argument position of a compiled atom: a constant to
-// match, or a binding slot to compare against / fill.
+// match, a parameter (late-bound constant), or a binding slot to compare
+// against / fill.
 type planArg struct {
-	slot int32  // binding slot; < 0 means constant
-	cval string // constant value when slot < 0
+	slot int32  // ≥ 0 binding slot; -1 inline constant; ≤ -2 parameter index -slot-2
+	cval string // constant value when slot == -1
 }
 
 // planAtom is one atom of a compiled plan, in execution order.
@@ -52,14 +62,16 @@ type planOut struct {
 }
 
 // Plan is a compiled conjunctive query. Plans are immutable after
-// compilation and independent of any DB: tables are resolved (and the
-// declared probe-position indexes built, if missing) at execution time.
+// compilation and hold no DB references: tables are resolved (and the
+// declared probe-position indexes built, if missing) at execution time —
+// the compiling DB's row counts only informed the join-order choice.
 // A Plan may be executed repeatedly and concurrently, each run with its own
 // ExecState.
 type Plan struct {
-	atoms  []planAtom
-	nSlots int
-	outs   []planOut
+	atoms   []planAtom
+	nSlots  int
+	nParams int // parameter count; execution needs at least this many values
+	outs    []planOut
 	// empty marks a plan that is statically unsatisfiable: inconsistent
 	// equality constraints, or an equality class whose representative is
 	// never bound by any atom (the legacy evaluator filtered every valuation
@@ -86,6 +98,31 @@ func (p *Plan) NumProbes() int {
 	return n
 }
 
+// NumParams returns the plan's parameter count: how many values an
+// execution must supply via ExecState.SetParams.
+func (p *Plan) NumParams() int { return p.nParams }
+
+// detach returns a deep copy of the plan that shares no storage with its
+// builder, so it can outlive the builder's next Reset — a cached plan must
+// not alias pooled builder scratch. The copy is carved from two backing
+// arrays (atoms, args); outs (absent on builder-fed plans) is shared, as
+// CompilePlan allocates it per plan already.
+func (p *Plan) detach() *Plan {
+	np := &Plan{nSlots: p.nSlots, nParams: p.nParams, outs: p.outs, empty: p.empty, unchecked: p.unchecked}
+	np.atoms = append(make([]planAtom, 0, len(p.atoms)), p.atoms...)
+	nArgs := 0
+	for i := range p.atoms {
+		nArgs += len(p.atoms[i].args)
+	}
+	args := make([]planArg, 0, nArgs)
+	for i := range np.atoms {
+		lo := len(args)
+		args = append(args, np.atoms[i].args...)
+		np.atoms[i].args = args[lo:len(args):len(args)]
+	}
+	return np
+}
+
 // PlanBuilder assembles a Plan from per-argument descriptors the caller has
 // already classified (constant vs. binding slot). The zero value is ready to
 // use; Reset makes a builder reusable with its backing storage retained, so
@@ -109,6 +146,7 @@ type PlanBuilder struct {
 	used      []bool
 	boundCnt  []int32
 	slotBound []bool
+	sizes     []int
 }
 
 // Reset clears the builder for a fresh compilation, keeping capacity.
@@ -121,6 +159,7 @@ func (b *PlanBuilder) Reset() {
 	b.plan.outs = nil
 	b.plan.empty = false
 	b.plan.nSlots = 0
+	b.plan.nParams = 0
 }
 
 // StartAtom begins a new atom over rel; orig is retained only for error
@@ -141,9 +180,39 @@ func (b *PlanBuilder) AddVar(slot int32) {
 	b.args = append(b.args, planArg{slot: slot})
 }
 
+// AddParam appends a parameter argument (a late-bound constant) to the
+// current atom and returns its parameter index. Execution reads the value
+// from the ExecState's parameter array at that index.
+func (b *PlanBuilder) AddParam() int {
+	i := b.plan.nParams
+	b.plan.nParams++
+	b.args = append(b.args, planArg{slot: int32(-2 - i)})
+	return i
+}
+
+// planCost is the atom-selection priority shared — by construction, not by
+// accident — between the compile-time join-order simulation below and the
+// legacy evaluator's dynamic selection (joinState.search): the estimated
+// candidate count of scanning the atom next, its table size discounted 8×
+// per bound argument occurrence. The selection picks the lowest cost, ties
+// broken by more bound occurrences, then by position. With equal table
+// sizes this degrades to the old most-bound-first rule; with skewed sizes
+// it stops baking a large outer scan into the order just because the big
+// table has one more constant (the stats-blind-order bug).
+func planCost(size, bound int) int {
+	shift := 3 * bound
+	if shift > 30 {
+		shift = 30
+	}
+	return size >> shift
+}
+
 // Finish computes the static join order and per-atom probe positions and
 // returns the compiled plan (aliasing builder storage; valid until Reset).
-func (b *PlanBuilder) Finish(nSlots int) *Plan {
+// Join-order selection consults db's live table row counts (read once,
+// under one RLock); a nil db — or a relation unknown at compile time —
+// contributes size 0, reducing selection to the pure bound-count rule.
+func (b *PlanBuilder) Finish(db *DB, nSlots int) *Plan {
 	n := len(b.rels)
 	b.bound = append(b.bound, int32(len(b.args)))
 	b.plan.nSlots = nSlots
@@ -179,17 +248,41 @@ func (b *PlanBuilder) Finish(nSlots int) *Plan {
 			}
 		}
 	}
+	if cap(b.sizes) < n {
+		b.sizes = make([]int, n)
+	}
+	sizes := b.sizes[:n]
+	if db != nil {
+		db.mu.RLock()
+		for i, rel := range b.rels {
+			if t := db.tables[rel]; t != nil {
+				sizes[i] = len(t.rows)
+			} else {
+				sizes[i] = 0
+			}
+		}
+		db.mu.RUnlock()
+	} else {
+		for i := range sizes {
+			sizes[i] = 0
+		}
+	}
 
 	// Simulate the legacy selection rule exactly: repeatedly pick the unused
-	// atom with the most bound argument occurrences (first wins ties), probe
-	// its first bound position, then mark its slots bound — bumping the
-	// occurrence counts of the remaining atoms — and repeat.
+	// atom with the lowest planCost (ties: most bound occurrences, then
+	// first wins), probe its first bound position, then mark its slots bound
+	// — bumping the occurrence counts of the remaining atoms — and repeat.
 	for k := 0; k < n; k++ {
 		next := -1
+		bestCost := 0
 		var best int32 = -1
 		for i := 0; i < n; i++ {
-			if !b.used[i] && cnt[i] > best {
-				next, best = i, cnt[i]
+			if b.used[i] {
+				continue
+			}
+			c := planCost(sizes[i], int(cnt[i]))
+			if next < 0 || c < bestCost || (c == bestCost && cnt[i] > best) {
+				next, bestCost, best = i, c, cnt[i]
 			}
 		}
 		b.used[next] = true
@@ -242,8 +335,9 @@ func growBools(s []bool, n int) []bool {
 // constant descriptors, and inconsistent equalities yield a statically empty
 // plan. The plan's outputs reproduce EvalConjunctive's substitution contract
 // (every variable of the atoms bound, normalised-away class members expanded
-// back to their representatives).
-func CompilePlan(atoms []ir.Atom, eqs []ir.Equality) *Plan {
+// back to their representatives). Join-order selection reads the receiver's
+// live table row counts; the plan remains executable against any DB.
+func (db *DB) CompilePlan(atoms []ir.Atom, eqs []ir.Equality) *Plan {
 	norm, expand, err := normalizeEqualities(eqs)
 	if err != nil {
 		return &Plan{empty: true, unchecked: true}
@@ -272,7 +366,7 @@ func CompilePlan(atoms []ir.Atom, eqs []ir.Equality) *Plan {
 			b.AddVar(s)
 		}
 	}
-	p := b.Finish(len(names))
+	p := b.Finish(db, len(names))
 	p.outs = make([]planOut, 0, len(names)+len(expand))
 	for s, name := range names {
 		p.outs = append(p.outs, planOut{name: name, slot: int32(s)})
@@ -301,17 +395,23 @@ func CompilePlan(atoms []ir.Atom, eqs []ir.Equality) *Plan {
 // steady state. Not safe for concurrent use; run concurrent executions with
 // distinct states.
 type ExecState struct {
-	tabs  []*Table
-	binds []string
-	bound []bool
-	trail []int32
-	res   [][]string
-	nres  int
+	tabs   []*Table
+	binds  []string
+	bound  []bool
+	trail  []int32
+	res    [][]string
+	nres   int
+	params []string
 }
 
 // Row returns result row i (slot-indexed values). Valid until the next
 // ExecPlan call with this state.
 func (st *ExecState) Row(i int) []string { return st.res[i] }
+
+// SetParams supplies the values for the plan's parameter arguments, in
+// parameter-index order. The slice is aliased, not copied; it must stay
+// valid for the duration of the ExecPlan call.
+func (st *ExecState) SetParams(vals []string) { st.params = vals }
 
 // ExecPlan executes a compiled plan, returning the number of result rows
 // collected into st (bounded by opt.Limit when non-zero). Tables are
@@ -322,6 +422,9 @@ func (st *ExecState) Row(i int) []string { return st.res[i] }
 // exactly as the legacy evaluator does.
 func (db *DB) ExecPlan(p *Plan, st *ExecState, opt EvalOptions) (int, error) {
 	st.nres = 0
+	if p.nParams > len(st.params) {
+		return 0, fmt.Errorf("memdb: plan needs %d parameters, got %d", p.nParams, len(st.params))
+	}
 	if cap(st.tabs) < len(p.atoms) {
 		st.tabs = make([]*Table, len(p.atoms))
 	}
@@ -456,9 +559,14 @@ func (e *planExec) search(depth int) {
 	nCand := 0
 	if pa.probePos >= 0 {
 		arg := pa.args[pa.probePos]
-		v := arg.cval
-		if arg.slot >= 0 {
+		var v string
+		switch {
+		case arg.slot >= 0:
 			v = st.binds[arg.slot]
+		case arg.slot == -1:
+			v = arg.cval
+		default:
+			v = st.params[-arg.slot-2]
 		}
 		candidates = t.indexes[pa.probePos][v]
 		nCand = len(candidates)
@@ -484,7 +592,11 @@ func (e *planExec) search(depth int) {
 			arg := &pa.args[pos]
 			switch {
 			case arg.slot < 0:
-				if row[pos] != arg.cval {
+				v := arg.cval
+				if arg.slot < -1 {
+					v = st.params[-arg.slot-2]
+				}
+				if row[pos] != v {
 					ok = false
 				}
 			case st.bound[arg.slot]:

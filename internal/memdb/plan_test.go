@@ -138,7 +138,7 @@ func TestCompiledLegacyEquivalenceRandom(t *testing.T) {
 		// result filter discards everything — the outcome is identical and
 		// each component evaluation owns its stream, so the unconsumed
 		// draws are unobservable.
-		if CompilePlan(atoms, eqs).empty {
+		if db.CompilePlan(atoms, eqs).empty {
 			continue
 		}
 		if len(rc.trace) != len(rl.trace) {
@@ -222,7 +222,7 @@ func TestPlanBuildsOnlyProbedIndexes(t *testing.T) {
 		ir.NewAtom("U", ir.Const("a"), ir.Var("c")),
 		ir.NewAtom("U", ir.Var("x"), ir.Var("c")),
 	}
-	p := CompilePlan(atoms, nil)
+	p := db.CompilePlan(atoms, nil)
 	if got := p.NumProbes(); got != 3 {
 		t.Fatalf("NumProbes = %d, want 3", got)
 	}
@@ -279,7 +279,7 @@ func TestExecPlanDropCreateRace(t *testing.T) {
 		readers.Add(1)
 		go func() {
 			defer readers.Done()
-			p := CompilePlan(atoms, nil)
+			p := db.CompilePlan(atoms, nil)
 			var st ExecState
 			for i := 0; i < 400; i++ {
 				if _, err := db.ExecPlan(p, &st, EvalOptions{Limit: 1}); err != nil {
@@ -316,7 +316,7 @@ func TestExecPlanAllocs(t *testing.T) {
 		ir.NewAtom("U", ir.Const("u500"), ir.Var("c")),
 		ir.NewAtom("U", ir.Var("x"), ir.Var("c")),
 	}
-	p := CompilePlan(atoms, nil)
+	p := db.CompilePlan(atoms, nil)
 	var st ExecState
 	sm := NewSplitMix(7)
 	if n, err := db.ExecPlan(p, &st, EvalOptions{Limit: 1, Rand: &sm}); err != nil || n != 1 {
@@ -337,13 +337,16 @@ func TestExecPlanAllocs(t *testing.T) {
 // the builder, the descriptor arrays). The compiled engine path avoids even
 // this by feeding a pooled PlanBuilder directly.
 func TestCompilePlanAllocs(t *testing.T) {
+	db := New()
+	db.MustCreateTable("F", "u1", "u2")
+	db.MustCreateTable("U", "u", "city")
 	atoms := []ir.Atom{
 		ir.NewAtom("F", ir.Const("u500"), ir.Var("x")),
 		ir.NewAtom("U", ir.Const("u500"), ir.Var("c")),
 		ir.NewAtom("U", ir.Var("x"), ir.Var("c")),
 	}
 	avg := testing.AllocsPerRun(200, func() {
-		if p := CompilePlan(atoms, nil); p.empty {
+		if p := db.CompilePlan(atoms, nil); p.empty {
 			t.Fatal("plan unexpectedly empty")
 		}
 	})

@@ -1,0 +1,129 @@
+package memdb
+
+import "sync"
+
+// PlanCache is a bounded, concurrency-safe cache of compiled Plans keyed by
+// component shape. The key is built by the caller (see match's shape
+// encoding: stats epoch × relation names × const/param positions × binding
+// slot pattern); the cache itself only sees opaque bytes. Eviction is LRU.
+//
+// Cached plans are parameterised — constants compile to parameter slots, so
+// one plan serves every component of the same shape regardless of the
+// constant values — and immutable, so a plan handed out by Get may be
+// executed concurrently by many shards while resident or after eviction.
+//
+// Invalidation is by key, not by purge: the shape key embeds the DB's stats
+// epoch, so DDL or size drift makes every prior key unreachable and the
+// stale entries age out through the LRU bound.
+type PlanCache struct {
+	mu         sync.Mutex
+	cap        int
+	entries    map[string]*planEntry
+	head, tail *planEntry // doubly-linked recency list; head = most recent
+	hits       uint64
+	misses     uint64
+	evictions  uint64
+}
+
+type planEntry struct {
+	key        string
+	p          *Plan
+	prev, next *planEntry
+}
+
+// NewPlanCache returns a cache bounded to capacity entries (minimum 1).
+func NewPlanCache(capacity int) *PlanCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &PlanCache{cap: capacity, entries: make(map[string]*planEntry, capacity)}
+}
+
+// Get returns the cached plan for key, or nil. A hit refreshes the entry's
+// recency; hit and miss counters are maintained either way. The key lookup
+// allocates nothing (map access through a string conversion of the byte
+// key compiles to a no-copy lookup).
+func (c *PlanCache) Get(key []byte) *Plan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[string(key)]
+	if !ok {
+		c.misses++
+		return nil
+	}
+	c.hits++
+	c.moveToFront(e)
+	return e.p
+}
+
+// Add inserts a plan under key, detaching it from any builder storage it
+// aliases, and returns the detached plan the caller should execute. If a
+// concurrent fill already inserted the key (two shards compiling the same
+// shape), the resident plan wins and is returned — same inputs compile to
+// the same plan, and keeping one copy bounds memory.
+func (c *PlanCache) Add(key []byte, p *Plan) *Plan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[string(key)]; ok {
+		c.moveToFront(e)
+		return e.p
+	}
+	e := &planEntry{key: string(key), p: p.detach()}
+	c.entries[e.key] = e
+	c.pushFront(e)
+	for len(c.entries) > c.cap {
+		lru := c.tail
+		c.unlink(lru)
+		delete(c.entries, lru.key)
+		c.evictions++
+	}
+	return e.p
+}
+
+// Len returns the number of resident plans.
+func (c *PlanCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Counters returns the cumulative hit, miss and eviction counts.
+func (c *PlanCache) Counters() (hits, misses, evictions uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions
+}
+
+func (c *PlanCache) pushFront(e *planEntry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *PlanCache) unlink(e *planEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *PlanCache) moveToFront(e *planEntry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}

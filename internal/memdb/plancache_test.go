@@ -1,0 +1,249 @@
+package memdb
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"entangle/internal/ir"
+)
+
+// buildShape compiles a tiny one-atom plan through a fresh builder, detached
+// from nothing (the cache detaches on Add).
+func buildShape(rel string) *Plan {
+	b := &PlanBuilder{}
+	b.StartAtom(rel, ir.NewAtom(rel, ir.Var("x")))
+	b.AddVar(0)
+	return b.Finish(nil, 1)
+}
+
+func TestPlanCacheLRUAndCounters(t *testing.T) {
+	c := NewPlanCache(2)
+	pa := c.Add([]byte("a"), buildShape("A"))
+	c.Add([]byte("b"), buildShape("B"))
+
+	if got := c.Get([]byte("a")); got != pa {
+		t.Fatalf("hit on a returned %p, want the cached %p", got, pa)
+	}
+	// b is now the least recently used; adding c evicts it.
+	c.Add([]byte("c"), buildShape("C"))
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	if c.Get([]byte("b")) != nil {
+		t.Fatal("b must have been evicted as LRU")
+	}
+	if c.Get([]byte("a")) == nil || c.Get([]byte("c")) == nil {
+		t.Fatal("a and c must be resident")
+	}
+	hits, misses, evictions := c.Counters()
+	// Gets: a (hit), b (miss), a (hit), c (hit).
+	if hits != 3 || misses != 1 || evictions != 1 {
+		t.Fatalf("counters = %d/%d/%d, want hits=3 misses=1 evictions=1", hits, misses, evictions)
+	}
+}
+
+func TestPlanCacheResidentWinsOnDoubleAdd(t *testing.T) {
+	c := NewPlanCache(4)
+	first := c.Add([]byte("k"), buildShape("A"))
+	second := c.Add([]byte("k"), buildShape("A"))
+	if first != second {
+		t.Fatal("second Add of the same key must return the resident plan")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+}
+
+// TestPlanCacheDetachesBuilderStorage pins the aliasing contract: a cached
+// plan must survive the builder's Reset and recompile, which a plan aliasing
+// pooled builder scratch would not.
+func TestPlanCacheDetachesBuilderStorage(t *testing.T) {
+	db := New()
+	db.MustCreateTable("T", "a")
+	db.MustInsert("T", "v1")
+
+	b := &PlanBuilder{}
+	b.StartAtom("T", ir.NewAtom("T", ir.Var("x")))
+	b.AddVar(0)
+	c := NewPlanCache(4)
+	cached := c.Add([]byte("shape"), b.Finish(db, 1))
+
+	// Clobber the builder's storage with a different shape.
+	b.Reset()
+	b.StartAtom("U", ir.NewAtom("U", ir.Const("z"), ir.Const("z")))
+	b.AddConst("z")
+	b.AddConst("z")
+	b.Finish(db, 0)
+
+	var st ExecState
+	n, err := db.ExecPlan(cached, &st, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || st.Row(0)[0] != "v1" {
+		t.Fatalf("cached plan returned %d rows (%v), want the T row", n, st.res[:n])
+	}
+}
+
+func TestPlanCacheConcurrentFill(t *testing.T) {
+	c := NewPlanCache(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := []byte{byte('a' + i%4)}
+				if c.Get(key) == nil {
+					c.Add(key, buildShape("A"))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Len() != 4 {
+		t.Fatalf("len = %d, want 4 distinct shapes", c.Len())
+	}
+}
+
+func TestStatsEpochDDLAndSizeDrift(t *testing.T) {
+	db := New()
+	e0 := db.StatsEpoch()
+	db.MustCreateTable("T", "a")
+	if db.StatsEpoch() == e0 {
+		t.Fatal("CreateTable must bump the stats epoch")
+	}
+
+	// Growth: the first inserts cross the 2n+16 band immediately; once the
+	// table is large, single-row inserts must NOT bump the epoch every time.
+	for i := 0; i < 100; i++ {
+		db.MustInsert("T", fmt.Sprintf("v%d", i))
+	}
+	settled := db.StatsEpoch()
+	db.MustInsert("T", "one-more")
+	if db.StatsEpoch() != settled {
+		t.Fatal("a single insert into a settled table must not bump the epoch")
+	}
+	// Doubling past the band must bump.
+	for i := 0; i < 200; i++ {
+		db.MustInsert("T", fmt.Sprintf("w%d", i))
+	}
+	grown := db.StatsEpoch()
+	if grown == settled {
+		t.Fatal("doubling the table must bump the epoch")
+	}
+
+	// Shrink below half the recorded size (DeleteRow with no conditions
+	// removes every row) must bump.
+	if _, err := db.DeleteRow("T", nil); err != nil {
+		t.Fatal(err)
+	}
+	if db.StatsEpoch() == grown {
+		t.Fatal("emptying the table must bump the epoch")
+	}
+
+	eDrop := db.StatsEpoch()
+	if err := db.DropTable("T"); err != nil {
+		t.Fatal(err)
+	}
+	if db.StatsEpoch() == eDrop {
+		t.Fatal("DropTable must bump the stats epoch")
+	}
+}
+
+// TestCompilePlanCardinalityJoinOrder is the regression test for the
+// stats-blind join order: most-bound-first alone starts the join at
+// Big('k0', x) — a huge scan narrowed only by one constant — even when
+// Small(x) has three rows. The cardinality-aware cost must start at Small
+// and probe Big per binding, and the legacy evaluator must agree (the
+// compiled plan's order is a simulation of its selection rule; draw-trace
+// equivalence depends on the two never diverging).
+func TestCompilePlanCardinalityJoinOrder(t *testing.T) {
+	db := New()
+	db.MustCreateTable("Big", "k", "x")
+	db.MustCreateTable("Small", "x")
+	var rows [][]string
+	for i := 0; i < 4096; i++ {
+		rows = append(rows, []string{fmt.Sprintf("k%d", i%8), fmt.Sprintf("x%d", i)})
+	}
+	if err := db.BulkInsert("Big", rows); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []string{"x7", "x100", "x4000"} {
+		db.MustInsert("Small", v)
+	}
+
+	atoms := []ir.Atom{
+		ir.NewAtom("Big", ir.Const("k0"), ir.Var("x")),
+		ir.NewAtom("Small", ir.Var("x")),
+	}
+	p := db.CompilePlan(atoms, nil)
+	if p.atoms[0].rel != "Small" {
+		t.Fatalf("join order starts at %s, want the small table first", p.atoms[0].rel)
+	}
+	// Big runs second and probes (first bound position — the constant k,
+	// mirroring the legacy rule) rather than scanning.
+	if p.atoms[1].rel != "Big" || p.atoms[1].probePos != 0 {
+		t.Fatalf("second atom %s probes position %d, want Big probing k (0)", p.atoms[1].rel, p.atoms[1].probePos)
+	}
+
+	// Compiled and legacy evaluators must keep identical valuations AND
+	// identical CHOOSE draw traces on this skewed shape.
+	for seed := int64(1); seed <= 20; seed++ {
+		rc := &recordingRng{sm: NewSplitMix(seed)}
+		rl := &recordingRng{sm: NewSplitMix(seed)}
+		got, err := db.EvalConjunctive(atoms, nil, EvalOptions{Limit: 1, Rand: rc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := db.EvalConjunctiveLegacy(atoms, nil, EvalOptions{Limit: 1, Rand: rl})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 1 || len(want) != 1 {
+			t.Fatalf("seed %d: result counts %d/%d", seed, len(got), len(want))
+		}
+		if substKey(got[0]) != substKey(want[0]) {
+			t.Fatalf("seed %d: compiled %v, legacy %v", seed, got[0], want[0])
+		}
+		if fmt.Sprint(rc.trace) != fmt.Sprint(rl.trace) {
+			t.Fatalf("seed %d: draw traces diverge: compiled %v, legacy %v", seed, rc.trace, rl.trace)
+		}
+	}
+}
+
+// TestPlanParams pins the parameter substrate: one plan, different constants
+// per execution via SetParams, and a length check on under-supplied params.
+func TestPlanParams(t *testing.T) {
+	db := New()
+	db.MustCreateTable("U", "u", "city")
+	db.MustInsert("U", "ann", "Paris")
+	db.MustInsert("U", "bob", "Rome")
+
+	b := &PlanBuilder{}
+	b.StartAtom("U", ir.NewAtom("U", ir.Var("u"), ir.Var("c")))
+	if i := b.AddParam(); i != 0 {
+		t.Fatalf("first AddParam index = %d, want 0", i)
+	}
+	b.AddVar(0)
+	p := b.Finish(db, 1).detach()
+	if p.NumParams() != 1 {
+		t.Fatalf("NumParams = %d, want 1", p.NumParams())
+	}
+
+	var st ExecState
+	if _, err := db.ExecPlan(p, &st, EvalOptions{}); err == nil {
+		t.Fatal("execution without params must fail")
+	}
+	for _, tc := range []struct{ user, city string }{{"ann", "Paris"}, {"bob", "Rome"}} {
+		st.SetParams([]string{tc.user})
+		n, err := db.ExecPlan(p, &st, EvalOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 1 || st.Row(0)[0] != tc.city {
+			t.Fatalf("param %q: %d rows, row %v; want city %s", tc.user, n, st.Row(0), tc.city)
+		}
+	}
+}

@@ -68,10 +68,11 @@ func (db *DB) ReadSnapshot(r io.Reader) error {
 			return fmt.Errorf("memdb: snapshot table %s has no columns", ts.Name)
 		}
 		t := &Table{
-			name:    ts.Name,
-			cols:    append([]string(nil), ts.Cols...),
-			rows:    ts.Rows,
-			indexes: make(map[int]map[string][]int),
+			name:     ts.Name,
+			cols:     append([]string(nil), ts.Cols...),
+			rows:     ts.Rows,
+			indexes:  make(map[int]map[string][]int),
+			planRows: len(ts.Rows),
 		}
 		for _, r := range t.rows {
 			if len(r) != len(t.cols) {
@@ -87,6 +88,7 @@ func (db *DB) ReadSnapshot(r io.Reader) error {
 		}
 		db.tables[ts.Name] = t
 	}
+	db.statsEpoch.Add(1)
 	return nil
 }
 

@@ -67,7 +67,7 @@ func (c *Client) readLoop() {
 			continue
 		}
 		switch resp.Type {
-		case "ack", "error", "batch":
+		case "ack", "error", "batch", "prepared":
 			c.acks <- resp
 		case "stats":
 			c.stats <- resp
@@ -210,6 +210,57 @@ func (c *Client) submitMany(req Request) ([]BatchHandle, error) {
 // SubmitIR submits a query in IR text syntax.
 func (c *Client) SubmitIR(irText string) (ir.QueryID, <-chan Response, error) {
 	return c.submit(Request{Op: "ir", IR: irText})
+}
+
+// ClientStmt is a server-side prepared statement bound to this connection.
+type ClientStmt struct {
+	c      *Client
+	id     int
+	params int
+}
+
+// NumParams returns the number of placeholder bindings Execute expects.
+func (s *ClientStmt) NumParams() int { return s.params }
+
+// prepare performs the prepare request/reply exchange for an SQL or IR
+// template (exactly one set).
+func (c *Client) prepare(req Request) (*ClientStmt, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("server client: closed")
+	}
+	c.mu.Unlock()
+	c.reqMu.Lock()
+	defer c.reqMu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return nil, err
+	}
+	ack, ok := <-c.acks
+	if !ok {
+		return nil, fmt.Errorf("server client: connection closed")
+	}
+	if ack.Type == "error" {
+		return nil, fmt.Errorf("server: %s", ack.Error)
+	}
+	return &ClientStmt{c: c, id: ack.Stmt, params: ack.Params}, nil
+}
+
+// PrepareSQL prepares an entangled-SQL template on the server; placeholders
+// appear as quoted '$1'..'$K' literals.
+func (c *Client) PrepareSQL(sql string) (*ClientStmt, error) {
+	return c.prepare(Request{Op: "prepare", SQL: sql})
+}
+
+// PrepareIR prepares an IR-text template on the server.
+func (c *Client) PrepareIR(irText string) (*ClientStmt, error) {
+	return c.prepare(Request{Op: "prepare", IR: irText})
+}
+
+// Execute binds the statement's placeholders and submits it; the returned
+// channel receives the query's single terminal result.
+func (s *ClientStmt) Execute(bindings ...string) (ir.QueryID, <-chan Response, error) {
+	return s.c.submit(Request{Op: "execute", Stmt: s.id, Bindings: bindings})
 }
 
 // Load runs a DDL/DML script (memdb.ExecScript syntax) on the server's

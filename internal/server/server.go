@@ -11,6 +11,11 @@
 //	                                                      submit many queries in one engine batch
 //	                 {"op":"submit_bulk","queries":[…],"defer_flush":true}
 //	                                                      unordered bulk load (set-at-a-time per batch)
+//	                 {"op":"prepare","sql":"SELECT …"}    prepare a statement template
+//	                 {"op":"prepare","ir":"{R(J,x)} R('$1',x) :- F(x,'$2')"}
+//	                                                      … or from IR text
+//	                 {"op":"execute","stmt":3,"bindings":["Karl","Paris"]}
+//	                                                      submit a prepared statement
 //	                 {"op":"load","sql":"CREATE TABLE …"} run a DDL/DML script
 //	                 {"op":"flush"}                       force a set-at-a-time round
 //	                 {"op":"stats"}                       engine counters
@@ -18,6 +23,8 @@
 //	                 {"type":"error","error":"…"}         submission failed
 //	                 {"type":"batch","items":[{"id":7},{"error":"…"}]}
 //	                                                      per-query batch outcome, in input order
+//	                 {"type":"prepared","stmt":3,"params":2}
+//	                                                      statement prepared; params counts its placeholders
 //	                 {"type":"result","id":7,"status":"answered","tuples":["R(K, 122)"]}
 //	                 {"type":"stats","stats":{…}}
 //
@@ -33,6 +40,15 @@
 // and coordinated set-at-a-time (no per-query incremental evaluation; see
 // Engine.SubmitBulk for the ordering caveat). defer_flush skips the
 // coordination round after ingest.
+//
+// prepare parses and validates a query template once — entangled SQL or IR
+// text, with placeholders written as quoted '$1'..'$K' literals — and
+// returns a connection-scoped statement id plus the placeholder count.
+// execute binds the placeholders ("bindings", in order) and submits the
+// resulting query exactly like sql/ir: an ack with the engine-assigned id,
+// then the single result message. Statement ids are per connection and
+// released when it closes. Repeated executes of one statement share a
+// plan-cache shape, so the combined query compiles at most once server-side.
 package server
 
 import (
@@ -55,6 +71,11 @@ type Request struct {
 	// DeferFlush (submit_bulk only) skips the coordination round after the
 	// bulk ingest; closed components wait for the next flush.
 	DeferFlush bool `json:"defer_flush,omitempty"`
+	// Stmt names a prepared statement (execute only; connection-scoped id
+	// from a prior prepare reply). Bindings are its placeholder values, in
+	// $1..$K order.
+	Stmt     int      `json:"stmt,omitempty"`
+	Bindings []string `json:"bindings,omitempty"`
 }
 
 // BatchQuery is one query of a submit_batch request: entangled SQL or IR
@@ -80,6 +101,10 @@ type Response struct {
 	Error  string        `json:"error,omitempty"`
 	Stats  *engine.Stats `json:"stats,omitempty"`
 	Items  []BatchItem   `json:"items,omitempty"` // batch reply, in input order
+	// Stmt and Params carry a prepare reply ("prepared"): the
+	// connection-scoped statement id and its placeholder count.
+	Stmt   int `json:"stmt,omitempty"`
+	Params int `json:"params,omitempty"`
 }
 
 // Server serves a D3C engine over a listener.
@@ -90,6 +115,10 @@ type Server struct {
 	conns map[net.Conn]struct{}
 	done  chan struct{}
 	once  sync.Once
+	// wg tracks every connection handler and result-forwarding goroutine, so
+	// Shutdown can wait for them instead of leaking forwarders blocked on
+	// queries that will never resolve (their select exits on done).
+	wg sync.WaitGroup
 }
 
 // New returns a server for the given engine.
@@ -111,21 +140,37 @@ func (s *Server) Serve(l net.Listener) error {
 			}
 		}
 		s.mu.Lock()
+		select {
+		case <-s.done:
+			// Shutdown already swept the conns map; don't admit a straggler
+			// it would never close.
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		default:
+		}
 		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
 		s.mu.Unlock()
-		go s.handle(conn)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
 	}
 }
 
-// Shutdown closes all client connections. The caller should also close the
-// listener passed to Serve.
+// Shutdown closes all client connections and waits for their handlers and
+// in-flight result forwarders to finish. Forwarders waiting on queries that
+// will never resolve (pending coordination) exit via the done channel rather
+// than leaking. The caller should also close the listener passed to Serve.
 func (s *Server) Shutdown() {
 	s.once.Do(func() { close(s.done) })
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	for c := range s.conns {
 		c.Close()
 	}
+	s.mu.Unlock()
+	s.wg.Wait()
 }
 
 func (s *Server) handle(conn net.Conn) {
@@ -148,6 +193,35 @@ func (s *Server) handle(conn net.Conn) {
 		return err
 	}
 
+	// forward streams a handle's single result back to the client. It runs
+	// as a tracked goroutine and gives up on server shutdown: a query still
+	// pending then will never resolve (the engine closes after the server),
+	// and a forwarder blocked on it would leak past Shutdown.
+	forward := func(h *engine.Handle) {
+		defer s.wg.Done()
+		select {
+		case r := <-h.Done():
+			resp := Response{Type: "result", ID: r.QueryID, Status: r.Status.String(), Detail: r.Detail}
+			if r.Answer != nil {
+				for _, tpl := range r.Answer.Tuples {
+					resp.Tuples = append(resp.Tuples, tpl.String())
+				}
+			}
+			write(resp)
+		case <-s.done:
+		}
+	}
+	spawn := func(h *engine.Handle) {
+		s.wg.Add(1)
+		go forward(h)
+	}
+
+	// Prepared statements are connection-scoped: only this handler touches
+	// the table, so it needs no lock, and the statements die with the
+	// connection.
+	stmts := make(map[int]*engine.Stmt)
+	nextStmt := 0
+
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	for sc.Scan() {
@@ -159,17 +233,6 @@ func (s *Server) handle(conn net.Conn) {
 		if err := json.Unmarshal(line, &req); err != nil {
 			write(Response{Type: "error", Error: fmt.Sprintf("bad request: %v", err)})
 			continue
-		}
-		// forward streams a handle's single result back to the client.
-		forward := func(h *engine.Handle) {
-			r := <-h.Done()
-			resp := Response{Type: "result", ID: r.QueryID, Status: r.Status.String(), Detail: r.Detail}
-			if r.Answer != nil {
-				for _, tpl := range r.Answer.Tuples {
-					resp.Tuples = append(resp.Tuples, tpl.String())
-				}
-			}
-			write(resp)
 		}
 		switch req.Op {
 		case "sql", "ir":
@@ -191,7 +254,44 @@ func (s *Server) handle(conn net.Conn) {
 			if err := write(Response{Type: "ack", ID: h.ID}); err != nil {
 				return
 			}
-			go forward(h)
+			spawn(h)
+		case "prepare":
+			var st *engine.Stmt
+			var err error
+			switch {
+			case req.SQL != "":
+				st, err = s.Engine.PrepareSQL(req.SQL)
+			case req.IR != "":
+				var q *ir.Query
+				q, err = ir.Parse(0, req.IR)
+				if err == nil {
+					st, err = s.Engine.Prepare(q)
+				}
+			default:
+				err = fmt.Errorf("prepare: neither sql nor ir set")
+			}
+			if err != nil {
+				write(Response{Type: "error", Error: err.Error()})
+				continue
+			}
+			nextStmt++
+			stmts[nextStmt] = st
+			write(Response{Type: "prepared", Stmt: nextStmt, Params: st.NumParams()})
+		case "execute":
+			st, ok := stmts[req.Stmt]
+			if !ok {
+				write(Response{Type: "error", Error: fmt.Sprintf("execute: unknown statement %d", req.Stmt)})
+				continue
+			}
+			h, err := st.Submit(req.Bindings...)
+			if err != nil {
+				write(Response{Type: "error", Error: err.Error()})
+				continue
+			}
+			if err := write(Response{Type: "ack", ID: h.ID}); err != nil {
+				return
+			}
+			spawn(h)
 		case "submit_batch", "submit_bulk":
 			// Parse every query first so one bad query fails only its own
 			// item; the good ones are admitted through the engine's batched
@@ -239,7 +339,7 @@ func (s *Server) handle(conn net.Conn) {
 				return
 			}
 			for _, h := range handles {
-				go forward(h)
+				spawn(h)
 			}
 		case "load":
 			if err := s.Engine.DB().ExecScript(req.SQL); err != nil {
@@ -256,5 +356,12 @@ func (s *Server) handle(conn net.Conn) {
 		default:
 			write(Response{Type: "error", Error: fmt.Sprintf("unknown op %q", req.Op)})
 		}
+	}
+	// A scan that stops on a read error — most notably a request line over
+	// the 1 MB buffer limit — would otherwise drop the connection silently,
+	// leaving the client's pending request/reply exchange hung. Tell the
+	// client why before closing (best effort: the conn may already be gone).
+	if err := sc.Err(); err != nil {
+		write(Response{Type: "error", Error: fmt.Sprintf("read: %v", err)})
 	}
 }

@@ -1,0 +1,73 @@
+package entangle
+
+import (
+	"context"
+
+	"entangle/internal/engine"
+	"entangle/internal/ir"
+)
+
+// Stmt is a prepared entangled-query template. Constant positions in the
+// template may name placeholders $1..$K (written quoted, '$1', in the IR and
+// SQL text syntaxes); Submit binds them and enqueues the resulting query.
+// Preparing amortises parsing and validation across submissions, and every
+// submission of a statement shares one plan-cache shape: the combined query
+// of a coordinated component compiles once and repeats execute the cached
+// plan (see WithPlanCacheSize). A Stmt is immutable and safe for concurrent
+// use.
+type Stmt struct {
+	st *engine.Stmt
+}
+
+// NumParams returns the number of placeholder bindings Submit expects.
+func (s *Stmt) NumParams() int { return s.st.NumParams() }
+
+// Submit binds the template's placeholders to the given constants and
+// enqueues the resulting query. len(bindings) must equal NumParams. The
+// context gates admission only, as in System.Submit.
+func (s *Stmt) Submit(ctx context.Context, bindings ...string) (*Handle, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	h, err := s.st.Submit(bindings...)
+	if err != nil {
+		return nil, wrapSubmitErr(err)
+	}
+	return newHandle(h), nil
+}
+
+// Prepare validates an IR query template and returns a reusable prepared
+// statement. The template is deep-copied; the caller keeps ownership of q.
+func (s *System) Prepare(ctx context.Context, q *ir.Query) (*Stmt, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	st, err := s.eng.Prepare(q)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{st: st}, nil
+}
+
+// PrepareSQL parses an entangled-SQL template against the system's schema
+// and prepares it. Placeholders appear as quoted literals ('$1').
+func (s *System) PrepareSQL(ctx context.Context, sql string) (*Stmt, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	st, err := s.eng.PrepareSQL(sql)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{st: st}, nil
+}
+
+// PrepareIR parses a query template in the IR text syntax ({C} H :- B) and
+// prepares it.
+func (s *System) PrepareIR(ctx context.Context, irText string) (*Stmt, error) {
+	q, err := ir.Parse(0, irText)
+	if err != nil {
+		return nil, err
+	}
+	return s.Prepare(ctx, q)
+}

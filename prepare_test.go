@@ -1,0 +1,100 @@
+package entangle
+
+import (
+	"context"
+	"testing"
+)
+
+func TestPreparedStatementFlow(t *testing.T) {
+	ctx := context.Background()
+	sys := flightsSystem(t)
+
+	st, err := sys.PrepareIR(ctx, "{R('$2', x)} R('$1', x) :- Flights(x, '$3')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumParams() != 3 {
+		t.Fatalf("NumParams = %d, want 3", st.NumParams())
+	}
+
+	// Two submissions of the same template coordinate like hand-written
+	// queries — and land on one cached plan shape.
+	h1, err := st.Submit(ctx, "Kramer", "Jerry", "Paris")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := st.Submit(ctx, "Jerry", "Kramer", "Paris")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := h1.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := h2.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Err() != nil || r2.Err() != nil {
+		t.Fatalf("errs %v/%v", r1.Err(), r2.Err())
+	}
+	if r1.Answer.Tuples[0].Args[1].Value != r2.Answer.Tuples[0].Args[1].Value {
+		t.Fatal("not coordinated")
+	}
+
+	// Rebinding with different constants reuses the shape: a second pair on
+	// Rome must not compile a new plan (PlanMisses stays flat).
+	misses := sys.Stats().PlanMisses
+	h3, err := st.Submit(ctx, "A", "B", "Rome")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h4, err := st.Submit(ctx, "B", "A", "Rome")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, err := h3.Wait(ctx); err != nil || r.Err() != nil {
+		t.Fatalf("r3: %v %v", err, r.Err())
+	}
+	if r, err := h4.Wait(ctx); err != nil || r.Err() != nil {
+		t.Fatalf("r4: %v %v", err, r.Err())
+	}
+	if got := sys.Stats().PlanMisses; got != misses {
+		t.Fatalf("PlanMisses %d -> %d: repeat shape must be a cache hit", misses, got)
+	}
+
+	if _, err := st.Submit(ctx, "only-one"); err == nil {
+		t.Fatal("binding-count mismatch must be rejected")
+	}
+	if _, err := sys.PrepareIR(ctx, "{R(J, x)} R('$2', x) :- Flights(x, Paris)"); err == nil {
+		t.Fatal("gapped placeholders must fail Prepare")
+	}
+}
+
+func TestPrepareSQLPlaceholders(t *testing.T) {
+	ctx := context.Background()
+	sys := flightsSystem(t)
+	st, err := sys.PrepareSQL(ctx, `SELECT '$1', fno INTO ANSWER R
+WHERE fno IN (SELECT fno FROM Flights WHERE dest='$3')
+AND ('$2', fno) IN ANSWER R CHOOSE 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumParams() != 3 {
+		t.Fatalf("NumParams = %d, want 3", st.NumParams())
+	}
+	h1, err := st.Submit(ctx, "Kramer", "Jerry", "Paris")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := st.Submit(ctx, "Jerry", "Kramer", "Paris")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, err := h1.Wait(ctx); err != nil || r.Err() != nil {
+		t.Fatalf("r1: %v %v", err, r.Err())
+	}
+	if r, err := h2.Wait(ctx); err != nil || r.Err() != nil {
+		t.Fatalf("r2: %v %v", err, r.Err())
+	}
+}
