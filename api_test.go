@@ -16,7 +16,10 @@ import (
 
 func flightsSystem(t testing.TB, opts ...Option) *System {
 	t.Helper()
-	sys := Open(opts...)
+	sys, err := Open(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(sys.Close)
 	sys.MustCreateTable("Flights", "fno", "dest")
 	sys.MustCreateTable("F", "fno", "dest")
@@ -242,7 +245,10 @@ func TestSubmitBatchMatchesSingles(t *testing.T) {
 		qs := gen.Interleave(gen.TwoWayBest(g.FriendPairs(60, 9)))
 
 		run := func(batched bool) Stats {
-			sys := Open(WithMode(mode), WithShards(4), WithSeed(9))
+			sys, err := Open(WithMode(mode), WithShards(4), WithSeed(9))
+			if err != nil {
+				t.Fatal(err)
+			}
 			defer sys.Close()
 			if err := workload.PopulateDB(sys.DB(), g); err != nil {
 				t.Fatal(err)

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	d3cbench [-experiment all|fig6|fig7|fig8|fig9|ablations|sharding|batching|arrival]
+//	d3cbench [-experiment all|fig6|fig7|fig8|fig9|ablations|sharding|batching|arrival|durability]
 //	         [-users 82168] [-scale 1.0] [-seed 42] [-shards 8] [-workers 8]
 //	         [-batch 64] [-json path]
 //
@@ -19,8 +19,13 @@
 // Submit, SubmitBatch, and the unordered SubmitBulk load path — timing the
 // submission phase only (median of 5 reps), with identical answered counts
 // enforced.
+// -experiment durability measures the write-ahead log's overhead on the
+// closing arrival path across fsync policies (no WAL at all, Off, Batch,
+// Sync); the no-WAL and Off rows carry pinned alloc budgets, the Batch and
+// Sync rows report honest wall-clock overhead only.
 // -json writes every series the run produced as a machine-readable report,
-// the format checked in as BENCH_arrival.json / BENCH_batching.json.
+// the format checked in as BENCH_arrival.json / BENCH_batching.json /
+// BENCH_durability.json.
 package main
 
 import (
@@ -35,7 +40,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment: all, fig6, fig7, fig8, fig9, ablations, sharding, batching, arrival")
+		experiment = flag.String("experiment", "all", "which experiment: all, fig6, fig7, fig8, fig9, ablations, sharding, batching, arrival, durability")
 		users      = flag.Int("users", 82168, "social graph size (paper: 82168)")
 		scale      = flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper sizes up to 100k queries)")
 		seed       = flag.Int64("seed", 42, "deterministic seed")
@@ -170,6 +175,20 @@ func main() {
 		}
 		emit(
 			fmt.Sprintf("Arrival — incremental per-arrival latency and allocations, closing vs non-closing (%d shards)", *shards), rows)
+		return nil
+	})
+
+	run("durability", func() error {
+		n := int(10000 * *scale)
+		if n < 60 {
+			n = 60
+		}
+		rows, err := env.DurabilityExperiment(n, 1)
+		if err != nil {
+			return err
+		}
+		emit(
+			fmt.Sprintf("Durability — WAL overhead on the closing arrival path, %d queries (1 shard; none/off alloc-gated, batch/sync latency only)", n), rows)
 		return nil
 	})
 

@@ -11,7 +11,8 @@
 //	.prepare q         prepare an IR template ('$1'..'$K' placeholders)
 //	.exec N v1; v2; …  execute prepared statement N with bindings
 //	.flush             force a set-at-a-time round
-//	.stats             print engine counters
+//	.checkpoint        durably checkpoint the server's engine (durable servers)
+//	.stats             print engine counters (plus WAL counters on durable servers)
 //	.quit              exit
 //
 // Usage: d3cctl [-addr localhost:7070]
@@ -161,7 +162,7 @@ func main() {
 		case line == ".help":
 			fmt.Println("IR query:  {R(Jerry, x)} R(Kramer, x) :- Flights(x, Paris)")
 			fmt.Println("SQL query: SELECT 'Kramer', fno INTO ANSWER R WHERE … CHOOSE 1 (multiline; ends at CHOOSE or blank line)")
-			fmt.Println("commands:  .load <ddl/dml statements;…>  .batch <ir; ir; …>  .bulk <ir; ir; …>  .prepare <template>  .exec <N> <v1; v2; …>  .flush  .stats  .quit")
+			fmt.Println("commands:  .load <ddl/dml statements;…>  .batch <ir; ir; …>  .bulk <ir; ir; …>  .prepare <template>  .exec <N> <v1; v2; …>  .flush  .checkpoint  .stats  .quit")
 		case strings.HasPrefix(line, ".prepare "):
 			prepare(strings.TrimPrefix(line, ".prepare "))
 		case strings.HasPrefix(line, ".exec "):
@@ -184,6 +185,12 @@ func main() {
 			} else {
 				fmt.Println("flushed")
 			}
+		case line == ".checkpoint":
+			if err := c.Checkpoint(); err != nil {
+				fmt.Printf("error: %v\n", err)
+			} else {
+				fmt.Println("checkpointed")
+			}
 		case line == ".stats":
 			st, err := c.Stats()
 			if err != nil {
@@ -194,6 +201,10 @@ func main() {
 					s.Submitted, s.Answered, s.Rejected, s.RejectedUnsafe, s.ExpiredStale, s.Pending, s.Flushes,
 					s.RouterPasses, s.SubmitLocks, s.BulkLoads, s.BulkFlushes, s.FamiliesRetired,
 					s.PlanHits, s.PlanMisses, s.PlanEvictions)
+				if w := s.WAL; w != nil {
+					fmt.Printf("  wal: records=%d bytes=%d fsyncs=%d checkpoints=%d last-checkpoint-age-ms=%d append-errors=%d checkpoint-errors=%d\n",
+						w.Records, w.Bytes, w.Fsyncs, w.Checkpoints, w.LastCheckpointAgeMS, w.AppendErrors, w.CheckpointErrors)
+				}
 				for i, sh := range s.PerShard {
 					fmt.Printf("  shard %d: submitted=%d answered=%d rejected=%d unsafe=%d stale=%d pending=%d flushes=%d\n",
 						i, sh.Submitted, sh.Answered, sh.Rejected, sh.RejectedUnsafe, sh.ExpiredStale, sh.Pending, sh.Flushes)

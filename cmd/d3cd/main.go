@@ -6,6 +6,13 @@
 //
 //	d3cd [-addr :7070] [-mode incremental|setatatime] [-stale 30s]
 //	     [-flush-every 0] [-flush-interval 100ms] [-social N]
+//	     [-data-dir DIR] [-durability off|batch|sync] [-checkpoint-every 1m]
+//
+// With -data-dir the server runs durably: every externally visible engine
+// transition is written ahead to a WAL in DIR, periodic checkpoints bound
+// the log, and a restart recovers the database and still-pending queries
+// deterministically (see the root package's Durability docs). -durability
+// picks the fsync policy; a clean shutdown always ends with a checkpoint.
 //
 // With -social N the server preloads the flight-booking social substrate
 // (Friends/User tables over an N-user synthetic social graph) so clients
@@ -41,8 +48,14 @@ func main() {
 		social        = flag.Int("social", 0, "preload a synthetic social graph with this many users (0 = empty database)")
 		seed          = flag.Int64("seed", 42, "seed for the social graph and CHOOSE 1 randomness")
 		dbFile        = flag.String("db", "", "database snapshot file: loaded on start if present, saved on shutdown")
+		dataDir       = flag.String("data-dir", "", "durability directory (WAL + checkpoints); enables crash recovery")
+		durability    = flag.String("durability", "batch", "WAL fsync policy with -data-dir: off, batch or sync")
+		ckptEvery     = flag.Duration("checkpoint-every", time.Minute, "checkpoint interval with -data-dir (<0 = only on shutdown)")
 	)
 	flag.Parse()
+	if *dataDir != "" && *dbFile != "" {
+		log.Fatal("d3cd: -db and -data-dir are mutually exclusive (the data directory already snapshots the database)")
+	}
 
 	var m entangle.Mode
 	switch strings.ToLower(*mode) {
@@ -54,14 +67,40 @@ func main() {
 		log.Fatalf("d3cd: unknown mode %q", *mode)
 	}
 
-	sys := entangle.Open(
+	opts := []entangle.Option{
 		entangle.WithMode(m),
 		entangle.WithShards(*shards),
 		entangle.WithStaleAfter(*stale),
 		entangle.WithFlushEvery(*flushEvery),
 		entangle.WithFlushInterval(*flushInterval),
 		entangle.WithSeed(*seed),
-	)
+	}
+	if *dataDir != "" {
+		var pol entangle.Durability
+		switch strings.ToLower(*durability) {
+		case "off":
+			pol = entangle.DurabilityOff
+		case "batch":
+			pol = entangle.DurabilityBatch
+		case "sync":
+			pol = entangle.DurabilitySync
+		default:
+			log.Fatalf("d3cd: unknown durability policy %q", *durability)
+		}
+		opts = append(opts,
+			entangle.WithDataDir(*dataDir),
+			entangle.WithDurability(pol),
+			entangle.WithCheckpointEvery(*ckptEvery),
+		)
+	}
+	sys, err := entangle.Open(opts...)
+	if err != nil {
+		log.Fatalf("d3cd: %v", err)
+	}
+	if *dataDir != "" {
+		rec := sys.Engine().Recovered()
+		log.Printf("d3cd: durable in %s (policy %s), recovered %d pending queries", *dataDir, strings.ToLower(*durability), len(rec))
+	}
 	db := sys.DB()
 	if *dbFile != "" {
 		if _, err := os.Stat(*dbFile); err == nil {

@@ -12,7 +12,8 @@
 // internal engine. Open a System, load data, submit entangled queries, and
 // wait for coordinated answers:
 //
-//	sys := entangle.Open(entangle.WithSeed(42))
+//	sys, err := entangle.Open(entangle.WithSeed(42))
+//	if err != nil { … }
 //	defer sys.Close()
 //	sys.MustCreateTable("Flights", "fno", "dest")
 //	sys.MustInsert("Flights", "122", "Paris")
@@ -36,7 +37,17 @@
 // Prepare/PrepareSQL/PrepareIR compile-check a template whose constants may
 // be '$1'…'$K' placeholders, and Stmt.Submit(ctx, bindings...) submits one
 // instance per binding set — every instance shares one cached evaluation
-// plan (see "Prepared statements" in README.md). Failures are typed:
+// plan (see "Prepared statements" in README.md).
+//
+// WithDataDir makes the system durable: admissions, results, expiries and
+// DDL are written ahead to a CRC-framed log (fsync policy per
+// WithDurability: Off, Batch group-commit, or Sync), periodic checkpoints
+// (WithCheckpointEvery, driven by Run) bound the log, and Open recovers by
+// deterministic replay — the database is rebuilt from the checkpoint,
+// still-pending queries are re-admitted in original ID order, and
+// already-delivered results are not re-delivered, so a recovered System is
+// observationally equivalent to one that never crashed (see "Durability"
+// in README.md). Failures are typed:
 // errors.Is(err, ErrClosed) after Close,
 // errors.Is(res.Err(), ErrStale / ErrUnsafe / ErrRejected) on non-answered
 // results, and errors.As(err, **ParseError) for syntax errors with offsets.
@@ -58,6 +69,8 @@
 //     with single, batched and prepared submission ops;
 //   - internal/memdb — the in-memory conjunctive-query database substrate,
 //     with compiled evaluation plans and the shape-keyed plan cache;
+//   - internal/wal — the write-ahead log and checkpoint store behind
+//     WithDataDir (record framing, group commit, deterministic recovery);
 //   - internal/workload, internal/bench — the paper's experimental
 //     workloads and the harness regenerating every evaluation figure;
 //   - internal/csp — the general NP-complete baseline (Theorem 2.1);

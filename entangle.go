@@ -3,6 +3,7 @@ package entangle
 import (
 	"context"
 	"errors"
+	"strings"
 	"time"
 
 	"entangle/internal/engine"
@@ -41,6 +42,23 @@ const (
 // Stats are cumulative engine counters; see engine.Stats for field
 // semantics (PerShard, Flushes, RouterPasses, …).
 type Stats = engine.Stats
+
+// Durability is the write-ahead log's fsync policy (see WithDurability).
+type Durability = engine.Durability
+
+// WAL fsync policies for WithDurability.
+const (
+	// DurabilityOff buffers log appends and flushes them to the OS on a
+	// background cadence without ever calling fsync: near-zero overhead on
+	// the arrival path; a crash loses at most the unflushed tail.
+	DurabilityOff = engine.DurabilityOff
+	// DurabilityBatch group-commits on the background cadence: one fsync
+	// amortises over every append in the window (bounded loss).
+	DurabilityBatch = engine.DurabilityBatch
+	// DurabilitySync fsyncs before each submission returns, with group
+	// commit — concurrent submitters share one fsync (no loss).
+	DurabilitySync = engine.DurabilitySync
+)
 
 // Query is an entangled query in the {C} H :- B intermediate
 // representation; build one with ParseIR / MustParseIR or via
@@ -110,6 +128,28 @@ func WithHistory(n int) Option { return func(c *config) { c.engine.HistorySize =
 // capacity (512); a negative n disables caching.
 func WithPlanCacheSize(n int) Option { return func(c *config) { c.engine.PlanCacheSize = n } }
 
+// WithDataDir enables durability: every externally visible engine
+// transition (admissions, deliveries, expiries, DDL) is write-ahead logged
+// to dir, periodic checkpoints snapshot the database and pending set, and
+// Open recovers deterministically from whatever the directory holds — a
+// recovered System is observationally equivalent to one that never
+// crashed. Data loading on a durable System must go through Load /
+// MustCreateTable / MustInsert (they register with the log); writing to
+// DB() directly bypasses durability.
+func WithDataDir(dir string) Option { return func(c *config) { c.engine.DataDir = dir } }
+
+// WithDurability selects the WAL fsync policy (default DurabilityOff);
+// meaningful only together with WithDataDir.
+func WithDurability(d Durability) Option { return func(c *config) { c.engine.Durability = d } }
+
+// WithCheckpointEvery sets the periodic-checkpoint cadence driven by Run's
+// ticker (default 1 minute; negative disables periodic checkpoints).
+// Checkpoints pause the engine briefly (they quiesce all operations to
+// capture a consistent cut) and truncate the log behind themselves.
+func WithCheckpointEvery(d time.Duration) Option {
+	return func(c *config) { c.engine.CheckpointEvery = d }
+}
+
 // System is the top-level façade of the entangled-queries library: a
 // database substrate plus an asynchronous coordination engine, wired to the
 // entangled-SQL front end, the matching algorithm, and the Section 6
@@ -120,17 +160,26 @@ type System struct {
 	cfg config
 }
 
-// Open creates an empty System.
+// Open creates a System.
 //
-//	sys := entangle.Open(entangle.WithSeed(42))
+//	sys, err := entangle.Open(entangle.WithSeed(42))
 //	defer sys.Close()
-func Open(opts ...Option) *System {
+//
+// Without WithDataDir the System starts empty and the error is always nil.
+// With WithDataDir, Open recovers the database and the pending query set
+// from the directory's checkpoint and write-ahead log (see WithDataDir);
+// recovered pending queries are reachable through Engine().Recovered().
+func Open(opts ...Option) (*System, error) {
 	var cfg config
 	for _, o := range opts {
 		o(&cfg)
 	}
 	db := memdb.New()
-	return &System{db: db, eng: engine.New(db, cfg.engine), cfg: cfg}
+	eng, err := engine.Open(db, cfg.engine)
+	if err != nil {
+		return nil, err
+	}
+	return &System{db: db, eng: eng, cfg: cfg}, nil
 }
 
 // DB exposes the underlying database for data loading and inspection.
@@ -140,18 +189,66 @@ func (s *System) DB() *memdb.DB { return s.db }
 func (s *System) Engine() *engine.Engine { return s.eng }
 
 // MustCreateTable creates a database table, panicking on error (setup code).
+// On a durable System the statement is registered with the write-ahead log
+// so recovery replays it.
 func (s *System) MustCreateTable(name string, cols ...string) {
-	s.db.MustCreateTable(name, cols...)
+	if !s.durable() {
+		s.db.MustCreateTable(name, cols...)
+		return
+	}
+	var b strings.Builder
+	b.WriteString("CREATE TABLE ")
+	b.WriteString(name)
+	b.WriteString(" (")
+	b.WriteString(strings.Join(cols, ", "))
+	b.WriteString(");")
+	if err := s.Load(b.String()); err != nil {
+		panic(err)
+	}
 }
 
-// MustInsert inserts a row, panicking on error (setup code).
+// MustInsert inserts a row, panicking on error (setup code). On a durable
+// System the statement is registered with the write-ahead log so recovery
+// replays it.
 func (s *System) MustInsert(table string, values ...string) {
-	s.db.MustInsert(table, values...)
+	if !s.durable() {
+		s.db.MustInsert(table, values...)
+		return
+	}
+	var b strings.Builder
+	b.WriteString("INSERT INTO ")
+	b.WriteString(table)
+	b.WriteString(" VALUES (")
+	for i, v := range values {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteByte('\'')
+		b.WriteString(strings.ReplaceAll(v, "'", "''"))
+		b.WriteByte('\'')
+	}
+	b.WriteString(");")
+	if err := s.Load(b.String()); err != nil {
+		panic(err)
+	}
 }
 
-// Load runs a DDL/DML script (CREATE TABLE / INSERT statements separated by
-// semicolons) against the database.
-func (s *System) Load(script string) error { return s.db.ExecScript(script) }
+// Load runs a DDL/DML script (CREATE TABLE / INSERT / CREATE INDEX / DROP
+// TABLE statements separated by semicolons) against the database. On a
+// durable System the script is write-ahead logged and replayed by
+// recovery — always load data through here (or MustCreateTable /
+// MustInsert), never through DB() directly, when WithDataDir is in use.
+func (s *System) Load(script string) error { return s.eng.Load(script) }
+
+// Checkpoint takes an on-demand durability checkpoint: the database and
+// pending set are snapshotted to the data directory and the write-ahead
+// log is truncated behind them. The engine pauses briefly (a checkpoint
+// captures a consistent cut). Returns engine.ErrNotDurable without
+// WithDataDir.
+func (s *System) Checkpoint() error { return s.eng.Checkpoint() }
+
+// durable reports whether this System logs to a data directory.
+func (s *System) durable() bool { return s.cfg.engine.DataDir != "" }
 
 // Submit enqueues an IR query for asynchronous coordinated answering. The
 // context gates admission only: a cancelled context fails the call, but a
@@ -286,8 +383,10 @@ func (s *System) History() ([]Event, int) { return s.eng.History() }
 //	go sys.Run(ctx)
 func (s *System) Run(ctx context.Context) { s.eng.Run(ctx, s.cfg.flushInterval) }
 
-// Close shuts the system down: pending queries fail as stale and future
-// submissions return ErrClosed. Idempotent.
+// Close shuts the system down: pending queries fail as stale (locally —
+// on a durable System a final checkpoint preserves them on disk first, so
+// reopening the data directory re-submits them) and future submissions
+// return ErrClosed. Idempotent.
 func (s *System) Close() { s.eng.Close() }
 
 // Coordinate answers a batch of IR queries synchronously (the set-at-a-time

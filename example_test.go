@@ -11,7 +11,7 @@ import (
 // on a United flight to Paris through entangled SQL.
 func Example() {
 	ctx := context.Background()
-	sys := entangle.Open()
+	sys, _ := entangle.Open()
 	defer sys.Close()
 	sys.MustCreateTable("Flights", "fno", "dest")
 	sys.MustCreateTable("Airlines", "fno", "airline")
@@ -39,7 +39,7 @@ AND ('Kramer', fno) IN ANSWER Reservation CHOOSE 1`)
 // as a submission syntax: {postconditions} heads :- body.
 func ExampleSystem_SubmitIR() {
 	ctx := context.Background()
-	sys := entangle.Open()
+	sys, _ := entangle.Open()
 	defer sys.Close()
 	sys.MustCreateTable("Courses", "cid", "slot")
 	sys.MustInsert("Courses", "CS4320", "morning")
@@ -57,7 +57,7 @@ func ExampleSystem_SubmitIR() {
 // submitting them one at a time.
 func ExampleSystem_SubmitBatch() {
 	ctx := context.Background()
-	sys := entangle.Open()
+	sys, _ := entangle.Open()
 	defer sys.Close()
 	sys.MustCreateTable("F", "fno", "dest")
 	sys.MustInsert("F", "136", "Rome")
@@ -78,7 +78,7 @@ func ExampleSystem_SubmitBatch() {
 // ExampleSystem_Coordinate shows synchronous batch coordination
 // (set-at-a-time) and inspection of the outcome.
 func ExampleSystem_Coordinate() {
-	sys := entangle.Open()
+	sys, _ := entangle.Open()
 	defer sys.Close()
 	sys.MustCreateTable("F", "fno", "dest")
 	sys.MustInsert("F", "136", "Rome")

@@ -24,7 +24,10 @@ import (
 
 func main() {
 	ctx := context.Background()
-	sys := entangle.Open(entangle.WithSeed(99))
+	sys, err := entangle.Open(entangle.WithSeed(99))
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer sys.Close()
 
 	// Seats(fno, seatsLeft) — inventory is data, so "has free seats" is

@@ -19,7 +19,10 @@ import (
 )
 
 func main() {
-	sys := entangle.Open()
+	sys, err := entangle.Open()
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer sys.Close()
 
 	// Course catalogue: Courses(cid, topic, slot).

@@ -21,10 +21,13 @@ import (
 
 func main() {
 	ctx := context.Background()
-	sys := entangle.Open(
+	sys, err := entangle.Open(
 		entangle.WithSeed(time.Now().UnixNano()),
 		entangle.WithStaleAfter(time.Second),
 	)
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer sys.Close()
 
 	// Raid instances currently open: Instances(iid, boss, minLevel).

@@ -18,7 +18,10 @@ import (
 
 func main() {
 	ctx := context.Background()
-	sys := entangle.Open(entangle.WithSeed(time.Now().UnixNano()))
+	sys, err := entangle.Open(entangle.WithSeed(time.Now().UnixNano()))
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer sys.Close()
 
 	// The Figure 1 (a) database.

@@ -33,11 +33,14 @@ func main() {
 
 	fmt.Println("building a 2,000-user social substrate…")
 	g := workload.NewGraph(workload.Config{N: 2000, AvgDeg: 12, Seed: 7})
-	sys := entangle.Open(
+	sys, err := entangle.Open(
 		entangle.WithSeed(7),
 		entangle.WithStaleAfter(200*time.Millisecond),
 		entangle.WithFlushInterval(50*time.Millisecond),
 	)
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer sys.Close()
 	if err := workload.PopulateDB(sys.DB(), g); err != nil {
 		log.Fatal(err)

@@ -6,6 +6,7 @@ import (
 
 	"entangle/internal/ir"
 	"entangle/internal/match"
+	"entangle/internal/wal"
 )
 
 // BulkOptions tunes SubmitBulk.
@@ -65,14 +66,29 @@ func (e *Engine) SubmitBulk(qs []*ir.Query, opt BulkOptions) ([]*Handle, error) 
 	items := make([]bulkItem, n)
 	relss := make([][]string, n)
 	handles := make([]*Handle, n)
+	var recs []wal.Record
+	if e.wal != nil {
+		recs = make([]wal.Record, n)
+	}
+	now := e.now()
 	for i, q := range qs {
 		id := ir.QueryID(e.nextID.Add(1))
 		h := &Handle{ID: id, ch: make(chan Result, 1)}
 		relss[i] = coordRels(q)
-		items[i] = bulkItem{renamed: q.RenamedCopy(id), rels: relss[i], handle: h}
+		items[i] = bulkItem{renamed: q.RenamedCopy(id), rels: relss[i], handle: h, at: now}
 		handles[i] = h
+		if e.wal != nil {
+			items[i].src = q.String()
+			recs[i] = wal.AdmitRecord(int64(id), q.Choose, q.Owner, items[i].src, now.UnixNano())
+		}
 	}
-	now := e.now()
+	// One write-ahead append covers the whole bulk, before any item can
+	// become visible to coordination.
+	if e.wal != nil {
+		if err := e.wal.Append(recs...); err != nil {
+			return nil, fmt.Errorf("engine: wal admit: %w", err)
+		}
+	}
 	e.bulkLoads.Add(1)
 
 	// Routing, regrouping and the merge-race retry are the shared
@@ -85,7 +101,7 @@ func (e *Engine) SubmitBulk(qs []*ir.Query, opt BulkOptions) ([]*Handle, error) 
 		for _, i := range idxs {
 			group = append(group, items[i])
 		}
-		if err := s.bulkLoad(group, now); err != nil {
+		if err := s.bulkLoad(group); err != nil {
 			return err // unreachable: IDs are engine-assigned and fresh
 		}
 		if !opt.DeferFlush {
@@ -107,11 +123,16 @@ func (e *Engine) SubmitBulk(qs []*ir.Query, opt BulkOptions) ([]*Handle, error) 
 }
 
 // bulkItem carries one bulk arrival through its shard's set-at-a-time
-// ingest.
+// ingest. at is the item's submission time — SubmitBulk stamps the call
+// time on every item, while crash recovery restores each pending query's
+// ORIGINAL submission time so staleness deadlines survive a restart. src
+// is the original query text for checkpointing (durable engines only).
 type bulkItem struct {
 	renamed *ir.Query
 	rels    []string
 	handle  *Handle
+	at      time.Time
+	src     string
 }
 
 // postFeed identifies one postcondition slot of one query — the unit the
@@ -127,7 +148,7 @@ type postFeed struct {
 // ingested set decides admission, and survivors are registered as pending.
 // No per-query incremental evaluation runs; the component index re-derives
 // each touched component once, at the flush (or probe) that follows.
-func (s *shard) bulkLoad(items []bulkItem, now time.Time) error {
+func (s *shard) bulkLoad(items []bulkItem) error {
 	qs := make([]*ir.Query, len(items))
 	for i, it := range items {
 		qs[i] = it.renamed
@@ -147,13 +168,14 @@ func (s *shard) bulkLoad(items []bulkItem, now time.Time) error {
 			s.g.RemoveQuery(id)
 			s.stats.RejectedUnsafe++
 			s.record(EventUnsafe, id, err.Error())
+			s.eng.logUnsafe(id, err)
 			it.handle.ch <- Result{QueryID: id, Status: StatusUnsafe, Detail: err.Error()}
 			continue
 		}
 		s.checker.AdmitUnchecked(it.renamed)
-		s.pending[id] = &pendingQuery{renamed: it.renamed, rels: it.rels, handle: it.handle, submitted: now}
+		s.pending[id] = &pendingQuery{renamed: it.renamed, rels: it.rels, handle: it.handle, submitted: it.at, src: it.src}
 		if s.eng.cfg.StaleAfter > 0 {
-			s.stale.push(staleItem{at: now, id: id})
+			s.stale.push(staleItem{at: it.at, id: id})
 			s.compactStaleIfNeeded()
 		}
 		s.eng.router.addPending(it.rels[0], 1)

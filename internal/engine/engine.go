@@ -54,6 +54,7 @@ import (
 	"entangle/internal/ir"
 	"entangle/internal/match"
 	"entangle/internal/memdb"
+	"entangle/internal/wal"
 )
 
 // Mode selects when the matching algorithm runs (Section 5.1: "a parameter
@@ -186,6 +187,21 @@ type Config struct {
 	// an always-on trail adds no cross-shard contention; History() merges
 	// the rings by timestamp at read time.
 	HistorySize int
+	// DataDir enables the durability subsystem: a write-ahead log of
+	// admissions/results plus periodic checkpoints in this directory.
+	// Empty disables durability (New ignores it; use Open). See
+	// internal/wal for the on-disk format and recovery semantics.
+	DataDir string
+	// Durability is the WAL fsync policy (wal.Off, wal.Batch, wal.Sync);
+	// meaningful only with DataDir set.
+	Durability wal.Policy
+	// CheckpointEvery is the periodic-checkpoint cadence driven by Run's
+	// ticker; 0 picks the default (1 minute), negative disables periodic
+	// checkpoints (explicit Checkpoint calls and Close still checkpoint).
+	CheckpointEvery time.Duration
+	// WALFlushInterval is the background flush/group-commit cadence for
+	// the Off and Batch policies; 0 picks the default (2ms).
+	WALFlushInterval time.Duration
 }
 
 // Stats are cumulative engine counters. For a sharded engine the top-level
@@ -237,7 +253,25 @@ type Stats struct {
 	PlanMisses    int
 	PlanEvictions int
 
+	// WAL carries the durability subsystem's counters; nil when the engine
+	// was not opened with a data directory.
+	WAL *WALStats `json:"WAL,omitempty"`
+
 	PerShard []Stats `json:"PerShard,omitempty"`
+}
+
+// WALStats are the durability subsystem's counters: log appends, bytes and
+// fsyncs since the process started, checkpoints taken, the age of the last
+// checkpoint, and error counts (append errors mean the log is failed — see
+// the durability section of the package docs).
+type WALStats struct {
+	Records             int64
+	Bytes               int64
+	Fsyncs              int64
+	Checkpoints         int64
+	LastCheckpointAgeMS int64
+	AppendErrors        int64
+	CheckpointErrors    int64
 }
 
 // add accumulates s2 into the aggregate. PerShard is excluded, and so is
@@ -261,6 +295,12 @@ type pendingQuery struct {
 	rels      []string  // coordination signature (routing key)
 	handle    *Handle
 	submitted time.Time
+	// src is the ORIGINAL query's text form (pre-rename), captured only on
+	// durable engines: checkpoints persist it so recovery re-parses and
+	// re-submits the query exactly as first admitted (re-serialising the
+	// renamed copy would stack "q<id>·" variable prefixes on every
+	// crash/recover cycle). Empty when the engine has no WAL.
+	src string
 }
 
 // Engine is the D3C coordination module. Safe for concurrent use: requests
@@ -301,6 +341,24 @@ type Engine struct {
 	// retry if a migration happened mid-pass (the only event that could
 	// double- or zero-count a query across per-shard snapshots).
 	migEpoch atomic.Uint64
+
+	// wal is the durability subsystem (nil for non-durable engines). Set
+	// once by Open before the engine is shared, read without further
+	// synchronisation on the hot paths. Appends happen under lifeMu read
+	// holds; Checkpoint rotates the log under the lifeMu write hold, which
+	// quiesces every appender.
+	wal *wal.Dir
+	// loadMu serialises DDL registration (log append + script execution)
+	// so concurrent Loads replay in their logged order.
+	loadMu sync.Mutex
+	// recoveredBase carries the counter totals of queries resolved before
+	// the last recovery, so Stats stays cumulative across restarts.
+	recoveredBase Stats
+	// recovered holds the handles of pending queries re-submitted by
+	// Open's recovery (nil otherwise); see Recovered.
+	recovered      []*Handle
+	walAppendErrs  atomic.Int64
+	checkpointErrs atomic.Int64
 
 	lifeMu sync.RWMutex // held read by operations, write by Close
 	closed bool         // guarded by lifeMu
@@ -382,6 +440,21 @@ func (e *Engine) Stats() Stats {
 			agg.PlanMisses = int(misses)
 			agg.PlanEvictions = int(evictions)
 		}
+		// Fold in the totals of queries resolved before the last recovery,
+		// so counters stay cumulative across restarts.
+		agg.add(e.recoveredBase)
+		if e.wal != nil {
+			ws := e.wal.Stats()
+			agg.WAL = &WALStats{
+				Records: ws.Records, Bytes: ws.Bytes, Fsyncs: ws.Fsyncs,
+				Checkpoints:      ws.Checkpoints,
+				AppendErrors:     e.walAppendErrs.Load(),
+				CheckpointErrors: e.checkpointErrs.Load(),
+			}
+			if !ws.LastCheckpoint.IsZero() {
+				agg.WAL.LastCheckpointAgeMS = time.Since(ws.LastCheckpoint).Milliseconds()
+			}
+		}
 		return agg
 	}
 }
@@ -406,6 +479,18 @@ func (e *Engine) Submit(q *ir.Query) (*Handle, error) {
 	renamed := q.RenamedCopy(id)
 	h := &Handle{ID: id, ch: make(chan Result, 1)}
 	rels := coordRels(q)
+	now := e.now()
+
+	// Write-ahead: the admission is durable before the query can become
+	// visible to coordination, so no delivered result can ever reference an
+	// unlogged admission. A failed append rejects the submission outright.
+	var src string
+	if e.wal != nil {
+		src = q.String()
+		if err := e.wal.Append(wal.AdmitRecord(int64(id), q.Choose, q.Owner, src, now.UnixNano())); err != nil {
+			return nil, fmt.Errorf("engine: wal admit: %w", err)
+		}
+	}
 
 	for {
 		e.routerPasses.Add(1)
@@ -426,7 +511,7 @@ func (e *Engine) Submit(q *ir.Query) (*Handle, error) {
 			s.mu.Unlock()
 			continue
 		}
-		err := s.submit(renamed, rels, h, e.now())
+		err := s.submit(renamed, rels, h, now, src)
 		s.mu.Unlock()
 		if err != nil {
 			return nil, err
@@ -486,7 +571,16 @@ func (e *Engine) migrateFamily(root string) {
 					dst.adopt(src.evict(id))
 				}
 				if len(ids) > 0 {
-					e.migEpoch.Add(1) // invalidate concurrent Stats passes
+					epoch := e.migEpoch.Add(1) // invalidate concurrent Stats passes
+					if e.wal != nil {
+						// Informational epoch mark: lets offline tooling
+						// correlate the log with the migration counter.
+						// Families re-form from re-submission on recovery, so
+						// a lost mark affects nothing.
+						if err := e.wal.Append(wal.EpochRecord(epoch)); err != nil {
+							e.walAppendErrs.Add(1)
+						}
+					}
 					// Defensive: adoption rediscovers the migrated queries'
 					// edges in the destination graph, so re-check their
 					// components. Today every same-family arrival drains
@@ -554,16 +648,37 @@ func (e *Engine) SubmitBatch(qs []*ir.Query) ([]*Handle, error) {
 	renamed := make([]*ir.Query, n)
 	relss := make([][]string, n)
 	handles := make([]*Handle, n)
+	var srcs []string
+	var recs []wal.Record
+	if e.wal != nil {
+		srcs = make([]string, n)
+		recs = make([]wal.Record, n)
+	}
+	now := e.now()
 	for i, q := range qs {
 		id := ir.QueryID(e.nextID.Add(1))
 		renamed[i] = q.RenamedCopy(id)
 		relss[i] = coordRels(q)
 		handles[i] = &Handle{ID: id, ch: make(chan Result, 1)}
+		if e.wal != nil {
+			srcs[i] = q.String()
+			recs[i] = wal.AdmitRecord(int64(id), q.Choose, q.Owner, srcs[i], now.UnixNano())
+		}
 	}
-	now := e.now()
+	// One append for the whole batch: the write-ahead cost amortises the
+	// same way the batch's router pass and shard locks do.
+	if e.wal != nil {
+		if err := e.wal.Append(recs...); err != nil {
+			return nil, fmt.Errorf("engine: wal admit: %w", err)
+		}
+	}
 	err := e.submitGrouped(relss, func(s *shard, group []int) error {
 		for _, i := range group {
-			if err := s.submit(renamed[i], relss[i], handles[i], now); err != nil {
+			var src string
+			if srcs != nil {
+				src = srcs[i]
+			}
+			if err := s.submit(renamed[i], relss[i], handles[i], now, src); err != nil {
 				return err // unreachable: IDs are fresh and Check precedes Admit
 			}
 		}
@@ -720,10 +835,16 @@ func (e *Engine) ExpireStale() int {
 
 // Run services the engine until the context is cancelled: every
 // flushInterval tick it flushes (SetAtATime), expires stale queries, and
-// sweeps retired relation families. Intended to be started as a goroutine.
+// sweeps retired relation families; on a durable engine it also takes a
+// checkpoint whenever the last one is older than Config.CheckpointEvery.
+// Intended to be started as a goroutine.
 func (e *Engine) Run(ctx context.Context, flushInterval time.Duration) {
 	if flushInterval <= 0 {
 		flushInterval = 100 * time.Millisecond
+	}
+	ckptEvery := e.cfg.CheckpointEvery
+	if ckptEvery == 0 {
+		ckptEvery = time.Minute
 	}
 	t := time.NewTicker(flushInterval)
 	defer t.Stop()
@@ -737,6 +858,9 @@ func (e *Engine) Run(ctx context.Context, flushInterval time.Duration) {
 			}
 			e.ExpireStale()
 			e.GCFamiliesN(gcFamiliesPerTick)
+			if e.wal != nil && ckptEvery > 0 && time.Since(e.wal.Stats().LastCheckpoint) >= ckptEvery {
+				_ = e.Checkpoint() // failure is counted in Stats.WAL.CheckpointErrors
+			}
 		}
 	}
 }
@@ -801,14 +925,23 @@ func (e *Engine) GCFamiliesN(max int) int {
 }
 
 // Close fails all pending queries as stale and rejects future submissions.
+// On a durable engine it first takes a final checkpoint, so the pending set
+// survives on disk and reopening the data directory re-submits it — the
+// local "engine closed" results are deliberately NOT logged.
 func (e *Engine) Close() {
 	e.lifeMu.Lock()
 	defer e.lifeMu.Unlock()
 	if e.closed {
 		return
 	}
+	if e.wal != nil {
+		_ = e.checkpointLocked() // best effort; counted on failure
+	}
 	for _, s := range e.shards {
 		s.close()
 	}
 	e.closed = true
+	if e.wal != nil {
+		_ = e.wal.Close()
+	}
 }

@@ -9,7 +9,12 @@ import (
 	"entangle/internal/graph"
 	"entangle/internal/ir"
 	"entangle/internal/match"
+	"entangle/internal/wal"
 )
+
+// staleDetail is the staleness result text; a constant so the WAL record
+// and the delivered Result stay byte-identical.
+const staleDetail = "no coordination partners arrived within the staleness bound"
 
 // shard is one partition of the engine's pending-query set. Each shard owns
 // a complete coordination pipeline — unifiability graph, atom indexes,
@@ -80,8 +85,9 @@ func (s *shard) record(kind EventKind, id ir.QueryID, detail string) {
 
 // submit admits one arrival. renamed carries the engine-assigned ID; the
 // handle receives exactly one Result, either here (unsafe rejection,
-// incremental coordination) or later (flush, staleness, close).
-func (s *shard) submit(renamed *ir.Query, rels []string, h *Handle, now time.Time) error {
+// incremental coordination) or later (flush, staleness, close). src is the
+// original query's text for checkpointing (empty on non-durable engines).
+func (s *shard) submit(renamed *ir.Query, rels []string, h *Handle, now time.Time, src string) error {
 	s.stats.Submitted++
 	s.record(EventSubmitted, renamed.ID, renamed.Owner)
 
@@ -92,6 +98,7 @@ func (s *shard) submit(renamed *ir.Query, rels []string, h *Handle, now time.Tim
 	if err := s.checker.Check(renamed); err != nil {
 		s.stats.RejectedUnsafe++
 		s.record(EventUnsafe, renamed.ID, err.Error())
+		s.eng.logUnsafe(renamed.ID, err)
 		h.ch <- Result{QueryID: renamed.ID, Status: StatusUnsafe, Detail: err.Error()}
 		return nil
 	}
@@ -102,7 +109,7 @@ func (s *shard) submit(renamed *ir.Query, rels []string, h *Handle, now time.Tim
 		s.checker.Remove(renamed.ID)
 		return err
 	}
-	s.pending[renamed.ID] = &pendingQuery{renamed: renamed, rels: rels, handle: h, submitted: now}
+	s.pending[renamed.ID] = &pendingQuery{renamed: renamed, rels: rels, handle: h, submitted: now, src: src}
 	if s.eng.cfg.StaleAfter > 0 {
 		s.stale.push(staleItem{at: now, id: renamed.ID})
 		s.compactStaleIfNeeded()
@@ -300,7 +307,33 @@ func (s *shard) evaluateComponent(comp []ir.QueryID) {
 
 // deliver retires answered and rejected queries, sending results. Caller
 // holds s.mu.
+//
+// On a durable engine, the whole delivery — every partner of the evaluated
+// component — is logged as ONE WAL record before any handle receives its
+// result: a crash can therefore never persist half a component's
+// retirement, and recovery either suppresses the entire delivery or
+// re-coordinates the entire component.
 func (s *shard) deliver(answers []ir.Answer, rejected []match.Removal) {
+	if s.eng.wal != nil {
+		var results []wal.QueryResult
+		for _, a := range answers {
+			if _, ok := s.pending[a.QueryID]; !ok {
+				continue
+			}
+			tuples := make([]string, len(a.Tuples))
+			for i, t := range a.Tuples {
+				tuples[i] = t.String()
+			}
+			results = append(results, wal.QueryResult{ID: int64(a.QueryID), Status: wal.StatusAnswered, Tuples: tuples})
+		}
+		for _, r := range rejected {
+			if _, ok := s.pending[r.Query]; !ok {
+				continue
+			}
+			results = append(results, wal.QueryResult{ID: int64(r.Query), Status: wal.StatusRejected, Detail: r.Cause.String()})
+		}
+		s.eng.logResults(results)
+	}
 	for _, a := range answers {
 		p, ok := s.pending[a.QueryID]
 		if !ok {
@@ -353,18 +386,32 @@ func (s *shard) compactStaleIfNeeded() {
 func (s *shard) expireStale(cutoff time.Time) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	expired := 0
+	// Collect the expired prefix first: on a durable engine the whole
+	// sweep's expiries are logged as one WAL record before any handle is
+	// resolved (expiries are independent, so this is pure fsync batching,
+	// not an atomicity requirement like deliver's).
+	var victims []ir.QueryID
 	for s.stale.len() > 0 && s.stale.min().at.Before(cutoff) {
 		it := s.stale.pop()
 		p, ok := s.pending[it.id]
 		if !ok || !p.submitted.Equal(it.at) {
 			continue // retired here, or migrated away and re-tracked elsewhere
 		}
-		expired++
+		victims = append(victims, it.id)
+	}
+	if s.eng.wal != nil && len(victims) > 0 {
+		results := make([]wal.QueryResult, len(victims))
+		for i, id := range victims {
+			results[i] = wal.QueryResult{ID: int64(id), Status: wal.StatusStale, Detail: staleDetail}
+		}
+		s.eng.logResults(results)
+	}
+	expired := len(victims)
+	for _, id := range victims {
 		s.stats.ExpiredStale++
-		s.record(EventStale, it.id, "staleness bound exceeded")
-		p.handle.ch <- Result{QueryID: it.id, Status: StatusStale, Detail: "no coordination partners arrived within the staleness bound"}
-		s.retire(it.id)
+		s.record(EventStale, id, "staleness bound exceeded")
+		s.pending[id].handle.ch <- Result{QueryID: id, Status: StatusStale, Detail: staleDetail}
+		s.retire(id)
 	}
 	// Expiry can close previously blocked components: a stale query whose
 	// unmatched postcondition was the only obstacle is gone now. The

@@ -3,11 +3,17 @@ package memdb
 import (
 	"bufio"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"sort"
 )
+
+// ErrSnapshotVersion reports a snapshot written by an incompatible format
+// version. Recovery code and operators can distinguish version skew from
+// corruption with errors.Is(err, ErrSnapshotVersion).
+var ErrSnapshotVersion = errors.New("memdb: unsupported snapshot version")
 
 // snapshot is the on-disk representation of a database.
 type snapshot struct {
@@ -61,7 +67,7 @@ func (db *DB) ReadSnapshot(r io.Reader) error {
 		return fmt.Errorf("memdb: decode snapshot: %w", err)
 	}
 	if snap.Version != snapshotVersion {
-		return fmt.Errorf("memdb: unsupported snapshot version %d", snap.Version)
+		return fmt.Errorf("%w: %d (have %d)", ErrSnapshotVersion, snap.Version, snapshotVersion)
 	}
 	for _, ts := range snap.Tables {
 		if len(ts.Cols) == 0 {

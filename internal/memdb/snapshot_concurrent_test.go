@@ -1,0 +1,112 @@
+package memdb
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestSnapshotUnderConcurrentWriters races WriteSnapshot against inserts
+// and table churn: every snapshot taken mid-churn must be internally
+// consistent (loadable into a fresh database with matching arities), which
+// is what the engine's checkpoint path relies on. Run with -race.
+func TestSnapshotUnderConcurrentWriters(t *testing.T) {
+	db := New()
+	db.MustCreateTable("Base", "a", "b")
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				db.MustInsert("Base", fmt.Sprint(w), fmt.Sprint(i))
+				name := fmt.Sprintf("T%d_%d", w, i%5)
+				switch i % 3 {
+				case 0:
+					_ = db.CreateTable(name, "x", "y")
+				case 1:
+					_ = db.Insert(name, fmt.Sprint(i), "v")
+				default:
+					_ = db.DropTable(name)
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		var buf bytes.Buffer
+		if err := db.WriteSnapshot(&buf); err != nil {
+			t.Fatalf("snapshot %d: %v", i, err)
+		}
+		fresh := New()
+		if err := fresh.ReadSnapshot(&buf); err != nil {
+			t.Fatalf("snapshot %d does not load: %v", i, err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+}
+
+// TestSnapshotIndexedRoundTrip checks a snapshot restores hash indexes and
+// leaves the planner's statistics coherent: the restored table's planRows
+// must equal its actual row count (no stale stats epoch from the donor),
+// and the load must advance the stats epoch so cached plans recompile.
+func TestSnapshotIndexedRoundTrip(t *testing.T) {
+	db := New()
+	db.MustCreateTable("F", "fno", "dest")
+	for i := 0; i < 100; i++ {
+		db.MustInsert("F", fmt.Sprint(i), "Rome")
+	}
+	if err := db.CreateIndex("F", "fno"); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := db.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := New()
+	epochBefore := fresh.StatsEpoch()
+	if err := fresh.ReadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.StatsEpoch() == epochBefore {
+		t.Fatal("ReadSnapshot must advance the stats epoch")
+	}
+	ft := fresh.Table("F")
+	if ft == nil || ft.Len() != 100 {
+		t.Fatalf("restored table: %v", ft)
+	}
+	if ft.planRows != ft.Len() {
+		t.Fatalf("planRows = %d, want %d (stale planner stats)", ft.planRows, ft.Len())
+	}
+	if len(ft.indexes) != 1 {
+		t.Fatalf("restored table has %d indexes, want 1", len(ft.indexes))
+	}
+	idx, ok := ft.indexes[0] // fno is column 0
+	if !ok || len(idx["42"]) != 1 {
+		t.Fatalf("fno index not rebuilt: %v", ft.indexes)
+	}
+}
+
+// TestSnapshotVersionTyped: version skew must be errors.Is-distinguishable
+// from corruption.
+func TestSnapshotVersionTyped(t *testing.T) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snapshot{Version: snapshotVersion + 1}); err != nil {
+		t.Fatal(err)
+	}
+	err := New().ReadSnapshot(&buf)
+	if !errors.Is(err, ErrSnapshotVersion) {
+		t.Fatalf("err = %v, want ErrSnapshotVersion", err)
+	}
+	// Corruption is NOT a version error.
+	err = New().ReadSnapshot(bytes.NewReader([]byte("garbage")))
+	if err == nil || errors.Is(err, ErrSnapshotVersion) {
+		t.Fatalf("corrupt snapshot: %v", err)
+	}
+}

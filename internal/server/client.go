@@ -162,10 +162,18 @@ func (c *Client) SubmitBulk(queries []BatchQuery, deferFlush bool) ([]BatchHandl
 	return c.submitMany(Request{Op: "submit_bulk", Queries: queries, DeferFlush: deferFlush})
 }
 
-// submitMany performs a batch-shaped request/reply exchange (submit_batch
-// or submit_bulk) and registers a result waiter per accepted query.
-func (c *Client) submitMany(req Request) ([]BatchHandle, error) {
-	queries := req.Queries
+// SubmitBulkChunked streams one logical bulk load as a chunked session
+// (bulk_begin, ⌈len/chunkSize⌉ × bulk_chunk, bulk_end), sidestepping the
+// server's 1 MB request-line limit for bulks of any size: each chunk is
+// ingested server-side with its flush deferred, and the whole session
+// coordinates as one round at bulk_end (or at a later flush, when
+// deferFlush is set). chunkSize ≤ 0 picks 512. Handle semantics match
+// SubmitBulk; the session holds the client's request lock end to end, so
+// concurrent submissions cannot interleave with it.
+func (c *Client) SubmitBulkChunked(queries []BatchQuery, chunkSize int, deferFlush bool) ([]BatchHandle, error) {
+	if chunkSize <= 0 {
+		chunkSize = 512
+	}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -174,6 +182,56 @@ func (c *Client) submitMany(req Request) ([]BatchHandle, error) {
 	c.mu.Unlock()
 	c.reqMu.Lock()
 	defer c.reqMu.Unlock()
+	ctl := func(req Request) error {
+		if err := c.enc.Encode(req); err != nil {
+			return err
+		}
+		ack, ok := <-c.acks
+		if !ok {
+			return fmt.Errorf("server client: connection closed")
+		}
+		if ack.Type == "error" {
+			return fmt.Errorf("server: %s", ack.Error)
+		}
+		return nil
+	}
+	if err := ctl(Request{Op: "bulk_begin", DeferFlush: deferFlush}); err != nil {
+		return nil, err
+	}
+	out := make([]BatchHandle, 0, len(queries))
+	for start := 0; start < len(queries); start += chunkSize {
+		chunk := queries[start:min(start+chunkSize, len(queries))]
+		hs, err := c.exchangeMany(Request{Op: "bulk_chunk", Queries: chunk})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, hs...)
+	}
+	if err := ctl(Request{Op: "bulk_end"}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// submitMany performs a batch-shaped request/reply exchange (submit_batch
+// or submit_bulk) and registers a result waiter per accepted query.
+func (c *Client) submitMany(req Request) ([]BatchHandle, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("server client: closed")
+	}
+	c.mu.Unlock()
+	c.reqMu.Lock()
+	defer c.reqMu.Unlock()
+	return c.exchangeMany(req)
+}
+
+// exchangeMany is submitMany's locked core (caller holds reqMu): send one
+// batch-shaped request, consume its in-order "batch" reply, register a
+// waiter per accepted query.
+func (c *Client) exchangeMany(req Request) ([]BatchHandle, error) {
+	queries := req.Queries
 	if err := c.enc.Encode(req); err != nil {
 		return nil, err
 	}
@@ -269,6 +327,21 @@ func (c *Client) Load(script string) error {
 	c.reqMu.Lock()
 	defer c.reqMu.Unlock()
 	if err := c.enc.Encode(Request{Op: "load", SQL: script}); err != nil {
+		return err
+	}
+	ack := <-c.acks
+	if ack.Type == "error" {
+		return fmt.Errorf("server: %s", ack.Error)
+	}
+	return nil
+}
+
+// Checkpoint asks the server to durably checkpoint its engine. Fails on
+// servers whose engine has no data directory.
+func (c *Client) Checkpoint() error {
+	c.reqMu.Lock()
+	defer c.reqMu.Unlock()
+	if err := c.enc.Encode(Request{Op: "checkpoint"}); err != nil {
 		return err
 	}
 	ack := <-c.acks

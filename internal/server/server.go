@@ -11,6 +11,9 @@
 //	                                                      submit many queries in one engine batch
 //	                 {"op":"submit_bulk","queries":[…],"defer_flush":true}
 //	                                                      unordered bulk load (set-at-a-time per batch)
+//	                 {"op":"bulk_begin","defer_flush":true}  open a chunked bulk session
+//	                 {"op":"bulk_chunk","queries":[…]}    one chunk of the open session
+//	                 {"op":"bulk_end"}                    close the session (flush unless deferred)
 //	                 {"op":"prepare","sql":"SELECT …"}    prepare a statement template
 //	                 {"op":"prepare","ir":"{R(J,x)} R('$1',x) :- F(x,'$2')"}
 //	                                                      … or from IR text
@@ -18,6 +21,7 @@
 //	                                                      submit a prepared statement
 //	                 {"op":"load","sql":"CREATE TABLE …"} run a DDL/DML script
 //	                 {"op":"flush"}                       force a set-at-a-time round
+//	                 {"op":"checkpoint"}                  durably checkpoint (durable engines)
 //	                 {"op":"stats"}                       engine counters
 //	server → client: {"type":"ack","id":7}                submission accepted
 //	                 {"type":"error","error":"…"}         submission failed
@@ -40,6 +44,18 @@
 // and coordinated set-at-a-time (no per-query incremental evaluation; see
 // Engine.SubmitBulk for the ordering caveat). defer_flush skips the
 // coordination round after ingest.
+//
+// A chunked bulk session (bulk_begin … bulk_chunk* … bulk_end) streams one
+// logical bulk load as many submit_bulk-sized requests, sidestepping the
+// 1 MB request-line limit: each bulk_chunk is ingested through the engine's
+// bulk path with the flush deferred, and bulk_end runs the single
+// coordination round (unless the session itself was opened deferred). Each
+// chunk gets its own "batch" reply; bulk_end is acknowledged with "ack".
+// One session may be open per connection at a time.
+//
+// load executes through the engine (Engine.Load), so on a durable engine
+// the script is logged write-ahead and survives a crash; checkpoint forces
+// a durable snapshot and fails on engines without a data directory.
 //
 // prepare parses and validates a query template once — entangled SQL or IR
 // text, with placeholders written as quoted '$1'..'$K' literals — and
@@ -222,6 +238,43 @@ func (s *Server) handle(conn net.Conn) {
 	stmts := make(map[int]*engine.Stmt)
 	nextStmt := 0
 
+	// Chunked bulk session state (also connection-scoped): between
+	// bulk_begin and bulk_end every bulk_chunk ingests with the flush
+	// deferred, so the whole session coordinates as one round at bulk_end.
+	bulkOpen := false
+	bulkDefer := false
+
+	// parseQueries validates a batch-shaped payload: one BatchItem per
+	// input (errors filled in for refused queries), plus the parsed queries
+	// and their item slots.
+	parseQueries := func(queries []BatchQuery) ([]BatchItem, []*ir.Query, []int) {
+		items := make([]BatchItem, len(queries))
+		var qs []*ir.Query
+		var slots []int
+		for i, bq := range queries {
+			var q *ir.Query
+			var err error
+			switch {
+			case bq.SQL != "":
+				q, err = s.Engine.ParseSQL(bq.SQL)
+			case bq.IR != "":
+				q, err = ir.Parse(0, bq.IR)
+			default:
+				err = fmt.Errorf("batch query %d: neither sql nor ir set", i)
+			}
+			if err == nil {
+				err = q.Validate()
+			}
+			if err != nil {
+				items[i] = BatchItem{Error: err.Error()}
+				continue
+			}
+			qs = append(qs, q)
+			slots = append(slots, i)
+		}
+		return items, qs, slots
+	}
+
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	for sc.Scan() {
@@ -297,30 +350,7 @@ func (s *Server) handle(conn net.Conn) {
 			// item; the good ones are admitted through the engine's batched
 			// fast path in input order (submit_batch) or its unordered
 			// set-at-a-time bulk path (submit_bulk).
-			items := make([]BatchItem, len(req.Queries))
-			var qs []*ir.Query
-			var slots []int // items index per parsed query
-			for i, bq := range req.Queries {
-				var q *ir.Query
-				var err error
-				switch {
-				case bq.SQL != "":
-					q, err = s.Engine.ParseSQL(bq.SQL)
-				case bq.IR != "":
-					q, err = ir.Parse(0, bq.IR)
-				default:
-					err = fmt.Errorf("batch query %d: neither sql nor ir set", i)
-				}
-				if err == nil {
-					err = q.Validate()
-				}
-				if err != nil {
-					items[i] = BatchItem{Error: err.Error()}
-					continue
-				}
-				qs = append(qs, q)
-				slots = append(slots, i)
-			}
+			items, qs, slots := parseQueries(req.Queries)
 			var handles []*engine.Handle
 			var err error
 			if req.Op == "submit_bulk" {
@@ -341,14 +371,59 @@ func (s *Server) handle(conn net.Conn) {
 			for _, h := range handles {
 				spawn(h)
 			}
+		case "bulk_begin":
+			if bulkOpen {
+				write(Response{Type: "error", Error: "bulk session already open"})
+				continue
+			}
+			bulkOpen, bulkDefer = true, req.DeferFlush
+			write(Response{Type: "ack"})
+		case "bulk_chunk":
+			if !bulkOpen {
+				write(Response{Type: "error", Error: "bulk_chunk outside a bulk session"})
+				continue
+			}
+			items, qs, slots := parseQueries(req.Queries)
+			// Every chunk defers its flush: the session coordinates once, at
+			// bulk_end. Unsafe rejections still deliver per chunk.
+			handles, err := s.Engine.SubmitBulk(qs, engine.BulkOptions{DeferFlush: true})
+			if err != nil {
+				write(Response{Type: "error", Error: err.Error()})
+				continue
+			}
+			for j, h := range handles {
+				items[slots[j]] = BatchItem{ID: h.ID}
+			}
+			if err := write(Response{Type: "batch", Items: items}); err != nil {
+				return
+			}
+			for _, h := range handles {
+				spawn(h)
+			}
+		case "bulk_end":
+			if !bulkOpen {
+				write(Response{Type: "error", Error: "bulk_end outside a bulk session"})
+				continue
+			}
+			bulkOpen = false
+			if !bulkDefer {
+				s.Engine.Flush()
+			}
+			write(Response{Type: "ack"})
 		case "load":
-			if err := s.Engine.DB().ExecScript(req.SQL); err != nil {
+			if err := s.Engine.Load(req.SQL); err != nil {
 				write(Response{Type: "error", Error: err.Error()})
 				continue
 			}
 			write(Response{Type: "ack"})
 		case "flush":
 			s.Engine.Flush()
+			write(Response{Type: "ack"})
+		case "checkpoint":
+			if err := s.Engine.Checkpoint(); err != nil {
+				write(Response{Type: "error", Error: err.Error()})
+				continue
+			}
 			write(Response{Type: "ack"})
 		case "stats":
 			st := s.Engine.Stats()

@@ -1,0 +1,255 @@
+package wal
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Policy selects how aggressively the log is forced to stable storage.
+type Policy int
+
+const (
+	// Off buffers appends in memory and flushes them to the OS on a
+	// background cadence, never calling fsync. A process crash loses at
+	// most the unflushed tail; an OS crash can lose anything since the
+	// last checkpoint (checkpoints are always fsynced).
+	Off Policy = iota
+	// Batch flushes AND fsyncs on the background cadence: bounded-loss
+	// group commit, amortising one fsync over every append in the window.
+	Batch
+	// Sync fsyncs before each Append returns, with group commit —
+	// concurrent appenders share one fsync (the leader syncs, followers
+	// wait on it), so the per-append cost amortises under load exactly the
+	// way SubmitBulk amortises locks.
+	Sync
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case Off:
+		return "off"
+	case Batch:
+		return "batch"
+	case Sync:
+		return "sync"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy maps the flag spellings ("off", "batch", "sync",
+// case-insensitive) to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch strings.ToLower(s) {
+	case "off":
+		return Off, nil
+	case "batch":
+		return Batch, nil
+	case "sync":
+		return Sync, nil
+	default:
+		return Off, fmt.Errorf("wal: unknown durability policy %q (want off, batch or sync)", s)
+	}
+}
+
+// ErrLogClosed is returned by appends to a closed log.
+var ErrLogClosed = errors.New("wal: log closed")
+
+// counters aggregates append/fsync figures across log rotations; the Dir
+// owns one instance shared by every epoch's log.
+type counters struct {
+	records atomic.Int64
+	bytes   atomic.Int64
+	fsyncs  atomic.Int64
+}
+
+// log is one epoch's append-only record file. Appends are framed into a
+// buffered writer under the log mutex; durability is driven by the policy
+// (see Policy). A background flusher services the Off and Batch cadences;
+// Sync appends drive group commit inline.
+type log struct {
+	mu       sync.Mutex
+	cond     *sync.Cond // broadcast when a group commit completes
+	f        *os.File
+	bw       *bufio.Writer
+	policy   Policy
+	c        *counters
+	buf      []byte // reusable frame-encode buffer, guarded by mu
+	writeSeq int64  // bumped once per Append call
+	syncSeq  int64  // highest writeSeq known flushed (Off) / fsynced (Batch, Sync)
+	syncing  bool   // a group commit is in flight (mu released around fsync)
+	err      error  // sticky first write/sync error
+	closed   bool
+	stop     chan struct{} // closes the background flusher, nil for Sync
+	done     chan struct{}
+}
+
+func newLog(f *os.File, policy Policy, interval time.Duration, c *counters) *log {
+	l := &log{f: f, bw: bufio.NewWriterSize(f, 1<<16), policy: policy, c: c}
+	l.cond = sync.NewCond(&l.mu)
+	if policy != Sync {
+		l.stop = make(chan struct{})
+		l.done = make(chan struct{})
+		go l.flusher(interval)
+	}
+	return l
+}
+
+// append frames and writes recs. Under Sync it returns only once every
+// frame is fsynced; otherwise the background flusher picks them up.
+func (l *log) append(recs ...Record) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrLogClosed
+	}
+	if l.err != nil {
+		err := l.err
+		l.mu.Unlock()
+		return err
+	}
+	for i := range recs {
+		l.buf = appendFrame(l.buf[:0], &recs[i])
+		if _, err := l.bw.Write(l.buf); err != nil {
+			l.err = err
+			l.mu.Unlock()
+			return err
+		}
+		l.c.records.Add(1)
+		l.c.bytes.Add(int64(len(l.buf)))
+	}
+	l.writeSeq++
+	seq := l.writeSeq
+	if l.policy != Sync {
+		l.mu.Unlock()
+		return nil
+	}
+	return l.commitLocked(seq) // releases l.mu
+}
+
+// commitLocked drives group commit until seq is durable: the first caller
+// to find no commit in flight becomes leader, flushes the buffer, releases
+// the mutex around the fsync, and wakes the followers — who either find
+// their seq covered or take the next leadership turn. Called with l.mu
+// held; always releases it.
+func (l *log) commitLocked(seq int64) error {
+	for l.syncSeq < seq {
+		if l.err != nil {
+			err := l.err
+			l.mu.Unlock()
+			return err
+		}
+		if l.syncing {
+			l.cond.Wait()
+			continue
+		}
+		l.syncing = true
+		target := l.writeSeq
+		err := l.bw.Flush()
+		l.mu.Unlock()
+		if err == nil {
+			err = l.f.Sync()
+			l.c.fsyncs.Add(1)
+		}
+		l.mu.Lock()
+		l.syncing = false
+		if err != nil {
+			l.err = err
+		} else if target > l.syncSeq {
+			l.syncSeq = target
+		}
+		l.cond.Broadcast()
+	}
+	l.mu.Unlock()
+	return nil
+}
+
+// sync makes everything appended so far durable, regardless of policy.
+func (l *log) sync() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrLogClosed
+	}
+	if l.writeSeq == 0 {
+		l.mu.Unlock()
+		return nil
+	}
+	// Under Off the flusher advances syncSeq on flush alone, so force a
+	// real fsync turn by targeting past any recorded progress.
+	seq := l.writeSeq
+	if l.policy == Off {
+		l.syncSeq = 0
+	}
+	return l.commitLocked(seq)
+}
+
+// flusher services the Off/Batch background cadence.
+func (l *log) flusher(interval time.Duration) {
+	defer close(l.done)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-t.C:
+			l.flushTick()
+		}
+	}
+}
+
+func (l *log) flushTick() {
+	l.mu.Lock()
+	if l.closed || l.err != nil || l.writeSeq <= l.syncSeq {
+		l.mu.Unlock()
+		return
+	}
+	if l.policy == Batch {
+		_ = l.commitLocked(l.writeSeq) // releases l.mu
+		return
+	}
+	// Off: flush to the OS only.
+	if err := l.bw.Flush(); err != nil {
+		l.err = err
+	} else {
+		l.syncSeq = l.writeSeq
+	}
+	l.mu.Unlock()
+}
+
+// close flushes, fsyncs and closes the file. Safe to call once.
+func (l *log) close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	for l.syncing {
+		l.cond.Wait()
+	}
+	ferr := l.bw.Flush()
+	l.closed = true
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	if l.stop != nil {
+		close(l.stop)
+		<-l.done
+	}
+	serr := l.f.Sync()
+	l.c.fsyncs.Add(1)
+	cerr := l.f.Close()
+	for _, err := range []error{ferr, serr, cerr} {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -216,7 +216,10 @@ func TestChooseRandomnessAcrossRuns(t *testing.T) {
 	defer cancel()
 	seen := map[string]bool{}
 	for seed := int64(1); seed <= 24 && len(seen) < 2; seed++ {
-		sys := Open(WithSeed(seed))
+		sys, err := Open(WithSeed(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
 		sys.MustCreateTable("F", "fno", "dest")
 		for _, f := range []string{"101", "102", "103", "104"} {
 			sys.MustInsert("F", f, "Paris")
