@@ -270,3 +270,82 @@ func TestFamilyMergePreservesStaleness(t *testing.T) {
 		t.Fatalf("bridge query: %v", r.Status)
 	}
 }
+
+// TestFamilyMergeRoundTripDuplicateStaleEntries drives a family A→B→A: a
+// query migrates off its home shard and later back, so the home shard's
+// staleness heap holds two live entries for it with identical (at, id)
+// keys — the original from submit and a second from adoption. The sweep
+// must expire the query exactly once (one Result, one ExpiredStale count),
+// not retire it twice and dereference a retired entry.
+func TestFamilyMergeRoundTripDuplicateStaleEntries(t *testing.T) {
+	// Need hash(C) < hash(B) < hash(A) so each merge re-homes the family
+	// (home is min-hash mod nshards), with B on a different shard than A
+	// and C back on A's shard.
+	names := make([]string, 512)
+	for i := range names {
+		names[i] = fmt.Sprintf("Dup%d", i)
+	}
+	var relA, relB, relC string
+search:
+	for _, a := range names {
+		for _, b := range names {
+			if relHash(b) >= relHash(a) || relHash(b)%8 == relHash(a)%8 {
+				continue
+			}
+			for _, c := range names {
+				if relHash(c) < relHash(b) && relHash(c)%8 == relHash(a)%8 {
+					relA, relB, relC = a, b, c
+					break search
+				}
+			}
+		}
+	}
+	if relA == "" {
+		t.Fatal("no suitable relation triple")
+	}
+
+	e := New(flightsDB(t), Config{Mode: Incremental, Shards: 8, StaleAfter: 30 * time.Millisecond})
+	defer e.Close()
+	base := time.Now()
+	clock := base
+	e.now = func() time.Time { return clock }
+
+	h1, err := e.Submit(ir.MustParse(0, fmt.Sprintf("{%s(W, x)} %s(U, x) :- F(x, Paris)", relA, relA)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	home := e.router.currentHome(relA)
+	// Bridge 1 merges {A} with {B}: the family re-homes to B's shard and
+	// q1 migrates there. Constants never match, so everything stays pending.
+	h2, err := e.Submit(ir.MustParse(0, fmt.Sprintf("{%s(Nobody, z)} %s(Ghost, z) ∧ %s(Gone, z) :- F(z, Paris)", relA, relA, relB)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := e.router.currentHome(relA); h == home {
+		t.Fatalf("first merge did not re-home the family (still shard %d)", h)
+	}
+	// Bridge 2 merges in C, whose hash is the new minimum and maps back to
+	// A's original shard: q1 migrates home, and adoption pushes a second
+	// heap entry with q1's original submission time next to the one its
+	// submit left behind.
+	h3, err := e.Submit(ir.MustParse(0, fmt.Sprintf("{%s(Nix, z)} %s(Wraith, z) ∧ %s(Lost, z) :- F(z, Paris)", relB, relB, relC)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := e.router.currentHome(relA); h != home {
+		t.Fatalf("second merge homed the family on shard %d, want original shard %d", h, home)
+	}
+
+	clock = base.Add(35 * time.Millisecond)
+	if n := e.ExpireStale(); n != 3 {
+		t.Fatalf("expired %d queries, want 3", n)
+	}
+	for i, h := range []*Handle{h1, h2, h3} {
+		if r := mustResult(t, h); r.Status != StatusStale {
+			t.Fatalf("query %d: %v (%s)", i+1, r.Status, r.Detail)
+		}
+	}
+	if got := e.Stats().ExpiredStale; got != 3 {
+		t.Fatalf("ExpiredStale total %d, want 3 (round-trip migration double-counted)", got)
+	}
+}

@@ -397,6 +397,14 @@ func (s *shard) expireStale(cutoff time.Time) int {
 		if !ok || !p.submitted.Equal(it.at) {
 			continue // retired here, or migrated away and re-tracked elsewhere
 		}
+		// A query that migrated away and back leaves duplicate heap entries
+		// with identical (at, id) keys, and both pass the check above. The
+		// heap pops equal keys consecutively (ties break by ID), so a
+		// last-victim comparison dedupes them; without it the delivery loop
+		// below would retire the ID twice and hit a nil *pendingQuery.
+		if len(victims) > 0 && victims[len(victims)-1] == it.id {
+			continue
+		}
 		victims = append(victims, it.id)
 	}
 	if s.eng.wal != nil && len(victims) > 0 {

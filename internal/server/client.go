@@ -203,6 +203,11 @@ func (c *Client) SubmitBulkChunked(queries []BatchQuery, chunkSize int, deferFlu
 		chunk := queries[start:min(start+chunkSize, len(queries))]
 		hs, err := c.exchangeMany(Request{Op: "bulk_chunk", Queries: chunk})
 		if err != nil {
+			// Best-effort close of the server-side session: without it the
+			// connection's bulk latch stays open — every later chunked bulk
+			// would be rejected and already-ingested chunks (flush deferred)
+			// would wait for an unrelated flush.
+			_ = ctl(Request{Op: "bulk_end"})
 			return nil, err
 		}
 		out = append(out, hs...)
@@ -329,7 +334,10 @@ func (c *Client) Load(script string) error {
 	if err := c.enc.Encode(Request{Op: "load", SQL: script}); err != nil {
 		return err
 	}
-	ack := <-c.acks
+	ack, ok := <-c.acks
+	if !ok {
+		return fmt.Errorf("server client: connection closed")
+	}
 	if ack.Type == "error" {
 		return fmt.Errorf("server: %s", ack.Error)
 	}
@@ -344,7 +352,12 @@ func (c *Client) Checkpoint() error {
 	if err := c.enc.Encode(Request{Op: "checkpoint"}); err != nil {
 		return err
 	}
-	ack := <-c.acks
+	// Comma-ok matters here: a closed acks channel must not read as a
+	// durable-checkpoint success.
+	ack, ok := <-c.acks
+	if !ok {
+		return fmt.Errorf("server client: connection closed")
+	}
 	if ack.Type == "error" {
 		return fmt.Errorf("server: %s", ack.Error)
 	}
@@ -358,7 +371,10 @@ func (c *Client) Flush() error {
 	if err := c.enc.Encode(Request{Op: "flush"}); err != nil {
 		return err
 	}
-	ack := <-c.acks
+	ack, ok := <-c.acks
+	if !ok {
+		return fmt.Errorf("server client: connection closed")
+	}
 	if ack.Type == "error" {
 		return fmt.Errorf("server: %s", ack.Error)
 	}
