@@ -13,27 +13,54 @@
 //	.flush             force a set-at-a-time round
 //	.checkpoint        durably checkpoint the server's engine (durable servers)
 //	.stats             print engine counters (plus WAL counters on durable servers)
+//	.faults            print resilience counters (client reconnects, server fault injector)
 //	.quit              exit
+//
+// The client self-heals: a dropped connection is redialed with backoff and
+// unacked submissions are re-sent idempotently, so a flaky server restart
+// surfaces as typed "connection lost" messages rather than killing the
+// session.
 //
 // Usage: d3cctl [-addr localhost:7070]
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"strings"
 
+	"entangle/internal/engine"
 	"entangle/internal/server"
 )
+
+// describe renders an operation error with its typed cause spelled out, so
+// transient transport failures are distinguishable from query errors.
+func describe(err error) string {
+	switch {
+	case errors.Is(err, engine.ErrOverloaded):
+		return fmt.Sprintf("server overloaded (shed; retry later): %v", err)
+	case errors.Is(err, engine.ErrWALPoisoned):
+		return fmt.Sprintf("server WAL poisoned (run .checkpoint to clear): %v", err)
+	case errors.Is(err, server.ErrConnLost):
+		return fmt.Sprintf("connection lost (client is redialing; retry the command): %v", err)
+	case errors.Is(err, server.ErrOpTimeout):
+		return fmt.Sprintf("operation timed out (server slow or unreachable): %v", err)
+	case errors.Is(err, server.ErrClientClosed):
+		return "client closed"
+	default:
+		return err.Error()
+	}
+}
 
 func main() {
 	addr := flag.String("addr", "localhost:7070", "d3cd server address")
 	flag.Parse()
 
-	c, err := server.Dial(*addr)
+	c, err := server.DialWith(*addr, server.DialOptions{Reconnect: true})
 	if err != nil {
 		log.Fatalf("d3cctl: %v", err)
 	}
@@ -47,7 +74,7 @@ func main() {
 	submitSQL := func(text string) {
 		qid, ch, err := c.SubmitSQL(text)
 		if err != nil {
-			fmt.Printf("error: %v\n", err)
+			fmt.Printf("error: %s\n", describe(err))
 			return
 		}
 		fmt.Printf("submitted q%d\n", qid)
@@ -56,7 +83,7 @@ func main() {
 	submitIR := func(text string) {
 		qid, ch, err := c.SubmitIR(text)
 		if err != nil {
-			fmt.Printf("error: %v\n", err)
+			fmt.Printf("error: %s\n", describe(err))
 			return
 		}
 		fmt.Printf("submitted q%d\n", qid)
@@ -76,7 +103,7 @@ func main() {
 		}
 		handles, err := send(queries)
 		if err != nil {
-			fmt.Printf("error: %v\n", err)
+			fmt.Printf("error: %s\n", describe(err))
 			return
 		}
 		for i, h := range handles {
@@ -100,7 +127,7 @@ func main() {
 			st, err = c.PrepareIR(text)
 		}
 		if err != nil {
-			fmt.Printf("error: %v\n", err)
+			fmt.Printf("error: %s\n", describe(err))
 			return
 		}
 		nextStmt++
@@ -129,7 +156,7 @@ func main() {
 		}
 		qid, ch, err := st.Execute(bindings...)
 		if err != nil {
-			fmt.Printf("error: %v\n", err)
+			fmt.Printf("error: %s\n", describe(err))
 			return
 		}
 		fmt.Printf("submitted q%d\n", qid)
@@ -162,7 +189,7 @@ func main() {
 		case line == ".help":
 			fmt.Println("IR query:  {R(Jerry, x)} R(Kramer, x) :- Flights(x, Paris)")
 			fmt.Println("SQL query: SELECT 'Kramer', fno INTO ANSWER R WHERE … CHOOSE 1 (multiline; ends at CHOOSE or blank line)")
-			fmt.Println("commands:  .load <ddl/dml statements;…>  .batch <ir; ir; …>  .bulk <ir; ir; …>  .prepare <template>  .exec <N> <v1; v2; …>  .flush  .checkpoint  .stats  .quit")
+			fmt.Println("commands:  .load <ddl/dml statements;…>  .batch <ir; ir; …>  .bulk <ir; ir; …>  .prepare <template>  .exec <N> <v1; v2; …>  .flush  .checkpoint  .stats  .faults  .quit")
 		case strings.HasPrefix(line, ".prepare "):
 			prepare(strings.TrimPrefix(line, ".prepare "))
 		case strings.HasPrefix(line, ".exec "):
@@ -175,35 +202,59 @@ func main() {
 			})
 		case strings.HasPrefix(line, ".load "):
 			if err := c.Load(strings.TrimPrefix(line, ".load ")); err != nil {
-				fmt.Printf("error: %v\n", err)
+				fmt.Printf("error: %s\n", describe(err))
 			} else {
 				fmt.Println("loaded")
 			}
 		case line == ".flush":
 			if err := c.Flush(); err != nil {
-				fmt.Printf("error: %v\n", err)
+				fmt.Printf("error: %s\n", describe(err))
 			} else {
 				fmt.Println("flushed")
 			}
 		case line == ".checkpoint":
 			if err := c.Checkpoint(); err != nil {
-				fmt.Printf("error: %v\n", err)
+				fmt.Printf("error: %s\n", describe(err))
 			} else {
 				fmt.Println("checkpointed")
+			}
+		case line == ".faults":
+			ls := c.LocalStats()
+			fmt.Printf("client: reconnects=%d conns-lost=%d dropped-replies=%d resubmits=%d\n",
+				ls.Reconnects, ls.ConnsLost, ls.DroppedReplies, ls.Resubmits)
+			st, err := c.Stats()
+			if err != nil {
+				fmt.Printf("error: %s\n", describe(err))
+				break
+			}
+			if st.Stats != nil {
+				poisoned := st.Stats.WAL != nil && st.Stats.WAL.Poisoned
+				fmt.Printf("server: overloaded-shed=%d wal-poisoned=%v\n", st.Stats.Overloaded, poisoned)
+			}
+			if f := st.Faults; f != nil {
+				fmt.Printf("injector: seed=%d injected=%d file-writes=%d/%d file-syncs=%d/%d conn-read-bytes=%d/%d conn-write-bytes=%d/%d (count/faults)\n",
+					f.Seed, f.Injected(),
+					f.FileWrites, f.FileWriteFaults, f.FileSyncs, f.FileSyncFaults,
+					f.ConnReadBytes, f.ConnReadFaults, f.ConnWriteBytes, f.ConnWriteFaults)
+			} else {
+				fmt.Println("injector: none installed")
 			}
 		case line == ".stats":
 			st, err := c.Stats()
 			if err != nil {
-				fmt.Printf("error: %v\n", err)
+				fmt.Printf("error: %s\n", describe(err))
 			} else if st.Stats != nil {
 				s := st.Stats
 				fmt.Printf("submitted=%d answered=%d rejected=%d unsafe=%d stale=%d pending=%d flushes=%d router-passes=%d submit-locks=%d bulk-loads=%d bulk-flushes=%d families-retired=%d plan-hits=%d plan-misses=%d plan-evictions=%d\n",
 					s.Submitted, s.Answered, s.Rejected, s.RejectedUnsafe, s.ExpiredStale, s.Pending, s.Flushes,
 					s.RouterPasses, s.SubmitLocks, s.BulkLoads, s.BulkFlushes, s.FamiliesRetired,
 					s.PlanHits, s.PlanMisses, s.PlanEvictions)
+				if s.Overloaded > 0 {
+					fmt.Printf("  overloaded: %d submissions shed\n", s.Overloaded)
+				}
 				if w := s.WAL; w != nil {
-					fmt.Printf("  wal: records=%d bytes=%d fsyncs=%d checkpoints=%d last-checkpoint-age-ms=%d append-errors=%d checkpoint-errors=%d\n",
-						w.Records, w.Bytes, w.Fsyncs, w.Checkpoints, w.LastCheckpointAgeMS, w.AppendErrors, w.CheckpointErrors)
+					fmt.Printf("  wal: records=%d bytes=%d fsyncs=%d checkpoints=%d last-checkpoint-age-ms=%d append-errors=%d checkpoint-errors=%d poisoned=%v\n",
+						w.Records, w.Bytes, w.Fsyncs, w.Checkpoints, w.LastCheckpointAgeMS, w.AppendErrors, w.CheckpointErrors, w.Poisoned)
 				}
 				for i, sh := range s.PerShard {
 					fmt.Printf("  shard %d: submitted=%d answered=%d rejected=%d unsafe=%d stale=%d pending=%d flushes=%d\n",

@@ -7,6 +7,16 @@
 //	d3cd [-addr :7070] [-mode incremental|setatatime] [-stale 30s]
 //	     [-flush-every 0] [-flush-interval 100ms] [-social N]
 //	     [-data-dir DIR] [-durability off|batch|sync] [-checkpoint-every 1m]
+//	     [-max-pending N] [-max-inflight N] [-write-timeout 10s]
+//	     [-chaos-seed S]
+//
+// Resilience: -max-pending caps the engine-wide pending set (excess
+// submissions shed with a typed "overloaded" reply), -max-inflight caps one
+// connection's unresolved submissions, and -write-timeout bounds each reply
+// write so a client that stops reading is torn down instead of wedging the
+// server. -chaos-seed installs a deterministic fault injector under every
+// accepted connection (for drills only — never in production): faults are
+// drawn replayably from the seed and reported via the stats op.
 //
 // With -data-dir the server runs durably: every externally visible engine
 // transition is written ahead to a WAL in DIR, periodic checkpoints bound
@@ -33,6 +43,7 @@ import (
 	"time"
 
 	"entangle"
+	"entangle/internal/fault"
 	"entangle/internal/server"
 	"entangle/internal/workload"
 )
@@ -51,6 +62,10 @@ func main() {
 		dataDir       = flag.String("data-dir", "", "durability directory (WAL + checkpoints); enables crash recovery")
 		durability    = flag.String("durability", "batch", "WAL fsync policy with -data-dir: off, batch or sync")
 		ckptEvery     = flag.Duration("checkpoint-every", time.Minute, "checkpoint interval with -data-dir (<0 = only on shutdown)")
+		maxPending    = flag.Int("max-pending", 0, "cap on engine-wide pending queries; excess submissions are shed with a typed overloaded error (0 = uncapped)")
+		maxInFlight   = flag.Int("max-inflight", 0, "cap on one connection's unresolved submissions (0 = default 1024, <0 = uncapped)")
+		writeTimeout  = flag.Duration("write-timeout", 0, "per-reply write deadline; a client that stops reading is disconnected (0 = default 10s, <0 = none)")
+		chaosSeed     = flag.Int64("chaos-seed", 0, "install a deterministic connection fault injector with this seed (0 = off; drills only)")
 	)
 	flag.Parse()
 	if *dataDir != "" && *dbFile != "" {
@@ -74,6 +89,9 @@ func main() {
 		entangle.WithFlushEvery(*flushEvery),
 		entangle.WithFlushInterval(*flushInterval),
 		entangle.WithSeed(*seed),
+	}
+	if *maxPending > 0 {
+		opts = append(opts, entangle.WithMaxPending(*maxPending))
 	}
 	if *dataDir != "" {
 		var pol entangle.Durability
@@ -123,9 +141,17 @@ func main() {
 	go sys.Run(ctx)
 
 	srv := server.New(sys.Engine())
+	srv.MaxInFlight = *maxInFlight
+	srv.WriteTimeout = *writeTimeout
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("d3cd: %v", err)
+	}
+	if *chaosSeed != 0 {
+		in := fault.Plan(*chaosSeed, 4)
+		srv.Injector = in
+		l = fault.WrapListener(l, in)
+		log.Printf("d3cd: CHAOS MODE — connection fault injector armed with seed %d", *chaosSeed)
 	}
 	log.Printf("d3cd: serving %s mode on %s (%d shards)", m, l.Addr(), sys.Engine().NumShards())
 

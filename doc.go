@@ -47,8 +47,20 @@
 // still-pending queries are re-admitted in original ID order, and
 // already-delivered results are not re-delivered, so a recovered System is
 // observationally equivalent to one that never crashed (see "Durability"
-// in README.md). Failures are typed:
+// in README.md).
+//
+// The system degrades gracefully instead of falling over: WithMaxPending
+// caps the engine-wide pending set, shedding excess submissions with a
+// typed ErrOverloaded (whole batches refused atomically) rather than
+// growing without bound, and a WAL write failure poisons the log so every
+// later durable submission fails fast with ErrWALPoisoned — memory never
+// silently diverges from disk — until a successful Checkpoint supersedes
+// the broken epoch and clears the poison (see "Resilience" in README.md;
+// the fault-injection chaos harness that exercises these paths lives in
+// internal/fault). Failures are typed:
 // errors.Is(err, ErrClosed) after Close,
+// errors.Is(err, ErrOverloaded) on shed submissions,
+// errors.Is(err, ErrWALPoisoned) on a poisoned durable system,
 // errors.Is(res.Err(), ErrStale / ErrUnsafe / ErrRejected) on non-answered
 // results, and errors.As(err, **ParseError) for syntax errors with offsets.
 //
@@ -66,7 +78,11 @@
 //     that potential coordination partners always meet on the same shard
 //     (see the engine package comment for the routing invariant);
 //   - internal/server — a TCP/JSON front end for many concurrent clients,
-//     with single, batched and prepared submission ops;
+//     with single, batched and prepared submission ops, per-connection
+//     overload caps, idempotent re-submission tokens, and a self-healing
+//     client (reconnect with backoff, typed connection-loss results);
+//   - internal/fault — the seed-driven deterministic fault injector the
+//     chaos tests drive through the WAL and the server's connections;
 //   - internal/memdb — the in-memory conjunctive-query database substrate,
 //     with compiled evaluation plans and the shape-keyed plan cache;
 //   - internal/wal — the write-ahead log and checkpoint store behind

@@ -150,6 +150,12 @@ func WithCheckpointEvery(d time.Duration) Option {
 	return func(c *config) { c.engine.CheckpointEvery = d }
 }
 
+// WithMaxPending caps the engine-wide pending-query count: submissions that
+// would push past the cap are shed with ErrOverloaded before any WAL append
+// or coordination work (0 = unlimited). The cap is approximate under
+// concurrency — cheap on the admit path, precise enough to bound memory.
+func WithMaxPending(n int) Option { return func(c *config) { c.engine.MaxPending = n } }
+
 // System is the top-level façade of the entangled-queries library: a
 // database substrate plus an asynchronous coordination engine, wired to the
 // entangled-SQL front end, the matching algorithm, and the Section 6

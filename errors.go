@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"entangle/internal/engine"
 	"entangle/internal/ir"
 )
 
@@ -23,6 +24,20 @@ var (
 	// determined the query is permanently unanswerable (unifier clash, no
 	// global unifier, or the combined query returned no rows).
 	ErrRejected = errors.New("entangle: query cannot be answered")
+
+	// ErrOverloaded is returned by Submit/SubmitSQL/SubmitIR/SubmitBatch/
+	// SubmitBulk when the WithMaxPending cap would be exceeded: the
+	// submission was shed before any durability or coordination work. It is
+	// the engine's sentinel verbatim, so errors.Is matches the same failure
+	// whether it surfaces here, through the server's reply code, or from a
+	// remote client.
+	ErrOverloaded = engine.ErrOverloaded
+	// ErrWALPoisoned is returned (wrapped) by submissions on a durable
+	// System whose write-ahead log saw an append/fsync failure: the engine
+	// fails fast instead of acknowledging writes the log may have lost, and
+	// a successful Checkpoint into a fresh epoch clears the state. The
+	// engine's sentinel verbatim, like ErrOverloaded.
+	ErrWALPoisoned = engine.ErrWALPoisoned
 )
 
 // ParseError is a syntax error from the entangled-SQL or IR-text parsers,

@@ -84,6 +84,24 @@ func (e *Env) ArrivalExperiment(sizes []int, shards int) ([]Row, error) {
 			}
 			rows = append(rows, closing)
 
+			// Resilience row: the same closing workload with the MaxPending
+			// overload gate armed (cap high enough to never trip). Its
+			// pinned AllocLimit proves the admission-path resilience hooks
+			// (cap check + pending gauge) cost zero allocations: any
+			// implementation that starts allocating on the gate trips the
+			// perf gate against the closing baseline.
+			if sc == 1 {
+				guarded, err := e.runArrivalsCfg("arrival closing resilience-armed (1 shard)", nil, qs,
+					engine.Config{Mode: engine.Incremental, Shards: 1, Seed: 1, MaxPending: len(qs) + 1})
+				if err != nil {
+					return nil, err
+				}
+				if guarded.Pending != 0 {
+					return nil, fmt.Errorf("bench: resilience-armed run left %d pending", guarded.Pending)
+				}
+				rows = append(rows, guarded)
+			}
+
 			// Repeat-shape wave: the first warmArrivals submissions prime
 			// the plan cache untimed, the rest are timed as pure cache hits.
 			if len(qs) >= warmArrivals+2 {
@@ -128,7 +146,14 @@ func (e *Env) runArrivals(label string, qs []*ir.Query, shards int) (Row, error)
 // counter staying flat is enforced, so a checked-in cache-hit row can
 // never silently measure the compile path.
 func (e *Env) runArrivalsWarm(label string, warm, qs []*ir.Query, shards int) (Row, error) {
-	eng := engine.New(e.DB, engine.Config{Mode: engine.Incremental, Shards: shards, Seed: 1})
+	return e.runArrivalsCfg(label, warm, qs, engine.Config{Mode: engine.Incremental, Shards: shards, Seed: 1})
+}
+
+// runArrivalsCfg is runArrivalsWarm with an explicit engine configuration,
+// for rows that arm optional engine features (e.g. the MaxPending overload
+// gate) and pin their cost on the arrival path.
+func (e *Env) runArrivalsCfg(label string, warm, qs []*ir.Query, cfg engine.Config) (Row, error) {
+	eng := engine.New(e.DB, cfg)
 	defer eng.Close()
 	for _, q := range warm {
 		if _, err := eng.Submit(q); err != nil {

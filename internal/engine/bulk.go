@@ -62,6 +62,9 @@ func (e *Engine) SubmitBulk(qs []*ir.Query, opt BulkOptions) ([]*Handle, error) 
 	if e.closed {
 		return nil, ErrClosed
 	}
+	if err := e.admitCap(len(qs)); err != nil {
+		return nil, err
+	}
 	n := len(qs)
 	items := make([]bulkItem, n)
 	relss := make([][]string, n)
@@ -174,6 +177,7 @@ func (s *shard) bulkLoad(items []bulkItem) error {
 		}
 		s.checker.AdmitUnchecked(it.renamed)
 		s.pending[id] = &pendingQuery{renamed: it.renamed, rels: it.rels, handle: it.handle, submitted: it.at, src: it.src}
+		s.eng.pendingGauge.Add(1)
 		if s.eng.cfg.StaleAfter > 0 {
 			s.stale.push(staleItem{at: it.at, id: id})
 			s.compactStaleIfNeeded()

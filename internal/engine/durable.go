@@ -52,7 +52,7 @@ func Open(db *memdb.DB, cfg Config) (*Engine, error) {
 	if cfg.DataDir == "" {
 		return New(db, cfg), nil
 	}
-	d, err := wal.OpenDir(cfg.DataDir, cfg.Durability, cfg.WALFlushInterval)
+	d, err := wal.OpenDirFS(cfg.DataDir, cfg.Durability, cfg.WALFlushInterval, cfg.WALFS)
 	if err != nil {
 		return nil, err
 	}

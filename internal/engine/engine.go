@@ -51,6 +51,7 @@ import (
 	"time"
 
 	"entangle/internal/eqsql"
+	"entangle/internal/fault"
 	"entangle/internal/ir"
 	"entangle/internal/match"
 	"entangle/internal/memdb"
@@ -202,6 +203,17 @@ type Config struct {
 	// WALFlushInterval is the background flush/group-commit cadence for
 	// the Off and Batch policies; 0 picks the default (2ms).
 	WALFlushInterval time.Duration
+	// WALFS overrides the filesystem under the write-ahead log and
+	// checkpoints (fault injection in tests); nil uses the real OS
+	// filesystem. Meaningful only with DataDir set.
+	WALFS fault.FS
+	// MaxPending caps the engine-wide pending-query count: a Submit /
+	// SubmitBatch / SubmitBulk that would push the gauge past the cap is
+	// shed with ErrOverloaded before any WAL append or shard work. The cap
+	// is approximate under concurrency (the gauge is read without holding
+	// shard locks), which is exactly what load shedding wants: cheap on the
+	// admit path, precise enough to bound memory. 0 disables the cap.
+	MaxPending int
 }
 
 // Stats are cumulative engine counters. For a sharded engine the top-level
@@ -252,6 +264,10 @@ type Stats struct {
 	PlanHits      int
 	PlanMisses    int
 	PlanEvictions int
+	// Overloaded counts submissions shed by the MaxPending cap (whole
+	// batches count once per call). Engine-level like RouterPasses: zero in
+	// PerShard, excluded from aggregation.
+	Overloaded int
 
 	// WAL carries the durability subsystem's counters; nil when the engine
 	// was not opened with a data directory.
@@ -272,6 +288,10 @@ type WALStats struct {
 	LastCheckpointAgeMS int64
 	AppendErrors        int64
 	CheckpointErrors    int64
+	// Poisoned reports the WAL's fail-stop state: an append or fsync
+	// failed, so submissions fail fast with ErrWALPoisoned until a
+	// successful checkpoint rotates to a fresh epoch.
+	Poisoned bool
 }
 
 // add accumulates s2 into the aggregate. PerShard is excluded, and so is
@@ -289,6 +309,18 @@ func (s *Stats) add(s2 Stats) {
 
 // ErrClosed is returned by operations on a closed engine.
 var ErrClosed = errors.New("engine: closed")
+
+// ErrOverloaded is returned by Submit/SubmitBatch/SubmitBulk when the
+// MaxPending cap would be exceeded; test with errors.Is. Shedding happens
+// before the WAL append and before any shard work, so an overloaded engine
+// stays cheap to say no to.
+var ErrOverloaded = errors.New("engine: overloaded: pending-query cap reached")
+
+// ErrWALPoisoned re-exports the WAL's fail-stop sentinel: after a failed
+// append or fsync, durable submissions fail fast with this error (wrapped,
+// test with errors.Is) instead of acknowledging writes the log may have
+// lost. A successful Checkpoint clears it.
+var ErrWALPoisoned = wal.ErrPoisoned
 
 type pendingQuery struct {
 	renamed   *ir.Query // renamed apart; lives in the shard's graph
@@ -326,6 +358,12 @@ type Engine struct {
 	bulkLoads       atomic.Int64
 	bulkFlushes     atomic.Int64
 	familiesRetired atomic.Int64
+	// pendingGauge tracks the engine-wide pending-query count (Σ over
+	// shards of len(s.pending)) for the MaxPending admission check, updated
+	// where shards register and retire entries. overloadShed counts
+	// submissions refused by the cap.
+	pendingGauge atomic.Int64
+	overloadShed atomic.Int64
 	// eventSeq stamps audit events with a total order, so History can merge
 	// the per-shard rings deterministically even at equal timestamps.
 	eventSeq atomic.Uint64
@@ -434,6 +472,7 @@ func (e *Engine) Stats() Stats {
 		agg.BulkLoads = int(e.bulkLoads.Load())
 		agg.BulkFlushes = int(e.bulkFlushes.Load())
 		agg.FamiliesRetired = int(e.familiesRetired.Load())
+		agg.Overloaded = int(e.overloadShed.Load())
 		if e.plans != nil {
 			hits, misses, evictions := e.plans.Counters()
 			agg.PlanHits = int(hits)
@@ -450,6 +489,7 @@ func (e *Engine) Stats() Stats {
 				Checkpoints:      ws.Checkpoints,
 				AppendErrors:     e.walAppendErrs.Load(),
 				CheckpointErrors: e.checkpointErrs.Load(),
+				Poisoned:         ws.Poisoned,
 			}
 			if !ws.LastCheckpoint.IsZero() {
 				agg.WAL.LastCheckpointAgeMS = time.Since(ws.LastCheckpoint).Milliseconds()
@@ -470,6 +510,9 @@ func (e *Engine) Submit(q *ir.Query) (*Handle, error) {
 	defer e.lifeMu.RUnlock()
 	if e.closed {
 		return nil, ErrClosed
+	}
+	if err := e.admitCap(1); err != nil {
+		return nil, err
 	}
 	// One copy, not three: RenamedCopy fuses the defensive clone (the
 	// caller keeps q) with ID assignment and the rename-apart pass. The
@@ -518,6 +561,22 @@ func (e *Engine) Submit(q *ir.Query) (*Handle, error) {
 		}
 		return h, nil
 	}
+}
+
+// admitCap sheds the submission when admitting n more queries would push
+// the pending gauge past MaxPending. Entire batches are refused whole: a
+// partially admitted batch would break the caller's all-or-nothing handle
+// contract. The cap is approximate under concurrency (see Config.MaxPending).
+func (e *Engine) admitCap(n int) error {
+	max := e.cfg.MaxPending
+	if max <= 0 {
+		return nil
+	}
+	if pending := e.pendingGauge.Load(); int(pending)+n > max {
+		e.overloadShed.Add(1)
+		return fmt.Errorf("%w (pending %d + %d > max %d)", ErrOverloaded, pending, n, max)
+	}
+	return nil
 }
 
 // migrateFamily drains every displaced shard of the family rooted at root
@@ -643,6 +702,9 @@ func (e *Engine) SubmitBatch(qs []*ir.Query) ([]*Handle, error) {
 	defer e.lifeMu.RUnlock()
 	if e.closed {
 		return nil, ErrClosed
+	}
+	if err := e.admitCap(len(qs)); err != nil {
+		return nil, err
 	}
 	n := len(qs)
 	renamed := make([]*ir.Query, n)

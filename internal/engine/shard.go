@@ -110,6 +110,7 @@ func (s *shard) submit(renamed *ir.Query, rels []string, h *Handle, now time.Tim
 		return err
 	}
 	s.pending[renamed.ID] = &pendingQuery{renamed: renamed, rels: rels, handle: h, submitted: now, src: src}
+	s.eng.pendingGauge.Add(1)
 	if s.eng.cfg.StaleAfter > 0 {
 		s.stale.push(staleItem{at: now, id: renamed.ID})
 		s.compactStaleIfNeeded()
@@ -362,6 +363,7 @@ func (s *shard) deliver(answers []ir.Answer, rejected []match.Removal) {
 func (s *shard) retire(id ir.QueryID) {
 	if p := s.pending[id]; p != nil {
 		s.eng.router.addPending(p.rels[0], -1)
+		s.eng.pendingGauge.Add(-1)
 	}
 	delete(s.pending, id)
 	s.g.RemoveQuery(id)
@@ -444,6 +446,7 @@ func (s *shard) close() {
 		s.record(EventStale, id, "engine closed")
 		p.handle.ch <- Result{QueryID: id, Status: StatusStale, Detail: "engine closed"}
 		s.eng.router.addPending(p.rels[0], -1)
+		s.eng.pendingGauge.Add(-1)
 	}
 	s.pending = make(map[ir.QueryID]*pendingQuery)
 	s.stale.reset()

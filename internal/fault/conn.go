@@ -1,0 +1,91 @@
+package fault
+
+import "net"
+
+// Conn wraps a net.Conn with byte-offset fault injection: the schedule's
+// conn-op points are cumulative byte positions in the read and write
+// streams, so a plan can drop the connection at exactly the Nth byte of a
+// bulk upload or truncate the Nth reply mid-frame.
+type Conn struct {
+	net.Conn
+	in *Injector
+}
+
+// WrapConn installs in under c; a nil injector returns c unchanged.
+func WrapConn(c net.Conn, in *Injector) net.Conn {
+	if in == nil {
+		return c
+	}
+	return &Conn{Conn: c, in: in}
+}
+
+// Read performs the underlying read, then applies any fault whose byte
+// position the read crossed: a truncation surfaces only the bytes before
+// the fault point, a drop also closes the connection, a delay stalls the
+// reader after the bytes are delivered.
+func (c *Conn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n > 0 {
+		switch kind, off := c.in.advance(OpConnRead, int64(n)); kind {
+		case None:
+		case Delay:
+			c.in.sleep()
+		case Drop:
+			c.Conn.Close()
+			return int(off), ErrInjected
+		default: // Fail, Torn
+			return int(off), ErrInjected
+		}
+	}
+	return n, err
+}
+
+// Write applies any fault the write would cross before touching the wire:
+// torn and dropped writes send a strict prefix so the peer sees a cut
+// mid-frame, exactly like a connection dying between TCP segments.
+func (c *Conn) Write(p []byte) (int, error) {
+	if len(p) > 0 {
+		switch kind, off := c.in.advance(OpConnWrite, int64(len(p))); kind {
+		case None:
+		case Delay:
+			c.in.sleep()
+		case Drop:
+			n := 0
+			if off > 0 {
+				n, _ = c.Conn.Write(p[:off])
+			}
+			c.Conn.Close()
+			return n, ErrInjected
+		default: // Fail, Torn
+			n := 0
+			if off > 0 {
+				n, _ = c.Conn.Write(p[:off])
+			}
+			return n, ErrInjected
+		}
+	}
+	return c.Conn.Write(p)
+}
+
+// Listener wraps an accept loop so every inbound connection shares in.
+type Listener struct {
+	net.Listener
+	in *Injector
+}
+
+// WrapListener installs in under l; a nil injector returns l unchanged.
+func WrapListener(l net.Listener, in *Injector) net.Listener {
+	if in == nil {
+		return l
+	}
+	return &Listener{Listener: l, in: in}
+}
+
+// Accept wraps each accepted connection with the listener's injector.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return WrapConn(c, l.in), nil
+}

@@ -1,0 +1,271 @@
+// Package fault provides deterministic, seed-driven fault injection for the
+// durability and network layers: an Injector holds a replayable schedule of
+// fault points, and thin wrappers thread it under the WAL's file I/O
+// (FS/File) and the server/client wire (net.Conn). Every chaos-test failure
+// is reproducible from the injector's seed and schedule alone — there is no
+// wall-clock or goroutine-interleaving dependence in WHAT faults fire, only
+// (for shared injectors) in which concurrent stream they land on; tests that
+// need strict per-stream determinism give each connection its own injector.
+//
+// Units: file operations (OpFileWrite, OpFileSync) are counted in CALLS;
+// connection operations (OpConnRead, OpConnWrite) are counted in BYTES, so a
+// schedule can drop or freeze a connection at exactly the Nth byte.
+//
+// A nil *Injector disables injection entirely: the wrappers are simply not
+// installed (WrapConn and NewFS return their argument unchanged), so the
+// production hot path pays nothing — not even a branch — when faults are off.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Op classifies an injectable operation.
+type Op uint8
+
+const (
+	// OpFileWrite is one File.Write call (buffered-writer flushes included).
+	OpFileWrite Op = iota
+	// OpFileSync is one File.Sync (fsync) call.
+	OpFileSync
+	// OpConnRead is counted per byte read from a wrapped net.Conn.
+	OpConnRead
+	// OpConnWrite is counted per byte written to a wrapped net.Conn.
+	OpConnWrite
+
+	numOps
+)
+
+// String names the op.
+func (op Op) String() string {
+	switch op {
+	case OpFileWrite:
+		return "file-write"
+	case OpFileSync:
+		return "file-sync"
+	case OpConnRead:
+		return "conn-read"
+	case OpConnWrite:
+		return "conn-write"
+	default:
+		return fmt.Sprintf("Op(%d)", int(op))
+	}
+}
+
+// Kind is what happens when a fault point fires.
+type Kind uint8
+
+const (
+	// None — no fault.
+	None Kind = iota
+	// Fail refuses the operation with ErrInjected (an fsync error, a write
+	// that performed nothing, a read error mid-stream).
+	Fail
+	// Torn performs a strict prefix of the operation, then fails with
+	// ErrInjected: a short/torn write, or a read truncated at the fault byte.
+	Torn
+	// Drop closes the underlying file/connection and fails with ErrInjected;
+	// on a connection the peer sees EOF at the fault byte.
+	Drop
+	// Delay sleeps the injector's delay, then performs the operation
+	// normally (a frozen-then-recovered connection, a slow disk).
+	Delay
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Fail:
+		return "fail"
+	case Torn:
+		return "torn"
+	case Drop:
+		return "drop"
+	case Delay:
+		return "delay"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ErrInjected is the error every injected fault surfaces; test with
+// errors.Is to distinguish injected failures from real ones.
+var ErrInjected = errors.New("fault: injected")
+
+// Stats snapshots an injector's observation and injection counters.
+type Stats struct {
+	Seed            int64 `json:"seed"`
+	FileWrites      int64 `json:"file_writes"`
+	FileSyncs       int64 `json:"file_syncs"`
+	ConnReadBytes   int64 `json:"conn_read_bytes"`
+	ConnWriteBytes  int64 `json:"conn_write_bytes"`
+	FileWriteFaults int64 `json:"file_write_faults"`
+	FileSyncFaults  int64 `json:"file_sync_faults"`
+	ConnReadFaults  int64 `json:"conn_read_faults"`
+	ConnWriteFaults int64 `json:"conn_write_faults"`
+}
+
+// Injected totals the faults fired across all ops.
+func (s Stats) Injected() int64 {
+	return s.FileWriteFaults + s.FileSyncFaults + s.ConnReadFaults + s.ConnWriteFaults
+}
+
+// point is one scheduled fault: fires when the op's cursor crosses at
+// (1-based: at=1 faults the first unit).
+type point struct {
+	at   int64
+	kind Kind
+}
+
+// Injector is a deterministic fault schedule plus progress cursors. Safe for
+// concurrent use; the mutex is on cold I/O paths only.
+type Injector struct {
+	seed  int64
+	delay time.Duration // Delay-kind sleep; set before use (WithDelay)
+
+	mu       sync.Mutex
+	sched    [numOps][]point // ascending by at
+	next     [numOps]int     // first unfired schedule index
+	everyN   [numOps]int64   // recurring fault period (0 = off)
+	everyK   [numOps]Kind
+	cursor   [numOps]int64 // units consumed (calls or bytes)
+	injected [numOps]int64
+}
+
+// New returns an empty injector. The seed is recorded for Stats/labels; the
+// schedule itself comes from At/Every calls (or use Plan to derive one from
+// the seed).
+func New(seed int64) *Injector {
+	return &Injector{seed: seed, delay: time.Millisecond}
+}
+
+// WithDelay sets the Delay-kind sleep duration (default 1ms). Call before
+// the injector is in use; chainable.
+func (in *Injector) WithDelay(d time.Duration) *Injector {
+	in.delay = d
+	return in
+}
+
+// At schedules kind to fire when op's cursor reaches unit at (1-based:
+// calls for file ops, bytes for conn ops). Chainable; points may be added
+// in any order.
+func (in *Injector) At(op Op, at int64, kind Kind) *Injector {
+	if at < 1 || kind == None {
+		return in
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	s := in.sched[op]
+	s = append(s, point{at: at, kind: kind})
+	// Keep the unfired tail sorted; fired points (before next) never move.
+	tail := s[in.next[op]:]
+	sort.Slice(tail, func(i, j int) bool { return tail[i].at < tail[j].at })
+	in.sched[op] = s
+	return in
+}
+
+// Every schedules kind to fire each time op's cursor crosses a multiple of
+// n units, from now on; n <= 0 clears the recurring fault for op. Explicit
+// At points take precedence within one operation. Chainable.
+func (in *Injector) Every(op Op, n int64, kind Kind) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if n <= 0 || kind == None {
+		in.everyN[op] = 0
+		return in
+	}
+	in.everyN[op], in.everyK[op] = n, kind
+	return in
+}
+
+// Plan derives a replayable schedule from the seed alone: perOp fault
+// points per op, positions and kinds drawn from a splitmix64 stream. File
+// points land in the first 64 calls, connection points in the first 32 KiB,
+// so short chaos workloads actually reach them.
+func Plan(seed int64, perOp int) *Injector {
+	in := New(seed)
+	s := uint64(seed)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	kinds := [...]Kind{Fail, Torn, Drop, Delay}
+	for op := Op(0); op < numOps; op++ {
+		horizon := int64(64)
+		if op == OpConnRead || op == OpConnWrite {
+			horizon = 32 << 10
+		}
+		for i := 0; i < perOp; i++ {
+			at := int64(splitmix64(&s)%uint64(horizon)) + 1
+			kind := kinds[splitmix64(&s)%uint64(len(kinds))]
+			in.At(op, at, kind)
+		}
+	}
+	return in
+}
+
+// splitmix64 advances the state and returns the next value of the stream.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// advance consumes n units of op and reports the fault to apply, if any.
+// off is how many units of this operation complete before the fault (the
+// torn-write prefix length). Explicit points fire at most once each; the
+// recurring Every fault fires whenever the cursor crosses one of its
+// multiples (at most once per call — I/O sizes dwarf realistic periods).
+func (in *Injector) advance(op Op, n int64) (kind Kind, off int64) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	prev := in.cursor[op]
+	in.cursor[op] = prev + n
+	at := int64(-1)
+	for in.next[op] < len(in.sched[op]) {
+		p := in.sched[op][in.next[op]]
+		if p.at <= prev {
+			in.next[op]++ // scheduled behind the cursor; can never fire
+			continue
+		}
+		if p.at <= prev+n {
+			in.next[op]++
+			at, kind = p.at, p.kind
+		}
+		break
+	}
+	if at < 0 && in.everyN[op] > 0 {
+		if m := (prev/in.everyN[op] + 1) * in.everyN[op]; m <= prev+n {
+			at, kind = m, in.everyK[op]
+		}
+	}
+	if at < 0 {
+		return None, 0
+	}
+	in.injected[op]++
+	return kind, at - prev - 1
+}
+
+// sleep blocks for the Delay-kind duration.
+func (in *Injector) sleep() { time.Sleep(in.delay) }
+
+// Stats snapshots the counters.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return Stats{
+		Seed:            in.seed,
+		FileWrites:      in.cursor[OpFileWrite],
+		FileSyncs:       in.cursor[OpFileSync],
+		ConnReadBytes:   in.cursor[OpConnRead],
+		ConnWriteBytes:  in.cursor[OpConnWrite],
+		FileWriteFaults: in.injected[OpFileWrite],
+		FileSyncFaults:  in.injected[OpFileSync],
+		ConnReadFaults:  in.injected[OpConnRead],
+		ConnWriteFaults: in.injected[OpConnWrite],
+	}
+}

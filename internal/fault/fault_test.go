@@ -1,0 +1,177 @@
+package fault
+
+import (
+	"errors"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func openFile(t *testing.T, fs FS, name string) File {
+	t.Helper()
+	f, err := fs.OpenFile(name, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestAtFiresOnExactCall(t *testing.T) {
+	in := New(1).At(OpFileWrite, 3, Fail)
+	fs := NewFS(OS{}, in)
+	f := openFile(t, fs, filepath.Join(t.TempDir(), "f"))
+	defer f.Close()
+	for i := 1; i <= 4; i++ {
+		_, err := f.Write([]byte("x"))
+		if i == 3 {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("write %d: err = %v, want ErrInjected", i, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	st := in.Stats()
+	if st.FileWrites != 4 || st.FileWriteFaults != 1 {
+		t.Fatalf("stats = %+v, want 4 writes / 1 fault", st)
+	}
+	if st.Injected() != 1 {
+		t.Fatalf("Injected() = %d, want 1", st.Injected())
+	}
+}
+
+func TestEveryRecursAndClears(t *testing.T) {
+	in := New(1).Every(OpFileSync, 2, Fail)
+	fs := NewFS(OS{}, in)
+	f := openFile(t, fs, filepath.Join(t.TempDir(), "f"))
+	defer f.Close()
+	for i := 1; i <= 4; i++ {
+		err := f.Sync()
+		if even := i%2 == 0; even != errors.Is(err, ErrInjected) {
+			t.Fatalf("sync %d: err = %v (every-2 schedule)", i, err)
+		}
+	}
+	in.Every(OpFileSync, 0, None) // clear
+	for i := 5; i <= 6; i++ {
+		if err := f.Sync(); err != nil {
+			t.Fatalf("sync %d after clear: %v", i, err)
+		}
+	}
+}
+
+func TestTornWritePersistsStrictPrefix(t *testing.T) {
+	in := New(1).At(OpFileWrite, 1, Torn)
+	fs := NewFS(OS{}, in)
+	path := filepath.Join(t.TempDir(), "f")
+	f := openFile(t, fs, path)
+	n, err := f.Write([]byte("abcdefgh"))
+	if !errors.Is(err, ErrInjected) || n != 4 {
+		t.Fatalf("torn write: n=%d err=%v, want 4/ErrInjected", n, err)
+	}
+	f.Close()
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "abcd" {
+		t.Fatalf("file holds %q, want the torn prefix \"abcd\"", got)
+	}
+}
+
+func TestPlanIsReplayableBySeed(t *testing.T) {
+	a, b := Plan(99, 4), Plan(99, 4)
+	for i := 0; i < 512; i++ {
+		for op := Op(0); op < numOps; op++ {
+			k1, o1 := a.advance(op, 7)
+			k2, o2 := b.advance(op, 7)
+			if k1 != k2 || o1 != o2 {
+				t.Fatalf("step %d op %v: (%v,%d) vs (%v,%d) — same seed must replay identically",
+					i, op, k1, o1, k2, o2)
+			}
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+	// Different seeds give different schedules (with overwhelming likelihood
+	// over 4 points × 4 ops).
+	c, d := Plan(1, 4), Plan(2, 4)
+	same := true
+	for i := 0; i < 512 && same; i++ {
+		for op := Op(0); op < numOps; op++ {
+			k1, o1 := c.advance(op, 7)
+			k2, o2 := d.advance(op, 7)
+			if k1 != k2 || o1 != o2 {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("Plan(1) and Plan(2) produced identical fault schedules")
+	}
+}
+
+func TestNilInjectorAddsNoWrapper(t *testing.T) {
+	inner := OS{}
+	if fs := NewFS(inner, nil); fs != FS(inner) {
+		t.Fatal("NewFS(inner, nil) must return inner unchanged")
+	}
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	if w := WrapConn(c1, nil); w != c1 {
+		t.Fatal("WrapConn(c, nil) must return c unchanged")
+	}
+}
+
+// TestChaosConnFaults drives wrapped pipe connections through drop, torn
+// and delay points at pinned byte offsets — the building block the server
+// chaos harness replays by seed.
+func TestChaosConnFaults(t *testing.T) {
+	// Write side: drop at byte 10 of the write stream.
+	{
+		in := New(7).At(OpConnWrite, 10, Drop)
+		a, b := net.Pipe()
+		defer b.Close()
+		w := WrapConn(a, in)
+		got := make(chan []byte, 1)
+		go func() {
+			buf := make([]byte, 64)
+			n, _ := b.Read(buf)
+			got <- buf[:n]
+		}()
+		n, err := w.Write([]byte("0123456789abcdef"))
+		if !errors.Is(err, ErrInjected) || n != 9 {
+			t.Fatalf("dropped write: n=%d err=%v, want 9/ErrInjected", n, err)
+		}
+		select {
+		case pfx := <-got:
+			if string(pfx) != "012345678" {
+				t.Fatalf("peer saw %q, want the 9-byte prefix", pfx)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("peer never received the torn prefix")
+		}
+		if _, err := w.Write([]byte("after")); err == nil {
+			t.Fatal("write after Drop must fail (connection closed)")
+		}
+	}
+	// Read side: truncate at byte 5 of the read stream.
+	{
+		in := New(7).At(OpConnRead, 5, Torn)
+		a, b := net.Pipe()
+		defer a.Close()
+		defer b.Close()
+		r := WrapConn(b, in)
+		go a.Write([]byte("01234567"))
+		buf := make([]byte, 64)
+		n, err := r.Read(buf)
+		if !errors.Is(err, ErrInjected) || n != 4 {
+			t.Fatalf("torn read: n=%d err=%v, want 4/ErrInjected", n, err)
+		}
+	}
+}

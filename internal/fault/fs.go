@@ -1,0 +1,143 @@
+package fault
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// File is the slice of *os.File the WAL needs; injected wrappers fault the
+// Write and Sync paths.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	Sync() error
+}
+
+// FS is the slice of the os/filepath packages the WAL needs, so tests can
+// slide an injector (or any other filesystem double) under wal.OpenDirFS
+// without the production path changing shape.
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	Open(name string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	Stat(name string) (os.FileInfo, error)
+	Glob(pattern string) ([]string, error)
+}
+
+// OS is the passthrough FS over the real filesystem.
+type OS struct{}
+
+// MkdirAll is os.MkdirAll.
+func (OS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+// OpenFile is os.OpenFile.
+func (OS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+// Open is os.Open.
+func (OS) Open(name string) (File, error) { return os.Open(name) }
+
+// Rename is os.Rename.
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove is os.Remove.
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+// Stat is os.Stat.
+func (OS) Stat(name string) (os.FileInfo, error) { return os.Stat(name) }
+
+// Glob is filepath.Glob.
+func (OS) Glob(pattern string) ([]string, error) { return filepath.Glob(pattern) }
+
+// NewFS wraps inner so files it opens inject in's Write/Sync faults. Reads
+// and metadata operations pass through untouched — recovery always observes
+// the real on-disk state, so chaos assertions test what a restarted process
+// would see. A nil injector returns inner unchanged.
+func NewFS(inner FS, in *Injector) FS {
+	if in == nil {
+		return inner
+	}
+	return &injFS{inner: inner, in: in}
+}
+
+type injFS struct {
+	inner FS
+	in    *Injector
+}
+
+func (f *injFS) MkdirAll(path string, perm os.FileMode) error { return f.inner.MkdirAll(path, perm) }
+
+func (f *injFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	fl, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{File: fl, in: f.in}, nil
+}
+
+func (f *injFS) Open(name string) (File, error) {
+	fl, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{File: fl, in: f.in}, nil
+}
+
+func (f *injFS) Rename(oldpath, newpath string) error { return f.inner.Rename(oldpath, newpath) }
+func (f *injFS) Remove(name string) error             { return f.inner.Remove(name) }
+func (f *injFS) Stat(name string) (os.FileInfo, error) {
+	return f.inner.Stat(name)
+}
+func (f *injFS) Glob(pattern string) ([]string, error) { return f.inner.Glob(pattern) }
+
+// injFile faults the write/sync path of one file. File ops are counted in
+// calls, so a schedule point at N fires on the Nth write (or fsync) across
+// every file the injector's FS has opened.
+type injFile struct {
+	File
+	in *Injector
+}
+
+func (f *injFile) Write(p []byte) (int, error) {
+	switch kind, _ := f.in.advance(OpFileWrite, 1); kind {
+	case None:
+		return f.File.Write(p)
+	case Delay:
+		f.in.sleep()
+		return f.File.Write(p)
+	case Torn:
+		// A torn write persists a strict prefix, like power loss mid-frame.
+		n := len(p) / 2
+		if n > 0 {
+			if m, err := f.File.Write(p[:n]); err != nil {
+				return m, err
+			}
+		}
+		return n, ErrInjected
+	case Drop:
+		f.File.Close()
+		return 0, ErrInjected
+	default: // Fail
+		return 0, ErrInjected
+	}
+}
+
+func (f *injFile) Sync() error {
+	switch kind, _ := f.in.advance(OpFileSync, 1); kind {
+	case None:
+		return f.File.Sync()
+	case Delay:
+		f.in.sleep()
+		return f.File.Sync()
+	case Drop:
+		f.File.Close()
+		return ErrInjected
+	default: // Fail, Torn — a sync has no prefix to tear
+		return ErrInjected
+	}
+}

@@ -129,3 +129,69 @@ func TestServerShutdownWithPendingQueries(t *testing.T) {
 		t.Fatal("Shutdown hung with pending queries")
 	}
 }
+
+// TestSlowClientDoesNotWedgeServer pins the write-deadline fix: a client
+// that stops draining its replies fills the kernel buffers, trips the
+// server's write deadline, and gets its connection torn down — while a
+// healthy client on another connection keeps coordinating and Shutdown
+// still returns promptly.
+func TestSlowClientDoesNotWedgeServer(t *testing.T) {
+	s, addr := startServerWith(t, engine.Config{Mode: engine.Incremental, Shards: 1},
+		func(s *Server) { s.WriteTimeout = 150 * time.Millisecond })
+
+	// The slow client floods stats requests and never reads a reply.
+	slow, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer slow.Close()
+	flooding := make(chan struct{})
+	go func() {
+		defer close(flooding)
+		req := []byte(`{"op":"stats"}` + "\n")
+		for i := 0; i < 5000; i++ {
+			slow.SetWriteDeadline(time.Now().Add(2 * time.Second))
+			if _, err := slow.Write(req); err != nil {
+				return // server tore the connection down — expected
+			}
+		}
+	}()
+
+	// A healthy client on its own connection is unaffected.
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, ch1, err := c.SubmitIR("{H(J, x)} H(K, x) :- F(x, Rome)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ch2, err := c.SubmitIR("{H(K, y)} H(J, y) :- F(y, Rome)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := waitResult(t, ch1); r.Status != "answered" {
+		t.Fatalf("healthy client pair: %+v", r)
+	}
+	if r := waitResult(t, ch2); r.Status != "answered" {
+		t.Fatalf("healthy client pair: %+v", r)
+	}
+	select {
+	case <-flooding:
+	case <-time.After(10 * time.Second):
+		t.Fatal("flood writer still running: server never tore down the stuck connection")
+	}
+
+	// Shutdown must not wait on the wedged connection's writes.
+	done := make(chan struct{})
+	go func() {
+		s.Shutdown()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Shutdown hung behind the slow client")
+	}
+}

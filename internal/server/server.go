@@ -25,12 +25,29 @@
 //	                 {"op":"stats"}                       engine counters
 //	server → client: {"type":"ack","id":7}                submission accepted
 //	                 {"type":"error","error":"…"}         submission failed
+//	                 {"type":"error","error":"…","code":"overloaded"}
+//	                                                      typed failure (code: "overloaded" | "wal_poisoned")
 //	                 {"type":"batch","items":[{"id":7},{"error":"…"}]}
 //	                                                      per-query batch outcome, in input order
 //	                 {"type":"prepared","stmt":3,"params":2}
 //	                                                      statement prepared; params counts its placeholders
 //	                 {"type":"result","id":7,"status":"answered","tuples":["R(K, 122)"]}
 //	                 {"type":"stats","stats":{…}}
+//
+// # Resilience
+//
+// Single submissions (sql / ir / execute) may carry a client-generated
+// "token", echoed back on the ack and remembered server-side: a reconnecting
+// client that never saw its ack re-sends the same request with the same
+// token, and the server suppresses the duplicate admission, re-acks the
+// original engine-assigned id, and re-delivers the terminal result on the
+// new connection. Error replies carry a machine-readable "code" for typed
+// failures (engine overload, WAL poisoning), each reply write runs under the
+// server's write deadline (a reader that stops draining gets its connection
+// torn down instead of wedging the forwarders behind the shared write lock),
+// and per-connection in-flight submissions are capped (shed with the
+// "overloaded" code). Stats replies include fault-injector counters when a
+// test injector is installed.
 //
 // A submit_batch reply carries one item per input query: an engine-assigned
 // id for each accepted query (whose single result later arrives as a normal
@@ -70,11 +87,15 @@ package server
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"entangle/internal/engine"
+	"entangle/internal/fault"
 	"entangle/internal/ir"
 )
 
@@ -92,6 +113,11 @@ type Request struct {
 	// $1..$K order.
 	Stmt     int      `json:"stmt,omitempty"`
 	Bindings []string `json:"bindings,omitempty"`
+	// Token is a client-generated idempotency key for single submissions
+	// (sql / ir / execute): re-sending a request with the same token after a
+	// reconnect cannot admit the query twice (see the Resilience section of
+	// the package docs).
+	Token string `json:"token,omitempty"`
 }
 
 // BatchQuery is one query of a submit_batch request: entangled SQL or IR
@@ -121,11 +147,86 @@ type Response struct {
 	// connection-scoped statement id and its placeholder count.
 	Stmt   int `json:"stmt,omitempty"`
 	Params int `json:"params,omitempty"`
+	// Code classifies typed failures machine-readably (see the Code*
+	// constants); empty for untyped errors and all non-error replies.
+	Code string `json:"code,omitempty"`
+	// Token echoes the request's idempotency token on acks and error
+	// replies, so a client can correlate a re-delivered reply after a
+	// reconnect.
+	Token string `json:"token,omitempty"`
+	// Faults carries the server's fault-injector counters in stats replies,
+	// when a test injector is installed (nil otherwise).
+	Faults *fault.Stats `json:"faults,omitempty"`
+}
+
+// Typed error codes carried by Response.Code.
+const (
+	// CodeOverloaded — the engine's MaxPending cap or the connection's
+	// in-flight cap shed the submission.
+	CodeOverloaded = "overloaded"
+	// CodeWALPoisoned — the WAL is in its fail-stop state; durable
+	// submissions fail fast until a checkpoint clears it.
+	CodeWALPoisoned = "wal_poisoned"
+	// CodeConnLost — synthesized client-side for results that can no longer
+	// arrive because the connection carrying them died.
+	CodeConnLost = "conn_lost"
+)
+
+// Err maps an error reply (or an error-status result) to a typed error:
+// overload and WAL-poison codes unwrap to engine.ErrOverloaded and
+// engine.ErrWALPoisoned, conn-lost results to ErrConnLost — all errors.Is
+// matchable end to end. Non-error responses return nil.
+func (r Response) Err() error {
+	if r.Type != "error" && !(r.Type == "result" && r.Status == "error") {
+		return nil
+	}
+	msg := r.Error
+	if msg == "" {
+		msg = r.Detail
+	}
+	switch r.Code {
+	case CodeOverloaded:
+		return fmt.Errorf("server: %s: %w", msg, engine.ErrOverloaded)
+	case CodeWALPoisoned:
+		return fmt.Errorf("server: %s: %w", msg, engine.ErrWALPoisoned)
+	case CodeConnLost:
+		return fmt.Errorf("%w: %s", ErrConnLost, msg)
+	default:
+		return fmt.Errorf("server: %s", msg)
+	}
+}
+
+// errCode classifies an engine submission error for Response.Code.
+func errCode(err error) string {
+	switch {
+	case errors.Is(err, engine.ErrOverloaded):
+		return CodeOverloaded
+	case errors.Is(err, engine.ErrWALPoisoned):
+		return CodeWALPoisoned
+	default:
+		return ""
+	}
 }
 
 // Server serves a D3C engine over a listener.
 type Server struct {
 	Engine *engine.Engine
+
+	// WriteTimeout bounds each reply write. A reply that cannot complete
+	// within it — a reader that stopped draining, a dead peer — fails the
+	// write and tears the connection down, so one stuck client cannot wedge
+	// the forwarders queueing behind the connection's write lock. 0 picks
+	// the default (10s); negative disables the deadline. Set before Serve.
+	WriteTimeout time.Duration
+	// MaxInFlight caps one connection's submissions whose results have not
+	// yet been forwarded; excess submissions are shed with an "overloaded"
+	// error reply. 0 picks the default (1024); negative disables the cap.
+	// Set before Serve.
+	MaxInFlight int
+	// Injector, when set (tests, chaos drills), reports fault-injection
+	// counters in stats replies. The server does not install it anywhere —
+	// wrap the listener or dialer with the fault package to actually inject.
+	Injector *fault.Injector
 
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
@@ -135,6 +236,45 @@ type Server struct {
 	// Shutdown can wait for them instead of leaking forwarders blocked on
 	// queries that will never resolve (their select exits on done).
 	wg sync.WaitGroup
+
+	// tokens dedupes single submissions by client token within a bounded
+	// window (see Request.Token); tokOrder drives insertion-order eviction.
+	tokMu    sync.Mutex
+	tokens   map[string]*tokenEntry
+	tokOrder []string
+}
+
+// tokenEntry tracks one tokened submission from admission to terminal
+// result, so a duplicate (a re-send after the client lost its connection)
+// can re-ack the original id and re-deliver the result when it is ready.
+type tokenEntry struct {
+	acked   chan struct{} // closed once id / errResp are decided
+	id      ir.QueryID
+	errResp *Response     // admission failure reply; nil if admitted
+	ready   chan struct{} // closed once res holds the terminal result
+	res     Response
+}
+
+// maxTrackedTokens bounds the dedup window; beyond it the oldest entries
+// age out (a client re-sending a request 8k submissions later is asking for
+// a fresh admission, which is the pre-token behavior).
+const maxTrackedTokens = 8192
+
+// rememberTokenLocked registers te under token, evicting entries beyond the
+// window. Caller holds tokMu.
+func (s *Server) rememberTokenLocked(token string, te *tokenEntry) {
+	if s.tokens == nil {
+		s.tokens = make(map[string]*tokenEntry)
+	}
+	s.tokens[token] = te
+	s.tokOrder = append(s.tokOrder, token)
+	if len(s.tokOrder) > maxTrackedTokens {
+		n := len(s.tokOrder) - maxTrackedTokens
+		for _, old := range s.tokOrder[:n] {
+			delete(s.tokens, old)
+		}
+		s.tokOrder = append(s.tokOrder[:0], s.tokOrder[n:]...)
+	}
 }
 
 // New returns a server for the given engine.
@@ -196,6 +336,19 @@ func (s *Server) handle(conn net.Conn) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
+	writeTimeout := s.WriteTimeout
+	if writeTimeout == 0 {
+		writeTimeout = 10 * time.Second
+	} else if writeTimeout < 0 {
+		writeTimeout = 0
+	}
+	maxInFlight := s.MaxInFlight
+	if maxInFlight == 0 {
+		maxInFlight = 1024
+	} else if maxInFlight < 0 {
+		maxInFlight = 0
+	}
+
 	var wmu sync.Mutex // serialises concurrent result writers
 	write := func(r Response) error {
 		wmu.Lock()
@@ -205,16 +358,34 @@ func (s *Server) handle(conn net.Conn) {
 			return err
 		}
 		b = append(b, '\n')
-		_, err = conn.Write(b)
-		return err
+		if writeTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+		}
+		if _, err := conn.Write(b); err != nil {
+			// A reply that cannot be written — stuck reader, dead peer —
+			// makes the connection useless. Close it so every writer queued
+			// on wmu fails fast instead of each waiting out its own deadline
+			// behind a stuck pipe, and so the request scanner unblocks.
+			conn.Close()
+			return err
+		}
+		return nil
 	}
+
+	// inFlight counts this connection's submissions whose results have not
+	// yet been forwarded (or abandoned at shutdown).
+	var inFlight atomic.Int64
 
 	// forward streams a handle's single result back to the client. It runs
 	// as a tracked goroutine and gives up on server shutdown: a query still
 	// pending then will never resolve (the engine closes after the server),
-	// and a forwarder blocked on it would leak past Shutdown.
-	forward := func(h *engine.Handle) {
+	// and a forwarder blocked on it would leak past Shutdown. A tokened
+	// submission's result is cached on its entry BEFORE the write, so a
+	// re-send on a fresh connection can re-deliver what this write may be
+	// about to lose.
+	forward := func(h *engine.Handle, te *tokenEntry) {
 		defer s.wg.Done()
+		defer inFlight.Add(-1)
 		select {
 		case r := <-h.Done():
 			resp := Response{Type: "result", ID: r.QueryID, Status: r.Status.String(), Detail: r.Detail}
@@ -223,13 +394,87 @@ func (s *Server) handle(conn net.Conn) {
 					resp.Tuples = append(resp.Tuples, tpl.String())
 				}
 			}
+			if te != nil {
+				te.res = resp
+				close(te.ready)
+			}
 			write(resp)
 		case <-s.done:
 		}
 	}
-	spawn := func(h *engine.Handle) {
+	spawn := func(h *engine.Handle, te *tokenEntry) {
+		inFlight.Add(1)
 		s.wg.Add(1)
-		go forward(h)
+		go forward(h, te)
+	}
+
+	// overloadedConn sheds work beyond the connection's in-flight cap.
+	overloadedConn := func(n int) bool {
+		return maxInFlight > 0 && inFlight.Load()+int64(n) > int64(maxInFlight)
+	}
+
+	// submitOne runs a single tokened submission end to end: in-flight cap,
+	// duplicate suppression, admission, ack, result forwarder. A duplicate
+	// token (a client re-sending after a lost connection) never re-admits:
+	// it re-acks the original engine-assigned id and re-delivers the
+	// terminal result to THIS connection once the original forwarder has it.
+	submitOne := func(token string, admit func() (*engine.Handle, error)) {
+		if overloadedConn(1) {
+			write(Response{Type: "error", Code: CodeOverloaded, Token: token,
+				Error: "server: connection in-flight cap reached"})
+			return
+		}
+		var te, dup *tokenEntry
+		if token != "" {
+			s.tokMu.Lock()
+			if prev, ok := s.tokens[token]; ok {
+				dup = prev
+			} else {
+				te = &tokenEntry{acked: make(chan struct{}), ready: make(chan struct{})}
+				s.rememberTokenLocked(token, te)
+			}
+			s.tokMu.Unlock()
+		}
+		if dup != nil {
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				select {
+				case <-dup.acked:
+				case <-s.done:
+					return
+				}
+				if dup.errResp != nil {
+					write(*dup.errResp)
+					return
+				}
+				if write(Response{Type: "ack", ID: dup.id, Token: token}) != nil {
+					return
+				}
+				select {
+				case <-dup.ready:
+					write(dup.res)
+				case <-s.done:
+				}
+			}()
+			return
+		}
+		h, err := admit()
+		if err != nil {
+			resp := Response{Type: "error", Error: err.Error(), Code: errCode(err), Token: token}
+			if te != nil {
+				te.errResp = &resp
+				close(te.acked)
+			}
+			write(resp)
+			return
+		}
+		if te != nil {
+			te.id = h.ID
+			close(te.acked)
+		}
+		write(Response{Type: "ack", ID: h.ID, Token: token})
+		spawn(h, te)
 	}
 
 	// Prepared statements are connection-scoped: only this handler touches
@@ -289,25 +534,17 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		switch req.Op {
 		case "sql", "ir":
-			var h *engine.Handle
-			var err error
-			if req.Op == "sql" {
-				h, err = s.Engine.SubmitSQL(req.SQL)
-			} else {
-				var q *ir.Query
-				q, err = ir.Parse(0, req.IR)
-				if err == nil {
-					h, err = s.Engine.Submit(q)
+			req := req
+			submitOne(req.Token, func() (*engine.Handle, error) {
+				if req.Op == "sql" {
+					return s.Engine.SubmitSQL(req.SQL)
 				}
-			}
-			if err != nil {
-				write(Response{Type: "error", Error: err.Error()})
-				continue
-			}
-			if err := write(Response{Type: "ack", ID: h.ID}); err != nil {
-				return
-			}
-			spawn(h)
+				q, err := ir.Parse(0, req.IR)
+				if err != nil {
+					return nil, err
+				}
+				return s.Engine.Submit(q)
+			})
 		case "prepare":
 			var st *engine.Stmt
 			var err error
@@ -333,19 +570,19 @@ func (s *Server) handle(conn net.Conn) {
 		case "execute":
 			st, ok := stmts[req.Stmt]
 			if !ok {
-				write(Response{Type: "error", Error: fmt.Sprintf("execute: unknown statement %d", req.Stmt)})
+				write(Response{Type: "error", Token: req.Token, Error: fmt.Sprintf("execute: unknown statement %d", req.Stmt)})
 				continue
 			}
-			h, err := st.Submit(req.Bindings...)
-			if err != nil {
-				write(Response{Type: "error", Error: err.Error()})
-				continue
-			}
-			if err := write(Response{Type: "ack", ID: h.ID}); err != nil {
-				return
-			}
-			spawn(h)
+			bindings := req.Bindings
+			submitOne(req.Token, func() (*engine.Handle, error) {
+				return st.Submit(bindings...)
+			})
 		case "submit_batch", "submit_bulk":
+			if overloadedConn(len(req.Queries)) {
+				write(Response{Type: "error", Code: CodeOverloaded,
+					Error: "server: connection in-flight cap reached"})
+				continue
+			}
 			// Parse every query first so one bad query fails only its own
 			// item; the good ones are admitted through the engine's batched
 			// fast path in input order (submit_batch) or its unordered
@@ -359,17 +596,15 @@ func (s *Server) handle(conn net.Conn) {
 				handles, err = s.Engine.SubmitBatch(qs)
 			}
 			if err != nil {
-				write(Response{Type: "error", Error: err.Error()})
+				write(Response{Type: "error", Error: err.Error(), Code: errCode(err)})
 				continue
 			}
 			for j, h := range handles {
 				items[slots[j]] = BatchItem{ID: h.ID}
 			}
-			if err := write(Response{Type: "batch", Items: items}); err != nil {
-				return
-			}
+			write(Response{Type: "batch", Items: items})
 			for _, h := range handles {
-				spawn(h)
+				spawn(h, nil)
 			}
 		case "bulk_begin":
 			if bulkOpen {
@@ -383,22 +618,25 @@ func (s *Server) handle(conn net.Conn) {
 				write(Response{Type: "error", Error: "bulk_chunk outside a bulk session"})
 				continue
 			}
+			if overloadedConn(len(req.Queries)) {
+				write(Response{Type: "error", Code: CodeOverloaded,
+					Error: "server: connection in-flight cap reached"})
+				continue
+			}
 			items, qs, slots := parseQueries(req.Queries)
 			// Every chunk defers its flush: the session coordinates once, at
 			// bulk_end. Unsafe rejections still deliver per chunk.
 			handles, err := s.Engine.SubmitBulk(qs, engine.BulkOptions{DeferFlush: true})
 			if err != nil {
-				write(Response{Type: "error", Error: err.Error()})
+				write(Response{Type: "error", Error: err.Error(), Code: errCode(err)})
 				continue
 			}
 			for j, h := range handles {
 				items[slots[j]] = BatchItem{ID: h.ID}
 			}
-			if err := write(Response{Type: "batch", Items: items}); err != nil {
-				return
-			}
+			write(Response{Type: "batch", Items: items})
 			for _, h := range handles {
-				spawn(h)
+				spawn(h, nil)
 			}
 		case "bulk_end":
 			if !bulkOpen {
@@ -427,7 +665,12 @@ func (s *Server) handle(conn net.Conn) {
 			write(Response{Type: "ack"})
 		case "stats":
 			st := s.Engine.Stats()
-			write(Response{Type: "stats", Stats: &st})
+			resp := Response{Type: "stats", Stats: &st}
+			if s.Injector != nil {
+				fs := s.Injector.Stats()
+				resp.Faults = &fs
+			}
+			write(resp)
 		default:
 			write(Response{Type: "error", Error: fmt.Sprintf("unknown op %q", req.Op)})
 		}

@@ -14,6 +14,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"entangle/internal/fault"
 )
 
 // Data-directory layout:
@@ -43,6 +45,14 @@ var ErrCheckpointVersion = errors.New("wal: unsupported checkpoint version")
 // ErrNoLog is returned by Append before the first checkpoint establishes
 // an active log epoch.
 var ErrNoLog = errors.New("wal: no active log (initial checkpoint required)")
+
+// ErrPoisoned marks the fail-stop state: a write or fsync against the
+// active epoch's log failed, so the epoch can no longer be trusted to hold
+// what callers were told is durable. Every subsequent Append/Sync fails
+// fast with this error (test with errors.Is) until a successful Checkpoint
+// rotates to a fresh epoch — the checkpoint captures the full engine state
+// from memory, superseding whatever tail the broken epoch lost.
+var ErrPoisoned = errors.New("wal: epoch poisoned by append/fsync failure (checkpoint to clear)")
 
 // PendingQuery is one not-yet-resolved admission, as persisted in a
 // checkpoint and as reconstructed by Recover. IR is the original query's
@@ -92,6 +102,7 @@ type DirStats struct {
 	Bytes          int64
 	Fsyncs         int64
 	Checkpoints    int64
+	Poisoned       bool      // fail-stop: the active epoch saw an I/O failure
 	LastCheckpoint time.Time // zero until the first checkpoint this process
 }
 
@@ -112,12 +123,14 @@ type Dir struct {
 	path     string
 	policy   Policy
 	interval time.Duration
+	fs       fault.FS
 	c        counters
 
 	mu    sync.RWMutex // guards log/epoch rotation
 	log   *log         // nil until the first checkpoint
 	epoch uint64
 
+	poisoned    atomic.Bool // see ErrPoisoned
 	checkpoints atomic.Int64
 	lastCkpt    atomic.Int64 // unix nanos of the last successful checkpoint
 }
@@ -125,13 +138,23 @@ type Dir struct {
 // OpenDir prepares a data directory for recovery and appending.
 // flushInterval is the Off/Batch background cadence (default 2ms).
 func OpenDir(path string, policy Policy, flushInterval time.Duration) (*Dir, error) {
+	return OpenDirFS(path, policy, flushInterval, nil)
+}
+
+// OpenDirFS is OpenDir with the filesystem made explicit so tests can
+// thread a fault-injected FS under every log and checkpoint write. A nil fs
+// uses the real OS filesystem.
+func OpenDirFS(path string, policy Policy, flushInterval time.Duration, fs fault.FS) (*Dir, error) {
 	if flushInterval <= 0 {
 		flushInterval = 2 * time.Millisecond
 	}
-	if err := os.MkdirAll(path, 0o755); err != nil {
+	if fs == nil {
+		fs = fault.OS{}
+	}
+	if err := fs.MkdirAll(path, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
-	return &Dir{path: path, policy: policy, interval: flushInterval}, nil
+	return &Dir{path: path, policy: policy, interval: flushInterval, fs: fs}, nil
 }
 
 // Policy returns the configured fsync policy.
@@ -151,8 +174,8 @@ func (d *Dir) Recover(db SnapshotDB) (*Recovered, error) {
 	rec := &Recovered{}
 	pending := make(map[int64]PendingQuery)
 	ckptPath := filepath.Join(d.path, checkpointName)
-	if _, err := os.Stat(ckptPath); err == nil {
-		st, err := readCheckpoint(ckptPath, db)
+	if _, err := d.fs.Stat(ckptPath); err == nil {
+		st, err := readCheckpoint(d.fs, ckptPath, db)
 		if err != nil {
 			return nil, err
 		}
@@ -166,7 +189,7 @@ func (d *Dir) Recover(db SnapshotDB) (*Recovered, error) {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
 
-	if f, err := os.Open(d.walPath(d.epoch)); err == nil {
+	if f, err := d.fs.Open(d.walPath(d.epoch)); err == nil {
 		defer f.Close()
 		rd := NewReader(f)
 		for {
@@ -245,46 +268,51 @@ func (d *Dir) Checkpoint(st CheckpointState, db SnapshotDB) error {
 
 	// 1. Create the new epoch's empty log first: once the checkpoint below
 	// lands, its named log must exist.
-	nf, err := os.OpenFile(d.walPath(newEpoch), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	nf, err := d.fs.OpenFile(d.walPath(newEpoch), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
 
 	// 2. Durably replace the checkpoint via tmp + fsync + rename.
 	tmp := filepath.Join(d.path, checkpointName+".tmp")
-	if err := writeCheckpoint(tmp, st, db); err != nil {
+	if err := writeCheckpoint(d.fs, tmp, st, db); err != nil {
 		nf.Close()
-		os.Remove(d.walPath(newEpoch))
+		d.fs.Remove(d.walPath(newEpoch))
 		return err
 	}
-	if err := os.Rename(tmp, filepath.Join(d.path, checkpointName)); err != nil {
+	if err := d.fs.Rename(tmp, filepath.Join(d.path, checkpointName)); err != nil {
 		nf.Close()
-		os.Remove(d.walPath(newEpoch))
+		d.fs.Remove(d.walPath(newEpoch))
 		return fmt.Errorf("wal: %w", err)
 	}
-	syncDir(d.path)
+	syncDir(d.fs, d.path)
 
-	// 3. Swap the active log and drop superseded epochs.
+	// 3. Swap the active log and drop superseded epochs. The old epoch's
+	// close error (if any) is irrelevant by construction: the checkpoint
+	// that just landed supersedes everything that log held, which is also
+	// why a successful rotation clears the fail-stop poison.
 	old := d.log
 	d.log = newLog(nf, d.policy, d.interval, &d.c)
 	d.epoch = newEpoch
 	if old != nil {
 		old.close()
 	}
-	if matches, err := filepath.Glob(filepath.Join(d.path, "wal-*.log")); err == nil {
+	if matches, err := d.fs.Glob(filepath.Join(d.path, "wal-*.log")); err == nil {
 		for _, m := range matches {
 			if m != d.walPath(newEpoch) {
-				os.Remove(m)
+				d.fs.Remove(m)
 			}
 		}
 	}
+	d.poisoned.Store(false)
 	d.checkpoints.Add(1)
 	d.lastCkpt.Store(time.Now().UnixNano())
 	return nil
 }
 
 // Append writes records to the active epoch's log under the configured
-// durability policy. Fails with ErrNoLog before the first Checkpoint.
+// durability policy. Fails with ErrNoLog before the first Checkpoint, and
+// fails fast with ErrPoisoned once the epoch has seen an I/O failure.
 func (d *Dir) Append(recs ...Record) error {
 	d.mu.RLock()
 	l := d.log
@@ -292,7 +320,10 @@ func (d *Dir) Append(recs ...Record) error {
 	if l == nil {
 		return ErrNoLog
 	}
-	return l.append(recs...)
+	if d.poisoned.Load() {
+		return ErrPoisoned
+	}
+	return d.poison(l.append(recs...))
 }
 
 // Sync forces everything appended so far to stable storage, regardless of
@@ -304,8 +335,24 @@ func (d *Dir) Sync() error {
 	if l == nil {
 		return nil
 	}
-	return l.sync()
+	if d.poisoned.Load() {
+		return ErrPoisoned
+	}
+	return d.poison(l.sync())
 }
+
+// poison converts a log-level I/O failure into the sticky fail-stop state.
+// A closed log is a normal lifecycle outcome, not a fault.
+func (d *Dir) poison(err error) error {
+	if err == nil || errors.Is(err, ErrLogClosed) {
+		return err
+	}
+	d.poisoned.Store(true)
+	return fmt.Errorf("%w: %v", ErrPoisoned, err)
+}
+
+// Poisoned reports whether the active epoch is in the fail-stop state.
+func (d *Dir) Poisoned() bool { return d.poisoned.Load() }
 
 // Stats snapshots the durability counters.
 func (d *Dir) Stats() DirStats {
@@ -314,6 +361,7 @@ func (d *Dir) Stats() DirStats {
 		Bytes:       d.c.bytes.Load(),
 		Fsyncs:      d.c.fsyncs.Load(),
 		Checkpoints: d.checkpoints.Load(),
+		Poisoned:    d.poisoned.Load(),
 	}
 	if ns := d.lastCkpt.Load(); ns != 0 {
 		st.LastCheckpoint = time.Unix(0, ns)
@@ -335,8 +383,8 @@ func (d *Dir) Close() error {
 
 // writeCheckpoint writes magic | framed gob(state) | memdb snapshot to
 // path and fsyncs it.
-func writeCheckpoint(path string, st CheckpointState, db SnapshotDB) error {
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+func writeCheckpoint(fs fault.FS, path string, st CheckpointState, db SnapshotDB) error {
+	f, err := fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
@@ -377,9 +425,9 @@ func writeCheckpoint(path string, st CheckpointState, db SnapshotDB) error {
 // readCheckpoint loads a checkpoint file: the engine-state record is
 // validated (magic, CRC, version) and the embedded snapshot is read into
 // db, which must be empty.
-func readCheckpoint(path string, db SnapshotDB) (CheckpointState, error) {
+func readCheckpoint(fs fault.FS, path string, db SnapshotDB) (CheckpointState, error) {
 	var st CheckpointState
-	f, err := os.Open(path)
+	f, err := fs.Open(path)
 	if err != nil {
 		return st, fmt.Errorf("wal: %w", err)
 	}
@@ -419,8 +467,8 @@ func readCheckpoint(path string, db SnapshotDB) (CheckpointState, error) {
 
 // syncDir fsyncs a directory so a just-renamed entry is durable. Best
 // effort: some platforms/filesystems reject directory fsync.
-func syncDir(path string) {
-	if df, err := os.Open(path); err == nil {
+func syncDir(fs fault.FS, path string) {
+	if df, err := fs.Open(path); err == nil {
 		_ = df.Sync()
 		df.Close()
 	}

@@ -4,11 +4,12 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
-	"os"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"entangle/internal/fault"
 )
 
 // Policy selects how aggressively the log is forced to stable storage.
@@ -77,7 +78,7 @@ type counters struct {
 type log struct {
 	mu       sync.Mutex
 	cond     *sync.Cond // broadcast when a group commit completes
-	f        *os.File
+	f        fault.File
 	bw       *bufio.Writer
 	policy   Policy
 	c        *counters
@@ -91,7 +92,7 @@ type log struct {
 	done     chan struct{}
 }
 
-func newLog(f *os.File, policy Policy, interval time.Duration, c *counters) *log {
+func newLog(f fault.File, policy Policy, interval time.Duration, c *counters) *log {
 	l := &log{f: f, bw: bufio.NewWriterSize(f, 1<<16), policy: policy, c: c}
 	l.cond = sync.NewCond(&l.mu)
 	if policy != Sync {

@@ -1,0 +1,85 @@
+package wal
+
+import (
+	"errors"
+	"testing"
+
+	"entangle/internal/fault"
+)
+
+// TestChaosPoisonedEpochFailStop pins the WAL fail-stop contract: a failed
+// fsync poisons the epoch (appends fail fast with ErrPoisoned instead of
+// acknowledging writes the log may have lost), a successful checkpoint into
+// a fresh epoch clears the poison, and recovery afterwards sees exactly the
+// checkpointed state plus post-checkpoint appends — nothing from the
+// poisoned epoch's lost tail.
+func TestChaosPoisonedEpochFailStop(t *testing.T) {
+	dir := t.TempDir()
+	in := fault.New(3)
+	d, err := OpenDirFS(dir, Sync, 0, fault.NewFS(fault.OS{}, in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := &fakeDB{data: "v1"}
+	if err := d.Checkpoint(CheckpointState{NextID: 1}, db); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Append(DDLRecord("healthy")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every fsync fails from here: the next append poisons the epoch.
+	in.Every(fault.OpFileSync, 1, fault.Fail)
+	if err := d.Append(DDLRecord("lost-1")); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("append under failing fsync: err = %v, want ErrPoisoned", err)
+	}
+	if !d.Poisoned() {
+		t.Fatal("Poisoned() = false after an fsync failure")
+	}
+
+	// Fail-stop: even with the disk healthy again, the epoch stays poisoned
+	// (its durability is unknown) until a checkpoint supersedes it.
+	in.Every(fault.OpFileSync, 0, fault.None)
+	if err := d.Append(DDLRecord("lost-2")); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("append on poisoned epoch: err = %v, want fast ErrPoisoned", err)
+	}
+	if err := d.Sync(); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("sync on poisoned epoch: err = %v, want ErrPoisoned", err)
+	}
+
+	// A checkpoint captures full state from memory into a fresh epoch,
+	// superseding the broken log — poison clears, appends work again.
+	db.data = "v2"
+	if err := d.Checkpoint(CheckpointState{NextID: 2}, db); err != nil {
+		t.Fatalf("checkpoint on poisoned dir: %v", err)
+	}
+	if d.Poisoned() {
+		t.Fatal("Poisoned() = true after a successful checkpoint")
+	}
+	if err := d.Append(DDLRecord("after")); err != nil {
+		t.Fatalf("append after clearing checkpoint: %v", err)
+	}
+	if st := d.Stats(); st.Poisoned {
+		t.Fatal("DirStats.Poisoned = true after recovery to health")
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery sees checkpoint v2 plus the post-checkpoint append only.
+	d2, err := OpenDir(dir, Off, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	db2 := &fakeDB{}
+	if _, err := d2.Recover(db2); err != nil {
+		t.Fatal(err)
+	}
+	if db2.data != "v2" {
+		t.Fatalf("recovered snapshot %q, want \"v2\"", db2.data)
+	}
+	if len(db2.scripts) != 1 || db2.scripts[0] != "after" {
+		t.Fatalf("replayed scripts %q, want exactly [\"after\"]", db2.scripts)
+	}
+}

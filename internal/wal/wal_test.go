@@ -11,6 +11,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"entangle/internal/fault"
 )
 
 // fakeDB is a minimal SnapshotDB: the "database" is one string, the
@@ -309,7 +311,7 @@ func TestCheckpointVersionMismatch(t *testing.T) {
 	dir := t.TempDir()
 	db := &fakeDB{data: "x"}
 	path := filepath.Join(dir, checkpointName)
-	if err := writeCheckpoint(path, CheckpointState{Version: checkpointVersion + 1}, db); err != nil {
+	if err := writeCheckpoint(fault.OS{}, path, CheckpointState{Version: checkpointVersion + 1}, db); err != nil {
 		t.Fatal(err)
 	}
 	d, err := OpenDir(dir, Off, 0)

@@ -1,0 +1,58 @@
+package entangle
+
+// Tests for the public resilience surface: the WithMaxPending overload cap
+// and its errors.Is-able sentinel through the root API.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestMaxPendingOverloadTyped(t *testing.T) {
+	ctx := context.Background()
+	sys := flightsSystem(t, WithMaxPending(2), WithStaleAfter(10*time.Millisecond), WithShards(1))
+
+	// Fill the cap with partnerless queries.
+	for i := 1; i <= 2; i++ {
+		irText := fmt.Sprintf("{P%d(A, x)} P%d(B, x) :- F(x, Rome)", i, i)
+		if _, err := sys.SubmitIR(ctx, irText); err != nil {
+			t.Fatalf("submit %d under cap: %v", i, err)
+		}
+	}
+	_, err := sys.SubmitIR(ctx, "{P3(A, x)} P3(B, x) :- F(x, Rome)")
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("submit past cap: err = %v, want entangle.ErrOverloaded", err)
+	}
+	if _, err := sys.SubmitSQL(ctx, `SELECT 'A', fno INTO ANSWER P4
+WHERE fno IN (SELECT fno FROM Flights WHERE dest='Rome')
+AND ('B', fno) IN ANSWER P4 CHOOSE 1`); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("SubmitSQL past cap: err = %v, want entangle.ErrOverloaded", err)
+	}
+	if got := sys.Stats().Overloaded; got != 2 {
+		t.Fatalf("Stats.Overloaded = %d, want 2", got)
+	}
+
+	// Expiry drains the pending set; admission recovers.
+	time.Sleep(15 * time.Millisecond)
+	sys.ExpireStale()
+	h1, err := sys.SubmitIR(ctx, "{R(J, x)} R(K, x) :- F(x, Rome)")
+	if err != nil {
+		t.Fatalf("post-drain submit: %v", err)
+	}
+	h2, err := sys.SubmitIR(ctx, "{R(K, y)} R(J, y) :- F(y, Rome)")
+	if err != nil {
+		t.Fatalf("post-drain submit: %v", err)
+	}
+	for i, h := range []*Handle{h1, h2} {
+		r, err := h.Wait(ctx)
+		if err != nil {
+			t.Fatalf("pair %d wait: %v", i, err)
+		}
+		if r.Err() != nil {
+			t.Fatalf("pair %d: %v", i, r.Err())
+		}
+	}
+}
