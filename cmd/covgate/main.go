@@ -1,0 +1,130 @@
+// Command covgate is the CI coverage-floor gate: it reads a merged
+// coverprofile produced by `go test -coverprofile` and exits non-zero when
+// total statement coverage falls below the pinned floor. Like benchgate it
+// fails CLOSED — a missing, empty, or malformed profile is a failure, not a
+// silent pass, because the likeliest way to "pass" a coverage gate is for
+// the profile to quietly stop being produced.
+//
+// Usage:
+//
+//	covgate -profile coverage.out -floor 75.0
+//
+// The floor is a percentage of covered statements over all profiled
+// statements, the same figure `go tool cover -func` prints as "total".
+// Per-package coverage is printed for the log but never gated: package
+// floors invite gaming by test placement, while the total floor only moves
+// when the codebase as a whole loses tested surface.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// block is one coverprofile entry: a span of statements and its hit count.
+type block struct {
+	stmts, count int
+}
+
+func main() {
+	var (
+		profilePath = flag.String("profile", "coverage.out", "coverprofile produced by go test -coverprofile")
+		floor       = flag.Float64("floor", 0, "minimum total statement coverage, percent (required)")
+	)
+	flag.Parse()
+	if *floor <= 0 {
+		log.Fatal("covgate: -floor is required and must be positive (a zero floor gates nothing)")
+	}
+
+	f, err := os.Open(*profilePath)
+	if err != nil {
+		log.Fatalf("covgate: %v (fail-closed: no profile means no gate)", err)
+	}
+	defer f.Close()
+
+	// Merged profiles can repeat a block (one copy per test binary that
+	// loaded the file); keep the max count per block key, matching what
+	// `go tool cover -func` reports for mode: set and atomic alike.
+	blocks := make(map[string]block)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	lines := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "mode:") {
+			continue
+		}
+		lines++
+		// file.go:sl.sc,el.ec numstmts count
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			log.Fatalf("covgate: malformed profile line %q", line)
+		}
+		stmts, err1 := strconv.Atoi(fields[1])
+		count, err2 := strconv.Atoi(fields[2])
+		if err1 != nil || err2 != nil {
+			log.Fatalf("covgate: malformed profile line %q", line)
+		}
+		key := fields[0]
+		b := blocks[key]
+		if b.stmts == 0 {
+			b.stmts = stmts
+		}
+		if count > b.count {
+			b.count = count
+		}
+		blocks[key] = b
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatalf("covgate: reading %s: %v", *profilePath, err)
+	}
+	if lines == 0 {
+		log.Fatalf("covgate: %s holds no coverage blocks (fail-closed: an empty profile gates nothing)", *profilePath)
+	}
+
+	type agg struct{ total, covered int }
+	perPkg := make(map[string]*agg)
+	var all agg
+	for key, b := range blocks {
+		file := key[:strings.IndexByte(key, ':')]
+		pkg := path.Dir(file)
+		a := perPkg[pkg]
+		if a == nil {
+			a = &agg{}
+			perPkg[pkg] = a
+		}
+		a.total += b.stmts
+		all.total += b.stmts
+		if b.count > 0 {
+			a.covered += b.stmts
+			all.covered += b.stmts
+		}
+	}
+
+	pkgs := make([]string, 0, len(perPkg))
+	for p := range perPkg {
+		pkgs = append(pkgs, p)
+	}
+	sort.Strings(pkgs)
+	for _, p := range pkgs {
+		a := perPkg[p]
+		fmt.Printf("covgate: %-40s %6.1f%% (%d/%d statements)\n",
+			p, 100*float64(a.covered)/float64(a.total), a.covered, a.total)
+	}
+
+	pct := 100 * float64(all.covered) / float64(all.total)
+	if pct < *floor {
+		fmt.Fprintf(os.Stderr, "covgate: FAIL — total coverage %.1f%% is below the pinned floor %.1f%% (%d/%d statements)\n",
+			pct, *floor, all.covered, all.total)
+		os.Exit(1)
+	}
+	fmt.Printf("covgate: PASS — total coverage %.1f%% meets the pinned floor %.1f%% (%d/%d statements)\n",
+		pct, *floor, all.covered, all.total)
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	d3cbench [-experiment all|fig6|fig7|fig8|fig9|ablations|sharding|batching|arrival|durability]
+//	d3cbench [-experiment all|fig6|fig7|fig8|fig9|ablations|sharding|batching|arrival|durability|pushdown]
 //	         [-users 82168] [-scale 1.0] [-seed 42] [-shards 8] [-workers 8]
 //	         [-batch 64] [-json path]
 //
@@ -23,6 +23,12 @@
 // closing arrival path across fsync policies (no WAL at all, Off, Batch,
 // Sync); the no-WAL and Off rows carry pinned alloc budgets, the Batch and
 // Sync rows report honest wall-clock overhead only.
+// -experiment pushdown compares extended coordination's aggregation-
+// constraint evaluation paths on constraint-heavy workloads: constraints
+// pushed into the compiled plan as residual filters (the default) versus
+// the materialise-then-post-filter reference path, with identical
+// answered/rejected/tuple counts enforced between the arms and pinned alloc
+// budgets on both.
 // -json writes every series the run produced as a machine-readable report,
 // the format checked in as BENCH_arrival.json / BENCH_batching.json /
 // BENCH_durability.json.
@@ -40,7 +46,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment: all, fig6, fig7, fig8, fig9, ablations, sharding, batching, arrival, durability")
+		experiment = flag.String("experiment", "all", "which experiment: all, fig6, fig7, fig8, fig9, ablations, sharding, batching, arrival, durability, pushdown")
 		users      = flag.Int("users", 82168, "social graph size (paper: 82168)")
 		scale      = flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper sizes up to 100k queries)")
 		seed       = flag.Int64("seed", 42, "deterministic seed")
@@ -189,6 +195,15 @@ func main() {
 		}
 		emit(
 			fmt.Sprintf("Durability — WAL overhead on the closing arrival path, %d queries (1 shard; none/off alloc-gated, batch/sync latency only)", n), rows)
+		return nil
+	})
+
+	run("pushdown", func() error {
+		rows, err := bench.PushdownExperiment(scaled([]int{40, 200}, *scale), *seed)
+		if err != nil {
+			return err
+		}
+		emit("Pushdown — aggregation constraints as residual plan filters vs materialise-then-post-filter (alloc-gated)", rows)
 		return nil
 	})
 

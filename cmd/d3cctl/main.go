@@ -8,6 +8,9 @@
 //
 //	.batch q1; q2; …   submit several IR queries as one engine batch
 //	.bulk q1; q2; …    submit several IR queries as one unordered bulk load
+//	.subscribe q1; q2; …  submit a query set as one subscription: all results
+//	                   stream back on one multiplexed channel, surviving
+//	                   reconnects with exactly one outcome per query
 //	.prepare q         prepare an IR template ('$1'..'$K' placeholders)
 //	.exec N v1; v2; …  execute prepared statement N with bindings
 //	.flush             force a set-at-a-time round
@@ -116,6 +119,36 @@ func main() {
 		}
 	}
 
+	subscribe := func(text string) {
+		var queries []server.BatchQuery
+		for _, part := range strings.Split(text, ";") {
+			if part = strings.TrimSpace(part); part != "" {
+				queries = append(queries, server.BatchQuery{IR: part})
+			}
+		}
+		if len(queries) == 0 {
+			fmt.Println("usage: .subscribe {C} H :- B; {C} H :- B; …")
+			return
+		}
+		sub, err := c.Subscribe(queries)
+		if err != nil {
+			fmt.Printf("error: %s\n", describe(err))
+			return
+		}
+		for i, item := range sub.Items() {
+			if item.Error != "" {
+				fmt.Printf("subscribe[%d] error: %s\n", i, item.Error)
+			} else {
+				fmt.Printf("subscribed q%d\n", item.ID)
+			}
+		}
+		go func() {
+			for r := range sub.Results() {
+				results <- r
+			}
+		}()
+	}
+
 	stmts := make(map[int]*server.ClientStmt)
 	nextStmt := 0
 	prepare := func(text string) {
@@ -189,11 +222,13 @@ func main() {
 		case line == ".help":
 			fmt.Println("IR query:  {R(Jerry, x)} R(Kramer, x) :- Flights(x, Paris)")
 			fmt.Println("SQL query: SELECT 'Kramer', fno INTO ANSWER R WHERE … CHOOSE 1 (multiline; ends at CHOOSE or blank line)")
-			fmt.Println("commands:  .load <ddl/dml statements;…>  .batch <ir; ir; …>  .bulk <ir; ir; …>  .prepare <template>  .exec <N> <v1; v2; …>  .flush  .checkpoint  .stats  .faults  .quit")
+			fmt.Println("commands:  .load <ddl/dml statements;…>  .batch <ir; ir; …>  .bulk <ir; ir; …>  .subscribe <ir; ir; …>  .prepare <template>  .exec <N> <v1; v2; …>  .flush  .checkpoint  .stats  .faults  .quit")
 		case strings.HasPrefix(line, ".prepare "):
 			prepare(strings.TrimPrefix(line, ".prepare "))
 		case strings.HasPrefix(line, ".exec "):
 			exec(strings.TrimPrefix(line, ".exec "))
+		case strings.HasPrefix(line, ".subscribe "):
+			subscribe(strings.TrimPrefix(line, ".subscribe "))
 		case strings.HasPrefix(line, ".batch "):
 			submitMany(strings.TrimPrefix(line, ".batch "), "batch", c.SubmitBatch)
 		case strings.HasPrefix(line, ".bulk "):

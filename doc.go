@@ -37,7 +37,12 @@
 // Prepare/PrepareSQL/PrepareIR compile-check a template whose constants may
 // be '$1'…'$K' placeholders, and Stmt.Submit(ctx, bindings...) submits one
 // instance per binding set — every instance shares one cached evaluation
-// plan (see "Prepared statements" in README.md).
+// plan (see "Prepared statements" in README.md). Callers coordinating many
+// queries at once can replace one-Handle-per-query with Subscribe, which
+// admits a batch and streams every terminal result over one channel that
+// closes after the last — exactly one result per query, with outcomes
+// identical to individual handles (see "Streaming subscriptions" in
+// README.md).
 //
 // WithDataDir makes the system durable: admissions, results, expiries and
 // DDL are written ahead to a CRC-framed log (fsync policy per
@@ -78,9 +83,11 @@
 //     that potential coordination partners always meet on the same shard
 //     (see the engine package comment for the routing invariant);
 //   - internal/server — a TCP/JSON front end for many concurrent clients,
-//     with single, batched and prepared submission ops, per-connection
-//     overload caps, idempotent re-submission tokens, and a self-healing
-//     client (reconnect with backoff, typed connection-loss results);
+//     with single, batched, prepared and subscription (one multiplexed
+//     result stream per query set, replayable across reconnects by
+//     idempotency token) ops, per-connection overload caps, idempotent
+//     re-submission tokens, and a self-healing client (reconnect with
+//     backoff, typed connection-loss results);
 //   - internal/fault — the seed-driven deterministic fault injector the
 //     chaos tests drive through the WAL and the server's connections;
 //   - internal/memdb — the in-memory conjunctive-query database substrate,
@@ -91,7 +98,10 @@
 //     workloads and the harness regenerating every evaluation figure;
 //   - internal/csp — the general NP-complete baseline (Theorem 2.1);
 //   - internal/ext — the Section 6 extensions (CHOOSE k, aggregation
-//     postconditions, soft preferences).
+//     postconditions, soft preferences), with aggregation constraints
+//     pushed into the compiled plans as residual filters by default and
+//     the materialising post-filter path kept as an equivalence-tested
+//     reference.
 //
 // See README.md for a quickstart, the benchmarks in bench_test.go (one per
 // paper figure), and the runnable programs under examples/ and cmd/.

@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"time"
+
+	"entangle/internal/eqsql"
+	"entangle/internal/ext"
+	"entangle/internal/ir"
+	"entangle/internal/memdb"
+)
+
+// pushdownParties is the per-group raw candidate base: every group's
+// combined query ranges over this many parties, each fanned out by the
+// per-member detail rows, so the constraint has a large raw candidate set
+// to discriminate. 64 parties × 2³ detail fanout = 512 raw valuations per
+// group — comfortably below ext's MaxCandidates default, so the pushdown
+// and post-filter arms are semantically identical (equivalence-tested in
+// internal/ext) and the comparison measures pure evaluation cost.
+const (
+	pushdownParties = 64
+	pushdownMembers = 3
+	pushdownDetails = 2
+)
+
+// pushdownWorkload builds one constraint-heavy extended-coordination
+// workload: nGroups independent cycles of pushdownMembers friends, each
+// coordinating an answer relation over a shared party table, with an
+// aggregation constraint ("all members attend") on the first member that
+// only a seeded fraction of parties satisfies. The detail join fans each
+// party into 2³ raw valuations, so the materialising reference path pays
+// for the full join and a locking count per raw candidate, while the
+// pushdown path prunes failing parties at the first join level.
+func pushdownWorkload(nGroups int, seed int64) (*memdb.DB, []*ir.Query, map[ir.QueryID][]eqsql.AggConstraint, error) {
+	rng := rand.New(rand.NewSource(seed))
+	db := memdb.New()
+	for _, ddl := range [][]string{
+		{"PParty", "pid", "pdate"},
+		{"PDetail", "pid", "slot"},
+		{"PAttend", "pid", "name"},
+	} {
+		if err := db.CreateTable(ddl[0], ddl[1:]...); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	for p := 0; p < pushdownParties; p++ {
+		pid := fmt.Sprintf("P%03d", p)
+		db.MustInsert("PParty", pid, "Friday")
+		for d := 0; d < pushdownDetails; d++ {
+			db.MustInsert("PDetail", pid, fmt.Sprintf("D%d", d))
+		}
+	}
+
+	var qs []*ir.Query
+	aggs := make(map[ir.QueryID][]eqsql.AggConstraint, nGroups)
+	nextID := ir.QueryID(1)
+	for g := 0; g < nGroups; g++ {
+		rel := fmt.Sprintf("PA%d", g)
+		member := func(m int) string { return fmt.Sprintf("M%dx%d", g, m%pushdownMembers) }
+		// Attendance decides which parties satisfy the "all members attend"
+		// constraint: ~1/8 of parties host the whole group, the rest a
+		// strict subset — so the constraint rejects ~7/8 of raw candidates.
+		for p := 0; p < pushdownParties; p++ {
+			attending := pushdownMembers
+			if rng.Intn(8) != 0 {
+				attending = rng.Intn(pushdownMembers)
+			}
+			for m := 0; m < attending; m++ {
+				db.MustInsert("PAttend", fmt.Sprintf("P%03d", p), member(m))
+			}
+		}
+		for m := 0; m < pushdownMembers; m++ {
+			q := ir.MustParse(nextID, fmt.Sprintf(
+				"{%s(p, %s)} %s(p, %s) :- PParty(p, Friday), PDetail(p, d)",
+				rel, member(m+1), rel, member(m)))
+			if m == 0 {
+				aggs[nextID] = []eqsql.AggConstraint{{
+					Op: ">", Bound: pushdownMembers - 1,
+					AnswerAtoms: []ir.Atom{ir.NewAtom(rel, ir.Var("p"), ir.Var("w"))},
+					BodyAtoms:   []ir.Atom{ir.NewAtom("PAttend", ir.Var("p"), ir.Var("w"))},
+				}}
+			}
+			qs = append(qs, q)
+			nextID++
+		}
+	}
+	return db, qs, aggs, nil
+}
+
+// pushdownReps mirrors submitReps: each arm re-runs Coordinate this many
+// times and reports the median elapsed and allocation figures, so one
+// scheduler hiccup on a busy CI host cannot swamp the comparison.
+const pushdownReps = 5
+
+// PushdownExperiment compares extended coordination's two constraint
+// evaluation paths on identical constraint-heavy workloads: the default
+// pushdown mode (constraints compiled into the plan as residual filters,
+// evaluated inside the backtracking join) against the materialise-then-
+// post-filter reference path. Both arms must answer and reject exactly the
+// same queries with the same total tuple count — the modes are equivalence-
+// tested, so any divergence here is a bug, not noise. Rows carry allocs/op
+// and a pinned AllocLimit for the perf gate.
+func PushdownExperiment(sizes []int, seed int64) ([]Row, error) {
+	var rows []Row
+	for _, n := range sizes {
+		if n < 1 {
+			n = 1
+		}
+		db, qs, aggs, err := pushdownWorkload(n, seed)
+		if err != nil {
+			return nil, err
+		}
+		var arms []Row
+		var tuples []int
+		for _, postFilter := range []bool{false, true} {
+			// Labels carry the arm, not the size: the perf gate pairs pinned
+			// and current rows by label, and CI runs at a smaller -scale than
+			// the checked-in full-scale report.
+			label := "ext pushdown (residual plan filters)"
+			if postFilter {
+				label = "ext post-filter (materialise reference)"
+			}
+			row, tup, err := runPushdownArm(label, db, qs, aggs, postFilter)
+			if err != nil {
+				return nil, err
+			}
+			arms = append(arms, row)
+			tuples = append(tuples, tup)
+		}
+		if arms[0].Answered != arms[1].Answered || arms[0].Rejected != arms[1].Rejected || tuples[0] != tuples[1] {
+			return nil, fmt.Errorf("bench: pushdown answered/rejected/tuples %d/%d/%d, post-filter %d/%d/%d on identical workloads",
+				arms[0].Answered, arms[0].Rejected, tuples[0], arms[1].Answered, arms[1].Rejected, tuples[1])
+		}
+		rows = append(rows, arms...)
+	}
+	return rows, nil
+}
+
+// runPushdownArm measures one evaluation mode over the workload: median
+// elapsed and median allocs/op across pushdownReps runs, with a stability
+// check that every rep produced the identical outcome. The second return is
+// the total answer-tuple count, for the cross-arm equivalence check.
+func runPushdownArm(label string, db *memdb.DB, qs []*ir.Query, aggs map[ir.QueryID][]eqsql.AggConstraint, postFilter bool) (Row, int, error) {
+	opt := ext.Options{PostFilter: postFilter}
+	// Warm the lazy per-column indexes (and the one-off plan compilation)
+	// outside the timed reps.
+	if _, err := ext.Coordinate(db, qs, aggs, opt); err != nil {
+		return Row{}, 0, err
+	}
+	var elapsed []time.Duration
+	var allocs, bytes []float64
+	var row Row
+	for rep := 0; rep < pushdownReps; rep++ {
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		out, err := ext.Coordinate(db, qs, aggs, opt)
+		d := time.Since(start)
+		runtime.ReadMemStats(&m1)
+		if err != nil {
+			return Row{}, 0, err
+		}
+		elapsed = append(elapsed, d)
+		allocs = append(allocs, float64(m1.Mallocs-m0.Mallocs)/float64(len(qs)))
+		bytes = append(bytes, float64(m1.TotalAlloc-m0.TotalAlloc)/float64(len(qs)))
+		answered, tuples := 0, 0
+		for _, as := range out.Answers {
+			answered++
+			for _, a := range as {
+				tuples += len(a.Tuples)
+			}
+		}
+		cur := Row{Label: label, N: len(qs), Answered: answered, Rejected: len(out.Rejected), Pending: tuples}
+		if rep == 0 {
+			row = cur
+		} else if cur.Answered != row.Answered || cur.Rejected != row.Rejected || cur.Pending != row.Pending {
+			return Row{}, 0, fmt.Errorf("bench: %q rep %d outcome %d/%d/%d, rep 0 %d/%d/%d",
+				label, rep, cur.Answered, cur.Rejected, cur.Pending, row.Answered, row.Rejected, row.Pending)
+		}
+	}
+	sort.Slice(elapsed, func(i, j int) bool { return elapsed[i] < elapsed[j] })
+	sort.Float64s(allocs)
+	sort.Float64s(bytes)
+	row.Elapsed = elapsed[len(elapsed)/2]
+	row.AllocsPerOp = allocs[len(allocs)/2]
+	row.BytesPerOp = bytes[len(bytes)/2]
+	row.AllocLimit = math.Ceil(row.AllocsPerOp*1.4) + 6
+	// Pending carried the tuple-count stability check; it is not a pending
+	// count for this experiment.
+	tuples := row.Pending
+	row.Pending = 0
+	return row, tuples, nil
+}

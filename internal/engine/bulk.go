@@ -172,7 +172,7 @@ func (s *shard) bulkLoad(items []bulkItem) error {
 			s.stats.RejectedUnsafe++
 			s.record(EventUnsafe, id, err.Error())
 			s.eng.logUnsafe(id, err)
-			it.handle.ch <- Result{QueryID: id, Status: StatusUnsafe, Detail: err.Error()}
+			it.handle.deliver(Result{QueryID: id, Status: StatusUnsafe, Detail: err.Error()})
 			continue
 		}
 		s.checker.AdmitUnchecked(it.renamed)

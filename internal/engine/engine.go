@@ -128,6 +128,20 @@ type Result struct {
 type Handle struct {
 	ID ir.QueryID
 	ch chan Result
+	// hook, when non-nil, is invoked with the Result right after it is
+	// buffered on ch (SubmitBatchNotify). It runs on the delivering
+	// goroutine — possibly under a shard lock — so it must be fast,
+	// non-blocking, and must not call back into the engine.
+	hook func(Result)
+}
+
+// deliver buffers the handle's single Result (ch has capacity 1 and gets
+// exactly one send, so this never blocks) and fires the optional hook.
+func (h *Handle) deliver(r Result) {
+	h.ch <- r
+	if h.hook != nil {
+		h.hook(r)
+	}
 }
 
 // Done returns a channel that receives the query's single Result.
@@ -690,6 +704,17 @@ func (e *Engine) migrateFamily(root string) {
 // only the not-yet-admitted remainder of the batch is re-routed, so extra
 // passes occur only under cross-submitter merge races, not in steady state.
 func (e *Engine) SubmitBatch(qs []*ir.Query) ([]*Handle, error) {
+	return e.SubmitBatchNotify(qs, nil)
+}
+
+// SubmitBatchNotify is SubmitBatch with a result hook: fn (when non-nil) is
+// installed on every returned handle before admission, and is invoked once
+// per query with its Result, right after the Result is buffered on that
+// handle's channel. This is the multiplexing substrate for subscriptions —
+// one callback fans N results into one stream with no per-query goroutine.
+// fn runs on the delivering goroutine, possibly under a shard lock: it must
+// be fast, non-blocking, and must not call back into the engine.
+func (e *Engine) SubmitBatchNotify(qs []*ir.Query, fn func(Result)) ([]*Handle, error) {
 	if len(qs) == 0 {
 		return nil, nil
 	}
@@ -721,7 +746,7 @@ func (e *Engine) SubmitBatch(qs []*ir.Query) ([]*Handle, error) {
 		id := ir.QueryID(e.nextID.Add(1))
 		renamed[i] = q.RenamedCopy(id)
 		relss[i] = coordRels(q)
-		handles[i] = &Handle{ID: id, ch: make(chan Result, 1)}
+		handles[i] = &Handle{ID: id, ch: make(chan Result, 1), hook: fn}
 		if e.wal != nil {
 			srcs[i] = q.String()
 			recs[i] = wal.AdmitRecord(int64(id), q.Choose, q.Owner, srcs[i], now.UnixNano())

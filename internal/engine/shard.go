@@ -99,7 +99,7 @@ func (s *shard) submit(renamed *ir.Query, rels []string, h *Handle, now time.Tim
 		s.stats.RejectedUnsafe++
 		s.record(EventUnsafe, renamed.ID, err.Error())
 		s.eng.logUnsafe(renamed.ID, err)
-		h.ch <- Result{QueryID: renamed.ID, Status: StatusUnsafe, Detail: err.Error()}
+		h.deliver(Result{QueryID: renamed.ID, Status: StatusUnsafe, Detail: err.Error()})
 		return nil
 	}
 	// Check just passed under this same lock, so admission cannot re-fail;
@@ -345,7 +345,7 @@ func (s *shard) deliver(answers []ir.Answer, rejected []match.Removal) {
 		if s.hist != nil { // don't format tuples the nil trail discards
 			s.record(EventAnswered, a.QueryID, ir.FormatAtoms(a.Tuples))
 		}
-		p.handle.ch <- Result{QueryID: a.QueryID, Status: StatusAnswered, Answer: &ans}
+		p.handle.deliver(Result{QueryID: a.QueryID, Status: StatusAnswered, Answer: &ans})
 		s.retire(a.QueryID)
 	}
 	for _, r := range rejected {
@@ -355,7 +355,7 @@ func (s *shard) deliver(answers []ir.Answer, rejected []match.Removal) {
 		}
 		s.stats.Rejected++
 		s.record(EventRejected, r.Query, r.Cause.String())
-		p.handle.ch <- Result{QueryID: r.Query, Status: StatusRejected, Detail: r.Cause.String()}
+		p.handle.deliver(Result{QueryID: r.Query, Status: StatusRejected, Detail: r.Cause.String()})
 		s.retire(r.Query)
 	}
 }
@@ -420,7 +420,7 @@ func (s *shard) expireStale(cutoff time.Time) int {
 	for _, id := range victims {
 		s.stats.ExpiredStale++
 		s.record(EventStale, id, "staleness bound exceeded")
-		s.pending[id].handle.ch <- Result{QueryID: id, Status: StatusStale, Detail: staleDetail}
+		s.pending[id].handle.deliver(Result{QueryID: id, Status: StatusStale, Detail: staleDetail})
 		s.retire(id)
 	}
 	// Expiry can close previously blocked components: a stale query whose
@@ -444,7 +444,7 @@ func (s *shard) close() {
 	for id, p := range s.pending {
 		s.stats.ExpiredStale++
 		s.record(EventStale, id, "engine closed")
-		p.handle.ch <- Result{QueryID: id, Status: StatusStale, Detail: "engine closed"}
+		p.handle.deliver(Result{QueryID: id, Status: StatusStale, Detail: "engine closed"})
 		s.eng.router.addPending(p.rels[0], -1)
 		s.eng.pendingGauge.Add(-1)
 	}

@@ -42,6 +42,15 @@ type Options struct {
 	// selection ("soft preferences … the evaluation algorithm should favor
 	// coordinating sets that satisfy the users' preferences").
 	Preference Preference
+	// PostFilter forces the materialise-then-filter reference path: up to
+	// MaxCandidates valuations are evaluated first and aggregation
+	// constraints are applied afterwards. The default (false) pushes the
+	// constraints down into the compiled plan as residual filters, so a
+	// failing candidate prunes its join subtree before the remaining atoms
+	// are probed and MaxCandidates bounds the *accepted* valuations rather
+	// than the raw ones. Below the MaxCandidates cap the two paths are
+	// equivalence-tested to produce identical outcomes.
+	PostFilter bool
 	// Match forwards the core matcher options.
 	Match match.Options
 }
@@ -124,32 +133,9 @@ func Coordinate(db *memdb.DB, queries []*ir.Query, aggs map[ir.QueryID][]eqsql.A
 			continue
 		}
 		simplified := match.Simplify(cq, global)
-		vals, err := db.EvalConjunctive(simplified.Body, nil, memdb.EvalOptions{Limit: max})
+		valid, err := componentCandidates(db, byID, cq, global, simplified, renamedAggs, max, opt.PostFilter)
 		if err != nil {
 			return nil, err
-		}
-		// Filter candidates by every member's aggregation constraints.
-		var valid []ir.Substitution
-		for _, val := range vals {
-			ok := true
-			for _, id := range cq.Members {
-				for _, ac := range renamedAggs[id] {
-					sat, err := aggregateHolds(db, byID, cq.Members, global, val, ac)
-					if err != nil {
-						return nil, err
-					}
-					if !sat {
-						ok = false
-						break
-					}
-				}
-				if !ok {
-					break
-				}
-			}
-			if ok {
-				valid = append(valid, val)
-			}
 		}
 		if len(valid) == 0 {
 			for _, id := range res.Survivors {
@@ -210,18 +196,31 @@ func answerSignature(answers []ir.Answer) string {
 	return fmt.Sprint(parts)
 }
 
+// counter abstracts the conjunction-count evaluator behind aggregation
+// constraints: the locking db.Count on the materialising reference path,
+// or the lock-free FilterCtx.Count when the constraint runs as a residual
+// filter inside the join (where the database read lock is already held).
+type counter interface {
+	Count(atoms []ir.Atom) (int, error)
+}
+
+// dbCount adapts memdb.DB to counter for the post-filter reference path.
+type dbCount struct{ db *memdb.DB }
+
+func (c dbCount) Count(atoms []ir.Atom) (int, error) { return c.db.Count(atoms, nil) }
+
 // aggregateHolds evaluates one aggregation constraint against a candidate
 // valuation: the coordinated answer relation induced by the valuation is
 // materialised, the constraint's answer atoms are matched against it joined
 // with the database atoms, and the count is compared with the bound.
-func aggregateHolds(db *memdb.DB, byID map[ir.QueryID]*ir.Query, members []ir.QueryID, global *unify.Unifier, val ir.Substitution, ac eqsql.AggConstraint) (bool, error) {
+func aggregateHolds(cnt counter, byID map[ir.QueryID]*ir.Query, members []ir.QueryID, global *unify.Unifier, val ir.Substitution, ac eqsql.AggConstraint) (bool, error) {
 	answers, err := match.SplitAnswers(byID, members, global, val)
 	if err != nil {
 		return false, err
 	}
 	rel := match.AnswerRelation(answers)
 	s := global.Substitution()
-	count, err := countMatches(db, rel, ac, s, val)
+	count, err := countMatches(cnt, rel, ac, s, val)
 	if err != nil {
 		return false, err
 	}
@@ -240,7 +239,7 @@ func aggregateHolds(db *memdb.DB, byID map[ir.QueryID]*ir.Query, members []ir.Qu
 // countMatches counts assignments of the constraint's variables such that
 // every answer atom matches a tuple of the materialised answer relation and
 // every body atom matches a database row.
-func countMatches(db *memdb.DB, answerRel map[string][]ir.Atom, ac eqsql.AggConstraint, s, val ir.Substitution) (int, error) {
+func countMatches(cnt counter, answerRel map[string][]ir.Atom, ac eqsql.AggConstraint, s, val ir.Substitution) (int, error) {
 	// Ground the constraint atoms as far as the global substitution and
 	// candidate valuation allow.
 	groundAtoms := func(atoms []ir.Atom) []ir.Atom {
@@ -265,7 +264,7 @@ func countMatches(db *memdb.DB, answerRel map[string][]ir.Atom, ac eqsql.AggCons
 			for j, a := range bodyAtoms {
 				bound[j] = a.Apply(binding)
 			}
-			n, err := db.Count(bound, nil)
+			n, err := cnt.Count(bound)
 			if err != nil {
 				return err
 			}

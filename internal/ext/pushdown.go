@@ -1,0 +1,176 @@
+package ext
+
+import (
+	"entangle/internal/eqsql"
+	"entangle/internal/ir"
+	"entangle/internal/memdb"
+	"entangle/internal/unify"
+)
+
+// This file is the pushdown half of extended coordination: instead of
+// materialising up to MaxCandidates combined-query valuations and
+// post-filtering them against the aggregation constraints (the reference
+// path, kept in Coordinate behind Options.PostFilter), the constraints are
+// compiled into the plan as a residual filter (memdb.Plan.AttachFilter) and
+// evaluated inside the backtracking join at the earliest level where every
+// variable they read is bound. A candidate that fails its constraint prunes
+// the whole join subtree below that level — none of the remaining atoms are
+// probed — and the Limit now bounds accepted valuations, so a workload
+// whose constraints reject most candidates no longer starves CHOOSE-k
+// selection at the MaxCandidates cap.
+
+// componentCandidates evaluates one component's combined query and returns
+// the candidate valuations that satisfy every member's aggregation
+// constraints, in plan order, at most max. postFilter selects the
+// materialising reference path; both paths produce identical valuations
+// (equivalence-tested) whenever the reference path's raw candidate count
+// stays below max.
+func componentCandidates(db *memdb.DB, byID map[ir.QueryID]*ir.Query, cq *ir.CombinedQuery, global *unify.Unifier, simplified *ir.CombinedQuery, renamedAggs map[ir.QueryID][]eqsql.AggConstraint, max int, postFilter bool) ([]ir.Substitution, error) {
+	if postFilter {
+		vals, err := db.EvalConjunctive(simplified.Body, nil, memdb.EvalOptions{Limit: max})
+		if err != nil {
+			return nil, err
+		}
+		// Filter candidates by every member's aggregation constraints.
+		var valid []ir.Substitution
+		for _, val := range vals {
+			ok := true
+			for _, id := range cq.Members {
+				for _, ac := range renamedAggs[id] {
+					sat, err := aggregateHolds(dbCount{db}, byID, cq.Members, global, val, ac)
+					if err != nil {
+						return nil, err
+					}
+					if !sat {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					break
+				}
+			}
+			if ok {
+				valid = append(valid, val)
+			}
+		}
+		return valid, nil
+	}
+
+	p := db.CompilePlan(simplified.Body, nil)
+	hasAggs := false
+	for _, id := range cq.Members {
+		if len(renamedAggs[id]) > 0 {
+			hasAggs = true
+			break
+		}
+	}
+	if hasAggs {
+		f := newAggFilter(byID, cq.Members, global, renamedAggs, p)
+		slots := make([]int32, len(f.need))
+		for i, nv := range f.need {
+			slots[i] = nv.slot
+		}
+		p.AttachFilter(f, slots)
+	}
+	var st memdb.ExecState
+	n, err := db.ExecPlan(p, &st, memdb.EvalOptions{Limit: max})
+	if err != nil {
+		return nil, err
+	}
+	valid := make([]ir.Substitution, 0, n)
+	for i := 0; i < n; i++ {
+		valid = append(valid, p.ResultSubstitution(&st, i))
+	}
+	return valid, nil
+}
+
+// filterVar is one combined-query variable an aggFilter needs bound before
+// it can run: the member-head variables (to ground the coordinated answer
+// relation) and the constraint variables correlated with the join.
+type filterVar struct {
+	name string
+	slot int32
+}
+
+// aggFilter is the residual-filter form of a component's aggregation
+// constraints. Holds reconstructs the partial valuation over exactly the
+// needed variables from the join's binding slots and evaluates each
+// member's constraints with the FilterCtx's lock-free counting join —
+// never back through locking DB methods, which would re-enter the read
+// lock ExecPlan already holds.
+type aggFilter struct {
+	byID    map[ir.QueryID]*ir.Query
+	members []ir.QueryID
+	global  *unify.Unifier
+	aggs    map[ir.QueryID][]eqsql.AggConstraint
+	need    []filterVar
+	consts  ir.Substitution // needed vars the plan resolved to constants
+	val     ir.Substitution // reused across Holds calls
+}
+
+// newAggFilter computes the variable set the constraints observe — every
+// member-head variable after the global substitution (SplitAnswers must
+// ground them) plus every constraint variable with a binding slot in the
+// plan (the correlated ones; slot-less constraint variables are the free
+// counting variables the aggregate enumerates).
+func newAggFilter(byID map[ir.QueryID]*ir.Query, members []ir.QueryID, global *unify.Unifier, aggs map[ir.QueryID][]eqsql.AggConstraint, p *memdb.Plan) *aggFilter {
+	f := &aggFilter{byID: byID, members: members, global: global, aggs: aggs, consts: ir.Substitution{}}
+	s := global.Substitution()
+	seen := map[string]bool{}
+	add := func(t ir.Term) {
+		if !t.IsVar() || seen[t.Value] {
+			return
+		}
+		seen[t.Value] = true
+		slot, cval, ok := p.OutSlot(t.Value)
+		switch {
+		case ok && slot >= 0:
+			f.need = append(f.need, filterVar{name: t.Value, slot: slot})
+		case ok:
+			f.consts[t.Value] = ir.Const(cval)
+		}
+	}
+	addAtoms := func(atoms []ir.Atom) {
+		for _, a := range atoms {
+			g := a.Apply(s)
+			for _, t := range g.Args {
+				add(t)
+			}
+		}
+	}
+	for _, id := range members {
+		addAtoms(byID[id].Heads)
+		for _, ac := range aggs[id] {
+			addAtoms(ac.AnswerAtoms)
+			addAtoms(ac.BodyAtoms)
+		}
+	}
+	return f
+}
+
+// Holds implements memdb.Filter: same verdict as the post-filter loop in
+// componentCandidates, computed from the partial valuation. Constraint
+// order matches the reference path (members in component order, each
+// member's constraints in declaration order), so error surfacing is
+// identical too.
+func (f *aggFilter) Holds(fc *memdb.FilterCtx) (bool, error) {
+	if f.val == nil {
+		f.val = make(ir.Substitution, len(f.need)+len(f.consts))
+		for k, v := range f.consts {
+			f.val[k] = v
+		}
+	}
+	for _, nv := range f.need {
+		f.val[nv.name] = ir.Const(fc.Slot(nv.slot))
+	}
+	for _, id := range f.members {
+		for _, ac := range f.aggs[id] {
+			sat, err := aggregateHolds(fc, f.byID, f.members, f.global, f.val, ac)
+			if err != nil || !sat {
+				return sat, err
+			}
+		}
+	}
+	return true, nil
+}

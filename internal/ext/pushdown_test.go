@@ -1,0 +1,286 @@
+package ext
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"entangle/internal/eqsql"
+	"entangle/internal/ir"
+	"entangle/internal/match"
+	"entangle/internal/memdb"
+)
+
+// renderOutcome canonically serialises an Outcome: per-query answer lists
+// in emission order (so CHOOSE draws must match, not just the answer sets),
+// rejections sorted by query then cause.
+func renderOutcome(out *Outcome) string {
+	var b strings.Builder
+	ids := make([]int, 0, len(out.Answers))
+	for id := range out.Answers {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		fmt.Fprintf(&b, "q%d:", id)
+		for _, a := range out.Answers[ir.QueryID(id)] {
+			fmt.Fprintf(&b, " [%s]", ir.FormatAtoms(a.Tuples))
+		}
+		b.WriteString("\n")
+	}
+	rej := append([]match.Removal(nil), out.Rejected...)
+	sort.Slice(rej, func(i, j int) bool {
+		if rej[i].Query != rej[j].Query {
+			return rej[i].Query < rej[j].Query
+		}
+		return rej[i].Cause < rej[j].Cause
+	})
+	for _, r := range rej {
+		fmt.Fprintf(&b, "rej q%d cause %v\n", r.Query, r.Cause)
+	}
+	return b.String()
+}
+
+// requireModesAgree runs Coordinate in pushdown and post-filter modes and
+// fails unless the outcomes are identical (answers, draw order, rejections).
+func requireModesAgree(t *testing.T, db *memdb.DB, qs []*ir.Query, aggs map[ir.QueryID][]eqsql.AggConstraint, opt Options) {
+	t.Helper()
+	opt.PostFilter = false
+	push, errPush := Coordinate(db, qs, aggs, opt)
+	opt.PostFilter = true
+	post, errPost := Coordinate(db, qs, aggs, opt)
+	if (errPush == nil) != (errPost == nil) {
+		t.Fatalf("mode error mismatch: pushdown=%v postfilter=%v", errPush, errPost)
+	}
+	if errPush != nil {
+		if errPush.Error() != errPost.Error() {
+			t.Fatalf("mode error text mismatch:\npushdown:   %v\npostfilter: %v", errPush, errPost)
+		}
+		return
+	}
+	g, w := renderOutcome(push), renderOutcome(post)
+	if g != w {
+		t.Fatalf("pushdown and post-filter outcomes differ:\n--- pushdown ---\n%s--- post-filter ---\n%s", g, w)
+	}
+}
+
+// TestPushdownEquivalenceScenarios replays every hand-built scenario of the
+// extension test suite through both evaluation modes.
+func TestPushdownEquivalenceScenarios(t *testing.T) {
+	db := flightsDB(t)
+	for _, k := range []int{1, 2, 3, 5} {
+		requireModesAgree(t, db, pairQueries(k), nil, Options{})
+	}
+	qs := pairQueries(1)
+	qs[0].Choose = 4
+	requireModesAgree(t, db, qs, nil, Options{})
+
+	pref := func(val ir.Substitution) float64 {
+		for _, tm := range val {
+			if tm.Value >= "100" && tm.Value <= "200" {
+				f := 0.0
+				for _, c := range tm.Value {
+					f = f*10 + float64(c-'0')
+				}
+				return f
+			}
+		}
+		return 0
+	}
+	requireModesAgree(t, db, pairQueries(1), nil, Options{Preference: pref})
+	requireModesAgree(t, db, pairQueries(2), nil, Options{
+		Preference: func(v ir.Substitution) float64 { return -pref(v) },
+	})
+}
+
+// partyWorkload builds one seeded constraint-heavy workload: nGroups
+// independent coordination groups, each a Jerry-style aggregation-
+// constrained SQL query plus a cycle of friends, over a shared Parties /
+// Friend database whose contents (party dates, friendship sets, bounds,
+// operators, CHOOSE ks) are drawn from rng.
+func partyWorkload(t testing.TB, rng *rand.Rand, nGroups int) (*memdb.DB, []*ir.Query, map[ir.QueryID][]eqsql.AggConstraint) {
+	db := memdb.New()
+	db.MustCreateTable("Parties", "pid", "pdate")
+	db.MustCreateTable("Friend", "name1", "name2")
+	nParties := 2 + rng.Intn(5)
+	for p := 0; p < nParties; p++ {
+		date := "Friday"
+		if rng.Intn(3) == 0 {
+			date = "Saturday"
+		}
+		db.MustInsert("Parties", fmt.Sprintf("P%d", p), date)
+	}
+
+	var qs []*ir.Query
+	aggs := map[ir.QueryID][]eqsql.AggConstraint{}
+	nextID := ir.QueryID(1)
+	for g := 0; g < nGroups; g++ {
+		rel := fmt.Sprintf("Att%d", g)
+		me := fmt.Sprintf("J%d", g)
+		nFriends := 2 + rng.Intn(3)
+		for f := 0; f < nFriends; f++ {
+			// Not every cycle member is a Friend-table friend: the count
+			// constraint must discriminate between parties/groups.
+			if rng.Intn(4) != 0 {
+				db.MustInsert("Friend", me, fmt.Sprintf("F%d_%d", g, f))
+			}
+		}
+		op := []string{">", "<", "="}[rng.Intn(3)]
+		bound := rng.Intn(nFriends + 1)
+		k := 1 + rng.Intn(2)
+		schema := eqsql.DBSchema{DB: db}
+		popt := eqsql.Options{
+			AllowExtensions: true,
+			AnswerSchemas:   map[string][]string{rel: {"pid", "name"}},
+		}
+		src := fmt.Sprintf(`
+SELECT party_id, '%s' INTO ANSWER %s
+WHERE party_id IN (SELECT pid FROM Parties WHERE pdate='Friday')
+AND (SELECT COUNT(*) FROM ANSWER %s A, Friend F
+     WHERE party_id = A.pid AND A.name = F.name2 AND F.name1 = '%s') %s %d
+AND (party_id, 'F%d_0') IN ANSWER %s
+CHOOSE %d`, me, rel, rel, me, op, bound, g, rel, k)
+		jerry, err := eqsql.Parse(nextID, src, schema, popt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aggs[nextID] = jerry.Aggregates
+		qs = append(qs, jerry.Query)
+		nextID++
+		for f := 0; f < nFriends; f++ {
+			partner := me
+			if f < nFriends-1 {
+				partner = fmt.Sprintf("F%d_%d", g, f+1)
+			}
+			q := ir.MustParse(nextID, fmt.Sprintf(
+				"{%s(p, %s)} %s(p, F%d_%d) :- Parties(p, Friday)", rel, partner, rel, g, f))
+			q.Choose = k
+			qs = append(qs, q)
+			nextID++
+		}
+	}
+	return db, qs, aggs
+}
+
+// TestPushdownEquivalenceSeeded drives both modes over seeded random
+// constraint-heavy workloads: identical answers, identical CHOOSE draw
+// order, identical rejections, across every seed.
+func TestPushdownEquivalenceSeeded(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		db, qs, aggs := partyWorkload(t, rng, 1+rng.Intn(4))
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			requireModesAgree(t, db, qs, aggs, Options{})
+			// Preference arm: rank parties by id descending.
+			requireModesAgree(t, db, qs, aggs, Options{
+				Preference: func(val ir.Substitution) float64 {
+					best := 0.0
+					for _, tm := range val {
+						if strings.HasPrefix(tm.Value, "P") {
+							f := 0.0
+							for _, c := range tm.Value[1:] {
+								f = f*10 + float64(c-'0')
+							}
+							if f > best {
+								best = f
+							}
+						}
+					}
+					return best
+				},
+			})
+		})
+	}
+}
+
+// TestPushdownAggregationScenarios replays the party scenarios through the
+// equivalence check, including the unsatisfiable variant.
+func TestPushdownAggregationScenarios(t *testing.T) {
+	build := func(bound int) (*memdb.DB, []*ir.Query, map[ir.QueryID][]eqsql.AggConstraint) {
+		db := memdb.New()
+		db.MustCreateTable("Parties", "pid", "pdate")
+		db.MustCreateTable("Friend", "name1", "name2")
+		db.MustInsert("Parties", "P1", "Friday")
+		db.MustInsert("Parties", "P2", "Friday")
+		for _, f := range []string{"George", "Elaine", "Newman"} {
+			db.MustInsert("Friend", "Jerry", f)
+		}
+		schema := eqsql.DBSchema{DB: db}
+		popt := eqsql.Options{
+			AllowExtensions: true,
+			AnswerSchemas:   map[string][]string{"Attendance": {"pid", "name"}},
+		}
+		jerry, err := eqsql.Parse(1, fmt.Sprintf(`
+SELECT party_id, 'Jerry' INTO ANSWER Attendance
+WHERE party_id IN (SELECT pid FROM Parties WHERE pdate='Friday')
+AND (SELECT COUNT(*) FROM ANSWER Attendance A, Friend F
+     WHERE party_id = A.pid AND A.name = F.name2 AND F.name1 = 'Jerry') > %d
+AND (party_id, 'George') IN ANSWER Attendance
+CHOOSE 1`, bound), schema, popt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mk := func(id ir.QueryID, me, partner string) *ir.Query {
+			return ir.MustParse(id,
+				"{Attendance(p, "+partner+")} Attendance(p, "+me+") :- Parties(p, Friday)")
+		}
+		qs := []*ir.Query{jerry.Query, mk(2, "George", "Elaine"), mk(3, "Elaine", "Newman"),
+			ir.MustParse(4, "{Attendance(p, Jerry)} Attendance(p, Newman) :- Parties(p, Friday)")}
+		return db, qs, map[ir.QueryID][]eqsql.AggConstraint{1: jerry.Aggregates}
+	}
+	for _, bound := range []int{0, 1, 2, 5} {
+		db, qs, aggs := build(bound)
+		requireModesAgree(t, db, qs, aggs, Options{})
+	}
+}
+
+// TestPushdownPrunesBelowLimit: with pushdown, MaxCandidates bounds the
+// accepted valuations — a workload whose constraints reject most raw
+// candidates still fills CHOOSE k, where the reference path would have
+// burned its materialisation budget on rejected candidates.
+func TestPushdownPrunesBelowLimit(t *testing.T) {
+	db := memdb.New()
+	db.MustCreateTable("Parties", "pid", "pdate")
+	db.MustCreateTable("Friend", "name1", "name2")
+	// 40 Friday parties; only the last 2 have Jerry-friend attendance able
+	// to satisfy the constraint — the Friend table names the witness.
+	for p := 0; p < 40; p++ {
+		db.MustInsert("Parties", fmt.Sprintf("P%02d", p), "Friday")
+	}
+	db.MustInsert("Friend", "Jerry", "George")
+
+	schema := eqsql.DBSchema{DB: db}
+	popt := eqsql.Options{
+		AllowExtensions: true,
+		AnswerSchemas:   map[string][]string{"Attendance": {"pid", "name"}},
+	}
+	jerry, err := eqsql.Parse(1, `
+SELECT party_id, 'Jerry' INTO ANSWER Attendance
+WHERE party_id IN (SELECT pid FROM Parties WHERE pdate='Friday')
+AND (SELECT COUNT(*) FROM ANSWER Attendance A, Friend F
+     WHERE party_id = A.pid AND A.name = F.name2 AND F.name1 = 'Jerry') > 0
+AND (party_id, 'George') IN ANSWER Attendance
+CHOOSE 2`, schema, popt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	george := ir.MustParse(2, "{Attendance(p, Jerry)} Attendance(p, George) :- Parties(p, Friday)")
+	george.Choose = 2
+	aggs := map[ir.QueryID][]eqsql.AggConstraint{1: jerry.Aggregates}
+
+	// With a candidate budget of 2, the reference path materialises the
+	// first 2 raw valuations only — both satisfy here (every party works,
+	// George being Jerry's friend), so both modes agree; the pushdown
+	// contract is that the 2 accepted ones arrive without materialising 40.
+	requireModesAgree(t, db, []*ir.Query{jerry.Query, george}, aggs, Options{})
+
+	out, err := Coordinate(db, []*ir.Query{jerry.Query, george}, aggs, Options{MaxCandidates: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Answers[1]) != 2 {
+		t.Fatalf("pushdown under tight budget: got %d answers, want 2", len(out.Answers[1]))
+	}
+}

@@ -260,10 +260,20 @@ func (db *DB) CreateIndex(table, column string) error {
 	return nil
 }
 
-// buildIndex constructs the hash index for a column position. Caller holds
-// the write lock (or is the evaluator, which upgrades explicitly).
+// buildIndex constructs the hash index for a column position. The map is
+// pre-sized from the table's stats: planRows (the row count the stats epoch
+// last saw — what join-order compilation planned against) or the live count,
+// whichever is larger, so bulk-loaded tables build their probe indexes
+// without incremental map growth. Distinct values bound the real bucket
+// need from above; ID-like probe columns (the common case) sit at the
+// bound. Caller holds the write lock (or is the evaluator, which upgrades
+// explicitly).
 func (t *Table) buildIndex(col int) {
-	ix := make(map[string][]int)
+	hint := t.planRows
+	if n := len(t.rows); n > hint {
+		hint = n
+	}
+	ix := make(map[string][]int, hint)
 	for id, row := range t.rows {
 		ix[row[col]] = append(ix[row[col]], id)
 	}

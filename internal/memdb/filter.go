@@ -1,0 +1,244 @@
+package memdb
+
+import (
+	"fmt"
+
+	"entangle/internal/ir"
+)
+
+// This file implements residual plan filters: predicates attached to a
+// compiled Plan and evaluated inside ExecPlan's backtracking join at the
+// earliest level where every binding slot they read is bound. They exist
+// for the Section 6 extension constraints (internal/ext): instead of
+// materialising up to MaxCandidates valuations and post-filtering, the
+// constraint is pushed below the join, so a failing candidate prunes its
+// entire subtree before the remaining atoms are ever probed — the
+// predicate-pushdown win the related janus-datalog work measures at
+// 1.58–2.78×.
+//
+// Filters see the join through a FilterCtx: the bound slot values of the
+// current partial valuation, plus a conjunctive Count evaluator for
+// aggregation subqueries. ExecPlan holds the database read lock for the
+// whole join, so FilterCtx.Count reads tables directly under that lock —
+// a filter must NOT call back into locking DB methods (db.Count,
+// db.EvalConjunctive, ...): Go's RWMutex read lock is not re-entrant, and
+// a queued writer between the two acquisitions deadlocks.
+
+// Filter is a residual predicate evaluated during plan execution. Holds is
+// called with the execution's FilterCtx each time the filter's scheduled
+// join level binds a candidate row; returning false prunes that subtree,
+// an error aborts the execution and is returned from ExecPlan.
+type Filter interface {
+	Holds(fc *FilterCtx) (bool, error)
+}
+
+// planFilter is one attached filter with its scheduled join level: the
+// filter runs after the atom at plan position `after` has matched (all its
+// slots bound). after == -1 schedules the filter once, before the join.
+type planFilter struct {
+	f     Filter
+	after int
+}
+
+// AttachFilter attaches a residual filter to the plan, scheduled at the
+// earliest join level where every slot in slots is bound. Slots not bound
+// by any atom schedule the filter at the final level (their values read as
+// "" — callers should only pass slots the plan binds). Filtered plans must
+// not be shared across executions that need different filters, and are
+// never cached (see PlanCache.Add). Not safe to call concurrently with
+// executions of the same plan.
+func (p *Plan) AttachFilter(f Filter, slots []int32) {
+	after := -1
+	if len(slots) > 0 {
+		need := make(map[int32]bool, len(slots))
+		for _, s := range slots {
+			need[s] = true
+		}
+		after = len(p.atoms) - 1
+		remaining := len(need)
+	scan:
+		for i := range p.atoms {
+			for _, a := range p.atoms[i].args {
+				if a.slot >= 0 && need[a.slot] {
+					need[a.slot] = false
+					remaining--
+					if remaining == 0 {
+						after = i
+						break scan
+					}
+				}
+			}
+		}
+	}
+	p.filters = append(p.filters, planFilter{f: f, after: after})
+}
+
+// Filtered reports whether the plan carries residual filters. Filtered
+// plans are shape-specific (their filters close over per-query state) and
+// are refused by the plan cache.
+func (p *Plan) Filtered() bool { return len(p.filters) > 0 }
+
+// OutSlot reports how the named output variable of a CompilePlan-produced
+// plan is materialised: a binding slot (slot >= 0), or a constant folded in
+// by equality normalisation (slot < 0, value in cval). ok is false when the
+// plan has no such output.
+func (p *Plan) OutSlot(name string) (slot int32, cval string, ok bool) {
+	for i := range p.outs {
+		if p.outs[i].name == name {
+			return p.outs[i].slot, p.outs[i].cval, true
+		}
+	}
+	return 0, "", false
+}
+
+// ResultSubstitution materialises result row i of a CompilePlan-produced
+// plan as a variable → constant substitution, reproducing EvalConjunctive's
+// output contract (normalised-away equality-class members expanded back).
+func (p *Plan) ResultSubstitution(st *ExecState, i int) ir.Substitution {
+	row := st.Row(i)
+	full := make(ir.Substitution, len(p.outs))
+	for _, o := range p.outs {
+		if o.slot < 0 {
+			full[o.name] = ir.Const(o.cval)
+		} else {
+			full[o.name] = ir.Const(row[o.slot])
+		}
+	}
+	return full
+}
+
+// FilterCtx is a filter's window into the executing join: the current
+// partial valuation (by binding slot) and a conjunctive count evaluator
+// running under the execution's already-held read lock. A FilterCtx is
+// only valid inside Filter.Holds; it must not be retained.
+type FilterCtx struct {
+	db *DB
+	st *ExecState
+
+	// count-join scratch, reused across Holds calls within one execution
+	ctabs    []*Table
+	resolved [][]ir.Term
+	scan     [][]int
+	binding  ir.Substitution
+	trail    []string
+}
+
+// Slot returns the value bound to a binding slot of the executing plan, or
+// "" when the slot is not (yet) bound. Filters scheduled via AttachFilter
+// only run once their declared slots are bound.
+func (fc *FilterCtx) Slot(s int32) string {
+	if int(s) >= len(fc.st.binds) || !fc.st.bound[s] {
+		return ""
+	}
+	return fc.st.binds[s]
+}
+
+// Count returns the number of valuations of the conjunction — the same
+// figure db.Count reports (complete backtracking assignments; ground atoms
+// contribute their row-match multiplicity) — evaluated lock-free under the
+// read lock the surrounding ExecPlan already holds. Indexes are used when
+// present but never built (building needs the write lock); absent an index
+// the scan fallback reuses per-depth scratch, so repeated Holds calls
+// allocate only on depth growth.
+func (fc *FilterCtx) Count(atoms []ir.Atom) (int, error) {
+	n := len(atoms)
+	if n == 0 {
+		return 1, nil
+	}
+	if cap(fc.ctabs) < n {
+		fc.ctabs = make([]*Table, n)
+		fc.resolved = make([][]ir.Term, n)
+		fc.scan = make([][]int, n)
+	}
+	tabs := fc.ctabs[:n]
+	for i, a := range atoms {
+		t, ok := fc.db.tables[a.Rel]
+		if !ok {
+			return 0, fmt.Errorf("memdb: query references unknown table %s", a.Rel)
+		}
+		if len(a.Args) != len(t.cols) {
+			return 0, fmt.Errorf("memdb: atom %s has arity %d but table has %d columns", a, len(a.Args), len(t.cols))
+		}
+		tabs[i] = t
+	}
+	if fc.binding == nil {
+		fc.binding = make(ir.Substitution)
+	}
+	return fc.countRec(atoms, tabs, 0), nil
+}
+
+// countRec is the counting join: atom order as given (the count of complete
+// assignments is join-order invariant), candidates from lookupEq on the
+// first bound position (index when present, reusable scan otherwise).
+func (fc *FilterCtx) countRec(atoms []ir.Atom, tabs []*Table, depth int) int {
+	if depth == len(atoms) {
+		return 1
+	}
+	a := atoms[depth]
+	t := tabs[depth]
+	if fc.resolved[depth] == nil {
+		fc.resolved[depth] = make([]ir.Term, 0, len(a.Args))
+	}
+	resolved := fc.resolved[depth][:0]
+	firstBound := -1
+	for i, arg := range a.Args {
+		if arg.IsVar() {
+			if v, ok := fc.binding[arg.Value]; ok {
+				resolved = append(resolved, v)
+			} else {
+				resolved = append(resolved, arg)
+				continue
+			}
+		} else {
+			resolved = append(resolved, arg)
+		}
+		if firstBound < 0 {
+			firstBound = i
+		}
+	}
+	fc.resolved[depth] = resolved // keep grown capacity
+
+	var candidates []int
+	nCand := 0
+	if firstBound >= 0 {
+		candidates, fc.scan[depth] = t.lookupEq(firstBound, resolved[firstBound].Value, fc.scan[depth])
+		nCand = len(candidates)
+	} else {
+		nCand = len(t.rows)
+	}
+	total := 0
+	for i := 0; i < nCand; i++ {
+		ri := i
+		if candidates != nil {
+			ri = candidates[i]
+		}
+		row := t.rows[ri]
+		mark := len(fc.trail)
+		ok := true
+		for pos, term := range resolved {
+			if term.IsConst() {
+				if row[pos] != term.Value {
+					ok = false
+				}
+			} else if v, boundNow := fc.binding[term.Value]; boundNow {
+				if v.Value != row[pos] {
+					ok = false
+				}
+			} else {
+				fc.binding[term.Value] = ir.Const(row[pos])
+				fc.trail = append(fc.trail, term.Value)
+			}
+			if !ok {
+				break
+			}
+		}
+		if ok {
+			total += fc.countRec(atoms, tabs, depth+1)
+		}
+		for j := len(fc.trail) - 1; j >= mark; j-- {
+			delete(fc.binding, fc.trail[j])
+		}
+		fc.trail = fc.trail[:mark]
+	}
+	return total
+}

@@ -1,0 +1,279 @@
+package memdb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+
+	"entangle/internal/ir"
+)
+
+// filterDB builds a three-table chain for pushdown tests:
+// T1(x), T2(x,y), T3(y,z) with 4 / 12 / 36 rows.
+func filterDB(t *testing.T) *DB {
+	t.Helper()
+	db := New()
+	db.MustCreateTable("T1", "a")
+	db.MustCreateTable("T2", "a", "b")
+	db.MustCreateTable("T3", "b", "c")
+	for x := 0; x < 4; x++ {
+		db.MustInsert("T1", fmt.Sprintf("x%d", x))
+		for y := 0; y < 3; y++ {
+			db.MustInsert("T2", fmt.Sprintf("x%d", x), fmt.Sprintf("y%d·%d", x, y))
+			for z := 0; z < 3; z++ {
+				db.MustInsert("T3", fmt.Sprintf("y%d·%d", x, y), fmt.Sprintf("z%d", z))
+			}
+		}
+	}
+	return db
+}
+
+func chainAtoms() []ir.Atom {
+	return []ir.Atom{
+		ir.NewAtom("T1", ir.Var("X")),
+		ir.NewAtom("T2", ir.Var("X"), ir.Var("Y")),
+		ir.NewAtom("T3", ir.Var("Y"), ir.Var("Z")),
+	}
+}
+
+// slotFilter keeps valuations where the slot's value satisfies pred,
+// counting Holds invocations.
+type slotFilter struct {
+	slot  int32
+	pred  func(string) bool
+	calls int
+	err   error
+}
+
+func (f *slotFilter) Holds(fc *FilterCtx) (bool, error) {
+	f.calls++
+	if f.err != nil {
+		return false, f.err
+	}
+	return f.pred(fc.Slot(f.slot)), nil
+}
+
+// TestFilterMatchesPostFilter: a pushed-down filter yields exactly the
+// valuations the unfiltered evaluation would keep after post-filtering, in
+// the same order.
+func TestFilterMatchesPostFilter(t *testing.T) {
+	db := filterDB(t)
+	atoms := chainAtoms()
+	keep := func(v string) bool { return v == "x2" }
+
+	all, err := db.EvalConjunctive(atoms, nil, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []string
+	for _, val := range all {
+		if keep(val["X"].Value) {
+			want = append(want, fmt.Sprint(val["X"].Value, val["Y"].Value, val["Z"].Value))
+		}
+	}
+	if len(want) != 9 {
+		t.Fatalf("post-filter reference kept %d valuations, want 9", len(want))
+	}
+
+	p := db.CompilePlan(atoms, nil)
+	slot, _, ok := p.OutSlot("X")
+	if !ok || slot < 0 {
+		t.Fatalf("no slot for X")
+	}
+	f := &slotFilter{slot: slot, pred: keep}
+	p.AttachFilter(f, []int32{slot})
+	var st ExecState
+	n, err := db.ExecPlan(p, &st, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for i := 0; i < n; i++ {
+		val := p.ResultSubstitution(&st, i)
+		got = append(got, fmt.Sprint(val["X"].Value, val["Y"].Value, val["Z"].Value))
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("filtered exec = %v, want %v", got, want)
+	}
+}
+
+// TestFilterSchedulesEarly: the filter reads only X, which the join's first
+// atom binds, so Holds must run once per T1 row (4 calls) — not once per
+// complete valuation (36) as post-filtering would.
+func TestFilterSchedulesEarly(t *testing.T) {
+	db := filterDB(t)
+	p := db.CompilePlan(chainAtoms(), nil)
+	slot, _, _ := p.OutSlot("X")
+	f := &slotFilter{slot: slot, pred: func(v string) bool { return v == "x0" }}
+	p.AttachFilter(f, []int32{slot})
+	var st ExecState
+	n, err := db.ExecPlan(p, &st, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 9 {
+		t.Fatalf("got %d valuations, want 9", n)
+	}
+	if f.calls != 4 {
+		t.Fatalf("filter ran %d times, want 4 (once per T1 candidate)", f.calls)
+	}
+}
+
+// TestFilterNoSlotsGatesJoin: a slot-free filter runs once before the join
+// and can veto the whole execution.
+func TestFilterNoSlotsGatesJoin(t *testing.T) {
+	db := filterDB(t)
+	p := db.CompilePlan(chainAtoms(), nil)
+	f := &slotFilter{pred: func(string) bool { return false }}
+	p.AttachFilter(f, nil)
+	var st ExecState
+	n, err := db.ExecPlan(p, &st, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 || f.calls != 1 {
+		t.Fatalf("n=%d calls=%d, want 0 results from exactly 1 pre-join call", n, f.calls)
+	}
+}
+
+// TestFilterErrorAborts: a filter error surfaces from ExecPlan.
+func TestFilterErrorAborts(t *testing.T) {
+	db := filterDB(t)
+	p := db.CompilePlan(chainAtoms(), nil)
+	slot, _, _ := p.OutSlot("X")
+	boom := errors.New("boom")
+	f := &slotFilter{slot: slot, err: boom}
+	p.AttachFilter(f, []int32{slot})
+	var st ExecState
+	if _, err := db.ExecPlan(p, &st, EvalOptions{}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+// countingFilter records FilterCtx.Count results for conjunctions evaluated
+// mid-join, so the test can compare them with db.Count.
+type countingFilter struct {
+	conj [][]ir.Atom
+	got  []int
+	err  error
+}
+
+func (f *countingFilter) Holds(fc *FilterCtx) (bool, error) {
+	f.got = f.got[:0]
+	for _, atoms := range f.conj {
+		n, err := fc.Count(atoms)
+		if err != nil {
+			f.err = err
+			return false, err
+		}
+		f.got = append(f.got, n)
+	}
+	return true, nil
+}
+
+// TestFilterCtxCountMatchesDBCount: the lock-free counting join inside a
+// filter agrees with db.Count on ground atoms, join conjunctions, repeated
+// variables, and empty conjunctions.
+func TestFilterCtxCountMatchesDBCount(t *testing.T) {
+	db := filterDB(t)
+	conj := [][]ir.Atom{
+		{ir.NewAtom("T1", ir.Var("a"))},
+		{ir.NewAtom("T1", ir.Const("x1"))},
+		{ir.NewAtom("T2", ir.Var("a"), ir.Var("b")), ir.NewAtom("T3", ir.Var("b"), ir.Var("c"))},
+		{ir.NewAtom("T3", ir.Var("b"), ir.Var("b"))},
+		{ir.NewAtom("T2", ir.Const("x3"), ir.Var("b")), ir.NewAtom("T3", ir.Var("b"), ir.Const("z1"))},
+		{},
+	}
+	want := make([]int, len(conj))
+	for i, atoms := range conj {
+		n, err := db.Count(atoms, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = n
+	}
+
+	p := db.CompilePlan([]ir.Atom{ir.NewAtom("T1", ir.Const("x0"))}, nil)
+	f := &countingFilter{conj: conj}
+	p.AttachFilter(f, nil)
+	var st ExecState
+	if _, err := db.ExecPlan(p, &st, EvalOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(f.got) != fmt.Sprint(want) {
+		t.Fatalf("FilterCtx.Count = %v, db.Count = %v", f.got, want)
+	}
+
+	// Error parity with db.Count on an unknown table.
+	bad := [][]ir.Atom{{ir.NewAtom("Nope", ir.Var("a"))}}
+	fbad := &countingFilter{conj: bad}
+	p2 := db.CompilePlan([]ir.Atom{ir.NewAtom("T1", ir.Const("x0"))}, nil)
+	p2.AttachFilter(fbad, nil)
+	_, err := db.ExecPlan(p2, &st, EvalOptions{})
+	_, wantErr := db.Count(bad[0], nil)
+	if err == nil || wantErr == nil || err.Error() != wantErr.Error() {
+		t.Fatalf("error parity: filter=%v db=%v", err, wantErr)
+	}
+}
+
+// TestPlanCacheRefusesFilteredPlans: filtered plans close over per-query
+// state and must never be shared through the shape cache.
+func TestPlanCacheRefusesFilteredPlans(t *testing.T) {
+	db := filterDB(t)
+	p := db.CompilePlan(chainAtoms(), nil)
+	p.AttachFilter(&slotFilter{pred: func(string) bool { return true }}, nil)
+	c := NewPlanCache(4)
+	if got := c.Add([]byte("k"), p); got != p {
+		t.Fatalf("Add returned a different plan for a filtered input")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("filtered plan was cached")
+	}
+	if c.Get([]byte("k")) != nil {
+		t.Fatalf("filtered plan retrievable from cache")
+	}
+}
+
+// TestFilterEquivalenceRandomized drives filtered execution against the
+// materialise-then-filter reference across every X/Y predicate combination.
+func TestFilterEquivalenceRandomized(t *testing.T) {
+	db := filterDB(t)
+	atoms := chainAtoms()
+	all, err := db.EvalConjunctive(atoms, nil, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := []func(string) bool{
+		func(v string) bool { return v == "x0" || v == "x3" },
+		func(v string) bool { return v > "x1" },
+		func(v string) bool { return false },
+		func(v string) bool { return true },
+	}
+	for pi, pred := range preds {
+		var want []string
+		for _, val := range all {
+			if pred(val["X"].Value) {
+				want = append(want, fmt.Sprint(val["X"].Value, "|", val["Y"].Value, "|", val["Z"].Value))
+			}
+		}
+		p := db.CompilePlan(atoms, nil)
+		slot, _, _ := p.OutSlot("X")
+		p.AttachFilter(&slotFilter{slot: slot, pred: pred}, []int32{slot})
+		var st ExecState
+		n, err := db.ExecPlan(p, &st, EvalOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []string
+		for i := 0; i < n; i++ {
+			val := p.ResultSubstitution(&st, i)
+			got = append(got, fmt.Sprint(val["X"].Value, "|", val["Y"].Value, "|", val["Z"].Value))
+		}
+		sort.Strings(got)
+		sort.Strings(want)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("pred %d: got %v want %v", pi, got, want)
+		}
+	}
+}

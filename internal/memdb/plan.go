@@ -83,6 +83,10 @@ type Plan struct {
 	// execution: inconsistent equalities, where the legacy evaluator returns
 	// "no valuations" before ever resolving tables.
 	unchecked bool
+	// filters are residual predicates pushed below the join (filter.go),
+	// each scheduled at the earliest level binding all its slots. A filtered
+	// plan is query-specific and is refused by the plan cache.
+	filters []planFilter
 }
 
 // NumProbes returns how many atoms the plan resolves through an index probe
@@ -109,6 +113,7 @@ func (p *Plan) NumParams() int { return p.nParams }
 // CompilePlan allocates it per plan already.
 func (p *Plan) detach() *Plan {
 	np := &Plan{nSlots: p.nSlots, nParams: p.nParams, outs: p.outs, empty: p.empty, unchecked: p.unchecked}
+	np.filters = append([]planFilter(nil), p.filters...)
 	np.atoms = append(make([]planAtom, 0, len(p.atoms)), p.atoms...)
 	nArgs := 0
 	for i := range p.atoms {
@@ -157,6 +162,7 @@ func (b *PlanBuilder) Reset() {
 	b.args = b.args[:0]
 	b.plan.atoms = b.plan.atoms[:0]
 	b.plan.outs = nil
+	b.plan.filters = b.plan.filters[:0]
 	b.plan.empty = false
 	b.plan.nSlots = 0
 	b.plan.nParams = 0
@@ -498,8 +504,15 @@ func (db *DB) ExecPlan(p *Plan, st *ExecState, opt EvalOptions) (int, error) {
 	st.trail = st.trail[:0]
 
 	e := planExec{p: p, st: st, opt: opt}
+	if len(p.filters) > 0 {
+		e.fc = &FilterCtx{db: db, st: st}
+		// Slot-free filters (after == -1) gate the whole join once.
+		if !e.runFilters(-1) {
+			return 0, e.err
+		}
+	}
 	e.search(0)
-	return st.nres, nil
+	return st.nres, e.err
 }
 
 // resolvePlanTables fills st.tabs (plan order) and validates arities,
@@ -537,10 +550,33 @@ type planExec struct {
 	p   *Plan
 	st  *ExecState
 	opt EvalOptions
+	fc  *FilterCtx // non-nil iff the plan carries residual filters
+	err error      // first filter error; aborts the search
 }
 
 func (e *planExec) done() bool {
-	return e.opt.Limit > 0 && e.st.nres >= e.opt.Limit
+	return e.err != nil || (e.opt.Limit > 0 && e.st.nres >= e.opt.Limit)
+}
+
+// runFilters evaluates every residual filter scheduled at join level depth
+// against the current bindings. A false verdict prunes the subtree; an
+// error is recorded and aborts the search via done().
+func (e *planExec) runFilters(depth int) bool {
+	for i := range e.p.filters {
+		pf := &e.p.filters[i]
+		if pf.after != depth {
+			continue
+		}
+		ok, err := pf.f.Holds(e.fc)
+		if err != nil {
+			e.err = err
+			return false
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
 }
 
 func (e *planExec) search(depth int) {
@@ -612,7 +648,7 @@ func (e *planExec) search(depth int) {
 				break
 			}
 		}
-		if ok {
+		if ok && (e.fc == nil || e.runFilters(depth)) {
 			e.search(depth + 1)
 		}
 		for j := len(st.trail) - 1; j >= mark; j-- {

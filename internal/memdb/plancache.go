@@ -60,8 +60,13 @@ func (c *PlanCache) Get(key []byte) *Plan {
 // aliases, and returns the detached plan the caller should execute. If a
 // concurrent fill already inserted the key (two shards compiling the same
 // shape), the resident plan wins and is returned — same inputs compile to
-// the same plan, and keeping one copy bounds memory.
+// the same plan, and keeping one copy bounds memory. Plans carrying
+// residual filters are returned as-is without caching: their filters close
+// over per-query state, so no shape key can safely share them.
 func (c *PlanCache) Add(key []byte, p *Plan) *Plan {
+	if p.Filtered() {
+		return p
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok := c.entries[string(key)]; ok {

@@ -89,8 +89,9 @@ type Client struct {
 	skip         int           // replies owed to timed-out exchanges on skipGen
 	skipGen      int
 	waiters      map[ir.QueryID]chan Response
-	orphans      map[ir.QueryID]Response // results that arrived before their waiter registered
-	statsCh      chan Response           // stats replies, shared across generations
+	orphans      map[ir.QueryID]Response   // results that arrived before their waiter registered
+	subIDs       map[ir.QueryID]*ClientSub // subscription routing: query id → its stream
+	statsCh      chan Response             // stats replies, shared across generations
 	readErr      error
 	reconFails   int // reconnection episodes that exhausted their budget
 
@@ -245,6 +246,13 @@ func (c *Client) readLoop(conn net.Conn, gen int, acks chan Response) {
 			}
 		case "result":
 			c.mu.Lock()
+			if sub, ok := c.subIDs[resp.ID]; ok {
+				// Subscription result: forwarded (or deduped, on a replayed
+				// stream after a reconnect) without ever blocking this loop.
+				c.deliverSubLocked(sub, resp)
+				c.mu.Unlock()
+				continue
+			}
 			ch := c.waiters[resp.ID]
 			delete(c.waiters, resp.ID)
 			if ch == nil {

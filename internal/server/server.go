@@ -11,6 +11,8 @@
 //	                                                      submit many queries in one engine batch
 //	                 {"op":"submit_bulk","queries":[…],"defer_flush":true}
 //	                                                      unordered bulk load (set-at-a-time per batch)
+//	                 {"op":"subscribe","queries":[…],"token":"…"}
+//	                                                      submit a query set, stream every result back
 //	                 {"op":"bulk_begin","defer_flush":true}  open a chunked bulk session
 //	                 {"op":"bulk_chunk","queries":[…]}    one chunk of the open session
 //	                 {"op":"bulk_end"}                    close the session (flush unless deferred)
@@ -55,6 +57,20 @@
 // fail the rest of the batch). Accepted queries are admitted through the
 // engine's batched fast path: one routing pass and one lock acquisition per
 // touched shard for the whole batch.
+//
+// subscribe admits a query set exactly like submit_batch (same reply shape,
+// same engine fast path) but registers the set as a server-side
+// subscription: every terminal result is collected engine-side as it is
+// delivered and streamed back over the subscribing connection as ordinary
+// "result" messages — one multiplexed push channel for the whole set,
+// instead of the client tracking one pending reply per query. The
+// subscription state outlives the connection. A client that reconnects
+// re-sends the subscribe with the same token: the server does not re-admit
+// — it replays the original batch reply and the full result stream (cached
+// results immediately, the rest as they arrive) on the new connection, and
+// the client dedupes by query id, preserving exactly one outcome per query
+// end to end. Tokens age out of the same bounded window as single-
+// submission tokens.
 //
 // submit_bulk has the same request/reply shape but loads the accepted
 // queries through the engine's unordered bulk path: the batch is ingested
@@ -239,9 +255,12 @@ type Server struct {
 
 	// tokens dedupes single submissions by client token within a bounded
 	// window (see Request.Token); tokOrder drives insertion-order eviction.
+	// subs is the same window for subscriptions (token → subscription state).
 	tokMu    sync.Mutex
 	tokens   map[string]*tokenEntry
 	tokOrder []string
+	subs     map[string]*subEntry
+	subOrder []string
 }
 
 // tokenEntry tracks one tokened submission from admission to terminal
@@ -253,6 +272,45 @@ type tokenEntry struct {
 	errResp *Response     // admission failure reply; nil if admitted
 	ready   chan struct{} // closed once res holds the terminal result
 	res     Response
+}
+
+// subEntry is the server-side state of one subscription: the admission
+// outcome plus every terminal result so far, accumulated engine-side by the
+// batch's delivery hook. It outlives any single connection — a delivery
+// goroutine (streamSub) attached to whichever connection sent (or re-sent)
+// the subscribe request streams the cached results and then follows the
+// live tail, so a reconnecting client re-sending its token gets the full
+// stream replayed without re-admitting anything.
+type subEntry struct {
+	acked   chan struct{} // closed once items / errResp are decided
+	items   []BatchItem   // per-query admission outcome, input order
+	errResp *Response     // whole-batch admission failure; nil if admitted
+	total   int           // admitted queries = results owed
+
+	mu      sync.Mutex
+	results []Response    // terminal results, arrival order (append-only)
+	newRes  chan struct{} // closed+replaced on every append (broadcast)
+}
+
+func newSubEntry() *subEntry {
+	return &subEntry{acked: make(chan struct{}), newRes: make(chan struct{})}
+}
+
+// collect is the engine-side delivery hook: it runs on the delivering
+// goroutine (possibly under a shard lock), so it only converts, appends and
+// broadcasts — connection writes happen in streamSub goroutines.
+func (se *subEntry) collect(r engine.Result) {
+	resp := Response{Type: "result", ID: r.QueryID, Status: r.Status.String(), Detail: r.Detail}
+	if r.Answer != nil {
+		for _, tpl := range r.Answer.Tuples {
+			resp.Tuples = append(resp.Tuples, tpl.String())
+		}
+	}
+	se.mu.Lock()
+	se.results = append(se.results, resp)
+	close(se.newRes)
+	se.newRes = make(chan struct{})
+	se.mu.Unlock()
 }
 
 // maxTrackedTokens bounds the dedup window; beyond it the oldest entries
@@ -274,6 +332,24 @@ func (s *Server) rememberTokenLocked(token string, te *tokenEntry) {
 			delete(s.tokens, old)
 		}
 		s.tokOrder = append(s.tokOrder[:0], s.tokOrder[n:]...)
+	}
+}
+
+// rememberSubLocked registers se under token in the subscription window,
+// with the same bounded insertion-order eviction as single-submission
+// tokens. Caller holds tokMu.
+func (s *Server) rememberSubLocked(token string, se *subEntry) {
+	if s.subs == nil {
+		s.subs = make(map[string]*subEntry)
+	}
+	s.subs[token] = se
+	s.subOrder = append(s.subOrder, token)
+	if len(s.subOrder) > maxTrackedTokens {
+		n := len(s.subOrder) - maxTrackedTokens
+		for _, old := range s.subOrder[:n] {
+			delete(s.subs, old)
+		}
+		s.subOrder = append(s.subOrder[:0], s.subOrder[n:]...)
 	}
 }
 
@@ -406,6 +482,55 @@ func (s *Server) handle(conn net.Conn) {
 		inFlight.Add(1)
 		s.wg.Add(1)
 		go forward(h, te)
+	}
+
+	// streamSub attaches a subscription to THIS connection: once the
+	// admission outcome is decided it replies (batch or error), then streams
+	// every cached result and follows the live tail until all results owed
+	// have been written, the connection dies, or the server shuts down. Each
+	// subscribe request — original or a token re-send after a reconnect —
+	// gets its own streamSub, always replaying from the start; the client
+	// dedupes by query id.
+	streamSub := func(se *subEntry, token string) {
+		defer s.wg.Done()
+		select {
+		case <-se.acked:
+		case <-s.done:
+			return
+		}
+		if se.errResp != nil {
+			resp := *se.errResp
+			resp.Token = token
+			write(resp)
+			return
+		}
+		if write(Response{Type: "batch", Items: se.items, Token: token}) != nil {
+			return
+		}
+		inFlight.Add(int64(se.total))
+		sent := 0
+		defer func() { inFlight.Add(int64(sent - se.total)) }() // undelivered remainder
+		for sent < se.total {
+			se.mu.Lock()
+			pending := se.results[sent:]
+			wait := se.newRes
+			se.mu.Unlock()
+			for _, r := range pending {
+				if write(r) != nil {
+					return
+				}
+				sent++
+				inFlight.Add(-1)
+			}
+			if sent >= se.total {
+				return
+			}
+			select {
+			case <-wait:
+			case <-s.done:
+				return
+			}
+		}
 	}
 
 	// overloadedConn sheds work beyond the connection's in-flight cap.
@@ -606,6 +731,55 @@ func (s *Server) handle(conn net.Conn) {
 			for _, h := range handles {
 				spawn(h, nil)
 			}
+		case "subscribe":
+			// A token re-send attaches a new delivery stream to the original
+			// subscription (no re-admission); a fresh token (or none) admits
+			// the set through the engine's batched path with a result hook
+			// collecting into the subscription entry.
+			var se *subEntry
+			dup := false
+			if req.Token != "" {
+				s.tokMu.Lock()
+				se, dup = s.subs[req.Token], s.subs[req.Token] != nil
+				s.tokMu.Unlock()
+			}
+			if !dup {
+				// Shed before registering the token, so a shed subscribe can
+				// be retried under the same token as a fresh admission.
+				if overloadedConn(len(req.Queries)) {
+					write(Response{Type: "error", Code: CodeOverloaded, Token: req.Token,
+						Error: "server: connection in-flight cap reached"})
+					continue
+				}
+				se = newSubEntry()
+				if req.Token != "" {
+					s.tokMu.Lock()
+					if prev, ok := s.subs[req.Token]; ok {
+						// A concurrent re-send won the race; attach to it.
+						se, dup = prev, true
+					} else {
+						s.rememberSubLocked(req.Token, se)
+					}
+					s.tokMu.Unlock()
+				}
+			}
+			if !dup {
+				items, qs, slots := parseQueries(req.Queries)
+				handles, err := s.Engine.SubmitBatchNotify(qs, se.collect)
+				if err != nil {
+					se.errResp = &Response{Type: "error", Error: err.Error(), Code: errCode(err)}
+					close(se.acked)
+				} else {
+					for j, h := range handles {
+						items[slots[j]] = BatchItem{ID: h.ID}
+					}
+					se.items = items
+					se.total = len(handles)
+					close(se.acked)
+				}
+			}
+			s.wg.Add(1)
+			go streamSub(se, req.Token)
 		case "bulk_begin":
 			if bulkOpen {
 				write(Response{Type: "error", Error: "bulk session already open"})

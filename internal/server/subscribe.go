@@ -1,0 +1,250 @@
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"entangle/internal/ir"
+)
+
+// ClientSub is a client-side subscription: one multiplexed stream carrying
+// the terminal results of a whole submitted query set, instead of one
+// pending reply channel per query. It is resilient the same way tokened
+// single submissions are: the subscribe request carries an idempotency
+// token, and after a reconnect the client re-sends it so the server
+// re-attaches the original subscription (no re-admission) and replays the
+// stream; results already seen are deduped by query id, preserving exactly
+// one outcome per query across connection losses.
+type ClientSub struct {
+	c       *Client
+	token   string
+	queries []BatchQuery
+	items   []BatchItem
+	ids     []ir.QueryID // accepted ids, input order
+
+	ch   chan Response // exactly one Response per accepted id; closed after the last
+	done chan struct{} // closed when the stream completes (or fails terminally)
+
+	// Guarded by c.mu, like the client's waiter table.
+	delivered map[ir.QueryID]bool
+	remaining int
+}
+
+// Items returns the per-query admission outcome, in input order: an
+// engine-assigned id, or the per-query refusal error.
+func (s *ClientSub) Items() []BatchItem { return s.items }
+
+// IDs returns the engine-assigned ids of the accepted queries, in input
+// order.
+func (s *ClientSub) IDs() []ir.QueryID { return s.ids }
+
+// Results returns the stream: exactly one terminal result per accepted
+// query, in arrival order (route by Response.ID), closed after the last.
+// When the connection is lost terminally (reconnect disabled, retry budget
+// exhausted, or the client closed), undelivered queries receive a
+// synthesized error result carrying CodeConnLost before the close — a
+// consumer ranging over the channel never hangs.
+func (s *ClientSub) Results() <-chan Response { return s.ch }
+
+// Subscribe submits a query set as one subscription: admission works like
+// SubmitBatch (per-query refusals do not fail the set), but all results
+// arrive on one channel instead of one channel per query. With reconnection
+// enabled the subscription survives connection losses transparently; see
+// ClientSub.
+func (c *Client) Subscribe(queries []BatchQuery) (*ClientSub, error) {
+	sub := &ClientSub{
+		c:         c,
+		token:     c.nextToken(),
+		queries:   queries,
+		delivered: make(map[ir.QueryID]bool),
+	}
+	c.reqMu.Lock()
+	ack, gen, err := c.exchange(Request{Op: "subscribe", Queries: queries, Token: sub.token}, true)
+	c.reqMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if ack.Type == "error" {
+		return nil, ack.Err()
+	}
+	if len(ack.Items) != len(queries) {
+		return nil, fmt.Errorf("server client: subscribe reply has %d items for %d queries", len(ack.Items), len(queries))
+	}
+	sub.items = ack.Items
+	for _, item := range ack.Items {
+		if item.Error == "" {
+			sub.ids = append(sub.ids, item.ID)
+		}
+	}
+	sub.ch = make(chan Response, len(sub.ids))
+	sub.done = make(chan struct{})
+	sub.remaining = len(sub.ids)
+	if sub.remaining == 0 {
+		close(sub.ch)
+		close(sub.done)
+		return sub, nil
+	}
+
+	c.mu.Lock()
+	if c.subIDs == nil {
+		c.subIDs = make(map[ir.QueryID]*ClientSub)
+	}
+	for _, id := range sub.ids {
+		c.subIDs[id] = sub
+	}
+	// Results that raced ahead of this registration were parked as orphans.
+	for _, id := range sub.ids {
+		if r, ok := c.orphans[id]; ok {
+			delete(c.orphans, id)
+			c.deliverSubLocked(sub, r)
+		}
+	}
+	c.mu.Unlock()
+
+	go c.subMonitor(sub, gen)
+	return sub, nil
+}
+
+// deliverSubLocked routes one result message to its subscription: fresh ids
+// are forwarded (the channel has one slot per id, so the send never blocks
+// the read loop), replayed duplicates are dropped and counted. The last
+// delivery closes the stream and unregisters the ids. Caller holds c.mu.
+func (c *Client) deliverSubLocked(sub *ClientSub, r Response) {
+	if sub.delivered[r.ID] {
+		c.droppedReplies.Add(1)
+		return
+	}
+	sub.delivered[r.ID] = true
+	sub.remaining--
+	sub.ch <- r
+	if sub.remaining == 0 {
+		for _, id := range sub.ids {
+			delete(c.subIDs, id)
+		}
+		close(sub.ch)
+		close(sub.done)
+	}
+}
+
+// failSub terminally fails a subscription: every undelivered id receives a
+// synthesized conn-lost result (in input order) and the stream closes.
+func (c *Client) failSub(sub *ClientSub, detail string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if sub.remaining == 0 {
+		return
+	}
+	for _, id := range sub.ids {
+		if sub.delivered[id] {
+			continue
+		}
+		sub.delivered[id] = true
+		sub.remaining--
+		sub.ch <- Response{Type: "result", ID: id, Status: "error",
+			Code: CodeConnLost, Detail: detail}
+	}
+	for _, id := range sub.ids {
+		delete(c.subIDs, id)
+	}
+	close(sub.ch)
+	close(sub.done)
+}
+
+// subMonitor keeps one subscription attached across the client's connection
+// lifecycle: whenever a new generation installs it re-sends the subscribe
+// under the original token (the server replays, the client dedupes), and
+// when the connection is lost terminally — reconnection disabled, a
+// reconnection episode exhausted its budget, or the client closed — it
+// fails the subscription with synthesized conn-lost results so consumers
+// never hang.
+func (c *Client) subMonitor(sub *ClientSub, gen int) {
+	pendingAttach := false
+	for {
+		select {
+		case <-sub.done:
+			return
+		default:
+		}
+		c.mu.Lock()
+		change := c.change
+		curGen, dead, closed, reconnecting := c.gen, c.dead, c.closed, c.reconnecting
+		c.mu.Unlock()
+		switch {
+		case closed:
+			c.failSub(sub, "client closed")
+			return
+		case dead && !c.opts.Reconnect:
+			c.failSub(sub, "connection lost")
+			return
+		case dead && !reconnecting:
+			c.failSub(sub, "reconnect budget exhausted")
+			return
+		case !dead && curGen != gen:
+			// New connection: re-attach. The tokened re-send is idempotent —
+			// the server replays the original subscription without
+			// re-admitting anything.
+			c.reqMu.Lock()
+			ack, g, err := c.exchange(Request{Op: "subscribe", Queries: sub.queries, Token: sub.token}, true)
+			c.reqMu.Unlock()
+			switch {
+			case err != nil:
+				// Transient (timeout, another drop): retry on the next wake.
+				pendingAttach = true
+				if c.isClosedErr(err) {
+					c.failSub(sub, "client closed")
+					return
+				}
+			case ack.Type == "error":
+				c.failSub(sub, fmt.Sprintf("re-subscribe failed: %s", ack.Error))
+				return
+			case !sub.sameItems(ack.Items):
+				// The token aged out of the server's window and the re-send
+				// was admitted afresh under new ids. Fail deterministically
+				// rather than deliver results the caller cannot correlate.
+				c.failSub(sub, "subscription aged out server-side")
+				return
+			default:
+				gen = g
+				pendingAttach = false
+			}
+		}
+		if pendingAttach {
+			t := time.NewTimer(100 * time.Millisecond)
+			select {
+			case <-change:
+				t.Stop()
+			case <-sub.done:
+				t.Stop()
+				return
+			case <-t.C:
+			}
+			continue
+		}
+		select {
+		case <-change:
+		case <-sub.done:
+			return
+		}
+	}
+}
+
+// isClosedErr reports whether err is the client's own terminal closed state.
+func (c *Client) isClosedErr(err error) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+// sameItems reports whether a re-subscribe reply matches the original
+// admission outcome (same ids, same refusals, same order).
+func (s *ClientSub) sameItems(items []BatchItem) bool {
+	if len(items) != len(s.items) {
+		return false
+	}
+	for i, it := range items {
+		if it.ID != s.items[i].ID || (it.Error != "") != (s.items[i].Error != "") {
+			return false
+		}
+	}
+	return true
+}

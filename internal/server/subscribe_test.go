@@ -1,0 +1,230 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"entangle/internal/engine"
+	"entangle/internal/fault"
+	"entangle/internal/ir"
+)
+
+// subWorkload builds a batch of coordinating pairs (2*pairs queries, all of
+// which answer) plus one malformed query that must fail per-item.
+func subWorkload(pairs int) []BatchQuery {
+	var qs []BatchQuery
+	for i := 0; i < pairs; i++ {
+		qs = append(qs,
+			BatchQuery{IR: fmt.Sprintf("{P%d(K, x)} P%d(J, x) :- F(x, Paris)", i, i)},
+			BatchQuery{IR: fmt.Sprintf("{P%d(J, y)} P%d(K, y) :- F(y, Paris)", i, i)},
+		)
+	}
+	return append(qs, BatchQuery{IR: "this is not a query"})
+}
+
+// outcomeKey canonicalises one terminal result for cross-arm comparison
+// (ids differ between arms; status and answer content must not).
+func outcomeKey(r Response) string {
+	tuples := append([]string(nil), r.Tuples...)
+	sort.Strings(tuples)
+	return r.Status + "|" + strings.Join(tuples, ",")
+}
+
+// TestServerSubscribe pins the basic contract: one subscribe request, one
+// batch reply (per-item admission outcome), then exactly one result per
+// accepted query on one multiplexed channel, which closes after the last.
+func TestServerSubscribe(t *testing.T) {
+	_, addr := startServer(t, engine.Config{Mode: engine.Incremental, Shards: 1, Seed: 1})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	queries := subWorkload(3)
+	sub, err := c.Subscribe(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Items()) != len(queries) {
+		t.Fatalf("items = %d, want %d", len(sub.Items()), len(queries))
+	}
+	if got := sub.Items()[len(queries)-1].Error; got == "" {
+		t.Fatal("malformed query must fail its item")
+	}
+	if len(sub.IDs()) != 6 {
+		t.Fatalf("accepted ids = %d, want 6", len(sub.IDs()))
+	}
+	seen := map[ir.QueryID]int{}
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case r, ok := <-sub.Results():
+			if !ok {
+				for id, n := range seen {
+					if n != 1 {
+						t.Fatalf("query %d delivered %d times", id, n)
+					}
+				}
+				if len(seen) != 6 {
+					t.Fatalf("stream closed after %d results, want 6", len(seen))
+				}
+				return
+			}
+			seen[r.ID]++
+			if r.Status != "answered" {
+				t.Fatalf("query %d: %s (%s)", r.ID, r.Status, r.Detail)
+			}
+		case <-deadline:
+			t.Fatalf("stream never completed; %d/6 delivered", len(seen))
+		}
+	}
+}
+
+// TestSubscribeEmptyAndRefused: a subscription whose every query is refused
+// (or that is empty) closes its stream immediately instead of hanging.
+func TestSubscribeEmptyAndRefused(t *testing.T) {
+	_, addr := startServer(t, engine.Config{Mode: engine.Incremental, Shards: 1, Seed: 1})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	for _, queries := range [][]BatchQuery{
+		nil,
+		{{IR: "nope"}, {IR: "also nope"}},
+	} {
+		sub, err := c.Subscribe(queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case _, ok := <-sub.Results():
+			if ok {
+				t.Fatal("refused subscription must deliver nothing")
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("refused subscription never closed its stream")
+		}
+	}
+}
+
+// TestSubscribeMatchesHandlesAcrossReconnect is the acceptance test for the
+// subscription tentpole: over identical workloads on identically-seeded
+// engines, Subscribe must deliver exactly the same outcomes as N individual
+// batch handles — exactly one result per query, same statuses, same answer
+// tuples per input position — even though the subscribing client's first
+// connection is injected to die mid-result-stream and the stream is
+// replayed over the reconnected connection (the client dedupes by id).
+func TestSubscribeMatchesHandlesAcrossReconnect(t *testing.T) {
+	const pairs = 8
+	queries := subWorkload(pairs)
+
+	// Reference arm: one handle per query on a plain client.
+	_, addrA := startServer(t, engine.Config{Mode: engine.Incremental, Shards: 1, Seed: 1})
+	ca, err := Dial(addrA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ca.Close()
+	handles, err := ca.SubmitBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]string, len(queries))
+	for i, h := range handles {
+		if h.Err != nil {
+			want[i] = "refused"
+			continue
+		}
+		want[i] = outcomeKey(waitResult(t, h.Ch))
+	}
+
+	// Subscription arm: same workload, fresh identically-seeded server, one
+	// multiplexed stream — and the first connection is killed mid-stream.
+	_, addrB := startServer(t, engine.Config{Mode: engine.Incremental, Shards: 1, Seed: 1})
+	var dialSeq atomic.Int64
+	dialer := func(addr string) (net.Conn, error) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		if dialSeq.Add(1) == 1 {
+			// The first connection drops at read byte 400: after the batch
+			// reply and the first couple of results, mid result-stream.
+			return fault.WrapConn(conn, fault.New(7).At(fault.OpConnRead, 400, fault.Drop)), nil
+		}
+		return conn, nil
+	}
+	cb, err := DialWith(addrB, DialOptions{
+		Reconnect:  true,
+		OpTimeout:  2 * time.Second,
+		BackoffMin: time.Millisecond,
+		BackoffMax: 10 * time.Millisecond,
+		JitterSeed: 7,
+		Dialer:     dialer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cb.Close()
+
+	sub, err := cb.Subscribe(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[ir.QueryID]int, len(sub.Items()))
+	got := make([]string, len(queries))
+	for i, item := range sub.Items() {
+		if item.Error != "" {
+			got[i] = "refused"
+		} else {
+			pos[item.ID] = i
+		}
+	}
+	count := map[ir.QueryID]int{}
+	deadline := time.After(20 * time.Second)
+collect:
+	for {
+		select {
+		case r, ok := <-sub.Results():
+			if !ok {
+				break collect
+			}
+			count[r.ID]++
+			i, known := pos[r.ID]
+			if !known {
+				t.Fatalf("result for unknown id %d", r.ID)
+			}
+			got[i] = outcomeKey(r)
+		case <-deadline:
+			t.Fatalf("subscription never completed; %d/%d delivered", len(count), len(sub.IDs()))
+		}
+	}
+
+	// Exactly one outcome per query, despite the replay after reconnect.
+	if len(count) != len(sub.IDs()) {
+		t.Fatalf("delivered %d distinct ids, want %d", len(count), len(sub.IDs()))
+	}
+	for id, n := range count {
+		if n != 1 {
+			t.Fatalf("query %d delivered %d times, want exactly once", id, n)
+		}
+	}
+	for i := range queries {
+		if got[i] != want[i] {
+			t.Fatalf("outcome mismatch at input %d:\nsubscribe: %q\nhandles:   %q", i, got[i], want[i])
+		}
+	}
+	// The reconnect really was exercised.
+	ls := cb.LocalStats()
+	if ls.ConnsLost < 1 || ls.Reconnects < 1 {
+		t.Fatalf("injected reconnect never happened: %+v", ls)
+	}
+}
