@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	d3cbench [-experiment all|fig6|fig7|fig8|fig9|ablations|sharding|batching|arrival|durability|pushdown]
+//	d3cbench [-experiment all|fig6|fig7|fig8|fig9|ablations|sharding|batching|arrival|flushpar|durability|pushdown]
 //	         [-users 82168] [-scale 1.0] [-seed 42] [-shards 8] [-workers 8]
 //	         [-batch 64] [-json path]
 //
@@ -15,6 +15,11 @@
 // allocations, closing vs non-closing (the engine's hot path), at the
 // requested shard count and single-shard (the per-core reference rows);
 // each row carries the hard AllocLimit the perf gate enforces.
+// -experiment flushpar pins the out-of-lock coordination pipeline: one row
+// drains a pre-loaded backlog through the persistent worker pool (per-
+// component allocation budget), one row races concurrent submitters against
+// backlog-triggered coordination rounds (per-submission budget), with
+// answered counts cross-checked between the two.
 // -experiment batching compares the three submission modes — single
 // Submit, SubmitBatch, and the unordered SubmitBulk load path — timing the
 // submission phase only (median of 5 reps), with identical answered counts
@@ -46,7 +51,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment: all, fig6, fig7, fig8, fig9, ablations, sharding, batching, arrival, durability, pushdown")
+		experiment = flag.String("experiment", "all", "which experiment: all, fig6, fig7, fig8, fig9, ablations, sharding, batching, arrival, flushpar, durability, pushdown")
 		users      = flag.Int("users", 82168, "social graph size (paper: 82168)")
 		scale      = flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper sizes up to 100k queries)")
 		seed       = flag.Int64("seed", 42, "deterministic seed")
@@ -181,6 +186,16 @@ func main() {
 		}
 		emit(
 			fmt.Sprintf("Arrival — incremental per-arrival latency and allocations, closing vs non-closing (%d shards)", *shards), rows)
+		return nil
+	})
+
+	run("flushpar", func() error {
+		rows, err := env.FlushParExperiment(scaled([]int{1000, 10000}, *scale), *shards, *workers)
+		if err != nil {
+			return err
+		}
+		emit(
+			fmt.Sprintf("Flushpar — out-of-lock coordination rounds on the worker pool: backlog drain and submitters racing flush (%d shards, %d submitters)", *shards, *workers), rows)
 		return nil
 	})
 

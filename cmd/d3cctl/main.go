@@ -284,6 +284,8 @@ func main() {
 					s.Submitted, s.Answered, s.Rejected, s.RejectedUnsafe, s.ExpiredStale, s.Pending, s.Flushes,
 					s.RouterPasses, s.SubmitLocks, s.BulkLoads, s.BulkFlushes, s.FamiliesRetired,
 					s.PlanHits, s.PlanMisses, s.PlanEvictions)
+				fmt.Printf("  eval: workers=%d queue-depth=%d retries=%d\n",
+					s.EvalWorkers, s.EvalQueueDepth, s.EvalRetries)
 				if s.Overloaded > 0 {
 					fmt.Printf("  overloaded: %d submissions shed\n", s.Overloaded)
 				}

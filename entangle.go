@@ -104,8 +104,9 @@ func WithFlushEvery(n int) Option { return func(c *config) { c.engine.FlushEvery
 // (default 100ms).
 func WithFlushInterval(d time.Duration) Option { return func(c *config) { c.flushInterval = d } }
 
-// WithParallelism bounds concurrent component evaluation during flushes
-// (0 = GOMAXPROCS).
+// WithParallelism sizes the engine's persistent evaluation worker pool —
+// the goroutines that run coordination rounds out of the shard locks
+// during flushes (0 = GOMAXPROCS).
 func WithParallelism(n int) Option { return func(c *config) { c.engine.Parallelism = n } }
 
 // WithSeed drives CHOOSE 1 randomness (0 = deterministic first choice).

@@ -100,6 +100,28 @@ func (e *Env) ArrivalExperiment(sizes []int, shards int) ([]Row, error) {
 					return nil, fmt.Errorf("bench: resilience-armed run left %d pending", guarded.Pending)
 				}
 				rows = append(rows, guarded)
+
+				// Contended row: the same closing workload submitted from two
+				// goroutines with FlushEvery armed, so backlog-triggered
+				// coordination rounds race the other submitter's arrivals on
+				// one shard — the gate's standing coverage of the optimistic
+				// snapshot-validate-deliver path under contention (the full
+				// sweep lives in FlushParExperiment). Answered counts must
+				// match the sequential closing run: retries never change
+				// outcomes. Skipped at sizes too small to amortise the
+				// pool-warm wave; the experiment's larger size always emits
+				// the row, so the gate's fail-closed label check stays armed.
+				if len(qs) >= 4*warmFlushWave(1) && len(qs) >= 200 {
+					raced, err := e.runFlushRacing("arrival submitters racing flush (1 shard)", qs, 1, 2)
+					if err != nil {
+						return nil, err
+					}
+					if raced.Answered != closing.Answered {
+						return nil, fmt.Errorf("bench: racing run answered %d, sequential closing run answered %d on identical workloads",
+							raced.Answered, closing.Answered)
+					}
+					rows = append(rows, raced)
+				}
 			}
 
 			// Repeat-shape wave: the first warmArrivals submissions prime

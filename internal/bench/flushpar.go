@@ -1,0 +1,225 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"entangle/internal/engine"
+	"entangle/internal/ir"
+	"entangle/internal/workload"
+)
+
+// FlushParExperiment pins the cost of the out-of-lock coordination pipeline:
+// rounds are snapshotted under the shard lock but evaluated on the engine's
+// persistent worker pool, so flushes across shards pipeline and arrivals keep
+// landing while components evaluate. Two regimes per size:
+//
+//   - "flushpar drain": a set-at-a-time engine accumulates the whole
+//     workload, then one timed Flush drains every closed component through
+//     the pool. Per-op is per COMPONENT — the row's allocation figure is the
+//     steady-state cost of one pooled coordination round (snapshot capture,
+//     dispatch, evaluation on a pinned per-worker scratch, validate,
+//     deliver), and its AllocLimit is the trip-wire that keeps the pool path
+//     as lean as the old under-lock path.
+//   - "flushpar racing": the same workload submitted from several goroutines
+//     with FlushEvery armed, so backlog-triggered coordination rounds run
+//     WHILE the other submitters mutate the shards — the contended path the
+//     optimistic snapshot-validate-deliver design exists for. Invalidated
+//     rounds re-snapshot and retry; per-op is per submission. A final Flush
+//     drains stragglers, and the row cross-checks its answered count against
+//     the drain row's: optimistic retries must not change outcomes.
+//
+// Both rows warm the engine first with a flushed wave sized to the host's
+// GOMAXPROCS — enough components to start the pool and touch EVERY worker's
+// pinned scratch, pooled snapshot slots and the compiled-plan cache before
+// the clock starts — so the budgets pin steady state, not pool-startup
+// amortisation, and stay host-independent however many workers the pool
+// sizes to. Workloads use per-pair ANSWER relations (the routable shape
+// shared with ArrivalExperiment).
+func (e *Env) FlushParExperiment(sizes []int, shards, workers int) ([]Row, error) {
+	if workers < 2 {
+		return nil, fmt.Errorf("bench: flushpar needs workers ≥ 2 to race, got %d", workers)
+	}
+	var rows []Row
+	for _, n := range sizes {
+		// Floor the workload at 4× the warm wave so the timed phase always
+		// dominates: the budgets must amortise the same residual fixed costs
+		// on a 1-core pin host and a many-core CI runner alike.
+		if min := 4 * warmFlushWave(shards); n < min {
+			n = min
+		}
+		gen := workload.NewGen(e.G, int64(n)+211)
+		gen.DistinctRels = true
+		qs := gen.PermuteGroups(gen.TwoWayBest(e.G.FriendPairs(n/2, int64(n)+211)), 2)
+
+		drain, err := e.runFlushDrain(fmt.Sprintf("flushpar drain (%s)", shardsLabel(shards)), qs, shards)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, drain)
+
+		racing, err := e.runFlushRacing(fmt.Sprintf("flushpar racing (%s, %d submitters)", shardsLabel(shards), workers),
+			qs, shards, workers)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, racing)
+
+		if drain.Answered != racing.Answered {
+			return nil, fmt.Errorf("bench: racing run answered %d, drain answered %d on identical workloads",
+				racing.Answered, drain.Answered)
+		}
+	}
+	return rows, nil
+}
+
+// warmFlushWave sizes the untimed warm-up prefix of a flushpar run, in
+// queries: two pairs per pool worker or per shard, whichever is more. A
+// flush only reaches the pool's dispatch path when a shard holds more than
+// one closed component (a lone round evaluates inline), so the warm wave
+// needs ≥ 2 components per shard to start the pool at all, and ≥ 2 per
+// worker so every worker's pinned scratch and the pooled snapshot slots are
+// touched before the clock starts. This is what keeps the pinned budgets
+// host-independent: pool-startup cost scales with GOMAXPROCS, and it must
+// all land in the untimed phase.
+func warmFlushWave(shards int) int {
+	w := runtime.GOMAXPROCS(0)
+	if shards > w {
+		w = shards
+	}
+	return 4 * w
+}
+
+// clampWarm bounds a warm wave to half the workload, keeping it a multiple
+// of 4 so it splits into two pair-aligned flush waves.
+func clampWarm(warm, nqueries int) int {
+	if warm > nqueries/2 {
+		warm = nqueries / 2
+	}
+	warm -= warm % 4
+	if warm < warmArrivals {
+		warm = warmArrivals
+	}
+	return warm
+}
+
+// runFlushDrain measures one big Flush over a pre-loaded backlog: pure
+// worker-pool coordination throughput, attributed per closed component.
+func (e *Env) runFlushDrain(label string, qs []*ir.Query, shards int) (Row, error) {
+	eng := engine.New(e.DB, engine.Config{Mode: engine.SetAtATime, Shards: shards, Seed: 1})
+	defer eng.Close()
+	warm := clampWarm(warmFlushWave(shards), len(qs))
+	// Two flushed half-waves: the first starts the pool, the second runs
+	// against started workers, together touching every worker's scratch,
+	// the pooled snapshot slots and the compiled-plan cache.
+	for _, q := range qs[:warm/2] {
+		if _, err := eng.Submit(q); err != nil {
+			return Row{}, err
+		}
+	}
+	eng.Flush()
+	for _, q := range qs[warm/2 : warm] {
+		if _, err := eng.Submit(q); err != nil {
+			return Row{}, err
+		}
+	}
+	eng.Flush()
+	timed := qs[warm:]
+	for _, q := range timed {
+		if _, err := eng.Submit(q); err != nil {
+			return Row{}, err
+		}
+	}
+	comps := len(timed) / 2
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	eng.Flush()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	st := eng.Stats()
+	if st.Pending != 0 {
+		return Row{}, fmt.Errorf("bench: %s: drain left %d pending", label, st.Pending)
+	}
+	allocs := float64(m1.Mallocs-m0.Mallocs) / float64(comps)
+	return Row{
+		Label: label, N: comps, Elapsed: elapsed,
+		AllocsPerOp: allocs,
+		BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(comps),
+		AllocLimit:  math.Ceil(allocs*1.4) + 6,
+		Answered:    st.Answered, Rejected: st.Rejected + st.RejectedUnsafe, Pending: st.Pending,
+	}, nil
+}
+
+// runFlushRacing submits the workload from `workers` goroutines against an
+// engine whose FlushEvery keeps triggering coordination rounds mid-stream,
+// so rounds and arrivals contend on the shard locks the whole run.
+// Attributed per submission.
+func (e *Env) runFlushRacing(label string, qs []*ir.Query, shards, workers int) (Row, error) {
+	eng := engine.New(e.DB, engine.Config{Mode: engine.SetAtATime, Shards: shards, Seed: 1, FlushEvery: 8})
+	defer eng.Close()
+	warm := clampWarm(warmFlushWave(shards), len(qs))
+	for _, q := range qs[:warm/2] {
+		if _, err := eng.Submit(q); err != nil {
+			return Row{}, err
+		}
+	}
+	eng.Flush()
+	for _, q := range qs[warm/2 : warm] {
+		if _, err := eng.Submit(q); err != nil {
+			return Row{}, err
+		}
+	}
+	eng.Flush()
+	timed := qs[warm:]
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	var next atomic.Int64
+	errs := make(chan error, workers)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(timed) {
+					return
+				}
+				if _, err := eng.Submit(timed[i]); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	eng.Flush() // drain components the backlog trigger had not reached yet
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	select {
+	case err := <-errs:
+		return Row{}, err
+	default:
+	}
+	st := eng.Stats()
+	if st.Pending != 0 {
+		return Row{}, fmt.Errorf("bench: %s: run left %d pending", label, st.Pending)
+	}
+	n := len(timed)
+	allocs := float64(m1.Mallocs-m0.Mallocs) / float64(n)
+	return Row{
+		Label: label, N: n, Elapsed: elapsed,
+		AllocsPerOp: allocs,
+		BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(n),
+		AllocLimit:  math.Ceil(allocs*1.4) + 6,
+		Answered:    st.Answered, Rejected: st.Rejected + st.RejectedUnsafe, Pending: st.Pending,
+	}, nil
+}

@@ -139,6 +139,86 @@ func TestGateAgainstCheckedInReference(t *testing.T) {
 	}
 }
 
+// TestGateCoversFlushparLabels: the labels the out-of-lock coordination
+// pipeline pins — the flushpar drain/racing rows and the arrival
+// experiment's "submitters racing flush" row — gate exactly like the
+// long-standing arrival labels: within budget passes, a per-component alloc
+// regression on the pool path trips, and the contended arrival row is
+// covered by the same report as the sequential ones.
+func TestGateCoversFlushparLabels(t *testing.T) {
+	pinned := gateReport(
+		Row{Label: "flushpar drain (8 shards)", N: 500, AllocsPerOp: 10.1, AllocLimit: 21},
+		Row{Label: "flushpar racing (8 shards, 8 submitters)", N: 1000, AllocsPerOp: 24.8, AllocLimit: 41},
+		Row{Label: "arrival submitters racing flush (1 shard)", N: 1000, AllocsPerOp: 22.4, AllocLimit: 38},
+	)
+	current := gateReport(
+		Row{Label: "flushpar drain (8 shards)", N: 20, AllocsPerOp: 12.0},
+		Row{Label: "flushpar racing (8 shards, 8 submitters)", N: 40, AllocsPerOp: 28.0},
+		Row{Label: "arrival submitters racing flush (1 shard)", N: 40, AllocsPerOp: 25.0},
+	)
+	if out := CompareReports(pinned, current, GateOptions{}); !out.OK() {
+		t.Fatalf("gate failed the new labels within budget: %v", out.Violations)
+	}
+
+	// A pool path that starts allocating per component — say a round or
+	// snapshot escaping its pool — blows the drain row's hard ceiling even
+	// inside the generic slack margin.
+	regressed := gateReport(
+		Row{Label: "flushpar drain (8 shards)", N: 20, AllocsPerOp: 23.0},
+		Row{Label: "flushpar racing (8 shards, 8 submitters)", N: 40, AllocsPerOp: 28.0},
+		Row{Label: "arrival submitters racing flush (1 shard)", N: 40, AllocsPerOp: 25.0},
+	)
+	out := CompareReports(pinned, regressed, GateOptions{})
+	if out.OK() {
+		t.Fatal("gate passed a drain-row alloc regression past its hard AllocLimit")
+	}
+	if len(out.Violations) != 1 || !strings.Contains(out.Violations[0], "flushpar drain") {
+		t.Fatalf("violations = %v, want exactly the drain row", out.Violations)
+	}
+
+	// Dropping the contended arrival row fails closed like any label drift.
+	missing := gateReport(
+		Row{Label: "flushpar drain (8 shards)", N: 20, AllocsPerOp: 12.0},
+		Row{Label: "flushpar racing (8 shards, 8 submitters)", N: 40, AllocsPerOp: 28.0},
+	)
+	out = CompareReports(pinned, missing, GateOptions{})
+	if out.OK() {
+		t.Fatal("gate passed with the racing-flush arrival row missing")
+	}
+	if !strings.Contains(strings.Join(out.Violations, "\n"), "submitters racing flush") {
+		t.Fatalf("violations = %v, want the dropped racing-flush label", out.Violations)
+	}
+}
+
+// TestGateAgainstCheckedInFlushparReference: the flushpar pinned file must
+// parse, pass against itself, and actually carry both pipeline rows — so the
+// CI gate on the out-of-lock flush path is never a no-op.
+func TestGateAgainstCheckedInFlushparReference(t *testing.T) {
+	path := filepath.Join("..", "..", "BENCH_flushpar.json")
+	pinned, err := ReadReport(path)
+	if err != nil {
+		t.Fatalf("pinned reference unreadable: %v", err)
+	}
+	if out := CompareReports(pinned, pinned, GateOptions{}); !out.OK() {
+		t.Fatalf("pinned reference fails against itself: %v", out.Violations)
+	}
+	want := map[string]bool{"flushpar drain": false, "flushpar racing": false}
+	for _, s := range pinned.Series {
+		for _, r := range s.Rows {
+			for prefix := range want {
+				if strings.HasPrefix(r.Label, prefix) {
+					want[prefix] = true
+				}
+			}
+		}
+	}
+	for prefix, found := range want {
+		if !found {
+			t.Fatalf("pinned flushpar reference has no %q row", prefix)
+		}
+	}
+}
+
 // TestGateFailsClosedOnLabelDrift: a pinned budget with no current row to
 // check is itself a violation — otherwise a label rename (or a dropped
 // experiment) would silently disable the whole gate while CI prints PASS.

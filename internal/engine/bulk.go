@@ -99,6 +99,16 @@ func (e *Engine) SubmitBulk(qs []*ir.Query, opt BulkOptions) ([]*Handle, error) 
 	// input (= ID) order — the order the safety sweep resolves conflicts
 	// in, so a bulk's verdicts are reproducible however its groups land.
 	var group []bulkItem // reused per-shard ingest slice
+	// Post-ingest coordination rounds are snapshotted under each shard's
+	// ingest lock hold but evaluated only after the whole grouped submission
+	// returns: the bulk's flush is the last thing to happen on each touched
+	// shard, so deferral cannot reorder it against any same-bulk admission,
+	// and the rounds of all touched shards then pipeline on the worker pool.
+	type shardRounds struct {
+		s  *shard
+		rb roundBatch
+	}
+	var batches []shardRounds
 	err := e.submitGrouped(relss, func(s *shard, idxs []int) error {
 		group = group[:0]
 		for _, i := range idxs {
@@ -110,17 +120,22 @@ func (e *Engine) SubmitBulk(qs []*ir.Query, opt BulkOptions) ([]*Handle, error) 
 		if !opt.DeferFlush {
 			e.flushRounds.Add(1)
 			e.bulkFlushes.Add(1)
-			s.flush()
 		} else if e.cfg.Mode == SetAtATime && e.cfg.FlushEvery > 0 && s.sinceFl >= e.cfg.FlushEvery {
 			// A deferred bulk still honors the configured backlog bound,
 			// exactly as migration-adopted queries do.
 			e.flushRounds.Add(1)
-			s.flush()
+		} else {
+			return nil
 		}
+		batches = append(batches, shardRounds{s: s})
+		s.collectFlushRounds(&batches[len(batches)-1].rb)
 		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	for i := range batches {
+		e.processRounds(batches[i].s, &batches[i].rb)
 	}
 	return handles, nil
 }

@@ -38,6 +38,30 @@
 // run's (migration re-inserts members in query-ID order, which may
 // interleave differently with the home shard's residents); runs with a
 // fixed (Seed, Shards, arrival order) still reproduce exactly.
+//
+// # Coordination rounds
+//
+// Component evaluation — matching, combined-query compilation, database
+// execution — runs OUTSIDE the shard lock, on an optimistic
+// snapshot-validate-deliver pipeline. When an arrival closes a component
+// (or a flush enumerates the closed set), the shard snapshots each closed
+// component — members, nodes, edges, and a monotone per-component version
+// maintained by the graph's component index — into a pooled round, then
+// releases its lock. The round evaluates on a persistent per-engine worker
+// pool (single incremental rounds evaluate inline on the submitting
+// goroutine); each worker pins its own evaluation scratch, so steady-state
+// rounds allocate nothing beyond the answer tuples. The shard lock is then
+// re-acquired to validate: every member still pending and the component
+// version unchanged. A concurrent arrival, expiry, migration or competing
+// delivery bumps the version, so a stale evaluation is discarded and the
+// surviving members' components are re-snapshotted and re-run — a stale
+// round can never deliver, and outcomes are observationally identical to
+// evaluating under the lock. Submissions to a shard therefore proceed while
+// that shard's components are being evaluated, and the pool is fed by every
+// shard, so concurrent flushes pipeline across the engine. The one
+// exception is the batch/bulk ingest path, which evaluates synchronously
+// under the held lock: batch ≡ sequential equivalence requires each closing
+// component to retire before the next batch member's admission is decided.
 package engine
 
 import (
@@ -176,8 +200,9 @@ type Config struct {
 	// workloads routed to one shard and bounds every shard's buffered
 	// backlog independently.
 	FlushEvery int
-	// Parallelism bounds concurrent component evaluation during a shard's
-	// flush; 0 means GOMAXPROCS.
+	// Parallelism sizes the engine's persistent evaluation worker pool —
+	// the goroutines that run snapshotted coordination rounds out of lock,
+	// shared by all shards; 0 means GOMAXPROCS.
 	Parallelism int
 	// Seed drives the CHOOSE 1 random choice; 0 picks deterministically.
 	// Each shard runs its own stream started from the seed, so a given
@@ -282,6 +307,16 @@ type Stats struct {
 	// batches count once per call). Engine-level like RouterPasses: zero in
 	// PerShard, excluded from aggregation.
 	Overloaded int
+	// EvalRetries counts coordination rounds whose out-of-lock evaluation
+	// was invalidated by a concurrent arrival, expiry, migration or
+	// competing delivery between snapshot and validation, and was therefore
+	// discarded and re-run (a stale round never delivers). EvalWorkers is
+	// the persistent evaluation pool's size; EvalQueueDepth is the
+	// instantaneous number of rounds queued for it. Engine-level like
+	// RouterPasses: zero in PerShard, excluded from aggregation.
+	EvalRetries    int
+	EvalWorkers    int
+	EvalQueueDepth int
 
 	// WAL carries the durability subsystem's counters; nil when the engine
 	// was not opened with a data directory.
@@ -381,12 +416,25 @@ type Engine struct {
 	// eventSeq stamps audit events with a total order, so History can merge
 	// the per-shard rings deterministically even at equal timestamps.
 	eventSeq atomic.Uint64
-	// evalSem caps concurrent component evaluations across all flushing
-	// shards at Parallelism (or GOMAXPROCS). A shared semaphore rather
-	// than a per-shard split: a skewed workload concentrated on one shard
-	// can still use the whole budget, while simultaneous flushes (explicit
-	// or FlushEvery-triggered) cannot oversubscribe to Shards × budget.
-	evalSem chan struct{}
+	// evalQueue feeds the persistent worker pool that evaluates snapshotted
+	// coordination rounds out of lock; poolSize workers start lazily on
+	// the first multi-round dispatch (poolOnce) and exit when Close closes
+	// the queue (workersUp records whether there is anything to close). One
+	// engine-wide pool rather than a per-shard split: a skewed workload
+	// concentrated on one shard can still use the whole Parallelism budget,
+	// while simultaneous flushes cannot oversubscribe to Shards × budget.
+	// evalRetries counts rounds invalidated between snapshot and validation
+	// (Stats.EvalRetries).
+	evalQueue   chan *evalRound
+	poolOnce    sync.Once
+	workersUp   atomic.Bool
+	poolSize    int
+	evalRetries atomic.Int64
+	// testEvalHook, when non-nil, runs at the start of every out-of-lock
+	// round evaluation with the component's members. Tests use it to stall
+	// or mutate the engine mid-round; it must be set before any submission
+	// and is never set in production.
+	testEvalHook func(members []ir.QueryID)
 	// migEpoch increments whenever a family merge moves pending queries
 	// between shards. Stats uses it to take an exact aggregate without
 	// holding all shard locks at once: snapshot shards one at a time and
@@ -423,16 +471,19 @@ func New(db *memdb.DB, cfg Config) *Engine {
 	if cfg.Shards <= 0 {
 		cfg.Shards = runtime.NumCPU()
 	}
-	budget := cfg.Parallelism
-	if budget <= 0 {
-		budget = runtime.GOMAXPROCS(0)
+	poolSize := cfg.Parallelism
+	if poolSize <= 0 {
+		poolSize = runtime.GOMAXPROCS(0)
 	}
 	e := &Engine{
-		db:      db,
-		cfg:     cfg,
-		router:  newRouter(cfg.Shards),
-		evalSem: make(chan struct{}, budget),
-		now:     time.Now,
+		db:       db,
+		cfg:      cfg,
+		router:   newRouter(cfg.Shards),
+		poolSize: poolSize,
+		// Buffered past the worker count so dispatching shards rarely fall
+		// back to evaluating inline while workers are momentarily busy.
+		evalQueue: make(chan *evalRound, 4*poolSize),
+		now:       time.Now,
 	}
 	if cfg.PlanCacheSize >= 0 {
 		size := cfg.PlanCacheSize
@@ -487,6 +538,9 @@ func (e *Engine) Stats() Stats {
 		agg.BulkFlushes = int(e.bulkFlushes.Load())
 		agg.FamiliesRetired = int(e.familiesRetired.Load())
 		agg.Overloaded = int(e.overloadShed.Load())
+		agg.EvalRetries = int(e.evalRetries.Load())
+		agg.EvalWorkers = e.poolSize
+		agg.EvalQueueDepth = len(e.evalQueue)
 		if e.plans != nil {
 			hits, misses, evictions := e.plans.Counters()
 			agg.PlanHits = int(hits)
@@ -568,11 +622,16 @@ func (e *Engine) Submit(q *ir.Query) (*Handle, error) {
 			s.mu.Unlock()
 			continue
 		}
-		err := s.submit(renamed, rels, h, now, src)
+		var rb roundBatch
+		err := s.submit(renamed, rels, h, now, src, &rb)
 		s.mu.Unlock()
 		if err != nil {
 			return nil, err
 		}
+		// Any coordination round this arrival triggered evaluates here, out
+		// of lock: concurrent submissions to the same shard proceed while
+		// the component is matched and executed.
+		e.processRounds(s, &rb)
 		return h, nil
 	}
 }
@@ -613,6 +672,7 @@ func (e *Engine) migrateFamily(root string) {
 			if dst.idx < src.idx {
 				first, second = dst, src
 			}
+			var rb roundBatch
 			first.mu.Lock()
 			second.mu.Lock()
 			if e.router.currentHome(root) == home {
@@ -663,12 +723,16 @@ func (e *Engine) migrateFamily(root string) {
 					// submit won't also evaluate — but liveness of the
 					// exactly-one-Result contract is worth an O(adopted)
 					// re-check rather than a reachability argument.
-					// ComponentClosed returns false for members already
-					// retired by an earlier iteration.
+					// Rounds are snapshotted here and evaluated after both
+					// locks release; covers dedupes adopted IDs that share a
+					// component, preserving one CHOOSE draw per component.
 					if e.cfg.Mode == Incremental {
 						for _, id := range ids {
-							if dst.g.ComponentClosed(id) {
-								dst.evaluateComponent(dst.g.ComponentMembers(id))
+							if rb.covers(id) {
+								continue
+							}
+							if r := dst.captureComponentRound(id); r != nil {
+								rb.add(r)
 							}
 						}
 					}
@@ -677,13 +741,14 @@ func (e *Engine) migrateFamily(root string) {
 					// may have earned, as their own submissions would have.
 					if e.cfg.Mode == SetAtATime && e.cfg.FlushEvery > 0 && dst.sinceFl >= e.cfg.FlushEvery {
 						e.flushRounds.Add(1)
-						dst.flush()
+						dst.collectFlushRounds(&rb)
 					}
 				}
 				e.router.clearResidence(root, from, home)
 			}
 			second.mu.Unlock()
 			first.mu.Unlock()
+			e.processRounds(dst, &rb)
 		}
 	}
 }
@@ -765,7 +830,11 @@ func (e *Engine) SubmitBatchNotify(qs []*ir.Query, fn func(Result)) ([]*Handle, 
 			if srcs != nil {
 				src = srcs[i]
 			}
-			if err := s.submit(renamed[i], relss[i], handles[i], now, src); err != nil {
+			// rb == nil: each closing component evaluates synchronously
+			// under the held shard lock, so the next batch member's
+			// admission sees it retired — exactly what sequential
+			// submission would see (batch ≡ sequential equivalence).
+			if err := s.submit(renamed[i], relss[i], handles[i], now, src, nil); err != nil {
 				return err // unreachable: IDs are fresh and Check precedes Admit
 			}
 		}
@@ -886,9 +955,15 @@ func (e *Engine) Flush() {
 		wg.Add(1)
 		go func(s *shard) {
 			defer wg.Done()
+			// Snapshot under the lock, evaluate out of it: submissions to
+			// this shard proceed while its components run on the worker
+			// pool, and all shards feed the same pool, so concurrent
+			// flushes pipeline instead of serialising per shard.
+			var rb roundBatch
 			s.mu.Lock()
-			s.flush()
+			s.collectFlushRounds(&rb)
 			s.mu.Unlock()
+			e.processRounds(s, &rb)
 		}(s)
 	}
 	wg.Wait()
@@ -910,7 +985,9 @@ func (e *Engine) ExpireStale() int {
 		wg.Add(1)
 		go func(i int, s *shard) {
 			defer wg.Done()
-			counts[i] = s.expireStale(cutoff)
+			var rb roundBatch
+			counts[i] = s.expireStale(cutoff, &rb)
+			e.processRounds(s, &rb)
 		}(i, s)
 	}
 	wg.Wait()
@@ -1028,6 +1105,11 @@ func (e *Engine) Close() {
 		s.close()
 	}
 	e.closed = true
+	// Retire the evaluation workers. Safe under the lifeMu write hold:
+	// every producer dispatches under a read hold, so none is in flight.
+	if e.workersUp.Load() {
+		close(e.evalQueue)
+	}
 	if e.wal != nil {
 		_ = e.wal.Close()
 	}

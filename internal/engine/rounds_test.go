@@ -1,0 +1,348 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"entangle/internal/ir"
+	"entangle/internal/memdb"
+)
+
+// blockFirstEval installs a test hook that blocks the FIRST out-of-lock
+// round evaluation: it closes entered when the round starts, then waits for
+// release. Later rounds (retries, mutator-triggered rounds) pass through.
+// Must be installed before any submission.
+func blockFirstEval(e *Engine) (entered, release chan struct{}) {
+	entered = make(chan struct{})
+	release = make(chan struct{})
+	var fired atomic.Bool
+	e.testEvalHook = func([]ir.QueryID) {
+		if fired.CompareAndSwap(false, true) {
+			close(entered)
+			<-release
+		}
+	}
+	return entered, release
+}
+
+// TestSubmitDuringSlowEvalIncremental is the tentpole's lock-scope
+// acceptance test: component evaluation must not run under the shard lock.
+// The first coordination round is stalled mid-evaluation via the test hook,
+// and a concurrent Submit to the SAME shard must complete while it is
+// stalled — impossible if the evaluating goroutine held s.mu.
+func TestSubmitDuringSlowEvalIncremental(t *testing.T) {
+	e := New(flightsDB(t), Config{Mode: Incremental, Shards: 1})
+	defer e.Close()
+	entered, release := blockFirstEval(e)
+
+	h1, err := e.Submit(ir.MustParse(0, "{R(Jerry, x)} R(Kramer, x) :- F(x, Paris)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	closerDone := make(chan *Handle, 1)
+	go func() {
+		h2, err := e.Submit(ir.MustParse(0, "{R(Kramer, y)} R(Jerry, y) :- F(y, Paris)"))
+		if err != nil {
+			t.Error(err)
+		}
+		closerDone <- h2
+	}()
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("closing submission never reached evaluation")
+	}
+
+	// The round for {h1, closer} is mid-evaluation. A submission to the same
+	// shard must not block on it.
+	submitted := make(chan *Handle, 1)
+	go func() {
+		h3, err := e.Submit(ir.MustParse(0, "{R(Nobody, z)} R(Elaine, z) :- F(z, Rome)"))
+		if err != nil {
+			t.Error(err)
+		}
+		submitted <- h3
+	}()
+	var h3 *Handle
+	select {
+	case h3 = <-submitted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Submit blocked behind an in-flight component evaluation: shard lock held during eval")
+	}
+	close(release)
+
+	h2 := <-closerDone
+	for _, h := range []*Handle{h1, h2} {
+		if r := mustResult(t, h); r.Status != StatusAnswered {
+			t.Fatalf("query %d: %v (%s)", h.ID, r.Status, r.Detail)
+		}
+	}
+	select {
+	case r := <-h3.Done():
+		t.Fatalf("loner resolved prematurely: %v", r)
+	default:
+	}
+}
+
+// TestSubmitDuringSlowFlush is the set-at-a-time variant: an explicit Flush
+// is stalled mid-evaluation and a same-shard Submit must still complete.
+func TestSubmitDuringSlowFlush(t *testing.T) {
+	e := New(flightsDB(t), Config{Mode: SetAtATime, Shards: 1})
+	defer e.Close()
+	entered, release := blockFirstEval(e)
+
+	h1, err := e.Submit(ir.MustParse(0, "{R(Jerry, x)} R(Kramer, x) :- F(x, Paris)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := e.Submit(ir.MustParse(0, "{R(Kramer, y)} R(Jerry, y) :- F(y, Paris)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flushDone := make(chan struct{})
+	go func() {
+		e.Flush()
+		close(flushDone)
+	}()
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("flush never reached evaluation")
+	}
+
+	submitted := make(chan struct{})
+	go func() {
+		if _, err := e.Submit(ir.MustParse(0, "{R(Nobody, z)} R(Elaine, z) :- F(z, Rome)")); err != nil {
+			t.Error(err)
+		}
+		close(submitted)
+	}()
+	select {
+	case <-submitted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Submit blocked behind an in-flight flush evaluation: shard lock held during eval")
+	}
+	close(release)
+	<-flushDone
+
+	for _, h := range []*Handle{h1, h2} {
+		if r := mustResult(t, h); r.Status != StatusAnswered {
+			t.Fatalf("query %d: %v (%s)", h.ID, r.Status, r.Detail)
+		}
+	}
+}
+
+// TestEvalErrorCauseAndDetail pins the rejection contract for evaluation
+// failures: a component whose evaluation errors (here: a body over a table
+// that does not exist) rejects with CauseEvalError — not CauseNoData — and
+// the delivered Result.Detail carries the cause plus the error text.
+func TestEvalErrorCauseAndDetail(t *testing.T) {
+	for _, mode := range []Mode{Incremental, SetAtATime} {
+		t.Run(mode.String(), func(t *testing.T) {
+			db := memdb.New() // no tables at all
+			e := New(db, Config{Mode: mode, Shards: 1})
+			defer e.Close()
+			h1, err := e.Submit(ir.MustParse(0, "{R(B, x)} R(A, x) :- Z(x, Paris)"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			h2, err := e.Submit(ir.MustParse(0, "{R(A, y)} R(B, y) :- Z(y, Paris)"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mode == SetAtATime {
+				e.Flush()
+			}
+			for _, h := range []*Handle{h1, h2} {
+				r := mustResult(t, h)
+				if r.Status != StatusRejected {
+					t.Fatalf("query %d: status %v (%s)", h.ID, r.Status, r.Detail)
+				}
+				if !strings.Contains(r.Detail, "evaluation failed") {
+					t.Fatalf("query %d: detail %q does not name the eval-error cause", h.ID, r.Detail)
+				}
+				if !strings.Contains(r.Detail, "Z") {
+					t.Fatalf("query %d: detail %q does not carry the underlying error", h.ID, r.Detail)
+				}
+			}
+		})
+	}
+}
+
+// oracleOutcome keys a query's terminal state for cross-run comparison:
+// status plus answered tuples ("pending" when no result was delivered).
+func oracleOutcome(h *Handle) string {
+	select {
+	case r := <-h.Done():
+		if r.Status == StatusAnswered {
+			return "answered " + ir.FormatAtoms(r.Answer.Tuples)
+		}
+		return r.Status.String()
+	default:
+		return "pending"
+	}
+}
+
+// TestInvalidationOracle is the optimistic-concurrency acceptance test: a
+// coordination round is stalled mid-evaluation, a concurrent mutation
+// (component-joining arrival, staleness expiry, or family-merge migration)
+// invalidates its snapshot, and the engine must discard the stale
+// evaluation, re-coordinate, and end in EXACTLY the state of a reference
+// run where the mutation was ordered before the round's trigger. Never
+// delivering a stale round is the whole safety argument of the out-of-lock
+// pipeline; the join and expire cases also assert the retry was counted
+// (migration may land on the same shard, where no invalidation occurs).
+func TestInvalidationOracle(t *testing.T) {
+	type run struct {
+		outcomes []string // indexed: 0 = waiter, 1 = closer, 2 = mutator query (join/migrate) or "" (expire)
+		retries  int
+	}
+	mutations := []string{"join", "expire", "migrate"}
+	for iter := 0; iter < 9; iter++ {
+		rng := rand.New(rand.NewSource(int64(100 + iter)))
+		mut := mutations[iter%len(mutations)]
+		// Randomize the data the CHOOSE draw picks over and the city the
+		// pair coordinates on, so iterations exercise different valuations.
+		city := []string{"Paris", "Rome", "Nice"}[rng.Intn(3)]
+		t.Run(fmt.Sprintf("%s/iter%d", mut, iter), func(t *testing.T) {
+			makeDB := func() *memdb.DB {
+				db := memdb.New()
+				db.MustCreateTable("F", "fno", "dest")
+				for i := 0; i < 4+rng.Intn(4); i++ {
+					db.MustInsert("F", fmt.Sprintf("%d", 100+i), city)
+				}
+				db.MustInsert("F", "900", "Oslo")
+				return db
+			}
+			waiterQ := fmt.Sprintf("{R(Jerry, x)} R(Kramer, x) :- F(x, %s)", city)
+			closerQ := fmt.Sprintf("{R(Kramer, y)} R(Jerry, y) :- F(y, %s)", city)
+			var mutatorQ string
+			switch mut {
+			case "join":
+				// Post fed by the waiter's head R(Kramer, ·): joins (and
+				// keeps closed) the waiter/closer component.
+				mutatorQ = fmt.Sprintf("{R(Kramer, z)} Q(Newman, z) :- F(z, %s)", city)
+			case "migrate":
+				// Signature {S, R} spans the pair's family and a fresh one:
+				// admission merges them and migrates the pending pair to the
+				// merged family's home shard. No unifiable atoms, so it does
+				// not join the component.
+				mutatorQ = fmt.Sprintf("{S(Frank, w)} R(Estelle, w) :- F(w, %s)", city)
+			}
+			cfg := Config{Mode: Incremental, Shards: 1}
+			if mut == "migrate" {
+				cfg.Shards = 8
+			}
+			if mut == "expire" {
+				cfg.StaleAfter = time.Hour
+			}
+			// The waiter is submitted on a backdated clock so an expiry
+			// sweep removes it but not the (freshly submitted) closer.
+			past := time.Now().Add(-2 * time.Hour)
+
+			// Reference: the mutation strictly precedes the closing arrival.
+			ref := func() run {
+				e := New(makeDB(), cfg)
+				defer e.Close()
+				handles := make([]*Handle, 3)
+				var err error
+				if mut == "expire" {
+					e.now = func() time.Time { return past }
+				}
+				if handles[0], err = e.Submit(ir.MustParse(0, waiterQ)); err != nil {
+					t.Fatal(err)
+				}
+				e.now = time.Now
+				switch mut {
+				case "join", "migrate":
+					if handles[2], err = e.Submit(ir.MustParse(0, mutatorQ)); err != nil {
+						t.Fatal(err)
+					}
+				case "expire":
+					if n := e.ExpireStale(); n != 1 {
+						t.Fatalf("reference expiry removed %d queries, want 1", n)
+					}
+				}
+				if handles[1], err = e.Submit(ir.MustParse(0, closerQ)); err != nil {
+					t.Fatal(err)
+				}
+				r := run{outcomes: make([]string, 3)}
+				// Let any in-flight deliveries land before sampling.
+				time.Sleep(10 * time.Millisecond)
+				for i, h := range handles {
+					if h != nil {
+						r.outcomes[i] = oracleOutcome(h)
+					}
+				}
+				return r
+			}()
+
+			// Concurrent: the round triggered by the closer stalls
+			// mid-evaluation; the mutation runs against the live shard while
+			// it is stalled, invalidating the snapshot.
+			got := func() run {
+				e := New(makeDB(), cfg)
+				defer e.Close()
+				entered, release := blockFirstEval(e)
+				handles := make([]*Handle, 3)
+				var err error
+				if mut == "expire" {
+					e.now = func() time.Time { return past }
+				}
+				if handles[0], err = e.Submit(ir.MustParse(0, waiterQ)); err != nil {
+					t.Fatal(err)
+				}
+				e.now = time.Now
+				closerDone := make(chan struct{})
+				go func() {
+					defer close(closerDone)
+					h, err := e.Submit(ir.MustParse(0, closerQ))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					handles[1] = h
+				}()
+				select {
+				case <-entered:
+				case <-time.After(5 * time.Second):
+					t.Fatal("closer never reached evaluation")
+				}
+				switch mut {
+				case "join", "migrate":
+					if handles[2], err = e.Submit(ir.MustParse(0, mutatorQ)); err != nil {
+						t.Fatal(err)
+					}
+				case "expire":
+					if n := e.ExpireStale(); n != 1 {
+						t.Fatalf("concurrent expiry removed %d queries, want 1", n)
+					}
+				}
+				close(release)
+				<-closerDone
+				r := run{outcomes: make([]string, 3), retries: e.Stats().EvalRetries}
+				time.Sleep(10 * time.Millisecond)
+				for i, h := range handles {
+					if h != nil {
+						r.outcomes[i] = oracleOutcome(h)
+					}
+				}
+				return r
+			}()
+
+			for i, want := range ref.outcomes {
+				if got.outcomes[i] != want {
+					t.Fatalf("query %d: concurrent run %q, reference %q\nconcurrent: %v\nreference:  %v",
+						i, got.outcomes[i], want, got.outcomes, ref.outcomes)
+				}
+			}
+			if (mut == "join" || mut == "expire") && got.retries == 0 {
+				t.Fatal("mutation mid-evaluation did not invalidate the round: EvalRetries == 0")
+			}
+		})
+	}
+}

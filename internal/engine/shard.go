@@ -35,12 +35,6 @@ type shard struct {
 	stats   Stats
 	sinceFl int      // submissions since last flush (SetAtATime)
 	hist    *history // this shard's slice of the audit trail (nil if disabled)
-	// byIDBuf is the shard's reusable member → query map handed to component
-	// evaluation. Mutated only under the shard lock (flush fills it before
-	// spawning its read-only evaluation goroutines and waits for them under
-	// the same lock hold), so one map serves every round instead of
-	// allocating per flush and per incremental closing.
-	byIDBuf map[ir.QueryID]*ir.Query
 }
 
 func newShard(idx int, e *Engine) *shard {
@@ -87,7 +81,16 @@ func (s *shard) record(kind EventKind, id ir.QueryID, detail string) {
 // handle receives exactly one Result, either here (unsafe rejection,
 // incremental coordination) or later (flush, staleness, close). src is the
 // original query's text for checkpointing (empty on non-durable engines).
-func (s *shard) submit(renamed *ir.Query, rels []string, h *Handle, now time.Time, src string) error {
+//
+// rb selects what happens to any coordination round this arrival triggers
+// (incremental closing, or a FlushEvery-crossing set-at-a-time backlog).
+// Non-nil: the round is snapshotted into rb and the caller evaluates it out
+// of lock after releasing s.mu — the single-submission path. Nil: the round
+// evaluates and delivers synchronously under the held lock — the batch path,
+// where deferring a closing component past the admission of the next batch
+// member on the same shard would change what that member's safety check and
+// unifiability edges see, breaking batch ≡ sequential equivalence.
+func (s *shard) submit(renamed *ir.Query, rels []string, h *Handle, now time.Time, src string, rb *roundBatch) error {
 	s.stats.Submitted++
 	s.record(EventSubmitted, renamed.ID, renamed.Owner)
 
@@ -124,16 +127,26 @@ func (s *shard) submit(renamed *ir.Query, rels []string, h *Handle, now time.Tim
 	case Incremental:
 		// Constant-time closedness probe: the component index already knows
 		// whether this arrival completed its component. Only then is the
-		// member list materialised and matched; the dominant non-closing
+		// component snapshotted and matched; the dominant non-closing
 		// arrival does no component traversal at all.
 		if s.g.ComponentClosed(renamed.ID) {
-			s.evaluateComponent(s.g.ComponentMembers(renamed.ID))
+			if r := s.captureComponentRound(renamed.ID); r != nil {
+				if rb != nil {
+					rb.add(r)
+				} else {
+					s.settleInline(r)
+				}
+			}
 		}
 	case SetAtATime:
 		s.sinceFl++
 		if s.eng.cfg.FlushEvery > 0 && s.sinceFl >= s.eng.cfg.FlushEvery {
 			s.eng.flushRounds.Add(1) // auto-flush is one shard-local round
-			s.flush()
+			if rb != nil {
+				s.collectFlushRounds(rb)
+			} else {
+				s.flushLocked()
+			}
 		}
 	}
 	return nil
@@ -183,127 +196,158 @@ func (s *shard) evict(id ir.QueryID) *pendingQuery {
 	return p
 }
 
-// memberMap returns the shard's cleared reusable member → query map.
-// Caller holds s.mu; the map stays valid for the duration of that hold.
-func (s *shard) memberMap() map[ir.QueryID]*ir.Query {
-	if s.byIDBuf == nil {
-		s.byIDBuf = make(map[ir.QueryID]*ir.Query, 8)
-	} else {
-		clear(s.byIDBuf)
+// captureComponentRound snapshots the closed component containing id into a
+// pooled coordination round: membership, nodes, edges, version, and the
+// CHOOSE seed. Returns nil when the component is open, id is not live, or a
+// member has already retired (the round would be undeliverable). The seed is
+// drawn only after those checks pass — one draw per evaluated component,
+// exactly where the old under-lock evaluation drew it, so fixed-seed runs
+// reproduce across the rework. Caller holds s.mu.
+func (s *shard) captureComponentRound(id ir.QueryID) *evalRound {
+	if !s.g.ComponentClosed(id) {
+		return nil
 	}
-	return s.byIDBuf
+	snap := snapPool.Get().(*graph.CompSnap)
+	if !snap.CaptureComponent(s.g, id) {
+		snapPool.Put(snap)
+		return nil
+	}
+	for _, m := range snap.Members() {
+		if _, ok := s.pending[m]; !ok {
+			snapPool.Put(snap)
+			return nil
+		}
+	}
+	var seed int64
+	if s.rnd != nil {
+		seed = s.rnd.Int63()
+	}
+	r := roundPool.Get().(*evalRound)
+	r.snap = snap
+	r.seed = seed
+	return r
 }
 
-// flush runs a set-at-a-time evaluation round over the shard's pending
-// set. Closed components evaluate concurrently, gated by the engine's
-// shared evaluation semaphore, so one busy shard can use the whole
-// Parallelism budget while simultaneous flushes across shards cannot
-// exceed it in total. Caller holds s.mu.
-func (s *shard) flush() {
+// collectFlushRounds starts a set-at-a-time evaluation round: it snapshots
+// every closed component of the pending set into rb for out-of-lock
+// evaluation. The component index enumerates exactly the closed components —
+// the open remainder (typically the vast majority) is never visited, and
+// closedness is read off the per-component counters instead of re-scanning
+// member indegrees. One CHOOSE seed is drawn per flush with a non-empty
+// closed set; component ci derives its stream from seed+ci, preserving the
+// draw schedule of the old under-lock flush. Caller holds s.mu.
+func (s *shard) collectFlushRounds(rb *roundBatch) {
 	s.stats.Flushes++
 	s.sinceFl = 0
 	if s.hist != nil {
 		s.record(EventFlush, 0, fmt.Sprintf("shard %d: %d pending", s.idx, len(s.pending)))
 	}
-	// The component index enumerates exactly the closed components — the
-	// open remainder of the pending set (typically the vast majority) is
-	// never visited, and closedness is read off the per-component counters
-	// instead of re-scanning member indegrees. Closed components are
-	// independent, so evaluate them in parallel (Section 4.1.2's
-	// partitioning benefit). Graph mutation happens afterwards, under the
-	// lock we already hold.
 	closed := s.g.ClosedComponents()
 	if len(closed) == 0 {
 		return
 	}
-	type evalOut struct {
-		answers  []ir.Answer
-		rejected []match.Removal
-	}
-	results := make([]evalOut, len(closed))
-	// Matching and answer splitting only ever look up members of the
-	// components being evaluated, so the reused per-shard query map covers
-	// exactly those — not a copy of the entire pending set per round, and
-	// not a fresh map per round either.
-	byID := s.memberMap()
-	for _, comp := range closed {
-		for _, id := range comp {
-			if p, ok := s.pending[id]; ok {
-				byID[id] = p.renamed
-			}
-		}
-	}
 	var seed int64
 	if s.rnd != nil {
 		seed = s.rnd.Int63()
 	}
-	// Acquire the engine-wide evaluation slot before spawning, so at most
-	// the Parallelism budget's worth of goroutines exist across all
-	// flushing shards (spawn-then-block would park Shards × budget
-	// goroutines for the same work).
-	var wg sync.WaitGroup
-	for ci := range closed {
-		s.eng.evalSem <- struct{}{}
-		wg.Add(1)
-		go func(ci int) {
-			defer wg.Done()
-			defer func() { <-s.eng.evalSem }()
-			// Each component draws its CHOOSE stream from the round seed
-			// plus its index — a splitmix stream built inside the pooled
-			// evaluation scratch, not a per-component rand.Rand allocation.
-			var cseed int64
-			if seed != 0 {
-				cseed = seed + int64(ci)
+	for ci, comp := range closed {
+		live := true
+		for _, id := range comp {
+			if _, ok := s.pending[id]; !ok {
+				live = false
+				break
 			}
-			ans, rej, err := match.EvaluateComponentFast(s.eng.db, s.g, closed[ci], byID, cseed, s.eng.cfg.Match)
-			if err != nil {
-				// Treat evaluation errors as rejections of the whole
-				// component; surface the error text.
-				for _, id := range closed[ci] {
-					rej = append(rej, match.Removal{Query: id, Cause: match.CauseNoData})
-				}
-				ans = nil
-			}
-			results[ci] = evalOut{answers: ans, rejected: rej}
-		}(ci)
-	}
-	wg.Wait()
-
-	for _, r := range results {
-		s.stats.Evaluations++
-		s.deliver(r.answers, r.rejected)
+		}
+		if !live {
+			continue
+		}
+		ver, ok := s.g.ComponentVersion(comp[0])
+		if !ok {
+			continue
+		}
+		snap := snapPool.Get().(*graph.CompSnap)
+		snap.CaptureMembers(s.g, comp, ver)
+		r := roundPool.Get().(*evalRound)
+		r.snap = snap
+		if seed != 0 {
+			r.seed = seed + int64(ci)
+		}
+		rb.add(r)
 	}
 }
 
-// evaluateComponent matches and evaluates one closed component. Callers
-// gate on the component index (ComponentClosed / ClosedComponents); the
-// re-check here is a constant-time counter read, kept so a stray call on an
-// open component stays a no-op. Caller holds s.mu.
-func (s *shard) evaluateComponent(comp []ir.QueryID) {
-	if len(comp) == 0 || !s.g.ComponentClosed(comp[0]) {
+// flushLocked runs a full flush round synchronously under the held shard
+// lock: collect, evaluate inline, deliver. The batch/bulk ingest paths use
+// it (via submit with rb == nil) where round deferral would reorder
+// coordination against later same-shard admissions.
+func (s *shard) flushLocked() {
+	var rb roundBatch
+	s.collectFlushRounds(&rb)
+	if rb.one != nil {
+		s.settleInline(rb.one)
+	}
+	for _, r := range rb.many {
+		s.settleInline(r)
+	}
+}
+
+// settleInline evaluates and delivers one captured round without releasing
+// the shard lock the caller holds. Validation is vacuous — nothing can
+// mutate the shard mid-hold. The test hook does not fire here: it exists to
+// let tests mutate the engine mid-evaluation, which under a held shard lock
+// would deadlock.
+func (s *shard) settleInline(r *evalRound) {
+	s.eng.evalRoundOn(r, nil, false)
+	s.stats.Evaluations++
+	s.deliver(r.answers, r.rejected)
+	putRound(r)
+}
+
+// validateRound reports whether a snapshotted component is still exactly the
+// live component: every member still pending on this shard and the component
+// version unchanged since capture. Any concurrent arrival joining the
+// component, member expiry, migration, or competing delivery bumps the
+// version or retires a member, so a stale snapshot can never deliver.
+// Versions are never reused (the index clock only advances), so an A-B-A
+// membership coincidence cannot validate either. Caller holds s.mu.
+func (s *shard) validateRound(r *evalRound) bool {
+	members := r.snap.Members()
+	for _, id := range members {
+		if _, ok := s.pending[id]; !ok {
+			return false
+		}
+	}
+	ver, ok := s.g.ComponentVersion(members[0])
+	return ok && ver == r.snap.Version()
+}
+
+// settleRound is the validate-and-deliver half of an out-of-lock round: if
+// the snapshot still matches the live shard state the results deliver as if
+// evaluated under the lock; otherwise the evaluation is discarded and every
+// still-pending member's (possibly re-shaped) closed component is
+// re-snapshotted into retry. The pending-membership requirement also makes
+// retries terminate after close(), which empties the pending map. Caller
+// holds s.mu.
+func (s *shard) settleRound(r *evalRound, retry *roundBatch) {
+	if s.validateRound(r) {
+		s.stats.Evaluations++
+		s.deliver(r.answers, r.rejected)
+		putRound(r)
 		return
 	}
-	byID := s.memberMap()
-	for _, id := range comp {
-		p, ok := s.pending[id]
-		if !ok {
-			return
+	s.eng.evalRetries.Add(1)
+	for _, id := range r.snap.Members() {
+		if _, ok := s.pending[id]; !ok {
+			continue
 		}
-		byID[id] = p.renamed
-	}
-	var seed int64
-	if s.rnd != nil {
-		seed = s.rnd.Int63()
-	}
-	s.stats.Evaluations++
-	ans, rej, err := match.EvaluateComponentFast(s.eng.db, s.g, comp, byID, seed, s.eng.cfg.Match)
-	if err != nil {
-		for _, id := range comp {
-			rej = append(rej, match.Removal{Query: id, Cause: match.CauseNoData})
+		if retry.covers(id) {
+			continue // already re-captured with an earlier member's component
 		}
-		ans = nil
+		if nr := s.captureComponentRound(id); nr != nil {
+			retry.add(nr)
+		}
 	}
-	s.deliver(ans, rej)
+	putRound(r)
 }
 
 // deliver retires answered and rejected queries, sending results. Caller
@@ -331,7 +375,7 @@ func (s *shard) deliver(answers []ir.Answer, rejected []match.Removal) {
 			if _, ok := s.pending[r.Query]; !ok {
 				continue
 			}
-			results = append(results, wal.QueryResult{ID: int64(r.Query), Status: wal.StatusRejected, Detail: r.Cause.String()})
+			results = append(results, wal.QueryResult{ID: int64(r.Query), Status: wal.StatusRejected, Detail: removalDetail(r)})
 		}
 		s.eng.logResults(results)
 	}
@@ -354,10 +398,21 @@ func (s *shard) deliver(answers []ir.Answer, rejected []match.Removal) {
 			continue
 		}
 		s.stats.Rejected++
-		s.record(EventRejected, r.Query, r.Cause.String())
-		p.handle.deliver(Result{QueryID: r.Query, Status: StatusRejected, Detail: r.Cause.String()})
+		detail := removalDetail(r)
+		s.record(EventRejected, r.Query, detail)
+		p.handle.deliver(Result{QueryID: r.Query, Status: StatusRejected, Detail: detail})
 		s.retire(r.Query)
 	}
+}
+
+// removalDetail renders a rejection for the WAL, the audit trail, and the
+// delivered Result: the cause, plus the removal's own detail (the error
+// text, for CauseEvalError) when it carries one.
+func removalDetail(r match.Removal) string {
+	if r.Detail != "" {
+		return r.Cause.String() + ": " + r.Detail
+	}
+	return r.Cause.String()
 }
 
 func (s *shard) retire(id ir.QueryID) {
@@ -384,8 +439,10 @@ func (s *shard) compactStaleIfNeeded() {
 // how many were expired. The staleness heap is ordered by submit time, so
 // the sweep pops exactly the expired prefix — O(expired · log pending) per
 // tick — instead of scanning the whole pending set; entries whose query
-// already retired or migrated are skipped as they surface.
-func (s *shard) expireStale(cutoff time.Time) int {
+// already retired or migrated are skipped as they surface. Components the
+// expiry newly closed are snapshotted into rb; the caller evaluates them
+// out of lock after this returns.
+func (s *shard) expireStale(cutoff time.Time, rb *roundBatch) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	// Collect the expired prefix first: on a durable engine the whole
@@ -429,7 +486,12 @@ func (s *shard) expireStale(cutoff time.Time) int {
 	// revisited.
 	if expired > 0 && s.eng.cfg.Mode == Incremental {
 		for _, comp := range s.g.ClosedComponents() {
-			s.evaluateComponent(comp)
+			if len(comp) == 0 {
+				continue
+			}
+			if r := s.captureComponentRound(comp[0]); r != nil {
+				rb.add(r)
+			}
 		}
 	}
 	return expired

@@ -43,13 +43,27 @@ type componentIndex struct {
 	nodes   map[ir.QueryID]centry       // node → parent link + root payload
 	members map[ir.QueryID][]ir.QueryID // root → member list (absent for singletons)
 	dirty   map[ir.QueryID]bool         // root → a member was removed; rebuild before trusting
+	clock   uint64                      // monotone source for component versions
 }
 
 // centry is one union-find slot. parent points up the tree (roots point to
-// themselves); unsat is meaningful only while the entry is a root.
+// themselves); unsat and ver are meaningful only while the entry is a root.
+// ver changes whenever the component's membership or edge set could have:
+// node insertion, union, member removal, and rebuild all stamp a fresh value
+// off the index clock. The engine's optimistic coordination rounds snapshot
+// ver and treat any difference at validation time as "a concurrent mutation
+// touched this component". Versions are never reused, so a component that is
+// torn down and reassembled with the same members still reads as changed.
 type centry struct {
 	parent ir.QueryID
 	unsat  int32
+	ver    uint64
+}
+
+// tick returns the next component version.
+func (c *componentIndex) tick() uint64 {
+	c.clock++
+	return c.clock
 }
 
 func newComponentIndex() *componentIndex {
@@ -102,7 +116,7 @@ func (c *componentIndex) addNode(g *Graph, id ir.QueryID, postCount int) {
 	if _, stale := c.nodes[id]; stale {
 		c.rebuild(g, c.find(id))
 	}
-	c.nodes[id] = centry{parent: id, unsat: int32(postCount)}
+	c.nodes[id] = centry{parent: id, unsat: int32(postCount), ver: c.tick()}
 }
 
 // addNodeBulk registers a node during Graph.BulkAdd: a singleton entry with
@@ -113,7 +127,7 @@ func (c *componentIndex) addNodeBulk(g *Graph, id ir.QueryID) {
 	if _, stale := c.nodes[id]; stale {
 		c.rebuild(g, c.find(id))
 	}
-	c.nodes[id] = centry{parent: id}
+	c.nodes[id] = centry{parent: id, ver: c.tick()}
 }
 
 // onLinkBulk merges the endpoints' components for an edge discovered during
@@ -179,6 +193,7 @@ func (c *componentIndex) union(a, b ir.QueryID) ir.QueryID {
 	eb.parent = a
 	c.nodes[b] = eb
 	ea.unsat += eb.unsat
+	ea.ver = c.tick()
 	c.nodes[a] = ea
 	if c.dirty[b] {
 		c.dirty[a] = true
@@ -187,11 +202,17 @@ func (c *componentIndex) union(a, b ir.QueryID) ir.QueryID {
 	return a
 }
 
-// removeNode marks the component containing id dirty. The actual split (if
-// any) is discovered by the next rebuild; until then the component's
-// counters and membership are not trusted.
+// removeNode marks the component containing id dirty and stamps a fresh
+// version, so a coordination round snapshotted before the removal can never
+// validate against it. The actual split (if any) is discovered by the next
+// rebuild; until then the component's counters and membership are not
+// trusted.
 func (c *componentIndex) removeNode(id ir.QueryID) {
-	c.dirty[c.find(id)] = true
+	root := c.find(id)
+	e := c.nodes[root]
+	e.ver = c.tick()
+	c.nodes[root] = e
+	c.dirty[root] = true
 }
 
 // cleanRoot returns the up-to-date root for id, rebuilding its component
@@ -262,7 +283,7 @@ func (c *componentIndex) rebuild(g *Graph, root ir.QueryID) {
 		if count > 1 {
 			c.members[start] = append([]ir.QueryID{start}, comp...)
 		}
-		c.nodes[start] = centry{parent: start, unsat: unsat}
+		c.nodes[start] = centry{parent: start, unsat: unsat, ver: c.tick()}
 	}
 }
 
@@ -278,6 +299,22 @@ func (g *Graph) ComponentClosed(id ir.QueryID) bool {
 		return false
 	}
 	return g.comp.nodes[root].unsat == 0
+}
+
+// ComponentVersion returns the current version of the component containing
+// id (rebuilding it first if a removal left it stale), or false when id is
+// not in the graph. The version changes — strictly increases over the life
+// of the graph — whenever the component's membership or edge set could have
+// changed: arrivals that merge into it, removals of any member, and the
+// rebuilds that follow splits all stamp a fresh value. Two equal reads with
+// the same root therefore guarantee the component the engine snapshotted is
+// the component it is about to deliver for.
+func (g *Graph) ComponentVersion(id ir.QueryID) (uint64, bool) {
+	root, ok := g.comp.cleanRoot(g, id)
+	if !ok {
+		return 0, false
+	}
+	return g.comp.nodes[root].ver, true
 }
 
 // ComponentMembers returns the live members of the component containing id

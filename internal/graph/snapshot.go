@@ -1,0 +1,175 @@
+package graph
+
+import (
+	"slices"
+
+	"entangle/internal/ir"
+)
+
+// View is the read-only surface of a unifiability graph that component
+// matching needs: node lookup and forward reachability. *Graph implements it
+// for under-lock evaluation; CompSnap implements it for the engine's
+// out-of-lock coordination rounds, which must not read the live graph while
+// concurrent arrivals append to its edge lists.
+type View interface {
+	Node(id ir.QueryID) *Node
+	Descendants(start ir.QueryID) []ir.QueryID
+}
+
+var (
+	_ View = (*Graph)(nil)
+	_ View = (*CompSnap)(nil)
+)
+
+// CompSnap is a self-contained copy of one component: member IDs in
+// insertion order, their nodes, and their edges, all backed by buffers the
+// snapshot owns and reuses across captures — a warm CompSnap captures a
+// component without allocating. The engine snapshots a closed component
+// under the shard lock, evaluates the snapshot outside it, and validates
+// the recorded component version before delivering.
+type CompSnap struct {
+	version uint64
+	members []ir.QueryID
+	ids     map[ir.QueryID]int32
+	nodes   []Node
+	edges   []Edge  // one copy per live edge of the component
+	ptrs    []*Edge // shared backing the nodes' In/Out lists are carved from
+	byID    map[ir.QueryID]*ir.Query
+}
+
+// CaptureComponent snapshots the component containing id, resolving its
+// membership (insertion order) and version through the graph's component
+// index. Returns false when id is not live. The caller must hold whatever
+// lock serialises mutation of g for the duration of the call.
+func (cs *CompSnap) CaptureComponent(g *Graph, id ir.QueryID) bool {
+	root, ok := g.comp.cleanRoot(g, id)
+	if !ok {
+		return false
+	}
+	var single [1]ir.QueryID
+	m := g.comp.membersOf(root, single[:])
+	cs.members = append(cs.members[:0], m...)
+	slices.SortFunc(cs.members, func(a, b ir.QueryID) int {
+		return g.nodes[a].pos - g.nodes[b].pos
+	})
+	cs.capture(g, g.comp.nodes[root].ver)
+	return true
+}
+
+// CaptureMembers snapshots an already-enumerated component (the flush path
+// holds the ClosedComponents listing) at the given version. Members must be
+// live in g.
+func (cs *CompSnap) CaptureMembers(g *Graph, members []ir.QueryID, version uint64) {
+	cs.members = append(cs.members[:0], members...)
+	cs.capture(g, version)
+}
+
+func (cs *CompSnap) capture(g *Graph, version uint64) {
+	cs.version = version
+	if cs.ids == nil {
+		cs.ids = make(map[ir.QueryID]int32, len(cs.members))
+	} else {
+		clear(cs.ids)
+	}
+	if cs.byID == nil {
+		cs.byID = make(map[ir.QueryID]*ir.Query, len(cs.members))
+	} else {
+		clear(cs.byID)
+	}
+	cs.nodes = grown(cs.nodes, len(cs.members))
+	nEdges := 0
+	for i, id := range cs.members {
+		n := g.nodes[id]
+		cs.ids[id] = int32(i)
+		cs.byID[id] = n.Query
+		cs.nodes[i] = Node{Query: n.Query, pos: n.pos}
+		nEdges += len(n.In)
+	}
+	cs.edges = grown(cs.edges, nEdges)
+	if cap(cs.ptrs) < 2*nEdges {
+		cs.ptrs = make([]*Edge, 2*nEdges)
+	}
+	// Carve each node's In and Out lists out of the shared pointer backing,
+	// capacity fixed from the live degrees, so the appends below never grow.
+	off := 0
+	for i, id := range cs.members {
+		n := g.nodes[id]
+		cs.nodes[i].In = cs.ptrs[off : off : off+len(n.In)]
+		off += len(n.In)
+		cs.nodes[i].Out = cs.ptrs[off : off : off+len(n.Out)]
+		off += len(n.Out)
+	}
+	// Copy every edge exactly once, walking In lists so each node's In
+	// ordering — the order pairwise unification happens in — is preserved.
+	// The same copy is wired into its source's Out list in discovery order;
+	// no observable outcome depends on Out ordering (propagation runs to a
+	// fixpoint and cascade membership is order-independent).
+	k := 0
+	for i, id := range cs.members {
+		n := g.nodes[id]
+		for _, e := range n.In {
+			fi, ok := cs.ids[e.From]
+			if !ok {
+				continue // endpoint outside the member list: stale edge, skip
+			}
+			cs.edges[k] = *e
+			cs.nodes[i].In = append(cs.nodes[i].In, &cs.edges[k])
+			cs.nodes[fi].Out = append(cs.nodes[fi].Out, &cs.edges[k])
+			k++
+		}
+	}
+}
+
+// Version returns the component-index version recorded at capture time.
+func (cs *CompSnap) Version() uint64 { return cs.version }
+
+// Members returns the snapshot's member IDs in insertion order. The slice
+// aliases the snapshot's internal buffer.
+func (cs *CompSnap) Members() []ir.QueryID { return cs.members }
+
+// ByID maps member IDs to their (renamed) queries. The map aliases the
+// snapshot's internal state.
+func (cs *CompSnap) ByID() map[ir.QueryID]*ir.Query { return cs.byID }
+
+// Node implements View over the snapshot.
+func (cs *CompSnap) Node(id ir.QueryID) *Node {
+	i, ok := cs.ids[id]
+	if !ok {
+		return nil
+	}
+	return &cs.nodes[i]
+}
+
+// Descendants implements View: the nodes reachable from start over outgoing
+// edges, excluding start itself unless it lies on a cycle — the same
+// contract as Graph.Descendants, restricted to the snapshot.
+func (cs *CompSnap) Descendants(start ir.QueryID) []ir.QueryID {
+	seen := map[ir.QueryID]bool{}
+	var out []ir.QueryID
+	queue := []ir.QueryID{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		n := cs.Node(cur)
+		if n == nil {
+			continue
+		}
+		for _, e := range n.Out {
+			if !seen[e.To] {
+				seen[e.To] = true
+				out = append(out, e.To)
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return out
+}
+
+// grown returns s resized to n elements, reusing its backing array when the
+// capacity suffices. Contents are unspecified; callers overwrite every slot.
+func grown[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}

@@ -86,9 +86,11 @@ const (
 // (PlanBuilder.Finish's join-order simulation) is skipped; constants were
 // compiled to parameters, so the same plan serves every component of this
 // shape and only the parameter values differ per execution.
-func evaluateDense(db *memdb.DB, ds *denseState, byID map[ir.QueryID]*ir.Query, component []ir.QueryID, seed int64, plans *memdb.PlanCache) (answers []ir.Answer, rejected []Removal, err error) {
-	sc := evalPool.Get().(*evalScratch)
-	defer evalPool.Put(sc)
+//
+// Both scratches (ds, sc) belong to the caller — pooled by the
+// EvaluateComponentFast wrapper, pinned per worker by the engine's eval
+// pool — and are reset here before use.
+func evaluateDense(db *memdb.DB, ds *denseState, sc *evalScratch, byID map[ir.QueryID]*ir.Query, component []ir.QueryID, seed int64, plans *memdb.PlanCache) (answers []ir.Answer, rejected []Removal, err error) {
 	sc.reset()
 
 	caching := plans != nil

@@ -9,6 +9,7 @@ import (
 	"entangle/internal/graph"
 	"entangle/internal/ir"
 	"entangle/internal/memdb"
+	"entangle/internal/unify"
 )
 
 // CoordinateOptions tunes the end-to-end coordination pipeline.
@@ -55,6 +56,12 @@ const CauseNoData RemovalCause = 100
 
 // CauseUnsafe marks queries removed by the safety enforcement pre-pass.
 const CauseUnsafe RemovalCause = 101
+
+// CauseEvalError marks queries whose component evaluation itself failed
+// (plan execution error, not an empty result). The Removal's Detail carries
+// the error text. Distinct from CauseNoData so operators can tell a broken
+// evaluation from a legitimately unmatched workload.
+const CauseEvalError RemovalCause = 102
 
 // Coordinate performs coordinated query answering for a batch of entangled
 // queries (set-at-a-time mode): safety enforcement, unifiability-graph
@@ -192,8 +199,25 @@ func Coordinate(db *memdb.DB, queries []*ir.Query, opt CoordinateOptions) (*Outc
 // renamed-apart query. A nil rnd picks the first valuation. The combined
 // query is returned for diagnostics; callers that do not need it should use
 // EvaluateComponentFast, which skips materialising it.
-func EvaluateComponent(db *memdb.DB, g *graph.Graph, component []ir.QueryID, byID map[ir.QueryID]*ir.Query, rnd memdb.Rng, mopt Options) (answers []ir.Answer, rejected []Removal, combined *ir.CombinedQuery, err error) {
+func EvaluateComponent(db *memdb.DB, g graph.View, component []ir.QueryID, byID map[ir.QueryID]*ir.Query, rnd memdb.Rng, mopt Options) (answers []ir.Answer, rejected []Removal, combined *ir.CombinedQuery, err error) {
 	return evaluateViaCombined(db, g, component, byID, rnd, mopt)
+}
+
+// Scratch pins one worker's complete fast-path evaluation state — the dense
+// matcher's interner and union-find plus the compiled-evaluation scratch —
+// to the caller instead of the package-level sync.Pools. The engine's
+// persistent eval workers each own one, so steady-state component
+// evaluation allocates nothing regardless of pool pressure elsewhere.
+// A Scratch is not safe for concurrent use.
+type Scratch struct {
+	ds denseState
+	ev evalScratch
+}
+
+// NewScratch returns a ready-to-use pinned evaluation scratch.
+func NewScratch() *Scratch {
+	in := unify.NewInterner()
+	return &Scratch{ds: denseState{in: in, du: unify.NewDenseUnifier(in)}}
 }
 
 // EvaluateComponentFast is the engine's per-component answer path: the same
@@ -204,12 +228,33 @@ func EvaluateComponent(db *memdb.DB, g *graph.Graph, component []ir.QueryID, byI
 // off the interned unifier with pooled scratch; otherwise (clash or
 // starvation, or the NaiveMGU/LegacyEval ablations) it falls back to the
 // literal pipeline. seed derives the component's CHOOSE stream; 0 picks the
-// first valuation deterministically.
-func EvaluateComponentFast(db *memdb.DB, g *graph.Graph, component []ir.QueryID, byID map[ir.QueryID]*ir.Query, seed int64, mopt Options) (answers []ir.Answer, rejected []Removal, err error) {
+// first valuation deterministically. g may be the live graph or a
+// graph.CompSnap of the component.
+func EvaluateComponentFast(db *memdb.DB, g graph.View, component []ir.QueryID, byID map[ir.QueryID]*ir.Query, seed int64, mopt Options) (answers []ir.Answer, rejected []Removal, err error) {
+	return EvaluateComponentFastWith(nil, db, g, component, byID, seed, mopt)
+}
+
+// EvaluateComponentFastWith is EvaluateComponentFast with the fast path's
+// scratch pinned by the caller; a nil sc falls back to the package pools.
+func EvaluateComponentFastWith(sc *Scratch, db *memdb.DB, g graph.View, component []ir.QueryID, byID map[ir.QueryID]*ir.Query, seed int64, mopt Options) (answers []ir.Answer, rejected []Removal, err error) {
 	if !mopt.NaiveMGU && !mopt.LegacyEval {
-		if ds, _, ok := matchFastCore(g, component); ok {
-			answers, rejected, err = evaluateDense(db, ds, byID, component, seed, mopt.Plans)
+		var ds *denseState
+		var ev *evalScratch
+		if sc != nil {
+			ds, ev = &sc.ds, &sc.ev
+		} else {
+			ds = densePool.Get().(*denseState)
+			ev = evalPool.Get().(*evalScratch)
+		}
+		_, ok := matchFastCoreInto(ds, g, component)
+		if ok {
+			answers, rejected, err = evaluateDense(db, ds, ev, byID, component, seed, mopt.Plans)
+		}
+		if sc == nil {
 			densePool.Put(ds)
+			evalPool.Put(ev)
+		}
+		if ok {
 			return answers, rejected, err
 		}
 	}
@@ -227,7 +272,7 @@ func EvaluateComponentFast(db *memdb.DB, g *graph.Graph, component []ir.QueryID,
 // Options.LegacyEval selects the retained map-backed evaluator; the default
 // compiles the simplified body per call (CompilePlan + ExecPlan under
 // EvalConjunctive).
-func evaluateViaCombined(db *memdb.DB, g *graph.Graph, component []ir.QueryID, byID map[ir.QueryID]*ir.Query, rnd memdb.Rng, mopt Options) (answers []ir.Answer, rejected []Removal, combined *ir.CombinedQuery, err error) {
+func evaluateViaCombined(db *memdb.DB, g graph.View, component []ir.QueryID, byID map[ir.QueryID]*ir.Query, rnd memdb.Rng, mopt Options) (answers []ir.Answer, rejected []Removal, combined *ir.CombinedQuery, err error) {
 	res := MatchComponent(g, component, mopt)
 	rejected = append(rejected, res.Removed...)
 	if len(res.Survivors) == 0 {

@@ -63,15 +63,21 @@ func (c RemovalCause) String() string {
 		return "no satisfying data"
 	case CauseUnsafe:
 		return "unsafe"
+	case CauseEvalError:
+		return "evaluation failed"
 	default:
 		return fmt.Sprintf("RemovalCause(%d)", int(c))
 	}
 }
 
-// Removal pairs a removed query with its cause.
+// Removal pairs a removed query with its cause. Detail, when non-empty,
+// carries cause-specific context — for CauseEvalError, the evaluation
+// error's text — so operators can tell "no data matched" from "the
+// evaluator failed" without grepping server logs.
 type Removal struct {
-	Query ir.QueryID
-	Cause RemovalCause
+	Query  ir.QueryID
+	Cause  RemovalCause
+	Detail string
 }
 
 // MatchResult is the outcome of running Algorithm 1 on one connected
@@ -138,7 +144,11 @@ var densePool = sync.Pool{New: func() any {
 // run falls back to the literal Algorithm 1 with per-member unifiers and
 // CLEANUP cascades, whose removal attribution the fast path cannot
 // reproduce. The A3 NaiveMGU ablation always takes the literal path.
-func MatchComponent(g *graph.Graph, component []ir.QueryID, opt Options) *MatchResult {
+//
+// g may be the live graph (under-lock callers) or a graph.CompSnap (the
+// engine's out-of-lock coordination rounds): matching only ever reads the
+// View surface.
+func MatchComponent(g graph.View, component []ir.QueryID, opt Options) *MatchResult {
 	if !opt.NaiveMGU {
 		if res := matchFast(g, component); res != nil {
 			return res
@@ -147,19 +157,18 @@ func MatchComponent(g *graph.Graph, component []ir.QueryID, opt Options) *MatchR
 	return matchSlow(g, component, opt)
 }
 
-// matchFastCore runs the one-pass dense union-find over the component's
-// edges. On success ownership of the pooled state passes to the caller
-// (who must densePool.Put it); ok false means the component needs the
-// literal algorithm (dead or starved member, or a unifier clash — removal
-// attribution the dense pass cannot reproduce).
-func matchFastCore(g *graph.Graph, component []ir.QueryID) (st *denseState, mgu int, ok bool) {
+// matchFastCoreInto runs the one-pass dense union-find over the component's
+// edges using the caller's scratch (pooled or worker-pinned). ok false means
+// the component needs the literal algorithm (dead or starved member, or a
+// unifier clash — removal attribution the dense pass cannot reproduce); the
+// scratch remains the caller's to reuse either way.
+func matchFastCoreInto(st *denseState, g graph.View, component []ir.QueryID) (mgu int, ok bool) {
 	for _, id := range component {
 		n := g.Node(id)
 		if n == nil || len(n.In) < n.Query.PostCount() {
-			return nil, 0, false
+			return 0, false
 		}
 	}
-	st = densePool.Get().(*denseState)
 	st.in.Reset()
 	st.du.Reset()
 	for _, id := range component {
@@ -167,19 +176,20 @@ func matchFastCore(g *graph.Graph, component []ir.QueryID) (st *denseState, mgu 
 		for _, e := range n.In {
 			mgu++
 			if err := st.du.UnifyAtoms(e.Head.Atom, e.Post.Atom); err != nil {
-				densePool.Put(st)
-				return nil, 0, false
+				return 0, false
 			}
 		}
 	}
-	return st, mgu, true
+	return mgu, true
 }
 
 // matchFast attempts the one-pass dense match; it returns nil when the
 // component needs the literal algorithm.
-func matchFast(g *graph.Graph, component []ir.QueryID) *MatchResult {
-	st, mgu, ok := matchFastCore(g, component)
+func matchFast(g graph.View, component []ir.QueryID) *MatchResult {
+	st := densePool.Get().(*denseState)
+	mgu, ok := matchFastCoreInto(st, g, component)
 	if !ok {
+		densePool.Put(st)
 		return nil
 	}
 	global, err := st.du.Materialize()
@@ -208,7 +218,7 @@ func matchFast(g *graph.Graph, component []ir.QueryID) *MatchResult {
 // keyed by component-local dense indexes (one small map from query ID to
 // index, bool slices for the rest) rather than one map per concern.
 type matcher struct {
-	g       *graph.Graph
+	g       graph.View
 	comp    []ir.QueryID
 	idx     map[ir.QueryID]int32 // query → dense component-local index
 	removed []bool
@@ -219,7 +229,7 @@ type matcher struct {
 	naive   bool // use NaiveMerge (A3 ablation)
 }
 
-func matchSlow(g *graph.Graph, component []ir.QueryID, opt Options) *MatchResult {
+func matchSlow(g graph.View, component []ir.QueryID, opt Options) *MatchResult {
 	n := len(component)
 	m := &matcher{
 		g:       g,
